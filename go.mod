@@ -1,0 +1,3 @@
+module whopay
+
+go 1.22

@@ -1,0 +1,135 @@
+// Package blind implements Chaum's RSA blind signatures.
+//
+// The paper's introduction credits blind signatures as the classic mechanism
+// behind anonymous payment systems; WhoPay itself represents coins as public
+// keys instead, but the e-cash comparison example and the coin-shop
+// extension can use blind issuance so even the shop cannot link a purchased
+// coin to the buyer. The construction is textbook RSA blinding: the
+// requester multiplies the message digest by r^e, the signer applies the
+// RSA private operation, the requester divides by r.
+//
+// This is full-domain-hash RSA over the raw group (math/big), independent of
+// crypto/rsa's padding modes, because blinding requires access to the bare
+// RSA permutation.
+package blind
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Errors returned by this package.
+var (
+	// ErrBadSignature is returned by Verify for invalid signatures.
+	ErrBadSignature = errors.New("blind: invalid signature")
+	// ErrMessageRange is returned when a blinded element is out of range.
+	ErrMessageRange = errors.New("blind: value outside RSA modulus")
+)
+
+// Signer holds an RSA private key and blind-signs whatever it is handed.
+// In WhoPay terms this is the broker (or a coin shop) blind-certifying coin
+// keys. Safe for concurrent use after construction.
+type Signer struct {
+	key *rsa.PrivateKey
+}
+
+// NewSigner generates a Signer with a fresh RSA key of the given bit size
+// (2048 for production, 1024 acceptable in tests for speed).
+func NewSigner(bits int) (*Signer, error) {
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("blind: rsa keygen: %w", err)
+	}
+	return &Signer{key: key}, nil
+}
+
+// PublicKey returns the signer's public key; requesters blind against it
+// and verifiers check signatures with it.
+func (s *Signer) PublicKey() *rsa.PublicKey { return &s.key.PublicKey }
+
+// Sign applies the raw RSA private operation to a blinded element. The
+// signer learns nothing about the underlying message.
+func (s *Signer) Sign(blinded *big.Int) (*big.Int, error) {
+	if blinded.Sign() <= 0 || blinded.Cmp(s.key.N) >= 0 {
+		return nil, ErrMessageRange
+	}
+	return new(big.Int).Exp(blinded, s.key.D, s.key.N), nil
+}
+
+// fdh hashes msg into Z_N via a counter-mode full-domain hash.
+func fdh(pub *rsa.PublicKey, msg []byte) *big.Int {
+	nLen := (pub.N.BitLen() + 7) / 8
+	var out []byte
+	for counter := byte(0); len(out) < nLen; counter++ {
+		h := sha256.New()
+		h.Write([]byte{counter})
+		h.Write(msg)
+		out = h.Sum(out)
+	}
+	v := new(big.Int).SetBytes(out[:nLen])
+	return v.Mod(v, pub.N)
+}
+
+// Request is the requester-side state of one blind signing round.
+type Request struct {
+	pub     *rsa.PublicKey
+	msg     []byte
+	r       *big.Int
+	Blinded *big.Int
+}
+
+// NewRequest blinds msg for signing under pub. Send Blinded to the signer.
+func NewRequest(pub *rsa.PublicKey, msg []byte) (*Request, error) {
+	m := fdh(pub, msg)
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(rand.Reader, pub.N)
+		if err != nil {
+			return nil, fmt.Errorf("blind: sampling blinding factor: %w", err)
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pub.N).Cmp(big.NewInt(1)) == 0 {
+			break
+		}
+	}
+	e := big.NewInt(int64(pub.E))
+	re := new(big.Int).Exp(r, e, pub.N)
+	blinded := re.Mul(re, m)
+	blinded.Mod(blinded, pub.N)
+	return &Request{pub: pub, msg: append([]byte(nil), msg...), r: r, Blinded: blinded}, nil
+}
+
+// Unblind turns the signer's response into a plain signature over the
+// original message and verifies it before returning.
+func (req *Request) Unblind(signed *big.Int) (*big.Int, error) {
+	if signed.Sign() <= 0 || signed.Cmp(req.pub.N) >= 0 {
+		return nil, ErrMessageRange
+	}
+	rInv := new(big.Int).ModInverse(req.r, req.pub.N)
+	if rInv == nil {
+		return nil, errors.New("blind: blinding factor not invertible")
+	}
+	sigVal := new(big.Int).Mul(signed, rInv)
+	sigVal.Mod(sigVal, req.pub.N)
+	if err := Verify(req.pub, req.msg, sigVal); err != nil {
+		return nil, fmt.Errorf("blind: signer returned bad signature: %w", err)
+	}
+	return sigVal, nil
+}
+
+// Verify checks a (possibly unblinded) signature over msg under pub.
+func Verify(pub *rsa.PublicKey, msg []byte, sigVal *big.Int) error {
+	if sigVal == nil || sigVal.Sign() <= 0 || sigVal.Cmp(pub.N) >= 0 {
+		return ErrBadSignature
+	}
+	e := big.NewInt(int64(pub.E))
+	got := new(big.Int).Exp(sigVal, e, pub.N)
+	if got.Cmp(fdh(pub, msg)) != 0 {
+		return ErrBadSignature
+	}
+	return nil
+}

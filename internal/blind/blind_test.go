@@ -1,0 +1,198 @@
+package blind
+
+import (
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// testSigner is shared across tests: RSA keygen is slow and the key is
+// stateless.
+var (
+	_signerOnce sync.Once
+	_signer     *Signer
+	_signerErr  error
+)
+
+func testSigner(t testing.TB) *Signer {
+	t.Helper()
+	_signerOnce.Do(func() { _signer, _signerErr = NewSigner(1024) })
+	if _signerErr != nil {
+		t.Fatal(_signerErr)
+	}
+	return _signer
+}
+
+func TestBlindSignRoundTrip(t *testing.T) {
+	s := testSigner(t)
+	msg := []byte("coin public key to be certified")
+	req, err := NewRequest(s.PublicKey(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := s.Sign(req.Blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigVal, err := req.Unblind(signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s.PublicKey(), msg, sigVal); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestSignerCannotLinkBlindedToMessage(t *testing.T) {
+	// The signer sees Blinded; the verifier sees the final signature.
+	// Check that the blinded element differs from both the FDH image and
+	// the final signature (linkage would need the blinding factor).
+	s := testSigner(t)
+	msg := []byte("msg")
+	req, err := NewRequest(s.PublicKey(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Blinded.Cmp(fdh(s.PublicKey(), msg)) == 0 {
+		t.Fatal("blinding did not change the message representative")
+	}
+	signed, err := s.Sign(req.Blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigVal, err := req.Unblind(signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigVal.Cmp(signed) == 0 {
+		t.Fatal("unblinded signature equals blinded response — signer can link")
+	}
+}
+
+func TestTwoRequestsSameMessageDiffer(t *testing.T) {
+	s := testSigner(t)
+	msg := []byte("same message")
+	r1, err := NewRequest(s.PublicKey(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRequest(s.PublicKey(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Blinded.Cmp(r2.Blinded) == 0 {
+		t.Fatal("two blindings of the same message are identical")
+	}
+}
+
+func TestVerifyRejectsWrongMessage(t *testing.T) {
+	s := testSigner(t)
+	req, err := NewRequest(s.PublicKey(), []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := s.Sign(req.Blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigVal, err := req.Unblind(signed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s.PublicKey(), []byte("b"), sigVal); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("got %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsGarbage(t *testing.T) {
+	s := testSigner(t)
+	cases := map[string]*big.Int{
+		"nil":       nil,
+		"zero":      big.NewInt(0),
+		"negative":  big.NewInt(-5),
+		"modulus":   new(big.Int).Set(s.PublicKey().N),
+		"too large": new(big.Int).Add(s.PublicKey().N, big.NewInt(7)),
+		"random":    big.NewInt(123456789),
+	}
+	for name, v := range cases {
+		t.Run(name, func(t *testing.T) {
+			if err := Verify(s.PublicKey(), []byte("m"), v); !errors.Is(err, ErrBadSignature) {
+				t.Fatalf("got %v, want ErrBadSignature", err)
+			}
+		})
+	}
+}
+
+func TestSignRejectsOutOfRange(t *testing.T) {
+	s := testSigner(t)
+	if _, err := s.Sign(big.NewInt(0)); !errors.Is(err, ErrMessageRange) {
+		t.Fatalf("Sign(0) = %v, want ErrMessageRange", err)
+	}
+	if _, err := s.Sign(new(big.Int).Set(s.PublicKey().N)); !errors.Is(err, ErrMessageRange) {
+		t.Fatalf("Sign(N) = %v, want ErrMessageRange", err)
+	}
+}
+
+func TestUnblindRejectsTamperedResponse(t *testing.T) {
+	s := testSigner(t)
+	req, err := NewRequest(s.PublicKey(), []byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed, err := s.Sign(req.Blinded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signed.Add(signed, big.NewInt(1))
+	signed.Mod(signed, s.PublicKey().N)
+	if signed.Sign() == 0 {
+		signed.SetInt64(2)
+	}
+	if _, err := req.Unblind(signed); err == nil {
+		t.Fatal("Unblind accepted a tampered signer response")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := testSigner(t)
+	f := func(msg []byte) bool {
+		req, err := NewRequest(s.PublicKey(), msg)
+		if err != nil {
+			return false
+		}
+		signed, err := s.Sign(req.Blinded)
+		if err != nil {
+			return false
+		}
+		sigVal, err := req.Unblind(signed)
+		if err != nil {
+			return false
+		}
+		return Verify(s.PublicKey(), msg, sigVal) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBlindSignRound(b *testing.B) {
+	s := testSigner(b)
+	msg := []byte("benchmark")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, err := NewRequest(s.PublicKey(), msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		signed, err := s.Sign(req.Blinded)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := req.Unblind(signed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

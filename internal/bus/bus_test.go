@@ -1,0 +1,221 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func echoHandler(from Address, msg any) (any, error) { return msg, nil }
+
+func TestCallRoundTrip(t *testing.T) {
+	net := NewMemory()
+	_, err := net.Listen("b", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := a.Call("b", "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "ping" {
+		t.Fatalf("resp = %v, want ping", resp)
+	}
+}
+
+func TestCallUnknownAddress(t *testing.T) {
+	net := NewMemory()
+	a, err := net.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call("nowhere", "x"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("got %v, want ErrUnreachable", err)
+	}
+}
+
+func TestOfflineUnreachable(t *testing.T) {
+	net := NewMemory()
+	if _, err := net.Listen("b", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetOnline("b", false)
+	if net.Online("b") {
+		t.Fatal("Online = true after SetOnline(false)")
+	}
+	if _, err := a.Call("b", "x"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("got %v, want ErrUnreachable", err)
+	}
+	net.SetOnline("b", true)
+	if _, err := a.Call("b", "x"); err != nil {
+		t.Fatalf("call after re-online: %v", err)
+	}
+}
+
+func TestDuplicateAddress(t *testing.T) {
+	net := NewMemory()
+	if _, err := net.Listen("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Listen("a", echoHandler); !errors.Is(err, ErrAddressInUse) {
+		t.Fatalf("got %v, want ErrAddressInUse", err)
+	}
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	net := NewMemory()
+	if _, err := net.Listen("a", nil); err == nil {
+		t.Fatal("Listen accepted nil handler")
+	}
+}
+
+func TestHandlerErrorBecomesRemoteError(t *testing.T) {
+	net := NewMemory()
+	_, err := net.Listen("b", func(from Address, msg any) (any, error) {
+		return nil, errors.New("no such coin")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.Call("b", "x")
+	var remote *RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("got %v, want RemoteError", err)
+	}
+	if remote.Msg != "no such coin" {
+		t.Fatalf("Msg = %q", remote.Msg)
+	}
+}
+
+func TestClosedEndpoint(t *testing.T) {
+	net := NewMemory()
+	if _, err := net.Listen("b", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call("b", "x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	// Closing twice is fine; address is free again.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Listen("a", echoHandler); err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+}
+
+func TestMessageCounting(t *testing.T) {
+	net := NewMemory()
+	if _, err := net.Listen("b", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		if _, err := a.Call("b", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sa, sb := net.Stats("a"), net.Stats("b")
+	if sa.Sent != calls || sa.Received != calls {
+		t.Fatalf("a stats = %+v, want %d/%d", sa, calls, calls)
+	}
+	if sb.Sent != calls || sb.Received != calls {
+		t.Fatalf("b stats = %+v, want %d/%d", sb, calls, calls)
+	}
+	if got := net.TotalMessages(); got != 2*calls {
+		t.Fatalf("TotalMessages = %d, want %d", got, 2*calls)
+	}
+	if sa.Total() != 2*calls {
+		t.Fatalf("Total = %d, want %d", sa.Total(), 2*calls)
+	}
+}
+
+func TestStatsUnknownAddress(t *testing.T) {
+	net := NewMemory()
+	if s := net.Stats("ghost"); s != (MsgStats{}) {
+		t.Fatalf("Stats(ghost) = %+v, want zero", s)
+	}
+}
+
+func TestNestedCallsFromHandler(t *testing.T) {
+	// c's handler calls b while servicing a's request — the pattern the
+	// WhoPay transfer protocol uses (owner contacts payee inside the
+	// handler for the payer's request).
+	net := NewMemory()
+	if _, err := net.Listen("b", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	var c Endpoint
+	c, err := net.Listen("c", func(from Address, msg any) (any, error) {
+		return c.Call("b", msg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := a.Call("c", "nested")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "nested" {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	net := NewMemory()
+	if _, err := net.Listen("srv", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	const workers, each = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ep, err := net.Listen(Address(fmt.Sprintf("cli%d", w)), echoHandler)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < each; i++ {
+				if _, err := ep.Call("srv", i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := net.Stats("srv")
+	if s.Received != workers*each {
+		t.Fatalf("srv received %d, want %d", s.Received, workers*each)
+	}
+}

@@ -1,0 +1,192 @@
+// Package tcpbus implements bus.Network over real TCP sockets with gob
+// framing. It powers the networked daemons (cmd/whopayd): every WhoPay
+// protocol message that flows over the in-memory bus in tests and
+// simulations flows over TCP here, unchanged.
+//
+// Addresses are "host:port" strings. Each Call opens a short-lived
+// connection, writes one gob-encoded envelope, and reads one reply. Message
+// payload types must be registered with RegisterType (an alias of
+// gob.Register) before use; the core package registers all protocol
+// messages in its init.
+package tcpbus
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"whopay/internal/bus"
+)
+
+// RegisterType registers a payload type for gob transport. Call it once per
+// concrete message type (typically from an init function).
+func RegisterType(v any) { gob.Register(v) }
+
+// envelope frames a request on the wire.
+type envelope struct {
+	From    bus.Address
+	Payload any
+}
+
+// reply frames a response on the wire.
+type reply struct {
+	Payload any
+	Err     string
+	IsErr   bool
+}
+
+// Network is a TCP-backed bus.Network. The zero value is not usable; use
+// New.
+type Network struct {
+	dialTimeout time.Duration
+	callTimeout time.Duration
+}
+
+var _ bus.Network = (*Network)(nil)
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDialTimeout sets the TCP dial timeout (default 5s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(n *Network) { n.dialTimeout = d }
+}
+
+// WithCallTimeout sets the per-call deadline (default 30s).
+func WithCallTimeout(d time.Duration) Option {
+	return func(n *Network) { n.callTimeout = d }
+}
+
+// New returns a TCP Network.
+func New(opts ...Option) *Network {
+	n := &Network{dialTimeout: 5 * time.Second, callTimeout: 30 * time.Second}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Listen implements bus.Network: it binds a TCP listener on addr and serves
+// requests with h until the endpoint is closed. Pass ":0" style addresses
+// to pick a free port; Endpoint.Addr reports the bound address.
+func (n *Network) Listen(addr bus.Address, h bus.Handler) (bus.Endpoint, error) {
+	if h == nil {
+		return nil, errors.New("tcpbus: nil handler")
+	}
+	ln, err := net.Listen("tcp", string(addr))
+	if err != nil {
+		return nil, fmt.Errorf("tcpbus: listen %s: %w", addr, err)
+	}
+	ep := &endpoint{
+		net:     n,
+		ln:      ln,
+		addr:    bus.Address(ln.Addr().String()),
+		handler: h,
+		done:    make(chan struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.serve()
+	return ep, nil
+}
+
+type endpoint struct {
+	net     *Network
+	ln      net.Listener
+	addr    bus.Address
+	handler bus.Handler
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+var _ bus.Endpoint = (*endpoint)(nil)
+
+// Addr implements bus.Endpoint.
+func (e *endpoint) Addr() bus.Address { return e.addr }
+
+func (e *endpoint) serve() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			select {
+			case <-e.done:
+				return
+			default:
+			}
+			// Transient accept failure; keep serving.
+			continue
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.serveConn(conn)
+		}()
+	}
+}
+
+func (e *endpoint) serveConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(e.net.callTimeout))
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var env envelope
+	if err := dec.Decode(&env); err != nil {
+		return
+	}
+	resp, err := e.handler(env.From, env.Payload)
+	out := reply{Payload: resp}
+	if err != nil {
+		out = reply{Err: err.Error(), IsErr: true}
+	}
+	_ = enc.Encode(&out)
+}
+
+// Call implements bus.Endpoint.
+func (e *endpoint) Call(to bus.Address, msg any) (any, error) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return nil, bus.ErrClosed
+	}
+	conn, err := net.DialTimeout("tcp", string(to), e.net.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", bus.ErrUnreachable, to, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(e.net.callTimeout))
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&envelope{From: e.addr, Payload: msg}); err != nil {
+		return nil, fmt.Errorf("tcpbus: encoding request to %s: %w", to, err)
+	}
+	var rep reply
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("tcpbus: reading reply from %s: %w", to, err)
+	}
+	if rep.IsErr {
+		return nil, &bus.RemoteError{Msg: rep.Err}
+	}
+	return rep.Payload, nil
+}
+
+// Close implements bus.Endpoint.
+func (e *endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	e.mu.Unlock()
+	err := e.ln.Close()
+	e.wg.Wait()
+	return err
+}

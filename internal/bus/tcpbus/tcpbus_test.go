@@ -1,0 +1,185 @@
+package tcpbus
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"whopay/internal/bus"
+)
+
+type testMsg struct {
+	Kind string
+	N    int
+}
+
+func init() {
+	RegisterType(testMsg{})
+	RegisterType("")
+	RegisterType(0)
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := New()
+	srv, err := n.Listen("127.0.0.1:0", func(from bus.Address, msg any) (any, error) {
+		m, ok := msg.(testMsg)
+		if !ok {
+			return nil, errors.New("bad type")
+		}
+		m.N++
+		return m, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	resp, err := cli.Call(srv.Addr(), testMsg{Kind: "inc", N: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := resp.(testMsg)
+	if !ok || got.N != 42 {
+		t.Fatalf("resp = %#v", resp)
+	}
+}
+
+func TestFromAddressDelivered(t *testing.T) {
+	n := New()
+	var gotFrom bus.Address
+	srv, err := n.Listen("127.0.0.1:0", func(from bus.Address, msg any) (any, error) {
+		gotFrom = from
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Call(srv.Addr(), testMsg{}); err != nil {
+		t.Fatal(err)
+	}
+	if gotFrom != cli.Addr() {
+		t.Fatalf("from = %s, want %s", gotFrom, cli.Addr())
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	n := New()
+	srv, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) {
+		return nil, errors.New("coin not valid")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, err = cli.Call(srv.Addr(), testMsg{})
+	var remote *bus.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("got %v, want RemoteError", err)
+	}
+	if !strings.Contains(remote.Msg, "coin not valid") {
+		t.Fatalf("Msg = %q", remote.Msg)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	n := New(WithDialTimeout(200 * time.Millisecond))
+	cli, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Port 1 on localhost: connection refused.
+	if _, err := cli.Call("127.0.0.1:1", testMsg{}); !errors.Is(err, bus.ErrUnreachable) {
+		t.Fatalf("got %v, want ErrUnreachable", err)
+	}
+}
+
+func TestClosedEndpointRejectsCalls(t *testing.T) {
+	n := New()
+	srv, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) { return "ok", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Call(srv.Addr(), testMsg{}); !errors.Is(err, bus.ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Server is gone; new calls fail as unreachable.
+	cli2, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli2.Close()
+	if _, err := cli2.Call(srv.Addr(), testMsg{}); !errors.Is(err, bus.ErrUnreachable) {
+		t.Fatalf("got %v, want ErrUnreachable", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := New()
+	srv, err := n.Listen("127.0.0.1:0", func(from bus.Address, msg any) (any, error) {
+		return msg, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	const workers, each = 4, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				resp, err := cli.Call(srv.Addr(), testMsg{Kind: "c", N: w*1000 + i})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.(testMsg).N != w*1000+i {
+					t.Errorf("mismatched response")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	n := New()
+	if _, err := n.Listen("127.0.0.1:0", nil); err == nil {
+		t.Fatal("Listen accepted nil handler")
+	}
+}

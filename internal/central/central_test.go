@@ -1,0 +1,153 @@
+package central
+
+import (
+	"testing"
+
+	"whopay/internal/bus"
+	"whopay/internal/core"
+	"whopay/internal/sig"
+)
+
+type fixture struct {
+	net    *bus.Memory
+	scheme sig.Scheme
+	dir    *core.Directory
+	judge  *core.Judge
+	broker *Broker
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{net: bus.NewMemory(), scheme: sig.NewNull(4000), dir: core.NewDirectory()}
+	judge, err := core.NewJudge(f.scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.judge = judge
+	broker, err := NewBroker(BrokerConfig{
+		Network: f.net, Addr: "central-broker", Scheme: f.scheme,
+		Directory: f.dir, GroupPub: judge.GroupPublicKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.broker = broker
+	t.Cleanup(func() { broker.Close() })
+	return f
+}
+
+func (f *fixture) addClient(t *testing.T, id string) *Client {
+	t.Helper()
+	c, err := NewClient(id, f.net, f.scheme, nil, f.dir, "central-broker", f.judge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestCentralLifecycle(t *testing.T) {
+	f := newFixture(t)
+	a := f.addClient(t, "alice")
+	b := f.addClient(t, "bob")
+	id, err := a.Buy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Pay(b.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	held := b.Held()
+	if len(held) != 1 || held[0] != id {
+		t.Fatalf("bob holds %v", held)
+	}
+	if err := b.Redeem(id, "bob-ref"); err != nil {
+		t.Fatal(err)
+	}
+	if f.broker.Balance("bob-ref") != 1 {
+		t.Fatalf("balance = %d", f.broker.Balance("bob-ref"))
+	}
+}
+
+// TestCentralBrokerServicesAllTransfers: the defining property — and flaw
+// — of the centralized design.
+func TestCentralBrokerServicesAllTransfers(t *testing.T) {
+	f := newFixture(t)
+	a := f.addClient(t, "alice")
+	b := f.addClient(t, "bob")
+	c := f.addClient(t, "carol")
+	const n = 5
+	for i := 0; i < n; i++ {
+		id, err := a.Buy(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Pay(b.Addr(), id); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Pay(c.Addr(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.broker.Ops().Get(core.OpTransfer); got != 2*n {
+		t.Fatalf("broker transfers = %d, want %d (all of them)", got, 2*n)
+	}
+}
+
+// TestCentralDoubleSpendRejected: the ledger's sequence check stops stale
+// holders.
+func TestCentralDoubleSpendRejected(t *testing.T) {
+	f := newFixture(t)
+	a := f.addClient(t, "alice")
+	b := f.addClient(t, "bob")
+	c := f.addClient(t, "carol")
+	id, err := a.Buy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep a's holder state, pay b, then replay toward c.
+	a.mu.Lock()
+	stale := a.held[id]
+	a.mu.Unlock()
+	if err := a.Pay(b.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	a.held[id] = stale
+	a.mu.Unlock()
+	if err := a.Pay(c.Addr(), id); err == nil {
+		t.Fatal("double spend accepted")
+	}
+}
+
+// TestCentralFairness: the judge opens a move's group signature.
+func TestCentralFairness(t *testing.T) {
+	f := newFixture(t)
+	a := f.addClient(t, "alice")
+	b := f.addClient(t, "bob")
+	id, err := a.Buy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the move request by hand so we can open its signature.
+	a.mu.Lock()
+	cc := a.held[id]
+	a.mu.Unlock()
+	raw, err := a.ep.Call(b.Addr(), receiveKey{Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk := raw.(receivedKey)
+	msg := moveMessage(cc.c.Pub, rk.HolderPub, cc.seq)
+	gs, err := a.member.Sign(a.suite, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity, err := f.judge.Open(msg, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if identity != "alice" {
+		t.Fatalf("judge opened %q", identity)
+	}
+}

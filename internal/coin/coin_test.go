@@ -1,0 +1,302 @@
+package coin
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"whopay/internal/sig"
+)
+
+var testTime = time.Unix(1_700_000_000, 0)
+
+func testSetup(t *testing.T) (sig.Suite, sig.KeyPair, sig.KeyPair) {
+	t.Helper()
+	suite := sig.Suite{Scheme: sig.NewNull(300)}
+	broker, err := suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coinKey, err := suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return suite, broker, coinKey
+}
+
+func mintCoin(t *testing.T, suite sig.Suite, broker, coinKey sig.KeyPair, owner string) *Coin {
+	t.Helper()
+	c := &Coin{Owner: owner, Pub: coinKey.Public.Clone(), Value: 1}
+	var err error
+	c.Sig, err = suite.Sign(broker.Private, c.Message())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCoinVerify(t *testing.T) {
+	suite, broker, coinKey := testSetup(t)
+	c := mintCoin(t, suite, broker, coinKey, "alice")
+	if err := c.Verify(suite, broker.Public); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if c.Anonymous() {
+		t.Fatal("owned coin reported anonymous")
+	}
+	if c.ID().Pub().String() != coinKey.Public.String() {
+		t.Fatal("ID round trip failed")
+	}
+}
+
+func TestCoinTamperDetection(t *testing.T) {
+	suite, broker, coinKey := testSetup(t)
+	base := mintCoin(t, suite, broker, coinKey, "alice")
+	tests := map[string]func(*Coin){
+		"owner":  func(c *Coin) { c.Owner = "mallory" },
+		"value":  func(c *Coin) { c.Value = 1000 },
+		"pub":    func(c *Coin) { c.Pub[0] ^= 0xff },
+		"handle": func(c *Coin) { c.Handle = []byte{1} },
+	}
+	for name, mutate := range tests {
+		t.Run(name, func(t *testing.T) {
+			c := base.Clone()
+			mutate(c)
+			if err := c.Verify(suite, broker.Public); !errors.Is(err, ErrBadCoin) {
+				t.Fatalf("got %v, want ErrBadCoin", err)
+			}
+		})
+	}
+}
+
+func TestCoinStructuralValidation(t *testing.T) {
+	suite, broker, coinKey := testSetup(t)
+	c := mintCoin(t, suite, broker, coinKey, "alice")
+	c.Value = 0
+	if err := c.Verify(suite, broker.Public); !errors.Is(err, ErrBadCoin) {
+		t.Fatalf("zero value = %v, want ErrBadCoin", err)
+	}
+	empty := &Coin{Value: 1}
+	if err := empty.Verify(suite, broker.Public); !errors.Is(err, ErrBadCoin) {
+		t.Fatalf("empty key = %v, want ErrBadCoin", err)
+	}
+}
+
+func TestAnonymousCoin(t *testing.T) {
+	suite, broker, coinKey := testSetup(t)
+	c := &Coin{Handle: []byte("handle-key"), Pub: coinKey.Public, Value: 1}
+	var err error
+	c.Sig, err = suite.Sign(broker.Private, c.Message())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Anonymous() {
+		t.Fatal("anonymous coin not detected")
+	}
+	if err := c.Verify(suite, broker.Public); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func signBinding(t *testing.T, suite sig.Suite, signer sig.PrivateKey, b *Binding) *Binding {
+	t.Helper()
+	var err error
+	b.Sig, err = suite.Sign(signer, b.Message())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBindingByCoinKey(t *testing.T) {
+	suite, broker, coinKey := testSetup(t)
+	holder, err := suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := signBinding(t, suite, coinKey.Private, &Binding{
+		CoinPub: coinKey.Public,
+		Holder:  holder.Public,
+		Seq:     7,
+		Expiry:  testTime.Add(72 * time.Hour).Unix(),
+	})
+	if err := b.Verify(suite, broker.Public, testTime); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestBindingByBroker(t *testing.T) {
+	suite, broker, coinKey := testSetup(t)
+	holder, err := suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := signBinding(t, suite, broker.Private, &Binding{
+		CoinPub:  coinKey.Public,
+		Holder:   holder.Public,
+		Seq:      8,
+		Expiry:   testTime.Add(72 * time.Hour).Unix(),
+		ByBroker: true,
+	})
+	if err := b.Verify(suite, broker.Public, testTime); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// The same binding claimed as coin-key-signed must fail: the flag is
+	// part of the signed message.
+	b2 := b.Clone()
+	b2.ByBroker = false
+	if err := b2.Verify(suite, broker.Public, testTime); !errors.Is(err, ErrBadBinding) {
+		t.Fatalf("flag flip = %v, want ErrBadBinding", err)
+	}
+}
+
+func TestBindingExpiry(t *testing.T) {
+	suite, broker, coinKey := testSetup(t)
+	holder, err := suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := signBinding(t, suite, coinKey.Private, &Binding{
+		CoinPub: coinKey.Public,
+		Holder:  holder.Public,
+		Seq:     1,
+		Expiry:  testTime.Add(-time.Hour).Unix(),
+	})
+	if err := b.Verify(suite, broker.Public, testTime); !errors.Is(err, ErrExpired) {
+		t.Fatalf("got %v, want ErrExpired", err)
+	}
+	// Zero time skips the expiry check (historical evidence).
+	if err := b.Verify(suite, broker.Public, time.Time{}); err != nil {
+		t.Fatalf("zero-time verify: %v", err)
+	}
+}
+
+func TestBindingTamperDetection(t *testing.T) {
+	suite, broker, coinKey := testSetup(t)
+	holder, err := suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Binding {
+		return signBinding(t, suite, coinKey.Private, &Binding{
+			CoinPub: coinKey.Public,
+			Holder:  holder.Public,
+			Seq:     3,
+			Expiry:  testTime.Add(72 * time.Hour).Unix(),
+		})
+	}
+	tests := map[string]func(*Binding){
+		"seq":    func(b *Binding) { b.Seq++ },
+		"holder": func(b *Binding) { b.Holder[0] ^= 1 },
+		"expiry": func(b *Binding) { b.Expiry += 3600 },
+	}
+	for name, mutate := range tests {
+		t.Run(name, func(t *testing.T) {
+			b := mk()
+			mutate(b)
+			if err := b.Verify(suite, broker.Public, testTime); !errors.Is(err, ErrBadBinding) {
+				t.Fatalf("got %v, want ErrBadBinding", err)
+			}
+		})
+	}
+}
+
+func TestVerifyForPinsCoin(t *testing.T) {
+	suite, broker, coinKey := testSetup(t)
+	c := mintCoin(t, suite, broker, coinKey, "alice")
+	otherKey, err := suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	holder, err := suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := signBinding(t, suite, otherKey.Private, &Binding{
+		CoinPub: otherKey.Public,
+		Holder:  holder.Public,
+		Seq:     1,
+		Expiry:  testTime.Add(time.Hour).Unix(),
+	})
+	if err := b.VerifyFor(suite, c, broker.Public, testTime); !errors.Is(err, ErrWrongCoin) {
+		t.Fatalf("got %v, want ErrWrongCoin", err)
+	}
+}
+
+func TestBindingEqual(t *testing.T) {
+	suite, _, coinKey := testSetup(t)
+	holder, err := suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := signBinding(t, suite, coinKey.Private, &Binding{
+		CoinPub: coinKey.Public, Holder: holder.Public, Seq: 1, Expiry: 99,
+	})
+	if !b.Equal(b.Clone()) {
+		t.Fatal("clone not Equal")
+	}
+	mut := b.Clone()
+	mut.Seq++
+	if b.Equal(mut) {
+		t.Fatal("Equal missed a seq change")
+	}
+	var nilB *Binding
+	if nilB.Equal(b) || b.Equal(nil) {
+		t.Fatal("nil comparisons wrong")
+	}
+	if !nilB.Equal(nil) {
+		t.Fatal("nil/nil should be equal")
+	}
+}
+
+func TestTransferBodyMessageUnambiguous(t *testing.T) {
+	// Field-boundary ambiguity check: moving a byte between adjacent
+	// variable-length fields must change the message.
+	a := &TransferBody{CoinPub: sig.PublicKey("AB"), NewHolder: sig.PublicKey("C"), Nonce: []byte("n")}
+	b := &TransferBody{CoinPub: sig.PublicKey("A"), NewHolder: sig.PublicKey("BC"), Nonce: []byte("n")}
+	if string(a.Message()) == string(b.Message()) {
+		t.Fatal("encoding is ambiguous across field boundaries")
+	}
+}
+
+func TestMessagesDomainSeparated(t *testing.T) {
+	// A coin message must never collide with a binding or challenge
+	// message even with adversarial field contents.
+	c := &Coin{Owner: "x", Pub: sig.PublicKey("k"), Value: 1}
+	b := &Binding{CoinPub: sig.PublicKey("k"), Holder: sig.PublicKey("x"), Seq: 1}
+	ch := ChallengeMessage(sig.PublicKey("k"), []byte("x"))
+	msgs := [][]byte{c.Message(), b.Message(), ch}
+	for i := range msgs {
+		for j := i + 1; j < len(msgs); j++ {
+			if string(msgs[i]) == string(msgs[j]) {
+				t.Fatalf("messages %d and %d collide", i, j)
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	suite, broker, coinKey := testSetup(t)
+	c := mintCoin(t, suite, broker, coinKey, "alice")
+	clone := c.Clone()
+	clone.Sig[0] ^= 0xff
+	clone.Pub[0] ^= 0xff
+	if err := c.Verify(suite, broker.Public); err != nil {
+		t.Fatalf("mutating clone corrupted original: %v", err)
+	}
+}
+
+// TestBindingMessageInjective: distinct (seq, expiry, byBroker) triples give
+// distinct messages.
+func TestBindingMessageInjective(t *testing.T) {
+	f := func(seq1, seq2 uint64, exp1, exp2 int64, bb1, bb2 bool) bool {
+		b1 := &Binding{CoinPub: sig.PublicKey("c"), Holder: sig.PublicKey("h"), Seq: seq1, Expiry: exp1, ByBroker: bb1}
+		b2 := &Binding{CoinPub: sig.PublicKey("c"), Holder: sig.PublicKey("h"), Seq: seq2, Expiry: exp2, ByBroker: bb2}
+		same := seq1 == seq2 && exp1 == exp2 && bb1 == bb2
+		return (string(b1.Message()) == string(b2.Message())) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package coin
+
+import (
+	"bytes"
+	"testing"
+
+	"whopay/internal/sig"
+)
+
+// FuzzUnmarshalBinding exercises the one parser that consumes bytes from
+// untrusted sources (DHT record values). It must never panic, and anything
+// it accepts must re-marshal to the same bytes (canonical form).
+func FuzzUnmarshalBinding(f *testing.F) {
+	seed := (&Binding{
+		CoinPub:  sig.PublicKey("coin-key"),
+		Holder:   sig.PublicKey("holder"),
+		Seq:      7,
+		Expiry:   1_700_000_000,
+		ByBroker: true,
+		Sig:      []byte("sig"),
+	}).Marshal()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add(seed[:len(seed)-1])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := UnmarshalBinding(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(b.Marshal(), data) {
+			t.Fatalf("accepted non-canonical encoding: %x", data)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package coin
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"whopay/internal/sig"
+)
+
+// ErrBadEncoding is returned by Unmarshal functions for malformed input.
+var ErrBadEncoding = errors.New("coin: malformed encoding")
+
+// Marshal serializes the binding, including its signature, in the canonical
+// length-prefixed form. This is the value peers publish to the DHT's public
+// binding list.
+func (b *Binding) Marshal() []byte {
+	var out []byte
+	out = appendBytes(out, b.CoinPub)
+	out = appendBytes(out, b.Holder)
+	out = binary.BigEndian.AppendUint64(out, b.Seq)
+	out = binary.BigEndian.AppendUint64(out, uint64(b.Expiry))
+	if b.ByBroker {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = appendBytes(out, b.Sig)
+	return out
+}
+
+// UnmarshalBinding parses a binding serialized with Marshal. The result's
+// signature still needs verification.
+func UnmarshalBinding(data []byte) (*Binding, error) {
+	b := &Binding{}
+	var err error
+	var raw []byte
+	if raw, data, err = readBytes(data); err != nil {
+		return nil, fmt.Errorf("%w: coin pub: %v", ErrBadEncoding, err)
+	}
+	b.CoinPub = sig.PublicKey(raw)
+	if raw, data, err = readBytes(data); err != nil {
+		return nil, fmt.Errorf("%w: holder: %v", ErrBadEncoding, err)
+	}
+	b.Holder = sig.PublicKey(raw)
+	if len(data) < 17 {
+		return nil, fmt.Errorf("%w: truncated fixed fields", ErrBadEncoding)
+	}
+	b.Seq = binary.BigEndian.Uint64(data[:8])
+	b.Expiry = int64(binary.BigEndian.Uint64(data[8:16]))
+	switch data[16] {
+	case 0:
+	case 1:
+		b.ByBroker = true
+	default:
+		return nil, fmt.Errorf("%w: bad flag byte", ErrBadEncoding)
+	}
+	data = data[17:]
+	if raw, data, err = readBytes(data); err != nil {
+		return nil, fmt.Errorf("%w: signature: %v", ErrBadEncoding, err)
+	}
+	b.Sig = raw
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadEncoding)
+	}
+	return b, nil
+}
+
+func readBytes(data []byte) (field, rest []byte, err error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 || n > uint64(len(data)-used) {
+		return nil, nil, errors.New("bad length prefix")
+	}
+	return append([]byte(nil), data[used:used+int(n)]...), data[used+int(n):], nil
+}

@@ -1,0 +1,99 @@
+package coin
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"whopay/internal/sig"
+)
+
+func TestBindingMarshalRoundTrip(t *testing.T) {
+	b := &Binding{
+		CoinPub:  sig.PublicKey("coin-key"),
+		Holder:   sig.PublicKey("holder-key"),
+		Seq:      42,
+		Expiry:   1_700_000_999,
+		ByBroker: true,
+		Sig:      []byte("signature-bytes"),
+	}
+	got, err := UnmarshalBinding(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(b) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, b)
+	}
+}
+
+// TestBindingMarshalProperty: arbitrary field contents round-trip exactly.
+func TestBindingMarshalProperty(t *testing.T) {
+	f := func(coinPub, holder, sigBytes []byte, seq uint64, expiry int64, byBroker bool) bool {
+		b := &Binding{
+			CoinPub:  sig.PublicKey(coinPub),
+			Holder:   sig.PublicKey(holder),
+			Seq:      seq,
+			Expiry:   expiry,
+			ByBroker: byBroker,
+			Sig:      sigBytes,
+		}
+		got, err := UnmarshalBinding(b.Marshal())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.CoinPub, b.CoinPub) &&
+			bytes.Equal(got.Holder, b.Holder) &&
+			bytes.Equal(got.Sig, b.Sig) &&
+			got.Seq == b.Seq && got.Expiry == b.Expiry && got.ByBroker == b.ByBroker
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnmarshalGarbage: malformed inputs error instead of panicking.
+func TestUnmarshalGarbage(t *testing.T) {
+	good := (&Binding{
+		CoinPub: sig.PublicKey("c"), Holder: sig.PublicKey("h"),
+		Seq: 1, Expiry: 2, Sig: []byte("s"),
+	}).Marshal()
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated":      good[:len(good)/2],
+		"trailing":       append(append([]byte{}, good...), 0xFF),
+		"huge length":    {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01},
+		"bad flag":       corruptFlag(good),
+		"single byte":    {7},
+		"only varint":    {2},
+		"negative-style": {0x80},
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := UnmarshalBinding(data); err == nil {
+				t.Fatalf("accepted %q", name)
+			}
+		})
+	}
+}
+
+// TestUnmarshalFuzzSafety: random byte strings never panic.
+func TestUnmarshalFuzzSafety(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = UnmarshalBinding(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func corruptFlag(good []byte) []byte {
+	out := append([]byte{}, good...)
+	// The flag byte sits 17 bytes before the signature field; locate it
+	// from the back: sig = len-prefix(1) + 1 byte here, so flag is at
+	// len-3 for this fixture.
+	if len(out) >= 3 {
+		out[len(out)-3] = 9
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"whopay/internal/bus"
+	"whopay/internal/sig"
+)
+
+// TestBrokerFlavorTwoBitComparison: after a first downtime operation the
+// broker holds the coin's binding, so the next downtime operation verifies
+// the presented binding by bit-comparison alone — the paper's "flavor two"
+// — with no extra signature verification of the binding.
+func TestBrokerFlavorTwoBitComparison(t *testing.T) {
+	var bRec sig.Counter
+	f := newFixtureWithBrokerRecorder(t, &bRec)
+	u := f.addPeer("u", nil)
+	v := f.addPeer("v", nil)
+	w := f.addPeer("w", nil)
+	id, err := u.Purchase(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo(v.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	u.GoOffline()
+	// First downtime op: flavor one (verify the owner-signed binding).
+	if err := v.TransferViaBroker(w.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	flavor1 := bRec.Snapshot()
+	// Second downtime op: the broker now has state; flavor two.
+	if err := w.TransferViaBroker(v.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	flavor2 := bRec.Snapshot()
+
+	// Flavor one verifies holder sig + group sig + presented binding =
+	// 2 regular verifies; flavor two skips the binding verification =
+	// 1 regular verify.
+	v1 := flavor1.Verifies
+	v2 := flavor2.Verifies - flavor1.Verifies
+	if v2 >= v1 {
+		t.Fatalf("flavor two (%d verifies) not cheaper than flavor one (%d)", v2, v1)
+	}
+}
+
+// TestBrokerBudget: with InitialCredit set, purchases debit and deposits
+// refill; overdrafts are rejected with ErrInsufficientFunds.
+func TestBrokerBudget(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	broker, err := NewBroker(BrokerConfig{
+		Network:       f.net,
+		Addr:          "broker-budget",
+		Scheme:        f.scheme,
+		Clock:         f.clock.Now,
+		Directory:     f.dir,
+		GroupPub:      f.judge.GroupPublicKey(),
+		InitialCredit: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { broker.Close() })
+	f.broker = broker
+
+	buyer := f.addPeer("buyer", nil)
+	payee := f.addPeer("payee", nil)
+	if _, err := buyer.Purchase(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buyer.Purchase(1, false); err != nil {
+		t.Fatal(err)
+	}
+	// Budget exhausted.
+	_, err = buyer.Purchase(1, false)
+	var remote *bus.RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Msg, "insufficient") {
+		t.Fatalf("overdraft = %v, want insufficient funds", err)
+	}
+	if broker.Balance("buyer") != 0 {
+		t.Fatalf("balance = %d", broker.Balance("buyer"))
+	}
+	// Issue one coin to the payee; the payee deposits it to its own
+	// account and can then purchase.
+	ids := buyer.SelfHeldCoins()
+	if err := buyer.IssueTo(payee.Addr(), ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	heldID := payee.HeldCoins()[0]
+	if err := payee.Deposit(heldID, "payee"); err != nil {
+		t.Fatal(err)
+	}
+	if broker.Balance("payee") != 3 { // 2 initial + 1 deposit
+		t.Fatalf("payee balance = %d", broker.Balance("payee"))
+	}
+	if _, err := payee.Purchase(1, false); err != nil {
+		t.Fatalf("funded purchase: %v", err)
+	}
+	// Policy-level integration: a broke payer with an offline coin falls
+	// through purchase-issue to deposit-purchase-issue even under
+	// policy I-style preference... (policy I lacks the deposit method,
+	// so it simply fails; policy III succeeds).
+	u2 := f.addPeer("owner2", nil)
+	broke := f.addPeer("broke", nil)
+	id2, err := u2.Purchase(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u2.IssueTo(broke.Addr(), id2); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust broke's budget and wallet: buy both allowed coins and
+	// issue them away, leaving only the offline-owner coin.
+	for i := 0; i < 2; i++ {
+		bid, err := broke.Purchase(1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := broke.IssueTo(payee.Addr(), bid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u2.GoOffline()
+	method, err := broke.Pay(payee.Addr(), 1, PolicyIII)
+	if err != nil {
+		t.Fatalf("policy III broke payment: %v", err)
+	}
+	if method != MethodDepositPurchaseIssue {
+		t.Fatalf("method = %v, want deposit-purchase-issue", method)
+	}
+}
+
+// TestPolicyIIbNeverUsesBrokerUntilLast: II.b prefers buying over downtime
+// transfers.
+func TestPolicyIIbNeverUsesBrokerUntilLast(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	owner := f.addPeer("owner", nil)
+	payer := f.addPeer("payer", nil)
+	payee := f.addPeer("payee", nil)
+	id, err := owner.Purchase(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.IssueTo(payer.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	owner.GoOffline()
+	// II.b: transfer-online (no), issue-existing (no), purchase-issue
+	// (yes) — never touches the downtime path here.
+	f.pay(payer, payee, PolicyIIb, MethodPurchaseIssue)
+	if f.broker.Ops().Get(OpDowntimeTransfer) != 0 {
+		t.Fatal("II.b used a downtime transfer prematurely")
+	}
+	// But with purchasing impossible (frozen), II.b does fall back to
+	// the broker transfer.
+	f.broker.Freeze("payer")
+	f.pay(payer, payee, PolicyIIb, MethodTransferViaBroker)
+}
+
+// TestBrokerRejectsUnknownMessage covers the default dispatch arm.
+func TestBrokerRejectsUnknownMessage(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	ep, err := f.net.Listen("stranger", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := ep.Call(f.broker.Addr(), 42); err == nil {
+		t.Fatal("broker accepted an unknown message type")
+	}
+}
+
+// TestPeerRejectsUnknownMessage covers the peer's default dispatch arm.
+func TestPeerRejectsUnknownMessage(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	p := f.addPeer("p", nil)
+	ep, err := f.net.Listen("stranger", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := ep.Call(p.Addr(), "gibberish"); err == nil {
+		t.Fatal("peer accepted an unknown message type")
+	}
+}
+
+// TestDepositUnknownCoin and double-spend of never-issued coins.
+func TestDepositUnknownCoin(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	v := f.addPeer("v", nil)
+	if err := v.Deposit("no-such-coin", "ref"); !errors.Is(err, ErrUnknownCoin) {
+		t.Fatalf("got %v, want ErrUnknownCoin", err)
+	}
+}
+
+// TestTransferUnknownCoin covers payer-side validation.
+func TestTransferUnknownCoin(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	v := f.addPeer("v", nil)
+	w := f.addPeer("w", nil)
+	if err := v.TransferTo(w.Addr(), "no-such-coin"); !errors.Is(err, ErrUnknownCoin) {
+		t.Fatalf("got %v, want ErrUnknownCoin", err)
+	}
+	if _, err := v.Renew("no-such-coin"); !errors.Is(err, ErrUnknownCoin) {
+		t.Fatalf("got %v, want ErrUnknownCoin", err)
+	}
+}
+
+// TestIssueRequiresSelfHeld: an owner cannot re-issue an already-issued
+// coin.
+func TestIssueRequiresSelfHeld(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	u := f.addPeer("u", nil)
+	v := f.addPeer("v", nil)
+	w := f.addPeer("w", nil)
+	id, err := u.Purchase(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo(v.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo(w.Addr(), id); err == nil {
+		t.Fatal("double issue via IssueTo succeeded")
+	}
+}
+
+// TestBatchPurchase: one round-trip, one signature, n coins.
+func TestBatchPurchase(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	var rec sig.Counter
+	u := f.addPeer("u", &rec)
+	v := f.addPeer("v", nil)
+	ids, err := u.PurchaseBatch(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 5 || len(u.SelfHeldCoins()) != 5 {
+		t.Fatalf("batch = %d coins", len(ids))
+	}
+	// Cost: 5 keygens but only ONE signature and 5 verifies.
+	snap := rec.Snapshot()
+	if snap.Signs != 1 || snap.KeyGens != 5 {
+		t.Fatalf("batch micro-ops = %+v", snap)
+	}
+	// One purchase op, not five.
+	if f.broker.Ops().Get(OpPurchase) != 1 {
+		t.Fatalf("purchases = %d", f.broker.Ops().Get(OpPurchase))
+	}
+	// The coins are ordinary coins: issue one end to end.
+	if err := u.IssueTo(v.Addr(), ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if v.HeldValue() != 1 {
+		t.Fatal("batch coin not spendable")
+	}
+	if f.broker.IssuedValue() != 5 {
+		t.Fatalf("issued value = %d", f.broker.IssuedValue())
+	}
+}
+
+// TestBatchPurchaseValidation: bad batches bounce.
+func TestBatchPurchaseValidation(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	u := f.addPeer("u", nil)
+	if _, err := u.PurchaseBatch(0, 1); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := u.PurchaseBatch(3, -1); err == nil {
+		t.Fatal("negative value accepted")
+	}
+	f.broker.Freeze("u")
+	if _, err := u.PurchaseBatch(2, 1); err == nil {
+		t.Fatal("frozen buyer batched")
+	}
+}
+
+// TestBatchPurchaseBudget: the batch debits value × n.
+func TestBatchPurchaseBudget(t *testing.T) {
+	var rec sig.Counter
+	f := newFixtureWithBrokerRecorder(t, &rec)
+	broker, err := NewBroker(BrokerConfig{
+		Network:       f.net,
+		Addr:          "broker3",
+		Scheme:        f.scheme,
+		Clock:         f.clock.Now,
+		Directory:     f.dir,
+		GroupPub:      f.judge.GroupPublicKey(),
+		InitialCredit: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { broker.Close() })
+	f.broker = broker
+	u := f.addPeer("u", nil)
+	if _, err := u.PurchaseBatch(4, 1); err == nil {
+		t.Fatal("overdraft batch accepted")
+	}
+	if _, err := u.PurchaseBatch(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if broker.Balance("u") != 0 {
+		t.Fatalf("balance = %d", broker.Balance("u"))
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPayments hammers the system from many goroutines at once:
+// concurrent purchases, issues, transfers and deposits across a shared
+// broker and DHT. Run under -race this validates the locking discipline of
+// every entity; the conservation check validates the protocol under
+// interleaving.
+func TestConcurrentPayments(t *testing.T) {
+	f := newFixture(t, fixtureOpts{detection: true})
+	const n = 6
+	peers := make([]*Peer, n)
+	for i := range peers {
+		peers[i] = f.addPeer(fmt.Sprintf("c%d", i), nil)
+	}
+	// Seed every peer with a coin so transfers dominate.
+	for i, p := range peers {
+		id, err := p.Purchase(1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.IssueTo(peers[(i+1)%n].Addr(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const perPeer = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, n*perPeer)
+	for i := range peers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < perPeer; k++ {
+				payee := peers[(i+1+k%(n-1))%n]
+				if _, err := peers[i].Pay(payee.Addr(), 1, PolicyI); err != nil {
+					errs <- fmt.Errorf("peer %d pay %d: %w", i, k, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		// Concurrent transfers of the SAME coin can race benignly
+		// (one wins, the other retries through policy fallback and
+		// purchases); a hard failure here means the fallback chain
+		// itself broke.
+		t.Error(err)
+	}
+
+	// Conservation under concurrency.
+	var circulating int64
+	for _, p := range peers {
+		circulating += p.HeldValue()
+		p.mu.Lock()
+		for _, oc := range p.owned {
+			if oc.selfHeld {
+				circulating += oc.c.Value
+			}
+		}
+		p.mu.Unlock()
+	}
+	if minted := f.broker.IssuedValue(); minted != f.broker.DepositedValue()+circulating {
+		t.Fatalf("value leak under concurrency: minted %d, redeemed %d, circulating %d",
+			minted, f.broker.DepositedValue(), circulating)
+	}
+}
+
+// TestConcurrentDoubleSpendRace: two transfer requests citing the same
+// sequence number race each other; per-coin service serialization
+// guarantees at most one succeeds — the TOCTOU double spend is impossible.
+func TestConcurrentDoubleSpendRace(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		f := newFixture(t, fixtureOpts{})
+		u := f.addPeer(fmt.Sprintf("u%d", round), nil)
+		v := f.addPeer(fmt.Sprintf("v%d", round), nil)
+		w := f.addPeer(fmt.Sprintf("w%d", round), nil)
+		x := f.addPeer(fmt.Sprintf("x%d", round), nil)
+
+		id, err := u.Purchase(1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u.IssueTo(v.Addr(), id); err != nil {
+			t.Fatal(err)
+		}
+		// Build two racing transfer requests from the same holder state.
+		v.mu.Lock()
+		hc := v.held[id]
+		v.mu.Unlock()
+		buildReq := func(payee *Peer) TransferRequest {
+			resp, err := v.ep.Call(payee.Addr(), OfferRequest{Value: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			req, err := v.buildTransfer(hc, payee.Addr(), resp.(OfferResponse))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return req
+		}
+		reqW := buildReq(w)
+		reqX := buildReq(x)
+
+		var wg sync.WaitGroup
+		results := make([]error, 2)
+		for i, req := range []TransferRequest{reqW, reqX} {
+			wg.Add(1)
+			go func(i int, req TransferRequest) {
+				defer wg.Done()
+				raw, err := v.callOwner(hc.c, req)
+				if err != nil {
+					results[i] = err
+					return
+				}
+				if tr := raw.(TransferResponse); !tr.OK {
+					results[i] = fmt.Errorf("refused: %s", tr.Reason)
+				}
+			}(i, req)
+		}
+		wg.Wait()
+
+		wins := 0
+		for _, err := range results {
+			if err == nil {
+				wins++
+			}
+		}
+		if wins > 1 {
+			t.Fatalf("round %d: both racing transfers succeeded — double spend", round)
+		}
+		// Exactly one payee may hold the coin.
+		holders := len(w.HeldCoins()) + len(x.HeldCoins())
+		if holders > 1 {
+			t.Fatalf("round %d: coin held by %d payees", round, holders)
+		}
+		if wins == 1 && holders != 1 {
+			t.Fatalf("round %d: winner reported but coin lost", round)
+		}
+	}
+}

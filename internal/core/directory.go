@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sync"
+
+	"whopay/internal/bus"
+	"whopay/internal/sig"
+)
+
+// Directory maps user identities to their public keys and bus addresses.
+// It stands in for the PKI the paper assumes ("his identity (e.g., in the
+// form of a public key certificate)") plus a peer locator. It is trusted
+// infrastructure like the broker; in the networked deployment each daemon
+// loads it from configuration. Safe for concurrent use.
+type Directory struct {
+	mu      sync.RWMutex
+	entries map[string]DirEntry
+}
+
+// DirEntry is one registered identity.
+type DirEntry struct {
+	Pub  sig.PublicKey
+	Addr bus.Address
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[string]DirEntry)}
+}
+
+// Register binds identity to its public key and address, replacing any
+// previous entry (peers may re-register after changing address).
+func (d *Directory) Register(identity string, pub sig.PublicKey, addr bus.Address) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[identity] = DirEntry{Pub: pub.Clone(), Addr: addr}
+}
+
+// Lookup returns the entry for identity.
+func (d *Directory) Lookup(identity string) (DirEntry, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.entries[identity]
+	return e, ok
+}
+
+// Len reports the number of registered identities.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}

@@ -1,0 +1,40 @@
+package core
+
+import "errors"
+
+// Sentinel errors for protocol rejections. Handlers return these; across
+// the bus they surface as *bus.RemoteError with the message preserved.
+var (
+	// ErrUnknownCoin rejects operations on coins the entity never saw.
+	ErrUnknownCoin = errors.New("core: unknown coin")
+	// ErrUnknownIdentity rejects requests naming an unregistered user.
+	ErrUnknownIdentity = errors.New("core: unknown identity")
+	// ErrNotOwner rejects owner-only operations from non-owners.
+	ErrNotOwner = errors.New("core: not the coin owner")
+	// ErrNotHolder rejects holder-only operations when the requester
+	// cannot prove current holdership — the double-spend front line.
+	ErrNotHolder = errors.New("core: requester does not hold the coin")
+	// ErrStaleBinding rejects operations citing an out-of-date binding.
+	ErrStaleBinding = errors.New("core: stale binding")
+	// ErrAlreadyDeposited rejects re-deposit of a spent coin.
+	ErrAlreadyDeposited = errors.New("core: coin already deposited")
+	// ErrFrozen rejects operations by punished identities.
+	ErrFrozen = errors.New("core: identity frozen for fraud")
+	// ErrBadRequest rejects malformed or unverifiable requests.
+	ErrBadRequest = errors.New("core: bad request")
+	// ErrInsufficientFunds rejects purchases beyond the buyer's account
+	// balance (when the broker enforces budgets).
+	ErrInsufficientFunds = errors.New("core: insufficient funds")
+	// ErrNoOffer rejects deliveries that match no outstanding offer.
+	ErrNoOffer = errors.New("core: no matching payment offer")
+	// ErrCoinBusy rejects a request for a coin that is mid-service
+	// (another transfer or renewal is in flight); retry.
+	ErrCoinBusy = errors.New("core: coin busy, retry")
+	// ErrNoCoinAvailable reports that a payment policy found no coin for
+	// the chosen method.
+	ErrNoCoinAvailable = errors.New("core: no coin available for payment method")
+	// ErrPaymentFailed reports that every method in the policy failed.
+	ErrPaymentFailed = errors.New("core: all payment methods failed")
+	// ErrDetectionOff reports a detection API used without a DHT.
+	ErrDetectionOff = errors.New("core: double-spending detection not configured")
+)

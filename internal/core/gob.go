@@ -1,0 +1,34 @@
+package core
+
+import (
+	"whopay/internal/bus/tcpbus"
+	"whopay/internal/dht"
+	"whopay/internal/indirect"
+)
+
+// RegisterWireTypes registers every protocol message with the gob-based TCP
+// transport. Call once before using tcpbus endpoints; the in-memory bus
+// does not need it.
+func RegisterWireTypes() {
+	for _, v := range []any{
+		PurchaseRequest{}, PurchaseResponse{},
+		BatchPurchaseRequest{}, BatchPurchaseResponse{},
+		EnrollRequest{}, EnrollResponse{}, RefillRequest{}, RefillResponse{},
+		OfferRequest{}, OfferResponse{},
+		DeliverRequest{}, DeliverResponse{},
+		TransferRequest{}, TransferResponse{},
+		RenewRequest{}, RenewResponse{},
+		DepositRequest{}, DepositResponse{},
+		LayeredDepositRequest{},
+		SyncRequest{}, SyncResponse{},
+		FraudReport{}, FraudResponse{},
+		DisputeRequest{}, DisputeResponse{},
+		RelinquishProof{},
+		dht.PutMsg{}, dht.GetMsg{}, dht.GetResp{},
+		dht.FindMsg{}, dht.FindResp{},
+		dht.SubMsg{}, dht.Notify{}, dht.Ack{},
+		indirect.RegisterMsg{}, indirect.ForwardMsg{}, indirect.Ack{},
+	} {
+		tcpbus.RegisterType(v)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"whopay/internal/bus"
+	"whopay/internal/groupsig"
+	"whopay/internal/sig"
+)
+
+// Remote enrollment: in single-process deployments peers enroll with an
+// in-process *Judge; multi-process deployments run a JudgeServer and peers
+// enroll over the bus (PeerConfig.JudgeAddr). Credential private keys cross
+// the wire in the response — run the TCP transport over a confidential
+// channel (TLS, WireGuard) in any real deployment.
+
+// EnrollRequest registers an identity with the judge and requests an
+// initial credential pool. The identity's public key is bound on first
+// enrollment (trust-on-first-use); refills must be signed by it.
+type EnrollRequest struct {
+	Identity string
+	PoolSize int
+	Pub      sig.PublicKey
+	Sig      []byte
+}
+
+func enrollMessage(identity string, poolSize int, pub sig.PublicKey) []byte {
+	out := []byte("whopay/msg/enroll/1")
+	out = appendBytes(out, []byte(identity))
+	out = binary.BigEndian.AppendUint32(out, uint32(poolSize))
+	out = appendBytes(out, pub)
+	return out
+}
+
+// EnrollResponse carries the group public key and the member's initial
+// credentials.
+type EnrollResponse struct {
+	GroupPub    sig.PublicKey
+	Credentials []groupsig.IssuedCredential
+}
+
+// RefillRequest tops up a member's credential pool.
+type RefillRequest struct {
+	Identity string
+	N        int
+	Nonce    []byte
+	Sig      []byte
+}
+
+func refillMessage(identity string, n int, nonce []byte) []byte {
+	out := []byte("whopay/msg/refill/1")
+	out = appendBytes(out, []byte(identity))
+	out = binary.BigEndian.AppendUint32(out, uint32(n))
+	out = appendBytes(out, nonce)
+	return out
+}
+
+// RefillResponse carries fresh credentials.
+type RefillResponse struct {
+	Credentials []groupsig.IssuedCredential
+}
+
+// maxCredentialBatch bounds per-request issuance so a compromised member
+// key cannot drain the judge.
+const maxCredentialBatch = 256
+
+// JudgeServer exposes a Judge over the bus.
+type JudgeServer struct {
+	judge  *Judge
+	suite  sig.Suite
+	ep     bus.Endpoint
+	mu     sync.Mutex
+	pubKey map[string]sig.PublicKey // identity -> enrollment key (TOFU)
+}
+
+// NewJudgeServer starts serving judge enrollment at addr.
+func NewJudgeServer(network bus.Network, addr bus.Address, judge *Judge, scheme sig.Scheme) (*JudgeServer, error) {
+	if judge == nil {
+		return nil, errors.New("core: nil judge")
+	}
+	s := &JudgeServer{
+		judge:  judge,
+		suite:  sig.Suite{Scheme: scheme},
+		pubKey: make(map[string]sig.PublicKey),
+	}
+	ep, err := network.Listen(addr, s.handle)
+	if err != nil {
+		return nil, fmt.Errorf("core: judge server listen: %w", err)
+	}
+	s.ep = ep
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *JudgeServer) Addr() bus.Address { return s.ep.Addr() }
+
+// Close stops the server.
+func (s *JudgeServer) Close() error { return s.ep.Close() }
+
+func (s *JudgeServer) handle(from bus.Address, msg any) (any, error) {
+	switch m := msg.(type) {
+	case EnrollRequest:
+		return s.handleEnroll(m)
+	case RefillRequest:
+		return s.handleRefill(m)
+	default:
+		return nil, fmt.Errorf("%w: judge got %T", ErrBadRequest, msg)
+	}
+}
+
+func (s *JudgeServer) handleEnroll(m EnrollRequest) (any, error) {
+	if m.Identity == "" || len(m.Pub) == 0 {
+		return nil, fmt.Errorf("%w: empty identity or key", ErrBadRequest)
+	}
+	if m.PoolSize <= 0 || m.PoolSize > maxCredentialBatch {
+		return nil, fmt.Errorf("%w: pool size %d", ErrBadRequest, m.PoolSize)
+	}
+	if err := s.suite.Verify(m.Pub, enrollMessage(m.Identity, m.PoolSize, m.Pub), m.Sig); err != nil {
+		return nil, fmt.Errorf("%w: enrollment signature: %v", ErrBadRequest, err)
+	}
+	s.mu.Lock()
+	if existing, ok := s.pubKey[m.Identity]; ok && !existing.Equal(m.Pub) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: identity %q already enrolled under a different key", ErrBadRequest, m.Identity)
+	}
+	s.pubKey[m.Identity] = m.Pub.Clone()
+	s.mu.Unlock()
+
+	creds, err := s.judge.mgr.EnrollRemote(m.Identity, m.PoolSize)
+	if err != nil {
+		return nil, err
+	}
+	return EnrollResponse{GroupPub: s.judge.GroupPublicKey(), Credentials: creds}, nil
+}
+
+func (s *JudgeServer) handleRefill(m RefillRequest) (any, error) {
+	if m.N <= 0 || m.N > maxCredentialBatch {
+		return nil, fmt.Errorf("%w: refill size %d", ErrBadRequest, m.N)
+	}
+	s.mu.Lock()
+	pub, ok := s.pubKey[m.Identity]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q not enrolled here", ErrUnknownIdentity, m.Identity)
+	}
+	if err := s.suite.Verify(pub, refillMessage(m.Identity, m.N, m.Nonce), m.Sig); err != nil {
+		return nil, fmt.Errorf("%w: refill signature: %v", ErrBadRequest, err)
+	}
+	creds, err := s.judge.mgr.IssueCredentials(m.Identity, m.N)
+	if err != nil {
+		return nil, err
+	}
+	return RefillResponse{Credentials: creds}, nil
+}
+
+// enrollRemotely performs the peer-side enrollment handshake and builds the
+// member key with a refill RPC back to the judge.
+func (p *Peer) enrollRemotely(judgeAddr bus.Address, poolSize int) (*groupsig.MemberKey, sig.PublicKey, error) {
+	req := EnrollRequest{Identity: p.cfg.ID, PoolSize: poolSize, Pub: p.keys.Public}
+	var err error
+	if req.Sig, err = p.suite.Sign(p.keys.Private, enrollMessage(req.Identity, req.PoolSize, req.Pub)); err != nil {
+		return nil, nil, fmt.Errorf("core: signing enrollment: %w", err)
+	}
+	raw, err := p.ep.Call(judgeAddr, req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: remote enrollment: %w", err)
+	}
+	resp, ok := raw.(EnrollResponse)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: unexpected enrollment response %T", ErrBadRequest, raw)
+	}
+	refill := func(n int) ([]groupsig.IssuedCredential, error) {
+		rr := RefillRequest{Identity: p.cfg.ID, N: n, Nonce: p.randBytes(16)}
+		var err error
+		if rr.Sig, err = p.suite.Sign(p.keys.Private, refillMessage(rr.Identity, rr.N, rr.Nonce)); err != nil {
+			return nil, err
+		}
+		raw, err := p.ep.Call(judgeAddr, rr)
+		if err != nil {
+			return nil, err
+		}
+		resp, ok := raw.(RefillResponse)
+		if !ok {
+			return nil, fmt.Errorf("%w: unexpected refill response %T", ErrBadRequest, raw)
+		}
+		return resp.Credentials, nil
+	}
+	mk := groupsig.NewMemberKey(p.cfg.ID, resp.GroupPub, resp.Credentials, refill)
+	return mk, resp.GroupPub, nil
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"whopay/internal/bus"
+	"whopay/internal/bus/tcpbus"
+	"whopay/internal/sig"
+)
+
+// TestRemoteEnrollment: peers enroll with a JudgeServer over the bus and
+// transact normally; fairness (opening) still works because the judge
+// retains the serial map.
+func TestRemoteEnrollment(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	js, err := NewJudgeServer(f.net, "judge", f.judge, f.scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { js.Close() })
+
+	mk := func(id string) *Peer {
+		p, err := NewPeer(PeerConfig{
+			ID:         id,
+			Network:    f.net,
+			Addr:       bus.Address("remote-" + id),
+			Scheme:     f.scheme,
+			Clock:      f.clock.Now,
+			Directory:  f.dir,
+			BrokerAddr: f.broker.Addr(),
+			BrokerPub:  f.broker.PublicKey(),
+			JudgeAddr:  js.Addr(),
+			CredPool:   2, // force refills
+			Prober:     f.net,
+			Presence:   f.net,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	alice := mk("alice")
+	bob := mk("bob")
+
+	// Enough payments to exhaust the 2-credential pool and force a
+	// refill RPC.
+	for i := 0; i < 6; i++ {
+		from, to := alice, bob
+		if i%2 == 1 {
+			from, to = bob, alice
+		}
+		if _, err := from.Pay(to.Addr(), 1, PolicyI); err != nil {
+			t.Fatalf("payment %d: %v", i, err)
+		}
+	}
+	// Fairness: capture one more transfer's group signature and open it.
+	id := alice.HeldCoins()[0]
+	resp, err := alice.ep.Call(bob.Addr(), OfferRequest{Value: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice.mu.Lock()
+	hc := alice.held[id]
+	alice.mu.Unlock()
+	req, err := alice.buildTransfer(hc, bob.Addr(), resp.(OfferResponse))
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity, err := f.judge.Open(req.Body.Message(), req.GroupSig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if identity != "alice" {
+		t.Fatalf("opened %q", identity)
+	}
+}
+
+// TestRemoteEnrollmentValidation covers the server's rejection paths.
+func TestRemoteEnrollmentValidation(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	js, err := NewJudgeServer(f.net, "judge", f.judge, f.scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { js.Close() })
+	ep, err := f.net.Listen("attacker", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	kp, err := f.scheme.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sign := func(msg []byte) []byte {
+		s, err := f.scheme.Sign(kp.Private, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Happy path first: enroll "victim" under kp.
+	req := EnrollRequest{Identity: "victim", PoolSize: 2, Pub: kp.Public}
+	req.Sig = sign(enrollMessage("victim", 2, kp.Public))
+	if _, err := ep.Call("judge", req); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		msg  any
+		want string
+	}{
+		{"empty identity", EnrollRequest{PoolSize: 2, Pub: kp.Public}, "empty"},
+		{"huge pool", func() any {
+			r := EnrollRequest{Identity: "x", PoolSize: 100000, Pub: kp.Public}
+			r.Sig = sign(enrollMessage("x", 100000, kp.Public))
+			return r
+		}(), "pool size"},
+		{"bad signature", EnrollRequest{Identity: "y", PoolSize: 2, Pub: kp.Public, Sig: []byte("junk")}, "signature"},
+		{"identity takeover", func() any {
+			other, err := f.scheme.GenerateKey()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := EnrollRequest{Identity: "victim", PoolSize: 2, Pub: other.Public}
+			s, err := f.scheme.Sign(other.Private, enrollMessage("victim", 2, other.Public))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Sig = s
+			return r
+		}(), "different key"},
+		{"refill unknown", RefillRequest{Identity: "ghost", N: 2}, "not enrolled"},
+		{"refill bad sig", RefillRequest{Identity: "victim", N: 2, Sig: []byte("junk")}, "signature"},
+		{"refill huge", func() any {
+			r := RefillRequest{Identity: "victim", N: 100000}
+			r.Sig = sign(refillMessage("victim", 100000, nil))
+			return r
+		}(), "refill size"},
+		{"unknown message", 42, "judge got"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ep.Call("judge", tc.msg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+
+	// Legit refill still works.
+	rr := RefillRequest{Identity: "victim", N: 3, Nonce: []byte("n")}
+	rr.Sig = sign(refillMessage("victim", 3, []byte("n")))
+	raw, err := ep.Call("judge", rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := raw.(RefillResponse); len(got.Credentials) != 3 {
+		t.Fatalf("refill returned %d credentials", len(got.Credentials))
+	}
+}
+
+// TestRemoteEnrollmentOverTCP: the full multi-process shape — judge,
+// broker and peers all on real sockets; the only shared object is the
+// directory.
+func TestRemoteEnrollmentOverTCP(t *testing.T) {
+	registerOnce.Do(RegisterWireTypes)
+	network := tcpbus.New()
+	scheme := sig.ECDSA{}
+	dir := NewDirectory()
+	judge, err := NewJudge(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := NewJudgeServer(network, "127.0.0.1:0", judge, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer js.Close()
+	broker, err := NewBroker(BrokerConfig{
+		Network: network, Addr: "127.0.0.1:0", Scheme: scheme,
+		Directory: dir, GroupPub: judge.GroupPublicKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	mk := func(id string) *Peer {
+		p, err := NewPeer(PeerConfig{
+			ID: id, Network: network, Addr: "127.0.0.1:0", Scheme: scheme,
+			Directory: dir, BrokerAddr: broker.Addr(), BrokerPub: broker.PublicKey(),
+			JudgeAddr: js.Addr(), CredPool: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	u := mk("u")
+	v := mk("v")
+	id, err := u.Purchase(2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo(v.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Deposit(id, "v-ref"); err != nil {
+		t.Fatal(err)
+	}
+	if broker.Balance("v-ref") != 2 {
+		t.Fatalf("balance = %d", broker.Balance("v-ref"))
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"whopay/internal/groupsig"
+	"whopay/internal/layered"
+)
+
+// TestLayeredOfflineHopsAndDeposit: a coin leaves the online system, hops
+// offline twice (no broker, no owner, no DHT), and is redeemed by the
+// final recipient.
+func TestLayeredOfflineHopsAndDeposit(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	u := f.addPeer("u", nil)
+	v := f.addPeer("v", nil)
+	w := f.addPeer("w", nil)
+	x := f.addPeer("x", nil)
+
+	id, err := u.Purchase(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo(v.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	lc, vKeys, err := v.ExportLayered(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.HeldCoins()) != 0 {
+		t.Fatal("export left the held entry")
+	}
+	// Hop v→w: w generates its own key pair out of band.
+	wKeys, err := w.Suite().GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err = layered.Hop(v.Suite(), lc, vKeys.Private, v.GroupMember(), wKeys.Public, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop w→x.
+	xKeys, err := x.Suite().GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err = layered.Hop(w.Suite(), lc, wKeys.Private, w.GroupMember(), xKeys.Public, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The broker saw none of this. Now x redeems.
+	if err := x.DepositLayered(lc, xKeys.Private, "x-ref"); err != nil {
+		t.Fatalf("DepositLayered: %v", err)
+	}
+	if f.broker.Balance("x-ref") != 1 {
+		t.Fatalf("balance = %d", f.broker.Balance("x-ref"))
+	}
+}
+
+// TestLayeredForkCaughtAtDeposit: the offline double spend the paper warns
+// about — both forks verify offline, the second redemption is rejected,
+// and the judge identifies the forker from the escrowed layer signatures.
+func TestLayeredForkCaughtAtDeposit(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	u := f.addPeer("u", nil)
+	cheat := f.addPeer("cheater", nil)
+	w := f.addPeer("w", nil)
+	x := f.addPeer("x", nil)
+
+	id, err := u.Purchase(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo(cheat.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	lc, cheatKeys, err := cheat.ExportLayered(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cheater forks: pays both w and x offline with the same coin.
+	wKeys, err := w.Suite().GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xKeys, err := x.Suite().GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkW, err := layered.Hop(cheat.Suite(), lc, cheatKeys.Private, cheat.GroupMember(), wKeys.Public, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forkX, err := layered.Hop(cheat.Suite(), lc, cheatKeys.Private, cheat.GroupMember(), xKeys.Public, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w redeems first and wins.
+	if err := w.DepositLayered(forkW, wKeys.Private, "w-ref"); err != nil {
+		t.Fatal(err)
+	}
+	// x's redemption is rejected and the fraud case records openable
+	// evidence.
+	err = x.DepositLayered(forkX, xKeys.Private, "x-ref")
+	if err == nil {
+		t.Fatal("fork redeemed twice")
+	}
+	if f.broker.Balance("x-ref") != 0 {
+		t.Fatal("fork credited")
+	}
+	cases := f.broker.FraudCases()
+	if len(cases) != 1 || cases[0].Kind != "layered-double-spend" {
+		t.Fatalf("cases = %+v", cases)
+	}
+	// The judge opens the fork's layer signature: it names the cheater.
+	found := false
+	for _, pair := range cases[0].GroupSigs {
+		msg := pair[0].([]byte)
+		gs := pair[1].(groupsig.Signature)
+		if identity, err := f.judge.Open(msg, gs); err == nil && identity == "cheater" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("judge could not identify the forker from the escrowed evidence")
+	}
+}
+
+// TestLayeredDepositValidation: garbage layered deposits are rejected.
+func TestLayeredDepositValidation(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	u := f.addPeer("u", nil)
+	v := f.addPeer("v", nil)
+	id, err := u.Purchase(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo(v.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	lc, vKeys, err := v.ExportLayered(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong head key: the redeemer cannot prove chain-head holdership.
+	wrong, err := v.Suite().GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.DepositLayered(lc, wrong.Private, "ref"); err == nil {
+		t.Fatal("deposit with wrong head key accepted")
+	}
+	// Tampered base value: chain verification fails.
+	bad := lc.Clone()
+	bad.Base.Value = 1000
+	err = v.DepositLayered(bad, vKeys.Private, "ref")
+	if err == nil {
+		t.Fatal("tampered layered coin accepted")
+	}
+	if !strings.Contains(err.Error(), "invalid") && !strings.Contains(err.Error(), "bad request") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The honest deposit still works afterwards.
+	if err := v.DepositLayered(lc, vKeys.Private, "ref"); err != nil {
+		t.Fatalf("honest layered deposit: %v", err)
+	}
+}
+
+// TestExportLayeredUnknownCoin covers the error path.
+func TestExportLayeredUnknownCoin(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	v := f.addPeer("v", nil)
+	if _, _, err := v.ExportLayered("nope"); !errors.Is(err, ErrUnknownCoin) {
+		t.Fatalf("got %v, want ErrUnknownCoin", err)
+	}
+}

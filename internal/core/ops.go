@@ -1,0 +1,96 @@
+// Package core implements the WhoPay payment system itself (paper Section
+// 4): the broker, peers (as coin owners, holders, payers and payees), the
+// judge, and every protocol — purchase, issue, transfer, deposit, renewal,
+// the downtime variants, synchronization (proactive and lazy), real-time
+// double-spending detection over the DHT, dispute resolution, coin shops,
+// and owner-anonymous coins over the indirection layer.
+package core
+
+import "sync/atomic"
+
+// Op enumerates the coarse-grained operations the paper's load study counts
+// (Section 6.2: "coin purchases, issues, transfers, deposits, renewals,
+// downtime transfers, downtime renewals, synchronizations, checks, and lazy
+// synchronizations").
+type Op int
+
+// The coarse-grained operations.
+const (
+	OpPurchase Op = iota
+	OpIssue
+	OpTransfer
+	OpDeposit
+	OpRenewal
+	OpDowntimeTransfer
+	OpDowntimeRenewal
+	OpSync
+	OpCheck
+	OpLazySync
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"purchases",
+	"issues",
+	"transfers",
+	"deposits",
+	"renewals",
+	"downtime transfers",
+	"downtime renewals",
+	"syncs",
+	"checks",
+	"lazy syncs",
+}
+
+// String implements fmt.Stringer.
+func (op Op) String() string {
+	if op < 0 || op >= NumOps {
+		return "unknown-op"
+	}
+	return opNames[op]
+}
+
+// OpCounts is an immutable tally of operations by type.
+type OpCounts [NumOps]int64
+
+// Get returns the count for op.
+func (c OpCounts) Get(op Op) int64 { return c[op] }
+
+// Total sums all operation counts.
+func (c OpCounts) Total() int64 {
+	var t int64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Add returns the element-wise sum.
+func (c OpCounts) Add(other OpCounts) OpCounts {
+	var out OpCounts
+	for i := range c {
+		out[i] = c[i] + other[i]
+	}
+	return out
+}
+
+// OpCounter tallies operations; safe for concurrent use.
+type OpCounter struct {
+	counts [NumOps]atomic.Int64
+}
+
+// Inc adds one to op's tally.
+func (c *OpCounter) Inc(op Op) {
+	if op >= 0 && op < NumOps {
+		c.counts[op].Add(1)
+	}
+}
+
+// Snapshot copies the current tallies.
+func (c *OpCounter) Snapshot() OpCounts {
+	var out OpCounts
+	for i := range c.counts {
+		out[i] = c.counts[i].Load()
+	}
+	return out
+}

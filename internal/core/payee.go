@@ -1,0 +1,247 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"whopay/internal/coin"
+	"whopay/internal/dht"
+	"whopay/internal/groupsig"
+	"whopay/internal/sig"
+)
+
+// Payee-side protocol: answering payment offers, accepting deliveries, and
+// watching the public binding list for double spends.
+
+// handleOffer answers a payer's payment offer with a fresh holder key pair
+// and a challenge nonce (paper: "W generates a random public/private key
+// pair pkCW/skCW, keeps the private key skCW secret and sends the public
+// key pkCW to V").
+func (p *Peer) handleOffer(m OfferRequest) (any, error) {
+	if m.Value <= 0 {
+		return nil, fmt.Errorf("%w: non-positive value", ErrBadRequest)
+	}
+	holderKeys, err := p.suite.GenerateKey()
+	if err != nil {
+		return nil, fmt.Errorf("core: holder keygen: %w", err)
+	}
+	nonce := p.randBytes(16)
+	now := p.cfg.Clock()
+	p.mu.Lock()
+	// Prune expired offers so abandoned payments do not accumulate.
+	for k, po := range p.offers {
+		if now.Sub(po.created) > p.cfg.OfferTTL {
+			delete(p.offers, k)
+		}
+	}
+	p.offers[string(holderKeys.Public)] = &pendingOffer{
+		holderKeys: holderKeys,
+		nonce:      nonce,
+		value:      m.Value,
+		created:    now,
+	}
+	p.mu.Unlock()
+	return OfferResponse{HolderPub: holderKeys.Public, Nonce: nonce}, nil
+}
+
+// handleDeliver accepts a coin: it verifies the broker's signature on the
+// coin, the binding to the holder key we minted for this offer, the
+// owner's (or broker's) answer to our challenge, and — when configured —
+// the public binding list. Only then does the payment count.
+func (p *Peer) handleDeliver(m DeliverRequest) (any, error) {
+	p.mu.Lock()
+	po, ok := p.offers[string(m.Binding.Holder)]
+	if ok {
+		delete(p.offers, string(m.Binding.Holder))
+	}
+	p.mu.Unlock()
+	if !ok {
+		return nil, ErrNoOffer
+	}
+
+	c := m.Coin
+	if err := c.Verify(p.suite, p.cfg.BrokerPub); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if c.Value != po.value {
+		return nil, fmt.Errorf("%w: offered value %d, coin is %d", ErrBadRequest, po.value, c.Value)
+	}
+	binding := m.Binding
+	if err := binding.VerifyFor(p.suite, &c, p.cfg.BrokerPub, p.cfg.Clock()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+
+	// Ownership challenge: the deliverer must prove it controls the coin
+	// — the broker key for downtime deliveries, the coin key for
+	// owner-anonymous coins, the owner's identity key otherwise.
+	challengeMsg := coin.ChallengeMessage(c.Pub, po.nonce)
+	var challenger sig.PublicKey
+	switch {
+	case binding.ByBroker:
+		challenger = p.cfg.BrokerPub
+	case c.Anonymous():
+		challenger = c.Pub
+	default:
+		entry, found := p.cfg.Directory.Lookup(c.Owner)
+		if !found {
+			return nil, fmt.Errorf("%w: coin owner %q", ErrUnknownIdentity, c.Owner)
+		}
+		challenger = entry.Pub
+	}
+	if err := p.suite.Verify(challenger, challengeMsg, m.ChallengeSig); err != nil {
+		return nil, fmt.Errorf("%w: ownership challenge failed: %v", ErrBadRequest, err)
+	}
+
+	// Owner-anonymous issues carry a group signature for fairness (paper
+	// Section 5.2: "Peers sign their messages with their group private
+	// keys when issuing coins").
+	if m.Issue && c.Anonymous() {
+		if m.GroupSig == nil {
+			return nil, fmt.Errorf("%w: anonymous issue missing group signature", ErrBadRequest)
+		}
+		if err := groupsig.Verify(p.suite, p.cfg.GroupPub, binding.Message(), *m.GroupSig); err != nil {
+			return nil, fmt.Errorf("%w: issue group signature: %v", ErrBadRequest, err)
+		}
+	}
+
+	// Real-time detection cross-check (Section 5.1): the public binding
+	// list must not contradict the delivered binding. Owners publish
+	// right after delivery, so "not yet published" is acceptable; a
+	// *conflicting* record at or above our sequence is a double spend.
+	if p.cfg.CheckPublicBinding && p.dhtc != nil && !binding.ByBroker {
+		rec, found, err := p.dhtc.Get(dht.KeyFor(c.Pub))
+		if err == nil && found {
+			if rec.Version > binding.Seq {
+				return nil, fmt.Errorf("%w: public binding already superseded (v%d > v%d)", ErrStaleBinding, rec.Version, binding.Seq)
+			}
+			if rec.Version == binding.Seq && !bytes.Equal(rec.Value, binding.Marshal()) {
+				return nil, fmt.Errorf("%w: public binding conflicts at v%d — double spend", ErrStaleBinding, binding.Seq)
+			}
+		}
+	}
+
+	p.mu.Lock()
+	id := c.ID()
+	if _, already := p.held[id]; !already {
+		p.heldOrder = append(p.heldOrder, id)
+	}
+	p.held[id] = &heldCoin{
+		c:          c.Clone(),
+		holderKeys: po.holderKeys,
+		binding:    binding.Clone(),
+	}
+	p.mu.Unlock()
+
+	if p.cfg.WatchHeldCoins && p.dhtc != nil {
+		// Best-effort: a failed subscription only degrades detection.
+		_ = p.dhtc.Subscribe(dht.KeyFor(c.Pub), p.cfg.Addr)
+	}
+	return DeliverResponse{}, nil
+}
+
+// VerifyHeldCoin audits a held coin against the public binding list on
+// demand: it returns nil when the published binding matches ours (or no
+// list is configured for this coin era), and an error describing the
+// divergence otherwise — the synchronous complement to the asynchronous
+// watch. Holders of high-value coins call it before shipping goods.
+func (p *Peer) VerifyHeldCoin(id coin.ID) error {
+	if p.dhtc == nil {
+		return ErrDetectionOff
+	}
+	p.mu.Lock()
+	hc, ok := p.held[id]
+	if !ok {
+		p.mu.Unlock()
+		return ErrUnknownCoin
+	}
+	mine := hc.binding.Clone()
+	p.mu.Unlock()
+
+	rec, found, err := p.dhtc.Get(dht.KeyFor(sig.PublicKey(id)))
+	if err != nil {
+		return fmt.Errorf("core: reading public binding: %w", err)
+	}
+	if !found {
+		// Publish may trail delivery; treat as pending rather than
+		// divergent.
+		return nil
+	}
+	if rec.Version > mine.Seq {
+		return fmt.Errorf("%w: public binding at seq %d outruns ours (%d)", ErrStaleBinding, rec.Version, mine.Seq)
+	}
+	if rec.Version == mine.Seq && !bytes.Equal(rec.Value, mine.Marshal()) {
+		return fmt.Errorf("%w: public binding conflicts at seq %d — double spend", ErrStaleBinding, mine.Seq)
+	}
+	return nil
+}
+
+// handleNotify processes a register/notify event from the public binding
+// list. An update that re-binds a coin we hold — and did not just transfer
+// ourselves — is a double spend in progress: record an alert and report it.
+func (p *Peer) handleNotify(m dht.Notify) (any, error) {
+	observed, err := coin.UnmarshalBinding(m.Rec.Value)
+	if err != nil {
+		return dht.Ack{}, nil // garbage record; ACL should prevent this
+	}
+	id := coin.ID(observed.CoinPub)
+
+	p.mu.Lock()
+	hc, ok := p.held[id]
+	if !ok || hc.inFlight {
+		p.mu.Unlock()
+		return dht.Ack{}, nil
+	}
+	if observed.Holder.Equal(hc.binding.Holder) {
+		// Same holder (a renewal we made, or a broker refresh): adopt
+		// the newer binding for free.
+		if observed.Seq > hc.binding.Seq {
+			if observed.Verify(p.suite, p.cfg.BrokerPub, p.cfg.Clock()) == nil {
+				hc.binding = observed.Clone()
+			}
+		}
+		p.mu.Unlock()
+		return dht.Ack{}, nil
+	}
+	if observed.Seq < hc.binding.Seq {
+		p.mu.Unlock()
+		return dht.Ack{}, nil // stale echo
+	}
+	alert := FraudAlert{CoinID: id, Mine: *hc.binding.Clone(), Observed: *observed}
+	myBinding := hc.binding.Clone()
+	p.mu.Unlock()
+
+	if p.cfg.AutoReportFraud {
+		alert.Verdict = p.reportFraud(sig.PublicKey(id), myBinding, observed)
+	}
+	p.mu.Lock()
+	p.alerts = append(p.alerts, alert)
+	p.mu.Unlock()
+	return dht.Ack{}, nil
+}
+
+// reportFraud files the double-spend evidence with the broker, signed with
+// a group signature so the victim stays anonymous yet accountable.
+func (p *Peer) reportFraud(coinPub sig.PublicKey, mine, observed *coin.Binding) string {
+	msg := fraudReportMessage(coinPub, mine, observed)
+	gs, err := p.member.Sign(p.suite, msg)
+	if err != nil {
+		return "report unsigned: " + err.Error()
+	}
+	resp, err := p.ep.Call(p.cfg.BrokerAddr, FraudReport{
+		CoinPub:   coinPub.Clone(),
+		MyBinding: *mine,
+		Observed:  *observed,
+		GroupSig:  gs,
+	})
+	if err != nil {
+		return "report failed: " + err.Error()
+	}
+	fr, ok := resp.(FraudResponse)
+	if !ok {
+		return "report got unexpected response"
+	}
+	if fr.Punished != "" {
+		return fr.Verdict + " (punished: " + fr.Punished + ")"
+	}
+	return fr.Verdict
+}

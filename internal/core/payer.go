@@ -1,0 +1,424 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"whopay/internal/bus"
+	"whopay/internal/coin"
+	"whopay/internal/sig"
+)
+
+// Payer/holder-side protocol: purchasing, spending (transfer via owner or
+// broker), renewing, depositing, and synchronizing.
+
+// Purchase buys a coin of the given value from the broker. With anonymous
+// set, the coin carries an indirection handle instead of the owner identity
+// (paper Section 5.2) — this requires configured indirection servers.
+func (p *Peer) Purchase(value int64, anonymous bool) (coin.ID, error) {
+	coinKeys, err := p.suite.GenerateKey()
+	if err != nil {
+		return "", fmt.Errorf("core: coin keygen: %w", err)
+	}
+	var handleKeys *sig.KeyPair
+	var handle []byte
+	if anonymous {
+		if p.indir == nil {
+			return "", errors.New("core: anonymous coins need indirection servers")
+		}
+		hk, err := p.suite.GenerateKey()
+		if err != nil {
+			return "", fmt.Errorf("core: handle keygen: %w", err)
+		}
+		handleKeys = &hk
+		handle = hk.Public
+		p.mu.Lock()
+		p.trigVersion++
+		version := p.trigVersion
+		p.mu.Unlock()
+		if err := p.indir.Register(p.suite, hk, p.cfg.Addr, version); err != nil {
+			return "", fmt.Errorf("core: registering handle trigger: %w", err)
+		}
+	}
+
+	req := PurchaseRequest{
+		Buyer:     p.cfg.ID,
+		CoinPub:   coinKeys.Public,
+		Handle:    handle,
+		Value:     value,
+		Anonymous: anonymous,
+	}
+	if req.Sig, err = p.suite.Sign(p.keys.Private, purchaseMessage(req.Buyer, req.CoinPub, req.Handle, req.Value, req.Anonymous)); err != nil {
+		return "", fmt.Errorf("core: signing purchase: %w", err)
+	}
+	resp, err := p.ep.Call(p.cfg.BrokerAddr, req)
+	if err != nil {
+		return "", fmt.Errorf("core: purchase: %w", err)
+	}
+	pr, ok := resp.(PurchaseResponse)
+	if !ok {
+		return "", fmt.Errorf("%w: unexpected purchase response %T", ErrBadRequest, resp)
+	}
+	c := pr.Coin
+	if err := c.Verify(p.suite, p.cfg.BrokerPub); err != nil {
+		return "", fmt.Errorf("core: broker returned bad coin: %w", err)
+	}
+	if !c.Pub.Equal(coinKeys.Public) || c.Value != value {
+		return "", fmt.Errorf("%w: broker returned mismatched coin", ErrBadRequest)
+	}
+
+	p.mu.Lock()
+	p.owned[c.ID()] = &ownedCoin{
+		c:          c.Clone(),
+		coinKeys:   coinKeys,
+		handleKeys: handleKeys,
+		selfHeld:   true,
+	}
+	p.mu.Unlock()
+	p.ops.Inc(OpPurchase)
+	return c.ID(), nil
+}
+
+// PurchaseBatch buys n coins of the given value under a single broker
+// round-trip and one authorizing signature (paper Section 4.2's batch
+// purchase). Only non-anonymous coins batch (anonymous coins each need
+// their own indirection handle registration).
+func (p *Peer) PurchaseBatch(n int, value int64) ([]coin.ID, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: batch size %d", ErrBadRequest, n)
+	}
+	keys := make([]sig.KeyPair, n)
+	pubs := make([]sig.PublicKey, n)
+	for i := 0; i < n; i++ {
+		kp, err := p.suite.GenerateKey()
+		if err != nil {
+			return nil, fmt.Errorf("core: batch coin keygen: %w", err)
+		}
+		keys[i] = kp
+		pubs[i] = kp.Public
+	}
+	req := BatchPurchaseRequest{Buyer: p.cfg.ID, CoinPubs: pubs, Value: value}
+	var err error
+	if req.Sig, err = p.suite.Sign(p.keys.Private, batchPurchaseMessage(req.Buyer, pubs, value)); err != nil {
+		return nil, fmt.Errorf("core: signing batch purchase: %w", err)
+	}
+	resp, err := p.ep.Call(p.cfg.BrokerAddr, req)
+	if err != nil {
+		return nil, fmt.Errorf("core: batch purchase: %w", err)
+	}
+	br, ok := resp.(BatchPurchaseResponse)
+	if !ok || len(br.Coins) != n {
+		return nil, fmt.Errorf("%w: unexpected batch response", ErrBadRequest)
+	}
+	ids := make([]coin.ID, 0, n)
+	for i := range br.Coins {
+		c := br.Coins[i]
+		if err := c.Verify(p.suite, p.cfg.BrokerPub); err != nil {
+			return nil, fmt.Errorf("core: broker returned bad batch coin: %w", err)
+		}
+		if !c.Pub.Equal(pubs[i]) || c.Value != value {
+			return nil, fmt.Errorf("%w: batch coin %d mismatched", ErrBadRequest, i)
+		}
+		p.mu.Lock()
+		p.owned[c.ID()] = &ownedCoin{c: c.Clone(), coinKeys: keys[i], selfHeld: true}
+		p.mu.Unlock()
+		ids = append(ids, c.ID())
+	}
+	p.ops.Inc(OpPurchase)
+	return ids, nil
+}
+
+// callOwner routes a request to a coin's owner: directly for ordinary
+// coins, through the indirection layer for owner-anonymous coins.
+func (p *Peer) callOwner(c *coin.Coin, msg any) (any, error) {
+	if c.Anonymous() {
+		if p.indir == nil {
+			return nil, errors.New("core: anonymous coin needs indirection servers")
+		}
+		return p.indir.Send(c.Handle, msg)
+	}
+	entry, ok := p.cfg.Directory.Lookup(c.Owner)
+	if !ok {
+		return nil, fmt.Errorf("%w: owner %q", ErrUnknownIdentity, c.Owner)
+	}
+	return p.ep.Call(entry.Addr, msg)
+}
+
+// buildTransfer prepares the signed transfer request for a held coin: the
+// paper's {{pkCW, CV}skCV}gkV.
+func (p *Peer) buildTransfer(hc *heldCoin, payee bus.Address, offer OfferResponse) (TransferRequest, error) {
+	body := coin.TransferBody{
+		CoinPub:   hc.c.Pub.Clone(),
+		NewHolder: offer.HolderPub.Clone(),
+		PrevSeq:   hc.binding.Seq,
+		Nonce:     offer.Nonce,
+		PayeeAddr: string(payee),
+	}
+	holderSig, err := p.suite.Sign(hc.holderKeys.Private, body.Message())
+	if err != nil {
+		return TransferRequest{}, fmt.Errorf("core: signing transfer body: %w", err)
+	}
+	gs, err := p.member.Sign(p.suite, body.Message())
+	if err != nil {
+		return TransferRequest{}, fmt.Errorf("core: group-signing transfer: %w", err)
+	}
+	return TransferRequest{
+		Body:             body,
+		HolderSig:        holderSig,
+		GroupSig:         gs,
+		PresentedBinding: hc.binding.Clone(),
+	}, nil
+}
+
+// transferCommon drives a transfer through the given servicer (the coin's
+// owner or the broker).
+func (p *Peer) transferCommon(payee bus.Address, id coin.ID, viaBroker bool) error {
+	p.mu.Lock()
+	hc, ok := p.held[id]
+	if !ok {
+		p.mu.Unlock()
+		return ErrUnknownCoin
+	}
+	hc.inFlight = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		if cur, still := p.held[id]; still {
+			cur.inFlight = false
+		}
+		p.mu.Unlock()
+	}()
+
+	resp, err := p.ep.Call(payee, OfferRequest{Value: hc.c.Value})
+	if err != nil {
+		return fmt.Errorf("core: offering payment: %w", err)
+	}
+	offer, ok := resp.(OfferResponse)
+	if !ok {
+		return fmt.Errorf("%w: unexpected offer response %T", ErrBadRequest, resp)
+	}
+	req, err := p.buildTransfer(hc, payee, offer)
+	if err != nil {
+		return err
+	}
+
+	var raw any
+	if viaBroker {
+		raw, err = p.ep.Call(p.cfg.BrokerAddr, req)
+	} else {
+		raw, err = p.callOwner(hc.c, req)
+	}
+	if err != nil {
+		return fmt.Errorf("core: transfer request: %w", err)
+	}
+	tr, ok := raw.(TransferResponse)
+	if !ok {
+		return fmt.Errorf("%w: unexpected transfer response %T", ErrBadRequest, raw)
+	}
+	if !tr.OK {
+		return fmt.Errorf("%w: %s", ErrPaymentFailed, tr.Reason)
+	}
+
+	p.mu.Lock()
+	p.removeHeldLocked(id)
+	p.mu.Unlock()
+	p.unwatch(id)
+	if viaBroker {
+		p.ops.Inc(OpDowntimeTransfer)
+	}
+	return nil
+}
+
+// TransferTo spends a held coin by transferring it to the payee via the
+// coin's owner (paper Section 4.2, Transfer).
+func (p *Peer) TransferTo(payee bus.Address, id coin.ID) error {
+	return p.transferCommon(payee, id, false)
+}
+
+// TransferViaBroker spends a held coin through the broker when the coin's
+// owner is offline (paper Section 4.2, Downtime transfer).
+func (p *Peer) TransferViaBroker(payee bus.Address, id coin.ID) error {
+	return p.transferCommon(payee, id, true)
+}
+
+// buildRenew prepares a signed renewal request for a held coin.
+func (p *Peer) buildRenew(hc *heldCoin) (RenewRequest, error) {
+	msg := renewMessage(hc.c.Pub, hc.binding.Seq)
+	holderSig, err := p.suite.Sign(hc.holderKeys.Private, msg)
+	if err != nil {
+		return RenewRequest{}, fmt.Errorf("core: signing renewal: %w", err)
+	}
+	gs, err := p.member.Sign(p.suite, msg)
+	if err != nil {
+		return RenewRequest{}, fmt.Errorf("core: group-signing renewal: %w", err)
+	}
+	return RenewRequest{
+		CoinPub:          hc.c.Pub.Clone(),
+		Seq:              hc.binding.Seq,
+		HolderSig:        holderSig,
+		GroupSig:         gs,
+		PresentedBinding: hc.binding.Clone(),
+	}, nil
+}
+
+// renewCommon drives a renewal through the owner or the broker.
+func (p *Peer) renewCommon(id coin.ID, viaBroker bool) error {
+	p.mu.Lock()
+	hc, ok := p.held[id]
+	if !ok {
+		p.mu.Unlock()
+		return ErrUnknownCoin
+	}
+	p.mu.Unlock()
+
+	req, err := p.buildRenew(hc)
+	if err != nil {
+		return err
+	}
+	var raw any
+	if viaBroker {
+		raw, err = p.ep.Call(p.cfg.BrokerAddr, req)
+	} else {
+		raw, err = p.callOwner(hc.c, req)
+	}
+	if err != nil {
+		return fmt.Errorf("core: renewal request: %w", err)
+	}
+	rr, ok := raw.(RenewResponse)
+	if !ok {
+		return fmt.Errorf("%w: unexpected renew response %T", ErrBadRequest, raw)
+	}
+	binding := rr.Binding
+	if err := binding.VerifyFor(p.suite, hc.c, p.cfg.BrokerPub, p.cfg.Clock()); err != nil {
+		return fmt.Errorf("core: renewal returned bad binding: %w", err)
+	}
+	if !binding.Holder.Equal(hc.binding.Holder) {
+		return fmt.Errorf("%w: renewal re-bound the coin to a different holder", ErrBadRequest)
+	}
+	p.mu.Lock()
+	// The watch notification may already have adopted this binding (the
+	// owner publishes before responding); only move forward.
+	if binding.Seq > hc.binding.Seq {
+		hc.binding = binding.Clone()
+	}
+	p.mu.Unlock()
+	if viaBroker {
+		p.ops.Inc(OpDowntimeRenewal)
+	}
+	return nil
+}
+
+// RenewViaOwner renews a held coin through its owner.
+func (p *Peer) RenewViaOwner(id coin.ID) error { return p.renewCommon(id, false) }
+
+// RenewViaBroker renews a held coin through the broker (downtime renewal).
+func (p *Peer) RenewViaBroker(id coin.ID) error { return p.renewCommon(id, true) }
+
+// isUnreachable reports whether err means the destination could not be
+// reached — directly, or relayed through an indirection server (where the
+// transport sentinel is flattened into the remote error text).
+func isUnreachable(err error) bool {
+	if errors.Is(err, bus.ErrUnreachable) {
+		return true
+	}
+	var remote *bus.RemoteError
+	return errors.As(err, &remote) && strings.Contains(remote.Msg, "unreachable")
+}
+
+// Renew renews a held coin, preferring the owner and falling back to the
+// broker when the owner is unreachable. It reports whether the broker path
+// was used.
+func (p *Peer) Renew(id coin.ID) (viaBroker bool, err error) {
+	err = p.RenewViaOwner(id)
+	if err == nil {
+		return false, nil
+	}
+	if isUnreachable(err) {
+		return true, p.RenewViaBroker(id)
+	}
+	return false, err
+}
+
+// Deposit redeems a held coin at the broker, crediting payoutRef (paper
+// Section 4.2, Deposit). The payout reference is opaque: the broker never
+// learns who deposited.
+func (p *Peer) Deposit(id coin.ID, payoutRef string) error {
+	p.mu.Lock()
+	hc, ok := p.held[id]
+	if !ok {
+		p.mu.Unlock()
+		return ErrUnknownCoin
+	}
+	p.mu.Unlock()
+
+	msg := depositMessage(hc.c.Pub, payoutRef, hc.binding.Seq)
+	holderSig, err := p.suite.Sign(hc.holderKeys.Private, msg)
+	if err != nil {
+		return fmt.Errorf("core: signing deposit: %w", err)
+	}
+	gs, err := p.member.Sign(p.suite, msg)
+	if err != nil {
+		return fmt.Errorf("core: group-signing deposit: %w", err)
+	}
+	raw, err := p.ep.Call(p.cfg.BrokerAddr, DepositRequest{
+		CoinPub:          hc.c.Pub.Clone(),
+		PayoutRef:        payoutRef,
+		HolderSig:        holderSig,
+		GroupSig:         gs,
+		PresentedBinding: hc.binding.Clone(),
+	})
+	if err != nil {
+		return fmt.Errorf("core: deposit: %w", err)
+	}
+	if _, ok := raw.(DepositResponse); !ok {
+		return fmt.Errorf("%w: unexpected deposit response %T", ErrBadRequest, raw)
+	}
+	p.mu.Lock()
+	p.removeHeldLocked(id)
+	p.mu.Unlock()
+	p.unwatch(id)
+	p.ops.Inc(OpDeposit)
+	return nil
+}
+
+// Sync performs the proactive owner synchronization (paper Section 4.2,
+// Sync): the broker returns the bindings it maintained for this owner's
+// coins during downtime.
+func (p *Peer) Sync() error {
+	nonce := p.randBytes(16)
+	sigBytes, err := p.suite.Sign(p.keys.Private, syncMessage(p.cfg.ID, nonce))
+	if err != nil {
+		return fmt.Errorf("core: signing sync: %w", err)
+	}
+	raw, err := p.ep.Call(p.cfg.BrokerAddr, SyncRequest{Identity: p.cfg.ID, Nonce: nonce, Sig: sigBytes})
+	if err != nil {
+		return fmt.Errorf("core: sync: %w", err)
+	}
+	sr, ok := raw.(SyncResponse)
+	if !ok {
+		return fmt.Errorf("%w: unexpected sync response %T", ErrBadRequest, raw)
+	}
+	now := p.cfg.Clock()
+	for i := range sr.Bindings {
+		binding := &sr.Bindings[i]
+		p.mu.Lock()
+		oc, owns := p.owned[coin.ID(binding.CoinPub)]
+		p.mu.Unlock()
+		if !owns {
+			continue
+		}
+		if !binding.ByBroker || binding.VerifyFor(p.suite, oc.c, p.cfg.BrokerPub, now) != nil {
+			continue
+		}
+		p.mu.Lock()
+		if oc.binding == nil || binding.Seq > oc.binding.Seq {
+			oc.binding = binding.Clone()
+			oc.selfHeld = false
+		}
+		oc.dirty = false
+		p.mu.Unlock()
+	}
+	p.ops.Inc(OpSync)
+	return nil
+}

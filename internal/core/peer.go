@@ -1,0 +1,518 @@
+package core
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"sync"
+	"time"
+
+	"whopay/internal/bus"
+	"whopay/internal/coin"
+	"whopay/internal/dht"
+	"whopay/internal/groupsig"
+	"whopay/internal/indirect"
+	"whopay/internal/sig"
+)
+
+// SyncMode selects how an owner reconciles state after rejoining (paper
+// Section 5.2): proactive synchronizes with the broker on every rejoin;
+// lazy defers to a public-binding-list check on the first request per coin.
+type SyncMode int
+
+// Sync modes.
+const (
+	SyncProactive SyncMode = iota
+	SyncLazy
+)
+
+// Prober reports whether an address is currently reachable. The in-memory
+// bus implements it; peers use it to pick payment methods ("transfer an
+// online coin") without burning failed calls. Without a prober, peers probe
+// by attempting the call.
+type Prober interface {
+	Online(addr bus.Address) bool
+}
+
+// Presence lets a peer announce its own availability to the transport (the
+// in-memory bus implements it via SetOnline).
+type Presence interface {
+	SetOnline(addr bus.Address, online bool)
+}
+
+// PeerConfig configures a Peer.
+type PeerConfig struct {
+	// ID is the peer's identity (registered with the directory and the
+	// judge).
+	ID string
+	// Network to listen on; Addr is the peer's address.
+	Network bus.Network
+	Addr    bus.Address
+	// Scheme is the signature scheme; Recorder (optional) attributes
+	// this peer's crypto micro-operations.
+	Scheme   sig.Scheme
+	Recorder sig.Recorder
+	// Clock defaults to time.Now.
+	Clock Clock
+	// RenewalPeriod defaults to DefaultRenewalPeriod.
+	RenewalPeriod time.Duration
+	// Directory is the trusted identity/address registry.
+	Directory *Directory
+	// BrokerAddr and BrokerPub identify the broker.
+	BrokerAddr bus.Address
+	BrokerPub  sig.PublicKey
+	// Judge enrolls the peer at construction; alternatively supply a
+	// pre-enrolled Member plus GroupPub, or a JudgeAddr to enroll over
+	// the bus (multi-process deployments; see JudgeServer).
+	Judge     *Judge
+	Member    *groupsig.MemberKey
+	GroupPub  sig.PublicKey
+	JudgeAddr bus.Address
+	// CredPool is the initial group-credential pool size (default 32).
+	CredPool int
+	// DHTNodes enables the public binding list; empty disables.
+	DHTNodes []bus.Address
+	DHTMode  dht.Mode
+	// PublishBindings controls whether this peer, as an owner, publishes
+	// binding updates to the DHT.
+	PublishBindings bool
+	// WatchHeldCoins subscribes to held coins' public bindings and
+	// raises (and reports) fraud alerts on unexpected re-bindings —
+	// the real-time double-spending detection of Section 5.1.
+	WatchHeldCoins bool
+	// CheckPublicBinding makes the payee cross-check the public binding
+	// list before finalizing acceptance.
+	CheckPublicBinding bool
+	// AutoReportFraud files a FraudReport with the broker when a watch
+	// alarm fires (default true when WatchHeldCoins).
+	AutoReportFraud bool
+	// IndirectServers enable owner-anonymous coins (Section 5.2).
+	IndirectServers []bus.Address
+	// SyncMode selects proactive or lazy owner synchronization.
+	SyncMode SyncMode
+	// Prober and Presence integrate with the transport's availability
+	// model (both optional).
+	Prober   Prober
+	Presence Presence
+	// Rand, when set, makes all protocol randomness (nonces, initial
+	// sequence numbers) deterministic — the simulator injects a seeded
+	// source. Defaults to crypto/rand.
+	Rand *mrand.Rand
+	// OfferTTL bounds how long a payment offer stays open (default 10m).
+	OfferTTL time.Duration
+	// AuditLogCap bounds per-coin relinquishment logs (0 = unlimited).
+	// The simulator caps them; real deployments keep full trails.
+	AuditLogCap int
+}
+
+// ownedCoin is the owner-side state for one coin.
+type ownedCoin struct {
+	// svc serializes servicing (transfer/renewal) of this coin: the
+	// validate→deliver→commit sequence must not interleave, or two
+	// requests citing the same sequence number could both deliver.
+	// TryLock (never Lock) so a malicious payee that calls back into
+	// the owner during delivery gets ErrCoinBusy instead of a deadlock.
+	svc        sync.Mutex
+	c          *coin.Coin
+	coinKeys   sig.KeyPair
+	handleKeys *sig.KeyPair
+	binding    *coin.Binding // nil until first issued
+	selfHeld   bool
+	dirty      bool // lazy sync: re-check the public binding before servicing
+	log        map[uint64]RelinquishProof
+	logOrder   []uint64
+}
+
+// heldCoin is the holder-side state for one coin.
+type heldCoin struct {
+	c          *coin.Coin
+	holderKeys sig.KeyPair
+	binding    *coin.Binding
+	inFlight   bool // a transfer we initiated is in progress; ignore watch alarms
+}
+
+// pendingOffer is an open payment offer awaiting delivery.
+type pendingOffer struct {
+	holderKeys sig.KeyPair
+	nonce      []byte
+	value      int64
+	created    time.Time
+}
+
+// FraudAlert records a watch alarm: the public binding list re-bound a coin
+// this peer holds, without its consent.
+type FraudAlert struct {
+	CoinID   coin.ID
+	Mine     coin.Binding
+	Observed coin.Binding
+	Verdict  string // broker's verdict if the alert was reported
+}
+
+// Peer is a WhoPay participant: owner of the coins it purchased, holder of
+// the coins paid to it, payer and payee in transactions. Safe for
+// concurrent use.
+type Peer struct {
+	cfg    PeerConfig
+	suite  sig.Suite
+	keys   sig.KeyPair
+	member *groupsig.MemberKey
+	ep     bus.Endpoint
+	dhtc   *dht.Client
+	indir  *indirect.Client
+	ops    OpCounter
+
+	randMu sync.Mutex
+	rand   *mrand.Rand
+
+	mu          sync.Mutex
+	online      bool
+	owned       map[coin.ID]*ownedCoin
+	held        map[coin.ID]*heldCoin
+	heldOrder   []coin.ID
+	offers      map[string]*pendingOffer
+	alerts      []FraudAlert
+	trigVersion uint64
+}
+
+// NewPeer creates a peer, registers its identity with the directory,
+// enrolls it with the judge (unless a member key is supplied), and starts
+// listening. The peer starts online.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.Network == nil || cfg.Scheme == nil || cfg.Directory == nil {
+		return nil, errors.New("core: peer needs Network, Scheme and Directory")
+	}
+	if cfg.ID == "" {
+		return nil, errors.New("core: peer needs an ID")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = bus.Address("peer:" + cfg.ID)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.RenewalPeriod <= 0 {
+		cfg.RenewalPeriod = DefaultRenewalPeriod
+	}
+	if cfg.CredPool <= 0 {
+		cfg.CredPool = 32
+	}
+	if cfg.OfferTTL <= 0 {
+		cfg.OfferTTL = 10 * time.Minute
+	}
+	if cfg.WatchHeldCoins && !cfg.AutoReportFraud {
+		cfg.AutoReportFraud = true
+	}
+	p := &Peer{
+		cfg:    cfg,
+		suite:  sig.Suite{Scheme: cfg.Scheme, Rec: cfg.Recorder},
+		rand:   cfg.Rand,
+		online: true,
+		owned:  make(map[coin.ID]*ownedCoin),
+		held:   make(map[coin.ID]*heldCoin),
+		offers: make(map[string]*pendingOffer),
+	}
+	// Identity keys are one-time enrollment setup, not part of any
+	// operation's cost: generate them outside the recorded suite.
+	keys, err := cfg.Scheme.GenerateKey()
+	if err != nil {
+		return nil, fmt.Errorf("core: peer keygen: %w", err)
+	}
+	p.keys = keys
+
+	switch {
+	case cfg.Member != nil:
+		if len(cfg.GroupPub) == 0 {
+			return nil, errors.New("core: Member requires GroupPub")
+		}
+		p.member = cfg.Member
+	case cfg.Judge != nil:
+		member, err := cfg.Judge.Enroll(cfg.ID, cfg.CredPool)
+		if err != nil {
+			return nil, fmt.Errorf("core: enrolling %s: %w", cfg.ID, err)
+		}
+		p.member = member
+		p.cfg.GroupPub = cfg.Judge.GroupPublicKey()
+	case cfg.JudgeAddr != "":
+		// Remote enrollment happens after Listen (it needs the
+		// endpoint).
+	default:
+		return nil, errors.New("core: peer needs a Judge, a Member key, or a JudgeAddr")
+	}
+
+	ep, err := cfg.Network.Listen(cfg.Addr, p.handle)
+	if err != nil {
+		return nil, fmt.Errorf("core: peer listen: %w", err)
+	}
+	p.ep = ep
+	// Adopt the actually-bound address (TCP ":0" binds pick a port).
+	p.cfg.Addr = ep.Addr()
+	cfg.Directory.Register(cfg.ID, p.keys.Public, p.cfg.Addr)
+
+	if p.member == nil {
+		member, groupPub, err := p.enrollRemotely(cfg.JudgeAddr, p.cfg.CredPool)
+		if err != nil {
+			_ = ep.Close()
+			return nil, fmt.Errorf("core: remote enrollment of %s: %w", cfg.ID, err)
+		}
+		p.member = member
+		p.cfg.GroupPub = groupPub
+	}
+	if len(cfg.DHTNodes) > 0 {
+		p.dhtc, err = dht.NewClient(ep, cfg.DHTNodes, cfg.DHTMode)
+		if err != nil {
+			_ = ep.Close()
+			return nil, fmt.Errorf("core: peer dht client: %w", err)
+		}
+	}
+	if len(cfg.IndirectServers) > 0 {
+		p.indir, err = indirect.NewClient(ep, cfg.IndirectServers)
+		if err != nil {
+			_ = ep.Close()
+			return nil, fmt.Errorf("core: peer indirect client: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// ID returns the peer's identity.
+func (p *Peer) ID() string { return p.cfg.ID }
+
+// Addr returns the peer's bus address (the actually-bound one).
+func (p *Peer) Addr() bus.Address { return p.cfg.Addr }
+
+// BoundAddr is an alias of Addr, named for transports where the configured
+// and bound addresses differ (TCP ":0").
+func (p *Peer) BoundAddr() bus.Address { return p.cfg.Addr }
+
+// PublicKey returns the peer's identity key.
+func (p *Peer) PublicKey() sig.PublicKey { return p.keys.Public.Clone() }
+
+// Ops returns a snapshot of this peer's operation counts.
+func (p *Peer) Ops() OpCounts { return p.ops.Snapshot() }
+
+// Close stops the peer.
+func (p *Peer) Close() error { return p.ep.Close() }
+
+// Online reports the peer's own availability flag.
+func (p *Peer) Online() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.online
+}
+
+// GoOffline marks the peer offline (and tells the transport, when wired).
+func (p *Peer) GoOffline() {
+	p.mu.Lock()
+	p.online = false
+	p.mu.Unlock()
+	if p.cfg.Presence != nil {
+		p.cfg.Presence.SetOnline(p.cfg.Addr, false)
+	}
+}
+
+// GoOnline brings the peer back: it re-announces presence, re-registers
+// indirection triggers for its anonymous coins, and reconciles owner state
+// per the configured sync mode — a broker synchronization (proactive) or
+// marking owned coins for a lazy public-binding check on first use.
+func (p *Peer) GoOnline() error {
+	p.mu.Lock()
+	p.online = true
+	var anon []*ownedCoin
+	for _, oc := range p.owned {
+		if p.cfg.SyncMode == SyncLazy {
+			oc.dirty = true
+		}
+		if oc.handleKeys != nil {
+			anon = append(anon, oc)
+		}
+	}
+	p.trigVersion++
+	version := p.trigVersion
+	p.mu.Unlock()
+
+	if p.cfg.Presence != nil {
+		p.cfg.Presence.SetOnline(p.cfg.Addr, true)
+	}
+	if p.indir != nil {
+		for _, oc := range anon {
+			if err := p.indir.Register(p.suite, *oc.handleKeys, p.cfg.Addr, version); err != nil {
+				return fmt.Errorf("core: re-registering trigger: %w", err)
+			}
+		}
+	}
+	if p.cfg.SyncMode == SyncProactive {
+		return p.Sync()
+	}
+	return nil
+}
+
+// handle dispatches one protocol message.
+func (p *Peer) handle(from bus.Address, msg any) (any, error) {
+	switch m := msg.(type) {
+	case OfferRequest:
+		return p.handleOffer(m)
+	case DeliverRequest:
+		return p.handleDeliver(m)
+	case TransferRequest:
+		return p.handleTransferRequest(m)
+	case RenewRequest:
+		return p.handleRenewRequest(m)
+	case DisputeRequest:
+		return p.handleDispute(m)
+	case dht.Notify:
+		return p.handleNotify(m)
+	default:
+		return nil, fmt.Errorf("%w: peer got %T", ErrBadRequest, msg)
+	}
+}
+
+// randBytes draws protocol randomness from the injected source or
+// crypto/rand.
+func (p *Peer) randBytes(n int) []byte {
+	out := make([]byte, n)
+	if p.rand != nil {
+		p.randMu.Lock()
+		for i := range out {
+			out[i] = byte(p.rand.Intn(256))
+		}
+		p.randMu.Unlock()
+		return out
+	}
+	if _, err := rand.Read(out); err != nil {
+		// crypto/rand failure is unrecoverable; fall back to a
+		// time-derived nonce rather than panicking mid-protocol.
+		binary.BigEndian.PutUint64(out, uint64(p.cfg.Clock().UnixNano()))
+	}
+	return out
+}
+
+// randSeq draws the random initial sequence number the paper assigns at
+// issue time ("bind pkCU to pkCV, a randomly chosen sequence number").
+func (p *Peer) randSeq() uint64 {
+	if p.rand != nil {
+		p.randMu.Lock()
+		defer p.randMu.Unlock()
+		return uint64(p.rand.Uint32()) + 1
+	}
+	return uint64(binary.BigEndian.Uint32(p.randBytes(4))) + 1
+}
+
+// HeldCoins lists the coins this peer currently holds, oldest first.
+func (p *Peer) HeldCoins() []coin.ID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]coin.ID, len(p.heldOrder))
+	copy(out, p.heldOrder)
+	return out
+}
+
+// HeldValue sums the face value of held coins.
+func (p *Peer) HeldValue() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t int64
+	for _, hc := range p.held {
+		t += hc.c.Value
+	}
+	return t
+}
+
+// OwnedCoins lists the coins this peer owns (purchased).
+func (p *Peer) OwnedCoins() []coin.ID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]coin.ID, 0, len(p.owned))
+	for id := range p.owned {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SelfHeldCoins lists owned coins not yet issued (spendable by issue).
+func (p *Peer) SelfHeldCoins() []coin.ID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]coin.ID, 0, len(p.owned))
+	for id, oc := range p.owned {
+		if oc.selfHeld {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// HeldCoinOwner returns the owner identity of a held coin ("" for
+// owner-anonymous coins). The simulator uses it to route renewals the way
+// the paper's peers do — via the owner when online, the broker otherwise.
+func (p *Peer) HeldCoinOwner(id coin.ID) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	hc, ok := p.held[id]
+	if !ok {
+		return "", false
+	}
+	return hc.c.Owner, true
+}
+
+// HeldBindingExpiry returns the expiry of the peer's binding for a held
+// coin (zero time if unknown).
+func (p *Peer) HeldBindingExpiry(id coin.ID) (time.Time, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	hc, ok := p.held[id]
+	if !ok {
+		return time.Time{}, false
+	}
+	return time.Unix(hc.binding.Expiry, 0), true
+}
+
+// HeldBinding returns the peer's current binding for a held coin.
+func (p *Peer) HeldBinding(id coin.ID) (*coin.Binding, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	hc, ok := p.held[id]
+	if !ok {
+		return nil, false
+	}
+	return hc.binding.Clone(), true
+}
+
+// OwnerBinding returns the owner-side binding for an owned coin (nil if
+// never issued).
+func (p *Peer) OwnerBinding(id coin.ID) (*coin.Binding, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	oc, ok := p.owned[id]
+	if !ok || oc.binding == nil {
+		return nil, ok
+	}
+	return oc.binding.Clone(), true
+}
+
+// Alerts returns fraud alerts raised by the double-spend watch.
+func (p *Peer) Alerts() []FraudAlert {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]FraudAlert(nil), p.alerts...)
+}
+
+// removeHeldLocked drops a held coin and its order entry.
+func (p *Peer) removeHeldLocked(id coin.ID) {
+	delete(p.held, id)
+	for i, other := range p.heldOrder {
+		if other == id {
+			p.heldOrder = append(p.heldOrder[:i], p.heldOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// unwatch drops the DHT subscription for a relinquished coin.
+func (p *Peer) unwatch(id coin.ID) {
+	if p.dhtc == nil || !p.cfg.WatchHeldCoins {
+		return
+	}
+	_ = p.dhtc.Unsubscribe(dht.KeyFor(sig.PublicKey(id)), p.cfg.Addr)
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"whopay/internal/bus"
+	"whopay/internal/coin"
+)
+
+// Method is one way to make a payment (paper Section 6.1).
+type Method int
+
+// Payment methods, in the paper's vocabulary.
+const (
+	// MethodTransferOnline transfers a held coin whose owner is online,
+	// via the owner.
+	MethodTransferOnline Method = iota
+	// MethodTransferViaBroker transfers a held coin whose owner is
+	// offline, via the broker.
+	MethodTransferViaBroker
+	// MethodIssueExisting issues a self-held owned coin.
+	MethodIssueExisting
+	// MethodPurchaseIssue purchases a new coin and issues it.
+	MethodPurchaseIssue
+	// MethodDepositPurchaseIssue deposits a held offline coin, then
+	// purchases and issues a new one (policy III's last resort).
+	MethodDepositPurchaseIssue
+)
+
+var methodNames = map[Method]string{
+	MethodTransferOnline:       "transfer-online",
+	MethodTransferViaBroker:    "transfer-via-broker",
+	MethodIssueExisting:        "issue-existing",
+	MethodPurchaseIssue:        "purchase-issue",
+	MethodDepositPurchaseIssue: "deposit-purchase-issue",
+}
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	if s, ok := methodNames[m]; ok {
+		return s
+	}
+	return "unknown-method"
+}
+
+// Policy is a preference order over payment methods (paper Section 6.1).
+type Policy int
+
+// The paper's policies. I and III are defined in the paper ("user-centric"
+// and "broker-centric"); II.a and II.b appear in Table 1 as middle grounds
+// but are not specified — our definitions are documented in DESIGN.md.
+const (
+	// PolicyI — user-centric: get rid of coins received from other peers
+	// as quickly as possible.
+	PolicyI Policy = iota
+	// PolicyIIa — middle ground: prefer spending own coins before
+	// touching the broker for offline transfers.
+	PolicyIIa
+	// PolicyIIb — middle ground: like I but buys before bothering the
+	// broker with offline transfers.
+	PolicyIIb
+	// PolicyIII — broker-centric: avoid the broker as much as possible;
+	// deposit offline coins only as a last resort.
+	PolicyIII
+)
+
+var policyNames = map[Policy]string{
+	PolicyI:   "I",
+	PolicyIIa: "II.a",
+	PolicyIIb: "II.b",
+	PolicyIII: "III",
+}
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return "unknown-policy"
+}
+
+// Preferences returns the policy's method order.
+func (p Policy) Preferences() []Method {
+	switch p {
+	case PolicyI:
+		return []Method{MethodTransferOnline, MethodTransferViaBroker, MethodIssueExisting, MethodPurchaseIssue}
+	case PolicyIIa:
+		return []Method{MethodTransferOnline, MethodIssueExisting, MethodTransferViaBroker, MethodPurchaseIssue}
+	case PolicyIIb:
+		return []Method{MethodTransferOnline, MethodIssueExisting, MethodPurchaseIssue, MethodTransferViaBroker}
+	case PolicyIII:
+		// The paper lists "purchase and issue" before "deposit an
+		// offline coin, then purchase and issue", but also states
+		// that policy III peers "deposit offline coins, and purchase
+		// new coins to issue". The only executable reading that
+		// produces that behaviour is to liquidate an offline coin
+		// when one is held, and only inject fresh money when none is
+		// (see DESIGN.md interpretation notes).
+		return []Method{MethodTransferOnline, MethodIssueExisting, MethodDepositPurchaseIssue, MethodPurchaseIssue}
+	default:
+		return []Method{MethodTransferOnline, MethodTransferViaBroker, MethodIssueExisting, MethodPurchaseIssue}
+	}
+}
+
+// ownerOnline classifies a held coin's owner availability using the prober
+// (unknown counts as online so we at least attempt the transfer).
+func (p *Peer) ownerOnline(hc *heldCoin) bool {
+	if p.cfg.Prober == nil || hc.c.Anonymous() {
+		return true
+	}
+	entry, ok := p.cfg.Directory.Lookup(hc.c.Owner)
+	if !ok {
+		return false
+	}
+	return p.cfg.Prober.Online(entry.Addr)
+}
+
+// pickHeld scans held coins of the given value in acquisition order and
+// returns the first whose owner's availability matches wantOnline, skipping
+// any in skip. The early exit matters: at high availability the first coin
+// almost always qualifies, so payments cost O(1) wallet work instead of a
+// full partition of a possibly large wallet.
+func (p *Peer) pickHeld(value int64, wantOnline bool, skip map[coin.ID]bool) (coin.ID, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range p.heldOrder {
+		if skip[id] {
+			continue
+		}
+		hc := p.held[id]
+		if hc == nil || hc.c.Value != value {
+			continue
+		}
+		if p.ownerOnline(hc) == wantOnline {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// Pay makes one payment of the given value to the payee, trying the
+// methods in the peer's policy order. It returns the method that succeeded.
+func (p *Peer) Pay(payee bus.Address, value int64, policy Policy) (Method, error) {
+	if value <= 0 {
+		return 0, fmt.Errorf("%w: non-positive value", ErrBadRequest)
+	}
+	var lastErr error
+	for _, method := range policy.Preferences() {
+		err := p.payWith(method, payee, value)
+		if err == nil {
+			return method, nil
+		}
+		if errors.Is(err, ErrNoCoinAvailable) {
+			continue
+		}
+		lastErr = err
+		// A hard failure of one method (e.g. owner went offline mid
+		// transfer) still allows the next preference.
+	}
+	if lastErr == nil {
+		lastErr = ErrNoCoinAvailable
+	}
+	return 0, fmt.Errorf("%w: %v", ErrPaymentFailed, lastErr)
+}
+
+func (p *Peer) payWith(method Method, payee bus.Address, value int64) error {
+	switch method {
+	case MethodTransferOnline:
+		var skip map[coin.ID]bool
+		var lastErr error = ErrNoCoinAvailable
+		for {
+			id, ok := p.pickHeld(value, true, skip)
+			if !ok {
+				return lastErr
+			}
+			if err := p.TransferTo(payee, id); err != nil {
+				lastErr = err
+				if isUnreachable(err) {
+					// Owner vanished since probing; try the
+					// next candidate.
+					if skip == nil {
+						skip = make(map[coin.ID]bool)
+					}
+					skip[id] = true
+					continue
+				}
+				return err
+			}
+			return nil
+		}
+	case MethodTransferViaBroker:
+		id, ok := p.pickHeld(value, false, nil)
+		if !ok {
+			return ErrNoCoinAvailable
+		}
+		return p.TransferViaBroker(payee, id)
+	case MethodIssueExisting:
+		id, ok := p.pickSelfHeld(value)
+		if !ok {
+			return ErrNoCoinAvailable
+		}
+		return p.IssueTo(payee, id)
+	case MethodPurchaseIssue:
+		id, err := p.Purchase(value, false)
+		if err != nil {
+			return err
+		}
+		return p.IssueTo(payee, id)
+	case MethodDepositPurchaseIssue:
+		id, ok := p.pickHeld(value, false, nil)
+		if !ok {
+			return ErrNoCoinAvailable
+		}
+		if err := p.Deposit(id, p.cfg.ID); err != nil {
+			return err
+		}
+		id, err := p.Purchase(value, false)
+		if err != nil {
+			return err
+		}
+		return p.IssueTo(payee, id)
+	default:
+		return fmt.Errorf("%w: unknown method %d", ErrBadRequest, method)
+	}
+}
+
+// pickSelfHeld selects an unissued owned coin of the given value.
+func (p *Peer) pickSelfHeld(value int64) (coin.ID, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, oc := range p.owned {
+		if oc.selfHeld && oc.c.Value == value {
+			return id, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"whopay/internal/bus"
+	"whopay/internal/coin"
+)
+
+// Coin shops (paper Section 5.2, second approach to issuer anonymity):
+// dedicated peers that purchase coins from the broker in bulk and issue
+// them to ordinary peers for a fee. Ordinary peers then never issue coins
+// themselves — every payment they make is an (anonymous) transfer — so the
+// identity exposure of the issue procedure concentrates on shops, which do
+// not care about anonymity.
+//
+// A shop is a regular Peer with stocking and vending behaviour layered on
+// top: it remains the owner of every coin it vends and therefore services
+// the transfers of all circulating shop coins — concentrating load exactly
+// the way the paper's "super peer" discussion anticipates.
+
+// Shop wraps a Peer acting as a coin shop.
+type Shop struct {
+	*Peer
+	// FeePercent is the shop's margin, in percent, for bookkeeping.
+	FeePercent int
+}
+
+// NewShop upgrades a peer into a coin shop.
+func NewShop(p *Peer, feePercent int) *Shop {
+	return &Shop{Peer: p, FeePercent: feePercent}
+}
+
+// Stock purchases n coins of the given value from the broker.
+func (s *Shop) Stock(n int, value int64) error {
+	for i := 0; i < n; i++ {
+		if _, err := s.Purchase(value, false); err != nil {
+			return fmt.Errorf("core: stocking shop: %w", err)
+		}
+	}
+	return nil
+}
+
+// Inventory reports how many coins of the given value are available.
+func (s *Shop) Inventory(value int64) int {
+	n := 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, oc := range s.owned {
+		if oc.selfHeld && oc.c.Value == value {
+			n++
+		}
+	}
+	return n
+}
+
+// Vend issues one stocked coin to the customer (payment for the coin is
+// out of band: in a deployment the customer transfers other coins or pays
+// the shop's invoice; the vending itself is the issue protocol).
+func (s *Shop) Vend(customer bus.Address, value int64) (coin.ID, error) {
+	id, ok := s.pickSelfHeld(value)
+	if !ok {
+		// Restock on demand.
+		if _, err := s.Purchase(value, false); err != nil {
+			return "", fmt.Errorf("core: shop restock: %w", err)
+		}
+		id, ok = s.pickSelfHeld(value)
+		if !ok {
+			return "", ErrNoCoinAvailable
+		}
+	}
+	if err := s.IssueTo(customer, id); err != nil {
+		return "", err
+	}
+	return id, nil
+}

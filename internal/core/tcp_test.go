@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"whopay/internal/bus"
+	"whopay/internal/bus/tcpbus"
+	"whopay/internal/sig"
+)
+
+var registerOnce sync.Once
+
+// TestLifecycleOverTCP runs the purchase → issue → transfer → deposit flow
+// over real TCP sockets with gob framing and ECDSA signatures — the full
+// production stack, no in-memory shortcuts.
+func TestLifecycleOverTCP(t *testing.T) {
+	registerOnce.Do(RegisterWireTypes)
+	network := tcpbus.New()
+	scheme := sig.ECDSA{}
+	dir := NewDirectory()
+	judge, err := NewJudge(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker, err := NewBroker(BrokerConfig{
+		Network:   network,
+		Addr:      "127.0.0.1:0",
+		Scheme:    scheme,
+		Directory: dir,
+		GroupPub:  judge.GroupPublicKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	// The broker bound an ephemeral port; peers must dial the real one.
+	brokerAddr := brokerBoundAddr(broker)
+
+	newTCPPeer := func(id string) *Peer {
+		p, err := NewPeer(PeerConfig{
+			ID:         id,
+			Network:    network,
+			Addr:       "127.0.0.1:0",
+			Scheme:     scheme,
+			Directory:  dir,
+			BrokerAddr: brokerAddr,
+			BrokerPub:  broker.PublicKey(),
+			Judge:      judge,
+			CredPool:   4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		// Directory must carry the bound address, not the ":0" we
+		// asked for.
+		dir.Register(id, p.PublicKey(), p.ep.Addr())
+		return p
+	}
+	u := newTCPPeer("u")
+	v := newTCPPeer("v")
+	w := newTCPPeer("w")
+
+	id, err := u.Purchase(3, false)
+	if err != nil {
+		t.Fatalf("Purchase over TCP: %v", err)
+	}
+	if err := u.IssueTo(v.ep.Addr(), id); err != nil {
+		t.Fatalf("IssueTo over TCP: %v", err)
+	}
+	if err := v.TransferTo(w.ep.Addr(), id); err != nil {
+		t.Fatalf("TransferTo over TCP: %v", err)
+	}
+	if err := w.Deposit(id, "w-payout"); err != nil {
+		t.Fatalf("Deposit over TCP: %v", err)
+	}
+	if broker.Balance("w-payout") != 3 {
+		t.Fatalf("balance = %d", broker.Balance("w-payout"))
+	}
+}
+
+// brokerBoundAddr exposes the broker's actually-bound endpoint address.
+func brokerBoundAddr(b *Broker) bus.Address { return b.ep.Addr() }
+
+// TestCoinShop exercises the issuer-anonymity extension: customers buy
+// from a shop and pay each other only with anonymous transfers; the shop
+// services the transfer load of its coins.
+func TestCoinShop(t *testing.T) {
+	f := newFixture(t, fixtureOpts{detection: true})
+	shopPeer := f.addPeer("shop", nil)
+	shop := NewShop(shopPeer, 2)
+	alice := f.addPeer("alice", nil)
+	bob := f.addPeer("bob", nil)
+
+	if err := shop.Stock(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if shop.Inventory(1) != 3 {
+		t.Fatalf("inventory = %d", shop.Inventory(1))
+	}
+	id, err := shop.Vend(alice.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shop.Inventory(1) != 2 {
+		t.Fatalf("inventory after vend = %d", shop.Inventory(1))
+	}
+	// Alice pays Bob by transfer — never by issue, so her identity never
+	// appears in a coin.
+	method, err := alice.Pay(bob.Addr(), 1, PolicyIII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != MethodTransferOnline {
+		t.Fatalf("method = %v, want transfer via shop", method)
+	}
+	if shop.Ops().Get(OpTransfer) != 1 {
+		t.Fatal("shop did not service the transfer")
+	}
+	// Restock-on-demand path.
+	for i := 0; i < 3; i++ {
+		if _, err := shop.Vend(bob.Addr(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = id
+}

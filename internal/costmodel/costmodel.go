@@ -1,0 +1,146 @@
+// Package costmodel converts counted crypto micro-operations and bus
+// messages into the CPU and communication loads the paper's Figures 6-11
+// plot.
+//
+// CPU cost follows Table 3 exactly: with key-pair generation as the base
+// unit, regular signature generation and verification cost 2 units and
+// group signature generation and verification cost 4 (the paper's "wild
+// guess" of 2x regular, which our credential-based construction happens to
+// match). Communication cost is proportional to the number of messages
+// sent and received (Section 6.2: "we will let the communication cost of
+// each operation be proportional to the number of messages sent/received
+// rather than the number of bits").
+//
+// The package also measures real wall-clock costs of the crypto
+// micro-operations (Table 2's analog for our ECDSA P-256 stand-in).
+package costmodel
+
+import (
+	"fmt"
+	"time"
+
+	"whopay/internal/bus"
+	"whopay/internal/sig"
+)
+
+// Table 3 relative CPU costs, in key-generation units.
+const (
+	KeyGenCost      = 1
+	SignCost        = 2
+	VerifyCost      = 2
+	GroupSignCost   = 4
+	GroupVerifyCost = 4
+)
+
+// CPU converts a micro-operation snapshot into Table 3 CPU units.
+func CPU(s sig.Snapshot) int64 {
+	return s.KeyGens*KeyGenCost +
+		s.Signs*SignCost +
+		s.Verifies*VerifyCost +
+		s.GroupSigns*GroupSignCost +
+		s.GroupVerifies*GroupVerifyCost
+}
+
+// Comm converts bus statistics into the paper's communication load metric.
+func Comm(s bus.MsgStats) int64 { return s.Total() }
+
+// OpCost is one row of the measured-cost table (the paper's Table 2).
+type OpCost struct {
+	Name      string
+	AvgTime   time.Duration
+	PerSecond float64
+}
+
+// MeasuredTable is the Table 2 analog: measured costs of the three
+// micro-operations under a scheme, plus the derived relative units.
+type MeasuredTable struct {
+	Scheme  string
+	KeyGen  OpCost
+	Sign    OpCost
+	Verify  OpCost
+	RelSign float64 // sign time / keygen time
+	RelVrfy float64
+}
+
+// Measure times iters iterations of each micro-operation under scheme.
+// This regenerates Table 2 on the host machine (the paper measured DSA-1024
+// under Bouncy Castle on a 3.06 GHz Xeon: 7.8 / 13.9 / 12.3 ms).
+func Measure(scheme sig.Scheme, iters int) (MeasuredTable, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	out := MeasuredTable{Scheme: scheme.Name()}
+	msg := []byte("whopay cost-model measurement message")
+
+	kp, err := scheme.GenerateKey()
+	if err != nil {
+		return out, fmt.Errorf("costmodel: keygen: %w", err)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := scheme.GenerateKey(); err != nil {
+			return out, fmt.Errorf("costmodel: keygen: %w", err)
+		}
+	}
+	out.KeyGen = opCost("key pair generation", time.Since(start), iters)
+
+	sigBytes, err := scheme.Sign(kp.Private, msg)
+	if err != nil {
+		return out, fmt.Errorf("costmodel: sign: %w", err)
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := scheme.Sign(kp.Private, msg); err != nil {
+			return out, fmt.Errorf("costmodel: sign: %w", err)
+		}
+	}
+	out.Sign = opCost("signature generation", time.Since(start), iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := scheme.Verify(kp.Public, msg, sigBytes); err != nil {
+			return out, fmt.Errorf("costmodel: verify: %w", err)
+		}
+	}
+	out.Verify = opCost("signature verification", time.Since(start), iters)
+
+	if out.KeyGen.AvgTime > 0 {
+		out.RelSign = float64(out.Sign.AvgTime) / float64(out.KeyGen.AvgTime)
+		out.RelVrfy = float64(out.Verify.AvgTime) / float64(out.KeyGen.AvgTime)
+	}
+	return out, nil
+}
+
+func opCost(name string, total time.Duration, iters int) OpCost {
+	avg := total / time.Duration(iters)
+	persec := 0.0
+	if avg > 0 {
+		persec = float64(time.Second) / float64(avg)
+	}
+	return OpCost{Name: name, AvgTime: avg, PerSecond: persec}
+}
+
+// String renders the table in the paper's format.
+func (t MeasuredTable) String() string {
+	return fmt.Sprintf(
+		"Measured Operation Cost (%s)\n"+
+			"  %-28s %12v (%8.0f/s)\n"+
+			"  %-28s %12v (%8.0f/s)\n"+
+			"  %-28s %12v (%8.0f/s)\n"+
+			"  relative: keygen=1.00 sign=%.2f verify=%.2f (Table 3 assumes 1/2/2)\n",
+		t.Scheme,
+		t.KeyGen.Name, t.KeyGen.AvgTime, t.KeyGen.PerSecond,
+		t.Sign.Name, t.Sign.AvgTime, t.Sign.PerSecond,
+		t.Verify.Name, t.Verify.AvgTime, t.Verify.PerSecond,
+		t.RelSign, t.RelVrfy)
+}
+
+// RelativeTable renders the paper's Table 3 (assumed relative costs).
+func RelativeTable() string {
+	return "Relative Operation Cost (Table 3)\n" +
+		"  key pair generation            1\n" +
+		"  regular signature generation   2\n" +
+		"  regular signature verification 2\n" +
+		"  group signature generation     4\n" +
+		"  group signature verification   4\n"
+}

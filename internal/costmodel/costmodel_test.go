@@ -1,0 +1,96 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+
+	"whopay/internal/bus"
+	"whopay/internal/sig"
+)
+
+func TestCPUWeights(t *testing.T) {
+	cases := []struct {
+		name string
+		snap sig.Snapshot
+		want int64
+	}{
+		{"empty", sig.Snapshot{}, 0},
+		{"keygen", sig.Snapshot{KeyGens: 3}, 3},
+		{"sign", sig.Snapshot{Signs: 2}, 4},
+		{"verify", sig.Snapshot{Verifies: 5}, 10},
+		{"group sign", sig.Snapshot{GroupSigns: 2}, 8},
+		{"group verify", sig.Snapshot{GroupVerifies: 1}, 4},
+		{
+			// The paper's per-transfer peer mix: 1 keygen + 4 sign
+			// + 4 verify + 1 gsign + 1 gverify = 1+8+8+4+4 = 25.
+			"paper transfer mix",
+			sig.Snapshot{KeyGens: 1, Signs: 4, Verifies: 4, GroupSigns: 1, GroupVerifies: 1},
+			25,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CPU(tc.snap); got != tc.want {
+				t.Fatalf("CPU = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestComm(t *testing.T) {
+	if got := Comm(bus.MsgStats{Sent: 3, Received: 4}); got != 7 {
+		t.Fatalf("Comm = %d", got)
+	}
+}
+
+func TestMeasureNull(t *testing.T) {
+	table, err := Measure(sig.NewNull(1), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Scheme != "null" {
+		t.Fatalf("scheme = %q", table.Scheme)
+	}
+	if table.KeyGen.AvgTime < 0 || table.Sign.AvgTime < 0 {
+		t.Fatal("negative timings")
+	}
+	out := table.String()
+	for _, want := range []string{"key pair generation", "signature generation", "signature verification"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureECDSA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crypto timing in -short mode")
+	}
+	table, err := Measure(sig.ECDSA{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Sign.AvgTime <= 0 || table.Verify.AvgTime <= 0 || table.KeyGen.AvgTime <= 0 {
+		t.Fatalf("non-positive timing: %+v", table)
+	}
+	// Sanity: ECDSA verify is slower than keygen-relative zero; the
+	// exact ratios are hardware-dependent, just require positivity.
+	if table.RelSign <= 0 || table.RelVrfy <= 0 {
+		t.Fatalf("relative costs: %+v", table)
+	}
+}
+
+func TestMeasureIterClamp(t *testing.T) {
+	if _, err := Measure(sig.NewNull(2), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeTable(t *testing.T) {
+	out := RelativeTable()
+	for _, want := range []string{"group signature generation     4", "key pair generation            1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

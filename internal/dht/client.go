@@ -1,0 +1,156 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"whopay/internal/bus"
+)
+
+// Mode selects the client's routing strategy.
+type Mode int
+
+const (
+	// OneHop routes directly to the responsible node from a local
+	// membership snapshot (Dynamo-style; appropriate for the managed
+	// trusted infrastructure the paper assumes, and what the load
+	// simulator uses).
+	OneHop Mode = iota
+	// Iterative performs Chord iterative lookups through finger tables
+	// (O(log n) hops).
+	Iterative
+)
+
+// maxHops bounds iterative lookups; 2·256 covers any 256-bit ring walk with
+// sane fingers.
+const maxHops = 64
+
+// Client reads and writes the DHT through an existing bus endpoint (the
+// entity's own endpoint, so DHT traffic is attributed to the entity).
+type Client struct {
+	ep   bus.Endpoint
+	ring []nodeRef
+	mode Mode
+}
+
+// NewClient builds a client over the given node membership. Node IDs are
+// derived from addresses, so no network round-trip is needed.
+func NewClient(ep bus.Endpoint, nodes []bus.Address, mode Mode) (*Client, error) {
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	ring := make([]nodeRef, 0, len(nodes))
+	for _, addr := range nodes {
+		ring = append(ring, nodeRef{id: keyForAddr(addr), addr: addr})
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].id.Less(ring[j].id) })
+	return &Client{ep: ep, ring: ring, mode: mode}, nil
+}
+
+// primaryIndex returns the ring index of the node responsible for key; the
+// replica chain follows it around the ring.
+func (c *Client) primaryIndex(key Key) int {
+	i := sort.Search(len(c.ring), func(i int) bool { return !c.ring[i].id.Less(key) })
+	return i % len(c.ring)
+}
+
+// responsible returns the replica chain for key, primary first (tests).
+func (c *Client) responsible(key Key) []nodeRef {
+	i := c.primaryIndex(key)
+	out := make([]nodeRef, 0, len(c.ring))
+	for r := 0; r < len(c.ring); r++ {
+		out = append(out, c.ring[(i+r)%len(c.ring)])
+	}
+	return out
+}
+
+// locate finds the address to contact for key under the configured mode.
+func (c *Client) locate(key Key) (bus.Address, error) {
+	if c.mode == OneHop {
+		return c.ring[c.primaryIndex(key)].addr, nil
+	}
+	// Iterative Chord: start anywhere (spread load by key), follow
+	// FindResp hops.
+	start := c.ring[int(key[0])%len(c.ring)].addr
+	cur := start
+	for hop := 0; hop < maxHops; hop++ {
+		resp, err := c.ep.Call(cur, FindMsg{Key: key})
+		if err != nil {
+			return "", fmt.Errorf("%w: hop via %s: %v", ErrLookupFailed, cur, err)
+		}
+		fr, ok := resp.(FindResp)
+		if !ok {
+			return "", fmt.Errorf("%w: unexpected response %T", ErrLookupFailed, resp)
+		}
+		if fr.Found {
+			return fr.Addr, nil
+		}
+		cur = fr.Addr
+	}
+	return "", fmt.Errorf("%w: hop limit exceeded", ErrLookupFailed)
+}
+
+// callWithFallback tries the responsible replica chain in order until one
+// answers, tolerating individual node outages.
+func (c *Client) callWithFallback(key Key, msg any) (any, error) {
+	var addr bus.Address
+	var err error
+	if c.mode == Iterative {
+		addr, err = c.locate(key)
+		if err == nil {
+			var resp any
+			resp, err = c.ep.Call(addr, msg)
+			if err == nil {
+				return resp, nil
+			}
+		}
+	}
+	var lastErr error = err
+	primary := c.primaryIndex(key)
+	for r := 0; r < len(c.ring); r++ {
+		resp, err := c.ep.Call(c.ring[(primary+r)%len(c.ring)].addr, msg)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var remote *bus.RemoteError
+		if errors.As(err, &remote) {
+			// The node answered and rejected us: an application
+			// error (ACL, stale version) that fallback cannot fix.
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w: all replicas failed: %v", ErrLookupFailed, lastErr)
+}
+
+// Put writes a signed record.
+func (c *Client) Put(rec Record) error {
+	_, err := c.callWithFallback(rec.Key, PutMsg{Rec: rec})
+	return err
+}
+
+// Get reads the record at key.
+func (c *Client) Get(key Key) (Record, bool, error) {
+	resp, err := c.callWithFallback(key, GetMsg{Key: key})
+	if err != nil {
+		return Record{}, false, err
+	}
+	gr, ok := resp.(GetResp)
+	if !ok {
+		return Record{}, false, fmt.Errorf("dht: unexpected response %T", resp)
+	}
+	return gr.Rec, gr.Found, nil
+}
+
+// Subscribe registers watcher for notifications on writes to key.
+func (c *Client) Subscribe(key Key, watcher bus.Address) error {
+	_, err := c.callWithFallback(key, SubMsg{Key: key, Watcher: watcher})
+	return err
+}
+
+// Unsubscribe removes watcher's registration on key.
+func (c *Client) Unsubscribe(key Key, watcher bus.Address) error {
+	_, err := c.callWithFallback(key, SubMsg{Key: key, Watcher: watcher, Unsub: true})
+	return err
+}

@@ -1,0 +1,393 @@
+// Package dht implements the trusted, access-controlled distributed hash
+// table WhoPay's real-time double-spending detection relies on (paper
+// Section 5.1).
+//
+// Coin bindings are published under the coin's public key: the DHT key is
+// SHA-256(pkC), and a write is accepted only when it is signed by the coin
+// key itself (SHA-256 of the signing key must equal the record key) or by a
+// configured trusted writer (the broker, so downtime operations keep the
+// public list current). Anyone can read. Nodes support a register/notify
+// mechanism (in the spirit of Scribe/Bayeux): watchers subscribe to a key
+// and receive a notification on every accepted write, which is how holders
+// spot an unexpected re-binding of a coin they hold — a double spend — in
+// real time.
+//
+// Routing is Chord-style: node IDs are SHA-256 of their addresses on a
+// 256-bit ring; each node knows its successor list and a finger table.
+// Clients may route iteratively (O(log n) hops, exercising the fingers) or
+// one-hop (the client knows the membership, as in Dynamo-style systems —
+// appropriate here because the paper's DHT is a managed, trusted
+// infrastructure, and cheap enough for the load simulator).
+package dht
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"whopay/internal/bus"
+	"whopay/internal/sig"
+)
+
+// Errors returned by nodes and clients.
+var (
+	// ErrAccessDenied is returned for writes that fail the ACL.
+	ErrAccessDenied = errors.New("dht: write access denied")
+	// ErrStaleVersion is returned for writes not newer than the stored
+	// record.
+	ErrStaleVersion = errors.New("dht: stale version")
+	// ErrNoNodes is returned by a client with an empty membership.
+	ErrNoNodes = errors.New("dht: no nodes")
+	// ErrLookupFailed is returned when routing cannot reach a
+	// responsible node.
+	ErrLookupFailed = errors.New("dht: lookup failed")
+)
+
+// Key is a position on the 256-bit ring.
+type Key [32]byte
+
+// KeyFor maps a public key (e.g. a coin key) to its ring position.
+func KeyFor(pub sig.PublicKey) Key { return sha256.Sum256(pub) }
+
+// keyForAddr maps a node address to its ring position.
+func keyForAddr(addr bus.Address) Key { return sha256.Sum256([]byte("dht/node/" + addr)) }
+
+// Less orders keys on the ring's underlying integer line.
+func (k Key) Less(other Key) bool { return bytes.Compare(k[:], other[:]) < 0 }
+
+// between reports whether x lies in the half-open ring interval (a, b].
+func between(a, b, x Key) bool {
+	switch bytes.Compare(a[:], b[:]) {
+	case -1: // a < b: ordinary interval
+		return bytes.Compare(a[:], x[:]) < 0 && bytes.Compare(x[:], b[:]) <= 0
+	case 1: // wraps around zero
+		return bytes.Compare(a[:], x[:]) < 0 || bytes.Compare(x[:], b[:]) <= 0
+	default: // a == b: full circle
+		return true
+	}
+}
+
+// Record is a versioned, signed DHT entry. For coin bindings, Value is the
+// binding's canonical message concatenated with its signature, Version is
+// the binding sequence number, and AuthPub is the coin public key (or the
+// broker's for downtime writes).
+type Record struct {
+	Key     Key
+	Version uint64
+	Value   []byte
+	AuthPub sig.PublicKey
+	Sig     []byte
+}
+
+// RecordMessage is the canonical byte string signed for a record.
+func RecordMessage(key Key, version uint64, value []byte) []byte {
+	out := make([]byte, 0, 52+len(value))
+	out = append(out, "whopay/dht/record/1"...)
+	out = append(out, key[:]...)
+	out = binary.BigEndian.AppendUint64(out, version)
+	out = append(out, value...)
+	return out
+}
+
+// SignRecord builds a signed record writing value at key with the given
+// version, authenticated by kp.
+func SignRecord(suite sig.Suite, kp sig.KeyPair, key Key, version uint64, value []byte) (Record, error) {
+	sigBytes, err := suite.Sign(kp.Private, RecordMessage(key, version, value))
+	if err != nil {
+		return Record{}, fmt.Errorf("dht: signing record: %w", err)
+	}
+	return Record{Key: key, Version: version, Value: value, AuthPub: kp.Public.Clone(), Sig: sigBytes}, nil
+}
+
+// Wire messages. Exported so the TCP transport can gob-register them.
+type (
+	// PutMsg writes a record. NoReplicate marks replica fan-out writes.
+	PutMsg struct {
+		Rec         Record
+		NoReplicate bool
+	}
+	// GetMsg reads the record at Key.
+	GetMsg struct{ Key Key }
+	// GetResp answers GetMsg.
+	GetResp struct {
+		Rec   Record
+		Found bool
+	}
+	// FindMsg asks a node for one Chord routing step toward Key.
+	FindMsg struct{ Key Key }
+	// FindResp answers FindMsg: the responsible node if Found, else the
+	// next hop.
+	FindResp struct {
+		Found bool
+		Addr  bus.Address
+	}
+	// SubMsg subscribes (or unsubscribes) Watcher to writes at Key.
+	SubMsg struct {
+		Key     Key
+		Watcher bus.Address
+		Unsub   bool
+	}
+	// Notify is delivered to watchers on every accepted write.
+	Notify struct{ Rec Record }
+	// Ack is an empty success response.
+	Ack struct{}
+)
+
+type nodeRef struct {
+	id   Key
+	addr bus.Address
+}
+
+// Node is one DHT server. Create nodes through Cluster.
+type Node struct {
+	id      Key
+	addr    bus.Address
+	ep      bus.Endpoint
+	scheme  sig.Scheme
+	trusted map[string]bool
+
+	mu    sync.Mutex
+	store map[Key]Record
+	subs  map[Key]map[bus.Address]bool
+
+	// Static routing state, wired by the cluster: the full sorted ring
+	// (successor/replica computation) and a log-sized finger table used
+	// to answer iterative lookups.
+	ring     []nodeRef
+	fingers  []nodeRef
+	replicas int
+}
+
+// Addr returns the node's bus address.
+func (n *Node) Addr() bus.Address { return n.addr }
+
+// handle dispatches one DHT message.
+func (n *Node) handle(from bus.Address, msg any) (any, error) {
+	switch m := msg.(type) {
+	case PutMsg:
+		return n.handlePut(m)
+	case GetMsg:
+		n.mu.Lock()
+		rec, ok := n.store[m.Key]
+		n.mu.Unlock()
+		return GetResp{Rec: rec, Found: ok}, nil
+	case FindMsg:
+		return n.findStep(m.Key), nil
+	case SubMsg:
+		n.mu.Lock()
+		if m.Unsub {
+			if ws := n.subs[m.Key]; ws != nil {
+				delete(ws, m.Watcher)
+				if len(ws) == 0 {
+					delete(n.subs, m.Key)
+				}
+			}
+		} else {
+			ws := n.subs[m.Key]
+			if ws == nil {
+				ws = make(map[bus.Address]bool)
+				n.subs[m.Key] = ws
+			}
+			ws[m.Watcher] = true
+		}
+		n.mu.Unlock()
+		return Ack{}, nil
+	default:
+		return nil, fmt.Errorf("dht: unknown message %T", msg)
+	}
+}
+
+func (n *Node) handlePut(m PutMsg) (any, error) {
+	rec := m.Rec
+	// ACL: the signing key must hash to the record key (coin-owner
+	// write) or be a trusted writer (broker downtime write).
+	if KeyFor(rec.AuthPub) != rec.Key && !n.trusted[string(rec.AuthPub)] {
+		return nil, ErrAccessDenied
+	}
+	if err := n.scheme.Verify(rec.AuthPub, RecordMessage(rec.Key, rec.Version, rec.Value), rec.Sig); err != nil {
+		return nil, fmt.Errorf("%w: bad record signature: %v", ErrAccessDenied, err)
+	}
+	n.mu.Lock()
+	old, exists := n.store[rec.Key]
+	if exists && rec.Version <= old.Version {
+		identical := rec.Version == old.Version && bytes.Equal(rec.Value, old.Value)
+		n.mu.Unlock()
+		if identical {
+			return Ack{}, nil // idempotent re-put
+		}
+		return nil, fmt.Errorf("%w: have v%d, got v%d", ErrStaleVersion, old.Version, rec.Version)
+	}
+	n.store[rec.Key] = rec
+	var watchers []bus.Address
+	for w := range n.subs[rec.Key] {
+		watchers = append(watchers, w)
+	}
+	n.mu.Unlock()
+
+	if !m.NoReplicate {
+		for _, replica := range n.replicaSet(rec.Key) {
+			if replica.addr == n.addr {
+				continue
+			}
+			// Best-effort: a momentarily unreachable replica will
+			// be repaired by the next write.
+			_, _ = n.ep.Call(replica.addr, PutMsg{Rec: rec, NoReplicate: true})
+		}
+		// Register/notify: tell every watcher about the accepted
+		// write. Best-effort — an offline watcher simply misses it.
+		for _, w := range watchers {
+			_, _ = n.ep.Call(w, Notify{Rec: rec})
+		}
+	}
+	return Ack{}, nil
+}
+
+// findStep performs one Chord routing step.
+func (n *Node) findStep(key Key) FindResp {
+	succ := n.successorOf(n.id)
+	if between(n.id, succ.id, key) {
+		return FindResp{Found: true, Addr: succ.addr}
+	}
+	// Closest preceding finger.
+	for i := len(n.fingers) - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if f.addr != n.addr && between(n.id, key, f.id) && f.id != key {
+			return FindResp{Found: false, Addr: f.addr}
+		}
+	}
+	return FindResp{Found: true, Addr: succ.addr}
+}
+
+// successorOf returns the first ring node strictly after id (wrapping).
+func (n *Node) successorOf(id Key) nodeRef {
+	i := sort.Search(len(n.ring), func(i int) bool { return id.Less(n.ring[i].id) })
+	if i == len(n.ring) {
+		i = 0
+	}
+	return n.ring[i]
+}
+
+// replicaSet returns the nodes responsible for key: its successor and the
+// following replicas-1 nodes.
+func (n *Node) replicaSet(key Key) []nodeRef {
+	out := make([]nodeRef, 0, n.replicas)
+	i := sort.Search(len(n.ring), func(i int) bool { return !n.ring[i].id.Less(key) })
+	for r := 0; r < n.replicas && r < len(n.ring); r++ {
+		out = append(out, n.ring[(i+r)%len(n.ring)])
+	}
+	return out
+}
+
+// StoreSize reports how many records this node holds (tests/metrics).
+func (n *Node) StoreSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.store)
+}
+
+// Cluster is a managed set of DHT nodes — the paper's "trusted DHT
+// infrastructure ... provided as a service by a trusted entity".
+type Cluster struct {
+	nodes []*Node
+	addrs []bus.Address
+}
+
+// NewCluster creates n nodes on net with the given replication factor and
+// trusted writers, and wires their static routing tables.
+func NewCluster(net bus.Network, scheme sig.Scheme, n, replicas int, trusted ...sig.PublicKey) (*Cluster, error) {
+	if n < 1 {
+		return nil, errors.New("dht: need at least one node")
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > n {
+		replicas = n
+	}
+	trustSet := make(map[string]bool, len(trusted))
+	for _, pub := range trusted {
+		trustSet[string(pub)] = true
+	}
+	c := &Cluster{}
+	ring := make([]nodeRef, 0, n)
+	for i := 0; i < n; i++ {
+		addr := bus.Address(fmt.Sprintf("dht:%d", i))
+		node := &Node{
+			id:       keyForAddr(addr),
+			addr:     addr,
+			scheme:   scheme,
+			trusted:  trustSet,
+			store:    make(map[Key]Record),
+			subs:     make(map[Key]map[bus.Address]bool),
+			replicas: replicas,
+		}
+		ep, err := net.Listen(addr, node.handle)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("dht: starting node %d: %w", i, err)
+		}
+		node.ep = ep
+		c.nodes = append(c.nodes, node)
+		ring = append(ring, nodeRef{id: node.id, addr: addr})
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].id.Less(ring[j].id) })
+	for _, node := range c.nodes {
+		node.ring = ring
+		node.fingers = fingersFor(node.id, ring)
+	}
+	for _, node := range c.nodes {
+		c.addrs = append(c.addrs, node.addr)
+	}
+	return c, nil
+}
+
+// fingersFor computes a Chord finger table: for each bit k, the successor
+// of id + 2^k.
+func fingersFor(id Key, ring []nodeRef) []nodeRef {
+	var fingers []nodeRef
+	for k := 0; k < 256; k++ {
+		target := addPow2(id, k)
+		i := sort.Search(len(ring), func(i int) bool { return !ring[i].id.Less(target) })
+		if i == len(ring) {
+			i = 0
+		}
+		f := ring[i]
+		if len(fingers) == 0 || fingers[len(fingers)-1].addr != f.addr {
+			fingers = append(fingers, f)
+		}
+	}
+	return fingers
+}
+
+// addPow2 returns id + 2^k on the 256-bit ring.
+func addPow2(id Key, k int) Key {
+	var out Key
+	copy(out[:], id[:])
+	byteIdx := 31 - k/8
+	carry := uint16(1) << (k % 8)
+	for i := byteIdx; i >= 0 && carry > 0; i-- {
+		sum := uint16(out[i]) + carry
+		out[i] = byte(sum)
+		carry = sum >> 8
+	}
+	return out
+}
+
+// Nodes exposes the cluster's nodes (tests/metrics).
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Addrs returns the node addresses for client construction.
+func (c *Cluster) Addrs() []bus.Address { return append([]bus.Address(nil), c.addrs...) }
+
+// Close shuts down every node.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		if n.ep != nil {
+			_ = n.ep.Close()
+		}
+	}
+}

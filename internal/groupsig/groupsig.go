@@ -1,0 +1,428 @@
+// Package groupsig provides the group-signature functionality WhoPay uses
+// for fairness (paper Section 3.2): every user enrolls with a trusted judge
+// and signs sensitive messages in a way that (a) proves membership to any
+// verifier holding the group public key, (b) reveals nothing about the
+// signer's identity and is unlinkable across signatures, and (c) lets the
+// judge — and only the judge — open a signature to recover the signer.
+//
+// Construction (documented substitution, see DESIGN.md §5): instead of a
+// pairing-based scheme, the judge issues each member a pool of one-time
+// credentials. A credential is a fresh key pair whose public half is
+// certified by the judge's master key together with an opaque serial number;
+// the judge privately maps serials to identities. Signing consumes one
+// credential, so distinct signatures carry distinct serials and are
+// unlinkable. Verification checks the judge's certificate and the
+// credential signature — about twice the cost of a plain signature, which
+// matches the 2x relative cost the paper assumes for group signatures
+// (Table 3).
+package groupsig
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"whopay/internal/shamir"
+	"whopay/internal/sig"
+)
+
+// Errors returned by this package.
+var (
+	// ErrNotMember is returned by Verify when the credential certificate
+	// does not validate under the group public key.
+	ErrNotMember = errors.New("groupsig: credential not certified by this group")
+	// ErrBadSignature is returned by Verify when the message signature
+	// does not validate under the credential key.
+	ErrBadSignature = errors.New("groupsig: invalid signature")
+	// ErrUnknownSerial is returned by Open for serials the judge never
+	// issued.
+	ErrUnknownSerial = errors.New("groupsig: unknown credential serial")
+	// ErrRevoked is returned when a revoked member requests credentials.
+	ErrRevoked = errors.New("groupsig: member revoked")
+	// ErrNoCredentials is returned by Sign when the pool is empty and no
+	// refill source is available.
+	ErrNoCredentials = errors.New("groupsig: credential pool exhausted")
+)
+
+// Credential is the public part of a one-time signing credential: a fresh
+// public key certified by the judge. Cert signs credentialMessage(Serial,
+// Pub) under the group master key.
+type Credential struct {
+	Serial uint64
+	Pub    sig.PublicKey
+	Cert   []byte
+}
+
+// Signature is a group signature: a one-time credential plus a signature by
+// the credential key over the message. It reveals no identity; the judge
+// can map Serial back to the enrolled member.
+type Signature struct {
+	Cred Credential
+	Sig  []byte
+}
+
+// credentialMessage is the canonical byte string certified by the judge.
+func credentialMessage(serial uint64, pub sig.PublicKey) []byte {
+	msg := make([]byte, 0, 28+len(pub))
+	msg = append(msg, "whopay/groupsig/credential/1"...)
+	msg = binary.BigEndian.AppendUint64(msg, serial)
+	msg = append(msg, pub...)
+	return msg
+}
+
+// Verify checks that gs is a valid group signature over msg for the group
+// identified by groupPub. It records one group-verification micro-op on the
+// suite's recorder (the underlying two plain verifications are deliberately
+// not double-counted; Table 3 weighs the group operation as a unit).
+func Verify(suite sig.Suite, groupPub sig.PublicKey, msg []byte, gs Signature) error {
+	if suite.Rec != nil {
+		suite.Rec.RecordGroupVerify()
+	}
+	if err := suite.Scheme.Verify(groupPub, credentialMessage(gs.Cred.Serial, gs.Cred.Pub), gs.Cred.Cert); err != nil {
+		return fmt.Errorf("%w: %v", ErrNotMember, err)
+	}
+	if err := suite.Scheme.Verify(gs.Cred.Pub, msg, gs.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	return nil
+}
+
+// secretCredential pairs a credential with its private key; it never leaves
+// the member.
+type secretCredential struct {
+	cred Credential
+	priv sig.PrivateKey
+}
+
+// IssuedCredential is the transferable form of a credential plus its
+// private key, used when enrollment happens over a network (the judge
+// issues, the member imports). Transport confidentiality is the caller's
+// problem: anyone who reads Priv can sign as the member.
+type IssuedCredential struct {
+	Cred Credential
+	Priv sig.PrivateKey
+}
+
+// MemberKey is a member's group private key: a pool of one-time credentials
+// plus a refill channel back to the judge. Safe for concurrent use.
+type MemberKey struct {
+	identity string
+	groupPub sig.PublicKey
+
+	mu     sync.Mutex
+	pool   []secretCredential
+	refill func(n int) ([]secretCredential, error)
+}
+
+// Identity returns the enrolled identity this key was issued to. The
+// identity is local to the member and the judge; it is never embedded in
+// signatures.
+func (mk *MemberKey) Identity() string { return mk.identity }
+
+// GroupPublicKey returns the group public key credentials are certified
+// under.
+func (mk *MemberKey) GroupPublicKey() sig.PublicKey { return mk.groupPub.Clone() }
+
+// PoolSize reports how many unused credentials remain.
+func (mk *MemberKey) PoolSize() int {
+	mk.mu.Lock()
+	defer mk.mu.Unlock()
+	return len(mk.pool)
+}
+
+// refillBatch is how many credentials a member fetches when its pool runs
+// dry. Larger batches amortize judge round-trips.
+const refillBatch = 32
+
+// Sign produces a group signature over msg, consuming one credential. It
+// records one group-signing micro-op on the suite's recorder. When the pool
+// is empty the member transparently requests a refill from the judge.
+func (mk *MemberKey) Sign(suite sig.Suite, msg []byte) (Signature, error) {
+	if suite.Rec != nil {
+		suite.Rec.RecordGroupSign()
+	}
+	sc, err := mk.take()
+	if err != nil {
+		return Signature{}, err
+	}
+	sigBytes, err := suite.Scheme.Sign(sc.priv, msg)
+	if err != nil {
+		return Signature{}, fmt.Errorf("groupsig: signing with credential %d: %w", sc.cred.Serial, err)
+	}
+	return Signature{Cred: sc.cred, Sig: sigBytes}, nil
+}
+
+func (mk *MemberKey) take() (secretCredential, error) {
+	mk.mu.Lock()
+	defer mk.mu.Unlock()
+	if len(mk.pool) == 0 {
+		if mk.refill == nil {
+			return secretCredential{}, ErrNoCredentials
+		}
+		fresh, err := mk.refill(refillBatch)
+		if err != nil {
+			return secretCredential{}, fmt.Errorf("groupsig: refilling credentials: %w", err)
+		}
+		mk.pool = fresh
+	}
+	sc := mk.pool[len(mk.pool)-1]
+	mk.pool = mk.pool[:len(mk.pool)-1]
+	return sc, nil
+}
+
+// Manager is the judge-side group manager: it enrolls members, issues
+// credentials, and opens signatures. Safe for concurrent use.
+type Manager struct {
+	scheme sig.Scheme
+	master sig.KeyPair
+
+	mu       sync.Mutex
+	serials  map[uint64]string // credential serial -> member identity
+	enrolled map[string]bool
+	revoked  map[string]bool
+	next     uint64
+}
+
+// NewManager creates a group with a fresh master key under scheme.
+func NewManager(scheme sig.Scheme) (*Manager, error) {
+	master, err := scheme.GenerateKey()
+	if err != nil {
+		return nil, fmt.Errorf("groupsig: generating master key: %w", err)
+	}
+	return &Manager{
+		scheme:   scheme,
+		master:   master,
+		serials:  make(map[uint64]string),
+		enrolled: make(map[string]bool),
+		revoked:  make(map[string]bool),
+	}, nil
+}
+
+// GroupPublicKey returns the master public key verifiers use.
+func (m *Manager) GroupPublicKey() sig.PublicKey { return m.master.Public.Clone() }
+
+// Enroll registers identity with the group and returns its member key,
+// pre-charged with poolSize one-time credentials. Enrolling the same
+// identity again yields a fresh key (e.g. after device loss); old unused
+// credentials remain openable to the same identity.
+func (m *Manager) Enroll(identity string, poolSize int) (*MemberKey, error) {
+	if identity == "" {
+		return nil, errors.New("groupsig: empty identity")
+	}
+	m.mu.Lock()
+	if m.revoked[identity] {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("enrolling %q: %w", identity, ErrRevoked)
+	}
+	m.enrolled[identity] = true
+	m.mu.Unlock()
+
+	mk := &MemberKey{
+		identity: identity,
+		groupPub: m.master.Public.Clone(),
+		refill:   func(n int) ([]secretCredential, error) { return m.issue(identity, n) },
+	}
+	pool, err := m.issue(identity, poolSize)
+	if err != nil {
+		return nil, err
+	}
+	mk.pool = pool
+	return mk, nil
+}
+
+// issue mints n one-time credentials for identity.
+func (m *Manager) issue(identity string, n int) ([]secretCredential, error) {
+	m.mu.Lock()
+	if m.revoked[identity] {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("issuing to %q: %w", identity, ErrRevoked)
+	}
+	if !m.enrolled[identity] {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("groupsig: %q not enrolled", identity)
+	}
+	base := m.next
+	m.next += uint64(n)
+	m.mu.Unlock()
+
+	out := make([]secretCredential, 0, n)
+	for i := 0; i < n; i++ {
+		serial := base + uint64(i)
+		kp, err := m.scheme.GenerateKey()
+		if err != nil {
+			return nil, fmt.Errorf("groupsig: credential keygen: %w", err)
+		}
+		cert, err := m.scheme.Sign(m.master.Private, credentialMessage(serial, kp.Public))
+		if err != nil {
+			return nil, fmt.Errorf("groupsig: certifying credential: %w", err)
+		}
+		out = append(out, secretCredential{
+			cred: Credential{Serial: serial, Pub: kp.Public, Cert: cert},
+			priv: kp.Private,
+		})
+	}
+	m.mu.Lock()
+	for _, sc := range out {
+		m.serials[sc.cred.Serial] = identity
+	}
+	m.mu.Unlock()
+	return out, nil
+}
+
+// IssueCredentials mints n one-time credentials for an enrolled identity
+// in transferable form (remote enrollment / refill).
+func (m *Manager) IssueCredentials(identity string, n int) ([]IssuedCredential, error) {
+	secrets, err := m.issue(identity, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]IssuedCredential, len(secrets))
+	for i, sc := range secrets {
+		out[i] = IssuedCredential{Cred: sc.cred, Priv: sc.priv}
+	}
+	return out, nil
+}
+
+// EnrollRemote registers identity and returns its initial credentials in
+// transferable form; combine with NewMemberKey on the member side.
+func (m *Manager) EnrollRemote(identity string, poolSize int) ([]IssuedCredential, error) {
+	if identity == "" {
+		return nil, errors.New("groupsig: empty identity")
+	}
+	m.mu.Lock()
+	if m.revoked[identity] {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("enrolling %q: %w", identity, ErrRevoked)
+	}
+	m.enrolled[identity] = true
+	m.mu.Unlock()
+	return m.IssueCredentials(identity, poolSize)
+}
+
+// NewMemberKey assembles a member key from remotely issued credentials.
+// refill (may be nil) is called when the pool runs dry — typically an RPC
+// back to the judge.
+func NewMemberKey(identity string, groupPub sig.PublicKey, creds []IssuedCredential, refill func(n int) ([]IssuedCredential, error)) *MemberKey {
+	mk := &MemberKey{identity: identity, groupPub: groupPub.Clone()}
+	mk.pool = importCredentials(creds)
+	if refill != nil {
+		mk.refill = func(n int) ([]secretCredential, error) {
+			fresh, err := refill(n)
+			if err != nil {
+				return nil, err
+			}
+			return importCredentials(fresh), nil
+		}
+	}
+	return mk
+}
+
+func importCredentials(creds []IssuedCredential) []secretCredential {
+	out := make([]secretCredential, len(creds))
+	for i, ic := range creds {
+		out[i] = secretCredential{cred: ic.Cred, priv: ic.Priv}
+	}
+	return out
+}
+
+// Open reveals the identity behind a group signature. It first verifies the
+// signature so a forged serial cannot frame an innocent member. This is the
+// fairness operation: the paper's judge performs it only on transactions
+// under investigation and learns nothing about others.
+func (m *Manager) Open(msg []byte, gs Signature) (string, error) {
+	if err := Verify(sig.Suite{Scheme: m.scheme}, m.master.Public, msg, gs); err != nil {
+		return "", fmt.Errorf("groupsig: refusing to open unverified signature: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	identity, ok := m.serials[gs.Cred.Serial]
+	if !ok {
+		return "", ErrUnknownSerial
+	}
+	return identity, nil
+}
+
+// Revoke bars identity from obtaining further credentials. Outstanding
+// credentials remain verifiable (this construction has no CRL), but every
+// use remains openable to the revoked identity.
+func (m *Manager) Revoke(identity string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.revoked[identity] = true
+}
+
+// IsRevoked reports whether identity has been revoked.
+func (m *Manager) IsRevoked(identity string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.revoked[identity]
+}
+
+// escrowChunk is the number of key bytes per Shamir secret; it keeps every
+// chunk strictly below the 256-bit field prime regardless of content.
+const escrowChunk = 31
+
+// KeyShare is one judge's escrow share of a master key: one Shamir share
+// per 31-byte chunk of the key.
+type KeyShare struct {
+	Chunks []shamir.Share
+}
+
+// EscrowMasterKey splits the master private key into n key shares with
+// threshold k (paper Section 3.2: divide the master key among N judges via
+// Shamir so at least K must cooperate to recover it). Keys longer than 31
+// bytes are split chunk-wise; each chunk is an independent Shamir instance,
+// so the threshold property holds for the whole key.
+func (m *Manager) EscrowMasterKey(k, n int) ([]KeyShare, error) {
+	priv := m.master.Private
+	out := make([]KeyShare, n)
+	for off := 0; off < len(priv); off += escrowChunk {
+		end := off + escrowChunk
+		if end > len(priv) {
+			end = len(priv)
+		}
+		shares, err := shamir.Split(priv[off:end], k, n)
+		if err != nil {
+			return nil, fmt.Errorf("groupsig: escrowing key chunk at %d: %w", off, err)
+		}
+		for i := range out {
+			out[i].Chunks = append(out[i].Chunks, shares[i])
+		}
+	}
+	return out, nil
+}
+
+// RecoverMasterKey reconstructs a master private key from at least k escrow
+// key shares. privLen must be the scheme's private key length.
+func RecoverMasterKey(shares []KeyShare, privLen int) (sig.PrivateKey, error) {
+	if len(shares) == 0 {
+		return nil, errors.New("groupsig: no escrow shares")
+	}
+	numChunks := len(shares[0].Chunks)
+	for _, s := range shares {
+		if len(s.Chunks) != numChunks {
+			return nil, errors.New("groupsig: escrow shares have mismatched chunk counts")
+		}
+	}
+	priv := make(sig.PrivateKey, 0, privLen)
+	for c := 0; c < numChunks; c++ {
+		chunkLen := escrowChunk
+		if c == numChunks-1 {
+			chunkLen = privLen - c*escrowChunk
+		}
+		if chunkLen <= 0 {
+			return nil, errors.New("groupsig: privLen inconsistent with share chunk count")
+		}
+		chunkShares := make([]shamir.Share, len(shares))
+		for i, s := range shares {
+			chunkShares[i] = s.Chunks[c]
+		}
+		raw, err := shamir.Combine(chunkShares, chunkLen)
+		if err != nil {
+			return nil, fmt.Errorf("groupsig: recovering key chunk %d: %w", c, err)
+		}
+		priv = append(priv, raw...)
+	}
+	return priv, nil
+}

@@ -1,0 +1,226 @@
+package indirect
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"whopay/internal/bus"
+	"whopay/internal/sig"
+)
+
+type fixture struct {
+	net     *bus.Memory
+	suite   sig.Suite
+	servers []*Server
+	addrs   []bus.Address
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	f := &fixture{net: bus.NewMemory(), suite: sig.Suite{Scheme: sig.NewNull(500)}}
+	for i := 0; i < n; i++ {
+		addr := bus.Address(fmt.Sprintf("i3:%d", i))
+		srv, err := NewServer(f.net, addr, f.suite.Scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		f.servers = append(f.servers, srv)
+		f.addrs = append(f.addrs, addr)
+	}
+	return f
+}
+
+func (f *fixture) listen(t *testing.T, addr bus.Address, h bus.Handler) (*Client, bus.Endpoint) {
+	t.Helper()
+	ep, err := f.net.Listen(addr, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(ep, f.addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ep
+}
+
+func echo(from bus.Address, msg any) (any, error) { return msg, nil }
+
+func TestRegisterAndForward(t *testing.T) {
+	f := newFixture(t, 3)
+	ownerClient, _ := f.listen(t, "owner", func(from bus.Address, msg any) (any, error) {
+		return "owner says: " + msg.(string), nil
+	})
+	handle, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ownerClient.Register(f.suite, handle, "owner", 1); err != nil {
+		t.Fatal(err)
+	}
+	payerClient, _ := f.listen(t, "payer", echo)
+	resp, err := payerClient.Send(handle.Public, "transfer please")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "owner says: transfer please" {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestSenderSeesServerNotTarget(t *testing.T) {
+	f := newFixture(t, 2)
+	var seenFrom bus.Address
+	ownerClient, _ := f.listen(t, "owner", func(from bus.Address, msg any) (any, error) {
+		seenFrom = from
+		return "ok", nil
+	})
+	handle, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ownerClient.Register(f.suite, handle, "owner", 1); err != nil {
+		t.Fatal(err)
+	}
+	payerClient, _ := f.listen(t, "payer", echo)
+	if _, err := payerClient.Send(handle.Public, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// The owner sees the server as the caller — it cannot identify the
+	// payer either.
+	if !strings.HasPrefix(string(seenFrom), "i3:") {
+		t.Fatalf("owner saw caller %q, want an i3 server", seenFrom)
+	}
+}
+
+func TestForwardUnregisteredHandle(t *testing.T) {
+	f := newFixture(t, 2)
+	payerClient, _ := f.listen(t, "payer", echo)
+	handle, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = payerClient.Send(handle.Public, "x")
+	var remote *bus.RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Msg, "no trigger") {
+		t.Fatalf("got %v, want no-trigger remote error", err)
+	}
+}
+
+func TestRegisterRequiresHandleKey(t *testing.T) {
+	f := newFixture(t, 2)
+	hijacker, _ := f.listen(t, "hijacker", echo)
+	handle, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongKey, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := sig.KeyPair{Public: handle.Public, Private: wrongKey.Private}
+	err = hijacker.Register(f.suite, forged, "hijacker", 1)
+	var remote *bus.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("got %v, want remote auth error", err)
+	}
+}
+
+func TestTriggerMoveNeedsNewerVersion(t *testing.T) {
+	f := newFixture(t, 1)
+	ownerClient, _ := f.listen(t, "owner", func(from bus.Address, msg any) (any, error) {
+		return "at-owner", nil
+	})
+	otherClient, _ := f.listen(t, "other", func(from bus.Address, msg any) (any, error) {
+		return "at-other", nil
+	})
+	handle, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ownerClient.Register(f.suite, handle, "owner", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying an older registration must fail.
+	if err := otherClient.Register(f.suite, handle, "other", 1); err == nil {
+		t.Fatal("older registration version accepted")
+	}
+	// A newer one moves the trigger (owner rebinding after rejoin).
+	if err := ownerClient.Register(f.suite, handle, "other", 3); err != nil {
+		t.Fatal(err)
+	}
+	payerClient, _ := f.listen(t, "payer", echo)
+	resp, err := payerClient.Send(handle.Public, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "at-other" {
+		t.Fatalf("resp = %v, want at-other", resp)
+	}
+}
+
+func TestTargetErrorsPropagate(t *testing.T) {
+	f := newFixture(t, 1)
+	ownerClient, _ := f.listen(t, "owner", func(from bus.Address, msg any) (any, error) {
+		return nil, errors.New("not the coin owner")
+	})
+	handle, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ownerClient.Register(f.suite, handle, "owner", 1); err != nil {
+		t.Fatal(err)
+	}
+	payerClient, _ := f.listen(t, "payer", echo)
+	_, err = payerClient.Send(handle.Public, "x")
+	var remote *bus.RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Msg, "not the coin owner") {
+		t.Fatalf("got %v, want propagated owner error", err)
+	}
+}
+
+func TestOfflineTargetUnreachable(t *testing.T) {
+	f := newFixture(t, 1)
+	ownerClient, _ := f.listen(t, "owner", echo)
+	handle, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ownerClient.Register(f.suite, handle, "owner", 1); err != nil {
+		t.Fatal(err)
+	}
+	f.net.SetOnline("owner", false)
+	payerClient, _ := f.listen(t, "payer", echo)
+	if _, err := payerClient.Send(handle.Public, "x"); err == nil {
+		t.Fatal("send to offline target succeeded")
+	}
+}
+
+func TestHandlesShardAcrossServers(t *testing.T) {
+	f := newFixture(t, 4)
+	client, _ := f.listen(t, "probe", echo)
+	seen := make(map[bus.Address]bool)
+	for i := 0; i < 64; i++ {
+		kp, err := f.suite.GenerateKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[client.serverFor(kp.Public)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 handles all mapped to %d server(s)", len(seen))
+	}
+}
+
+func TestNoServers(t *testing.T) {
+	f := newFixture(t, 1)
+	ep, err := f.net.Listen("x", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(ep, nil); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("got %v, want ErrNoServers", err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package layered implements the offline transfer alternative the paper's
+// related-work section proposes as a WhoPay extension (Section 7): "peers
+// can transfer coins by using layers: each time a coin is transferred, the
+// current holder of the coin simply adds another layer of signature to the
+// coin, which serves as a proof of relinquishment. Group signatures can be
+// used to provide fairness without compromising anonymity. ... layered
+// coins can be a lightweight alternative to transfer-via-broker when coin
+// owners are offline. To alleviate the size and security problems ... a
+// maximum number of layers can be imposed."
+//
+// A layered coin starts from a WhoPay coin plus its latest owner- or
+// broker-signed binding. Each offline hop appends a layer: the current
+// holder signs {coin, layerIndex, nextHolderKey} with its holder key and a
+// group signature. Verification walks the chain from the binding's holder
+// through every layer. When the owner (or broker) becomes reachable, the
+// final holder collapses the layers back into a regular binding by
+// presenting the chain — or deposits directly.
+//
+// The documented trade-offs hold by construction: coins grow per hop
+// (linear in layers), and double spending a layered coin is only detected
+// at collapse/deposit time (there is no public-binding update while
+// offline), which is why MaxLayers exists.
+package layered
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"whopay/internal/coin"
+	"whopay/internal/groupsig"
+	"whopay/internal/sig"
+)
+
+// DefaultMaxLayers bounds chain growth and offline double-spend exposure.
+const DefaultMaxLayers = 8
+
+// Errors returned by this package.
+var (
+	// ErrTooManyLayers rejects hops beyond the configured maximum.
+	ErrTooManyLayers = errors.New("layered: maximum layer count reached")
+	// ErrBadChain rejects coins whose layer chain does not verify.
+	ErrBadChain = errors.New("layered: invalid layer chain")
+	// ErrNotHolder rejects hops not signed by the current end-of-chain
+	// holder.
+	ErrNotHolder = errors.New("layered: signer is not the current holder")
+)
+
+// Layer is one offline hop: the relinquishing holder's signature over the
+// next holder key, plus a group signature for fairness.
+type Layer struct {
+	NextHolder sig.PublicKey
+	HolderSig  []byte
+	GroupSig   groupsig.Signature
+}
+
+func layerMessage(coinPub sig.PublicKey, index int, nextHolder sig.PublicKey) []byte {
+	out := []byte("whopay/layered/1")
+	out = append(out, coinPub...)
+	out = binary.BigEndian.AppendUint32(out, uint32(index))
+	out = append(out, nextHolder...)
+	return out
+}
+
+// Coin is a layered coin in flight: the base WhoPay coin, its last
+// authoritative binding, and the offline hop chain.
+type Coin struct {
+	Base    coin.Coin
+	Binding coin.Binding
+	Layers  []Layer
+}
+
+// CurrentHolder returns the public key that currently controls the coin:
+// the binding's holder when no layers exist, else the last layer's target.
+func (lc *Coin) CurrentHolder() sig.PublicKey {
+	if len(lc.Layers) == 0 {
+		return sig.PublicKey(lc.Binding.Holder)
+	}
+	return lc.Layers[len(lc.Layers)-1].NextHolder
+}
+
+// Size approximates the coin's wire size in bytes — the growth the paper
+// warns about.
+func (lc *Coin) Size() int {
+	n := len(lc.Base.Message()) + len(lc.Base.Sig) + len(lc.Binding.Marshal())
+	for _, l := range lc.Layers {
+		n += len(l.NextHolder) + len(l.HolderSig) + len(l.GroupSig.Sig) + len(l.GroupSig.Cred.Pub) + len(l.GroupSig.Cred.Cert) + 8
+	}
+	return n
+}
+
+// Clone deep-copies the layered coin.
+func (lc *Coin) Clone() *Coin {
+	out := &Coin{Base: *lc.Base.Clone(), Binding: *lc.Binding.Clone()}
+	out.Layers = append(out.Layers, lc.Layers...)
+	return out
+}
+
+// Verify checks the whole construct: the broker signature on the base
+// coin, the binding, and every layer's holder and group signature.
+func (lc *Coin) Verify(suite sig.Suite, brokerPub, groupPub sig.PublicKey, maxLayers int) error {
+	if maxLayers <= 0 {
+		maxLayers = DefaultMaxLayers
+	}
+	if len(lc.Layers) > maxLayers {
+		return fmt.Errorf("%w: %d layers", ErrTooManyLayers, len(lc.Layers))
+	}
+	if err := lc.Base.Verify(suite, brokerPub); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadChain, err)
+	}
+	if err := lc.Binding.VerifyFor(suite, &lc.Base, brokerPub, zeroTime()); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadChain, err)
+	}
+	holder := sig.PublicKey(lc.Binding.Holder)
+	for i, layer := range lc.Layers {
+		msg := layerMessage(lc.Base.Pub, i, layer.NextHolder)
+		if err := suite.Verify(holder, msg, layer.HolderSig); err != nil {
+			return fmt.Errorf("%w: layer %d holder signature: %v", ErrBadChain, i, err)
+		}
+		if err := groupsig.Verify(suite, groupPub, msg, layer.GroupSig); err != nil {
+			return fmt.Errorf("%w: layer %d group signature: %v", ErrBadChain, i, err)
+		}
+		holder = layer.NextHolder
+	}
+	return nil
+}
+
+// Hop appends a layer transferring the coin to nextHolder. holderPriv must
+// be the private half of the current end-of-chain holder key; member signs
+// the fairness group signature. The input coin is not mutated.
+func Hop(suite sig.Suite, lc *Coin, holderPriv sig.PrivateKey, member *groupsig.MemberKey, nextHolder sig.PublicKey, maxLayers int) (*Coin, error) {
+	if maxLayers <= 0 {
+		maxLayers = DefaultMaxLayers
+	}
+	if len(lc.Layers) >= maxLayers {
+		return nil, fmt.Errorf("%w: %d", ErrTooManyLayers, len(lc.Layers))
+	}
+	msg := layerMessage(lc.Base.Pub, len(lc.Layers), nextHolder)
+	holderSig, err := suite.Sign(holderPriv, msg)
+	if err != nil {
+		return nil, fmt.Errorf("layered: signing hop: %w", err)
+	}
+	// Signature must actually belong to the chain head — catch wrong-key
+	// bugs at hop time, not at the payee.
+	if err := suite.Scheme.Verify(lc.CurrentHolder(), msg, holderSig); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotHolder, err)
+	}
+	gs, err := member.Sign(suite, msg)
+	if err != nil {
+		return nil, fmt.Errorf("layered: group-signing hop: %w", err)
+	}
+	out := lc.Clone()
+	out.Layers = append(out.Layers, Layer{NextHolder: nextHolder.Clone(), HolderSig: holderSig, GroupSig: gs})
+	return out, nil
+}
+
+// CollapseProofs converts the layer chain into the relinquishment-proof
+// form the owner/broker dispute machinery understands, so a layered coin
+// can be folded back into a regular binding: proof i authorizes the move
+// from binding.Seq+i to binding.Seq+i+1.
+func (lc *Coin) CollapseProofs() []CollapseStep {
+	steps := make([]CollapseStep, 0, len(lc.Layers))
+	holder := sig.PublicKey(lc.Binding.Holder)
+	for i, layer := range lc.Layers {
+		steps = append(steps, CollapseStep{
+			PrevHolder: holder,
+			NextHolder: layer.NextHolder,
+			Message:    layerMessage(lc.Base.Pub, i, layer.NextHolder),
+			HolderSig:  layer.HolderSig,
+			GroupSig:   layer.GroupSig,
+		})
+		holder = layer.NextHolder
+	}
+	return steps
+}
+
+// CollapseStep is one verified hop extracted from a layer chain.
+type CollapseStep struct {
+	PrevHolder sig.PublicKey
+	NextHolder sig.PublicKey
+	Message    []byte
+	HolderSig  []byte
+	GroupSig   groupsig.Signature
+}
+
+// zeroTime skips expiry enforcement: layered hops happen offline, where
+// renewal is impossible by definition; freshness is re-established at
+// collapse.
+func zeroTime() time.Time { return time.Time{} }

@@ -1,0 +1,292 @@
+package layered
+
+import (
+	"errors"
+	"testing"
+
+	"whopay/internal/coin"
+	"whopay/internal/groupsig"
+	"whopay/internal/sig"
+)
+
+type fixture struct {
+	suite    sig.Suite
+	broker   sig.KeyPair
+	mgr      *groupsig.Manager
+	groupPub sig.PublicKey
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	scheme := sig.NewNull(5000)
+	suite := sig.Suite{Scheme: scheme}
+	broker, err := suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := groupsig.NewManager(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{suite: suite, broker: broker, mgr: mgr, groupPub: mgr.GroupPublicKey()}
+}
+
+// mintLayered builds a base coin bound to an initial holder.
+func (f *fixture) mintLayered(t *testing.T) (*Coin, sig.KeyPair) {
+	t.Helper()
+	coinKeys, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	holder, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := coin.Coin{Owner: "owner", Pub: coinKeys.Public, Value: 1}
+	base.Sig, err = f.suite.Sign(f.broker.Private, base.Message())
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding := coin.Binding{CoinPub: coinKeys.Public, Holder: holder.Public, Seq: 10, Expiry: 99}
+	binding.Sig, err = f.suite.Sign(coinKeys.Private, binding.Message())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Coin{Base: base, Binding: binding}, holder
+}
+
+func (f *fixture) member(t *testing.T, id string) *groupsig.MemberKey {
+	t.Helper()
+	mk, err := f.mgr.Enroll(id, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mk
+}
+
+func TestHopAndVerify(t *testing.T) {
+	f := newFixture(t)
+	lc, holder := f.mintLayered(t)
+	alice := f.member(t, "alice")
+
+	next, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hopped, err := Hop(f.suite, lc, holder.Private, alice, next.Public, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hopped.Verify(f.suite, f.broker.Public, f.groupPub, 0); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !hopped.CurrentHolder().Equal(next.Public) {
+		t.Fatal("chain head wrong")
+	}
+	// Original untouched.
+	if len(lc.Layers) != 0 {
+		t.Fatal("Hop mutated its input")
+	}
+}
+
+func TestMultiHopChain(t *testing.T) {
+	f := newFixture(t)
+	lc, holder := f.mintLayered(t)
+	priv := holder.Private
+	for i := 0; i < 5; i++ {
+		member := f.member(t, "peer")
+		next, err := f.suite.GenerateKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lc, err = Hop(f.suite, lc, priv, member, next.Public, 0)
+		if err != nil {
+			t.Fatalf("hop %d: %v", i, err)
+		}
+		priv = next.Private
+	}
+	if err := lc.Verify(f.suite, f.broker.Public, f.groupPub, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(lc.Layers) != 5 {
+		t.Fatalf("layers = %d", len(lc.Layers))
+	}
+}
+
+func TestCoinsGrowPerHop(t *testing.T) {
+	f := newFixture(t)
+	lc, holder := f.mintLayered(t)
+	alice := f.member(t, "alice")
+	size0 := lc.Size()
+	next, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hopped, err := Hop(f.suite, lc, holder.Private, alice, next.Public, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hopped.Size() <= size0 {
+		t.Fatal("layered coin did not grow — the paper's size concern should be observable")
+	}
+}
+
+func TestMaxLayersEnforced(t *testing.T) {
+	f := newFixture(t)
+	lc, holder := f.mintLayered(t)
+	priv := holder.Private
+	member := f.member(t, "m")
+	var err error
+	for i := 0; i < 3; i++ {
+		next, kerr := f.suite.GenerateKey()
+		if kerr != nil {
+			t.Fatal(kerr)
+		}
+		lc, err = Hop(f.suite, lc, priv, member, next.Public, 3)
+		if err != nil {
+			t.Fatalf("hop %d: %v", i, err)
+		}
+		priv = next.Private
+	}
+	next, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Hop(f.suite, lc, priv, member, next.Public, 3); !errors.Is(err, ErrTooManyLayers) {
+		t.Fatalf("got %v, want ErrTooManyLayers", err)
+	}
+	// Verification with a lower cap also rejects.
+	if err := lc.Verify(f.suite, f.broker.Public, f.groupPub, 2); !errors.Is(err, ErrTooManyLayers) {
+		t.Fatalf("got %v, want ErrTooManyLayers", err)
+	}
+}
+
+func TestWrongHolderKeyRejected(t *testing.T) {
+	f := newFixture(t)
+	lc, _ := f.mintLayered(t)
+	member := f.member(t, "mallory")
+	wrong, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Hop(f.suite, lc, wrong.Private, member, next.Public, 0); !errors.Is(err, ErrNotHolder) {
+		t.Fatalf("got %v, want ErrNotHolder", err)
+	}
+}
+
+func TestTamperedLayerRejected(t *testing.T) {
+	f := newFixture(t)
+	lc, holder := f.mintLayered(t)
+	member := f.member(t, "alice")
+	next, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hopped, err := Hop(f.suite, lc, holder.Private, member, next.Public, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redirect the layer to an attacker key: holder sig breaks.
+	attacker, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hopped.Layers[0].NextHolder = attacker.Public
+	if err := hopped.Verify(f.suite, f.broker.Public, f.groupPub, 0); !errors.Is(err, ErrBadChain) {
+		t.Fatalf("got %v, want ErrBadChain", err)
+	}
+}
+
+func TestDoubleSpendForksBothVerify(t *testing.T) {
+	// The paper's warning made concrete: a holder can fork the chain
+	// offline and BOTH forks verify — detection only happens at
+	// collapse/deposit. This test documents the accepted weakness.
+	f := newFixture(t)
+	lc, holder := f.mintLayered(t)
+	member := f.member(t, "cheater")
+	n1, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := f.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork1, err := Hop(f.suite, lc, holder.Private, member, n1.Public, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork2, err := Hop(f.suite, lc, holder.Private, member, n2.Public, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fork1.Verify(f.suite, f.broker.Public, f.groupPub, 0) != nil ||
+		fork2.Verify(f.suite, f.broker.Public, f.groupPub, 0) != nil {
+		t.Fatal("forks should both verify offline — that is the documented risk")
+	}
+	// Fairness survives: the judge opens the cheater from either fork.
+	for _, fork := range []*Coin{fork1, fork2} {
+		steps := fork.CollapseProofs()
+		id, err := f.mgr.Open(steps[0].Message, steps[0].GroupSig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != "cheater" {
+			t.Fatalf("opened %q", id)
+		}
+	}
+}
+
+func TestCollapseProofsChain(t *testing.T) {
+	f := newFixture(t)
+	lc, holder := f.mintLayered(t)
+	priv := holder.Private
+	for i := 0; i < 3; i++ {
+		member := f.member(t, "peer")
+		next, err := f.suite.GenerateKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var err2 error
+		lc, err2 = Hop(f.suite, lc, priv, member, next.Public, 0)
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		priv = next.Private
+	}
+	steps := lc.CollapseProofs()
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	// Chain continuity: each step's next holder is the following step's
+	// prev holder, and every signature verifies.
+	prev := sig.PublicKey(lc.Binding.Holder)
+	for i, s := range steps {
+		if !s.PrevHolder.Equal(prev) {
+			t.Fatalf("step %d discontinuous", i)
+		}
+		if err := f.suite.Verify(s.PrevHolder, s.Message, s.HolderSig); err != nil {
+			t.Fatalf("step %d holder sig: %v", i, err)
+		}
+		if err := groupsig.Verify(f.suite, f.groupPub, s.Message, s.GroupSig); err != nil {
+			t.Fatalf("step %d group sig: %v", i, err)
+		}
+		prev = s.NextHolder
+	}
+	if !lc.CurrentHolder().Equal(prev) {
+		t.Fatal("collapse does not end at the chain head")
+	}
+}
+
+func TestForgedBaseRejected(t *testing.T) {
+	f := newFixture(t)
+	lc, _ := f.mintLayered(t)
+	lc.Base.Value = 1000
+	if err := lc.Verify(f.suite, f.broker.Public, f.groupPub, 0); !errors.Is(err, ErrBadChain) {
+		t.Fatalf("got %v, want ErrBadChain", err)
+	}
+}

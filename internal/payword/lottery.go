@@ -1,0 +1,87 @@
+package payword
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"whopay/internal/sig"
+)
+
+// Lottery tickets (Rivest, Financial Cryptography '97) are the other
+// aggregation mechanism in the paper's related work: instead of paying one
+// cent per download, the payer issues a ticket that wins a dollar with
+// probability 1/100. Expected value matches, and only winning tickets touch
+// the settlement layer, cutting its load by the win probability.
+//
+// Construction: the payer signs (vendor, serial, winDivisor, prize). The
+// ticket wins iff H(payerSig || vendorNonce) mod winDivisor == 0, where the
+// vendor contributes a nonce *before* the ticket is issued so neither side
+// can bias the draw alone.
+
+// Ticket is a probabilistic micropayment: worth Prize units with
+// probability 1/WinDivisor.
+type Ticket struct {
+	Vendor      string
+	Serial      uint64
+	WinDivisor  uint32
+	Prize       uint32
+	VendorNonce [32]byte
+	Payer       sig.PublicKey
+	Sig         []byte
+}
+
+func (tk *Ticket) message() []byte {
+	msg := make([]byte, 0, 96+len(tk.Vendor)+len(tk.Payer))
+	msg = append(msg, "whopay/lottery/ticket/1"...)
+	msg = append(msg, byte(len(tk.Vendor)))
+	msg = append(msg, tk.Vendor...)
+	msg = binary.BigEndian.AppendUint64(msg, tk.Serial)
+	msg = binary.BigEndian.AppendUint32(msg, tk.WinDivisor)
+	msg = binary.BigEndian.AppendUint32(msg, tk.Prize)
+	msg = append(msg, tk.VendorNonce[:]...)
+	msg = append(msg, tk.Payer...)
+	return msg
+}
+
+// IssueTicket creates and signs a ticket for vendor using the payer's keys.
+// vendorNonce must have been received from the vendor for this serial.
+func IssueTicket(suite sig.Suite, payerKeys sig.KeyPair, vendor string, serial uint64, winDivisor, prize uint32, vendorNonce [32]byte) (*Ticket, error) {
+	if winDivisor == 0 || prize == 0 {
+		return nil, fmt.Errorf("payword: winDivisor and prize must be positive")
+	}
+	tk := &Ticket{
+		Vendor:      vendor,
+		Serial:      serial,
+		WinDivisor:  winDivisor,
+		Prize:       prize,
+		VendorNonce: vendorNonce,
+		Payer:       payerKeys.Public.Clone(),
+	}
+	var err error
+	tk.Sig, err = suite.Sign(payerKeys.Private, tk.message())
+	if err != nil {
+		return nil, fmt.Errorf("payword: signing ticket: %w", err)
+	}
+	return tk, nil
+}
+
+// CheckTicket verifies the ticket signature and reports whether it won and
+// its payout in units. Deterministic: any party reaches the same verdict.
+func CheckTicket(suite sig.Suite, tk *Ticket) (won bool, payout int, err error) {
+	if tk.WinDivisor == 0 {
+		return false, 0, fmt.Errorf("payword: zero win divisor")
+	}
+	if err := suite.Verify(tk.Payer, tk.message(), tk.Sig); err != nil {
+		return false, 0, fmt.Errorf("%w: %v", ErrBadCommitment, err)
+	}
+	h := sha256.New()
+	h.Write(tk.Sig)
+	h.Write(tk.VendorNonce[:])
+	digest := h.Sum(nil)
+	draw := binary.BigEndian.Uint64(digest[:8])
+	if draw%uint64(tk.WinDivisor) == 0 {
+		return true, int(tk.Prize), nil
+	}
+	return false, 0, nil
+}

@@ -1,0 +1,206 @@
+// Package payword implements the PayWord hash-chain micropayment scheme of
+// Rivest and Shamir, plus Rivest's electronic lottery tickets — the two
+// aggregation mechanisms the paper's related-work section positions against
+// WhoPay and suggests layering on top of it ("each pair of users maintains a
+// soft credit window between themselves and only makes payments when this
+// window reaches a threshold value", Section 7).
+//
+// A PayWord chain is w0 <- H(w1) <- H(w2) … <- H(wn): the payer commits to
+// the root w0 with a signature, then releases successive preimages, each
+// worth one unit. The vendor stores only the highest payword received and
+// settles the aggregate amount with a single WhoPay payment.
+package payword
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"whopay/internal/sig"
+)
+
+// Errors returned by this package.
+var (
+	// ErrChainExhausted is returned by Pay when the chain has no unspent
+	// paywords left.
+	ErrChainExhausted = errors.New("payword: chain exhausted")
+	// ErrBadCommitment is returned when a commitment signature does not
+	// verify.
+	ErrBadCommitment = errors.New("payword: invalid commitment")
+	// ErrBadPayword is returned when a payword does not hash back to the
+	// last accepted value.
+	ErrBadPayword = errors.New("payword: payword does not extend the chain")
+	// ErrWrongChain is returned when a payment references a different
+	// commitment than the vendor holds.
+	ErrWrongChain = errors.New("payword: payment for a different chain")
+)
+
+// Word is one element of a hash chain.
+type Word [32]byte
+
+func hashWord(w Word) Word { return sha256.Sum256(w[:]) }
+
+// Commitment is the payer's signed promise backing a chain: the chain root,
+// its length (credit ceiling), the vendor it is dedicated to, and a
+// signature by the payer's key. Vendor-specific commitments prevent a chain
+// from being double-spent across vendors (the limitation the paper notes:
+// PayWord aggregates only per merchant).
+type Commitment struct {
+	Vendor string
+	Root   Word
+	Length uint32
+	Payer  sig.PublicKey
+	Sig    []byte
+}
+
+func (c *Commitment) message() []byte {
+	msg := make([]byte, 0, 64+len(c.Vendor)+len(c.Payer))
+	msg = append(msg, "whopay/payword/commitment/1"...)
+	msg = append(msg, byte(len(c.Vendor)))
+	msg = append(msg, c.Vendor...)
+	msg = append(msg, c.Root[:]...)
+	msg = append(msg, byte(c.Length>>24), byte(c.Length>>16), byte(c.Length>>8), byte(c.Length))
+	msg = append(msg, c.Payer...)
+	return msg
+}
+
+// Payment is one released payword: index i and the word w_i with
+// H^i(w_i) == root.
+type Payment struct {
+	Root  Word
+	Index uint32
+	W     Word
+}
+
+// Chain is the payer-side state: the full preimage chain and a cursor.
+// Not safe for concurrent use (a chain belongs to one payer-vendor session).
+type Chain struct {
+	commitment Commitment
+	words      []Word // words[i] = w_i, words[0] = root
+	next       uint32
+}
+
+// NewChain builds a length-n chain dedicated to vendor and signs the
+// commitment with the payer's private key via suite.
+func NewChain(suite sig.Suite, payerKeys sig.KeyPair, vendor string, n int) (*Chain, error) {
+	if n < 1 || n > 1<<20 {
+		return nil, fmt.Errorf("payword: chain length %d out of range", n)
+	}
+	kp, err := suite.GenerateKey()
+	if err != nil {
+		return nil, fmt.Errorf("payword: sampling chain seed: %w", err)
+	}
+	seed := sha256.Sum256(append([]byte("whopay/payword/seed"), kp.Private...))
+	words := make([]Word, n+1)
+	words[n] = seed
+	for i := n - 1; i >= 0; i-- {
+		words[i] = hashWord(words[i+1])
+	}
+	c := Commitment{
+		Vendor: vendor,
+		Root:   words[0],
+		Length: uint32(n),
+		Payer:  payerKeys.Public.Clone(),
+	}
+	c.Sig, err = suite.Sign(payerKeys.Private, c.message())
+	if err != nil {
+		return nil, fmt.Errorf("payword: signing commitment: %w", err)
+	}
+	return &Chain{commitment: c, words: words}, nil
+}
+
+// Commitment returns the signed commitment to present to the vendor.
+func (ch *Chain) Commitment() Commitment { return ch.commitment }
+
+// Remaining reports how many unit payments are left on the chain.
+func (ch *Chain) Remaining() int { return int(ch.commitment.Length - ch.next) }
+
+// Pay releases the next payword, worth one unit.
+func (ch *Chain) Pay() (Payment, error) {
+	if ch.next >= ch.commitment.Length {
+		return Payment{}, ErrChainExhausted
+	}
+	ch.next++
+	return Payment{Root: ch.commitment.Root, Index: ch.next, W: ch.words[ch.next]}, nil
+}
+
+// Vendor is the vendor-side state: it verifies the commitment once, then
+// verifies each payment with hash operations only (the cheapness that makes
+// PayWord a micropayment scheme). Not safe for concurrent use.
+type Vendor struct {
+	name       string
+	commitment Commitment
+	lastIndex  uint32
+	lastWord   Word
+}
+
+// NewVendor accepts a commitment after verifying its signature.
+func NewVendor(suite sig.Suite, name string, c Commitment) (*Vendor, error) {
+	if c.Vendor != name {
+		return nil, fmt.Errorf("%w: commitment is for vendor %q", ErrWrongChain, c.Vendor)
+	}
+	if err := suite.Verify(c.Payer, c.message(), c.Sig); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCommitment, err)
+	}
+	return &Vendor{name: name, commitment: c, lastWord: c.Root}, nil
+}
+
+// Receive verifies one payment and returns its incremental value in units
+// (usually 1; >1 when paywords were skipped, which pays for all skipped
+// units at once — a standard PayWord feature).
+func (v *Vendor) Receive(p Payment) (int, error) {
+	if p.Root != v.commitment.Root {
+		return 0, ErrWrongChain
+	}
+	if p.Index <= v.lastIndex || p.Index > v.commitment.Length {
+		return 0, fmt.Errorf("%w: index %d not in (%d, %d]", ErrBadPayword, p.Index, v.lastIndex, v.commitment.Length)
+	}
+	w := p.W
+	for i := p.Index; i > v.lastIndex; i-- {
+		w = hashWord(w)
+	}
+	if w != v.lastWord {
+		return 0, ErrBadPayword
+	}
+	delta := int(p.Index - v.lastIndex)
+	v.lastIndex = p.Index
+	v.lastWord = p.W
+	return delta, nil
+}
+
+// Owed returns the total units received so far — the amount to settle with
+// one aggregate WhoPay payment.
+func (v *Vendor) Owed() int { return int(v.lastIndex) }
+
+// SettlementClaim is the evidence a vendor presents when settling: the
+// signed commitment and the highest payword. Anyone can verify it offline.
+type SettlementClaim struct {
+	Commitment Commitment
+	LastIndex  uint32
+	LastWord   Word
+}
+
+// Claim produces the vendor's settlement evidence.
+func (v *Vendor) Claim() SettlementClaim {
+	return SettlementClaim{Commitment: v.commitment, LastIndex: v.lastIndex, LastWord: v.lastWord}
+}
+
+// VerifyClaim checks settlement evidence: commitment signature plus the
+// hash chain from the last word back to the root. Returns the owed units.
+func VerifyClaim(suite sig.Suite, claim SettlementClaim) (int, error) {
+	c := claim.Commitment
+	if err := suite.Verify(c.Payer, c.message(), c.Sig); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadCommitment, err)
+	}
+	if claim.LastIndex > c.Length {
+		return 0, fmt.Errorf("%w: index beyond chain length", ErrBadPayword)
+	}
+	w := claim.LastWord
+	for i := claim.LastIndex; i > 0; i-- {
+		w = hashWord(w)
+	}
+	if w != c.Root {
+		return 0, ErrBadPayword
+	}
+	return int(claim.LastIndex), nil
+}

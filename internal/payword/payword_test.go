@@ -1,0 +1,359 @@
+package payword
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"whopay/internal/sig"
+)
+
+func testSuite() (sig.Suite, sig.KeyPair) {
+	suite := sig.Suite{Scheme: sig.NewNull(200)}
+	kp, err := suite.GenerateKey()
+	if err != nil {
+		panic(err)
+	}
+	return suite, kp
+}
+
+func TestChainPayReceive(t *testing.T) {
+	suite, payer := testSuite()
+	ch, err := NewChain(suite, payer, "vendor-1", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVendor(suite, "vendor-1", ch.Commitment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		p, err := ch.Pay()
+		if err != nil {
+			t.Fatalf("Pay %d: %v", i, err)
+		}
+		delta, err := v.Receive(p)
+		if err != nil {
+			t.Fatalf("Receive %d: %v", i, err)
+		}
+		if delta != 1 {
+			t.Fatalf("Receive %d delta = %d, want 1", i, delta)
+		}
+	}
+	if v.Owed() != 10 {
+		t.Fatalf("Owed = %d, want 10", v.Owed())
+	}
+	if _, err := ch.Pay(); !errors.Is(err, ErrChainExhausted) {
+		t.Fatalf("Pay past end = %v, want ErrChainExhausted", err)
+	}
+}
+
+func TestSkippedPaywordsPayAggregate(t *testing.T) {
+	suite, payer := testSuite()
+	ch, err := NewChain(suite, payer, "v", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVendor(suite, "v", ch.Commitment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Payment
+	for i := 0; i < 5; i++ {
+		p, err = ch.Pay()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Vendor only sees the 5th payword; it is worth 5 units.
+	delta, err := v.Receive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != 5 {
+		t.Fatalf("delta = %d, want 5", delta)
+	}
+}
+
+func TestVendorRejectsReplay(t *testing.T) {
+	suite, payer := testSuite()
+	ch, err := NewChain(suite, payer, "v", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVendor(suite, "v", ch.Commitment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ch.Pay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Receive(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Receive(p); !errors.Is(err, ErrBadPayword) {
+		t.Fatalf("replay = %v, want ErrBadPayword", err)
+	}
+}
+
+func TestVendorRejectsForgedWord(t *testing.T) {
+	suite, payer := testSuite()
+	ch, err := NewChain(suite, payer, "v", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVendor(suite, "v", ch.Commitment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ch.Pay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.W[0] ^= 0xff
+	if _, err := v.Receive(p); !errors.Is(err, ErrBadPayword) {
+		t.Fatalf("forged = %v, want ErrBadPayword", err)
+	}
+}
+
+func TestVendorRejectsForeignChain(t *testing.T) {
+	suite, payer := testSuite()
+	ch1, err := NewChain(suite, payer, "v", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := NewChain(suite, payer, "v", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVendor(suite, "v", ch1.Commitment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ch2.Pay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Receive(p); !errors.Is(err, ErrWrongChain) {
+		t.Fatalf("foreign chain = %v, want ErrWrongChain", err)
+	}
+}
+
+func TestVendorRejectsWrongVendorCommitment(t *testing.T) {
+	suite, payer := testSuite()
+	ch, err := NewChain(suite, payer, "other-vendor", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewVendor(suite, "v", ch.Commitment()); !errors.Is(err, ErrWrongChain) {
+		t.Fatalf("got %v, want ErrWrongChain", err)
+	}
+}
+
+func TestVendorRejectsTamperedCommitment(t *testing.T) {
+	suite, payer := testSuite()
+	ch, err := NewChain(suite, payer, "v", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ch.Commitment()
+	c.Length = 1 << 19 // inflate the credit ceiling
+	if _, err := NewVendor(suite, "v", c); !errors.Is(err, ErrBadCommitment) {
+		t.Fatalf("got %v, want ErrBadCommitment", err)
+	}
+}
+
+func TestSettlementClaim(t *testing.T) {
+	suite, payer := testSuite()
+	ch, err := NewChain(suite, payer, "v", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVendor(suite, "v", ch.Commitment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		p, err := ch.Pay()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := v.Receive(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owed, err := VerifyClaim(suite, v.Claim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owed != 6 {
+		t.Fatalf("VerifyClaim = %d, want 6", owed)
+	}
+	// Vendor inflating the claim must fail.
+	claim := v.Claim()
+	claim.LastIndex++
+	if _, err := VerifyClaim(suite, claim); !errors.Is(err, ErrBadPayword) {
+		t.Fatalf("inflated claim = %v, want ErrBadPayword", err)
+	}
+}
+
+func TestChainLengthValidation(t *testing.T) {
+	suite, payer := testSuite()
+	if _, err := NewChain(suite, payer, "v", 0); err == nil {
+		t.Fatal("NewChain accepted length 0")
+	}
+	if _, err := NewChain(suite, payer, "v", 1<<21); err == nil {
+		t.Fatal("NewChain accepted oversized length")
+	}
+}
+
+// TestChainProperty: for random chain lengths and payment patterns, the
+// vendor's owed total equals the payer's spent count.
+func TestChainProperty(t *testing.T) {
+	suite, payer := testSuite()
+	f := func(lenSeed, spendSeed uint8) bool {
+		n := int(lenSeed%40) + 1
+		spend := int(spendSeed) % (n + 1)
+		ch, err := NewChain(suite, payer, "v", n)
+		if err != nil {
+			return false
+		}
+		v, err := NewVendor(suite, "v", ch.Commitment())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < spend; i++ {
+			p, err := ch.Pay()
+			if err != nil {
+				return false
+			}
+			if _, err := v.Receive(p); err != nil {
+				return false
+			}
+		}
+		owed, err := VerifyClaim(suite, v.Claim())
+		return err == nil && owed == spend && ch.Remaining() == n-spend
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLotteryTicketRoundTrip(t *testing.T) {
+	suite, payer := testSuite()
+	var nonce [32]byte
+	nonce[0] = 42
+	tk, err := IssueTicket(suite, payer, "v", 1, 100, 100, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CheckTicket(suite, tk); err != nil {
+		t.Fatalf("CheckTicket: %v", err)
+	}
+}
+
+func TestLotteryDeterministic(t *testing.T) {
+	suite, payer := testSuite()
+	var nonce [32]byte
+	tk, err := IssueTicket(suite, payer, "v", 7, 4, 4, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	won1, pay1, err := CheckTicket(suite, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	won2, pay2, err := CheckTicket(suite, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if won1 != won2 || pay1 != pay2 {
+		t.Fatal("lottery verdict not deterministic")
+	}
+}
+
+func TestLotteryTamperedTicketRejected(t *testing.T) {
+	suite, payer := testSuite()
+	var nonce [32]byte
+	tk, err := IssueTicket(suite, payer, "v", 1, 2, 2, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Prize = 1 << 30
+	if _, _, err := CheckTicket(suite, tk); err == nil {
+		t.Fatal("tampered ticket accepted")
+	}
+}
+
+func TestLotteryWinRateRoughlyFair(t *testing.T) {
+	suite, payer := testSuite()
+	const divisor, trials = 4, 400
+	wins := 0
+	for i := 0; i < trials; i++ {
+		var nonce [32]byte
+		nonce[0], nonce[1] = byte(i), byte(i>>8)
+		tk, err := IssueTicket(suite, payer, "v", uint64(i), divisor, divisor, nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		won, payout, err := CheckTicket(suite, tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if won {
+			wins++
+			if payout != divisor {
+				t.Fatalf("payout = %d, want %d", payout, divisor)
+			}
+		}
+	}
+	// Expected 100 wins; allow a generous band (binomial sd ≈ 8.7).
+	if wins < 55 || wins > 145 {
+		t.Fatalf("wins = %d/%d, far from expected 1/%d rate", wins, trials, divisor)
+	}
+}
+
+func TestLotteryValidation(t *testing.T) {
+	suite, payer := testSuite()
+	var nonce [32]byte
+	if _, err := IssueTicket(suite, payer, "v", 1, 0, 5, nonce); err == nil {
+		t.Fatal("accepted zero divisor")
+	}
+	if _, err := IssueTicket(suite, payer, "v", 1, 5, 0, nonce); err == nil {
+		t.Fatal("accepted zero prize")
+	}
+}
+
+func BenchmarkPayReceive(b *testing.B) {
+	suite, payer := testSuite()
+	const chainLen = 1 << 16
+	newPair := func() (*Chain, *Vendor) {
+		ch, err := NewChain(suite, payer, "v", chainLen)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := NewVendor(suite, "v", ch.Commitment())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ch, v
+	}
+	ch, v := newPair()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ch.Remaining() == 0 {
+			b.StopTimer()
+			ch, v = newPair()
+			b.StartTimer()
+		}
+		p, err := ch.Pay()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Receive(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

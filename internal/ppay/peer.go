@@ -1,0 +1,389 @@
+package ppay
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"whopay/internal/bus"
+	"whopay/internal/core"
+	"whopay/internal/sig"
+)
+
+// PeerConfig configures a PPay peer.
+type PeerConfig struct {
+	ID         string
+	Network    bus.Network
+	Addr       bus.Address
+	Scheme     sig.Scheme
+	Recorder   sig.Recorder
+	Clock      core.Clock
+	Directory  *core.Directory
+	BrokerAddr bus.Address
+	BrokerPub  sig.PublicKey
+	Prober     core.Prober
+	Presence   core.Presence
+}
+
+// ownedState tracks a coin this peer owns.
+type ownedState struct {
+	c        *Coin
+	seq      uint64
+	holder   string
+	selfHeld bool
+}
+
+// Peer is a PPay participant.
+type Peer struct {
+	cfg   PeerConfig
+	suite sig.Suite
+	keys  sig.KeyPair
+	ep    bus.Endpoint
+	ops   core.OpCounter
+
+	mu        sync.Mutex
+	owned     map[uint64]*ownedState
+	held      map[uint64]*Assignment
+	heldOrder []uint64
+}
+
+// NewPeer creates and registers a PPay peer.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.Network == nil || cfg.Scheme == nil || cfg.Directory == nil || cfg.ID == "" {
+		return nil, errors.New("ppay: peer needs ID, Network, Scheme and Directory")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = bus.Address("ppay-peer:" + cfg.ID)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	p := &Peer{
+		cfg:   cfg,
+		suite: sig.Suite{Scheme: cfg.Scheme, Rec: cfg.Recorder},
+		owned: make(map[uint64]*ownedState),
+		held:  make(map[uint64]*Assignment),
+	}
+	keys, err := cfg.Scheme.GenerateKey()
+	if err != nil {
+		return nil, fmt.Errorf("ppay: peer keygen: %w", err)
+	}
+	p.keys = keys
+	cfg.Directory.Register(cfg.ID, keys.Public, cfg.Addr)
+	ep, err := cfg.Network.Listen(cfg.Addr, p.handle)
+	if err != nil {
+		return nil, fmt.Errorf("ppay: peer listen: %w", err)
+	}
+	p.ep = ep
+	return p, nil
+}
+
+// ID returns the peer's identity.
+func (p *Peer) ID() string { return p.cfg.ID }
+
+// Addr returns the peer's address.
+func (p *Peer) Addr() bus.Address { return p.cfg.Addr }
+
+// Ops snapshots this peer's operation counts.
+func (p *Peer) Ops() core.OpCounts { return p.ops.Snapshot() }
+
+// Close stops the peer.
+func (p *Peer) Close() error { return p.ep.Close() }
+
+// HeldCoins lists held coin serials, oldest first.
+func (p *Peer) HeldCoins() []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]uint64, len(p.heldOrder))
+	copy(out, p.heldOrder)
+	return out
+}
+
+// HeldAssignment returns the assignment for a held coin.
+func (p *Peer) HeldAssignment(serial uint64) (Assignment, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, ok := p.held[serial]
+	if !ok {
+		return Assignment{}, false
+	}
+	return *a, true
+}
+
+func (p *Peer) handle(from bus.Address, msg any) (any, error) {
+	switch m := msg.(type) {
+	case TransferRequest:
+		return p.handleTransferRequest(m)
+	case DeliverAssignment:
+		return p.handleDeliver(m)
+	default:
+		return nil, fmt.Errorf("%w: peer got %T", ErrBadRequest, msg)
+	}
+}
+
+// Purchase buys a coin; the buyer becomes owner and holder.
+func (p *Peer) Purchase(value int64) (uint64, error) {
+	sigBytes, err := p.suite.Sign(p.keys.Private, []byte("ppay/purchase/"+p.cfg.ID))
+	if err != nil {
+		return 0, err
+	}
+	resp, err := p.ep.Call(p.cfg.BrokerAddr, PurchaseRequest{Buyer: p.cfg.ID, Value: value, Sig: sigBytes})
+	if err != nil {
+		return 0, fmt.Errorf("ppay: purchase: %w", err)
+	}
+	pr, ok := resp.(PurchaseResponse)
+	if !ok {
+		return 0, fmt.Errorf("%w: unexpected %T", ErrBadRequest, resp)
+	}
+	c := pr.Coin
+	if err := c.Verify(p.suite, p.cfg.BrokerPub); err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	p.owned[c.Serial] = &ownedState{c: &c, selfHeld: true}
+	p.mu.Unlock()
+	p.ops.Inc(core.OpPurchase)
+	return c.Serial, nil
+}
+
+// IssueTo issues a self-held coin to the payee, naming them in the coin —
+// PPay has no payee anonymity.
+func (p *Peer) IssueTo(payeeID string, serial uint64) error {
+	p.mu.Lock()
+	os, ok := p.owned[serial]
+	if !ok || !os.selfHeld {
+		p.mu.Unlock()
+		return ErrUnknownCoin
+	}
+	c := os.c
+	p.mu.Unlock()
+	entry, ok := p.cfg.Directory.Lookup(payeeID)
+	if !ok {
+		return fmt.Errorf("%w: payee %q", ErrUnknownIdent, payeeID)
+	}
+	a := &Assignment{Coin: *c, Holder: payeeID, Seq: 1}
+	var err error
+	if a.Sig, err = p.suite.Sign(p.keys.Private, a.message()); err != nil {
+		return err
+	}
+	if _, err := p.ep.Call(entry.Addr, DeliverAssignment{Assignment: *a}); err != nil {
+		return fmt.Errorf("ppay: delivering issue: %w", err)
+	}
+	p.mu.Lock()
+	os.selfHeld = false
+	os.seq = 1
+	os.holder = payeeID
+	p.mu.Unlock()
+	p.ops.Inc(core.OpIssue)
+	return nil
+}
+
+// handleDeliver accepts an assignment naming this peer as holder.
+func (p *Peer) handleDeliver(m DeliverAssignment) (any, error) {
+	a := m.Assignment
+	if a.Holder != p.cfg.ID {
+		return nil, fmt.Errorf("%w: assignment names %q", ErrBadRequest, a.Holder)
+	}
+	if err := a.Coin.Verify(p.suite, p.cfg.BrokerPub); err != nil {
+		return nil, err
+	}
+	signer := p.cfg.BrokerPub
+	if !a.ByBroker {
+		entry, ok := p.cfg.Directory.Lookup(a.Coin.Owner)
+		if !ok {
+			return nil, fmt.Errorf("%w: owner %q", ErrUnknownIdent, a.Coin.Owner)
+		}
+		signer = entry.Pub
+	}
+	if err := p.suite.Verify(signer, a.message(), a.Sig); err != nil {
+		return nil, fmt.Errorf("%w: assignment: %v", ErrBadRequest, err)
+	}
+	p.mu.Lock()
+	if _, already := p.held[a.Coin.Serial]; !already {
+		p.heldOrder = append(p.heldOrder, a.Coin.Serial)
+	}
+	p.held[a.Coin.Serial] = &a
+	p.mu.Unlock()
+	return DeliverResponse{}, nil
+}
+
+// handleTransferRequest services a transfer for a coin this peer owns.
+func (p *Peer) handleTransferRequest(m TransferRequest) (any, error) {
+	p.mu.Lock()
+	os, ok := p.owned[m.Serial]
+	p.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownCoin
+	}
+	// Catch up from broker-era evidence if newer.
+	if m.Assignment.ByBroker && m.Assignment.Seq > os.seq {
+		if err := p.suite.Verify(p.cfg.BrokerPub, m.Assignment.message(), m.Assignment.Sig); err == nil {
+			p.mu.Lock()
+			os.seq = m.Assignment.Seq
+			os.holder = m.Assignment.Holder
+			os.selfHeld = false
+			p.mu.Unlock()
+			p.ops.Inc(core.OpLazySync)
+		}
+	}
+	p.mu.Lock()
+	curSeq, curHolder := os.seq, os.holder
+	c := os.c
+	p.mu.Unlock()
+	if m.Seq != curSeq || m.Holder != curHolder {
+		return nil, ErrStaleSeq
+	}
+	entry, ok := p.cfg.Directory.Lookup(m.Holder)
+	if !ok {
+		return nil, fmt.Errorf("%w: holder %q", ErrUnknownIdent, m.Holder)
+	}
+	if err := p.suite.Verify(entry.Pub, transferMessage(m.Serial, m.Seq, m.NewHolder, m.Holder), m.Sig); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotHolder, err)
+	}
+	next := &Assignment{Coin: *c, Holder: m.NewHolder, Seq: curSeq + 1}
+	var err error
+	if next.Sig, err = p.suite.Sign(p.keys.Private, next.message()); err != nil {
+		return nil, err
+	}
+	if _, err := p.ep.Call(m.PayeeAddr, DeliverAssignment{Assignment: *next}); err != nil {
+		return TransferResponse{OK: false}, nil
+	}
+	p.mu.Lock()
+	os.seq = next.Seq
+	os.holder = next.Holder
+	p.mu.Unlock()
+	p.ops.Inc(core.OpTransfer)
+	return TransferResponse{OK: true}, nil
+}
+
+// TransferTo spends a held coin via its owner.
+func (p *Peer) TransferTo(payeeID string, serial uint64) error {
+	return p.transfer(payeeID, serial, false)
+}
+
+// TransferViaBroker spends a held coin via the broker (downtime protocol).
+func (p *Peer) TransferViaBroker(payeeID string, serial uint64) error {
+	return p.transfer(payeeID, serial, true)
+}
+
+func (p *Peer) transfer(payeeID string, serial uint64, viaBroker bool) error {
+	p.mu.Lock()
+	a, ok := p.held[serial]
+	p.mu.Unlock()
+	if !ok {
+		return ErrUnknownCoin
+	}
+	payee, ok := p.cfg.Directory.Lookup(payeeID)
+	if !ok {
+		return fmt.Errorf("%w: payee %q", ErrUnknownIdent, payeeID)
+	}
+	sigBytes, err := p.suite.Sign(p.keys.Private, transferMessage(serial, a.Seq, payeeID, p.cfg.ID))
+	if err != nil {
+		return err
+	}
+	req := TransferRequest{
+		OwnerID:    a.Coin.Owner,
+		Serial:     serial,
+		Seq:        a.Seq,
+		NewHolder:  payeeID,
+		PayeeAddr:  payee.Addr,
+		Holder:     p.cfg.ID,
+		Sig:        sigBytes,
+		Assignment: *a,
+	}
+	var target bus.Address
+	if viaBroker {
+		target = p.cfg.BrokerAddr
+	} else {
+		owner, ok := p.cfg.Directory.Lookup(a.Coin.Owner)
+		if !ok {
+			return fmt.Errorf("%w: owner %q", ErrUnknownIdent, a.Coin.Owner)
+		}
+		target = owner.Addr
+	}
+	raw, err := p.ep.Call(target, req)
+	if err != nil {
+		return fmt.Errorf("ppay: transfer: %w", err)
+	}
+	tr, ok := raw.(TransferResponse)
+	if !ok || !tr.OK {
+		return fmt.Errorf("%w: transfer refused", ErrBadRequest)
+	}
+	p.mu.Lock()
+	delete(p.held, serial)
+	for i, sn := range p.heldOrder {
+		if sn == serial {
+			p.heldOrder = append(p.heldOrder[:i], p.heldOrder[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	if viaBroker {
+		p.ops.Inc(core.OpDowntimeTransfer)
+	}
+	return nil
+}
+
+// Deposit redeems a held coin; PPay deposits are identified.
+func (p *Peer) Deposit(serial uint64) error {
+	p.mu.Lock()
+	a, ok := p.held[serial]
+	p.mu.Unlock()
+	if !ok {
+		return ErrUnknownCoin
+	}
+	sigBytes, err := p.suite.Sign(p.keys.Private, depositMessage(p.cfg.ID, serial, a.Seq))
+	if err != nil {
+		return err
+	}
+	raw, err := p.ep.Call(p.cfg.BrokerAddr, DepositRequest{Depositor: p.cfg.ID, Assignment: *a, Sig: sigBytes})
+	if err != nil {
+		return fmt.Errorf("ppay: deposit: %w", err)
+	}
+	if _, ok := raw.(DepositResponse); !ok {
+		return fmt.Errorf("%w: unexpected %T", ErrBadRequest, raw)
+	}
+	p.mu.Lock()
+	delete(p.held, serial)
+	for i, sn := range p.heldOrder {
+		if sn == serial {
+			p.heldOrder = append(p.heldOrder[:i], p.heldOrder[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	p.ops.Inc(core.OpDeposit)
+	return nil
+}
+
+// Sync fetches broker-era assignments for owned coins after rejoin.
+func (p *Peer) Sync() error {
+	sigBytes, err := p.suite.Sign(p.keys.Private, []byte("ppay/sync/"+p.cfg.ID))
+	if err != nil {
+		return err
+	}
+	raw, err := p.ep.Call(p.cfg.BrokerAddr, SyncRequest{Identity: p.cfg.ID, Sig: sigBytes})
+	if err != nil {
+		return fmt.Errorf("ppay: sync: %w", err)
+	}
+	sr, ok := raw.(SyncResponse)
+	if !ok {
+		return fmt.Errorf("%w: unexpected %T", ErrBadRequest, raw)
+	}
+	for i := range sr.Assignments {
+		a := sr.Assignments[i]
+		if !a.ByBroker || p.suite.Verify(p.cfg.BrokerPub, a.message(), a.Sig) != nil {
+			continue
+		}
+		p.mu.Lock()
+		if os, owns := p.owned[a.Coin.Serial]; owns && a.Seq > os.seq {
+			os.seq = a.Seq
+			os.holder = a.Holder
+			os.selfHeld = false
+		}
+		p.mu.Unlock()
+	}
+	p.ops.Inc(core.OpSync)
+	return nil
+}

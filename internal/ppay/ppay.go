@@ -1,0 +1,404 @@
+// Package ppay implements PPay (Yang & Garcia-Molina, CCS 2003), the
+// peer-to-peer micropayment scheme WhoPay inherits its architecture from
+// and compares against (paper Section 3.1).
+//
+// PPay coins are broker-signed serial numbers naming their owner:
+// C = {U, sn}skB. An issued coin names its holder BY IDENTITY:
+// {C, H, seq}skU — which is exactly the anonymity gap WhoPay closes by
+// replacing identities with fresh public keys. Transfers route through the
+// coin's owner (or the broker during owner downtime), as in WhoPay, so the
+// load-distribution story is the same; the privacy story is not: every
+// participant of every transaction is identified to every other
+// participant, and the owner accumulates a complete transaction history
+// per coin.
+//
+// The implementation mirrors internal/core closely (same bus, same op
+// counters) so simulations can swap the two systems and measure the delta:
+// identical load distribution, cheaper crypto (no group signatures), zero
+// anonymity.
+package ppay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"whopay/internal/bus"
+	"whopay/internal/core"
+	"whopay/internal/sig"
+)
+
+// Errors returned by PPay entities.
+var (
+	ErrUnknownCoin  = errors.New("ppay: unknown coin")
+	ErrNotHolder    = errors.New("ppay: requester is not the holder")
+	ErrStaleSeq     = errors.New("ppay: stale sequence number")
+	ErrBadRequest   = errors.New("ppay: bad request")
+	ErrUnknownIdent = errors.New("ppay: unknown identity")
+)
+
+// Coin is the broker-signed birth certificate: {U, sn}skB.
+type Coin struct {
+	Owner  string
+	Serial uint64
+	Value  int64
+	Sig    []byte
+}
+
+func (c *Coin) message() []byte {
+	out := []byte("ppay/coin/1")
+	out = append(out, byte(len(c.Owner)))
+	out = append(out, c.Owner...)
+	out = binary.BigEndian.AppendUint64(out, c.Serial)
+	out = binary.BigEndian.AppendUint64(out, uint64(c.Value))
+	return out
+}
+
+// Verify checks the broker signature.
+func (c *Coin) Verify(suite sig.Suite, brokerPub sig.PublicKey) error {
+	if err := suite.Verify(brokerPub, c.message(), c.Sig); err != nil {
+		return fmt.Errorf("%w: coin: %v", ErrBadRequest, err)
+	}
+	return nil
+}
+
+// Assignment is an issued/transferred coin: {C, H, seq}skU (or skB when
+// ByBroker — the downtime protocol's "layered" broker assignment).
+type Assignment struct {
+	Coin     Coin
+	Holder   string
+	Seq      uint64
+	ByBroker bool
+	Sig      []byte
+}
+
+func (a *Assignment) message() []byte {
+	out := []byte("ppay/assign/1")
+	out = append(out, a.Coin.message()...)
+	out = append(out, byte(len(a.Holder)))
+	out = append(out, a.Holder...)
+	out = binary.BigEndian.AppendUint64(out, a.Seq)
+	if a.ByBroker {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// Wire messages.
+type (
+	// PurchaseRequest buys a coin.
+	PurchaseRequest struct {
+		Buyer string
+		Value int64
+		Sig   []byte
+	}
+	// PurchaseResponse returns the minted coin.
+	PurchaseResponse struct{ Coin Coin }
+	// TransferRequest asks the owner (or broker) to reassign a coin:
+	// the paper's {W, CV}skV. Note it names BOTH identities in the
+	// clear.
+	TransferRequest struct {
+		OwnerID   string
+		Serial    uint64
+		Seq       uint64
+		NewHolder string
+		PayeeAddr bus.Address
+		Holder    string
+		Sig       []byte
+		// Assignment is the holder's current assignment, evidence
+		// for broker-era verification.
+		Assignment Assignment
+	}
+	// DeliverAssignment hands the new assignment to the payee.
+	DeliverAssignment struct{ Assignment Assignment }
+	// DeliverResponse acknowledges.
+	DeliverResponse struct{}
+	// TransferResponse reports the outcome.
+	TransferResponse struct{ OK bool }
+	// DepositRequest redeems a coin — identified, unlike WhoPay.
+	DepositRequest struct {
+		Depositor  string
+		Assignment Assignment
+		Sig        []byte
+	}
+	// DepositResponse confirms.
+	DepositResponse struct{ Amount int64 }
+	// SyncRequest fetches broker-era assignments after rejoin.
+	SyncRequest struct {
+		Identity string
+		Sig      []byte
+	}
+	// SyncResponse returns them.
+	SyncResponse struct{ Assignments []Assignment }
+)
+
+func transferMessage(serial, seq uint64, newHolder, holder string) []byte {
+	out := []byte("ppay/transfer/1")
+	out = binary.BigEndian.AppendUint64(out, serial)
+	out = binary.BigEndian.AppendUint64(out, seq)
+	out = append(out, byte(len(newHolder)))
+	out = append(out, newHolder...)
+	out = append(out, byte(len(holder)))
+	out = append(out, holder...)
+	return out
+}
+
+func depositMessage(depositor string, serial, seq uint64) []byte {
+	out := []byte("ppay/deposit/1")
+	out = append(out, byte(len(depositor)))
+	out = append(out, depositor...)
+	out = binary.BigEndian.AppendUint64(out, serial)
+	out = binary.BigEndian.AppendUint64(out, seq)
+	return out
+}
+
+// Broker mints, redeems, and services downtime operations.
+type Broker struct {
+	suite     sig.Suite
+	keys      sig.KeyPair
+	ep        bus.Endpoint
+	dir       *core.Directory
+	clock     core.Clock
+	ops       core.OpCounter
+	mu        sync.Mutex
+	nextSn    uint64
+	coins     map[uint64]*Coin
+	downtime  map[uint64]*Assignment
+	pending   map[string][]uint64
+	deposited map[uint64]bool
+	balances  map[string]int64
+}
+
+// BrokerConfig configures a PPay broker.
+type BrokerConfig struct {
+	Network   bus.Network
+	Addr      bus.Address
+	Scheme    sig.Scheme
+	Recorder  sig.Recorder
+	Clock     core.Clock
+	Directory *core.Directory
+}
+
+// NewBroker starts a PPay broker.
+func NewBroker(cfg BrokerConfig) (*Broker, error) {
+	if cfg.Network == nil || cfg.Scheme == nil || cfg.Directory == nil {
+		return nil, errors.New("ppay: broker needs Network, Scheme and Directory")
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "ppay-broker"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	b := &Broker{
+		suite:     sig.Suite{Scheme: cfg.Scheme, Rec: cfg.Recorder},
+		dir:       cfg.Directory,
+		clock:     cfg.Clock,
+		coins:     make(map[uint64]*Coin),
+		downtime:  make(map[uint64]*Assignment),
+		pending:   make(map[string][]uint64),
+		deposited: make(map[uint64]bool),
+		balances:  make(map[string]int64),
+	}
+	keys, err := cfg.Scheme.GenerateKey()
+	if err != nil {
+		return nil, fmt.Errorf("ppay: broker keygen: %w", err)
+	}
+	b.keys = keys
+	ep, err := cfg.Network.Listen(cfg.Addr, b.handle)
+	if err != nil {
+		return nil, fmt.Errorf("ppay: broker listen: %w", err)
+	}
+	b.ep = ep
+	return b, nil
+}
+
+// Addr returns the broker address.
+func (b *Broker) Addr() bus.Address { return b.ep.Addr() }
+
+// PublicKey returns the broker key.
+func (b *Broker) PublicKey() sig.PublicKey { return b.keys.Public.Clone() }
+
+// Ops snapshots the broker's operation counts.
+func (b *Broker) Ops() core.OpCounts { return b.ops.Snapshot() }
+
+// Balance returns deposits credited to an identity.
+func (b *Broker) Balance(identity string) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balances[identity]
+}
+
+// Close stops the broker.
+func (b *Broker) Close() error { return b.ep.Close() }
+
+func (b *Broker) handle(from bus.Address, msg any) (any, error) {
+	switch m := msg.(type) {
+	case PurchaseRequest:
+		return b.handlePurchase(m)
+	case TransferRequest:
+		return b.handleDowntimeTransfer(m)
+	case DepositRequest:
+		return b.handleDeposit(m)
+	case SyncRequest:
+		return b.handleSync(m)
+	default:
+		return nil, fmt.Errorf("%w: broker got %T", ErrBadRequest, msg)
+	}
+}
+
+func (b *Broker) handlePurchase(m PurchaseRequest) (any, error) {
+	entry, ok := b.dir.Lookup(m.Buyer)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownIdent, m.Buyer)
+	}
+	if err := b.suite.Verify(entry.Pub, []byte("ppay/purchase/"+m.Buyer), m.Sig); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if m.Value <= 0 {
+		return nil, fmt.Errorf("%w: bad value", ErrBadRequest)
+	}
+	b.mu.Lock()
+	b.nextSn++
+	sn := b.nextSn
+	b.mu.Unlock()
+	c := &Coin{Owner: m.Buyer, Serial: sn, Value: m.Value}
+	var err error
+	if c.Sig, err = b.suite.Sign(b.keys.Private, c.message()); err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	b.coins[sn] = c
+	b.mu.Unlock()
+	b.ops.Inc(core.OpPurchase)
+	return PurchaseResponse{Coin: *c}, nil
+}
+
+// currentAssignment resolves the authoritative assignment, mirroring the
+// WhoPay broker's two verification flavors.
+func (b *Broker) currentAssignment(c *Coin, presented *Assignment) (*Assignment, error) {
+	b.mu.Lock()
+	stored := b.downtime[c.Serial]
+	b.mu.Unlock()
+	if stored != nil && presented != nil && stored.Seq == presented.Seq && stored.Holder == presented.Holder {
+		return stored, nil
+	}
+	if presented == nil {
+		return nil, fmt.Errorf("%w: no assignment presented", ErrBadRequest)
+	}
+	signer := sig.PublicKey(nil)
+	if presented.ByBroker {
+		signer = b.keys.Public
+	} else {
+		entry, ok := b.dir.Lookup(c.Owner)
+		if !ok {
+			return nil, fmt.Errorf("%w: owner %q", ErrUnknownIdent, c.Owner)
+		}
+		signer = entry.Pub
+	}
+	if err := b.suite.Verify(signer, presented.message(), presented.Sig); err != nil {
+		return nil, fmt.Errorf("%w: assignment: %v", ErrBadRequest, err)
+	}
+	if stored != nil && presented.Seq <= stored.Seq {
+		return nil, fmt.Errorf("%w: presented %d, broker has %d", ErrStaleSeq, presented.Seq, stored.Seq)
+	}
+	return presented, nil
+}
+
+func (b *Broker) handleDowntimeTransfer(m TransferRequest) (any, error) {
+	b.mu.Lock()
+	c, ok := b.coins[m.Serial]
+	deposited := b.deposited[m.Serial]
+	b.mu.Unlock()
+	if !ok || deposited {
+		return nil, ErrUnknownCoin
+	}
+	cur, err := b.currentAssignment(c, &m.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	if cur.Holder != m.Holder || cur.Seq != m.Seq {
+		return nil, ErrNotHolder
+	}
+	entry, ok := b.dir.Lookup(m.Holder)
+	if !ok {
+		return nil, fmt.Errorf("%w: holder %q", ErrUnknownIdent, m.Holder)
+	}
+	if err := b.suite.Verify(entry.Pub, transferMessage(m.Serial, m.Seq, m.NewHolder, m.Holder), m.Sig); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotHolder, err)
+	}
+	next := &Assignment{Coin: *c, Holder: m.NewHolder, Seq: cur.Seq + 1, ByBroker: true}
+	if next.Sig, err = b.suite.Sign(b.keys.Private, next.message()); err != nil {
+		return nil, err
+	}
+	if _, err := b.ep.Call(m.PayeeAddr, DeliverAssignment{Assignment: *next}); err != nil {
+		return TransferResponse{OK: false}, nil
+	}
+	b.mu.Lock()
+	b.downtime[m.Serial] = next
+	b.pending[c.Owner] = append(b.pending[c.Owner], m.Serial)
+	b.mu.Unlock()
+	b.ops.Inc(core.OpDowntimeTransfer)
+	return TransferResponse{OK: true}, nil
+}
+
+func (b *Broker) handleDeposit(m DepositRequest) (any, error) {
+	b.mu.Lock()
+	c, ok := b.coins[m.Assignment.Coin.Serial]
+	deposited := b.deposited[m.Assignment.Coin.Serial]
+	b.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownCoin
+	}
+	if deposited {
+		return nil, fmt.Errorf("%w: already deposited", ErrBadRequest)
+	}
+	cur, err := b.currentAssignment(c, &m.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	if cur.Holder != m.Depositor {
+		return nil, ErrNotHolder
+	}
+	entry, ok := b.dir.Lookup(m.Depositor)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownIdent, m.Depositor)
+	}
+	if err := b.suite.Verify(entry.Pub, depositMessage(m.Depositor, c.Serial, cur.Seq), m.Sig); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotHolder, err)
+	}
+	b.mu.Lock()
+	b.deposited[c.Serial] = true
+	b.balances[m.Depositor] += c.Value
+	delete(b.downtime, c.Serial)
+	b.mu.Unlock()
+	b.ops.Inc(core.OpDeposit)
+	return DepositResponse{Amount: c.Value}, nil
+}
+
+func (b *Broker) handleSync(m SyncRequest) (any, error) {
+	entry, ok := b.dir.Lookup(m.Identity)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownIdent, m.Identity)
+	}
+	if err := b.suite.Verify(entry.Pub, []byte("ppay/sync/"+m.Identity), m.Sig); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	b.mu.Lock()
+	serials := b.pending[m.Identity]
+	delete(b.pending, m.Identity)
+	var out []Assignment
+	for _, sn := range serials {
+		if a := b.downtime[sn]; a != nil {
+			out = append(out, *a)
+			delete(b.downtime, sn)
+		}
+	}
+	b.mu.Unlock()
+	b.ops.Inc(core.OpSync)
+	return SyncResponse{Assignments: out}, nil
+}

@@ -1,0 +1,258 @@
+package ppay
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"whopay/internal/bus"
+	"whopay/internal/core"
+	"whopay/internal/sig"
+)
+
+type fixture struct {
+	net    *bus.Memory
+	scheme sig.Scheme
+	dir    *core.Directory
+	broker *Broker
+	clock  time.Time
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{
+		net:    bus.NewMemory(),
+		scheme: sig.NewNull(3000),
+		dir:    core.NewDirectory(),
+	}
+	broker, err := NewBroker(BrokerConfig{
+		Network:   f.net,
+		Addr:      "ppay-broker",
+		Scheme:    f.scheme,
+		Directory: f.dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.broker = broker
+	t.Cleanup(func() { broker.Close() })
+	return f
+}
+
+func (f *fixture) addPeer(t *testing.T, id string) *Peer {
+	t.Helper()
+	p, err := NewPeer(PeerConfig{
+		ID:         id,
+		Network:    f.net,
+		Addr:       bus.Address("pp:" + id),
+		Scheme:     f.scheme,
+		Directory:  f.dir,
+		BrokerAddr: "ppay-broker",
+		BrokerPub:  f.broker.PublicKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestPPayLifecycle(t *testing.T) {
+	f := newFixture(t)
+	u := f.addPeer(t, "u")
+	v := f.addPeer(t, "v")
+	w := f.addPeer(t, "w")
+
+	sn, err := u.Purchase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo("v", sn); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.HeldCoins(); len(got) != 1 || got[0] != sn {
+		t.Fatalf("v holds %v", got)
+	}
+	if err := v.TransferTo("w", sn); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.HeldCoins()) != 0 || len(w.HeldCoins()) != 1 {
+		t.Fatal("transfer bookkeeping wrong")
+	}
+	if err := w.Deposit(sn); err != nil {
+		t.Fatal(err)
+	}
+	if f.broker.Balance("w") != 1 {
+		t.Fatalf("balance = %d", f.broker.Balance("w"))
+	}
+	if u.Ops().Get(core.OpTransfer) != 1 {
+		t.Fatal("owner transfer not counted")
+	}
+}
+
+// TestPPayExposesIdentities demonstrates the anonymity gap WhoPay closes:
+// the assignment the payee receives names the payer-chain in the clear.
+func TestPPayExposesIdentities(t *testing.T) {
+	f := newFixture(t)
+	u := f.addPeer(t, "owner-u")
+	v := f.addPeer(t, "payer-v")
+	w := f.addPeer(t, "payee-w")
+	sn, err := u.Purchase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo("payer-v", sn); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.TransferTo("payee-w", sn); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := w.HeldAssignment(sn)
+	if !ok {
+		t.Fatal("w lost the coin")
+	}
+	// The coin names its owner; the assignment names the payee; the
+	// owner learned the payer's identity from the transfer request.
+	if a.Coin.Owner != "owner-u" || a.Holder != "payee-w" {
+		t.Fatalf("assignment = %+v", a)
+	}
+}
+
+func TestPPayDowntimeTransferAndSync(t *testing.T) {
+	f := newFixture(t)
+	u := f.addPeer(t, "u")
+	v := f.addPeer(t, "v")
+	w := f.addPeer(t, "w")
+	x := f.addPeer(t, "x")
+	sn, err := u.Purchase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo("v", sn); err != nil {
+		t.Fatal(err)
+	}
+	f.net.SetOnline("pp:u", false)
+	if err := v.TransferTo("w", sn); err == nil {
+		t.Fatal("transfer via offline owner succeeded")
+	}
+	if err := v.TransferViaBroker("w", sn); err != nil {
+		t.Fatal(err)
+	}
+	if f.broker.Ops().Get(core.OpDowntimeTransfer) != 1 {
+		t.Fatal("downtime transfer not counted")
+	}
+	f.net.SetOnline("pp:u", true)
+	if err := u.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Owner services the next hop after syncing.
+	if err := w.TransferTo("x", sn); err != nil {
+		t.Fatalf("post-sync transfer: %v", err)
+	}
+	if err := x.Deposit(sn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPPayDoubleSpendRejected(t *testing.T) {
+	f := newFixture(t)
+	u := f.addPeer(t, "u")
+	v := f.addPeer(t, "v")
+	_ = f.addPeer(t, "w")
+	x := f.addPeer(t, "x")
+	sn, err := u.Purchase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo("v", sn); err != nil {
+		t.Fatal(err)
+	}
+	v.mu.Lock()
+	stale := *v.held[sn]
+	v.mu.Unlock()
+	if err := v.TransferTo("w", sn); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the stale assignment toward x.
+	sigBytes, err := v.suite.Sign(v.keys.Private, transferMessage(sn, stale.Seq, "x", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xEntry, _ := f.dir.Lookup("x")
+	uEntry, _ := f.dir.Lookup("u")
+	_, err = v.ep.Call(uEntry.Addr, TransferRequest{
+		OwnerID: "u", Serial: sn, Seq: stale.Seq, NewHolder: "x",
+		PayeeAddr: xEntry.Addr, Holder: "v", Sig: sigBytes, Assignment: stale,
+	})
+	var remote *bus.RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Msg, "stale") {
+		t.Fatalf("double spend = %v, want stale rejection", err)
+	}
+	if len(x.HeldCoins()) != 0 {
+		t.Fatal("double-spent coin delivered")
+	}
+}
+
+func TestPPayDoubleDepositRejected(t *testing.T) {
+	f := newFixture(t)
+	u := f.addPeer(t, "u")
+	v := f.addPeer(t, "v")
+	sn, err := u.Purchase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo("v", sn); err != nil {
+		t.Fatal(err)
+	}
+	v.mu.Lock()
+	stale := *v.held[sn]
+	v.mu.Unlock()
+	if err := v.Deposit(sn); err != nil {
+		t.Fatal(err)
+	}
+	sigBytes, err := v.suite.Sign(v.keys.Private, depositMessage("v", sn, stale.Seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = v.ep.Call("ppay-broker", DepositRequest{Depositor: "v", Assignment: stale, Sig: sigBytes})
+	if err == nil {
+		t.Fatal("double deposit accepted")
+	}
+	if f.broker.Balance("v") != 1 {
+		t.Fatalf("balance = %d", f.broker.Balance("v"))
+	}
+}
+
+func TestPPayForgedAssignmentRejected(t *testing.T) {
+	f := newFixture(t)
+	u := f.addPeer(t, "u")
+	v := f.addPeer(t, "v")
+	sn, err := u.Purchase(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.IssueTo("v", sn); err != nil {
+		t.Fatal(err)
+	}
+	// v forges an assignment inflating the value.
+	v.mu.Lock()
+	forged := *v.held[sn]
+	v.mu.Unlock()
+	forged.Coin.Value = 1000
+	sigBytes, err := v.suite.Sign(v.keys.Private, depositMessage("v", sn, forged.Seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ep.Call("ppay-broker", DepositRequest{Depositor: "v", Assignment: forged, Sig: sigBytes}); err == nil {
+		t.Fatal("forged coin value accepted")
+	}
+}
+
+func TestPPayPurchaseValidation(t *testing.T) {
+	f := newFixture(t)
+	u := f.addPeer(t, "u")
+	if _, err := u.Purchase(0); err == nil {
+		t.Fatal("zero-value purchase accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Package shamir implements Shamir's (K, N) threshold secret sharing over a
+// 256-bit prime field.
+//
+// The paper (Section 3.2) notes that the judge's group master private key
+// "can be divided among N judges using Shamir's secret sharing protocol and
+// at least K judges are needed in order to recover the key". This package is
+// that substrate: core.Judge can escrow its master key across a judge panel
+// so no single judge can deanonymize users.
+package shamir
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Errors returned by Split and Combine.
+var (
+	ErrThreshold    = errors.New("shamir: threshold must satisfy 2 <= k <= n")
+	ErrSecretRange  = errors.New("shamir: secret too large for the field")
+	ErrTooFewShares = errors.New("shamir: not enough shares")
+	ErrDuplicateX   = errors.New("shamir: duplicate share indices")
+	ErrShareRange   = errors.New("shamir: share value outside field")
+)
+
+// fieldPrime is the field modulus: 2^256 - 189, the largest 256-bit prime.
+// Secrets up to 31 bytes are always representable; 32-byte secrets are
+// accepted when numerically below the prime (callers splitting uniformly
+// random 32-byte keys should retry generation in the astronomically unlikely
+// out-of-range case).
+var fieldPrime, _ = new(big.Int).SetString(
+	"115792089237316195423570985008687907853269984665640564039457584007913129639747", 10)
+
+// Share is one point (X, Y) on the secret polynomial. X is never zero (the
+// secret lives at X = 0).
+type Share struct {
+	X uint16
+	Y *big.Int
+}
+
+// Clone returns an independent copy of the share.
+func (s Share) Clone() Share {
+	return Share{X: s.X, Y: new(big.Int).Set(s.Y)}
+}
+
+// Split divides secret into n shares such that any k reconstruct it and any
+// k-1 reveal nothing (information-theoretically). The secret is interpreted
+// as a big-endian integer and must be below the field prime.
+func Split(secret []byte, k, n int) ([]Share, error) {
+	if k < 2 || n < k || n > 65535 {
+		return nil, ErrThreshold
+	}
+	s := new(big.Int).SetBytes(secret)
+	if s.Cmp(fieldPrime) >= 0 {
+		return nil, ErrSecretRange
+	}
+	// Random polynomial f(x) = s + c1·x + … + c(k-1)·x^(k-1) mod p.
+	coeffs := make([]*big.Int, k)
+	coeffs[0] = s
+	for i := 1; i < k; i++ {
+		c, err := rand.Int(rand.Reader, fieldPrime)
+		if err != nil {
+			return nil, fmt.Errorf("shamir: sampling coefficient: %w", err)
+		}
+		coeffs[i] = c
+	}
+	shares := make([]Share, n)
+	for i := 0; i < n; i++ {
+		x := uint16(i + 1)
+		shares[i] = Share{X: x, Y: eval(coeffs, x)}
+	}
+	return shares, nil
+}
+
+// eval computes f(x) by Horner's rule in the field.
+func eval(coeffs []*big.Int, x uint16) *big.Int {
+	xi := big.NewInt(int64(x))
+	y := new(big.Int)
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		y.Mul(y, xi)
+		y.Add(y, coeffs[i])
+		y.Mod(y, fieldPrime)
+	}
+	return y
+}
+
+// Combine reconstructs the secret from at least k shares via Lagrange
+// interpolation at x = 0. The original byte length must be supplied so
+// leading zero bytes are restored. Supplying fewer than k shares yields a
+// different (wrong) value, never an error the math can detect — callers
+// enforce the threshold; Combine only rejects structural problems.
+func Combine(shares []Share, secretLen int) ([]byte, error) {
+	if len(shares) < 2 {
+		return nil, ErrTooFewShares
+	}
+	seen := make(map[uint16]bool, len(shares))
+	for _, sh := range shares {
+		if sh.X == 0 || sh.Y == nil {
+			return nil, ErrShareRange
+		}
+		if sh.Y.Sign() < 0 || sh.Y.Cmp(fieldPrime) >= 0 {
+			return nil, ErrShareRange
+		}
+		if seen[sh.X] {
+			return nil, ErrDuplicateX
+		}
+		seen[sh.X] = true
+	}
+	secret := new(big.Int)
+	num := new(big.Int)
+	den := new(big.Int)
+	term := new(big.Int)
+	for i, si := range shares {
+		// Lagrange basis at 0: Π_{j≠i} (-xj)/(xi-xj).
+		num.SetInt64(1)
+		den.SetInt64(1)
+		for j, sj := range shares {
+			if j == i {
+				continue
+			}
+			num.Mul(num, big.NewInt(-int64(sj.X)))
+			num.Mod(num, fieldPrime)
+			den.Mul(den, big.NewInt(int64(si.X)-int64(sj.X)))
+			den.Mod(den, fieldPrime)
+		}
+		den.ModInverse(den, fieldPrime)
+		term.Mul(si.Y, num)
+		term.Mod(term, fieldPrime)
+		term.Mul(term, den)
+		term.Mod(term, fieldPrime)
+		secret.Add(secret, term)
+		secret.Mod(secret, fieldPrime)
+	}
+	raw := secret.Bytes()
+	if len(raw) > secretLen {
+		return nil, fmt.Errorf("shamir: reconstructed value needs %d bytes, caller allotted %d (wrong share set?)", len(raw), secretLen)
+	}
+	out := make([]byte, secretLen)
+	copy(out[secretLen-len(raw):], raw)
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package shamir
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitCombineRoundTrip(t *testing.T) {
+	secret := []byte("the judge's master group signing key!")[:31]
+	shares, err := Split(secret, 3, 5)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if len(shares) != 5 {
+		t.Fatalf("got %d shares, want 5", len(shares))
+	}
+	got, err := Combine(shares[:3], len(secret))
+	if err != nil {
+		t.Fatalf("Combine: %v", err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("Combine = %x, want %x", got, secret)
+	}
+}
+
+func TestCombineAnySubset(t *testing.T) {
+	secret := make([]byte, 31)
+	if _, err := rand.Read(secret); err != nil {
+		t.Fatal(err)
+	}
+	shares, err := Split(secret, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsets := [][]int{{0, 1, 2}, {3, 4, 5}, {0, 2, 4}, {1, 3, 5}, {5, 0, 3}, {0, 1, 2, 3, 4, 5}}
+	for _, idx := range subsets {
+		sub := make([]Share, len(idx))
+		for i, j := range idx {
+			sub[i] = shares[j]
+		}
+		got, err := Combine(sub, len(secret))
+		if err != nil {
+			t.Fatalf("Combine(%v): %v", idx, err)
+		}
+		if !bytes.Equal(got, secret) {
+			t.Fatalf("Combine(%v) mismatch", idx)
+		}
+	}
+}
+
+func TestTooFewSharesGiveWrongSecret(t *testing.T) {
+	secret := make([]byte, 31)
+	if _, err := rand.Read(secret); err != nil {
+		t.Fatal(err)
+	}
+	shares, err := Split(secret, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Combine(shares[:2], len(secret))
+	if err != nil {
+		// A size error is also an acceptable "you got garbage" signal.
+		return
+	}
+	if bytes.Equal(got, secret) {
+		t.Fatal("2 of 3 shares reconstructed the secret — threshold broken")
+	}
+}
+
+func TestLeadingZerosPreserved(t *testing.T) {
+	secret := make([]byte, 31)
+	secret[30] = 0x7 // value 7 with 30 leading zero bytes
+	shares, err := Split(secret, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Combine(shares[:2], len(secret))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatalf("got %x, want %x", got, secret)
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	secret := []byte("s")
+	cases := []struct {
+		name string
+		k, n int
+	}{
+		{"k too small", 1, 5},
+		{"k > n", 4, 3},
+		{"n too large", 2, 70000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Split(secret, tc.k, tc.n); !errors.Is(err, ErrThreshold) {
+				t.Fatalf("Split(%d,%d) = %v, want ErrThreshold", tc.k, tc.n, err)
+			}
+		})
+	}
+}
+
+func TestSecretTooLargeRejected(t *testing.T) {
+	big := bytes.Repeat([]byte{0xff}, 32) // 2^256-1 > prime
+	if _, err := Split(big, 2, 3); !errors.Is(err, ErrSecretRange) {
+		t.Fatalf("Split = %v, want ErrSecretRange", err)
+	}
+}
+
+func TestCombineValidation(t *testing.T) {
+	secret := []byte("valid secret")
+	shares, err := Split(secret, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("too few", func(t *testing.T) {
+		if _, err := Combine(shares[:1], len(secret)); !errors.Is(err, ErrTooFewShares) {
+			t.Fatalf("got %v, want ErrTooFewShares", err)
+		}
+	})
+	t.Run("duplicate x", func(t *testing.T) {
+		dup := []Share{shares[0], shares[0].Clone()}
+		if _, err := Combine(dup, len(secret)); !errors.Is(err, ErrDuplicateX) {
+			t.Fatalf("got %v, want ErrDuplicateX", err)
+		}
+	})
+	t.Run("zero x", func(t *testing.T) {
+		bad := []Share{{X: 0, Y: big.NewInt(1)}, shares[1]}
+		if _, err := Combine(bad, len(secret)); !errors.Is(err, ErrShareRange) {
+			t.Fatalf("got %v, want ErrShareRange", err)
+		}
+	})
+	t.Run("nil y", func(t *testing.T) {
+		bad := []Share{{X: 9, Y: nil}, shares[1]}
+		if _, err := Combine(bad, len(secret)); !errors.Is(err, ErrShareRange) {
+			t.Fatalf("got %v, want ErrShareRange", err)
+		}
+	})
+	t.Run("y out of field", func(t *testing.T) {
+		bad := []Share{{X: 9, Y: new(big.Int).Add(fieldPrime, big.NewInt(1))}, shares[1]}
+		if _, err := Combine(bad, len(secret)); !errors.Is(err, ErrShareRange) {
+			t.Fatalf("got %v, want ErrShareRange", err)
+		}
+	})
+}
+
+func TestTamperedShareChangesSecret(t *testing.T) {
+	secret := make([]byte, 16)
+	if _, err := rand.Read(secret); err != nil {
+		t.Fatal(err)
+	}
+	shares, err := Split(secret, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares[1].Y.Add(shares[1].Y, big.NewInt(1))
+	shares[1].Y.Mod(shares[1].Y, fieldPrime)
+	got, err := Combine(shares, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got[32-16:], secret) {
+		t.Fatal("tampered share still reconstructed the secret")
+	}
+}
+
+// TestRoundTripProperty: for random secrets and random valid (k, n), any k
+// shares reconstruct the secret.
+func TestRoundTripProperty(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(42))
+	f := func(raw [31]byte) bool {
+		k := 2 + rng.Intn(4) // 2..5
+		n := k + rng.Intn(4) // k..k+3
+		shares, err := Split(raw[:], k, n)
+		if err != nil {
+			return false
+		}
+		rng.Shuffle(len(shares), func(i, j int) { shares[i], shares[j] = shares[j], shares[i] })
+		got, err := Combine(shares[:k], len(raw))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, raw[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSplit3of5(b *testing.B) {
+	secret := make([]byte, 31)
+	if _, err := rand.Read(secret); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(secret, 3, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCombine3of5(b *testing.B) {
+	secret := make([]byte, 31)
+	if _, err := rand.Read(secret); err != nil {
+		b.Fatal(err)
+	}
+	shares, err := Split(secret, 3, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Combine(shares[:3], len(secret)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sig
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// Null is a non-cryptographic Scheme for simulation. The load study in the
+// paper (Section 6) counts operations rather than exercising real crypto, so
+// the simulator runs the real protocol code under Null and attributes costs
+// via Counter. Keys are process-unique (an atomic counter plus a per-instance
+// tag), public and private halves are identical, and "signatures" are SHA-256
+// tags that Verify recomputes. Null provides NO security; it exists so that
+// protocol state machines behave identically — including signature
+// mismatches on tampered messages — at simulation speed.
+type Null struct {
+	tag uint32
+}
+
+var _ Scheme = (*Null)(nil)
+
+// _nullSeq makes every Null key unique within the process even across
+// scheme instances.
+var _nullSeq atomic.Uint64
+
+// NewNull returns a Null scheme whose keys carry the given instance tag.
+func NewNull(tag uint32) *Null { return &Null{tag: tag} }
+
+const nullKeyLen = 12
+
+// Name implements Scheme.
+func (*Null) Name() string { return "null" }
+
+// GenerateKey implements Scheme. Public and private keys are the same
+// 12-byte value: 4-byte instance tag || 8-byte process-unique counter.
+func (n *Null) GenerateKey() (KeyPair, error) {
+	buf := make([]byte, nullKeyLen)
+	binary.BigEndian.PutUint32(buf[0:4], n.tag)
+	binary.BigEndian.PutUint64(buf[4:12], _nullSeq.Add(1))
+	return KeyPair{Public: buf, Private: buf}, nil
+}
+
+// Sign implements Scheme.
+func (n *Null) Sign(priv PrivateKey, msg []byte) ([]byte, error) {
+	if len(priv) != nullKeyLen {
+		return nil, ErrBadKey
+	}
+	return nullTag(priv, msg), nil
+}
+
+// Verify implements Scheme.
+func (n *Null) Verify(pub PublicKey, msg []byte, sigBytes []byte) error {
+	if len(pub) != nullKeyLen {
+		return ErrBadKey
+	}
+	want := nullTag([]byte(pub), msg)
+	if len(sigBytes) != len(want) {
+		return ErrBadSignature
+	}
+	for i := range want {
+		if sigBytes[i] != want[i] {
+			return ErrBadSignature
+		}
+	}
+	return nil
+}
+
+func nullTag(key, msg []byte) []byte {
+	h := sha256.New()
+	h.Write(key)
+	h.Write(msg)
+	return h.Sum(nil)[:16]
+}

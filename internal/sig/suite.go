@@ -1,0 +1,111 @@
+package sig
+
+import "sync/atomic"
+
+// Recorder receives notifications for each cryptographic micro-operation.
+// The load model of the paper (Table 3) weighs exactly these five
+// micro-operations; entities in the simulator carry a Recorder so every
+// operation is attributed to whoever performed it.
+type Recorder interface {
+	RecordKeyGen()
+	RecordSign()
+	RecordVerify()
+	RecordGroupSign()
+	RecordGroupVerify()
+}
+
+// Counter is a thread-safe Recorder that tallies micro-operations.
+type Counter struct {
+	keyGens       atomic.Int64
+	signs         atomic.Int64
+	verifies      atomic.Int64
+	groupSigns    atomic.Int64
+	groupVerifies atomic.Int64
+}
+
+var _ Recorder = (*Counter)(nil)
+
+// RecordKeyGen implements Recorder.
+func (c *Counter) RecordKeyGen() { c.keyGens.Add(1) }
+
+// RecordSign implements Recorder.
+func (c *Counter) RecordSign() { c.signs.Add(1) }
+
+// RecordVerify implements Recorder.
+func (c *Counter) RecordVerify() { c.verifies.Add(1) }
+
+// RecordGroupSign implements Recorder.
+func (c *Counter) RecordGroupSign() { c.groupSigns.Add(1) }
+
+// RecordGroupVerify implements Recorder.
+func (c *Counter) RecordGroupVerify() { c.groupVerifies.Add(1) }
+
+// Snapshot is an immutable copy of a Counter's tallies.
+type Snapshot struct {
+	KeyGens       int64
+	Signs         int64
+	Verifies      int64
+	GroupSigns    int64
+	GroupVerifies int64
+}
+
+// Snapshot returns the current tallies.
+func (c *Counter) Snapshot() Snapshot {
+	return Snapshot{
+		KeyGens:       c.keyGens.Load(),
+		Signs:         c.signs.Load(),
+		Verifies:      c.verifies.Load(),
+		GroupSigns:    c.groupSigns.Load(),
+		GroupVerifies: c.groupVerifies.Load(),
+	}
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (s Snapshot) Add(other Snapshot) Snapshot {
+	return Snapshot{
+		KeyGens:       s.KeyGens + other.KeyGens,
+		Signs:         s.Signs + other.Signs,
+		Verifies:      s.Verifies + other.Verifies,
+		GroupSigns:    s.GroupSigns + other.GroupSigns,
+		GroupVerifies: s.GroupVerifies + other.GroupVerifies,
+	}
+}
+
+// Suite bundles a Scheme with an optional Recorder. It is the per-entity
+// crypto handle: all protocol code signs and verifies through a Suite so the
+// operation is both performed and attributed in one step. A zero Recorder
+// (nil) disables accounting.
+type Suite struct {
+	Scheme Scheme
+	Rec    Recorder
+}
+
+// NewSuite returns a Suite over scheme with recording to rec (rec may be
+// nil).
+func NewSuite(scheme Scheme, rec Recorder) Suite {
+	return Suite{Scheme: scheme, Rec: rec}
+}
+
+// GenerateKey creates a key pair and records the key generation.
+func (s Suite) GenerateKey() (KeyPair, error) {
+	if s.Rec != nil {
+		s.Rec.RecordKeyGen()
+	}
+	return s.Scheme.GenerateKey()
+}
+
+// Sign signs msg and records a signature generation.
+func (s Suite) Sign(priv PrivateKey, msg []byte) ([]byte, error) {
+	if s.Rec != nil {
+		s.Rec.RecordSign()
+	}
+	return s.Scheme.Sign(priv, msg)
+}
+
+// Verify verifies sig over msg and records a signature verification.
+func (s Suite) Verify(pub PublicKey, msg []byte, sigBytes []byte) error {
+	if s.Rec != nil {
+		s.Rec.RecordVerify()
+	}
+	return s.Scheme.Verify(pub, msg, sigBytes)
+}

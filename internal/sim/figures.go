@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"whopay/internal/core"
+	"whopay/internal/stats"
+)
+
+// Scale describes the sweep dimensions. PaperScale is the full Table 1
+// setup; QuickScale shrinks it for CI and benchmarks while preserving the
+// shapes.
+type Scale struct {
+	NumPeers      int
+	Duration      time.Duration
+	RenewalPeriod time.Duration
+	MeanOnlines   []time.Duration
+	MeanOffline   time.Duration
+	Sizes         []int // Setup B system sizes
+	Seed          int64
+}
+
+// PaperScale reproduces the paper's Setup A/B (median downtime: ν = 2 h).
+func PaperScale() Scale {
+	return Scale{
+		NumPeers:      1000,
+		Duration:      240 * time.Hour,
+		RenewalPeriod: 72 * time.Hour,
+		MeanOnlines: []time.Duration{
+			5 * time.Minute, 15 * time.Minute, 30 * time.Minute, time.Hour,
+			2 * time.Hour, 4 * time.Hour, 8 * time.Hour, 16 * time.Hour, 32 * time.Hour,
+		},
+		MeanOffline: 2 * time.Hour,
+		Sizes:       []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000},
+		Seed:        1,
+	}
+}
+
+// MidScale is a middle ground: large enough for magnitudes comparable to
+// the paper (hundreds of peers, multi-day horizon), small enough to finish
+// in minutes.
+func MidScale() Scale {
+	return Scale{
+		NumPeers:      400,
+		Duration:      120 * time.Hour,
+		RenewalPeriod: 36 * time.Hour,
+		MeanOnlines: []time.Duration{
+			5 * time.Minute, 15 * time.Minute, time.Hour,
+			2 * time.Hour, 8 * time.Hour, 32 * time.Hour,
+		},
+		MeanOffline: 2 * time.Hour,
+		Sizes:       []int{100, 200, 300, 400},
+		Seed:        1,
+	}
+}
+
+// QuickScale is a reduced sweep for fast runs.
+func QuickScale() Scale {
+	return Scale{
+		NumPeers: 120,
+		Duration: 48 * time.Hour,
+		// Scaled with the horizon, preserving the paper's 10d:3d
+		// run-to-renewal ratio.
+		RenewalPeriod: 16 * time.Hour,
+		MeanOnlines: []time.Duration{
+			5 * time.Minute, 30 * time.Minute, time.Hour, 2 * time.Hour, 4 * time.Hour, 8 * time.Hour,
+		},
+		MeanOffline: 2 * time.Hour,
+		Sizes:       []int{40, 80, 120, 160, 200},
+		Seed:        1,
+	}
+}
+
+// SweepKey identifies one policy/sync configuration.
+type SweepKey struct {
+	Policy core.Policy
+	Sync   core.SyncMode
+}
+
+// String renders the key as the paper's legends do.
+func (k SweepKey) String() string {
+	syncName := "proactive sync"
+	if k.Sync == core.SyncLazy {
+		syncName = "lazy sync"
+	}
+	return fmt.Sprintf("policy %s + %s", k.Policy, syncName)
+}
+
+// AllSweepKeys are the four configurations Figures 6-11 plot.
+func AllSweepKeys() []SweepKey {
+	return []SweepKey{
+		{Policy: core.PolicyI, Sync: core.SyncProactive},
+		{Policy: core.PolicyI, Sync: core.SyncLazy},
+		{Policy: core.PolicyIII, Sync: core.SyncProactive},
+		{Policy: core.PolicyIII, Sync: core.SyncLazy},
+	}
+}
+
+// RunSetupA sweeps mean online session length (Setup A): one Result per µ.
+// Progress, if non-nil, is called before each run.
+func RunSetupA(scale Scale, key SweepKey, progress func(string)) ([]*Result, error) {
+	results := make([]*Result, 0, len(scale.MeanOnlines))
+	for _, mu := range scale.MeanOnlines {
+		if progress != nil {
+			progress(fmt.Sprintf("setup A: %s, mu=%s", key, mu))
+		}
+		res, err := Run(Config{
+			NumPeers:      scale.NumPeers,
+			MeanOnline:    mu,
+			MeanOffline:   scale.MeanOffline,
+			Duration:      scale.Duration,
+			RenewalPeriod: scale.RenewalPeriod,
+			Policy:        key.Policy,
+			SyncMode:      key.Sync,
+			Seed:          scale.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: setup A (%s, mu=%s): %w", key, mu, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// RunSetupB sweeps system size at fixed 50% availability (Setup B).
+func RunSetupB(scale Scale, key SweepKey, progress func(string)) ([]*Result, error) {
+	results := make([]*Result, 0, len(scale.Sizes))
+	for _, n := range scale.Sizes {
+		if progress != nil {
+			progress(fmt.Sprintf("setup B: %s, n=%d", key, n))
+		}
+		res, err := Run(Config{
+			NumPeers:      n,
+			MeanOnline:    2 * time.Hour,
+			MeanOffline:   2 * time.Hour,
+			Duration:      scale.Duration,
+			RenewalPeriod: scale.RenewalPeriod,
+			Policy:        key.Policy,
+			SyncMode:      key.Sync,
+			Seed:          scale.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: setup B (%s, n=%d): %w", key, n, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func hours(d time.Duration) float64 { return d.Hours() }
+
+// FigureBrokerOps builds Figures 2 (proactive) and 3 (lazy): broker
+// operation counts vs mean session length under policy I.
+func FigureBrokerOps(results []*Result, title string) *stats.Figure {
+	f := stats.NewFigure(title, "Mean Session Length (hrs)", "Number of Operations")
+	ops := []core.Op{core.OpPurchase, core.OpDowntimeTransfer, core.OpDowntimeRenewal, core.OpSync}
+	for _, res := range results {
+		for _, op := range ops {
+			if op == core.OpSync && res.Config.SyncMode == core.SyncLazy {
+				continue
+			}
+			f.AddSeries(op.String()).Add(hours(res.Config.MeanOnline), float64(res.BrokerOps.Get(op)))
+		}
+	}
+	return f
+}
+
+// FigurePeerOps builds Figures 4 (proactive) and 5 (lazy): average peer
+// operation counts vs mean session length.
+func FigurePeerOps(results []*Result, title string) *stats.Figure {
+	f := stats.NewFigure(title, "Mean Session Length (hrs)", "Number of Operations")
+	ops := []core.Op{
+		core.OpPurchase, core.OpIssue, core.OpTransfer, core.OpRenewal,
+		core.OpDowntimeTransfer, core.OpDowntimeRenewal, core.OpSync, core.OpCheck,
+	}
+	for _, res := range results {
+		lazy := res.Config.SyncMode == core.SyncLazy
+		for _, op := range ops {
+			if op == core.OpSync && lazy {
+				continue
+			}
+			if op == core.OpCheck && !lazy {
+				continue
+			}
+			f.AddSeries(op.String()).Add(hours(res.Config.MeanOnline), res.PeerOpsAvg(op))
+		}
+	}
+	return f
+}
+
+// FigureBrokerLoad builds Figures 6 (CPU) and 7 (communication): broker
+// load vs mean session length, one series per configuration.
+func FigureBrokerLoad(byKey map[SweepKey][]*Result, comm bool, title string) *stats.Figure {
+	ylabel := "CPU Load"
+	if comm {
+		ylabel = "Communication Load"
+	}
+	f := stats.NewFigure(title, "Mean Session Length (hrs)", ylabel)
+	for _, key := range AllSweepKeys() {
+		for _, res := range byKey[key] {
+			y := float64(res.BrokerCPU)
+			if comm {
+				y = float64(res.BrokerComm)
+			}
+			f.AddSeries(key.String()).Add(hours(res.Config.MeanOnline), y)
+		}
+	}
+	return f
+}
+
+// FigureLoadRatio builds Figures 8 (CPU) and 9 (communication):
+// broker-to-average-peer load ratio, plotted for the low-availability
+// region as in the paper.
+func FigureLoadRatio(byKey map[SweepKey][]*Result, comm bool, title string, maxHours float64) *stats.Figure {
+	f := stats.NewFigure(title, "Mean Session Length (hrs)", "Load Ratio")
+	for _, key := range AllSweepKeys() {
+		for _, res := range byKey[key] {
+			x := hours(res.Config.MeanOnline)
+			if maxHours > 0 && x > maxHours {
+				continue
+			}
+			y := res.CPULoadRatio()
+			if comm {
+				y = res.CommLoadRatio()
+			}
+			f.AddSeries(key.String()).Add(x, y)
+		}
+	}
+	return f
+}
+
+// FigureLoadScaling builds Figures 10 (CPU) and 11 (communication): the
+// broker's share of total system load vs system size (Setup B).
+func FigureLoadScaling(byKey map[SweepKey][]*Result, comm bool, title string) *stats.Figure {
+	f := stats.NewFigure(title, "Number of Peers", "Load Ratio")
+	for _, key := range AllSweepKeys() {
+		for _, res := range byKey[key] {
+			y := res.BrokerCPUShare()
+			if comm {
+				y = res.BrokerCommShare()
+			}
+			f.AddSeries(key.String()).Add(float64(res.Config.NumPeers), y)
+		}
+	}
+	return f
+}
+
+// RunDowntimeSensitivity reruns Setup A for the paper's three downtime
+// settings (ν = 1, 2, 4 h — "short", "median", "long"). The paper plots
+// only the median because "the results ... are pretty similar to each
+// other"; this sweep reproduces that claim.
+func RunDowntimeSensitivity(scale Scale, key SweepKey, progress func(string)) (map[time.Duration][]*Result, error) {
+	out := make(map[time.Duration][]*Result, 3)
+	for _, nu := range []time.Duration{time.Hour, 2 * time.Hour, 4 * time.Hour} {
+		s := scale
+		s.MeanOffline = nu
+		if progress != nil {
+			progress(fmt.Sprintf("downtime sensitivity: nu=%s", nu))
+		}
+		results, err := RunSetupA(s, key, progress)
+		if err != nil {
+			return nil, err
+		}
+		out[nu] = results
+	}
+	return out, nil
+}
+
+// FigureDowntimeSensitivity plots total broker operations vs µ, one series
+// per ν — the visual form of the paper's "pretty similar" remark.
+func FigureDowntimeSensitivity(byNu map[time.Duration][]*Result) *stats.Figure {
+	f := stats.NewFigure("Downtime Sensitivity: Broker Ops (nu = 1, 2, 4 hrs)",
+		"Mean Session Length (hrs)", "Number of Operations")
+	for nu, results := range byNu {
+		name := fmt.Sprintf("nu=%s", nu)
+		for _, res := range results {
+			f.AddSeries(name).Add(hours(res.Config.MeanOnline), float64(res.BrokerOps.Total()))
+		}
+	}
+	return f
+}
+
+// SetupTable renders the paper's Table 1 (simulation setup matrix).
+func SetupTable() string {
+	return "Table 1: Simulation Setup\n" +
+		"  Setup  Policies            Sync              mu               nu              Peers\n" +
+		"  A      I, II.a, II.b, III  proactive, lazy   15 min - 32 hrs  1, 2, 4 hrs     1000\n" +
+		"  B      I, II.a, II.b, III  proactive, lazy   2 hrs            2 hrs           100 - 1000\n"
+}

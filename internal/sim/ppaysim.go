@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"whopay/internal/bus"
+	"whopay/internal/core"
+	"whopay/internal/costmodel"
+	"whopay/internal/ppay"
+	"whopay/internal/sig"
+)
+
+// PPay comparison mode: the paper positions WhoPay as "as secure and
+// scalable as existing peer-to-peer payment schemes such as PPay, while
+// providing a much higher level of user anonymity". RunPPay runs the same
+// stochastic workload (churn, Poisson candidates thinned by payee
+// availability, user-centric spending) over the PPay implementation so the
+// two systems' load distributions can be compared head to head: similar
+// broker shares, with WhoPay paying a constant-factor crypto premium for
+// anonymity (the group signatures and one-time holder keys PPay lacks).
+
+// PPayResult aggregates one PPay run.
+type PPayResult struct {
+	Config        Config
+	BrokerOps     core.OpCounts
+	PeerOpsTotal  core.OpCounts
+	BrokerCPU     int64
+	PeerCPUTotal  int64
+	BrokerComm    int64
+	PeerCommTotal int64
+	Candidates    int64
+	Payments      int64
+	Failed        int64
+}
+
+// BrokerCPUShare mirrors Result.BrokerCPUShare.
+func (r *PPayResult) BrokerCPUShare() float64 {
+	total := float64(r.BrokerCPU + r.PeerCPUTotal)
+	if total == 0 {
+		return 0
+	}
+	return float64(r.BrokerCPU) / total
+}
+
+// BrokerCommShare mirrors Result.BrokerCommShare.
+func (r *PPayResult) BrokerCommShare() float64 {
+	total := float64(r.BrokerComm + r.PeerCommTotal)
+	if total == 0 {
+		return 0
+	}
+	return float64(r.BrokerComm) / total
+}
+
+// ppayWorld is the PPay analog of world.
+type ppayWorld struct {
+	cfg    Config
+	rng    *mrand.Rand
+	now    time.Time
+	epoch  time.Time
+	net    *bus.Memory
+	broker *ppay.Broker
+	peers  []*ppay.Peer
+	online []bool
+	recs   []*sig.Counter
+	bRec   sig.Counter
+	events eventHeap
+	evSeq  uint64
+	res    *PPayResult
+}
+
+func (w *ppayWorld) clock() time.Time { return w.now }
+
+func (w *ppayWorld) schedule(after time.Duration, kind, peer int) {
+	w.evSeq++
+	heap.Push(&w.events, event{at: w.now.Sub(w.epoch) + after, seq: w.evSeq, kind: kind, peer: peer})
+}
+
+func (w *ppayWorld) exp(mean time.Duration) time.Duration {
+	return time.Duration(w.rng.ExpFloat64() * float64(mean))
+}
+
+// RunPPay executes one PPay simulation under the same workload model as
+// Run. Renewals do not exist in our PPay reduction (its sweep events are
+// skipped); policies beyond the user-centric order are meaningless there,
+// so the Policy field is ignored.
+func RunPPay(cfg Config) (*PPayResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumPeers < 2 {
+		return nil, errors.New("sim: need at least 2 peers")
+	}
+	w := &ppayWorld{
+		cfg:   cfg,
+		rng:   mrand.New(mrand.NewSource(cfg.Seed)),
+		epoch: time.Unix(1_700_000_000, 0),
+		net:   bus.NewMemory(),
+		res:   &PPayResult{Config: cfg},
+	}
+	w.now = w.epoch
+	scheme := sig.NewNull(uint32(cfg.Seed) ^ 0x5050)
+	dir := core.NewDirectory()
+	broker, err := ppay.NewBroker(ppay.BrokerConfig{
+		Network:   w.net,
+		Addr:      "broker",
+		Scheme:    scheme,
+		Recorder:  &w.bRec,
+		Clock:     w.clock,
+		Directory: dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer broker.Close()
+	w.broker = broker
+
+	w.peers = make([]*ppay.Peer, cfg.NumPeers)
+	w.online = make([]bool, cfg.NumPeers)
+	w.recs = make([]*sig.Counter, cfg.NumPeers)
+	for i := 0; i < cfg.NumPeers; i++ {
+		rec := &sig.Counter{}
+		w.recs[i] = rec
+		p, err := ppay.NewPeer(ppay.PeerConfig{
+			ID:         fmt.Sprintf("peer-%d", i),
+			Network:    w.net,
+			Addr:       bus.Address(fmt.Sprintf("p:%d", i)),
+			Scheme:     scheme,
+			Recorder:   rec,
+			Clock:      w.clock,
+			Directory:  dir,
+			BrokerAddr: "broker",
+			BrokerPub:  broker.PublicKey(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer p.Close()
+		w.peers[i] = p
+	}
+
+	alpha := cfg.Availability()
+	for i := range w.peers {
+		w.online[i] = w.rng.Float64() < alpha
+		if !w.online[i] {
+			w.net.SetOnline(bus.Address(fmt.Sprintf("p:%d", i)), false)
+		}
+		mean := cfg.MeanOnline
+		if !w.online[i] {
+			mean = cfg.MeanOffline
+		}
+		w.schedule(w.exp(mean), evChurn, i)
+		w.schedule(w.exp(cfg.PaymentInterval), evPayment, i)
+	}
+
+	for {
+		ev, ok := w.events.Peek()
+		if !ok || ev.at > cfg.Duration {
+			break
+		}
+		heap.Pop(&w.events)
+		w.now = w.epoch.Add(ev.at)
+		switch ev.kind {
+		case evChurn:
+			w.handleChurn(ev.peer)
+		case evPayment:
+			w.handlePayment(ev.peer)
+		}
+	}
+
+	w.collect()
+	return w.res, nil
+}
+
+func (w *ppayWorld) handleChurn(i int) {
+	addr := bus.Address(fmt.Sprintf("p:%d", i))
+	if w.online[i] {
+		w.online[i] = false
+		w.net.SetOnline(addr, false)
+		w.schedule(w.exp(w.cfg.MeanOffline), evChurn, i)
+		return
+	}
+	w.online[i] = true
+	w.net.SetOnline(addr, true)
+	// PPay's downtime protocol requires rejoin synchronization
+	// unconditionally (the paper: "Peers must synchronize state with the
+	// broker after they rejoin the system").
+	_ = w.peers[i].Sync()
+	w.schedule(w.exp(w.cfg.MeanOnline), evChurn, i)
+}
+
+// handlePayment applies the user-centric (policy I analog) preference
+// order: transfer a coin with an online owner, else via the broker, else
+// purchase and issue.
+func (w *ppayWorld) handlePayment(i int) {
+	defer w.schedule(w.exp(w.cfg.PaymentInterval), evPayment, i)
+	w.res.Candidates++
+	j := w.rng.Intn(w.cfg.NumPeers - 1)
+	if j >= i {
+		j++
+	}
+	if !w.online[j] {
+		return
+	}
+	payer := w.peers[i]
+	payeeID := fmt.Sprintf("peer-%d", j)
+
+	var paid bool
+	var offlineCoin uint64
+	var haveOffline bool
+	for _, sn := range payer.HeldCoins() {
+		a, ok := payer.HeldAssignment(sn)
+		if !ok {
+			continue
+		}
+		var ownerIdx int
+		if _, err := fmt.Sscanf(a.Coin.Owner, "peer-%d", &ownerIdx); err != nil {
+			continue
+		}
+		if ownerIdx >= 0 && ownerIdx < len(w.online) && w.online[ownerIdx] {
+			if err := payer.TransferTo(payeeID, sn); err == nil {
+				paid = true
+				break
+			}
+		} else if !haveOffline {
+			offlineCoin, haveOffline = sn, true
+		}
+	}
+	if !paid && haveOffline {
+		paid = payer.TransferViaBroker(payeeID, offlineCoin) == nil
+	}
+	if !paid {
+		sn, err := payer.Purchase(1)
+		if err == nil {
+			paid = payer.IssueTo(payeeID, sn) == nil
+		}
+	}
+	if paid {
+		w.res.Payments++
+	} else {
+		w.res.Failed++
+	}
+}
+
+func (w *ppayWorld) collect() {
+	res := w.res
+	res.BrokerOps = w.broker.Ops()
+	for _, p := range w.peers {
+		res.PeerOpsTotal = res.PeerOpsTotal.Add(p.Ops())
+	}
+	res.BrokerCPU = costmodel.CPU(w.bRec.Snapshot())
+	for _, rec := range w.recs {
+		res.PeerCPUTotal += costmodel.CPU(rec.Snapshot())
+	}
+	res.BrokerComm = costmodel.Comm(w.net.Stats("broker"))
+	for i := range w.peers {
+		res.PeerCommTotal += costmodel.Comm(w.net.Stats(bus.Address(fmt.Sprintf("p:%d", i))))
+	}
+}

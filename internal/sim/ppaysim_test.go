@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"whopay/internal/core"
+)
+
+// TestWhoPayAsScalableAsPPay reproduces the paper's headline comparative
+// claim: "This basic version of WhoPay is as secure and scalable as
+// existing peer-to-peer payment schemes such as PPay". Under the identical
+// workload, the broker's share of system load must be of the same order in
+// both systems — WhoPay pays a constant crypto premium for anonymity, it
+// does not re-centralize anything.
+func TestWhoPayAsScalableAsPPay(t *testing.T) {
+	cfg := Config{
+		NumPeers:    80,
+		MeanOnline:  2 * time.Hour,
+		MeanOffline: 2 * time.Hour,
+		Duration:    48 * time.Hour,
+		Policy:      core.PolicyI,
+		Seed:        9,
+	}
+	who, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := RunPPay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Payments == 0 || who.Payments == 0 {
+		t.Fatalf("payments: whopay=%d ppay=%d", who.Payments, pp.Payments)
+	}
+	// Same workload → same payment volume (within noise from the
+	// different RNG streams feeding protocol internals).
+	ratio := float64(who.Payments) / float64(pp.Payments)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("payment volumes diverge: whopay=%d ppay=%d", who.Payments, pp.Payments)
+	}
+	// Scalability: broker share of the same order. WhoPay's share is
+	// typically LOWER (group signatures inflate peer-side work), so the
+	// bound that matters is "not meaningfully worse than PPay".
+	ws, ps := who.BrokerCPUShare(), pp.BrokerCPUShare()
+	if ws > 2*ps {
+		t.Fatalf("WhoPay broker CPU share %.4f more than doubles PPay's %.4f", ws, ps)
+	}
+	wc, pc := who.BrokerCommShare(), pp.BrokerCommShare()
+	if wc > 2*pc {
+		t.Fatalf("WhoPay broker comm share %.4f more than doubles PPay's %.4f", wc, pc)
+	}
+	// The anonymity premium is visible and bounded: total system CPU
+	// higher in WhoPay, but by a constant factor (< 4x), not a blowup.
+	whoTotal := who.BrokerCPU + who.PeerCPUTotal
+	ppTotal := pp.BrokerCPU + pp.PeerCPUTotal
+	if whoTotal <= ppTotal {
+		t.Fatalf("WhoPay CPU %d not above PPay %d — group signatures cost something", whoTotal, ppTotal)
+	}
+	if float64(whoTotal) > 4*float64(ppTotal) {
+		t.Fatalf("anonymity premium blew up: whopay=%d ppay=%d", whoTotal, ppTotal)
+	}
+	t.Logf("broker CPU share: whopay=%.4f ppay=%.4f; anonymity premium: %.2fx",
+		ws, ps, float64(whoTotal)/float64(ppTotal))
+}
+
+// TestRunPPayBasics sanity-checks the PPay world.
+func TestRunPPayBasics(t *testing.T) {
+	res, err := RunPPay(Config{
+		NumPeers:    40,
+		MeanOnline:  time.Hour,
+		MeanOffline: 2 * time.Hour,
+		Duration:    24 * time.Hour,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payments == 0 {
+		t.Fatal("no PPay payments")
+	}
+	if res.BrokerOps.Get(core.OpPurchase) == 0 {
+		t.Fatal("no purchases")
+	}
+	if res.PeerOpsTotal.Get(core.OpTransfer) == 0 {
+		t.Fatal("no owner-serviced transfers")
+	}
+	if res.BrokerOps.Get(core.OpDowntimeTransfer) == 0 {
+		t.Fatal("no downtime transfers at 33% availability")
+	}
+	// No group signatures anywhere in PPay.
+	if res.BrokerCPU == 0 || res.PeerCPUTotal == 0 {
+		t.Fatal("no CPU accounted")
+	}
+}
+
+func TestRunPPayValidation(t *testing.T) {
+	if _, err := RunPPay(Config{NumPeers: 1}); err == nil {
+		t.Fatal("single-peer PPay run accepted")
+	}
+}

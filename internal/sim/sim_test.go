@@ -1,0 +1,476 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"whopay/internal/core"
+	"whopay/internal/stats"
+)
+
+// testScale is small enough for CI but large enough to exhibit the paper's
+// shapes.
+func testScale() Scale {
+	return Scale{
+		NumPeers:      80,
+		Duration:      72 * time.Hour,
+		RenewalPeriod: 24 * time.Hour, // paper's 10d:3d ratio, scaled
+		MeanOnlines: []time.Duration{
+			5 * time.Minute, 30 * time.Minute, 2 * time.Hour, 8 * time.Hour,
+		},
+		MeanOffline: 2 * time.Hour,
+		Sizes:       []int{40, 80, 120},
+		Seed:        7,
+	}
+}
+
+// sweepCache shares sweep results across shape tests (each sweep costs
+// seconds; the assertions all read the same data).
+var (
+	sweepOnce  sync.Once
+	sweepByKey map[SweepKey][]*Result
+	sweepErr   error
+)
+
+func sweeps(t *testing.T) map[SweepKey][]*Result {
+	t.Helper()
+	sweepOnce.Do(func() {
+		sweepByKey = make(map[SweepKey][]*Result)
+		for _, key := range AllSweepKeys() {
+			results, err := RunSetupA(testScale(), key, nil)
+			if err != nil {
+				sweepErr = err
+				return
+			}
+			sweepByKey[key] = results
+		}
+	})
+	if sweepErr != nil {
+		t.Fatal(sweepErr)
+	}
+	return sweepByKey
+}
+
+func series(results []*Result, get func(*Result) float64) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = get(r)
+	}
+	return out
+}
+
+func TestRunBasicInvariants(t *testing.T) {
+	res, err := Run(Config{
+		NumPeers:    50,
+		MeanOnline:  2 * time.Hour,
+		MeanOffline: 2 * time.Hour,
+		Duration:    24 * time.Hour,
+		Policy:      core.PolicyI,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Payments == 0 {
+		t.Fatal("no payments happened")
+	}
+	if res.Payments+res.Failed > res.Candidates {
+		t.Fatal("more payments than candidates")
+	}
+	// Candidate rate: N peers × duration / 5 min, ±20%.
+	expected := float64(50) * 24 * 12
+	if float64(res.Candidates) < 0.8*expected || float64(res.Candidates) > 1.2*expected {
+		t.Fatalf("candidates = %d, expected ≈ %.0f", res.Candidates, expected)
+	}
+	// Thinning: actual ≈ α × candidates (α = 0.5), ±15%.
+	ratio := float64(res.Payments+res.Failed) / float64(res.Candidates)
+	if ratio < 0.35 || ratio > 0.65 {
+		t.Fatalf("actual/candidate ratio = %.3f, expected ≈ 0.5", ratio)
+	}
+	// Every payment is accounted to a method.
+	var methodTotal int64
+	for _, n := range res.ByMethod {
+		methodTotal += n
+	}
+	if methodTotal != res.Payments {
+		t.Fatalf("method totals %d != payments %d", methodTotal, res.Payments)
+	}
+	// Peer-side issue count must equal broker purchases under policy I
+	// (every purchased coin is issued immediately).
+	if res.PeerOpsTotal.Get(core.OpIssue) != res.BrokerOps.Get(core.OpPurchase) {
+		t.Fatalf("issues %d != purchases %d",
+			res.PeerOpsTotal.Get(core.OpIssue), res.BrokerOps.Get(core.OpPurchase))
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{
+		NumPeers:    30,
+		MeanOnline:  time.Hour,
+		MeanOffline: time.Hour,
+		Duration:    12 * time.Hour,
+		Policy:      core.PolicyI,
+		Seed:        11,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Payments != b.Payments || a.Candidates != b.Candidates || a.BrokerOps != b.BrokerOps {
+		t.Fatalf("same seed, different results: %d/%d vs %d/%d",
+			a.Payments, a.Candidates, b.Payments, b.Candidates)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{NumPeers: 1}); err == nil {
+		t.Fatal("single-peer run accepted")
+	}
+}
+
+func TestAvailability(t *testing.T) {
+	c := Config{MeanOnline: 2 * time.Hour, MeanOffline: 2 * time.Hour}
+	if got := c.Availability(); got != 0.5 {
+		t.Fatalf("alpha = %v", got)
+	}
+	if (Config{}).Availability() != 0 {
+		t.Fatal("zero config alpha")
+	}
+}
+
+// TestShapeFigure2 asserts the paper's Figure 2 trends: purchases grow with
+// availability, syncs shrink, downtime transfers and renewals are unimodal
+// (or at least eventually declining past the peak).
+func TestShapeFigure2(t *testing.T) {
+	results := sweeps(t)[SweepKey{Policy: core.PolicyI, Sync: core.SyncProactive}]
+
+	purchases := series(results, func(r *Result) float64 { return float64(r.BrokerOps.Get(core.OpPurchase)) })
+	if shape := stats.Classify(purchases, 0.1); shape != stats.Increasing {
+		t.Errorf("purchases %v not increasing (%v)", purchases, shape)
+	}
+	syncs := series(results, func(r *Result) float64 { return float64(r.BrokerOps.Get(core.OpSync)) })
+	if shape := stats.Classify(syncs, 0.1); shape != stats.Decreasing {
+		t.Errorf("syncs %v not decreasing (%v)", syncs, shape)
+	}
+	dtTransfers := series(results, func(r *Result) float64 { return float64(r.BrokerOps.Get(core.OpDowntimeTransfer)) })
+	if shape := stats.Classify(dtTransfers, 0.1); shape != stats.Unimodal && shape != stats.Decreasing {
+		t.Errorf("downtime transfers %v neither unimodal nor decreasing (%v)", dtTransfers, shape)
+	}
+	dtRenewals := series(results, func(r *Result) float64 { return float64(r.BrokerOps.Get(core.OpDowntimeRenewal)) })
+	if shape := stats.Classify(dtRenewals, 0.1); shape != stats.Unimodal && shape != stats.Increasing {
+		// At test scale the falling edge may sit right of the last
+		// point; accept rise or rise-then-fall, never decline-only.
+		t.Errorf("downtime renewals %v = %v, want unimodal/increasing", dtRenewals, shape)
+	}
+}
+
+// TestShapeFigure3 asserts lazy sync eliminates syncs entirely.
+func TestShapeFigure3(t *testing.T) {
+	results := sweeps(t)[SweepKey{Policy: core.PolicyI, Sync: core.SyncLazy}]
+	for _, r := range results {
+		if r.BrokerOps.Get(core.OpSync) != 0 {
+			t.Fatalf("lazy sync run performed %d syncs", r.BrokerOps.Get(core.OpSync))
+		}
+		if r.PeerOpsTotal.Get(core.OpCheck) == 0 {
+			t.Fatalf("lazy sync run performed no checks (mu=%s)", r.Config.MeanOnline)
+		}
+	}
+}
+
+// TestShapeFigure4 asserts transfers dominate average peer load and peer
+// load rises with availability. The domination claim is the paper's "under
+// all configurations, transfers dominate peer load", stated for its µ ≥
+// 15 min sweep; our extra 5-minute point sits below that range (α ≈ 0.04,
+// nearly everything routes through the broker) and is excluded.
+func TestShapeFigure4(t *testing.T) {
+	results := sweeps(t)[SweepKey{Policy: core.PolicyI, Sync: core.SyncProactive}]
+	for _, r := range results {
+		if r.Config.MeanOnline < 15*time.Minute {
+			continue
+		}
+		transfers := r.PeerOpsAvg(core.OpTransfer)
+		for op := core.Op(0); op < core.NumOps; op++ {
+			if op == core.OpTransfer {
+				continue
+			}
+			if r.PeerOpsAvg(op) > transfers {
+				t.Errorf("mu=%s: %v (%.1f) exceeds transfers (%.1f)",
+					r.Config.MeanOnline, op, r.PeerOpsAvg(op), transfers)
+			}
+		}
+	}
+	load := series(results, func(r *Result) float64 { return r.PeerCPUAvg() })
+	if shape := stats.Classify(load, 0.1); shape != stats.Increasing {
+		t.Errorf("avg peer CPU %v not increasing (%v)", load, shape)
+	}
+}
+
+// TestShapeFigures6and7 asserts lazy sync cuts broker load and the
+// broker-centric policy yields less broker load than the user-centric one.
+func TestShapeFigures6and7(t *testing.T) {
+	byKey := sweeps(t)
+	iPro := byKey[SweepKey{Policy: core.PolicyI, Sync: core.SyncProactive}]
+	iLazy := byKey[SweepKey{Policy: core.PolicyI, Sync: core.SyncLazy}]
+	iiiPro := byKey[SweepKey{Policy: core.PolicyIII, Sync: core.SyncProactive}]
+	for i := range iPro {
+		mu := iPro[i].Config.MeanOnline
+		if iLazy[i].BrokerCPU >= iPro[i].BrokerCPU {
+			t.Errorf("mu=%s: lazy broker CPU %d ≥ proactive %d", mu, iLazy[i].BrokerCPU, iPro[i].BrokerCPU)
+		}
+		if iLazy[i].BrokerComm >= iPro[i].BrokerComm {
+			t.Errorf("mu=%s: lazy broker comm %d ≥ proactive %d", mu, iLazy[i].BrokerComm, iPro[i].BrokerComm)
+		}
+		// Policy III ≤ policy I on broker CPU (the paper's
+		// conjecture, confirmed by its Figure 6); allow 10% noise.
+		if float64(iiiPro[i].BrokerCPU) > 1.1*float64(iPro[i].BrokerCPU) {
+			t.Errorf("mu=%s: policy III broker CPU %d > policy I %d",
+				mu, iiiPro[i].BrokerCPU, iPro[i].BrokerCPU)
+		}
+	}
+}
+
+// TestShapeFigures8and9 asserts the broker-to-peer load ratio is largest at
+// low availability and declines as availability grows.
+func TestShapeFigures8and9(t *testing.T) {
+	results := sweeps(t)[SweepKey{Policy: core.PolicyI, Sync: core.SyncProactive}]
+	ratios := series(results, func(r *Result) float64 { return r.CPULoadRatio() })
+	if shape := stats.Classify(ratios, 0.05); shape != stats.Decreasing {
+		t.Errorf("CPU load ratio %v not decreasing (%v)", ratios, shape)
+	}
+	if ratios[0] < 10 {
+		t.Errorf("lowest-availability ratio = %.1f, want ≫ 1 (paper: orders of magnitude)", ratios[0])
+	}
+	comm := series(results, func(r *Result) float64 { return r.CommLoadRatio() })
+	if shape := stats.Classify(comm, 0.05); shape != stats.Decreasing {
+		t.Errorf("comm load ratio %v not decreasing (%v)", comm, shape)
+	}
+}
+
+// TestShapeFigures10and11 asserts Setup B's result: the broker's share of
+// system load stays in a narrow band as the system grows (broker load
+// scales linearly with total load), with peers absorbing the vast majority.
+func TestShapeFigures10and11(t *testing.T) {
+	key := SweepKey{Policy: core.PolicyI, Sync: core.SyncProactive}
+	results, err := RunSetupB(testScale(), key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := series(results, func(r *Result) float64 { return r.BrokerCPUShare() })
+	for i, s := range shares {
+		if s > 0.25 {
+			t.Errorf("n=%d: broker CPU share %.3f too high", results[i].Config.NumPeers, s)
+		}
+	}
+	// Narrow band: max/min within 2.5x across sizes.
+	minS, maxS := shares[0], shares[0]
+	for _, s := range shares {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS > 2.5*minS {
+		t.Errorf("broker share varies too much across sizes: %v", shares)
+	}
+}
+
+// TestPolicyIIIDepositsInSweep: the broker-centric policy actually
+// deposits offline coins ("In policy III, peers deposit offline coins, and
+// purchase new coins to issue") — the behaviour our preference-order
+// interpretation exists to produce.
+func TestPolicyIIIDepositsInSweep(t *testing.T) {
+	results := sweeps(t)[SweepKey{Policy: core.PolicyIII, Sync: core.SyncProactive}]
+	totalDeposits := int64(0)
+	for _, r := range results {
+		totalDeposits += r.BrokerOps.Get(core.OpDeposit)
+		if r.BrokerOps.Get(core.OpDowntimeTransfer) != 0 {
+			t.Fatalf("policy III performed downtime transfers (mu=%s)", r.Config.MeanOnline)
+		}
+	}
+	if totalDeposits == 0 {
+		t.Fatal("policy III never deposited an offline coin")
+	}
+}
+
+// TestRenewalsAppearAtScale: with the horizon exceeding the renewal
+// period, renewals and downtime renewals occur (the load Figures 2-5
+// plot).
+func TestRenewalsAppearAtScale(t *testing.T) {
+	results := sweeps(t)[SweepKey{Policy: core.PolicyI, Sync: core.SyncProactive}]
+	var renewals, dtRenewals int64
+	for _, r := range results {
+		renewals += r.PeerOpsTotal.Get(core.OpRenewal)
+		dtRenewals += r.BrokerOps.Get(core.OpDowntimeRenewal)
+	}
+	if renewals == 0 || dtRenewals == 0 {
+		t.Fatalf("renewals=%d dtRenewals=%d, want both > 0", renewals, dtRenewals)
+	}
+}
+
+// TestDowntimeSensitivity reproduces the paper's Section 6.1 remark: "the
+// results for the short downtime simulation, median downtime simulation,
+// and long downtime simulation are pretty similar to each other" — i.e.,
+// every Figure 2 shape holds at ν = 1, 2, and 4 hours alike.
+func TestDowntimeSensitivity(t *testing.T) {
+	scale := testScale()
+	scale.MeanOnlines = []time.Duration{30 * time.Minute, 2 * time.Hour, 8 * time.Hour}
+	byNu, err := RunDowntimeSensitivity(scale, SweepKey{Policy: core.PolicyI, Sync: core.SyncProactive}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byNu) != 3 {
+		t.Fatalf("nu settings = %d", len(byNu))
+	}
+	for nu, results := range byNu {
+		// Purchases rise with availability; at extreme availability
+		// (α ≈ 0.9, reached when ν = 1 h) they plateau — the
+		// documented deviation (EXPERIMENTS.md) — so unimodal is
+		// acceptable, decline-only is not.
+		purchases := series(results, func(r *Result) float64 { return float64(r.BrokerOps.Get(core.OpPurchase)) })
+		if shape := stats.Classify(purchases, 0.1); shape != stats.Increasing && shape != stats.Unimodal {
+			t.Errorf("nu=%s: purchases %v = %v, want increasing/unimodal", nu, purchases, shape)
+		}
+		syncs := series(results, func(r *Result) float64 { return float64(r.BrokerOps.Get(core.OpSync)) })
+		if shape := stats.Classify(syncs, 0.1); shape != stats.Decreasing {
+			t.Errorf("nu=%s: syncs %v not decreasing (%v)", nu, syncs, shape)
+		}
+		ratios := series(results, func(r *Result) float64 { return r.CPULoadRatio() })
+		if shape := stats.Classify(ratios, 0.05); shape != stats.Decreasing {
+			t.Errorf("nu=%s: load ratio %v not decreasing (%v)", nu, ratios, shape)
+		}
+	}
+	if fig := FigureDowntimeSensitivity(byNu); len(fig.Series) != 3 {
+		t.Fatalf("sensitivity figure series = %d", len(fig.Series))
+	}
+}
+
+// TestFigureBuilders exercises the figure constructors end to end.
+func TestFigureBuilders(t *testing.T) {
+	byKey := sweeps(t)
+	iPro := byKey[SweepKey{Policy: core.PolicyI, Sync: core.SyncProactive}]
+	iLazy := byKey[SweepKey{Policy: core.PolicyI, Sync: core.SyncLazy}]
+
+	f2 := FigureBrokerOps(iPro, "Figure 2")
+	if len(f2.Series) != 4 {
+		t.Fatalf("figure 2 series = %d", len(f2.Series))
+	}
+	f3 := FigureBrokerOps(iLazy, "Figure 3")
+	for _, s := range f3.Series {
+		if s.Name == "syncs" {
+			t.Fatal("figure 3 (lazy) contains a syncs series")
+		}
+	}
+	f4 := FigurePeerOps(iPro, "Figure 4")
+	hasChecks := false
+	for _, s := range f4.Series {
+		if s.Name == "checks" {
+			hasChecks = true
+		}
+	}
+	if hasChecks {
+		t.Fatal("figure 4 (proactive) contains checks")
+	}
+	f5 := FigurePeerOps(iLazy, "Figure 5")
+	hasChecks = false
+	for _, s := range f5.Series {
+		if s.Name == "checks" {
+			hasChecks = true
+		}
+	}
+	if !hasChecks {
+		t.Fatal("figure 5 (lazy) missing checks")
+	}
+	f6 := FigureBrokerLoad(byKey, false, "Figure 6")
+	if len(f6.Series) != 4 {
+		t.Fatalf("figure 6 series = %d", len(f6.Series))
+	}
+	f8 := FigureLoadRatio(byKey, false, "Figure 8", 6)
+	if len(f8.Series) == 0 {
+		t.Fatal("figure 8 empty")
+	}
+	if csv := f2.CSV(); !strings.Contains(csv, "purchases") {
+		t.Fatal("figure 2 CSV missing purchases column")
+	}
+}
+
+func TestSetupTable(t *testing.T) {
+	if !strings.Contains(SetupTable(), "100 - 1000") {
+		t.Fatal("setup table content")
+	}
+}
+
+func TestSweepKeyString(t *testing.T) {
+	k := SweepKey{Policy: core.PolicyIII, Sync: core.SyncLazy}
+	if k.String() != "policy III + lazy sync" {
+		t.Fatalf("key string = %q", k.String())
+	}
+}
+
+// TestResultZeroGuards: ratio/share helpers do not divide by zero.
+func TestResultZeroGuards(t *testing.T) {
+	r := &Result{Config: Config{NumPeers: 10}}
+	if r.CPULoadRatio() != 0 || r.CommLoadRatio() != 0 || r.BrokerCPUShare() != 0 || r.BrokerCommShare() != 0 {
+		t.Fatal("zero-state ratios not zero")
+	}
+	pr := &PPayResult{}
+	if pr.BrokerCPUShare() != 0 || pr.BrokerCommShare() != 0 {
+		t.Fatal("zero-state PPay shares not zero")
+	}
+}
+
+// TestScalesDistinct: the three scales are well-formed and ordered.
+func TestScalesDistinct(t *testing.T) {
+	q, m, p := QuickScale(), MidScale(), PaperScale()
+	if !(q.NumPeers < m.NumPeers && m.NumPeers < p.NumPeers) {
+		t.Fatal("scale peer counts not increasing")
+	}
+	if !(q.Duration < m.Duration && m.Duration < p.Duration) {
+		t.Fatal("scale durations not increasing")
+	}
+	for _, s := range []Scale{q, m, p} {
+		if len(s.MeanOnlines) == 0 || len(s.Sizes) == 0 || s.RenewalPeriod <= 0 {
+			t.Fatalf("malformed scale: %+v", s)
+		}
+		if s.Duration < 2*s.RenewalPeriod {
+			t.Fatalf("horizon %v too short for renewals (period %v)", s.Duration, s.RenewalPeriod)
+		}
+	}
+}
+
+// TestRequirePayerOnline: the stricter thinning knob reduces actual
+// payments to roughly alpha^2 of candidates.
+func TestRequirePayerOnline(t *testing.T) {
+	cfg := Config{
+		NumPeers:    60,
+		MeanOnline:  2 * time.Hour,
+		MeanOffline: 2 * time.Hour,
+		Duration:    24 * time.Hour,
+		Policy:      core.PolicyI,
+		Seed:        13,
+	}
+	loose, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RequirePayerOnline = true
+	strict, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := float64(loose.Payments) / float64(loose.Candidates)
+	sr := float64(strict.Payments) / float64(strict.Candidates)
+	if lr < 0.4 || lr > 0.6 {
+		t.Fatalf("loose ratio = %.3f, want ≈ alpha = 0.5", lr)
+	}
+	if sr < 0.15 || sr > 0.35 {
+		t.Fatalf("strict ratio = %.3f, want ≈ alpha^2 = 0.25", sr)
+	}
+}

@@ -1,0 +1,237 @@
+// Package stats provides the small series/table toolkit the benchmark
+// harness uses to emit every figure's data as CSV and quick ASCII plots.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line on a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Y) }
+
+// Figure is a set of series sharing an x-axis — one paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(title, xlabel, ylabel string) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries registers (or retrieves) a named series.
+func (f *Figure) AddSeries(name string) *Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// CSV renders the figure as comma-separated values: one x column, one
+// column per series. Series are aligned by x value (union of all x's).
+func (f *Figure) CSV() string {
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			b.WriteByte(',')
+			if y, ok := lookup(s, x); ok {
+				fmt.Fprintf(&b, "%g", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(s *Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// plotGlyphs mark successive series in ASCII plots.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// ASCII renders a quick terminal plot of the figure. It is deliberately
+// simple: linear axes, one glyph per series, legend below.
+func (f *Figure) ASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	empty := true
+	for _, s := range f.Series {
+		for i := range s.Y {
+			empty = false
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if empty {
+		return f.Title + ": (no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		glyph := plotGlyphs[si%len(plotGlyphs)]
+		for i := range s.Y {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = glyph
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%-10.3g ┤%s\n", maxY, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(&b, "%-10.3g ┤%s\n", minY, string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s  %-g%s%g  (%s)\n", "", minX,
+		strings.Repeat(" ", max(1, width-len(fmt.Sprintf("%g%g", minX, maxX)))), maxX, f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "    %c %s\n", plotGlyphs[si%len(plotGlyphs)], s.Name)
+	}
+	return b.String()
+}
+
+// Mean averages ys (0 for empty input).
+func Mean(ys []float64) float64 {
+	if len(ys) == 0 {
+		return 0
+	}
+	var t float64
+	for _, y := range ys {
+		t += y
+	}
+	return t / float64(len(ys))
+}
+
+// Monotone classifications for shape assertions.
+type Monotone int
+
+// Shape classes for a series.
+const (
+	Flat Monotone = iota
+	Increasing
+	Decreasing
+	Unimodal // rises then falls
+	Other
+)
+
+// Classify determines a series' coarse shape with a relative tolerance:
+// moves smaller than tol*max(|y|) are ignored.
+func Classify(ys []float64, tol float64) Monotone {
+	if len(ys) < 2 {
+		return Flat
+	}
+	maxAbs := 0.0
+	for _, y := range ys {
+		maxAbs = math.Max(maxAbs, math.Abs(y))
+	}
+	eps := tol * maxAbs
+	ups, downs := 0, 0
+	// Track direction changes on significant moves only.
+	dirs := []int{}
+	for i := 1; i < len(ys); i++ {
+		d := ys[i] - ys[i-1]
+		switch {
+		case d > eps:
+			ups++
+			if len(dirs) == 0 || dirs[len(dirs)-1] != 1 {
+				dirs = append(dirs, 1)
+			}
+		case d < -eps:
+			downs++
+			if len(dirs) == 0 || dirs[len(dirs)-1] != -1 {
+				dirs = append(dirs, -1)
+			}
+		}
+	}
+	switch {
+	case ups == 0 && downs == 0:
+		return Flat
+	case downs == 0:
+		return Increasing
+	case ups == 0:
+		return Decreasing
+	case len(dirs) == 2 && dirs[0] == 1 && dirs[1] == -1:
+		return Unimodal
+	default:
+		return Other
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

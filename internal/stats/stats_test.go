@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureCSV(t *testing.T) {
+	f := NewFigure("Broker Load", "mean session length (hrs)", "operations")
+	purchases := f.AddSeries("purchases")
+	purchases.Add(1, 100)
+	purchases.Add(2, 200)
+	syncs := f.AddSeries("syncs")
+	syncs.Add(1, 50)
+	syncs.Add(4, 10)
+	csv := f.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "mean session length (hrs),purchases,syncs" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // x ∈ {1, 2, 4}
+		t.Fatalf("rows = %d: %q", len(lines), csv)
+	}
+	if lines[1] != "1,100,50" {
+		t.Fatalf("row1 = %q", lines[1])
+	}
+	if lines[2] != "2,200," {
+		t.Fatalf("row2 = %q (missing values stay empty)", lines[2])
+	}
+}
+
+func TestAddSeriesIdempotent(t *testing.T) {
+	f := NewFigure("t", "x", "y")
+	a := f.AddSeries("s")
+	b := f.AddSeries("s")
+	if a != b {
+		t.Fatal("AddSeries created a duplicate")
+	}
+	a.Add(1, 2)
+	if b.Len() != 1 {
+		t.Fatal("series not shared")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	f := NewFigure("t", `x "hrs", really`, "y")
+	f.AddSeries("a,b").Add(1, 2)
+	csv := f.CSV()
+	if !strings.Contains(csv, `"x ""hrs"", really"`) || !strings.Contains(csv, `"a,b"`) {
+		t.Fatalf("escaping wrong: %q", csv)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	f := NewFigure("Broker CPU Load", "hrs", "units")
+	s := f.AddSeries("policy I")
+	for i := 1; i <= 8; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	out := f.ASCII(40, 10)
+	if !strings.Contains(out, "Broker CPU Load") || !strings.Contains(out, "policy I") {
+		t.Fatalf("plot missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no data glyphs plotted")
+	}
+}
+
+func TestASCIIPlotEmpty(t *testing.T) {
+	f := NewFigure("empty", "x", "y")
+	if !strings.Contains(f.ASCII(30, 8), "no data") {
+		t.Fatal("empty plot should say so")
+	}
+}
+
+func TestASCIIPlotClampsSize(t *testing.T) {
+	f := NewFigure("tiny", "x", "y")
+	f.AddSeries("s").Add(1, 1)
+	if out := f.ASCII(1, 1); out == "" {
+		t.Fatal("clamped plot empty")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		ys   []float64
+		want Monotone
+	}{
+		{"flat", []float64{5, 5, 5}, Flat},
+		{"increasing", []float64{1, 2, 3, 10}, Increasing},
+		{"decreasing", []float64{10, 4, 2, 1}, Decreasing},
+		{"unimodal", []float64{1, 5, 9, 6, 2}, Unimodal},
+		{"noise within tol is flat", []float64{100, 101, 99, 100}, Flat},
+		{"vee is other", []float64{9, 2, 9}, Other},
+		{"single point", []float64{3}, Flat},
+		{"increasing with small dips", []float64{10, 100, 99, 200, 400}, Increasing},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.ys, 0.05); got != tc.want {
+				t.Fatalf("Classify(%v) = %v, want %v", tc.ys, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+// Package whopay is a complete implementation of WhoPay, the scalable and
+// anonymous peer-to-peer payment system of Wei, Chen, Smith and Vo (UC
+// Berkeley UCB/CSD-5-1386, ICDCS 2006), together with every substrate the
+// paper relies on: group signatures with judge-side opening, Shamir key
+// escrow, blind signatures, PayWord/lottery micropayment aggregation, a
+// Chord-style access-controlled DHT for real-time double-spending
+// detection, an i3-style indirection layer for owner-anonymous coins, the
+// PPay and centralized-anonymous baselines, and the discrete-event
+// simulator that regenerates the paper's entire evaluation.
+//
+// # Quick start
+//
+//	net := whopay.NewMemoryNetwork()
+//	judge, _ := whopay.NewJudge(whopay.ECDSA())
+//	dir := whopay.NewDirectory()
+//	broker, _ := whopay.NewBroker(whopay.BrokerConfig{
+//	        Network: net, Scheme: whopay.ECDSA(),
+//	        Directory: dir, GroupPub: judge.GroupPublicKey(),
+//	})
+//	alice, _ := whopay.NewPeer(whopay.PeerConfig{
+//	        ID: "alice", Network: net, Scheme: whopay.ECDSA(),
+//	        Directory: dir, BrokerAddr: broker.Addr(),
+//	        BrokerPub: broker.PublicKey(), Judge: judge,
+//	})
+//	// ... create bob, then:
+//	id, _ := alice.Purchase(1, false)
+//	_ = alice.IssueTo(bob.Addr(), id)
+//
+// Coins are public keys; holdership is a signed binding to a fresh one-time
+// holder key, so payments are anonymous; group signatures keep them fair
+// (the judge can open them under investigation); transfers are serviced by
+// coin owners, not the broker, so the system scales.
+//
+// See the examples directory for runnable scenarios and cmd/whopay-sim for
+// the paper's evaluation harness.
+package whopay
+
+import (
+	"whopay/internal/bus"
+	"whopay/internal/core"
+	"whopay/internal/sig"
+)
+
+// Core entities.
+type (
+	// Broker is WhoPay's central bank (mint, redemption, downtime
+	// service, fraud adjudication).
+	Broker = core.Broker
+	// BrokerConfig configures a Broker.
+	BrokerConfig = core.BrokerConfig
+	// Peer is a WhoPay participant (owner, holder, payer, payee).
+	Peer = core.Peer
+	// PeerConfig configures a Peer.
+	PeerConfig = core.PeerConfig
+	// Judge is the fairness authority (group manager).
+	Judge = core.Judge
+	// Directory is the trusted identity/address registry.
+	Directory = core.Directory
+	// Shop is a coin shop (issuer-anonymity extension).
+	Shop = core.Shop
+	// FraudCase is a broker-recorded fraud investigation.
+	FraudCase = core.FraudCase
+	// FraudAlert is a peer-side double-spend alarm.
+	FraudAlert = core.FraudAlert
+	// Policy is a spending-method preference order.
+	Policy = core.Policy
+	// Method is one payment method.
+	Method = core.Method
+	// Op is a coarse-grained protocol operation.
+	Op = core.Op
+	// OpCounts tallies operations by type.
+	OpCounts = core.OpCounts
+	// SyncMode selects proactive or lazy owner synchronization.
+	SyncMode = core.SyncMode
+	// Scheme is a pluggable signature scheme.
+	Scheme = sig.Scheme
+	// Network is the message transport abstraction.
+	Network = bus.Network
+	// Address names an endpoint on a Network.
+	Address = bus.Address
+)
+
+// Policies and sync modes (paper Section 6.1 / 5.2).
+const (
+	PolicyI        = core.PolicyI
+	PolicyIIa      = core.PolicyIIa
+	PolicyIIb      = core.PolicyIIb
+	PolicyIII      = core.PolicyIII
+	SyncProactive  = core.SyncProactive
+	SyncLazy       = core.SyncLazy
+	DefaultRenewal = core.DefaultRenewalPeriod
+)
+
+// Operation kinds (the paper's load-study vocabulary).
+const (
+	OpPurchase         = core.OpPurchase
+	OpIssue            = core.OpIssue
+	OpTransfer         = core.OpTransfer
+	OpDeposit          = core.OpDeposit
+	OpRenewal          = core.OpRenewal
+	OpDowntimeTransfer = core.OpDowntimeTransfer
+	OpDowntimeRenewal  = core.OpDowntimeRenewal
+	OpSync             = core.OpSync
+	OpCheck            = core.OpCheck
+	OpLazySync         = core.OpLazySync
+)
+
+// NewBroker starts a broker.
+func NewBroker(cfg BrokerConfig) (*Broker, error) { return core.NewBroker(cfg) }
+
+// NewPeer starts a peer.
+func NewPeer(cfg PeerConfig) (*Peer, error) { return core.NewPeer(cfg) }
+
+// NewJudge creates the fairness authority.
+func NewJudge(scheme Scheme) (*Judge, error) { return core.NewJudge(scheme) }
+
+// NewDirectory creates an identity registry.
+func NewDirectory() *Directory { return core.NewDirectory() }
+
+// NewShop upgrades a peer into a coin shop.
+func NewShop(p *Peer, feePercent int) *Shop { return core.NewShop(p, feePercent) }
+
+// NewMemoryNetwork creates the in-process transport (tests, simulations,
+// single-process demos). For real deployments use the TCP transport in
+// cmd/whopayd.
+func NewMemoryNetwork() *bus.Memory { return bus.NewMemory() }
+
+// ECDSA returns the production signature scheme (P-256, the paper's
+// DSA-1024 stand-in).
+func ECDSA() Scheme { return sig.ECDSA{} }
+
+// Ed25519 returns the alternative high-throughput scheme.
+func Ed25519() Scheme { return sig.Ed25519{} }

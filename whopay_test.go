@@ -1,0 +1,118 @@
+package whopay_test
+
+import (
+	"testing"
+
+	"whopay"
+)
+
+// TestPublicAPIQuickstart drives the facade exactly as the package
+// documentation advertises.
+func TestPublicAPIQuickstart(t *testing.T) {
+	net := whopay.NewMemoryNetwork()
+	scheme := whopay.Ed25519()
+	judge, err := whopay.NewJudge(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := whopay.NewDirectory()
+	broker, err := whopay.NewBroker(whopay.BrokerConfig{
+		Network:   net,
+		Scheme:    scheme,
+		Directory: dir,
+		GroupPub:  judge.GroupPublicKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	newPeer := func(id string) *whopay.Peer {
+		p, err := whopay.NewPeer(whopay.PeerConfig{
+			ID:         id,
+			Network:    net,
+			Scheme:     scheme,
+			Directory:  dir,
+			BrokerAddr: broker.Addr(),
+			BrokerPub:  broker.PublicKey(),
+			Judge:      judge,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	alice := newPeer("alice")
+	bob := newPeer("bob")
+	carol := newPeer("carol")
+
+	id, err := alice.Purchase(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.IssueTo(bob.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.TransferTo(carol.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	if err := carol.Deposit(id, "carol-payout"); err != nil {
+		t.Fatal(err)
+	}
+	if broker.Balance("carol-payout") != 1 {
+		t.Fatalf("balance = %d", broker.Balance("carol-payout"))
+	}
+	if alice.Ops().Get(whopay.OpTransfer) != 1 {
+		t.Fatal("alice did not service the transfer")
+	}
+}
+
+// TestPolicyDrivenPayments exercises Pay through the facade.
+func TestPolicyDrivenPayments(t *testing.T) {
+	net := whopay.NewMemoryNetwork()
+	scheme := whopay.Ed25519()
+	judge, err := whopay.NewJudge(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := whopay.NewDirectory()
+	broker, err := whopay.NewBroker(whopay.BrokerConfig{
+		Network: net, Scheme: scheme, Directory: dir, GroupPub: judge.GroupPublicKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	mk := func(id string) *whopay.Peer {
+		p, err := whopay.NewPeer(whopay.PeerConfig{
+			ID: id, Network: net, Scheme: scheme, Directory: dir,
+			BrokerAddr: broker.Addr(), BrokerPub: broker.PublicKey(), Judge: judge,
+			Prober: net, Presence: net,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		return p
+	}
+	a, b := mk("a"), mk("b")
+	method, err := a.Pay(b.Addr(), 1, whopay.PolicyI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method.String() != "purchase-issue" {
+		t.Fatalf("method = %v", method)
+	}
+	if b.HeldValue() != 1 {
+		t.Fatal("payment lost")
+	}
+	// b can spend the received coin onward.
+	method, err = b.Pay(a.Addr(), 1, whopay.PolicyI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method.String() != "transfer-online" {
+		t.Fatalf("second method = %v", method)
+	}
+}
