@@ -1,0 +1,36 @@
+# WhoPay build/test entry points. Everything is plain `go` underneath;
+# these targets just bundle the flags the repo's CI and the chaos suite
+# expect.
+
+GO ?= go
+
+# Optional: make chaos CHAOS_SEED=42 replays one failing schedule.
+CHAOS_SEED ?=
+
+.PHONY: all vet build test race chaos bench
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Full suite under the race detector — the locking discipline is part of
+# the protocol's correctness story, so plain `go test` is not enough.
+test: vet build
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./internal/bus/... ./internal/core/...
+
+# Fault-injection smoke: the chaos lifecycles, retry-enabled chaos, and the
+# seed-reproducibility check. WHOPAY_CHAOS_SEED is honored when CHAOS_SEED
+# is set.
+chaos:
+	WHOPAY_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v \
+		-run 'TestChaos' ./internal/core/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

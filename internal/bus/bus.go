@@ -40,6 +40,12 @@ type Network interface {
 	Listen(addr Address, h Handler) (Endpoint, error)
 }
 
+// Caller is the outbound half of an Endpoint. Decorators (the retry layer,
+// instrumentation) wrap a Caller without owning the endpoint's lifecycle.
+type Caller interface {
+	Call(to Address, msg any) (any, error)
+}
+
 // Errors returned by Network implementations.
 var (
 	// ErrUnreachable is returned by Call when the destination is unknown
@@ -54,12 +60,89 @@ var (
 // RemoteError carries an application error back across a Call. Handlers'
 // returned errors are wrapped so callers can distinguish transport failure
 // (ErrUnreachable) from protocol rejection.
+//
+// Code, when non-empty, is the machine-readable code of a sentinel error
+// registered with RegisterErrorCode; Unwrap resolves it so errors.Is works
+// on protocol sentinels even after a hop through a transport that can only
+// carry strings (tcpbus).
 type RemoteError struct {
-	Msg string
+	Msg  string
+	Code string
+
+	// cause is the handler's original error when the transport kept it
+	// in-process (Memory); it preserves the full chain for errors.Is.
+	cause error
 }
 
 // Error implements error.
 func (e *RemoteError) Error() string { return "bus: remote error: " + e.Msg }
+
+// Unwrap exposes the handler's error — the in-process cause when available,
+// otherwise the sentinel registered for Code.
+func (e *RemoteError) Unwrap() error {
+	if e.cause != nil {
+		return e.cause
+	}
+	if e.Code != "" {
+		return sentinelForCode(e.Code)
+	}
+	return nil
+}
+
+// WrapRemote wraps a handler error for return to a caller, capturing the
+// sentinel code (for wire transports) and the original chain (in-process).
+func WrapRemote(err error) *RemoteError {
+	return &RemoteError{Msg: err.Error(), Code: ErrorCode(err), cause: err}
+}
+
+// codeRegistry maps stable wire codes to sentinel errors. Registration
+// happens in package inits (core registers its protocol sentinels), so a
+// plain mutex suffices.
+var (
+	codeMu       sync.RWMutex
+	codeToErr    = map[string]error{}
+	registeredIn []string // registration order, for deterministic ErrorCode
+)
+
+// RegisterErrorCode maps a stable machine-readable code to a sentinel
+// error. Transports carry the code across the wire so errors.Is(err,
+// sentinel) keeps working remotely. Codes must be unique; re-registering a
+// code replaces its sentinel.
+func RegisterErrorCode(code string, sentinel error) {
+	if code == "" || sentinel == nil {
+		return
+	}
+	codeMu.Lock()
+	defer codeMu.Unlock()
+	if _, exists := codeToErr[code]; !exists {
+		registeredIn = append(registeredIn, code)
+	}
+	codeToErr[code] = sentinel
+}
+
+// ErrorCode returns the registered code for the first sentinel err matches
+// (in registration order), or "" when none does.
+func ErrorCode(err error) string {
+	if err == nil {
+		return ""
+	}
+	codeMu.RLock()
+	defer codeMu.RUnlock()
+	for _, code := range registeredIn {
+		if errors.Is(err, codeToErr[code]) {
+			return code
+		}
+	}
+	return ""
+}
+
+// sentinelForCode resolves a wire code back to its sentinel (nil if
+// unknown — e.g. peers running different versions).
+func sentinelForCode(code string) error {
+	codeMu.RLock()
+	defer codeMu.RUnlock()
+	return codeToErr[code]
+}
 
 // MsgStats counts one endpoint's traffic. The paper's communication cost is
 // proportional to messages sent/received; a request and its response each
@@ -190,7 +273,7 @@ func (e *memEndpoint) Call(to Address, msg any) (any, error) {
 	dst.sent.Add(1)
 	e.node.recv.Add(1)
 	if err != nil {
-		return nil, &RemoteError{Msg: err.Error()}
+		return nil, WrapRemote(err)
 	}
 	return resp, nil
 }

@@ -219,3 +219,98 @@ func TestConcurrentCalls(t *testing.T) {
 		t.Fatalf("srv received %d, want %d", s.Received, workers*each)
 	}
 }
+
+// TestConcurrentOnlineFlapping hammers SetOnline from one goroutine while
+// callers and probers run against the same address — exactly how the chaos
+// suite flaps endpoints mid-payment. Every call must cleanly succeed or fail
+// with ErrUnreachable (nothing else), and the bus must stay race-clean.
+func TestConcurrentOnlineFlapping(t *testing.T) {
+	net := NewMemory()
+	if _, err := net.Listen("b", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flips = 300
+	var wg sync.WaitGroup
+	badCall := make(chan error, 1)
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < flips; i++ {
+			net.SetOnline("b", i%2 == 0)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < flips; i++ {
+			if _, err := a.Call("b", i); err != nil && !errors.Is(err, ErrUnreachable) {
+				select {
+				case badCall <- fmt.Errorf("call %d: %v", i, err):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < flips; i++ {
+			net.Online("b")
+			net.Stats("b")
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-badCall:
+		t.Fatal(err)
+	default:
+	}
+	// Flapping must leave no sticky state: back online, calls flow.
+	net.SetOnline("b", true)
+	if _, err := a.Call("b", "after"); err != nil {
+		t.Fatalf("call after flapping settled: %v", err)
+	}
+}
+
+// TestFailedCallAccounting pins the accounting rules the paper's message
+// cost metric depends on: an unreachable call carries nothing (the request
+// never left), while a call the handler rejects still carries both the
+// request and the error reply — rejections are not free.
+func TestFailedCallAccounting(t *testing.T) {
+	net := NewMemory()
+	if _, err := net.Listen("rejecter", func(from Address, msg any) (any, error) {
+		return nil, errors.New("rejected")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Listen("a", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net.SetOnline("rejecter", false)
+	if _, err := a.Call("rejecter", 1); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("offline call: got %v, want ErrUnreachable", err)
+	}
+	if s := net.Stats("a"); s != (MsgStats{}) {
+		t.Fatalf("unreachable call counted traffic: %+v", s)
+	}
+
+	net.SetOnline("rejecter", true)
+	if _, err := a.Call("rejecter", 2); err == nil {
+		t.Fatal("want handler rejection, got nil")
+	}
+	sa, sr := net.Stats("a"), net.Stats("rejecter")
+	if sa.Sent != 1 || sa.Received != 1 {
+		t.Fatalf("caller stats after rejection = %+v, want 1 sent / 1 received", sa)
+	}
+	if sr.Sent != 1 || sr.Received != 1 {
+		t.Fatalf("rejecter stats = %+v, want 1 sent / 1 received", sr)
+	}
+	if got := net.TotalMessages(); got != 2 {
+		t.Fatalf("TotalMessages = %d, want 2", got)
+	}
+}

@@ -1,0 +1,368 @@
+// Package faultbus decorates any bus.Network with reproducible fault
+// injection: per-link message drops (request or reply side), added latency,
+// duplicate delivery, asymmetric partitions, and flapping endpoints. Every
+// probabilistic decision is drawn from one seeded *rand.Rand in a fixed
+// order per call, so a chaos run whose driver issues calls in a
+// deterministic sequence replays the exact fault schedule from its seed.
+//
+// Faults are injected on the caller side, before and after the inner
+// Call — the decorator never inspects payloads and works over Memory and
+// tcpbus alike. Per-link counters record every injected fault so tests can
+// assert that a chaos schedule actually exercised the paths it claims to.
+package faultbus
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"whopay/internal/bus"
+)
+
+// Faults are the per-link fault probabilities (each in [0,1]) plus an added
+// latency range. The zero value injects nothing.
+type Faults struct {
+	// DropRequest is the probability a request is lost before delivery:
+	// the handler never runs and the caller sees ErrUnreachable.
+	DropRequest float64
+	// DropReply is the probability the reply is lost after the handler
+	// ran: remote state may have changed, but the caller sees
+	// ErrUnreachable — the fault that flushes out non-idempotent
+	// protocol steps when combined with retries.
+	DropReply float64
+	// Duplicate is the probability the request is delivered twice (the
+	// first response is discarded), modelling transport-level retransmit.
+	Duplicate float64
+	// LatencyMin/LatencyMax bound a uniform added delay per delivered
+	// call (zero max disables).
+	LatencyMin, LatencyMax time.Duration
+}
+
+// active reports whether any fault can fire.
+func (f Faults) active() bool {
+	return f.DropRequest > 0 || f.DropReply > 0 || f.Duplicate > 0 || f.LatencyMax > 0
+}
+
+// LinkStats counts traffic and injected faults on one directed link (or,
+// via TotalStats, the whole network).
+type LinkStats struct {
+	Calls           int64 // Call invocations observed (before faulting)
+	DroppedRequests int64
+	DroppedReplies  int64
+	Duplicates      int64
+	Delayed         int64
+	Blocked         int64 // calls refused by a partition
+	FlapFailures    int64 // calls refused because the destination flapped down
+}
+
+// add accumulates other into s.
+func (s *LinkStats) add(o LinkStats) {
+	s.Calls += o.Calls
+	s.DroppedRequests += o.DroppedRequests
+	s.DroppedReplies += o.DroppedReplies
+	s.Duplicates += o.Duplicates
+	s.Delayed += o.Delayed
+	s.Blocked += o.Blocked
+	s.FlapFailures += o.FlapFailures
+}
+
+// Injected sums every injected fault (everything except Calls/Delayed
+// bookkeeping — delays count too, they perturb timing).
+func (s LinkStats) Injected() int64 {
+	return s.DroppedRequests + s.DroppedReplies + s.Duplicates + s.Delayed + s.Blocked + s.FlapFailures
+}
+
+// link is a directed caller→destination pair.
+type link struct{ from, to bus.Address }
+
+// flapState tracks one flapping endpoint: each call observing the endpoint
+// toggles its up/down state with probability toggle.
+type flapState struct {
+	toggle float64
+	down   bool
+}
+
+// Network is the fault-injecting decorator. Configure faults, then Listen
+// endpoints through it; all their outbound calls pass through the injector.
+// Safe for concurrent use; determinism additionally requires the caller to
+// issue calls in a deterministic order (single-threaded chaos drivers).
+type Network struct {
+	inner bus.Network
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	defaults Faults
+	links    map[link]*Faults
+	blocked  map[link]bool
+	flaps    map[bus.Address]*flapState
+	stats    map[link]*LinkStats
+}
+
+var _ bus.Network = (*Network)(nil)
+
+// New wraps inner with a fault injector driven by the given seed. A fresh
+// Network injects nothing until faults are configured.
+func New(inner bus.Network, seed int64) *Network {
+	return &Network{
+		inner:   inner,
+		rng:     rand.New(rand.NewSource(seed)),
+		links:   make(map[link]*Faults),
+		blocked: make(map[link]bool),
+		flaps:   make(map[bus.Address]*flapState),
+		stats:   make(map[link]*LinkStats),
+	}
+}
+
+// SetDefaults installs the fault profile applied to every link without a
+// per-link override.
+func (n *Network) SetDefaults(f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaults = f
+}
+
+// SetLink overrides the fault profile for the directed link from→to.
+func (n *Network) SetLink(from, to bus.Address, f Faults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[link{from, to}] = &f
+}
+
+// ClearLink removes a per-link override (the link reverts to defaults).
+func (n *Network) ClearLink(from, to bus.Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, link{from, to})
+}
+
+// Block partitions the directed link from→to: calls fail with
+// ErrUnreachable. Asymmetric by construction — block only one direction to
+// model one-way reachability.
+func (n *Network) Block(from, to bus.Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[link{from, to}] = true
+}
+
+// Unblock lifts a Block.
+func (n *Network) Unblock(from, to bus.Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, link{from, to})
+}
+
+// Partition blocks every link between the two groups, both directions —
+// a full bipartition. Use Block directly for asymmetric cuts.
+func (n *Network) Partition(a, b []bus.Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, x := range a {
+		for _, y := range b {
+			n.blocked[link{x, y}] = true
+			n.blocked[link{y, x}] = true
+		}
+	}
+}
+
+// SetFlap makes addr a flapping endpoint: every call destined to it first
+// toggles the endpoint's up/down state with probability toggle; calls
+// finding it down fail with ErrUnreachable. A toggle of 0 removes the flap
+// (the endpoint comes back up).
+func (n *Network) SetFlap(addr bus.Address, toggle float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if toggle <= 0 {
+		delete(n.flaps, addr)
+		return
+	}
+	n.flaps[addr] = &flapState{toggle: toggle}
+}
+
+// Heal clears every configured fault — defaults, link overrides, blocks and
+// flaps — leaving the statistics intact. The network behaves exactly like
+// the inner one afterwards.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaults = Faults{}
+	n.links = make(map[link]*Faults)
+	n.blocked = make(map[link]bool)
+	n.flaps = make(map[bus.Address]*flapState)
+}
+
+// Stats returns the counters for the directed link from→to.
+func (n *Network) Stats(from, to bus.Address) LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s := n.stats[link{from, to}]; s != nil {
+		return *s
+	}
+	return LinkStats{}
+}
+
+// TotalStats aggregates every link's counters.
+func (n *Network) TotalStats() LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total LinkStats
+	for _, s := range n.stats {
+		total.add(*s)
+	}
+	return total
+}
+
+// Online reports endpoint availability, combining the inner network's
+// prober (when it has one) with this decorator's flap state. It satisfies
+// core's Prober interface so payment policies observe injected downtime.
+func (n *Network) Online(addr bus.Address) bool {
+	n.mu.Lock()
+	if f := n.flaps[addr]; f != nil && f.down {
+		n.mu.Unlock()
+		return false
+	}
+	n.mu.Unlock()
+	if p, ok := n.inner.(interface{ Online(bus.Address) bool }); ok {
+		return p.Online(addr)
+	}
+	return true
+}
+
+// SetOnline forwards presence changes to the inner network (core's
+// Presence interface), so peers' GoOffline/GoOnline keep working through
+// the decorator.
+func (n *Network) SetOnline(addr bus.Address, online bool) {
+	if p, ok := n.inner.(interface {
+		SetOnline(bus.Address, bool)
+	}); ok {
+		p.SetOnline(addr, online)
+	}
+}
+
+// Listen implements bus.Network.
+func (n *Network) Listen(addr bus.Address, h bus.Handler) (bus.Endpoint, error) {
+	inner, err := n.inner.Listen(addr, h)
+	if err != nil {
+		return nil, err
+	}
+	return &endpoint{net: n, inner: inner}, nil
+}
+
+// plan is one call's fault decisions, drawn under the network lock in a
+// fixed order so schedules replay from the seed.
+type plan struct {
+	blocked     bool
+	flapped     bool
+	delay       time.Duration
+	dropRequest bool
+	duplicate   bool
+	dropReply   bool
+}
+
+// plan draws the fault decisions for one call on from→to and updates the
+// counters for immediately-known outcomes (blocked/flapped/drops are
+// recorded here; nothing else observes them).
+func (n *Network) plan(from, to bus.Address) plan {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.stats[link{from, to}]
+	if st == nil {
+		st = &LinkStats{}
+		n.stats[link{from, to}] = st
+	}
+	st.Calls++
+
+	var p plan
+	// Decision order is fixed: flap toggle, partition, faults. Each draw
+	// happens iff its fault is configured, so a given configuration
+	// consumes randomness identically across runs.
+	if f := n.flaps[to]; f != nil {
+		if n.rng.Float64() < f.toggle {
+			f.down = !f.down
+		}
+		if f.down {
+			p.flapped = true
+			st.FlapFailures++
+			return p
+		}
+	}
+	if n.blocked[link{from, to}] {
+		p.blocked = true
+		st.Blocked++
+		return p
+	}
+	f := n.defaults
+	if o := n.links[link{from, to}]; o != nil {
+		f = *o
+	}
+	if !f.active() {
+		return p
+	}
+	if f.DropRequest > 0 && n.rng.Float64() < f.DropRequest {
+		p.dropRequest = true
+		st.DroppedRequests++
+		return p
+	}
+	if f.LatencyMax > 0 {
+		span := f.LatencyMax - f.LatencyMin
+		p.delay = f.LatencyMin
+		if span > 0 {
+			p.delay += time.Duration(n.rng.Int63n(int64(span)))
+		}
+		if p.delay > 0 {
+			st.Delayed++
+		}
+	}
+	if f.Duplicate > 0 && n.rng.Float64() < f.Duplicate {
+		p.duplicate = true
+		st.Duplicates++
+	}
+	if f.DropReply > 0 && n.rng.Float64() < f.DropReply {
+		p.dropReply = true
+		st.DroppedReplies++
+	}
+	return p
+}
+
+type endpoint struct {
+	net   *Network
+	inner bus.Endpoint
+}
+
+var _ bus.Endpoint = (*endpoint)(nil)
+
+// Addr implements bus.Endpoint.
+func (e *endpoint) Addr() bus.Address { return e.inner.Addr() }
+
+// Close implements bus.Endpoint.
+func (e *endpoint) Close() error { return e.inner.Close() }
+
+// Call implements bus.Endpoint, applying the planned faults around the
+// inner call.
+func (e *endpoint) Call(to bus.Address, msg any) (any, error) {
+	from := e.inner.Addr()
+	p := e.net.plan(from, to)
+	switch {
+	case p.flapped:
+		return nil, fmt.Errorf("%w: %s: endpoint flapped down", bus.ErrUnreachable, to)
+	case p.blocked:
+		return nil, fmt.Errorf("%w: %s: partitioned", bus.ErrUnreachable, to)
+	case p.dropRequest:
+		return nil, fmt.Errorf("%w: %s: request dropped", bus.ErrUnreachable, to)
+	}
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	if p.duplicate {
+		// First delivery's response is discarded: the handler runs
+		// twice, as a retransmitting transport would make it.
+		_, _ = e.inner.Call(to, msg)
+	}
+	resp, err := e.inner.Call(to, msg)
+	if p.dropReply {
+		// The handler ran (state may have changed); the caller only
+		// learns the transport gave up.
+		return nil, fmt.Errorf("%w: %s: reply dropped", bus.ErrUnreachable, to)
+	}
+	return resp, err
+}

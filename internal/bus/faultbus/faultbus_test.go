@@ -1,0 +1,247 @@
+package faultbus
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whopay/internal/bus"
+)
+
+// world is a Memory network wrapped by a faultbus, with a counting handler
+// on "srv" and a caller endpoint on "cli".
+type world struct {
+	mem     *bus.Memory
+	fb      *Network
+	cli     bus.Endpoint
+	handled atomic.Int64
+}
+
+func newWorld(t *testing.T, seed int64) *world {
+	t.Helper()
+	w := &world{mem: bus.NewMemory()}
+	w.fb = New(w.mem, seed)
+	_, err := w.fb.Listen("srv", func(from bus.Address, msg any) (any, error) {
+		w.handled.Add(1)
+		return msg, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := w.fb.Listen("cli", func(from bus.Address, msg any) (any, error) { return msg, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.cli = cli
+	return w
+}
+
+func TestPassthroughWithoutFaults(t *testing.T) {
+	w := newWorld(t, 1)
+	for i := 0; i < 10; i++ {
+		resp, err := w.cli.Call("srv", i)
+		if err != nil || resp != i {
+			t.Fatalf("call %d: resp=%v err=%v", i, resp, err)
+		}
+	}
+	st := w.fb.Stats("cli", "srv")
+	if st.Calls != 10 || st.Injected() != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if w.handled.Load() != 10 {
+		t.Fatalf("handled = %d", w.handled.Load())
+	}
+}
+
+func TestDropRequestNeverReachesHandler(t *testing.T) {
+	w := newWorld(t, 1)
+	w.fb.SetLink("cli", "srv", Faults{DropRequest: 1})
+	if _, err := w.cli.Call("srv", 1); !errors.Is(err, bus.ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if w.handled.Load() != 0 {
+		t.Fatal("handler ran despite request drop")
+	}
+	if st := w.fb.Stats("cli", "srv"); st.DroppedRequests != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDropReplyRunsHandlerButFailsCaller(t *testing.T) {
+	w := newWorld(t, 1)
+	w.fb.SetLink("cli", "srv", Faults{DropReply: 1})
+	if _, err := w.cli.Call("srv", 1); !errors.Is(err, bus.ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if w.handled.Load() != 1 {
+		t.Fatalf("handled = %d, want 1 (handler must run before reply drop)", w.handled.Load())
+	}
+	if st := w.fb.Stats("cli", "srv"); st.DroppedReplies != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	w := newWorld(t, 1)
+	w.fb.SetLink("cli", "srv", Faults{Duplicate: 1})
+	resp, err := w.cli.Call("srv", 42)
+	if err != nil || resp != 42 {
+		t.Fatalf("resp=%v err=%v", resp, err)
+	}
+	if w.handled.Load() != 2 {
+		t.Fatalf("handled = %d, want 2", w.handled.Load())
+	}
+	if st := w.fb.Stats("cli", "srv"); st.Duplicates != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	w := newWorld(t, 1)
+	w.fb.SetLink("cli", "srv", Faults{LatencyMin: 2 * time.Millisecond, LatencyMax: 4 * time.Millisecond})
+	start := time.Now()
+	if _, err := w.cli.Call("srv", 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("call took %v, want >= 2ms", d)
+	}
+	if st := w.fb.Stats("cli", "srv"); st.Delayed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAsymmetricPartition(t *testing.T) {
+	w := newWorld(t, 1)
+	srv, err := w.fb.Listen("srv2", func(from bus.Address, msg any) (any, error) { return msg, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.fb.Block("cli", "srv2")
+	if _, err := w.cli.Call("srv2", 1); !errors.Is(err, bus.ErrUnreachable) {
+		t.Fatalf("blocked direction err = %v", err)
+	}
+	// Reverse direction still works: the partition is asymmetric.
+	if _, err := srv.Call("cli", 1); err != nil {
+		t.Fatalf("reverse direction: %v", err)
+	}
+	w.fb.Unblock("cli", "srv2")
+	if _, err := w.cli.Call("srv2", 1); err != nil {
+		t.Fatalf("after unblock: %v", err)
+	}
+	if st := w.fb.Stats("cli", "srv2"); st.Blocked != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPartitionGroups(t *testing.T) {
+	w := newWorld(t, 1)
+	w.fb.Partition([]bus.Address{"cli"}, []bus.Address{"srv"})
+	if _, err := w.cli.Call("srv", 1); !errors.Is(err, bus.ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	w.fb.Heal()
+	if _, err := w.cli.Call("srv", 1); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestFlappingEndpoint(t *testing.T) {
+	w := newWorld(t, 1)
+	// toggle=1 flips the state on every observed call: down, up, down...
+	w.fb.SetFlap("srv", 1)
+	var failures, successes int
+	for i := 0; i < 10; i++ {
+		if _, err := w.cli.Call("srv", i); err != nil {
+			if !errors.Is(err, bus.ErrUnreachable) {
+				t.Fatalf("err = %v", err)
+			}
+			failures++
+			if w.fb.Online("srv") {
+				t.Fatal("Online(srv) true while flapped down")
+			}
+		} else {
+			successes++
+		}
+	}
+	if failures != 5 || successes != 5 {
+		t.Fatalf("failures=%d successes=%d, want strict alternation", failures, successes)
+	}
+	if st := w.fb.Stats("cli", "srv"); st.FlapFailures != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Clearing the flap brings the endpoint back for good.
+	w.fb.SetFlap("srv", 0)
+	for i := 0; i < 4; i++ {
+		if _, err := w.cli.Call("srv", i); err != nil {
+			t.Fatalf("after flap cleared: %v", err)
+		}
+	}
+}
+
+// TestSeededReproducibility replays the same call sequence under the same
+// seed and demands an identical fault schedule, and under a different seed
+// expects a different one.
+func TestSeededReproducibility(t *testing.T) {
+	run := func(seed int64) (LinkStats, []bool) {
+		w := newWorld(t, seed)
+		w.fb.SetDefaults(Faults{DropRequest: 0.3, DropReply: 0.2, Duplicate: 0.2})
+		outcomes := make([]bool, 0, 200)
+		for i := 0; i < 200; i++ {
+			_, err := w.cli.Call("srv", i)
+			outcomes = append(outcomes, err == nil)
+		}
+		return w.fb.TotalStats(), outcomes
+	}
+	s1, o1 := run(42)
+	s2, o2 := run(42)
+	if s1 != s2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", s1, s2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("same seed, outcome %d differs", i)
+		}
+	}
+	if s1.Injected() == 0 {
+		t.Fatal("no faults fired at these rates — schedule is vacuous")
+	}
+	s3, _ := run(43)
+	if s1 == s3 {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+// TestHealKeepsStats: healing stops injection but preserves the record of
+// what was injected.
+func TestHealKeepsStats(t *testing.T) {
+	w := newWorld(t, 1)
+	w.fb.SetLink("cli", "srv", Faults{DropRequest: 1})
+	_, _ = w.cli.Call("srv", 1)
+	w.fb.Heal()
+	if _, err := w.cli.Call("srv", 2); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	st := w.fb.Stats("cli", "srv")
+	if st.DroppedRequests != 1 || st.Calls != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestOfflinePropagation: the decorator forwards presence to the inner
+// Memory network and folds it into Online().
+func TestOfflinePropagation(t *testing.T) {
+	w := newWorld(t, 1)
+	w.fb.SetOnline("srv", false)
+	if w.fb.Online("srv") {
+		t.Fatal("Online true after SetOnline(false)")
+	}
+	if _, err := w.cli.Call("srv", 1); !errors.Is(err, bus.ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	w.fb.SetOnline("srv", true)
+	if _, err := w.cli.Call("srv", 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+package bus
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Retry defaults. Production daemons keep them; tests and the chaos suite
+// shrink the delays via the policy fields.
+const (
+	DefaultRetryAttempts = 4
+	DefaultRetryBase     = 25 * time.Millisecond
+	DefaultRetryMax      = 2 * time.Second
+	DefaultRetryFactor   = 2.0
+	DefaultRetryJitter   = 0.5
+)
+
+// RetryPolicy configures a RetryCaller: capped exponential backoff with
+// jitter. The zero value means "use every default"; any field left zero
+// takes its default. Retries apply only to transient transport failures
+// (see Transient) — protocol rejections are never replayed, so a retrying
+// caller behaves identically to a plain one whenever the network behaves.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; each further retry
+	// multiplies it by Factor, capped at MaxDelay.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	Factor    float64
+	// Jitter is the fraction of each delay randomized away: the actual
+	// wait is delay * (1 - Jitter + Jitter*u) for uniform u in [0,1).
+	Jitter float64
+	// Rand, when set, makes jitter deterministic (the chaos suite injects
+	// a seeded source). Defaults to the global math/rand source.
+	Rand *rand.Rand
+	// Sleep is the wait primitive, injectable for tests. Defaults to
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetryBase
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetryMax
+	}
+	if p.Factor < 1 {
+		p.Factor = DefaultRetryFactor
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = DefaultRetryJitter
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// timeouter matches net.Error (and context deadline errors wrapped by
+// transports) without importing net.
+type timeouter interface{ Timeout() bool }
+
+// Transient reports whether err is a transport failure worth retrying: the
+// destination was unreachable or the call timed out, and the request may
+// never have been processed. Protocol rejections (*RemoteError) are final —
+// the handler ran and said no — and ErrClosed means this endpoint is gone;
+// neither is retried, even when the remote error's cause chain contains a
+// relayed transport failure (the relay hop did run).
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		return false
+	}
+	if errors.Is(err, ErrClosed) {
+		return false
+	}
+	if errors.Is(err, ErrUnreachable) {
+		return true
+	}
+	var to timeouter
+	return errors.As(err, &to) && to.Timeout()
+}
+
+// RetryCaller decorates a Caller with the policy's backoff loop. Safe for
+// concurrent use.
+type RetryCaller struct {
+	inner  Caller
+	policy RetryPolicy
+
+	randMu sync.Mutex
+
+	attempts atomic.Int64 // calls issued, including retries
+	retries  atomic.Int64 // retries alone
+}
+
+// NewRetryCaller wraps inner with retry-on-transient-failure semantics.
+func NewRetryCaller(inner Caller, policy RetryPolicy) *RetryCaller {
+	return &RetryCaller{inner: inner, policy: policy.withDefaults()}
+}
+
+// Attempts returns the total number of calls issued (first tries plus
+// retries).
+func (r *RetryCaller) Attempts() int64 { return r.attempts.Load() }
+
+// Retries returns how many retries have been issued.
+func (r *RetryCaller) Retries() int64 { return r.retries.Load() }
+
+// Call implements Caller: it forwards to the inner caller, retrying
+// transient transport failures under capped exponential backoff with
+// jitter. The last error is returned when every attempt fails.
+func (r *RetryCaller) Call(to Address, msg any) (any, error) {
+	delay := r.policy.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			r.policy.Sleep(r.jittered(delay))
+			delay = time.Duration(float64(delay) * r.policy.Factor)
+			if delay > r.policy.MaxDelay {
+				delay = r.policy.MaxDelay
+			}
+		}
+		r.attempts.Add(1)
+		resp, err := r.inner.Call(to, msg)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !Transient(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// jittered randomizes a delay per the policy's jitter fraction.
+func (r *RetryCaller) jittered(d time.Duration) time.Duration {
+	if r.policy.Jitter == 0 || d <= 0 {
+		return d
+	}
+	var u float64
+	if r.policy.Rand != nil {
+		r.randMu.Lock()
+		u = r.policy.Rand.Float64()
+		r.randMu.Unlock()
+	} else {
+		u = rand.Float64()
+	}
+	return time.Duration(float64(d) * (1 - r.policy.Jitter + r.policy.Jitter*u))
+}

@@ -1,0 +1,171 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// flakyCaller fails with failErr for the first failures calls, then echoes.
+type flakyCaller struct {
+	failures int
+	failErr  error
+	calls    int
+}
+
+func (f *flakyCaller) Call(to Address, msg any) (any, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return nil, f.failErr
+	}
+	return msg, nil
+}
+
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+		Rand:        rand.New(rand.NewSource(1)),
+		Sleep:       func(time.Duration) {},
+	}
+}
+
+func TestRetryRecoversFromTransientFailure(t *testing.T) {
+	inner := &flakyCaller{failures: 2, failErr: fmt.Errorf("%w: x", ErrUnreachable)}
+	rc := NewRetryCaller(inner, fastPolicy())
+	resp, err := rc.Call("x", "hello")
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if resp != "hello" {
+		t.Fatalf("resp = %v", resp)
+	}
+	if inner.calls != 3 {
+		t.Fatalf("inner calls = %d, want 3", inner.calls)
+	}
+	if rc.Retries() != 2 || rc.Attempts() != 3 {
+		t.Fatalf("retries=%d attempts=%d", rc.Retries(), rc.Attempts())
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	inner := &flakyCaller{failures: 100, failErr: fmt.Errorf("%w: x", ErrUnreachable)}
+	rc := NewRetryCaller(inner, fastPolicy())
+	_, err := rc.Call("x", "hello")
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if inner.calls != 4 {
+		t.Fatalf("inner calls = %d, want MaxAttempts=4", inner.calls)
+	}
+}
+
+func TestRetryNeverReplaysProtocolRejections(t *testing.T) {
+	sentinel := errors.New("proto: no")
+	for _, failErr := range []error{
+		WrapRemote(sentinel),
+		ErrClosed,
+	} {
+		inner := &flakyCaller{failures: 100, failErr: failErr}
+		rc := NewRetryCaller(inner, fastPolicy())
+		_, err := rc.Call("x", "hello")
+		if err == nil {
+			t.Fatalf("%v: expected error", failErr)
+		}
+		if inner.calls != 1 {
+			t.Fatalf("%v: inner calls = %d, want 1 (no retry)", failErr, inner.calls)
+		}
+		if rc.Retries() != 0 {
+			t.Fatalf("%v: retries = %d", failErr, rc.Retries())
+		}
+	}
+}
+
+// timeoutErr mimics a net.Error timeout.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string { return "i/o timeout" }
+func (timeoutErr) Timeout() bool { return true }
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{fmt.Errorf("%w: b", ErrUnreachable), true},
+		{timeoutErr{}, true},
+		{fmt.Errorf("dial: %w", timeoutErr{}), true},
+		{ErrClosed, false},
+		{WrapRemote(errors.New("rejected")), false},
+		// A relayed transport failure inside a remote error is still a
+		// protocol-level reply: the relay hop ran.
+		{WrapRemote(fmt.Errorf("%w: c", ErrUnreachable)), false},
+		{errors.New("other"), false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("Transient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryBackoffIsCappedAndJittered(t *testing.T) {
+	var slept []time.Duration
+	p := RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Factor:      2,
+		Jitter:      0.5,
+		Rand:        rand.New(rand.NewSource(7)),
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	inner := &flakyCaller{failures: 100, failErr: fmt.Errorf("%w: x", ErrUnreachable)}
+	rc := NewRetryCaller(inner, p)
+	if _, err := rc.Call("x", "m"); !errors.Is(err, ErrUnreachable) {
+		t.Fatal(err)
+	}
+	if len(slept) != 5 {
+		t.Fatalf("slept %d times, want 5", len(slept))
+	}
+	// Nominal delays: 10, 20, 40, 40, 40ms; jitter shrinks each by at most
+	// half.
+	nominal := []time.Duration{10, 20, 40, 40, 40}
+	for i, d := range slept {
+		hi := nominal[i] * time.Millisecond
+		lo := hi / 2
+		if d < lo || d > hi {
+			t.Errorf("sleep %d = %v, want in [%v, %v]", i, d, lo, hi)
+		}
+	}
+}
+
+func TestRetryCallerOverMemoryBus(t *testing.T) {
+	net := NewMemory()
+	if _, err := net.Listen("srv", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	cli, err := net.Listen("cli", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := NewRetryCaller(cli, fastPolicy())
+
+	// Destination offline: retried, then surfaces ErrUnreachable.
+	net.SetOnline("srv", false)
+	if _, err := rc.Call("srv", 1); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if rc.Retries() != 3 {
+		t.Fatalf("retries = %d, want 3", rc.Retries())
+	}
+	net.SetOnline("srv", true)
+	resp, err := rc.Call("srv", 2)
+	if err != nil || resp != 2 {
+		t.Fatalf("resp=%v err=%v", resp, err)
+	}
+}

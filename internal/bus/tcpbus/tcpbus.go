@@ -31,10 +31,16 @@ type envelope struct {
 	Payload any
 }
 
-// reply frames a response on the wire.
+// reply frames a response on the wire. Code carries the machine-readable
+// sentinel code registered with bus.RegisterErrorCode, so errors.Is on
+// protocol sentinels (core.ErrCoinBusy, core.ErrUnknownCoin, ...) keeps
+// working across the TCP hop — a plain string cannot feed errors.Is, and
+// the retry layer needs the distinction to never replay protocol
+// rejections.
 type reply struct {
 	Payload any
 	Err     string
+	Code    string
 	IsErr   bool
 }
 
@@ -109,8 +115,16 @@ var _ bus.Endpoint = (*endpoint)(nil)
 // Addr implements bus.Endpoint.
 func (e *endpoint) Addr() bus.Address { return e.addr }
 
+// Accept-failure backoff bounds: a persistent error (fd exhaustion, a
+// half-dead listener) must not spin the accept loop at 100% CPU.
+const (
+	acceptBackoffMin = time.Millisecond
+	acceptBackoffMax = 100 * time.Millisecond
+)
+
 func (e *endpoint) serve() {
 	defer e.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := e.ln.Accept()
 		if err != nil {
@@ -119,9 +133,22 @@ func (e *endpoint) serve() {
 				return
 			default:
 			}
-			// Transient accept failure; keep serving.
+			// Transient accept failure; back off exponentially so a
+			// persistent error cannot spin the loop, and stay
+			// responsive to Close while sleeping.
+			if backoff == 0 {
+				backoff = acceptBackoffMin
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			select {
+			case <-e.done:
+				return
+			case <-time.After(backoff):
+			}
 			continue
 		}
+		backoff = 0
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
@@ -142,7 +169,7 @@ func (e *endpoint) serveConn(conn net.Conn) {
 	resp, err := e.handler(env.From, env.Payload)
 	out := reply{Payload: resp}
 	if err != nil {
-		out = reply{Err: err.Error(), IsErr: true}
+		out = reply{Err: err.Error(), Code: bus.ErrorCode(err), IsErr: true}
 	}
 	_ = enc.Encode(&out)
 }
@@ -171,7 +198,7 @@ func (e *endpoint) Call(to bus.Address, msg any) (any, error) {
 		return nil, fmt.Errorf("tcpbus: reading reply from %s: %w", to, err)
 	}
 	if rep.IsErr {
-		return nil, &bus.RemoteError{Msg: rep.Err}
+		return nil, &bus.RemoteError{Msg: rep.Err, Code: rep.Code}
 	}
 	return rep.Payload, nil
 }

@@ -2,8 +2,11 @@ package tcpbus
 
 import (
 	"errors"
+	"fmt"
+	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -181,5 +184,89 @@ func TestNilHandlerRejected(t *testing.T) {
 	n := New()
 	if _, err := n.Listen("127.0.0.1:0", nil); err == nil {
 		t.Fatal("Listen accepted nil handler")
+	}
+}
+
+// errTestBusy is a package-local sentinel standing in for core's protocol
+// sentinels (which tcpbus cannot import without a cycle).
+var errTestBusy = errors.New("tcpbus_test: busy")
+
+// TestSentinelCodeSurvivesTCPHop: a handler error matching a registered
+// sentinel must satisfy errors.Is on the caller's side of the TCP hop.
+func TestSentinelCodeSurvivesTCPHop(t *testing.T) {
+	bus.RegisterErrorCode("tcpbus_test.busy", errTestBusy)
+	n := New()
+	srv, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) {
+		return nil, fmt.Errorf("wrapped: %w", errTestBusy)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, err = cli.Call(srv.Addr(), testMsg{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var remote *bus.RemoteError
+	if !errors.As(err, &remote) {
+		t.Fatalf("err = %T %v, want *bus.RemoteError", err, err)
+	}
+	if remote.Code != "tcpbus_test.busy" {
+		t.Fatalf("code = %q", remote.Code)
+	}
+	if !errors.Is(err, errTestBusy) {
+		t.Fatalf("errors.Is lost the sentinel across the hop: %v", err)
+	}
+	// An unregistered error still crosses as a plain remote error.
+	if errors.Is(err, errors.New("other")) {
+		t.Fatal("errors.Is matched an unrelated error")
+	}
+}
+
+// countingListener wraps a (pre-closed) listener and counts Accept calls.
+type countingListener struct {
+	net.Listener
+	accepts atomic.Int64
+}
+
+func (c *countingListener) Accept() (net.Conn, error) {
+	c.accepts.Add(1)
+	return c.Listener.Accept()
+}
+
+// TestServeBacksOffOnPersistentAcceptError: a listener that fails every
+// Accept (here: pre-closed out from under the endpoint) must not spin the
+// serve loop. Before the backoff fix this produced hundreds of thousands of
+// Accept calls in 60ms; with 1ms→100ms exponential backoff the count stays
+// tiny.
+func TestServeBacksOffOnPersistentAcceptError(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Close() // every Accept now fails immediately
+	cl := &countingListener{Listener: raw}
+	e := &endpoint{
+		net:     New(),
+		ln:      cl,
+		addr:    bus.Address(raw.Addr().String()),
+		handler: func(bus.Address, any) (any, error) { return nil, nil },
+		done:    make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.serve()
+	time.Sleep(60 * time.Millisecond)
+	close(e.done)
+	e.wg.Wait()
+	// 60ms under 1,2,4,...,100ms backoff allows ~8 attempts; leave slack.
+	if n := cl.accepts.Load(); n > 20 {
+		t.Fatalf("accept loop spun %d times in 60ms; backoff not applied", n)
+	} else if n == 0 {
+		t.Fatal("serve never called Accept")
 	}
 }

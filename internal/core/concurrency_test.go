@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -70,6 +71,101 @@ func TestConcurrentPayments(t *testing.T) {
 	if minted := f.broker.IssuedValue(); minted != f.broker.DepositedValue()+circulating {
 		t.Fatalf("value leak under concurrency: minted %d, redeemed %d, circulating %d",
 			minted, f.broker.DepositedValue(), circulating)
+	}
+}
+
+// TestCoinBusyContention: the per-coin service lock rejects — rather than
+// queues — concurrent work on the same coin, and the rejection is the
+// retryable ErrCoinBusy sentinel: once the in-flight service finishes, a
+// plain retry of the loser succeeds because nothing was committed against it.
+func TestCoinBusyContention(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	owner := f.addPeer("busy-owner", nil)
+	holder := f.addPeer("busy-holder", nil)
+	w := f.addPeer("busy-w", nil)
+	x := f.addPeer("busy-x", nil)
+
+	id, err := owner.Purchase(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.IssueTo(holder.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the coin's service lock, exactly as another in-flight transfer
+	// would hold it, so contention is deterministic rather than a timing
+	// lottery.
+	owner.mu.Lock()
+	oc := owner.owned[id]
+	owner.mu.Unlock()
+	oc.svc.Lock()
+
+	// A renewal against the busy coin must come back as the ErrCoinBusy
+	// sentinel — still matchable with errors.Is after the bus hop — and
+	// must not have advanced anything.
+	if _, err := holder.Renew(id); !errors.Is(err, ErrCoinBusy) {
+		oc.svc.Unlock()
+		t.Fatalf("renew against busy coin: got %v, want ErrCoinBusy", err)
+	}
+
+	// Two transfers of the busy coin, fired concurrently: both lose, both
+	// with the retryable code, neither commits.
+	buildReq := func(payee *Peer) TransferRequest {
+		resp, err := holder.ep.Call(payee.Addr(), OfferRequest{Value: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		holder.mu.Lock()
+		hc := holder.held[id]
+		holder.mu.Unlock()
+		req, err := holder.buildTransfer(hc, payee.Addr(), resp.(OfferResponse))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req
+	}
+	holder.mu.Lock()
+	hc := holder.held[id]
+	holder.mu.Unlock()
+	reqW, reqX := buildReq(w), buildReq(x)
+
+	var wg sync.WaitGroup
+	busyErrs := make([]error, 2)
+	for i, req := range []TransferRequest{reqW, reqX} {
+		wg.Add(1)
+		go func(i int, req TransferRequest) {
+			defer wg.Done()
+			_, busyErrs[i] = holder.callOwner(hc.c, req)
+		}(i, req)
+	}
+	wg.Wait()
+	for i, err := range busyErrs {
+		if !errors.Is(err, ErrCoinBusy) {
+			t.Fatalf("concurrent transfer %d against busy coin: got %v, want ErrCoinBusy", i, err)
+		}
+	}
+
+	// The in-flight service completes; the losers retry. The first retry
+	// wins — its request is still current, because busy rejections commit
+	// nothing. The second is then genuinely stale, not busy: ErrCoinBusy
+	// precisely distinguishes "try again" from "give up".
+	oc.svc.Unlock()
+	raw, err := holder.callOwner(hc.c, reqW)
+	if err != nil {
+		t.Fatalf("retry after busy: %v", err)
+	}
+	if tr := raw.(TransferResponse); !tr.OK {
+		t.Fatalf("retry after busy refused: %s", tr.Reason)
+	}
+	if _, err := holder.callOwner(hc.c, reqX); !errors.Is(err, ErrStaleBinding) {
+		t.Fatalf("replay of superseded transfer: got %v, want ErrStaleBinding", err)
+	}
+	if got := len(w.HeldCoins()); got != 1 {
+		t.Fatalf("winner holds %d coins, want 1", got)
+	}
+	if got := len(x.HeldCoins()); got != 0 {
+		t.Fatalf("loser holds %d coins, want 0", got)
 	}
 }
 

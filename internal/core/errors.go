@@ -1,6 +1,10 @@
 package core
 
-import "errors"
+import (
+	"errors"
+
+	"whopay/internal/bus"
+)
 
 // Sentinel errors for protocol rejections. Handlers return these; across
 // the bus they surface as *bus.RemoteError with the message preserved.
@@ -38,3 +42,30 @@ var (
 	// ErrDetectionOff reports a detection API used without a DHT.
 	ErrDetectionOff = errors.New("core: double-spending detection not configured")
 )
+
+// init registers wire codes for every protocol sentinel, so errors.Is keeps
+// working after a hop through tcpbus (which can only carry strings) and the
+// retry layer can tell protocol rejections from transport failures. Codes
+// are stable wire contract; never renumber.
+func init() {
+	for _, e := range []struct {
+		code     string
+		sentinel error
+	}{
+		{"core.unknown_coin", ErrUnknownCoin},
+		{"core.unknown_identity", ErrUnknownIdentity},
+		{"core.not_owner", ErrNotOwner},
+		{"core.not_holder", ErrNotHolder},
+		{"core.stale_binding", ErrStaleBinding},
+		{"core.already_deposited", ErrAlreadyDeposited},
+		{"core.frozen", ErrFrozen},
+		{"core.bad_request", ErrBadRequest},
+		{"core.insufficient_funds", ErrInsufficientFunds},
+		{"core.no_offer", ErrNoOffer},
+		{"core.coin_busy", ErrCoinBusy},
+		{"core.no_coin_available", ErrNoCoinAvailable},
+		{"core.payment_failed", ErrPaymentFailed},
+	} {
+		bus.RegisterErrorCode(e.code, e.sentinel)
+	}
+}

@@ -42,6 +42,7 @@ type fixtureOpts struct {
 	syncMode  SyncMode
 	indirect  bool
 	dhtNodes  int
+	retry     *bus.RetryPolicy // peers retry transient transport failures
 }
 
 type fixture struct {
@@ -173,6 +174,7 @@ func (f *fixture) addPeer(id string, rec sig.Recorder) *Peer {
 		Prober:             prober,
 		Presence:           presence,
 		Rand:               mrand.New(mrand.NewSource(int64(f.seq) * 7919)),
+		Retry:              f.opts.retry,
 	})
 	if err != nil {
 		f.t.Fatal(err)

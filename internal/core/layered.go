@@ -136,7 +136,7 @@ func (p *Peer) DepositLayered(lc *layered.Coin, headPriv sig.PrivateKey, payoutR
 	if err != nil {
 		return fmt.Errorf("core: group-signing layered deposit: %w", err)
 	}
-	raw, err := p.ep.Call(p.cfg.BrokerAddr, LayeredDepositRequest{
+	raw, err := p.call(p.cfg.BrokerAddr, LayeredDepositRequest{
 		LC:        *lc,
 		PayoutRef: payoutRef,
 		HolderSig: holderSig,

@@ -36,7 +36,7 @@ func (p *Peer) IssueTo(payee bus.Address, id coin.ID) error {
 	c := oc.c
 	p.mu.Unlock()
 
-	resp, err := p.ep.Call(payee, OfferRequest{Value: c.Value})
+	resp, err := p.call(payee, OfferRequest{Value: c.Value})
 	if err != nil {
 		return fmt.Errorf("core: offering payment: %w", err)
 	}
@@ -72,7 +72,7 @@ func (p *Peer) IssueTo(payee bus.Address, id coin.ID) error {
 		}
 	}
 
-	if _, err := p.ep.Call(payee, deliver); err != nil {
+	if _, err := p.call(payee, deliver); err != nil {
 		return fmt.Errorf("core: delivering issue: %w", err)
 	}
 
@@ -155,7 +155,7 @@ func (p *Peer) handleTransferRequest(m TransferRequest) (any, error) {
 
 	// Deliver before committing: a failed delivery leaves the original
 	// holder bound, with nothing published to roll back.
-	if _, err := p.ep.Call(bus.Address(m.Body.PayeeAddr), deliver); err != nil {
+	if _, err := p.call(bus.Address(m.Body.PayeeAddr), deliver); err != nil {
 		return TransferResponse{OK: false, Reason: "payee delivery failed: " + err.Error()}, nil
 	}
 

@@ -175,6 +175,50 @@ func (p *Peer) VerifyHeldCoin(id coin.ID) error {
 	return nil
 }
 
+// RecoverHeldBinding re-reads a held coin's public binding and adopts a
+// newer binding for the same holder — a renewal or broker refresh whose
+// notification this peer missed (it was offline, or its subscription write
+// was lost). The adoption rule is exactly handleNotify's: same holder,
+// higher sequence, verifiable signature. Re-bindings to other holders are
+// never adopted; those are the watch's business, not recovery's.
+func (p *Peer) RecoverHeldBinding(id coin.ID) error {
+	if p.dhtc == nil {
+		return ErrDetectionOff
+	}
+	p.mu.Lock()
+	hc, ok := p.held[id]
+	if !ok {
+		p.mu.Unlock()
+		return ErrUnknownCoin
+	}
+	mine := hc.binding.Clone()
+	p.mu.Unlock()
+
+	rec, found, err := p.dhtc.Get(dht.KeyFor(sig.PublicKey(id)))
+	if err != nil {
+		return fmt.Errorf("core: reading public binding: %w", err)
+	}
+	if !found {
+		return nil
+	}
+	observed, err := coin.UnmarshalBinding(rec.Value)
+	if err != nil {
+		return fmt.Errorf("%w: malformed public binding record", ErrBadRequest)
+	}
+	if !observed.Holder.Equal(mine.Holder) || observed.Seq <= mine.Seq {
+		return nil
+	}
+	if err := observed.Verify(p.suite, p.cfg.BrokerPub, p.cfg.Clock()); err != nil {
+		return fmt.Errorf("%w: published binding: %v", ErrStaleBinding, err)
+	}
+	p.mu.Lock()
+	if cur, still := p.held[id]; still && observed.Seq > cur.binding.Seq {
+		cur.binding = observed.Clone()
+	}
+	p.mu.Unlock()
+	return nil
+}
+
 // handleNotify processes a register/notify event from the public binding
 // list. An update that re-binds a coin we hold — and did not just transfer
 // ourselves — is a double spend in progress: record an alert and report it.
@@ -227,7 +271,7 @@ func (p *Peer) reportFraud(coinPub sig.PublicKey, mine, observed *coin.Binding) 
 	if err != nil {
 		return "report unsigned: " + err.Error()
 	}
-	resp, err := p.ep.Call(p.cfg.BrokerAddr, FraudReport{
+	resp, err := p.call(p.cfg.BrokerAddr, FraudReport{
 		CoinPub:   coinPub.Clone(),
 		MyBinding: *mine,
 		Observed:  *observed,

@@ -52,7 +52,7 @@ func (p *Peer) Purchase(value int64, anonymous bool) (coin.ID, error) {
 	if req.Sig, err = p.suite.Sign(p.keys.Private, purchaseMessage(req.Buyer, req.CoinPub, req.Handle, req.Value, req.Anonymous)); err != nil {
 		return "", fmt.Errorf("core: signing purchase: %w", err)
 	}
-	resp, err := p.ep.Call(p.cfg.BrokerAddr, req)
+	resp, err := p.call(p.cfg.BrokerAddr, req)
 	if err != nil {
 		return "", fmt.Errorf("core: purchase: %w", err)
 	}
@@ -103,7 +103,7 @@ func (p *Peer) PurchaseBatch(n int, value int64) ([]coin.ID, error) {
 	if req.Sig, err = p.suite.Sign(p.keys.Private, batchPurchaseMessage(req.Buyer, pubs, value)); err != nil {
 		return nil, fmt.Errorf("core: signing batch purchase: %w", err)
 	}
-	resp, err := p.ep.Call(p.cfg.BrokerAddr, req)
+	resp, err := p.call(p.cfg.BrokerAddr, req)
 	if err != nil {
 		return nil, fmt.Errorf("core: batch purchase: %w", err)
 	}
@@ -142,7 +142,7 @@ func (p *Peer) callOwner(c *coin.Coin, msg any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: owner %q", ErrUnknownIdentity, c.Owner)
 	}
-	return p.ep.Call(entry.Addr, msg)
+	return p.call(entry.Addr, msg)
 }
 
 // buildTransfer prepares the signed transfer request for a held coin: the
@@ -190,7 +190,7 @@ func (p *Peer) transferCommon(payee bus.Address, id coin.ID, viaBroker bool) err
 		p.mu.Unlock()
 	}()
 
-	resp, err := p.ep.Call(payee, OfferRequest{Value: hc.c.Value})
+	resp, err := p.call(payee, OfferRequest{Value: hc.c.Value})
 	if err != nil {
 		return fmt.Errorf("core: offering payment: %w", err)
 	}
@@ -205,7 +205,7 @@ func (p *Peer) transferCommon(payee bus.Address, id coin.ID, viaBroker bool) err
 
 	var raw any
 	if viaBroker {
-		raw, err = p.ep.Call(p.cfg.BrokerAddr, req)
+		raw, err = p.call(p.cfg.BrokerAddr, req)
 	} else {
 		raw, err = p.callOwner(hc.c, req)
 	}
@@ -278,7 +278,7 @@ func (p *Peer) renewCommon(id coin.ID, viaBroker bool) error {
 	}
 	var raw any
 	if viaBroker {
-		raw, err = p.ep.Call(p.cfg.BrokerAddr, req)
+		raw, err = p.call(p.cfg.BrokerAddr, req)
 	} else {
 		raw, err = p.callOwner(hc.c, req)
 	}
@@ -361,7 +361,7 @@ func (p *Peer) Deposit(id coin.ID, payoutRef string) error {
 	if err != nil {
 		return fmt.Errorf("core: group-signing deposit: %w", err)
 	}
-	raw, err := p.ep.Call(p.cfg.BrokerAddr, DepositRequest{
+	raw, err := p.call(p.cfg.BrokerAddr, DepositRequest{
 		CoinPub:          hc.c.Pub.Clone(),
 		PayoutRef:        payoutRef,
 		HolderSig:        holderSig,
@@ -391,7 +391,7 @@ func (p *Peer) Sync() error {
 	if err != nil {
 		return fmt.Errorf("core: signing sync: %w", err)
 	}
-	raw, err := p.ep.Call(p.cfg.BrokerAddr, SyncRequest{Identity: p.cfg.ID, Nonce: nonce, Sig: sigBytes})
+	raw, err := p.call(p.cfg.BrokerAddr, SyncRequest{Identity: p.cfg.ID, Nonce: nonce, Sig: sigBytes})
 	if err != nil {
 		return fmt.Errorf("core: sync: %w", err)
 	}

@@ -102,6 +102,12 @@ type PeerConfig struct {
 	Rand *mrand.Rand
 	// OfferTTL bounds how long a payment offer stays open (default 10m).
 	OfferTTL time.Duration
+	// Retry, when set, wraps every outbound protocol call (to the broker,
+	// owners, payees and the DHT) in capped exponential backoff with
+	// jitter, retrying only transient transport failures — never protocol
+	// rejections. Nil (the default) disables retries entirely, so message
+	// counts stay exact for the simulator and the paper's cost metrics.
+	Retry *bus.RetryPolicy
 	// AuditLogCap bounds per-coin relinquishment logs (0 = unlimited).
 	// The simulator caps them; real deployments keep full trails.
 	AuditLogCap int
@@ -159,6 +165,7 @@ type Peer struct {
 	keys   sig.KeyPair
 	member *groupsig.MemberKey
 	ep     bus.Endpoint
+	caller bus.Caller // ep, or a RetryCaller around it when cfg.Retry is set
 	dhtc   *dht.Client
 	indir  *indirect.Client
 	ops    OpCounter
@@ -246,6 +253,10 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		return nil, fmt.Errorf("core: peer listen: %w", err)
 	}
 	p.ep = ep
+	p.caller = ep
+	if cfg.Retry != nil {
+		p.caller = bus.NewRetryCaller(ep, *cfg.Retry)
+	}
 	// Adopt the actually-bound address (TCP ":0" binds pick a port).
 	p.cfg.Addr = ep.Addr()
 	cfg.Directory.Register(cfg.ID, p.keys.Public, p.cfg.Addr)
@@ -264,6 +275,9 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		if err != nil {
 			_ = ep.Close()
 			return nil, fmt.Errorf("core: peer dht client: %w", err)
+		}
+		if cfg.Retry != nil {
+			p.dhtc.WithRetry(*cfg.Retry)
 		}
 	}
 	if len(cfg.IndirectServers) > 0 {
@@ -346,6 +360,22 @@ func (p *Peer) GoOnline() error {
 		return p.Sync()
 	}
 	return nil
+}
+
+// call issues one outbound protocol call through the retry layer when one
+// is configured (cfg.Retry), or straight through the endpoint otherwise.
+// Inbound handling and endpoint lifecycle stay on p.ep.
+func (p *Peer) call(to bus.Address, msg any) (any, error) {
+	return p.caller.Call(to, msg)
+}
+
+// Retries reports how many outbound retries this peer has issued (zero
+// when no retry policy is configured).
+func (p *Peer) Retries() int64 {
+	if rc, ok := p.caller.(*bus.RetryCaller); ok {
+		return rc.Retries()
+	}
+	return 0
 }
 
 // handle dispatches one protocol message.

@@ -225,14 +225,19 @@ func (p *Peer) payWith(method Method, payee bus.Address, value int64) error {
 	}
 }
 
-// pickSelfHeld selects an unissued owned coin of the given value.
+// pickSelfHeld selects the unissued owned coin of the given value with the
+// smallest ID. The deterministic choice (rather than first map hit) keeps
+// replayed runs — notably seeded chaos schedules — byte-for-byte repeatable.
 func (p *Peer) pickSelfHeld(value int64) (coin.ID, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	var best coin.ID
+	found := false
 	for id, oc := range p.owned {
-		if oc.selfHeld && oc.c.Value == value {
-			return id, true
+		if oc.selfHeld && oc.c.Value == value && (!found || id < best) {
+			best = id
+			found = true
 		}
 	}
-	return "", false
+	return best, found
 }

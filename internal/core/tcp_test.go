@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -82,6 +83,83 @@ func TestLifecycleOverTCP(t *testing.T) {
 
 // brokerBoundAddr exposes the broker's actually-bound endpoint address.
 func brokerBoundAddr(b *Broker) bus.Address { return b.ep.Addr() }
+
+// TestCoinBusySurvivesTCPHop proves the sentinel-code plumbing end to end:
+// a busy rejection raised by an owner is still matchable with errors.Is
+// after crossing a real TCP/gob hop, where only the wire code — not the
+// in-process error chain — can travel. Retry layers above the bus depend on
+// exactly this to tell "try again shortly" from "give up".
+func TestCoinBusySurvivesTCPHop(t *testing.T) {
+	registerOnce.Do(RegisterWireTypes)
+	network := tcpbus.New()
+	scheme := sig.ECDSA{}
+	dir := NewDirectory()
+	judge, err := NewJudge(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broker, err := NewBroker(BrokerConfig{
+		Network:   network,
+		Addr:      "127.0.0.1:0",
+		Scheme:    scheme,
+		Directory: dir,
+		GroupPub:  judge.GroupPublicKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	newTCPPeer := func(id string) *Peer {
+		p, err := NewPeer(PeerConfig{
+			ID:         id,
+			Network:    network,
+			Addr:       "127.0.0.1:0",
+			Scheme:     scheme,
+			Directory:  dir,
+			BrokerAddr: brokerBoundAddr(broker),
+			BrokerPub:  broker.PublicKey(),
+			Judge:      judge,
+			CredPool:   4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		dir.Register(id, p.PublicKey(), p.ep.Addr())
+		return p
+	}
+	owner := newTCPPeer("tcp-busy-owner")
+	holder := newTCPPeer("tcp-busy-holder")
+
+	id, err := owner.Purchase(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.IssueTo(holder.ep.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the coin's service lock so the owner deterministically answers
+	// busy, as it would mid-way through servicing a concurrent transfer.
+	owner.mu.Lock()
+	oc := owner.owned[id]
+	owner.mu.Unlock()
+	oc.svc.Lock()
+	_, err = holder.Renew(id)
+	oc.svc.Unlock()
+	if !errors.Is(err, ErrCoinBusy) {
+		t.Fatalf("renew against busy coin over TCP: got %v, want errors.Is ErrCoinBusy", err)
+	}
+	if code := bus.ErrorCode(err); code != "core.coin_busy" {
+		t.Fatalf("wire code = %q, want core.coin_busy", code)
+	}
+
+	// Busy commits nothing: the same renewal succeeds once the lock frees.
+	if _, err := holder.Renew(id); err != nil {
+		t.Fatalf("retry after busy over TCP: %v", err)
+	}
+}
 
 // TestCoinShop exercises the issuer-anonymity extension: customers buy
 // from a shop and pay each other only with anonymous transfers; the shop

@@ -29,9 +29,10 @@ const maxHops = 64
 // Client reads and writes the DHT through an existing bus endpoint (the
 // entity's own endpoint, so DHT traffic is attributed to the entity).
 type Client struct {
-	ep   bus.Endpoint
-	ring []nodeRef
-	mode Mode
+	ep     bus.Endpoint
+	caller bus.Caller // ep, or a RetryCaller around it (WithRetry)
+	ring   []nodeRef
+	mode   Mode
 }
 
 // NewClient builds a client over the given node membership. Node IDs are
@@ -45,7 +46,17 @@ func NewClient(ep bus.Endpoint, nodes []bus.Address, mode Mode) (*Client, error)
 		ring = append(ring, nodeRef{id: keyForAddr(addr), addr: addr})
 	}
 	sort.Slice(ring, func(i, j int) bool { return ring[i].id.Less(ring[j].id) })
-	return &Client{ep: ep, ring: ring, mode: mode}, nil
+	return &Client{ep: ep, caller: ep, ring: ring, mode: mode}, nil
+}
+
+// WithRetry wraps the client's per-node calls in the given retry policy
+// (capped exponential backoff on transient transport failures; protocol
+// rejections are never retried). Replica fallback still applies on top:
+// retries are per node, fallback moves to the next one. Call before
+// concurrent use; returns the client for chaining.
+func (c *Client) WithRetry(policy bus.RetryPolicy) *Client {
+	c.caller = bus.NewRetryCaller(c.ep, policy)
+	return c
 }
 
 // primaryIndex returns the ring index of the node responsible for key; the
@@ -75,7 +86,7 @@ func (c *Client) locate(key Key) (bus.Address, error) {
 	start := c.ring[int(key[0])%len(c.ring)].addr
 	cur := start
 	for hop := 0; hop < maxHops; hop++ {
-		resp, err := c.ep.Call(cur, FindMsg{Key: key})
+		resp, err := c.caller.Call(cur, FindMsg{Key: key})
 		if err != nil {
 			return "", fmt.Errorf("%w: hop via %s: %v", ErrLookupFailed, cur, err)
 		}
@@ -100,7 +111,7 @@ func (c *Client) callWithFallback(key Key, msg any) (any, error) {
 		addr, err = c.locate(key)
 		if err == nil {
 			var resp any
-			resp, err = c.ep.Call(addr, msg)
+			resp, err = c.caller.Call(addr, msg)
 			if err == nil {
 				return resp, nil
 			}
@@ -109,7 +120,7 @@ func (c *Client) callWithFallback(key Key, msg any) (any, error) {
 	var lastErr error = err
 	primary := c.primaryIndex(key)
 	for r := 0; r < len(c.ring); r++ {
-		resp, err := c.ep.Call(c.ring[(primary+r)%len(c.ring)].addr, msg)
+		resp, err := c.caller.Call(c.ring[(primary+r)%len(c.ring)].addr, msg)
 		if err == nil {
 			return resp, nil
 		}
