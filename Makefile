@@ -7,7 +7,7 @@ GO ?= go
 # Optional: make chaos CHAOS_SEED=42 replays one failing schedule.
 CHAOS_SEED ?=
 
-.PHONY: all vet build test race chaos bench
+.PHONY: all vet build test race chaos bench bench-concurrent
 
 all: vet build test
 
@@ -34,3 +34,11 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Goroutine-sweep benchmarks for the sharded state store: broker purchase
+# and owner transfer throughput as client concurrency grows. Reference
+# numbers live in results/concurrency_bench.txt.
+bench-concurrent:
+	$(GO) test ./internal/core/ -run '^$$' \
+		-bench 'BenchmarkBrokerConcurrentPurchase|BenchmarkOwnerConcurrentTransfer' \
+		-cpu 1,2,4,8 -benchtime 2s

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"whopay/internal/bus"
@@ -11,6 +12,7 @@ import (
 	"whopay/internal/dht"
 	"whopay/internal/groupsig"
 	"whopay/internal/sig"
+	"whopay/internal/store"
 )
 
 // Clock supplies time to protocol entities; the simulator injects virtual
@@ -20,6 +22,12 @@ type Clock func() time.Time
 // DefaultRenewalPeriod is the coin renewal period; the paper's simulations
 // use 3 days.
 const DefaultRenewalPeriod = 72 * time.Hour
+
+// brokerShards is the lock-domain count for each of the broker's state
+// stores. The broker is the system's hot spot — every purchase, deposit,
+// sync, and downtime operation lands here — so it gets more shards than
+// peers' wallets.
+const brokerShards = 64
 
 // BrokerConfig configures a Broker.
 type BrokerConfig struct {
@@ -76,6 +84,13 @@ type FraudCase struct {
 // downtime transfers and renewals, synchronizes owners after rejoin, and
 // adjudicates fraud reports (with the judge for anonymous parties). It is
 // the only entity that can create value. Safe for concurrent use.
+//
+// State lives in sharded stores (internal/store) so requests touching
+// different coins or accounts proceed on independent lock domains; the
+// per-coin service locks in svc remain the only cross-map ordering point
+// (the validate→deliver→commit sequence of downtime operations must not
+// interleave per coin). The fraud-case log keeps a dedicated mutex: it is
+// an append-only audit record, not request-path state.
 type Broker struct {
 	cfg   BrokerConfig
 	suite sig.Suite
@@ -84,20 +99,26 @@ type Broker struct {
 	dhtc  *dht.Client
 	ops   OpCounter
 
-	mu          sync.Mutex
-	svc         map[coin.ID]*sync.Mutex // per-coin service serialization
-	coins       map[coin.ID]*coin.Coin
-	purchasedBy map[coin.ID]string
-	downtime    map[coin.ID]*coin.Binding
-	pendingSync map[string][]coin.ID
-	relinquish  map[coin.ID]map[uint64]RelinquishProof // audit trail for broker-era re-bindings
-	deposited   map[coin.ID]*depositRecord
-	balances    map[string]int64
-	frozen      map[string]bool
-	cases       []FraudCase
-	caseSeq     uint64
-	issuedValue int64
+	svc         *store.Sharded[coin.ID, *sync.Mutex] // per-coin service serialization
+	coins       *store.Sharded[coin.ID, *coin.Coin]
+	purchasedBy *store.Sharded[coin.ID, string]
+	downtime    *store.Sharded[coin.ID, *coin.Binding]
+	pendingSync *store.Sharded[string, []coin.ID]
+	relinquish  *store.Sharded[coin.ID, map[uint64]RelinquishProof] // audit trail for broker-era re-bindings
+	deposited   *store.Sharded[coin.ID, *depositRecord]
+	ledger      *store.Ledger
+	frozen      *store.Sharded[string, struct{}]
+
+	issuedValue    atomic.Int64
+	depositedValue atomic.Int64
+
+	casesMu sync.RWMutex
+	cases   []FraudCase
+	caseSeq uint64
 }
+
+// coinKey hashes coin IDs into store shards.
+func coinKey(id coin.ID) uint64 { return store.StringHash(id) }
 
 // NewBroker creates and starts a broker.
 func NewBroker(cfg BrokerConfig) (*Broker, error) {
@@ -116,15 +137,15 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	b := &Broker{
 		cfg:         cfg,
 		suite:       sig.Suite{Scheme: cfg.Scheme, Rec: cfg.Recorder},
-		svc:         make(map[coin.ID]*sync.Mutex),
-		coins:       make(map[coin.ID]*coin.Coin),
-		purchasedBy: make(map[coin.ID]string),
-		downtime:    make(map[coin.ID]*coin.Binding),
-		pendingSync: make(map[string][]coin.ID),
-		relinquish:  make(map[coin.ID]map[uint64]RelinquishProof),
-		deposited:   make(map[coin.ID]*depositRecord),
-		balances:    make(map[string]int64),
-		frozen:      make(map[string]bool),
+		svc:         store.NewSharded[coin.ID, *sync.Mutex](brokerShards, coinKey),
+		coins:       store.NewSharded[coin.ID, *coin.Coin](brokerShards, coinKey),
+		purchasedBy: store.NewSharded[coin.ID, string](brokerShards, coinKey),
+		downtime:    store.NewSharded[coin.ID, *coin.Binding](brokerShards, coinKey),
+		pendingSync: store.NewSharded[string, []coin.ID](brokerShards, store.StringHash[string]),
+		relinquish:  store.NewSharded[coin.ID, map[uint64]RelinquishProof](brokerShards, coinKey),
+		deposited:   store.NewSharded[coin.ID, *depositRecord](brokerShards, coinKey),
+		ledger:      store.NewLedger(brokerShards, cfg.InitialCredit),
+		frozen:      store.NewSharded[string, struct{}](brokerShards, store.StringHash[string]),
 	}
 	// The broker's signing key is setup, not operation cost.
 	keys, err := cfg.Scheme.GenerateKey()
@@ -163,70 +184,40 @@ func (b *Broker) PublicKey() sig.PublicKey { return b.keys.Public.Clone() }
 // Close stops the broker.
 func (b *Broker) Close() error { return b.ep.Close() }
 
-// Ops returns a snapshot of the broker's operation counts.
+// Ops returns a snapshot of the broker's operation counts (lock-free).
 func (b *Broker) Ops() OpCounts { return b.ops.Snapshot() }
-
-// accountLocked returns (initializing if needed) an identity's account
-// balance under the credit regime. Callers hold b.mu.
-func (b *Broker) accountLocked(identity string) int64 {
-	if _, seen := b.balances[identity]; !seen {
-		b.balances[identity] = b.cfg.InitialCredit
-	}
-	return b.balances[identity]
-}
 
 // Balance returns the amount credited to a payout reference by deposits
 // (under the credit regime, also the remaining purchase budget of an
-// identity using itself as payout reference).
-func (b *Broker) Balance(payoutRef string) int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.cfg.InitialCredit > 0 {
-		return b.accountLocked(payoutRef)
-	}
-	return b.balances[payoutRef]
-}
+// identity using itself as payout reference). Read-only: it never stalls
+// or materializes request-path state.
+func (b *Broker) Balance(payoutRef string) int64 { return b.ledger.Balance(payoutRef) }
 
-// IssuedValue is the total face value of coins minted so far.
-func (b *Broker) IssuedValue() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.issuedValue
-}
+// IssuedValue is the total face value of coins minted so far (lock-free).
+func (b *Broker) IssuedValue() int64 { return b.issuedValue.Load() }
 
-// DepositedValue is the total face value redeemed so far.
-func (b *Broker) DepositedValue() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	var t int64
-	for id := range b.deposited {
-		if c := b.coins[id]; c != nil {
-			t += c.Value
-		}
-	}
-	return t
-}
+// DepositedValue is the total face value redeemed so far (lock-free).
+func (b *Broker) DepositedValue() int64 { return b.depositedValue.Load() }
 
 // Freeze bars an identity from purchasing (judge-ordered punishment).
-func (b *Broker) Freeze(identity string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.frozen[identity] = true
-}
+func (b *Broker) Freeze(identity string) { b.frozen.Set(identity, struct{}{}) }
 
-// Frozen reports whether identity is frozen.
+// Frozen reports whether identity is frozen (read-lock path only).
 func (b *Broker) Frozen(identity string) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.frozen[identity]
+	_, frozen := b.frozen.Get(identity)
+	return frozen
 }
 
-// FraudCases returns recorded fraud cases.
+// FraudCases returns recorded fraud cases (read lock on the case log only).
 func (b *Broker) FraudCases() []FraudCase {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.casesMu.RLock()
+	defer b.casesMu.RUnlock()
 	return append([]FraudCase(nil), b.cases...)
 }
+
+// ServiceLocks reports how many per-coin service locks are live
+// (tests/metrics for the eviction policy).
+func (b *Broker) ServiceLocks() int { return b.svc.Len() }
 
 // handle dispatches one protocol message.
 func (b *Broker) handle(from bus.Address, msg any) (any, error) {
@@ -277,20 +268,16 @@ func (b *Broker) handlePurchase(m PurchaseRequest) (any, error) {
 		c.Owner = m.Buyer
 	}
 
-	b.mu.Lock()
-	if b.frozen[m.Buyer] {
-		b.mu.Unlock()
+	// Cheap rejections before paying for the signature.
+	if b.Frozen(m.Buyer) {
 		return nil, fmt.Errorf("%w: %s", ErrFrozen, m.Buyer)
 	}
-	if _, exists := b.coins[c.ID()]; exists {
-		b.mu.Unlock()
+	if _, exists := b.coins.Get(c.ID()); exists {
 		return nil, fmt.Errorf("%w: coin key already registered", ErrBadRequest)
 	}
-	if b.cfg.InitialCredit > 0 && b.accountLocked(m.Buyer) < c.Value {
-		b.mu.Unlock()
+	if b.cfg.InitialCredit > 0 && b.ledger.Balance(m.Buyer) < c.Value {
 		return nil, fmt.Errorf("%w: %s", ErrInsufficientFunds, m.Buyer)
 	}
-	b.mu.Unlock()
 
 	sigBytes, err := b.suite.Sign(b.keys.Private, c.Message())
 	if err != nil {
@@ -298,18 +285,22 @@ func (b *Broker) handlePurchase(m PurchaseRequest) (any, error) {
 	}
 	c.Sig = sigBytes
 
-	b.mu.Lock()
+	// Commit: debit first, then register. A duplicate registration (the
+	// buyer raced itself on the same coin key) refunds the debit, so
+	// conservation holds without a global lock.
 	if b.cfg.InitialCredit > 0 {
-		if b.accountLocked(m.Buyer) < c.Value {
-			b.mu.Unlock()
+		if _, ok := b.ledger.TryDebit(m.Buyer, c.Value); !ok {
 			return nil, fmt.Errorf("%w: %s", ErrInsufficientFunds, m.Buyer)
 		}
-		b.balances[m.Buyer] -= c.Value
 	}
-	b.coins[c.ID()] = c
-	b.purchasedBy[c.ID()] = m.Buyer
-	b.issuedValue += c.Value
-	b.mu.Unlock()
+	if !b.coins.Insert(c.ID(), c) {
+		if b.cfg.InitialCredit > 0 {
+			b.ledger.Credit(m.Buyer, c.Value)
+		}
+		return nil, fmt.Errorf("%w: coin key already registered", ErrBadRequest)
+	}
+	b.purchasedBy.Set(c.ID(), m.Buyer)
+	b.issuedValue.Add(c.Value)
 	b.ops.Inc(OpPurchase)
 	return PurchaseResponse{Coin: *c}, nil
 }
@@ -330,29 +321,23 @@ func (b *Broker) handleBatchPurchase(m BatchPurchaseRequest) (any, error) {
 	}
 	total := m.Value * int64(len(m.CoinPubs))
 
-	b.mu.Lock()
-	if b.frozen[m.Buyer] {
-		b.mu.Unlock()
+	if b.Frozen(m.Buyer) {
 		return nil, fmt.Errorf("%w: %s", ErrFrozen, m.Buyer)
 	}
 	seen := make(map[coin.ID]bool, len(m.CoinPubs))
 	for _, pub := range m.CoinPubs {
 		id := coin.ID(pub)
 		if len(pub) == 0 || seen[id] {
-			b.mu.Unlock()
 			return nil, fmt.Errorf("%w: empty or duplicate coin key in batch", ErrBadRequest)
 		}
 		seen[id] = true
-		if _, exists := b.coins[id]; exists {
-			b.mu.Unlock()
+		if _, exists := b.coins.Get(id); exists {
 			return nil, fmt.Errorf("%w: coin key already registered", ErrBadRequest)
 		}
 	}
-	if b.cfg.InitialCredit > 0 && b.accountLocked(m.Buyer) < total {
-		b.mu.Unlock()
+	if b.cfg.InitialCredit > 0 && b.ledger.Balance(m.Buyer) < total {
 		return nil, fmt.Errorf("%w: %s needs %d", ErrInsufficientFunds, m.Buyer, total)
 	}
-	b.mu.Unlock()
 
 	coins := make([]coin.Coin, 0, len(m.CoinPubs))
 	for _, pub := range m.CoinPubs {
@@ -365,21 +350,29 @@ func (b *Broker) handleBatchPurchase(m BatchPurchaseRequest) (any, error) {
 		coins = append(coins, c)
 	}
 
-	b.mu.Lock()
+	// Commit: debit the whole batch, then register each coin; a duplicate
+	// rolls back the coins registered so far (they are ours alone — the
+	// keys were fresh) and refunds, keeping the batch all-or-nothing.
 	if b.cfg.InitialCredit > 0 {
-		if b.accountLocked(m.Buyer) < total {
-			b.mu.Unlock()
+		if _, ok := b.ledger.TryDebit(m.Buyer, total); !ok {
 			return nil, fmt.Errorf("%w: %s", ErrInsufficientFunds, m.Buyer)
 		}
-		b.balances[m.Buyer] -= total
 	}
 	for i := range coins {
-		c := coins[i]
-		b.coins[c.ID()] = &c
-		b.purchasedBy[c.ID()] = m.Buyer
-		b.issuedValue += c.Value
+		c := &coins[i]
+		if !b.coins.Insert(c.ID(), c) {
+			for j := 0; j < i; j++ {
+				b.coins.Delete(coins[j].ID())
+				b.purchasedBy.Delete(coins[j].ID())
+			}
+			if b.cfg.InitialCredit > 0 {
+				b.ledger.Credit(m.Buyer, total)
+			}
+			return nil, fmt.Errorf("%w: coin key already registered", ErrBadRequest)
+		}
+		b.purchasedBy.Set(c.ID(), m.Buyer)
 	}
-	b.mu.Unlock()
+	b.issuedValue.Add(total)
 	b.ops.Inc(OpPurchase)
 	return BatchPurchaseResponse{Coins: coins}, nil
 }
@@ -388,14 +381,12 @@ func (b *Broker) handleBatchPurchase(m BatchPurchaseRequest) (any, error) {
 // broker's downtime state and the holder's presented evidence, implementing
 // both of the paper's downtime verification flavors: bit-comparison when
 // the broker already holds matching state (flavor two), full signature
-// verification otherwise (flavor one). The caller holds no lock.
+// verification otherwise (flavor one).
 func (b *Broker) currentBinding(c *coin.Coin, presented *coin.Binding) (*coin.Binding, error) {
 	if presented == nil {
 		return nil, fmt.Errorf("%w: no binding presented", ErrBadRequest)
 	}
-	b.mu.Lock()
-	stored := b.downtime[c.ID()]
-	b.mu.Unlock()
+	stored, _ := b.downtime.Get(c.ID())
 	if stored != nil && stored.Equal(presented) {
 		// Flavor two: bit-by-bit comparison, no crypto.
 		return stored, nil
@@ -416,31 +407,86 @@ func (b *Broker) currentBinding(c *coin.Coin, presented *coin.Binding) (*coin.Bi
 // lockCoin serializes servicing of one coin (the validate→deliver→commit
 // sequence of downtime operations must not interleave). TryLock so a
 // payee that calls back into the broker during delivery cannot deadlock it.
+//
+// Entries are created on demand and may be evicted at any time (deposit,
+// PruneServiceLocks); after acquiring, the lock is revalidated against the
+// store so an acquired-but-evicted mutex — which no longer serializes
+// against a freshly created one — is never returned.
 func (b *Broker) lockCoin(id coin.ID) (unlock func(), err error) {
-	b.mu.Lock()
-	m := b.svc[id]
-	if m == nil {
-		m = &sync.Mutex{}
-		b.svc[id] = m
+	for {
+		m := b.svc.GetOrInsert(id, func() *sync.Mutex { return &sync.Mutex{} })
+		if !m.TryLock() {
+			return nil, ErrCoinBusy
+		}
+		if cur, ok := b.svc.Get(id); ok && cur == m {
+			return m.Unlock, nil
+		}
+		// Evicted between fetch and lock: retry against the live entry.
+		m.Unlock()
 	}
-	b.mu.Unlock()
-	if !m.TryLock() {
-		return nil, ErrCoinBusy
+}
+
+// evictServiceLock drops a coin's service lock. Safe at any time because
+// lockCoin revalidates; called when the coin can no longer be serviced
+// (deposited) or has long gone quiet (PruneServiceLocks).
+func (b *Broker) evictServiceLock(id coin.ID) { b.svc.Delete(id) }
+
+// PruneServiceLocks evicts per-coin service locks no live request needs:
+// locks for deposited coins, and locks for coins whose broker-era downtime
+// binding expired before now — they are recreated on demand if the coin
+// revives (expiry does not confiscate). It returns the number evicted.
+// Long-running brokers call this periodically so the lock table tracks the
+// working set instead of every coin ever serviced.
+func (b *Broker) PruneServiceLocks() int {
+	now := b.cfg.Clock().Unix()
+	evicted := 0
+	for _, id := range b.svc.Keys() {
+		if _, spent := b.deposited.Get(id); spent {
+			b.evictServiceLock(id)
+			evicted++
+			continue
+		}
+		if binding, ok := b.downtime.Get(id); ok && binding.Expiry < now {
+			b.evictServiceLock(id)
+			evicted++
+		}
 	}
-	return m.Unlock, nil
+	return evicted
 }
 
 func (b *Broker) lookupActiveCoin(pub sig.PublicKey) (*coin.Coin, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	c, ok := b.coins[coin.ID(pub)]
+	id := coin.ID(pub)
+	c, ok := b.coins.Get(id)
 	if !ok {
 		return nil, ErrUnknownCoin
 	}
-	if _, spent := b.deposited[coin.ID(pub)]; spent {
+	if _, spent := b.deposited.Get(id); spent {
 		return nil, ErrAlreadyDeposited
 	}
 	return c, nil
+}
+
+// recordRelinquish appends a broker-era relinquishment proof to the coin's
+// audit trail. The inner map is mutated under the shard's write lock;
+// readers copy it under View.
+func (b *Broker) recordRelinquish(id coin.ID, seq uint64, proof RelinquishProof) {
+	b.relinquish.Compute(id, func(proofs map[uint64]RelinquishProof, _ bool) (map[uint64]RelinquishProof, store.Op) {
+		if proofs == nil {
+			proofs = make(map[uint64]RelinquishProof)
+		}
+		proofs[seq] = proof
+		return proofs, store.OpSet
+	})
+}
+
+// queueSync marks a coin for the owner's next synchronization.
+func (b *Broker) queueSync(owner string, id coin.ID) {
+	if owner == "" {
+		return
+	}
+	b.pendingSync.Compute(owner, func(ids []coin.ID, _ bool) ([]coin.ID, store.Op) {
+		return append(ids, id), store.OpSet
+	})
 }
 
 func (b *Broker) handleDowntimeTransfer(m TransferRequest) (any, error) {
@@ -496,32 +542,23 @@ func (b *Broker) handleDowntimeTransfer(m TransferRequest) (any, error) {
 		return TransferResponse{OK: false, Reason: "payee delivery failed: " + err.Error()}, nil
 	}
 
-	b.mu.Lock()
-	b.downtime[c.ID()] = next
-	proofs := b.relinquish[c.ID()]
-	if proofs == nil {
-		proofs = make(map[uint64]RelinquishProof)
-		b.relinquish[c.ID()] = proofs
-	}
-	proofs[cur.Seq] = RelinquishProof{Body: m.Body, HolderSig: m.HolderSig, PrevHold: cur.Holder.Clone()}
-	owner := b.ownerIdentityLocked(c)
-	if owner != "" {
-		b.pendingSync[owner] = append(b.pendingSync[owner], c.ID())
-	}
-	b.mu.Unlock()
+	b.downtime.Set(c.ID(), next)
+	b.recordRelinquish(c.ID(), cur.Seq, RelinquishProof{Body: m.Body, HolderSig: m.HolderSig, PrevHold: cur.Holder.Clone()})
+	b.queueSync(b.ownerIdentity(c), c.ID())
 
 	b.publishBinding(next)
 	b.ops.Inc(OpDowntimeTransfer)
 	return TransferResponse{OK: true}, nil
 }
 
-// ownerIdentityLocked resolves the identity to sync for a coin; for
-// anonymous coins the broker still knows the purchaser.
-func (b *Broker) ownerIdentityLocked(c *coin.Coin) string {
+// ownerIdentity resolves the identity to sync for a coin; for anonymous
+// coins the broker still knows the purchaser.
+func (b *Broker) ownerIdentity(c *coin.Coin) string {
 	if c.Owner != "" {
 		return c.Owner
 	}
-	return b.purchasedBy[c.ID()]
+	buyer, _ := b.purchasedBy.Get(c.ID())
+	return buyer
 }
 
 func (b *Broker) handleDowntimeRenew(m RenewRequest) (any, error) {
@@ -560,24 +597,14 @@ func (b *Broker) handleDowntimeRenew(m RenewRequest) (any, error) {
 		return nil, fmt.Errorf("core: signing renewal binding: %w", err)
 	}
 
-	b.mu.Lock()
-	b.downtime[c.ID()] = next
-	proofs := b.relinquish[c.ID()]
-	if proofs == nil {
-		proofs = make(map[uint64]RelinquishProof)
-		b.relinquish[c.ID()] = proofs
-	}
-	proofs[cur.Seq] = RelinquishProof{
+	b.downtime.Set(c.ID(), next)
+	b.recordRelinquish(c.ID(), cur.Seq, RelinquishProof{
 		Renewal:   true,
 		Body:      coin.TransferBody{CoinPub: c.Pub.Clone(), PrevSeq: cur.Seq},
 		HolderSig: m.HolderSig,
 		PrevHold:  cur.Holder.Clone(),
-	}
-	owner := b.ownerIdentityLocked(c)
-	if owner != "" {
-		b.pendingSync[owner] = append(b.pendingSync[owner], c.ID())
-	}
-	b.mu.Unlock()
+	})
+	b.queueSync(b.ownerIdentity(c), c.ID())
 
 	b.publishBinding(next)
 	b.ops.Inc(OpDowntimeRenewal)
@@ -585,14 +612,12 @@ func (b *Broker) handleDowntimeRenew(m RenewRequest) (any, error) {
 }
 
 func (b *Broker) handleDeposit(m DepositRequest) (any, error) {
-	b.mu.Lock()
-	c, ok := b.coins[coin.ID(m.CoinPub)]
+	id := coin.ID(m.CoinPub)
+	c, ok := b.coins.Get(id)
 	if !ok {
-		b.mu.Unlock()
 		return nil, ErrUnknownCoin
 	}
-	prior := b.deposited[c.ID()]
-	b.mu.Unlock()
+	prior, _ := b.deposited.Get(id)
 
 	if prior != nil {
 		// Double deposit: definitive fraud evidence. Both group
@@ -622,23 +647,22 @@ func (b *Broker) handleDeposit(m DepositRequest) (any, error) {
 		return nil, fmt.Errorf("%w: group signature: %v", ErrBadRequest, err)
 	}
 
-	b.mu.Lock()
-	if _, raced := b.deposited[c.ID()]; raced {
-		b.mu.Unlock()
-		return nil, ErrAlreadyDeposited
-	}
-	b.deposited[c.ID()] = &depositRecord{
+	// Commit: the Insert is the single atomic double-deposit gate.
+	rec := &depositRecord{
 		binding:   cur.Clone(),
 		groupSig:  m.GroupSig,
 		payoutRef: m.PayoutRef,
 		when:      b.cfg.Clock(),
 	}
-	if b.cfg.InitialCredit > 0 {
-		b.accountLocked(m.PayoutRef)
+	if !b.deposited.Insert(id, rec) {
+		return nil, ErrAlreadyDeposited
 	}
-	b.balances[m.PayoutRef] += c.Value
-	delete(b.downtime, c.ID())
-	b.mu.Unlock()
+	b.ledger.Credit(m.PayoutRef, c.Value)
+	b.depositedValue.Add(c.Value)
+	b.downtime.Delete(id)
+	// A deposited coin can never be serviced again (lookupActiveCoin
+	// refuses first), so its service lock is garbage: evict it.
+	b.evictServiceLock(id)
 	b.ops.Inc(OpDeposit)
 	return DepositResponse{Amount: c.Value}, nil
 }
@@ -651,9 +675,7 @@ func (b *Broker) handleSync(m SyncRequest) (any, error) {
 	if err := b.suite.Verify(entry.Pub, syncMessage(m.Identity, m.Nonce), m.Sig); err != nil {
 		return nil, fmt.Errorf("%w: sync signature: %v", ErrBadRequest, err)
 	}
-	b.mu.Lock()
-	ids := b.pendingSync[m.Identity]
-	delete(b.pendingSync, m.Identity)
+	ids, _ := b.pendingSync.GetAndDelete(m.Identity)
 	var bindings []coin.Binding
 	seen := make(map[coin.ID]bool, len(ids))
 	for _, id := range ids {
@@ -661,17 +683,15 @@ func (b *Broker) handleSync(m SyncRequest) (any, error) {
 			continue
 		}
 		seen[id] = true
-		if _, spent := b.deposited[id]; spent {
+		if _, spent := b.deposited.Get(id); spent {
 			continue
 		}
-		if binding := b.downtime[id]; binding != nil {
+		// The owner is authoritative again; future downtime operations
+		// re-verify from presented evidence.
+		if binding, ok := b.downtime.GetAndDelete(id); ok {
 			bindings = append(bindings, *binding)
-			// The owner is authoritative again; future downtime
-			// operations re-verify from presented evidence.
-			delete(b.downtime, id)
 		}
 	}
-	b.mu.Unlock()
 	b.ops.Inc(OpSync)
 	return SyncResponse{Bindings: bindings}, nil
 }
@@ -693,8 +713,8 @@ func (b *Broker) publishBinding(binding *coin.Binding) {
 }
 
 func (b *Broker) recordCase(fc FraudCase) uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.casesMu.Lock()
+	defer b.casesMu.Unlock()
 	b.caseSeq++
 	fc.ID = b.caseSeq
 	b.cases = append(b.cases, fc)
@@ -705,9 +725,7 @@ func (b *Broker) recordCase(fc FraudCase) uint64 {
 // the coin's audit trail (the paper's dispute story: owners must be able to
 // prove every re-binding was authorized by the relinquishing holder).
 func (b *Broker) handleFraudReport(m FraudReport) (any, error) {
-	b.mu.Lock()
-	c, ok := b.coins[coin.ID(m.CoinPub)]
-	b.mu.Unlock()
+	c, ok := b.coins.Get(coin.ID(m.CoinPub))
 	if !ok {
 		return nil, ErrUnknownCoin
 	}
@@ -737,11 +755,7 @@ func (b *Broker) handleFraudReport(m FraudReport) (any, error) {
 
 	// Otherwise ask the owner to prove the chain of relinquishments from
 	// the reporter's sequence to the observed one.
-	owner := func() string {
-		b.mu.Lock()
-		defer b.mu.Unlock()
-		return b.ownerIdentityLocked(c)
-	}()
+	owner := b.ownerIdentity(c)
 	entry, ok := b.cfg.Directory.Lookup(owner)
 	if !ok {
 		id := b.recordCase(FraudCase{
@@ -776,10 +790,8 @@ func (b *Broker) handleFraudReport(m FraudReport) (any, error) {
 }
 
 func (b *Broker) punishOwner(c *coin.Coin, m FraudReport, why string) (any, error) {
-	b.mu.Lock()
-	owner := b.ownerIdentityLocked(c)
-	b.frozen[owner] = true
-	b.mu.Unlock()
+	owner := b.ownerIdentity(c)
+	b.frozen.Set(owner, struct{}{})
 	id := b.recordCase(FraudCase{
 		Kind: "owner-fraud", CoinID: c.ID(),
 		Verdict:  why,
@@ -800,13 +812,13 @@ func (b *Broker) verifyRelinquishChain(c *coin.Coin, from, to *coin.Binding, own
 	for _, p := range ownerProofs {
 		chain[p.Body.PrevSeq] = p
 	}
-	b.mu.Lock()
-	for seq, p := range b.relinquish[c.ID()] {
-		if _, exists := chain[seq]; !exists {
-			chain[seq] = p
+	b.relinquish.View(c.ID(), func(proofs map[uint64]RelinquishProof, _ bool) {
+		for seq, p := range proofs {
+			if _, exists := chain[seq]; !exists {
+				chain[seq] = p
+			}
 		}
-	}
-	b.mu.Unlock()
+	})
 
 	holder := sig.PublicKey(from.Holder)
 	for seq := from.Seq; seq < to.Seq; seq++ {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"whopay/internal/coin"
 )
 
 // TestConcurrentPayments hammers the system from many goroutines at once:
@@ -60,13 +62,12 @@ func TestConcurrentPayments(t *testing.T) {
 	var circulating int64
 	for _, p := range peers {
 		circulating += p.HeldValue()
-		p.mu.Lock()
-		for _, oc := range p.owned {
+		p.owned.Range(func(_ coin.ID, oc *ownedCoin) bool {
 			if oc.selfHeld {
 				circulating += oc.c.Value
 			}
-		}
-		p.mu.Unlock()
+			return true
+		})
 	}
 	if minted := f.broker.IssuedValue(); minted != f.broker.DepositedValue()+circulating {
 		t.Fatalf("value leak under concurrency: minted %d, redeemed %d, circulating %d",
@@ -96,9 +97,7 @@ func TestCoinBusyContention(t *testing.T) {
 	// Pin the coin's service lock, exactly as another in-flight transfer
 	// would hold it, so contention is deterministic rather than a timing
 	// lottery.
-	owner.mu.Lock()
-	oc := owner.owned[id]
-	owner.mu.Unlock()
+	oc, _ := owner.owned.Get(id)
 	oc.svc.Lock()
 
 	// A renewal against the busy coin must come back as the ErrCoinBusy
@@ -116,18 +115,14 @@ func TestCoinBusyContention(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		holder.mu.Lock()
-		hc := holder.held[id]
-		holder.mu.Unlock()
+		hc, _ := holder.held.Get(id)
 		req, err := holder.buildTransfer(hc, payee.Addr(), resp.(OfferResponse))
 		if err != nil {
 			t.Fatal(err)
 		}
 		return req
 	}
-	holder.mu.Lock()
-	hc := holder.held[id]
-	holder.mu.Unlock()
+	hc, _ := holder.held.Get(id)
 	reqW, reqX := buildReq(w), buildReq(x)
 
 	var wg sync.WaitGroup
@@ -188,9 +183,7 @@ func TestConcurrentDoubleSpendRace(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Build two racing transfer requests from the same holder state.
-		v.mu.Lock()
-		hc := v.held[id]
-		v.mu.Unlock()
+		hc, _ := v.held.Get(id)
 		buildReq := func(payee *Peer) TransferRequest {
 			resp, err := v.ep.Call(payee.Addr(), OfferRequest{Value: 1})
 			if err != nil {

@@ -5,6 +5,8 @@ import (
 	mrand "math/rand"
 	"testing"
 	"time"
+
+	"whopay/internal/coin"
 )
 
 // TestValueConservationFuzz drives a random mix of operations — payments
@@ -93,13 +95,12 @@ func fuzzOnce(t *testing.T, seed int64) {
 	var circulating int64
 	for _, p := range peers {
 		circulating += p.HeldValue()
-		p.mu.Lock()
-		for _, oc := range p.owned {
+		p.owned.Range(func(_ coin.ID, oc *ownedCoin) bool {
 			if oc.selfHeld {
 				circulating += oc.c.Value
 			}
-		}
-		p.mu.Unlock()
+			return true
+		})
 	}
 	if minted != redeemed+circulating {
 		t.Fatalf("value leak: minted %d != redeemed %d + circulating %d (payments=%d failures=%d)",

@@ -46,7 +46,7 @@ type fixtureOpts struct {
 }
 
 type fixture struct {
-	t      *testing.T
+	t      testing.TB
 	net    *bus.Memory
 	netAny bus.Network // overrides net when the test supplies its own
 	scheme sig.Scheme
@@ -68,7 +68,7 @@ func (f *fixture) network() bus.Network {
 	return f.net
 }
 
-func newFixture(t *testing.T, opts fixtureOpts) *fixture {
+func newFixture(t testing.TB, opts fixtureOpts) *fixture {
 	t.Helper()
 	if opts.scheme == nil {
 		opts.scheme = sig.NewNull(1000)

@@ -33,13 +33,12 @@ func TestHolderDoubleSpendRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	// v keeps a copy of its holder state, transfers to w, then replays.
-	v.mu.Lock()
+	vhc, _ := v.held.Get(id)
 	stale := &heldCoin{
-		c:          v.held[id].c.Clone(),
-		holderKeys: v.held[id].holderKeys,
-		binding:    v.held[id].binding.Clone(),
+		c:          vhc.c.Clone(),
+		holderKeys: vhc.holderKeys,
+		binding:    vhc.binding.Clone(),
 	}
-	v.mu.Unlock()
 	if err := v.TransferTo(w.Addr(), id); err != nil {
 		t.Fatal(err)
 	}
@@ -92,9 +91,8 @@ func TestOwnerDoubleIssueCaughtByPayeeCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	u.mu.Lock()
-	c := u.owned[id].c
-	u.mu.Unlock()
+	uoc, _ := u.owned.Get(id)
+	c := uoc.c
 	challengeSig, err := u.suite.Sign(u.keys.Private, coinChallenge(c.Pub, offer.Nonce))
 	if err != nil {
 		t.Fatal(err)
@@ -132,9 +130,7 @@ func TestWatcherCatchesFraudulentRebind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	u.mu.Lock()
-	oc := u.owned[id]
-	u.mu.Unlock()
+	oc, _ := u.owned.Get(id)
 	forged, err := u.ForgeRebind(id, accomplice.Public, oc.binding.Seq+1)
 	if err != nil {
 		t.Fatal(err)
@@ -215,13 +211,12 @@ func TestDoubleDepositCaught(t *testing.T) {
 		t.Fatal(err)
 	}
 	// v keeps its holder state, deposits, then replays the deposit.
-	v.mu.Lock()
+	vhc, _ := v.held.Get(id)
 	stale := &heldCoin{
-		c:          v.held[id].c.Clone(),
-		holderKeys: v.held[id].holderKeys,
-		binding:    v.held[id].binding.Clone(),
+		c:          vhc.c.Clone(),
+		holderKeys: vhc.holderKeys,
+		binding:    vhc.binding.Clone(),
 	}
-	v.mu.Unlock()
 	if err := v.Deposit(id, "first"); err != nil {
 		t.Fatal(err)
 	}
@@ -316,10 +311,9 @@ func TestImposterCannotDeliver(t *testing.T) {
 	}
 	// Mallory learns the coin's public material (she held it... no — she
 	// just copies what v received) and tries to "pay" someone with it.
-	v.mu.Lock()
-	c := v.held[id].c.Clone()
-	binding := v.held[id].binding.Clone()
-	v.mu.Unlock()
+	vhc, _ := v.held.Get(id)
+	c := vhc.c.Clone()
+	binding := vhc.binding.Clone()
 
 	resp, err := mallory.ep.Call(v.Addr(), OfferRequest{Value: 1})
 	if err != nil {
@@ -394,9 +388,7 @@ func TestStolenTransferRequestCannotBeRedirected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v.mu.Lock()
-	hc := v.held[id]
-	v.mu.Unlock()
+	hc, _ := v.held.Get(id)
 	req, err := v.buildTransfer(hc, w.Addr(), resp.(OfferResponse))
 	if err != nil {
 		t.Fatal(err)

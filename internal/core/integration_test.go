@@ -302,9 +302,8 @@ func TestAuditLogCapEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	owner.mu.Lock()
-	logLen := len(owner.owned[id].log)
-	owner.mu.Unlock()
+	ownerOC, _ := owner.owned.Get(id)
+	logLen := len(ownerOC.log)
 	if logLen != 2 {
 		t.Fatalf("audit log length = %d, want cap 2", logLen)
 	}
@@ -327,9 +326,7 @@ func TestShopGroupSignatureFairness(t *testing.T) {
 		t.Fatal(err)
 	}
 	offer := resp.(OfferResponse)
-	alice.mu.Lock()
-	hc := alice.held[id]
-	alice.mu.Unlock()
+	hc, _ := alice.held.Get(id)
 	req, err := alice.buildTransfer(hc, bob.Addr(), offer)
 	if err != nil {
 		t.Fatal(err)

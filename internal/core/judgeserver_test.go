@@ -61,9 +61,7 @@ func TestRemoteEnrollment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alice.mu.Lock()
-	hc := alice.held[id]
-	alice.mu.Unlock()
+	hc, _ := alice.held.Get(id)
 	req, err := alice.buildTransfer(hc, bob.Addr(), resp.(OfferResponse))
 	if err != nil {
 		t.Fatal(err)

@@ -44,10 +44,8 @@ func layeredDepositMessage(coinPub sig.PublicKey, payoutRef string, layers int) 
 // identifiable.
 func (b *Broker) handleLayeredDeposit(m LayeredDepositRequest) (any, error) {
 	lc := m.LC
-	b.mu.Lock()
-	c, ok := b.coins[lc.Base.ID()]
-	prior := b.deposited[lc.Base.ID()]
-	b.mu.Unlock()
+	c, ok := b.coins.Get(lc.Base.ID())
+	prior, _ := b.deposited.Get(lc.Base.ID())
 	if !ok {
 		return nil, ErrUnknownCoin
 	}
@@ -85,23 +83,21 @@ func (b *Broker) handleLayeredDeposit(m LayeredDepositRequest) (any, error) {
 		return nil, ErrAlreadyDeposited
 	}
 
-	b.mu.Lock()
-	if _, raced := b.deposited[c.ID()]; raced {
-		b.mu.Unlock()
-		return nil, ErrAlreadyDeposited
-	}
-	b.deposited[c.ID()] = &depositRecord{
+	// Commit: the Insert is the single atomic double-deposit gate — a
+	// racing fork of the same chain loses here.
+	rec := &depositRecord{
 		binding:   lc.Binding.Clone(),
 		groupSig:  m.GroupSig,
 		payoutRef: m.PayoutRef,
 		when:      b.cfg.Clock(),
 	}
-	if b.cfg.InitialCredit > 0 {
-		b.accountLocked(m.PayoutRef)
+	if !b.deposited.Insert(c.ID(), rec) {
+		return nil, ErrAlreadyDeposited
 	}
-	b.balances[m.PayoutRef] += c.Value
-	delete(b.downtime, c.ID())
-	b.mu.Unlock()
+	b.ledger.Credit(m.PayoutRef, c.Value)
+	b.depositedValue.Add(c.Value)
+	b.downtime.Delete(c.ID())
+	b.evictServiceLock(c.ID())
 	b.ops.Inc(OpDeposit)
 	return DepositResponse{Amount: c.Value}, nil
 }
@@ -110,16 +106,14 @@ func (b *Broker) handleLayeredDeposit(m LayeredDepositRequest) (any, error) {
 // hops. The peer gives up its held entry: from now on the chain IS the
 // coin, and whoever holds the chain head's key controls it.
 func (p *Peer) ExportLayered(id coin.ID) (*layered.Coin, sig.KeyPair, error) {
-	p.mu.Lock()
-	hc, ok := p.held[id]
+	hc, ok := p.held.GetAndDelete(id)
 	if !ok {
-		p.mu.Unlock()
 		return nil, sig.KeyPair{}, ErrUnknownCoin
 	}
+	hc.mu.Lock()
 	lc := &layered.Coin{Base: *hc.c.Clone(), Binding: *hc.binding.Clone()}
+	hc.mu.Unlock()
 	keys := hc.holderKeys
-	p.removeHeldLocked(id)
-	p.mu.Unlock()
 	p.unwatch(id)
 	return lc, keys, nil
 }

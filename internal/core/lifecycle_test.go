@@ -359,9 +359,8 @@ func TestAnonymousOwnerCoin(t *testing.T) {
 	if vb == nil {
 		t.Fatal("v has no binding")
 	}
-	v.mu.Lock()
-	heldCoin := v.held[id].c
-	v.mu.Unlock()
+	vhc, _ := v.held.Get(id)
+	heldCoin := vhc.c
 	if !heldCoin.Anonymous() {
 		t.Fatal("delivered coin exposes an owner")
 	}
@@ -420,9 +419,8 @@ func TestUnsolicitedDeliverRejected(t *testing.T) {
 	}
 	// Replay the same delivery: the offer was consumed.
 	vb, _ := v.HeldBinding(id)
-	u.mu.Lock()
-	c := u.owned[id].c
-	u.mu.Unlock()
+	uoc, _ := u.owned.Get(id)
+	c := uoc.c
 	_, err = u.ep.Call(v.Addr(), DeliverRequest{Coin: *c, Binding: *vb})
 	var remote *bus.RemoteError
 	if !errors.As(err, &remote) || !strings.Contains(remote.Msg, "no matching") {
@@ -437,9 +435,7 @@ func TestOfferExpiry(t *testing.T) {
 	if _, err := v.handleOffer(OfferRequest{Value: 1}); err != nil {
 		t.Fatal(err)
 	}
-	v.mu.Lock()
-	n := len(v.offers)
-	v.mu.Unlock()
+	n := v.offers.Len()
 	if n != 1 {
 		t.Fatalf("offers = %d", n)
 	}
@@ -447,9 +443,7 @@ func TestOfferExpiry(t *testing.T) {
 	if _, err := v.handleOffer(OfferRequest{Value: 1}); err != nil {
 		t.Fatal(err)
 	}
-	v.mu.Lock()
-	n = len(v.offers)
-	v.mu.Unlock()
+	n = v.offers.Len()
 	if n != 1 {
 		t.Fatalf("offers after prune = %d, want 1", n)
 	}
@@ -517,9 +511,7 @@ func TestValueMismatchRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	offer := resp.(OfferResponse)
-	u.mu.Lock()
-	oc := u.owned[id5]
-	u.mu.Unlock()
+	oc, _ := u.owned.Get(id5)
 	binding := &coin2Binding{
 		CoinPub: oc.c.Pub.Clone(),
 		Holder:  offer.HolderPub.Clone(),

@@ -18,9 +18,7 @@ import (
 // Section 4.2, Issue). For owner-anonymous coins the ownership challenge is
 // answered with the coin key and a group signature accompanies the issue.
 func (p *Peer) IssueTo(payee bus.Address, id coin.ID) error {
-	p.mu.Lock()
-	oc, ok := p.owned[id]
-	p.mu.Unlock()
+	oc, ok := p.owned.Get(id)
 	if !ok {
 		return ErrUnknownCoin
 	}
@@ -28,13 +26,13 @@ func (p *Peer) IssueTo(payee bus.Address, id coin.ID) error {
 		return ErrCoinBusy
 	}
 	defer oc.svc.Unlock()
-	p.mu.Lock()
-	if !oc.selfHeld {
-		p.mu.Unlock()
+	oc.mu.Lock()
+	selfHeld := oc.selfHeld
+	oc.mu.Unlock()
+	if !selfHeld {
 		return fmt.Errorf("%w: coin already issued", ErrNoCoinAvailable)
 	}
 	c := oc.c
-	p.mu.Unlock()
 
 	resp, err := p.call(payee, OfferRequest{Value: c.Value})
 	if err != nil {
@@ -76,11 +74,11 @@ func (p *Peer) IssueTo(payee bus.Address, id coin.ID) error {
 		return fmt.Errorf("core: delivering issue: %w", err)
 	}
 
-	p.mu.Lock()
+	oc.mu.Lock()
 	oc.binding = binding
 	oc.selfHeld = false
 	oc.dirty = false
-	p.mu.Unlock()
+	oc.mu.Unlock()
 
 	p.publishOwnedBinding(oc, binding)
 	p.ops.Inc(OpIssue)
@@ -93,9 +91,7 @@ func (p *Peer) IssueTo(payee bus.Address, id coin.ID) error {
 // relinquishment proof in the audit trail, and publishes the new binding.
 func (p *Peer) handleTransferRequest(m TransferRequest) (any, error) {
 	id := coin.ID(m.Body.CoinPub)
-	p.mu.Lock()
-	oc, ok := p.owned[id]
-	p.mu.Unlock()
+	oc, ok := p.owned.Get(id)
 	if !ok {
 		return nil, ErrNotOwner
 	}
@@ -108,14 +104,14 @@ func (p *Peer) handleTransferRequest(m TransferRequest) (any, error) {
 		return nil, err
 	}
 
-	p.mu.Lock()
+	oc.mu.Lock()
 	if oc.binding == nil {
-		p.mu.Unlock()
+		oc.mu.Unlock()
 		return nil, fmt.Errorf("%w: coin was never issued", ErrStaleBinding)
 	}
 	cur := oc.binding.Clone()
+	oc.mu.Unlock()
 	c := oc.c
-	p.mu.Unlock()
 
 	if m.Body.PrevSeq != cur.Seq {
 		return nil, fmt.Errorf("%w: request cites seq %d, current is %d", ErrStaleBinding, m.Body.PrevSeq, cur.Seq)
@@ -159,10 +155,10 @@ func (p *Peer) handleTransferRequest(m TransferRequest) (any, error) {
 		return TransferResponse{OK: false, Reason: "payee delivery failed: " + err.Error()}, nil
 	}
 
-	p.mu.Lock()
+	oc.mu.Lock()
 	oc.binding = next
 	p.recordProofLocked(oc, RelinquishProof{Body: m.Body, HolderSig: m.HolderSig, PrevHold: cur.Holder.Clone()})
-	p.mu.Unlock()
+	oc.mu.Unlock()
 
 	p.publishOwnedBinding(oc, next)
 	p.ops.Inc(OpTransfer)
@@ -173,9 +169,7 @@ func (p *Peer) handleTransferRequest(m TransferRequest) (any, error) {
 // holder, next sequence number, fresh expiry (paper Section 4.2, Renewal).
 func (p *Peer) handleRenewRequest(m RenewRequest) (any, error) {
 	id := coin.ID(m.CoinPub)
-	p.mu.Lock()
-	oc, ok := p.owned[id]
-	p.mu.Unlock()
+	oc, ok := p.owned.Get(id)
 	if !ok {
 		return nil, ErrNotOwner
 	}
@@ -187,14 +181,14 @@ func (p *Peer) handleRenewRequest(m RenewRequest) (any, error) {
 		return nil, err
 	}
 
-	p.mu.Lock()
+	oc.mu.Lock()
 	if oc.binding == nil {
-		p.mu.Unlock()
+		oc.mu.Unlock()
 		return nil, fmt.Errorf("%w: coin was never issued", ErrStaleBinding)
 	}
 	cur := oc.binding.Clone()
+	oc.mu.Unlock()
 	c := oc.c
-	p.mu.Unlock()
 
 	if m.Seq != cur.Seq {
 		return nil, fmt.Errorf("%w: request cites seq %d, current is %d", ErrStaleBinding, m.Seq, cur.Seq)
@@ -218,7 +212,7 @@ func (p *Peer) handleRenewRequest(m RenewRequest) (any, error) {
 		return nil, fmt.Errorf("core: signing renewal binding: %w", err)
 	}
 
-	p.mu.Lock()
+	oc.mu.Lock()
 	oc.binding = next
 	p.recordProofLocked(oc, RelinquishProof{
 		Renewal:   true,
@@ -226,7 +220,7 @@ func (p *Peer) handleRenewRequest(m RenewRequest) (any, error) {
 		HolderSig: m.HolderSig,
 		PrevHold:  cur.Holder.Clone(),
 	})
-	p.mu.Unlock()
+	oc.mu.Unlock()
 
 	p.publishOwnedBinding(oc, next)
 	p.ops.Inc(OpRenewal)
@@ -248,16 +242,17 @@ func renewedExpiry(current int64, now time.Time, period time.Duration, renewal b
 // downtime. Under lazy sync the first request per coin triggers a public
 // binding list check (counted as a "check"; an adoption is a "lazy sync" —
 // the operations Figure 5 reports). Without a DHT the holder's presented
-// broker-signed binding serves as the catch-up evidence.
+// broker-signed binding serves as the catch-up evidence. Callers hold
+// oc.svc, so at most one catch-up runs per coin at a time.
 func (p *Peer) ownerCatchUp(oc *ownedCoin, presented *coin.Binding) error {
-	p.mu.Lock()
+	oc.mu.Lock()
 	dirty := oc.dirty
 	var localSeq uint64
 	if oc.binding != nil {
 		localSeq = oc.binding.Seq
 	}
+	oc.mu.Unlock()
 	c := oc.c
-	p.mu.Unlock()
 
 	if dirty && p.dhtc != nil {
 		p.ops.Inc(OpCheck)
@@ -267,18 +262,18 @@ func (p *Peer) ownerCatchUp(oc *ownedCoin, presented *coin.Binding) error {
 				// Only broker-signed records can legitimately
 				// outrun the owner's own state.
 				if observed.VerifyFor(p.suite, c, p.cfg.BrokerPub, time.Time{}) == nil && observed.ByBroker {
-					p.mu.Lock()
+					oc.mu.Lock()
 					oc.binding = observed
 					oc.selfHeld = false
-					p.mu.Unlock()
+					oc.mu.Unlock()
 					p.ops.Inc(OpLazySync)
 					localSeq = observed.Seq
 				}
 			}
 		}
-		p.mu.Lock()
+		oc.mu.Lock()
 		oc.dirty = false
-		p.mu.Unlock()
+		oc.mu.Unlock()
 	}
 
 	// Fallback catch-up from presented evidence (also covers deployments
@@ -288,17 +283,17 @@ func (p *Peer) ownerCatchUp(oc *ownedCoin, presented *coin.Binding) error {
 		if err := presented.VerifyFor(p.suite, c, p.cfg.BrokerPub, time.Time{}); err != nil {
 			return fmt.Errorf("%w: presented binding: %v", ErrStaleBinding, err)
 		}
-		p.mu.Lock()
+		oc.mu.Lock()
 		oc.binding = presented.Clone()
 		oc.selfHeld = false
-		p.mu.Unlock()
+		oc.mu.Unlock()
 		p.ops.Inc(OpLazySync)
 	}
 	return nil
 }
 
 // recordProofLocked appends to the coin's audit trail, enforcing the
-// configured cap. Callers hold p.mu.
+// configured cap. Callers hold oc.mu.
 func (p *Peer) recordProofLocked(oc *ownedCoin, proof RelinquishProof) {
 	if oc.log == nil {
 		oc.log = make(map[uint64]RelinquishProof)
@@ -329,12 +324,12 @@ func (p *Peer) publishOwnedBinding(oc *ownedCoin, binding *coin.Binding) {
 // handleDispute answers the broker's audit-trail request with the
 // relinquishment proofs covering [FromSeq, ToSeq).
 func (p *Peer) handleDispute(m DisputeRequest) (any, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	oc, ok := p.owned[coin.ID(m.CoinPub)]
+	oc, ok := p.owned.Get(coin.ID(m.CoinPub))
 	if !ok {
 		return nil, ErrNotOwner
 	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
 	var proofs []RelinquishProof
 	for seq := m.FromSeq; seq < m.ToSeq; seq++ {
 		if proof, found := oc.log[seq]; found {
@@ -349,10 +344,13 @@ func (p *Peer) handleDispute(m DisputeRequest) (any, error) {
 // sequence number, without holder consent — the owner double-spend the
 // detection machinery must catch. It never touches local state.
 func (p *Peer) ForgeRebind(id coin.ID, rival sig.PublicKey, seq uint64) (*coin.Binding, error) {
-	p.mu.Lock()
-	oc, ok := p.owned[id]
-	if !ok || oc.binding == nil {
-		p.mu.Unlock()
+	oc, ok := p.owned.Get(id)
+	if !ok {
+		return nil, ErrUnknownCoin
+	}
+	oc.mu.Lock()
+	if oc.binding == nil {
+		oc.mu.Unlock()
 		return nil, ErrUnknownCoin
 	}
 	forged := &coin.Binding{
@@ -361,8 +359,8 @@ func (p *Peer) ForgeRebind(id coin.ID, rival sig.PublicKey, seq uint64) (*coin.B
 		Seq:     seq,
 		Expiry:  oc.binding.Expiry,
 	}
+	oc.mu.Unlock()
 	keys := oc.coinKeys
-	p.mu.Unlock()
 	var err error
 	if forged.Sig, err = p.suite.Sign(keys.Private, forged.Message()); err != nil {
 		return nil, err
@@ -378,9 +376,7 @@ func (p *Peer) PublishForgedBinding(id coin.ID, forged *coin.Binding) error {
 	if p.dhtc == nil {
 		return ErrDetectionOff
 	}
-	p.mu.Lock()
-	oc, ok := p.owned[id]
-	p.mu.Unlock()
+	oc, ok := p.owned.Get(id)
 	if !ok {
 		return ErrUnknownCoin
 	}
@@ -394,13 +390,16 @@ func (p *Peer) PublishForgedBinding(id coin.ID, forged *coin.Binding) error {
 // ForgeDoubleIssue forges a conflicting binding at the coin's current
 // sequence number (see ForgeRebind).
 func (p *Peer) ForgeDoubleIssue(id coin.ID, rival sig.PublicKey) (*coin.Binding, error) {
-	p.mu.Lock()
-	oc, ok := p.owned[id]
-	if !ok || oc.binding == nil {
-		p.mu.Unlock()
+	oc, ok := p.owned.Get(id)
+	if !ok {
+		return nil, ErrUnknownCoin
+	}
+	oc.mu.Lock()
+	if oc.binding == nil {
+		oc.mu.Unlock()
 		return nil, ErrUnknownCoin
 	}
 	seq := oc.binding.Seq
-	p.mu.Unlock()
+	oc.mu.Unlock()
 	return p.ForgeRebind(id, rival, seq)
 }

@@ -8,6 +8,7 @@ import (
 	"whopay/internal/dht"
 	"whopay/internal/groupsig"
 	"whopay/internal/sig"
+	"whopay/internal/store"
 )
 
 // Payee-side protocol: answering payment offers, accepting deliveries, and
@@ -27,20 +28,23 @@ func (p *Peer) handleOffer(m OfferRequest) (any, error) {
 	}
 	nonce := p.randBytes(16)
 	now := p.cfg.Clock()
-	p.mu.Lock()
 	// Prune expired offers so abandoned payments do not accumulate.
-	for k, po := range p.offers {
+	var expired []string
+	p.offers.Range(func(k string, po *pendingOffer) bool {
 		if now.Sub(po.created) > p.cfg.OfferTTL {
-			delete(p.offers, k)
+			expired = append(expired, k)
 		}
+		return true
+	})
+	for _, k := range expired {
+		p.offers.Delete(k)
 	}
-	p.offers[string(holderKeys.Public)] = &pendingOffer{
+	p.offers.Set(string(holderKeys.Public), &pendingOffer{
 		holderKeys: holderKeys,
 		nonce:      nonce,
 		value:      m.Value,
 		created:    now,
-	}
-	p.mu.Unlock()
+	})
 	return OfferResponse{HolderPub: holderKeys.Public, Nonce: nonce}, nil
 }
 
@@ -49,12 +53,7 @@ func (p *Peer) handleOffer(m OfferRequest) (any, error) {
 // owner's (or broker's) answer to our challenge, and — when configured —
 // the public binding list. Only then does the payment count.
 func (p *Peer) handleDeliver(m DeliverRequest) (any, error) {
-	p.mu.Lock()
-	po, ok := p.offers[string(m.Binding.Holder)]
-	if ok {
-		delete(p.offers, string(m.Binding.Holder))
-	}
-	p.mu.Unlock()
+	po, ok := p.offers.GetAndDelete(string(m.Binding.Holder))
 	if !ok {
 		return nil, ErrNoOffer
 	}
@@ -120,17 +119,21 @@ func (p *Peer) handleDeliver(m DeliverRequest) (any, error) {
 		}
 	}
 
-	p.mu.Lock()
+	// A re-delivery of a coin we already hold keeps its original
+	// acquisition stamp so wallet ordering stays stable.
 	id := c.ID()
-	if _, already := p.held[id]; !already {
-		p.heldOrder = append(p.heldOrder, id)
-	}
-	p.held[id] = &heldCoin{
-		c:          c.Clone(),
-		holderKeys: po.holderKeys,
-		binding:    binding.Clone(),
-	}
-	p.mu.Unlock()
+	p.held.Compute(id, func(cur *heldCoin, exists bool) (*heldCoin, store.Op) {
+		order := p.heldSeq.Add(1)
+		if exists {
+			order = cur.order
+		}
+		return &heldCoin{
+			c:          c.Clone(),
+			holderKeys: po.holderKeys,
+			order:      order,
+			binding:    binding.Clone(),
+		}, store.OpSet
+	})
 
 	if p.cfg.WatchHeldCoins && p.dhtc != nil {
 		// Best-effort: a failed subscription only degrades detection.
@@ -148,14 +151,13 @@ func (p *Peer) VerifyHeldCoin(id coin.ID) error {
 	if p.dhtc == nil {
 		return ErrDetectionOff
 	}
-	p.mu.Lock()
-	hc, ok := p.held[id]
+	hc, ok := p.held.Get(id)
 	if !ok {
-		p.mu.Unlock()
 		return ErrUnknownCoin
 	}
+	hc.mu.Lock()
 	mine := hc.binding.Clone()
-	p.mu.Unlock()
+	hc.mu.Unlock()
 
 	rec, found, err := p.dhtc.Get(dht.KeyFor(sig.PublicKey(id)))
 	if err != nil {
@@ -185,14 +187,13 @@ func (p *Peer) RecoverHeldBinding(id coin.ID) error {
 	if p.dhtc == nil {
 		return ErrDetectionOff
 	}
-	p.mu.Lock()
-	hc, ok := p.held[id]
+	hc, ok := p.held.Get(id)
 	if !ok {
-		p.mu.Unlock()
 		return ErrUnknownCoin
 	}
+	hc.mu.Lock()
 	mine := hc.binding.Clone()
-	p.mu.Unlock()
+	hc.mu.Unlock()
 
 	rec, found, err := p.dhtc.Get(dht.KeyFor(sig.PublicKey(id)))
 	if err != nil {
@@ -211,11 +212,13 @@ func (p *Peer) RecoverHeldBinding(id coin.ID) error {
 	if err := observed.Verify(p.suite, p.cfg.BrokerPub, p.cfg.Clock()); err != nil {
 		return fmt.Errorf("%w: published binding: %v", ErrStaleBinding, err)
 	}
-	p.mu.Lock()
-	if cur, still := p.held[id]; still && observed.Seq > cur.binding.Seq {
-		cur.binding = observed.Clone()
+	if cur, still := p.held.Get(id); still {
+		cur.mu.Lock()
+		if observed.Seq > cur.binding.Seq {
+			cur.binding = observed.Clone()
+		}
+		cur.mu.Unlock()
 	}
-	p.mu.Unlock()
 	return nil
 }
 
@@ -229,10 +232,13 @@ func (p *Peer) handleNotify(m dht.Notify) (any, error) {
 	}
 	id := coin.ID(observed.CoinPub)
 
-	p.mu.Lock()
-	hc, ok := p.held[id]
-	if !ok || hc.inFlight {
-		p.mu.Unlock()
+	hc, ok := p.held.Get(id)
+	if !ok {
+		return dht.Ack{}, nil
+	}
+	hc.mu.Lock()
+	if hc.inFlight {
+		hc.mu.Unlock()
 		return dht.Ack{}, nil
 	}
 	if observed.Holder.Equal(hc.binding.Holder) {
@@ -243,23 +249,23 @@ func (p *Peer) handleNotify(m dht.Notify) (any, error) {
 				hc.binding = observed.Clone()
 			}
 		}
-		p.mu.Unlock()
+		hc.mu.Unlock()
 		return dht.Ack{}, nil
 	}
 	if observed.Seq < hc.binding.Seq {
-		p.mu.Unlock()
+		hc.mu.Unlock()
 		return dht.Ack{}, nil // stale echo
 	}
 	alert := FraudAlert{CoinID: id, Mine: *hc.binding.Clone(), Observed: *observed}
 	myBinding := hc.binding.Clone()
-	p.mu.Unlock()
+	hc.mu.Unlock()
 
 	if p.cfg.AutoReportFraud {
 		alert.Verdict = p.reportFraud(sig.PublicKey(id), myBinding, observed)
 	}
-	p.mu.Lock()
+	p.stateMu.Lock()
 	p.alerts = append(p.alerts, alert)
-	p.mu.Unlock()
+	p.stateMu.Unlock()
 	return dht.Ack{}, nil
 }
 

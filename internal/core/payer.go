@@ -33,10 +33,10 @@ func (p *Peer) Purchase(value int64, anonymous bool) (coin.ID, error) {
 		}
 		handleKeys = &hk
 		handle = hk.Public
-		p.mu.Lock()
+		p.stateMu.Lock()
 		p.trigVersion++
 		version := p.trigVersion
-		p.mu.Unlock()
+		p.stateMu.Unlock()
 		if err := p.indir.Register(p.suite, hk, p.cfg.Addr, version); err != nil {
 			return "", fmt.Errorf("core: registering handle trigger: %w", err)
 		}
@@ -68,14 +68,12 @@ func (p *Peer) Purchase(value int64, anonymous bool) (coin.ID, error) {
 		return "", fmt.Errorf("%w: broker returned mismatched coin", ErrBadRequest)
 	}
 
-	p.mu.Lock()
-	p.owned[c.ID()] = &ownedCoin{
+	p.owned.Set(c.ID(), &ownedCoin{
 		c:          c.Clone(),
 		coinKeys:   coinKeys,
 		handleKeys: handleKeys,
 		selfHeld:   true,
-	}
-	p.mu.Unlock()
+	})
 	p.ops.Inc(OpPurchase)
 	return c.ID(), nil
 }
@@ -120,9 +118,7 @@ func (p *Peer) PurchaseBatch(n int, value int64) ([]coin.ID, error) {
 		if !c.Pub.Equal(pubs[i]) || c.Value != value {
 			return nil, fmt.Errorf("%w: batch coin %d mismatched", ErrBadRequest, i)
 		}
-		p.mu.Lock()
-		p.owned[c.ID()] = &ownedCoin{c: c.Clone(), coinKeys: keys[i], selfHeld: true}
-		p.mu.Unlock()
+		p.owned.Set(c.ID(), &ownedCoin{c: c.Clone(), coinKeys: keys[i], selfHeld: true})
 		ids = append(ids, c.ID())
 	}
 	p.ops.Inc(OpPurchase)
@@ -148,10 +144,13 @@ func (p *Peer) callOwner(c *coin.Coin, msg any) (any, error) {
 // buildTransfer prepares the signed transfer request for a held coin: the
 // paper's {{pkCW, CV}skCV}gkV.
 func (p *Peer) buildTransfer(hc *heldCoin, payee bus.Address, offer OfferResponse) (TransferRequest, error) {
+	hc.mu.Lock()
+	binding := hc.binding.Clone()
+	hc.mu.Unlock()
 	body := coin.TransferBody{
 		CoinPub:   hc.c.Pub.Clone(),
 		NewHolder: offer.HolderPub.Clone(),
-		PrevSeq:   hc.binding.Seq,
+		PrevSeq:   binding.Seq,
 		Nonce:     offer.Nonce,
 		PayeeAddr: string(payee),
 	}
@@ -167,27 +166,26 @@ func (p *Peer) buildTransfer(hc *heldCoin, payee bus.Address, offer OfferRespons
 		Body:             body,
 		HolderSig:        holderSig,
 		GroupSig:         gs,
-		PresentedBinding: hc.binding.Clone(),
+		PresentedBinding: binding,
 	}, nil
 }
 
 // transferCommon drives a transfer through the given servicer (the coin's
 // owner or the broker).
 func (p *Peer) transferCommon(payee bus.Address, id coin.ID, viaBroker bool) error {
-	p.mu.Lock()
-	hc, ok := p.held[id]
+	hc, ok := p.held.Get(id)
 	if !ok {
-		p.mu.Unlock()
 		return ErrUnknownCoin
 	}
+	hc.mu.Lock()
 	hc.inFlight = true
-	p.mu.Unlock()
+	hc.mu.Unlock()
 	defer func() {
-		p.mu.Lock()
-		if cur, still := p.held[id]; still {
+		if cur, still := p.held.Get(id); still {
+			cur.mu.Lock()
 			cur.inFlight = false
+			cur.mu.Unlock()
 		}
-		p.mu.Unlock()
 	}()
 
 	resp, err := p.call(payee, OfferRequest{Value: hc.c.Value})
@@ -220,9 +218,7 @@ func (p *Peer) transferCommon(payee bus.Address, id coin.ID, viaBroker bool) err
 		return fmt.Errorf("%w: %s", ErrPaymentFailed, tr.Reason)
 	}
 
-	p.mu.Lock()
-	p.removeHeldLocked(id)
-	p.mu.Unlock()
+	p.held.Delete(id)
 	p.unwatch(id)
 	if viaBroker {
 		p.ops.Inc(OpDowntimeTransfer)
@@ -244,7 +240,10 @@ func (p *Peer) TransferViaBroker(payee bus.Address, id coin.ID) error {
 
 // buildRenew prepares a signed renewal request for a held coin.
 func (p *Peer) buildRenew(hc *heldCoin) (RenewRequest, error) {
-	msg := renewMessage(hc.c.Pub, hc.binding.Seq)
+	hc.mu.Lock()
+	binding := hc.binding.Clone()
+	hc.mu.Unlock()
+	msg := renewMessage(hc.c.Pub, binding.Seq)
 	holderSig, err := p.suite.Sign(hc.holderKeys.Private, msg)
 	if err != nil {
 		return RenewRequest{}, fmt.Errorf("core: signing renewal: %w", err)
@@ -255,22 +254,19 @@ func (p *Peer) buildRenew(hc *heldCoin) (RenewRequest, error) {
 	}
 	return RenewRequest{
 		CoinPub:          hc.c.Pub.Clone(),
-		Seq:              hc.binding.Seq,
+		Seq:              binding.Seq,
 		HolderSig:        holderSig,
 		GroupSig:         gs,
-		PresentedBinding: hc.binding.Clone(),
+		PresentedBinding: binding,
 	}, nil
 }
 
 // renewCommon drives a renewal through the owner or the broker.
 func (p *Peer) renewCommon(id coin.ID, viaBroker bool) error {
-	p.mu.Lock()
-	hc, ok := p.held[id]
+	hc, ok := p.held.Get(id)
 	if !ok {
-		p.mu.Unlock()
 		return ErrUnknownCoin
 	}
-	p.mu.Unlock()
 
 	req, err := p.buildRenew(hc)
 	if err != nil {
@@ -293,16 +289,17 @@ func (p *Peer) renewCommon(id coin.ID, viaBroker bool) error {
 	if err := binding.VerifyFor(p.suite, hc.c, p.cfg.BrokerPub, p.cfg.Clock()); err != nil {
 		return fmt.Errorf("core: renewal returned bad binding: %w", err)
 	}
+	hc.mu.Lock()
 	if !binding.Holder.Equal(hc.binding.Holder) {
+		hc.mu.Unlock()
 		return fmt.Errorf("%w: renewal re-bound the coin to a different holder", ErrBadRequest)
 	}
-	p.mu.Lock()
 	// The watch notification may already have adopted this binding (the
 	// owner publishes before responding); only move forward.
 	if binding.Seq > hc.binding.Seq {
 		hc.binding = binding.Clone()
 	}
-	p.mu.Unlock()
+	hc.mu.Unlock()
 	if viaBroker {
 		p.ops.Inc(OpDowntimeRenewal)
 	}
@@ -344,15 +341,15 @@ func (p *Peer) Renew(id coin.ID) (viaBroker bool, err error) {
 // Section 4.2, Deposit). The payout reference is opaque: the broker never
 // learns who deposited.
 func (p *Peer) Deposit(id coin.ID, payoutRef string) error {
-	p.mu.Lock()
-	hc, ok := p.held[id]
+	hc, ok := p.held.Get(id)
 	if !ok {
-		p.mu.Unlock()
 		return ErrUnknownCoin
 	}
-	p.mu.Unlock()
+	hc.mu.Lock()
+	binding := hc.binding.Clone()
+	hc.mu.Unlock()
 
-	msg := depositMessage(hc.c.Pub, payoutRef, hc.binding.Seq)
+	msg := depositMessage(hc.c.Pub, payoutRef, binding.Seq)
 	holderSig, err := p.suite.Sign(hc.holderKeys.Private, msg)
 	if err != nil {
 		return fmt.Errorf("core: signing deposit: %w", err)
@@ -366,7 +363,7 @@ func (p *Peer) Deposit(id coin.ID, payoutRef string) error {
 		PayoutRef:        payoutRef,
 		HolderSig:        holderSig,
 		GroupSig:         gs,
-		PresentedBinding: hc.binding.Clone(),
+		PresentedBinding: binding,
 	})
 	if err != nil {
 		return fmt.Errorf("core: deposit: %w", err)
@@ -374,9 +371,7 @@ func (p *Peer) Deposit(id coin.ID, payoutRef string) error {
 	if _, ok := raw.(DepositResponse); !ok {
 		return fmt.Errorf("%w: unexpected deposit response %T", ErrBadRequest, raw)
 	}
-	p.mu.Lock()
-	p.removeHeldLocked(id)
-	p.mu.Unlock()
+	p.held.Delete(id)
 	p.unwatch(id)
 	p.ops.Inc(OpDeposit)
 	return nil
@@ -402,22 +397,20 @@ func (p *Peer) Sync() error {
 	now := p.cfg.Clock()
 	for i := range sr.Bindings {
 		binding := &sr.Bindings[i]
-		p.mu.Lock()
-		oc, owns := p.owned[coin.ID(binding.CoinPub)]
-		p.mu.Unlock()
+		oc, owns := p.owned.Get(coin.ID(binding.CoinPub))
 		if !owns {
 			continue
 		}
 		if !binding.ByBroker || binding.VerifyFor(p.suite, oc.c, p.cfg.BrokerPub, now) != nil {
 			continue
 		}
-		p.mu.Lock()
+		oc.mu.Lock()
 		if oc.binding == nil || binding.Seq > oc.binding.Seq {
 			oc.binding = binding.Clone()
 			oc.selfHeld = false
 		}
 		oc.dirty = false
-		p.mu.Unlock()
+		oc.mu.Unlock()
 	}
 	p.ops.Inc(OpSync)
 	return nil

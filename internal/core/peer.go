@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	mrand "math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"whopay/internal/bus"
@@ -15,6 +17,7 @@ import (
 	"whopay/internal/groupsig"
 	"whopay/internal/indirect"
 	"whopay/internal/sig"
+	"whopay/internal/store"
 )
 
 // SyncMode selects how an owner reconciles state after rejoining (paper
@@ -27,6 +30,10 @@ const (
 	SyncProactive SyncMode = iota
 	SyncLazy
 )
+
+// peerShards is the lock-domain count for a peer's wallet stores. Wallets
+// are smaller than the broker's books, so fewer shards suffice.
+const peerShards = 16
 
 // Prober reports whether an address is currently reachable. The in-memory
 // bus implements it; peers use it to pick payment methods ("transfer an
@@ -113,7 +120,10 @@ type PeerConfig struct {
 	AuditLogCap int
 }
 
-// ownedCoin is the owner-side state for one coin.
+// ownedCoin is the owner-side state for one coin. The coin, its keys and
+// the handle keys are immutable after creation; everything mutable sits
+// under mu. The store's shard locks only order map membership — entry
+// state is the entry's own business.
 type ownedCoin struct {
 	// svc serializes servicing (transfer/renewal) of this coin: the
 	// validate→deliver→commit sequence must not interleave, or two
@@ -124,22 +134,28 @@ type ownedCoin struct {
 	c          *coin.Coin
 	coinKeys   sig.KeyPair
 	handleKeys *sig.KeyPair
-	binding    *coin.Binding // nil until first issued
-	selfHeld   bool
-	dirty      bool // lazy sync: re-check the public binding before servicing
-	log        map[uint64]RelinquishProof
-	logOrder   []uint64
+
+	mu       sync.Mutex
+	binding  *coin.Binding // nil until first issued
+	selfHeld bool
+	dirty    bool // lazy sync: re-check the public binding before servicing
+	log      map[uint64]RelinquishProof
+	logOrder []uint64
 }
 
-// heldCoin is the holder-side state for one coin.
+// heldCoin is the holder-side state for one coin. c, holderKeys and order
+// are immutable after insertion; binding and inFlight are guarded by mu.
 type heldCoin struct {
 	c          *coin.Coin
 	holderKeys sig.KeyPair
-	binding    *coin.Binding
-	inFlight   bool // a transfer we initiated is in progress; ignore watch alarms
+	order      uint64 // acquisition stamp: HeldCoins and pickHeld sort by it
+
+	mu       sync.Mutex
+	binding  *coin.Binding
+	inFlight bool // a transfer we initiated is in progress; ignore watch alarms
 }
 
-// pendingOffer is an open payment offer awaiting delivery.
+// pendingOffer is an open payment offer awaiting delivery (immutable).
 type pendingOffer struct {
 	holderKeys sig.KeyPair
 	nonce      []byte
@@ -159,6 +175,13 @@ type FraudAlert struct {
 // Peer is a WhoPay participant: owner of the coins it purchased, holder of
 // the coins paid to it, payer and payee in transactions. Safe for
 // concurrent use.
+//
+// Wallet state lives in sharded stores so payments against different coins
+// proceed on independent lock domains. The lock hierarchy, outermost first:
+// an owned coin's svc lock (service serialization), then store shard locks,
+// then entry locks (ownedCoin.mu / heldCoin.mu) — never a store write while
+// holding an entry lock, never an entry lock outlives the closure it was
+// taken in during a Range.
 type Peer struct {
 	cfg    PeerConfig
 	suite  sig.Suite
@@ -173,12 +196,15 @@ type Peer struct {
 	randMu sync.Mutex
 	rand   *mrand.Rand
 
-	mu          sync.Mutex
+	owned   *store.Sharded[coin.ID, *ownedCoin]
+	held    *store.Sharded[coin.ID, *heldCoin]
+	offers  *store.Sharded[string, *pendingOffer]
+	heldSeq atomic.Uint64 // acquisition stamps for held coins
+
+	// stateMu guards the peer-global scalars: presence, trigger
+	// versioning, and the alert log.
+	stateMu     sync.Mutex
 	online      bool
-	owned       map[coin.ID]*ownedCoin
-	held        map[coin.ID]*heldCoin
-	heldOrder   []coin.ID
-	offers      map[string]*pendingOffer
 	alerts      []FraudAlert
 	trigVersion uint64
 }
@@ -216,9 +242,9 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		suite:  sig.Suite{Scheme: cfg.Scheme, Rec: cfg.Recorder},
 		rand:   cfg.Rand,
 		online: true,
-		owned:  make(map[coin.ID]*ownedCoin),
-		held:   make(map[coin.ID]*heldCoin),
-		offers: make(map[string]*pendingOffer),
+		owned:  store.NewSharded[coin.ID, *ownedCoin](peerShards, coinKey),
+		held:   store.NewSharded[coin.ID, *heldCoin](peerShards, coinKey),
+		offers: store.NewSharded[string, *pendingOffer](peerShards, store.StringHash[string]),
 	}
 	// Identity keys are one-time enrollment setup, not part of any
 	// operation's cost: generate them outside the recorded suite.
@@ -311,16 +337,16 @@ func (p *Peer) Close() error { return p.ep.Close() }
 
 // Online reports the peer's own availability flag.
 func (p *Peer) Online() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
 	return p.online
 }
 
 // GoOffline marks the peer offline (and tells the transport, when wired).
 func (p *Peer) GoOffline() {
-	p.mu.Lock()
+	p.stateMu.Lock()
 	p.online = false
-	p.mu.Unlock()
+	p.stateMu.Unlock()
 	if p.cfg.Presence != nil {
 		p.cfg.Presence.SetOnline(p.cfg.Addr, false)
 	}
@@ -331,20 +357,24 @@ func (p *Peer) GoOffline() {
 // per the configured sync mode — a broker synchronization (proactive) or
 // marking owned coins for a lazy public-binding check on first use.
 func (p *Peer) GoOnline() error {
-	p.mu.Lock()
+	p.stateMu.Lock()
 	p.online = true
+	p.trigVersion++
+	version := p.trigVersion
+	p.stateMu.Unlock()
+
 	var anon []*ownedCoin
-	for _, oc := range p.owned {
+	p.owned.Range(func(_ coin.ID, oc *ownedCoin) bool {
 		if p.cfg.SyncMode == SyncLazy {
+			oc.mu.Lock()
 			oc.dirty = true
+			oc.mu.Unlock()
 		}
 		if oc.handleKeys != nil {
 			anon = append(anon, oc)
 		}
-	}
-	p.trigVersion++
-	version := p.trigVersion
-	p.mu.Unlock()
+		return true
+	})
 
 	if p.cfg.Presence != nil {
 		p.cfg.Presence.SetOnline(p.cfg.Addr, true)
@@ -429,47 +459,51 @@ func (p *Peer) randSeq() uint64 {
 	return uint64(binary.BigEndian.Uint32(p.randBytes(4))) + 1
 }
 
-// HeldCoins lists the coins this peer currently holds, oldest first.
+// HeldCoins lists the coins this peer currently holds, oldest first (by
+// acquisition stamp).
 func (p *Peer) HeldCoins() []coin.ID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]coin.ID, len(p.heldOrder))
-	copy(out, p.heldOrder)
+	type entry struct {
+		id    coin.ID
+		order uint64
+	}
+	var entries []entry
+	p.held.Range(func(id coin.ID, hc *heldCoin) bool {
+		entries = append(entries, entry{id, hc.order})
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].order < entries[j].order })
+	out := make([]coin.ID, len(entries))
+	for i, e := range entries {
+		out[i] = e.id
+	}
 	return out
 }
 
 // HeldValue sums the face value of held coins.
 func (p *Peer) HeldValue() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var t int64
-	for _, hc := range p.held {
+	p.held.Range(func(_ coin.ID, hc *heldCoin) bool {
 		t += hc.c.Value
-	}
+		return true
+	})
 	return t
 }
 
 // OwnedCoins lists the coins this peer owns (purchased).
-func (p *Peer) OwnedCoins() []coin.ID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]coin.ID, 0, len(p.owned))
-	for id := range p.owned {
-		out = append(out, id)
-	}
-	return out
-}
+func (p *Peer) OwnedCoins() []coin.ID { return p.owned.Keys() }
 
 // SelfHeldCoins lists owned coins not yet issued (spendable by issue).
 func (p *Peer) SelfHeldCoins() []coin.ID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]coin.ID, 0, len(p.owned))
-	for id, oc := range p.owned {
-		if oc.selfHeld {
+	var out []coin.ID
+	p.owned.Range(func(id coin.ID, oc *ownedCoin) bool {
+		oc.mu.Lock()
+		selfHeld := oc.selfHeld
+		oc.mu.Unlock()
+		if selfHeld {
 			out = append(out, id)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -477,9 +511,7 @@ func (p *Peer) SelfHeldCoins() []coin.ID {
 // owner-anonymous coins). The simulator uses it to route renewals the way
 // the paper's peers do — via the owner when online, the broker otherwise.
 func (p *Peer) HeldCoinOwner(id coin.ID) (string, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	hc, ok := p.held[id]
+	hc, ok := p.held.Get(id)
 	if !ok {
 		return "", false
 	}
@@ -489,54 +521,47 @@ func (p *Peer) HeldCoinOwner(id coin.ID) (string, bool) {
 // HeldBindingExpiry returns the expiry of the peer's binding for a held
 // coin (zero time if unknown).
 func (p *Peer) HeldBindingExpiry(id coin.ID) (time.Time, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	hc, ok := p.held[id]
+	hc, ok := p.held.Get(id)
 	if !ok {
 		return time.Time{}, false
 	}
-	return time.Unix(hc.binding.Expiry, 0), true
+	hc.mu.Lock()
+	expiry := hc.binding.Expiry
+	hc.mu.Unlock()
+	return time.Unix(expiry, 0), true
 }
 
 // HeldBinding returns the peer's current binding for a held coin.
 func (p *Peer) HeldBinding(id coin.ID) (*coin.Binding, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	hc, ok := p.held[id]
+	hc, ok := p.held.Get(id)
 	if !ok {
 		return nil, false
 	}
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
 	return hc.binding.Clone(), true
 }
 
 // OwnerBinding returns the owner-side binding for an owned coin (nil if
 // never issued).
 func (p *Peer) OwnerBinding(id coin.ID) (*coin.Binding, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	oc, ok := p.owned[id]
-	if !ok || oc.binding == nil {
-		return nil, ok
+	oc, ok := p.owned.Get(id)
+	if !ok {
+		return nil, false
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.binding == nil {
+		return nil, true
 	}
 	return oc.binding.Clone(), true
 }
 
 // Alerts returns fraud alerts raised by the double-spend watch.
 func (p *Peer) Alerts() []FraudAlert {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
 	return append([]FraudAlert(nil), p.alerts...)
-}
-
-// removeHeldLocked drops a held coin and its order entry.
-func (p *Peer) removeHeldLocked(id coin.ID) {
-	delete(p.held, id)
-	for i, other := range p.heldOrder {
-		if other == id {
-			p.heldOrder = append(p.heldOrder[:i], p.heldOrder[i+1:]...)
-			break
-		}
-	}
 }
 
 // unwatch drops the DHT subscription for a relinquished coin.

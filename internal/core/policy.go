@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"whopay/internal/bus"
 	"whopay/internal/coin"
@@ -118,22 +119,27 @@ func (p *Peer) ownerOnline(hc *heldCoin) bool {
 
 // pickHeld scans held coins of the given value in acquisition order and
 // returns the first whose owner's availability matches wantOnline, skipping
-// any in skip. The early exit matters: at high availability the first coin
-// almost always qualifies, so payments cost O(1) wallet work instead of a
-// full partition of a possibly large wallet.
+// any in skip. Candidates are gathered in one wallet pass and probed
+// oldest-first with an early exit: at high availability the first candidate
+// almost always qualifies, so the (comparatively expensive) availability
+// probes stay O(1) even for a large wallet.
 func (p *Peer) pickHeld(value int64, wantOnline bool, skip map[coin.ID]bool) (coin.ID, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, id := range p.heldOrder {
-		if skip[id] {
-			continue
+	type candidate struct {
+		id    coin.ID
+		order uint64
+		hc    *heldCoin
+	}
+	var cands []candidate
+	p.held.Range(func(id coin.ID, hc *heldCoin) bool {
+		if !skip[id] && hc.c.Value == value {
+			cands = append(cands, candidate{id, hc.order, hc})
 		}
-		hc := p.held[id]
-		if hc == nil || hc.c.Value != value {
-			continue
-		}
-		if p.ownerOnline(hc) == wantOnline {
-			return id, true
+		return true
+	})
+	sort.Slice(cands, func(i, j int) bool { return cands[i].order < cands[j].order })
+	for _, cand := range cands {
+		if p.ownerOnline(cand.hc) == wantOnline {
+			return cand.id, true
 		}
 	}
 	return "", false
@@ -229,15 +235,20 @@ func (p *Peer) payWith(method Method, payee bus.Address, value int64) error {
 // smallest ID. The deterministic choice (rather than first map hit) keeps
 // replayed runs — notably seeded chaos schedules — byte-for-byte repeatable.
 func (p *Peer) pickSelfHeld(value int64) (coin.ID, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var best coin.ID
 	found := false
-	for id, oc := range p.owned {
-		if oc.selfHeld && oc.c.Value == value && (!found || id < best) {
+	p.owned.Range(func(id coin.ID, oc *ownedCoin) bool {
+		if oc.c.Value != value {
+			return true
+		}
+		oc.mu.Lock()
+		selfHeld := oc.selfHeld
+		oc.mu.Unlock()
+		if selfHeld && (!found || id < best) {
 			best = id
 			found = true
 		}
-	}
+		return true
+	})
 	return best, found
 }

@@ -44,13 +44,15 @@ func (s *Shop) Stock(n int, value int64) error {
 // Inventory reports how many coins of the given value are available.
 func (s *Shop) Inventory(value int64) int {
 	n := 0
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, oc := range s.owned {
-		if oc.selfHeld && oc.c.Value == value {
+	s.owned.Range(func(_ coin.ID, oc *ownedCoin) bool {
+		oc.mu.Lock()
+		selfHeld := oc.selfHeld
+		oc.mu.Unlock()
+		if selfHeld && oc.c.Value == value {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"whopay/internal/coin"
+)
+
+// TestBrokerStateHammer drives the full coin lifecycle — purchase, issue,
+// transfer (owner and broker paths), deposit, sync — from many goroutines
+// against ONE broker. Each lane's coins are disjoint, so any failure is
+// the broker's shared state racing, not protocol-level coin contention.
+// Run under -race this validates the sharded store's locking; the final
+// checks validate accounting (conservation) and service-lock hygiene
+// (deposited coins must not leak svc entries).
+func TestBrokerStateHammer(t *testing.T) {
+	f := newFixture(t, fixtureOpts{syncMode: SyncLazy})
+	const lanes = 8
+	const iters = 25
+	type lane struct{ u, v, w *Peer }
+	ls := make([]lane, lanes)
+	for i := range ls {
+		ls[i] = lane{
+			u: f.addPeer(fmt.Sprintf("hm-u%d", i), nil),
+			v: f.addPeer(fmt.Sprintf("hm-v%d", i), nil),
+			w: f.addPeer(fmt.Sprintf("hm-w%d", i), nil),
+		}
+	}
+
+	var deposited sync.Map // coin.ID -> struct{}
+	errs := make(chan error, lanes)
+	var wg sync.WaitGroup
+	for i := range ls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l := ls[i]
+			ref := fmt.Sprintf("hm-w%d", i)
+			fail := func(step string, err error) {
+				errs <- fmt.Errorf("lane %d %s: %w", i, step, err)
+			}
+			for k := 0; k < iters; k++ {
+				id, err := l.u.Purchase(1, false)
+				if err != nil {
+					fail("purchase", err)
+					return
+				}
+				if err := l.u.IssueTo(l.v.Addr(), id); err != nil {
+					fail("issue", err)
+					return
+				}
+				if k%2 == 0 {
+					err = l.v.TransferTo(l.w.Addr(), id)
+				} else {
+					err = l.v.TransferViaBroker(l.w.Addr(), id)
+				}
+				if err != nil {
+					fail("transfer", err)
+					return
+				}
+				if k%3 != 0 {
+					if err := l.w.Deposit(id, ref); err != nil {
+						fail("deposit", err)
+						return
+					}
+					deposited.Store(id, struct{}{})
+				}
+				if k%5 == 0 {
+					if err := l.u.Sync(); err != nil {
+						fail("sync", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Conservation: every minted unit is redeemed or in exactly one wallet.
+	var circulating int64
+	for _, l := range ls {
+		for _, p := range []*Peer{l.u, l.v, l.w} {
+			circulating += p.HeldValue()
+			p.owned.Range(func(_ coin.ID, oc *ownedCoin) bool {
+				oc.mu.Lock()
+				if oc.selfHeld {
+					circulating += oc.c.Value
+				}
+				oc.mu.Unlock()
+				return true
+			})
+		}
+	}
+	minted, redeemed := f.broker.IssuedValue(), f.broker.DepositedValue()
+	if minted != redeemed+circulating {
+		t.Fatalf("value leak under hammer: minted %d != redeemed %d + circulating %d",
+			minted, redeemed, circulating)
+	}
+
+	// Service-lock hygiene: deposit evicts the per-coin lock inline, so no
+	// redeemed coin may still pin an svc entry.
+	deposited.Range(func(k, _ any) bool {
+		if _, ok := f.broker.svc.Get(k.(coin.ID)); ok {
+			t.Errorf("deposited coin retains a service lock")
+		}
+		return true
+	})
+}
+
+// TestServiceLockEviction pins down the per-coin service-lock lifecycle:
+// created on first broker servicing, evicted inline on deposit, pruned in
+// bulk once the downtime binding expires, and recreated on demand if the
+// coin is serviced again — expiry bounds broker state, it does not
+// confiscate.
+func TestServiceLockEviction(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	u := f.addPeer("ev-u", nil)
+	v := f.addPeer("ev-v", nil)
+
+	ids := make([]coin.ID, 3)
+	for i := range ids {
+		id, err := u.Purchase(1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := u.IssueTo(v.Addr(), id); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if got := f.broker.ServiceLocks(); got != 0 {
+		t.Fatalf("purchase/issue created %d service locks, want 0", got)
+	}
+
+	// Broker-era renewals create one lock per serviced coin.
+	for _, id := range ids {
+		if err := v.RenewViaBroker(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.broker.ServiceLocks(); got != 3 {
+		t.Fatalf("after 3 broker renewals: %d service locks, want 3", got)
+	}
+
+	// Deposit evicts its coin's lock inline.
+	if err := v.Deposit(ids[0], "ev-v"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.broker.ServiceLocks(); got != 2 {
+		t.Fatalf("after deposit: %d service locks, want 2", got)
+	}
+
+	// Once the downtime bindings expire, pruning reclaims the rest.
+	f.clock.Advance(30 * 24 * time.Hour)
+	if got := f.broker.PruneServiceLocks(); got != 2 {
+		t.Fatalf("PruneServiceLocks evicted %d, want 2", got)
+	}
+	if got := f.broker.ServiceLocks(); got != 0 {
+		t.Fatalf("after prune: %d service locks, want 0", got)
+	}
+
+	// Eviction must not strand the coin: servicing it again just mints a
+	// fresh lock (and the deposit path evicts it once more).
+	if err := v.Deposit(ids[1], "ev-v"); err != nil {
+		t.Fatalf("deposit after prune: %v", err)
+	}
+	if got := f.broker.ServiceLocks(); got != 0 {
+		t.Fatalf("deposit after prune left %d service locks, want 0", got)
+	}
+	if got := f.broker.Balance("ev-v"); got != 2 {
+		t.Fatalf("payout balance %d, want 2", got)
+	}
+}

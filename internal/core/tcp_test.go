@@ -142,9 +142,7 @@ func TestCoinBusySurvivesTCPHop(t *testing.T) {
 
 	// Pin the coin's service lock so the owner deterministically answers
 	// busy, as it would mid-way through servicing a concurrent transfer.
-	owner.mu.Lock()
-	oc := owner.owned[id]
-	owner.mu.Unlock()
+	oc, _ := owner.owned.Get(id)
 	oc.svc.Lock()
 	_, err = holder.Renew(id)
 	oc.svc.Unlock()

@@ -27,10 +27,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"whopay/internal/bus"
 	"whopay/internal/sig"
+	"whopay/internal/store"
 )
 
 // Errors returned by nodes and clients.
@@ -142,7 +142,18 @@ type nodeRef struct {
 	addr bus.Address
 }
 
-// Node is one DHT server. Create nodes through Cluster.
+// dhtShards is the lock-domain count for a node's record and subscription
+// stores: every coin in the system publishes here, so writes against
+// different coins must not serialize on one node-wide lock.
+const dhtShards = 32
+
+// keyHash routes ring keys into store shards. Keys are SHA-256 outputs, so
+// any 8 bytes are uniformly distributed.
+func keyHash(k Key) uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
+// Node is one DHT server. Create nodes through Cluster. Records and
+// subscriptions live in sharded stores; the version check in handlePut is
+// atomic per key (under the key's shard lock).
 type Node struct {
 	id      Key
 	addr    bus.Address
@@ -150,9 +161,8 @@ type Node struct {
 	scheme  sig.Scheme
 	trusted map[string]bool
 
-	mu    sync.Mutex
-	store map[Key]Record
-	subs  map[Key]map[bus.Address]bool
+	store *store.Sharded[Key, Record]
+	subs  *store.Sharded[Key, map[bus.Address]bool]
 
 	// Static routing state, wired by the cluster: the full sorted ring
 	// (successor/replica computation) and a log-sized finger table used
@@ -171,30 +181,30 @@ func (n *Node) handle(from bus.Address, msg any) (any, error) {
 	case PutMsg:
 		return n.handlePut(m)
 	case GetMsg:
-		n.mu.Lock()
-		rec, ok := n.store[m.Key]
-		n.mu.Unlock()
+		rec, ok := n.store.Get(m.Key)
 		return GetResp{Rec: rec, Found: ok}, nil
 	case FindMsg:
 		return n.findStep(m.Key), nil
 	case SubMsg:
-		n.mu.Lock()
-		if m.Unsub {
-			if ws := n.subs[m.Key]; ws != nil {
+		// The watcher set is mutated in place under the shard's write
+		// lock; readers copy it under View (see handlePut).
+		n.subs.Compute(m.Key, func(ws map[bus.Address]bool, exists bool) (map[bus.Address]bool, store.Op) {
+			if m.Unsub {
+				if !exists {
+					return nil, store.OpKeep
+				}
 				delete(ws, m.Watcher)
 				if len(ws) == 0 {
-					delete(n.subs, m.Key)
+					return nil, store.OpDelete
 				}
+				return ws, store.OpSet
 			}
-		} else {
-			ws := n.subs[m.Key]
 			if ws == nil {
 				ws = make(map[bus.Address]bool)
-				n.subs[m.Key] = ws
 			}
 			ws[m.Watcher] = true
-		}
-		n.mu.Unlock()
+			return ws, store.OpSet
+		})
 		return Ack{}, nil
 	default:
 		return nil, fmt.Errorf("dht: unknown message %T", msg)
@@ -211,22 +221,33 @@ func (n *Node) handlePut(m PutMsg) (any, error) {
 	if err := n.scheme.Verify(rec.AuthPub, RecordMessage(rec.Key, rec.Version, rec.Value), rec.Sig); err != nil {
 		return nil, fmt.Errorf("%w: bad record signature: %v", ErrAccessDenied, err)
 	}
-	n.mu.Lock()
-	old, exists := n.store[rec.Key]
-	if exists && rec.Version <= old.Version {
-		identical := rec.Version == old.Version && bytes.Equal(rec.Value, old.Value)
-		n.mu.Unlock()
-		if identical {
-			return Ack{}, nil // idempotent re-put
+	// The version check and the write are one atomic step under the
+	// key's shard lock, so concurrent writers cannot interleave a stale
+	// record over a newer one.
+	var staleErr error
+	accepted := false
+	n.store.Compute(rec.Key, func(old Record, exists bool) (Record, store.Op) {
+		if exists && rec.Version <= old.Version {
+			if rec.Version != old.Version || !bytes.Equal(rec.Value, old.Value) {
+				staleErr = fmt.Errorf("%w: have v%d, got v%d", ErrStaleVersion, old.Version, rec.Version)
+			}
+			return old, store.OpKeep
 		}
-		return nil, fmt.Errorf("%w: have v%d, got v%d", ErrStaleVersion, old.Version, rec.Version)
+		accepted = true
+		return rec, store.OpSet
+	})
+	if staleErr != nil {
+		return nil, staleErr
 	}
-	n.store[rec.Key] = rec
+	if !accepted {
+		return Ack{}, nil // idempotent re-put
+	}
 	var watchers []bus.Address
-	for w := range n.subs[rec.Key] {
-		watchers = append(watchers, w)
-	}
-	n.mu.Unlock()
+	n.subs.View(rec.Key, func(ws map[bus.Address]bool, _ bool) {
+		for w := range ws {
+			watchers = append(watchers, w)
+		}
+	})
 
 	if !m.NoReplicate {
 		for _, replica := range n.replicaSet(rec.Key) {
@@ -283,11 +304,7 @@ func (n *Node) replicaSet(key Key) []nodeRef {
 }
 
 // StoreSize reports how many records this node holds (tests/metrics).
-func (n *Node) StoreSize() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.store)
-}
+func (n *Node) StoreSize() int { return n.store.Len() }
 
 // Cluster is a managed set of DHT nodes — the paper's "trusted DHT
 // infrastructure ... provided as a service by a trusted entity".
@@ -321,8 +338,8 @@ func NewCluster(net bus.Network, scheme sig.Scheme, n, replicas int, trusted ...
 			addr:     addr,
 			scheme:   scheme,
 			trusted:  trustSet,
-			store:    make(map[Key]Record),
-			subs:     make(map[Key]map[bus.Address]bool),
+			store:    store.NewSharded[Key, Record](dhtShards, keyHash),
+			subs:     store.NewSharded[Key, map[bus.Address]bool](dhtShards, keyHash),
 			replicas: replicas,
 		}
 		ep, err := net.Listen(addr, node.handle)

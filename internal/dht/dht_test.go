@@ -199,10 +199,7 @@ func TestReplication(t *testing.T) {
 	}
 	holders := 0
 	for _, n := range f.cluster.Nodes() {
-		n.mu.Lock()
-		_, ok := n.store[rec.Key]
-		n.mu.Unlock()
-		if ok {
+		if _, ok := n.store.Get(rec.Key); ok {
 			holders++
 		}
 	}

@@ -1,0 +1,71 @@
+package store
+
+// Ledger is a sharded account ledger with atomic debit and credit. The
+// broker keeps purchase budgets and deposit payouts in one; because each
+// account's balance lives in an independently locked shard, purchases and
+// deposits against different accounts never contend.
+//
+// An account's balance springs into existence at the configured initial
+// value the first time it is credited or debited — the broker's credit
+// regime (BrokerConfig.InitialCredit) funds every identity on first touch.
+// Balance reads never materialize entries, so monitoring the ledger is a
+// pure read path.
+type Ledger struct {
+	accounts *Sharded[string, int64]
+	initial  int64
+}
+
+// NewLedger creates a ledger with the given shard count (DefaultShards when
+// non-positive). initial is the balance an account starts at on first
+// credit or debit (0 for a pure payout ledger).
+func NewLedger(shards int, initial int64) *Ledger {
+	return &Ledger{accounts: NewSharded[string, int64](shards, StringHash[string]), initial: initial}
+}
+
+// Balance returns the account's balance: the stored value, or the initial
+// balance for an account never touched. Read-only — it never creates the
+// account.
+func (l *Ledger) Balance(acct string) int64 {
+	if v, ok := l.accounts.Get(acct); ok {
+		return v
+	}
+	return l.initial
+}
+
+// Credit atomically adds amount (which may be negative for adjustments) to
+// the account, materializing it at the initial balance first, and returns
+// the new balance.
+func (l *Ledger) Credit(acct string, amount int64) int64 {
+	v, _ := l.accounts.Compute(acct, func(cur int64, exists bool) (int64, Op) {
+		if !exists {
+			cur = l.initial
+		}
+		return cur + amount, OpSet
+	})
+	return v
+}
+
+// TryDebit atomically subtracts amount from the account when the balance
+// covers it, materializing the account at the initial balance first. It
+// returns the resulting balance and whether the debit happened; on refusal
+// the ledger is unchanged.
+func (l *Ledger) TryDebit(acct string, amount int64) (int64, bool) {
+	ok := false
+	v, _ := l.accounts.Compute(acct, func(cur int64, exists bool) (int64, Op) {
+		if !exists {
+			cur = l.initial
+		}
+		if cur < amount {
+			return cur, OpSet // materialize, but refuse the debit
+		}
+		ok = true
+		return cur - amount, OpSet
+	})
+	return v, ok
+}
+
+// Snapshot copies every materialized account balance.
+func (l *Ledger) Snapshot() map[string]int64 { return l.accounts.Snapshot() }
+
+// Accounts returns the number of materialized accounts.
+func (l *Ledger) Accounts() int { return l.accounts.Len() }

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLedgerInitialBalance(t *testing.T) {
+	l := NewLedger(8, 100)
+	if got := l.Balance("alice"); got != 100 {
+		t.Fatalf("untouched balance = %d", got)
+	}
+	if l.Accounts() != 0 {
+		t.Fatal("Balance materialized an account")
+	}
+	if got := l.Credit("alice", 5); got != 105 {
+		t.Fatalf("credit = %d", got)
+	}
+	if l.Accounts() != 1 {
+		t.Fatalf("accounts = %d", l.Accounts())
+	}
+}
+
+func TestLedgerTryDebit(t *testing.T) {
+	l := NewLedger(8, 10)
+	if bal, ok := l.TryDebit("bob", 4); !ok || bal != 6 {
+		t.Fatalf("debit within initial credit: %d, %v", bal, ok)
+	}
+	if bal, ok := l.TryDebit("bob", 7); ok || bal != 6 {
+		t.Fatalf("overdraft allowed: %d, %v", bal, ok)
+	}
+	if bal, ok := l.TryDebit("bob", 6); !ok || bal != 0 {
+		t.Fatalf("exact debit: %d, %v", bal, ok)
+	}
+	// Zero-initial ledger: debits refuse until credited.
+	z := NewLedger(8, 0)
+	if _, ok := z.TryDebit("carol", 1); ok {
+		t.Fatal("debit from empty zero-initial account")
+	}
+	z.Credit("carol", 3)
+	if bal, ok := z.TryDebit("carol", 2); !ok || bal != 1 {
+		t.Fatalf("debit after credit: %d, %v", bal, ok)
+	}
+}
+
+// TestLedgerConservation runs concurrent transfers between accounts and
+// checks no value appears or vanishes: the atomic debit/credit pair may
+// be split, but refused debits must not move money.
+func TestLedgerConservation(t *testing.T) {
+	const (
+		accounts   = 8
+		initial    = 1000
+		goroutines = 8
+		perG       = 5000
+	)
+	l := NewLedger(4, initial)
+	// Materialize everyone.
+	for i := 0; i < accounts; i++ {
+		l.Credit(fmt.Sprintf("a%d", i), 0)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				from := fmt.Sprintf("a%d", (g+i)%accounts)
+				to := fmt.Sprintf("a%d", (g+i+1)%accounts)
+				if _, ok := l.TryDebit(from, 3); ok {
+					l.Credit(to, 3)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, bal := range l.Snapshot() {
+		if bal < 0 {
+			t.Fatalf("negative balance %d", bal)
+		}
+		total += bal
+	}
+	if total != accounts*initial {
+		t.Fatalf("conservation broken: total %d, want %d", total, accounts*initial)
+	}
+}

@@ -1,0 +1,288 @@
+// Package store is the sharded in-memory state substrate WhoPay's
+// request-serving entities (the broker, peers, and DHT nodes) keep their
+// coin, account, and subscription state in.
+//
+// The paper's scalability argument is that the broker only handles
+// purchases, deposits, syncs, and downtime operations — so it must sustain
+// heavy concurrent load. A single mutex over a monolith of maps serializes
+// every request; Sharded splits the key space over independently locked
+// shards so requests touching different coins or accounts never contend.
+// The only cross-request ordering the protocol actually needs — the
+// validate→deliver→commit sequence per coin — stays with the per-coin
+// service locks the entities keep on top of this substrate.
+//
+// A Sharded store is deliberately map-shaped rather than storage-shaped:
+// every primitive (Get/Set/Compute/Range/Snapshot) is expressible against a
+// durable backend with per-key compare-and-swap, so a persistent
+// implementation can slot in behind the same API without touching the
+// protocol code.
+package store
+
+import "sync"
+
+// DefaultShards is the shard count used when a constructor receives a
+// non-positive one. 32 shards keep lock contention negligible for the
+// simulator's workloads while staying cheap to snapshot.
+const DefaultShards = 32
+
+// Op tells Compute and ComputeIfPresent what to do with the entry after the
+// closure returns.
+type Op int
+
+const (
+	// OpKeep leaves the entry exactly as it was (a read, or an in-place
+	// mutation of a reference value the caller owns).
+	OpKeep Op = iota
+	// OpSet stores the returned value under the key.
+	OpSet
+	// OpDelete removes the entry.
+	OpDelete
+)
+
+// shard is one lock domain. Entries never move between shards, so a key's
+// entire lifetime is ordered by a single RWMutex.
+type shard[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+}
+
+// Sharded is a hash-sharded map with per-shard read/write locking and
+// atomic read-modify-write primitives. The zero value is not usable; create
+// stores with NewSharded. Safe for concurrent use.
+type Sharded[K comparable, V any] struct {
+	hash   func(K) uint64
+	shards []shard[K, V]
+	mask   uint64
+}
+
+// NewSharded creates a store with the given shard count (rounded up to a
+// power of two; DefaultShards when non-positive) and hash function.
+func NewSharded[K comparable, V any](shards int, hash func(K) uint64) *Sharded[K, V] {
+	if hash == nil {
+		panic("store: nil hash function")
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	s := &Sharded[K, V]{hash: hash, shards: make([]shard[K, V], n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[K]V)
+	}
+	return s
+}
+
+// StringHash is a hash function for string-like keys (FNV-1a). WhoPay's hot
+// keys — coin IDs, identities, payout references — are strings or string
+// wrappers around uniformly random public keys, which FNV spreads well.
+func StringHash[K ~string](k K) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// shardFor routes a key to its lock domain. The upper hash bits are folded
+// in so hashes whose entropy sits above the mask still spread.
+func (s *Sharded[K, V]) shardFor(k K) *shard[K, V] {
+	h := s.hash(k)
+	h ^= h >> 32
+	h ^= h >> 16
+	return &s.shards[h&s.mask]
+}
+
+// ShardCount returns the number of lock domains.
+func (s *Sharded[K, V]) ShardCount() int { return len(s.shards) }
+
+// ShardIndex returns the shard a key routes to (tests and distribution
+// metrics).
+func (s *Sharded[K, V]) ShardIndex(k K) int {
+	h := s.hash(k)
+	h ^= h >> 32
+	h ^= h >> 16
+	return int(h & s.mask)
+}
+
+// Get returns the value stored under k.
+func (s *Sharded[K, V]) Get(k K) (V, bool) {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Set stores v under k, replacing any existing value.
+func (s *Sharded[K, V]) Set(k K, v V) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	sh.m[k] = v
+	sh.mu.Unlock()
+}
+
+// Insert stores v under k only if the key is absent, reporting whether it
+// stored.
+func (s *Sharded[K, V]) Insert(k K, v V) bool {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.m[k]; exists {
+		return false
+	}
+	sh.m[k] = v
+	return true
+}
+
+// GetOrInsert returns the value under k, inserting mk() first when absent.
+// mk runs under the shard lock and must not touch the store.
+func (s *Sharded[K, V]) GetOrInsert(k K, mk func() V) V {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, exists := sh.m[k]; exists {
+		return v
+	}
+	v := mk()
+	sh.m[k] = v
+	return v
+}
+
+// Delete removes the entry under k, reporting whether one existed.
+func (s *Sharded[K, V]) Delete(k K) bool {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.m[k]; !exists {
+		return false
+	}
+	delete(sh.m, k)
+	return true
+}
+
+// GetAndDelete removes and returns the entry under k.
+func (s *Sharded[K, V]) GetAndDelete(k K) (V, bool) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.m[k]
+	if ok {
+		delete(sh.m, k)
+	}
+	return v, ok
+}
+
+// Compute runs f on the current entry under the shard's write lock — the
+// atomic read-modify-write primitive. f receives the current value (zero
+// when absent) and decides the entry's fate via Op. Compute returns the
+// entry's value and presence after applying the op. f must not touch the
+// store (self-deadlock).
+func (s *Sharded[K, V]) Compute(k K, f func(cur V, exists bool) (V, Op)) (V, bool) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, exists := sh.m[k]
+	next, op := f(cur, exists)
+	switch op {
+	case OpSet:
+		sh.m[k] = next
+		return next, true
+	case OpDelete:
+		delete(sh.m, k)
+		var zero V
+		return zero, false
+	default:
+		return cur, exists
+	}
+}
+
+// ComputeIfPresent runs f only when k has an entry, under the shard's write
+// lock. It returns the resulting value and whether an entry remains.
+func (s *Sharded[K, V]) ComputeIfPresent(k K, f func(cur V) (V, Op)) (V, bool) {
+	sh := s.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, exists := sh.m[k]
+	if !exists {
+		var zero V
+		return zero, false
+	}
+	next, op := f(cur)
+	switch op {
+	case OpSet:
+		sh.m[k] = next
+		return next, true
+	case OpDelete:
+		delete(sh.m, k)
+		var zero V
+		return zero, false
+	default:
+		return cur, true
+	}
+}
+
+// View runs f on the current entry under the shard's read lock. Use it to
+// read reference values (inner maps, slices) that writers mutate under
+// Compute: the closure sees a consistent value and must copy anything it
+// keeps.
+func (s *Sharded[K, V]) View(k K, f func(cur V, exists bool)) {
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, ok := sh.m[k]
+	f(v, ok)
+}
+
+// Range calls f for every entry until f returns false. Each shard is
+// visited under its read lock; the traversal is consistent per shard but
+// not across shards — entries inserted or deleted concurrently in
+// not-yet-visited shards may or may not appear.
+func (s *Sharded[K, V]) Range(f func(k K, v V) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			if !f(k, v) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Keys returns every key (per-shard consistent, order unspecified).
+func (s *Sharded[K, V]) Keys() []K {
+	out := make([]K, 0, s.Len())
+	s.Range(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Snapshot copies the store into a plain map (per-shard consistent).
+func (s *Sharded[K, V]) Snapshot() map[K]V {
+	out := make(map[K]V, s.Len())
+	s.Range(func(k K, v V) bool {
+		out[k] = v
+		return true
+	})
+	return out
+}
+
+// Len returns the number of entries.
+func (s *Sharded[K, V]) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
