@@ -14,8 +14,11 @@ import (
 	"time"
 
 	"whopay/internal/bus"
+	"whopay/internal/coin"
 	"whopay/internal/core"
 	"whopay/internal/costmodel"
+	"whopay/internal/groupsig"
+	"whopay/internal/layered"
 	"whopay/internal/ppay"
 	"whopay/internal/sig"
 	"whopay/internal/sim"
@@ -460,4 +463,79 @@ func BenchmarkAblationDetectionOff(b *testing.B) {
 	}
 	b.ReportMetric(float64(with), "peerCPU-with-dht")
 	b.ReportMetric(float64(without), "peerCPU-without-dht")
+}
+
+// BenchmarkDepositChain measures layered-chain verification — the broker's
+// work when a multi-hop offline coin comes home (handleLayeredDeposit) —
+// with and without the crypto fast path. Each chain carries 2 + 3·hops
+// signature checks; the cached suite amortises key decoding across layers
+// (every layer re-verifies against the same group public key) and memoizes
+// whole chains on repeat presentation.
+func BenchmarkDepositChain(b *testing.B) {
+	const hops = 4
+	scheme := sig.ECDSA{}
+	suite := sig.Suite{Scheme: scheme}
+	brokerKeys, err := suite.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := groupsig.NewManager(scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	groupPub := mgr.GroupPublicKey()
+	coinKeys, err := suite.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	holder, err := suite.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := coin.Coin{Owner: "owner", Pub: coinKeys.Public, Value: 1}
+	if base.Sig, err = suite.Sign(brokerKeys.Private, base.Message()); err != nil {
+		b.Fatal(err)
+	}
+	binding := coin.Binding{CoinPub: coinKeys.Public, Holder: holder.Public, Seq: 1, Expiry: 99}
+	if binding.Sig, err = suite.Sign(coinKeys.Private, binding.Message()); err != nil {
+		b.Fatal(err)
+	}
+	lc := &layered.Coin{Base: base, Binding: binding}
+	priv := holder.Private
+	for i := 0; i < hops; i++ {
+		mk, err := mgr.Enroll(fmt.Sprintf("hopper-%d", i), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		next, err := suite.GenerateKey()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lc, err = layered.Hop(suite, lc, priv, mk, next.Public, 0); err != nil {
+			b.Fatal(err)
+		}
+		priv = next.Private
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := lc.Verify(suite, brokerKeys.Public, groupPub, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cachedSuite, _ := sig.NewCachedSuite(suite, sig.CacheOptions{})
+		if err := lc.Verify(cachedSuite, brokerKeys.Public, groupPub, 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := lc.Verify(cachedSuite, brokerKeys.Public, groupPub, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -10,12 +10,15 @@
 //
 //	whopay-bench -scheme ecdsa -iters 1000
 //	whopay-bench -relative
+//	whopay-bench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"whopay/internal/costmodel"
 	"whopay/internal/sig"
@@ -33,8 +36,36 @@ func run() error {
 		schemeName = flag.String("scheme", "ecdsa", "scheme to measure: ecdsa, ed25519, all")
 		iters      = flag.Int("iters", 500, "iterations per micro-operation")
 		relative   = flag.Bool("relative", false, "also print Table 3 (relative cost units)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "whopay-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "whopay-bench: memprofile:", err)
+			}
+		}()
+	}
 
 	var schemes []sig.Scheme
 	switch *schemeName {

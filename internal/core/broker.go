@@ -57,6 +57,11 @@ type BrokerConfig struct {
 	// economics that make policy III's "deposit an offline coin, then
 	// purchase" reachable. Zero means unlimited credit.
 	InitialCredit int64
+	// DisableCryptoCache turns off the verification fast path (DESIGN.md
+	// §9): no decoded-key cache, no verify memoization, no parallel batch
+	// fan-out. Default off (cache enabled); a Null scheme bypasses the
+	// cache on its own.
+	DisableCryptoCache bool
 }
 
 // depositRecord remembers a redeemed coin.
@@ -94,6 +99,8 @@ type FraudCase struct {
 type Broker struct {
 	cfg   BrokerConfig
 	suite sig.Suite
+	cache *sig.Cached        // nil when DisableCryptoCache
+	gsv   *groupsig.Verifier // CRL-aware group-signature verifier
 	keys  sig.KeyPair
 	ep    bus.Endpoint
 	dhtc  *dht.Client
@@ -146,6 +153,15 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		deposited:   store.NewSharded[coin.ID, *depositRecord](brokerShards, coinKey),
 		ledger:      store.NewLedger(brokerShards, cfg.InitialCredit),
 		frozen:      store.NewSharded[string, struct{}](brokerShards, store.StringHash[string]),
+	}
+	if !cfg.DisableCryptoCache {
+		b.suite, b.cache = sig.NewCachedSuite(b.suite, sig.CacheOptions{})
+	}
+	b.gsv = groupsig.NewVerifier(cfg.GroupPub)
+	if b.cache != nil {
+		// A revoked credential's one-time key must not keep satisfying
+		// verifies out of the memo.
+		b.gsv.OnRevoke = b.cache.InvalidateKey
 	}
 	// The broker's signing key is setup, not operation cost.
 	keys, err := cfg.Scheme.GenerateKey()
@@ -201,6 +217,24 @@ func (b *Broker) DepositedValue() int64 { return b.depositedValue.Load() }
 
 // Freeze bars an identity from purchasing (judge-ordered punishment).
 func (b *Broker) Freeze(identity string) { b.frozen.Set(identity, struct{}{}) }
+
+// RevokeCredentials adds the given credential serials to the broker's CRL
+// and invalidates every cached verification artifact tied to the matching
+// one-time public keys. Feed it the return value of Judge.Revoke so a
+// revoked member's outstanding credentials stop verifying immediately, even
+// when a prior use was memoized.
+func (b *Broker) RevokeCredentials(serials []uint64, pubs []sig.PublicKey) {
+	b.gsv.Revoke(serials, pubs)
+}
+
+// InvalidateCryptoCache drops all memoized verification state. Call it on
+// group-key rotation or any event that changes what "valid" means outside
+// per-credential revocation. No-op when the cache is disabled.
+func (b *Broker) InvalidateCryptoCache() {
+	if b.cache != nil {
+		b.cache.Invalidate()
+	}
+}
 
 // Frozen reports whether identity is frozen (read-lock path only).
 func (b *Broker) Frozen(identity string) bool {
@@ -507,11 +541,8 @@ func (b *Broker) handleDowntimeTransfer(m TransferRequest) (any, error) {
 		return nil, fmt.Errorf("%w: request cites seq %d, current is %d", ErrStaleBinding, m.Body.PrevSeq, cur.Seq)
 	}
 	bodyMsg := m.Body.Message()
-	if err := b.suite.Verify(cur.Holder, bodyMsg, m.HolderSig); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotHolder, err)
-	}
-	if err := groupsig.Verify(b.suite, b.cfg.GroupPub, bodyMsg, m.GroupSig); err != nil {
-		return nil, fmt.Errorf("%w: group signature: %v", ErrBadRequest, err)
+	if err := verifyHolderAndGroup(b.suite, b.gsv, b.cfg.GroupPub, cur.Holder, bodyMsg, m.HolderSig, m.GroupSig); err != nil {
+		return nil, err
 	}
 
 	next := &coin.Binding{
@@ -579,11 +610,8 @@ func (b *Broker) handleDowntimeRenew(m RenewRequest) (any, error) {
 		return nil, fmt.Errorf("%w: request cites seq %d, current is %d", ErrStaleBinding, m.Seq, cur.Seq)
 	}
 	msg := renewMessage(m.CoinPub, m.Seq)
-	if err := b.suite.Verify(cur.Holder, msg, m.HolderSig); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotHolder, err)
-	}
-	if err := groupsig.Verify(b.suite, b.cfg.GroupPub, msg, m.GroupSig); err != nil {
-		return nil, fmt.Errorf("%w: group signature: %v", ErrBadRequest, err)
+	if err := verifyHolderAndGroup(b.suite, b.gsv, b.cfg.GroupPub, cur.Holder, msg, m.HolderSig, m.GroupSig); err != nil {
+		return nil, err
 	}
 
 	next := &coin.Binding{
@@ -640,11 +668,8 @@ func (b *Broker) handleDeposit(m DepositRequest) (any, error) {
 		return nil, err
 	}
 	msg := depositMessage(m.CoinPub, m.PayoutRef, cur.Seq)
-	if err := b.suite.Verify(cur.Holder, msg, m.HolderSig); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotHolder, err)
-	}
-	if err := groupsig.Verify(b.suite, b.cfg.GroupPub, msg, m.GroupSig); err != nil {
-		return nil, fmt.Errorf("%w: group signature: %v", ErrBadRequest, err)
+	if err := verifyHolderAndGroup(b.suite, b.gsv, b.cfg.GroupPub, cur.Holder, msg, m.HolderSig, m.GroupSig); err != nil {
+		return nil, err
 	}
 
 	// Commit: the Insert is the single atomic double-deposit gate.
@@ -730,7 +755,7 @@ func (b *Broker) handleFraudReport(m FraudReport) (any, error) {
 		return nil, ErrUnknownCoin
 	}
 	reportMsg := fraudReportMessage(m.CoinPub, &m.MyBinding, &m.Observed)
-	if err := groupsig.Verify(b.suite, b.cfg.GroupPub, reportMsg, m.GroupSig); err != nil {
+	if err := b.gsv.Verify(b.suite, reportMsg, m.GroupSig); err != nil {
 		return nil, fmt.Errorf("%w: report group signature: %v", ErrBadRequest, err)
 	}
 	// Both bindings must be genuine (expiry irrelevant for evidence).

@@ -41,8 +41,14 @@ func (j *Judge) Open(msg []byte, gs groupsig.Signature) (string, error) {
 	return j.mgr.Open(msg, gs)
 }
 
-// Revoke bars identity from obtaining further signing credentials.
-func (j *Judge) Revoke(identity string) { j.mgr.Revoke(identity) }
+// Revoke bars identity from obtaining further signing credentials. It
+// returns the serials and one-time public keys of every credential already
+// issued to the identity so relying parties can seed their CRLs (see
+// Broker.RevokeCredentials and Peer.RevokeCredentials) — the judge itself
+// keeps no connection to brokers or peers.
+func (j *Judge) Revoke(identity string) (serials []uint64, pubs []sig.PublicKey) {
+	return j.mgr.Revoke(identity)
+}
 
 // IsRevoked reports whether identity has been revoked.
 func (j *Judge) IsRevoked(identity string) bool { return j.mgr.IsRevoked(identity) }

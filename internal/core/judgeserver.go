@@ -82,8 +82,11 @@ func NewJudgeServer(network bus.Network, addr bus.Address, judge *Judge, scheme 
 		return nil, errors.New("core: nil judge")
 	}
 	s := &JudgeServer{
-		judge:  judge,
-		suite:  sig.Suite{Scheme: scheme},
+		judge: judge,
+		// Refills re-verify the same enrollment keys over and over — the
+		// decoded-key cache makes that a one-time parse per identity.
+		// (Null schemes bypass the cache internally.)
+		suite:  sig.Suite{Scheme: sig.NewCached(scheme, sig.CacheOptions{})},
 		pubKey: make(map[string]sig.PublicKey),
 	}
 	ep, err := network.Listen(addr, s.handle)

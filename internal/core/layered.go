@@ -58,11 +58,8 @@ func (b *Broker) handleLayeredDeposit(m LayeredDepositRequest) (any, error) {
 	}
 	msg := layeredDepositMessage(c.Pub, m.PayoutRef, len(lc.Layers))
 	head := lc.CurrentHolder()
-	if err := b.suite.Verify(head, msg, m.HolderSig); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotHolder, err)
-	}
-	if err := groupsig.Verify(b.suite, b.cfg.GroupPub, msg, m.GroupSig); err != nil {
-		return nil, fmt.Errorf("%w: group signature: %v", ErrBadRequest, err)
+	if err := verifyHolderAndGroup(b.suite, b.gsv, b.cfg.GroupPub, head, msg, m.HolderSig, m.GroupSig); err != nil {
+		return nil, err
 	}
 
 	if prior != nil {

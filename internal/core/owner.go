@@ -7,7 +7,6 @@ import (
 	"whopay/internal/bus"
 	"whopay/internal/coin"
 	"whopay/internal/dht"
-	"whopay/internal/groupsig"
 	"whopay/internal/sig"
 )
 
@@ -95,6 +94,11 @@ func (p *Peer) handleTransferRequest(m TransferRequest) (any, error) {
 	if !ok {
 		return nil, ErrNotOwner
 	}
+	// Build the canonical messages before taking the coin's service lock:
+	// they depend only on the request, and every byte of work done under
+	// svc serializes all other requests for this coin.
+	bodyMsg := m.Body.Message()
+	challengeMsg := coin.ChallengeMessage(m.Body.CoinPub, m.Body.Nonce)
 	if !oc.svc.TryLock() {
 		return nil, ErrCoinBusy
 	}
@@ -116,12 +120,8 @@ func (p *Peer) handleTransferRequest(m TransferRequest) (any, error) {
 	if m.Body.PrevSeq != cur.Seq {
 		return nil, fmt.Errorf("%w: request cites seq %d, current is %d", ErrStaleBinding, m.Body.PrevSeq, cur.Seq)
 	}
-	bodyMsg := m.Body.Message()
-	if err := p.suite.Verify(cur.Holder, bodyMsg, m.HolderSig); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotHolder, err)
-	}
-	if err := groupsig.Verify(p.suite, p.cfg.GroupPub, bodyMsg, m.GroupSig); err != nil {
-		return nil, fmt.Errorf("%w: group signature: %v", ErrBadRequest, err)
+	if err := verifyHolderAndGroup(p.suite, p.gsv, p.cfg.GroupPub, cur.Holder, bodyMsg, m.HolderSig, m.GroupSig); err != nil {
+		return nil, err
 	}
 
 	next := &coin.Binding{
@@ -138,7 +138,6 @@ func (p *Peer) handleTransferRequest(m TransferRequest) (any, error) {
 	if next.Sig, err = p.suite.Sign(oc.coinKeys.Private, next.Message()); err != nil {
 		return nil, fmt.Errorf("core: signing transfer binding: %w", err)
 	}
-	challengeMsg := coin.ChallengeMessage(c.Pub, m.Body.Nonce)
 	deliver := DeliverRequest{Coin: *c, Binding: *next}
 	if c.Anonymous() {
 		deliver.ChallengeSig, err = p.suite.Sign(oc.coinKeys.Private, challengeMsg)
@@ -173,6 +172,8 @@ func (p *Peer) handleRenewRequest(m RenewRequest) (any, error) {
 	if !ok {
 		return nil, ErrNotOwner
 	}
+	// As in handleTransferRequest: message construction stays outside svc.
+	msg := renewMessage(m.CoinPub, m.Seq)
 	if !oc.svc.TryLock() {
 		return nil, ErrCoinBusy
 	}
@@ -193,12 +194,8 @@ func (p *Peer) handleRenewRequest(m RenewRequest) (any, error) {
 	if m.Seq != cur.Seq {
 		return nil, fmt.Errorf("%w: request cites seq %d, current is %d", ErrStaleBinding, m.Seq, cur.Seq)
 	}
-	msg := renewMessage(m.CoinPub, m.Seq)
-	if err := p.suite.Verify(cur.Holder, msg, m.HolderSig); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNotHolder, err)
-	}
-	if err := groupsig.Verify(p.suite, p.cfg.GroupPub, msg, m.GroupSig); err != nil {
-		return nil, fmt.Errorf("%w: group signature: %v", ErrBadRequest, err)
+	if err := verifyHolderAndGroup(p.suite, p.gsv, p.cfg.GroupPub, cur.Holder, msg, m.HolderSig, m.GroupSig); err != nil {
+		return nil, err
 	}
 
 	next := &coin.Binding{

@@ -6,7 +6,6 @@ import (
 
 	"whopay/internal/coin"
 	"whopay/internal/dht"
-	"whopay/internal/groupsig"
 	"whopay/internal/sig"
 	"whopay/internal/store"
 )
@@ -98,7 +97,7 @@ func (p *Peer) handleDeliver(m DeliverRequest) (any, error) {
 		if m.GroupSig == nil {
 			return nil, fmt.Errorf("%w: anonymous issue missing group signature", ErrBadRequest)
 		}
-		if err := groupsig.Verify(p.suite, p.cfg.GroupPub, binding.Message(), *m.GroupSig); err != nil {
+		if err := p.gsv.Verify(p.suite, binding.Message(), *m.GroupSig); err != nil {
 			return nil, fmt.Errorf("%w: issue group signature: %v", ErrBadRequest, err)
 		}
 	}

@@ -154,11 +154,14 @@ func (p *Peer) buildTransfer(hc *heldCoin, payee bus.Address, offer OfferRespons
 		Nonce:     offer.Nonce,
 		PayeeAddr: string(payee),
 	}
-	holderSig, err := p.suite.Sign(hc.holderKeys.Private, body.Message())
+	// One canonical encoding per transfer: both signatures cover the same
+	// bytes, and Message() allocates afresh on every call.
+	msg := body.Message()
+	holderSig, err := p.suite.Sign(hc.holderKeys.Private, msg)
 	if err != nil {
 		return TransferRequest{}, fmt.Errorf("core: signing transfer body: %w", err)
 	}
-	gs, err := p.member.Sign(p.suite, body.Message())
+	gs, err := p.member.Sign(p.suite, msg)
 	if err != nil {
 		return TransferRequest{}, fmt.Errorf("core: group-signing transfer: %w", err)
 	}

@@ -118,6 +118,11 @@ type PeerConfig struct {
 	// AuditLogCap bounds per-coin relinquishment logs (0 = unlimited).
 	// The simulator caps them; real deployments keep full trails.
 	AuditLogCap int
+	// DisableCryptoCache turns off the verification fast path (DESIGN.md
+	// §9): no decoded-key cache, no verify memoization, no parallel batch
+	// fan-out. Default off (cache enabled); a Null scheme bypasses the
+	// cache on its own.
+	DisableCryptoCache bool
 }
 
 // ownedCoin is the owner-side state for one coin. The coin, its keys and
@@ -185,6 +190,8 @@ type FraudAlert struct {
 type Peer struct {
 	cfg    PeerConfig
 	suite  sig.Suite
+	cache  *sig.Cached        // nil when DisableCryptoCache
+	gsv    *groupsig.Verifier // CRL-aware group-signature verifier
 	keys   sig.KeyPair
 	member *groupsig.MemberKey
 	ep     bus.Endpoint
@@ -246,6 +253,9 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		held:   store.NewSharded[coin.ID, *heldCoin](peerShards, coinKey),
 		offers: store.NewSharded[string, *pendingOffer](peerShards, store.StringHash[string]),
 	}
+	if !cfg.DisableCryptoCache {
+		p.suite, p.cache = sig.NewCachedSuite(p.suite, sig.CacheOptions{})
+	}
 	// Identity keys are one-time enrollment setup, not part of any
 	// operation's cost: generate them outside the recorded suite.
 	keys, err := cfg.Scheme.GenerateKey()
@@ -296,6 +306,12 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		p.member = member
 		p.cfg.GroupPub = groupPub
 	}
+	// GroupPub is final here in all three enrollment branches, so the
+	// CRL-aware verifier can bind to it.
+	p.gsv = groupsig.NewVerifier(p.cfg.GroupPub)
+	if p.cache != nil {
+		p.gsv.OnRevoke = p.cache.InvalidateKey
+	}
 	if len(cfg.DHTNodes) > 0 {
 		p.dhtc, err = dht.NewClient(ep, cfg.DHTNodes, cfg.DHTMode)
 		if err != nil {
@@ -331,6 +347,21 @@ func (p *Peer) PublicKey() sig.PublicKey { return p.keys.Public.Clone() }
 
 // Ops returns a snapshot of this peer's operation counts.
 func (p *Peer) Ops() OpCounts { return p.ops.Snapshot() }
+
+// RevokeCredentials adds the given credential serials to the peer's CRL and
+// invalidates every cached verification artifact tied to the matching
+// one-time public keys (see Judge.Revoke, Broker.RevokeCredentials).
+func (p *Peer) RevokeCredentials(serials []uint64, pubs []sig.PublicKey) {
+	p.gsv.Revoke(serials, pubs)
+}
+
+// InvalidateCryptoCache drops all memoized verification state (group-key
+// rotation). No-op when the cache is disabled.
+func (p *Peer) InvalidateCryptoCache() {
+	if p.cache != nil {
+		p.cache.Invalidate()
+	}
+}
 
 // Close stops the peer.
 func (p *Peer) Close() error { return p.ep.Close() }

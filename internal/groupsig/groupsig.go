@@ -43,10 +43,13 @@ var (
 	// ErrNoCredentials is returned by Sign when the pool is empty and no
 	// refill source is available.
 	ErrNoCredentials = errors.New("groupsig: credential pool exhausted")
+	// ErrCredentialRevoked is returned by Verifier.Verify for signatures
+	// made with a credential whose serial is on the revocation list.
+	ErrCredentialRevoked = errors.New("groupsig: credential revoked")
 )
 
 // Credential is the public part of a one-time signing credential: a fresh
-// public key certified by the judge. Cert signs credentialMessage(Serial,
+// public key certified by the judge. Cert signs CredentialMessage(Serial,
 // Pub) under the group master key.
 type Credential struct {
 	Serial uint64
@@ -62,13 +65,32 @@ type Signature struct {
 	Sig  []byte
 }
 
-// credentialMessage is the canonical byte string certified by the judge.
-func credentialMessage(serial uint64, pub sig.PublicKey) []byte {
-	msg := make([]byte, 0, 28+len(pub))
-	msg = append(msg, "whopay/groupsig/credential/1"...)
-	msg = binary.BigEndian.AppendUint64(msg, serial)
-	msg = append(msg, pub...)
-	return msg
+// credentialMessagePrefix domain-separates judge certificates from every
+// other signed byte string in the protocol.
+const credentialMessagePrefix = "whopay/groupsig/credential/1"
+
+// CredentialMessage is the canonical byte string the judge certifies for a
+// credential: prefix ‖ serial ‖ credential public key. Exported so batch
+// verifiers can build certificate-check jobs without re-deriving the format.
+func CredentialMessage(serial uint64, pub sig.PublicKey) []byte {
+	return appendCredentialMessage(make([]byte, 0, len(credentialMessagePrefix)+8+len(pub)), serial, pub)
+}
+
+func appendCredentialMessage(dst []byte, serial uint64, pub sig.PublicKey) []byte {
+	dst = append(dst, credentialMessagePrefix...)
+	dst = binary.BigEndian.AppendUint64(dst, serial)
+	dst = append(dst, pub...)
+	return dst
+}
+
+// credMsgBufs recycles credential-message buffers across Verify calls: no
+// scheme retains the message bytes past the call (they are hashed), so the
+// buffer can go straight back in the pool.
+var credMsgBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 128)
+		return &b
+	},
 }
 
 // Verify checks that gs is a valid group signature over msg for the group
@@ -79,13 +101,94 @@ func Verify(suite sig.Suite, groupPub sig.PublicKey, msg []byte, gs Signature) e
 	if suite.Rec != nil {
 		suite.Rec.RecordGroupVerify()
 	}
-	if err := suite.Scheme.Verify(groupPub, credentialMessage(gs.Cred.Serial, gs.Cred.Pub), gs.Cred.Cert); err != nil {
-		return fmt.Errorf("%w: %v", ErrNotMember, err)
+	bp := credMsgBufs.Get().(*[]byte)
+	credMsg := appendCredentialMessage((*bp)[:0], gs.Cred.Serial, gs.Cred.Pub)
+	// The certificate and message checks are independent, so hand them to
+	// the scheme as one batch: a BatchVerifier scheme (sig.Cached) can
+	// overlap them and share its memo. Scheme-level batching leaves the
+	// group-verify accounting above as the only recorded micro-op.
+	errs := sig.VerifyBatch(suite.Scheme, []sig.VerifyJob{
+		{Pub: groupPub, Msg: credMsg, Sig: gs.Cred.Cert},
+		{Pub: gs.Cred.Pub, Msg: msg, Sig: gs.Sig},
+	})
+	*bp = credMsg[:0]
+	credMsgBufs.Put(bp)
+	if errs[0] != nil {
+		return fmt.Errorf("%w: %v", ErrNotMember, errs[0])
 	}
-	if err := suite.Scheme.Verify(gs.Cred.Pub, msg, gs.Sig); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+	if errs[1] != nil {
+		return fmt.Errorf("%w: %v", ErrBadSignature, errs[1])
 	}
 	return nil
+}
+
+// Verifier is the relying-party view of the group: the group public key
+// plus a credential revocation list (CRL). The base construction
+// deliberately has no CRL — outstanding one-time credentials stay
+// verifiable after their owner is revoked, openable to the cheater — but
+// entities that learn of revocations (from the judge's verdicts) can refuse
+// those credentials going forward. Verifier is also the invalidation seam
+// for the verification fast path: OnRevoke hooks a sig.Cached so revoked
+// credential keys are purged from the memo. Safe for concurrent use.
+type Verifier struct {
+	groupPub sig.PublicKey
+
+	mu      sync.RWMutex
+	revoked map[uint64]struct{}
+
+	// OnRevoke, when set, is called once per revoked credential public key
+	// (outside the Verifier's lock) — wire it to sig.Cached.InvalidateKey.
+	OnRevoke func(pub sig.PublicKey)
+}
+
+// NewVerifier creates a Verifier for the group identified by groupPub with
+// an empty revocation list.
+func NewVerifier(groupPub sig.PublicKey) *Verifier {
+	return &Verifier{
+		groupPub: groupPub.Clone(),
+		revoked:  make(map[uint64]struct{}),
+	}
+}
+
+// GroupPublicKey returns the group public key signatures are checked under.
+func (v *Verifier) GroupPublicKey() sig.PublicKey { return v.groupPub.Clone() }
+
+// Revoke adds credential serials to the CRL and runs the OnRevoke hook for
+// each corresponding public key (pubs is index-aligned with serials; a
+// shorter pubs slice just skips the hook for the tail).
+func (v *Verifier) Revoke(serials []uint64, pubs []sig.PublicKey) {
+	v.mu.Lock()
+	for _, s := range serials {
+		v.revoked[s] = struct{}{}
+	}
+	v.mu.Unlock()
+	if v.OnRevoke != nil {
+		for _, pub := range pubs {
+			v.OnRevoke(pub)
+		}
+	}
+}
+
+// IsRevoked reports whether a credential serial is on the CRL.
+func (v *Verifier) IsRevoked(serial uint64) bool {
+	v.mu.RLock()
+	_, ok := v.revoked[serial]
+	v.mu.RUnlock()
+	return ok
+}
+
+// Verify checks gs over msg like the package-level Verify, but first rejects
+// credentials on the CRL. The CRL check precedes all cryptography — and in
+// particular any memoized positive result — so revocation takes effect
+// immediately even for signatures that verified before the revocation.
+func (v *Verifier) Verify(suite sig.Suite, msg []byte, gs Signature) error {
+	if v.IsRevoked(gs.Cred.Serial) {
+		if suite.Rec != nil {
+			suite.Rec.RecordGroupVerify()
+		}
+		return fmt.Errorf("%w: serial %d", ErrCredentialRevoked, gs.Cred.Serial)
+	}
+	return Verify(suite, v.groupPub, msg, gs)
 }
 
 // secretCredential pairs a credential with its private key; it never leaves
@@ -178,10 +281,18 @@ type Manager struct {
 	master sig.KeyPair
 
 	mu       sync.Mutex
-	serials  map[uint64]string // credential serial -> member identity
+	serials  map[uint64]issuedCredential // credential serial -> issuance record
 	enrolled map[string]bool
 	revoked  map[string]bool
 	next     uint64
+}
+
+// issuedCredential is the judge's private record of one minted credential:
+// who it was issued to, and its public key so revocation can name the keys
+// relying parties should forget.
+type issuedCredential struct {
+	identity string
+	pub      sig.PublicKey
 }
 
 // NewManager creates a group with a fresh master key under scheme.
@@ -193,7 +304,7 @@ func NewManager(scheme sig.Scheme) (*Manager, error) {
 	return &Manager{
 		scheme:   scheme,
 		master:   master,
-		serials:  make(map[uint64]string),
+		serials:  make(map[uint64]issuedCredential),
 		enrolled: make(map[string]bool),
 		revoked:  make(map[string]bool),
 	}, nil
@@ -253,7 +364,7 @@ func (m *Manager) issue(identity string, n int) ([]secretCredential, error) {
 		if err != nil {
 			return nil, fmt.Errorf("groupsig: credential keygen: %w", err)
 		}
-		cert, err := m.scheme.Sign(m.master.Private, credentialMessage(serial, kp.Public))
+		cert, err := m.scheme.Sign(m.master.Private, CredentialMessage(serial, kp.Public))
 		if err != nil {
 			return nil, fmt.Errorf("groupsig: certifying credential: %w", err)
 		}
@@ -264,7 +375,7 @@ func (m *Manager) issue(identity string, n int) ([]secretCredential, error) {
 	}
 	m.mu.Lock()
 	for _, sc := range out {
-		m.serials[sc.cred.Serial] = identity
+		m.serials[sc.cred.Serial] = issuedCredential{identity: identity, pub: sc.cred.Pub}
 	}
 	m.mu.Unlock()
 	return out, nil
@@ -336,20 +447,30 @@ func (m *Manager) Open(msg []byte, gs Signature) (string, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	identity, ok := m.serials[gs.Cred.Serial]
+	rec, ok := m.serials[gs.Cred.Serial]
 	if !ok {
 		return "", ErrUnknownSerial
 	}
-	return identity, nil
+	return rec.identity, nil
 }
 
-// Revoke bars identity from obtaining further credentials. Outstanding
-// credentials remain verifiable (this construction has no CRL), but every
-// use remains openable to the revoked identity.
-func (m *Manager) Revoke(identity string) {
+// Revoke bars identity from obtaining further credentials and returns the
+// serials and public keys of every credential already issued to it (index-
+// aligned). Outstanding credentials remain verifiable under the base
+// construction — every use stays openable to the revoked identity — but the
+// returned lists let relying parties feed a Verifier CRL and invalidate
+// verification caches so those credentials are refused going forward.
+func (m *Manager) Revoke(identity string) (serials []uint64, pubs []sig.PublicKey) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.revoked[identity] = true
+	for serial, rec := range m.serials {
+		if rec.identity == identity {
+			serials = append(serials, serial)
+			pubs = append(pubs, rec.pub)
+		}
+	}
+	return serials, pubs
 }
 
 // IsRevoked reports whether identity has been revoked.

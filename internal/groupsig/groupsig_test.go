@@ -86,7 +86,7 @@ func TestVerifyRejectsUncertifiedCredential(t *testing.T) {
 		t.Fatal(err)
 	}
 	msg := []byte("msg")
-	fakeCert, err := suite.Scheme.Sign(kp.Private, credentialMessage(99, kp.Public))
+	fakeCert, err := suite.Scheme.Sign(kp.Private, CredentialMessage(99, kp.Public))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -99,6 +99,12 @@ func (lc *Coin) Clone() *Coin {
 
 // Verify checks the whole construct: the broker signature on the base
 // coin, the binding, and every layer's holder and group signature.
+//
+// Every signer in the chain is known upfront (the binding names the first
+// holder, each layer names the next), so all checks are independent and run
+// as one scheme-level batch — under a BatchVerifier scheme they fan out in
+// parallel. Recorded micro-ops and the first-failure-in-chain-order error
+// are identical to the sequential walk this replaces.
 func (lc *Coin) Verify(suite sig.Suite, brokerPub, groupPub sig.PublicKey, maxLayers int) error {
 	if maxLayers <= 0 {
 		maxLayers = DefaultMaxLayers
@@ -106,22 +112,65 @@ func (lc *Coin) Verify(suite sig.Suite, brokerPub, groupPub sig.PublicKey, maxLa
 	if len(lc.Layers) > maxLayers {
 		return fmt.Errorf("%w: %d layers", ErrTooManyLayers, len(lc.Layers))
 	}
-	if err := lc.Base.Verify(suite, brokerPub); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadChain, err)
+	// Structural checks stay sequential and first — they are free and gate
+	// the same errors the per-piece verifiers would have raised.
+	if len(lc.Base.Pub) == 0 {
+		return fmt.Errorf("%w: %v", ErrBadChain, fmt.Errorf("%w: empty coin key", coin.ErrBadCoin))
 	}
-	if err := lc.Binding.VerifyFor(suite, &lc.Base, brokerPub, zeroTime()); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadChain, err)
+	if lc.Base.Value <= 0 {
+		return fmt.Errorf("%w: %v", ErrBadChain, fmt.Errorf("%w: non-positive value", coin.ErrBadCoin))
 	}
+	if !sig.PublicKey(lc.Binding.CoinPub).Equal(lc.Base.Pub) {
+		return fmt.Errorf("%w: %v", ErrBadChain, coin.ErrWrongCoin)
+	}
+	if suite.Rec != nil {
+		// Account for what the sequential walk performed: base cert,
+		// binding, and one holder verify plus one group verify per layer.
+		for i := 0; i < 2+len(lc.Layers); i++ {
+			suite.Rec.RecordVerify()
+		}
+		for range lc.Layers {
+			suite.Rec.RecordGroupVerify()
+		}
+	}
+	bindingSigner := sig.PublicKey(lc.Binding.CoinPub)
+	if lc.Binding.ByBroker {
+		bindingSigner = brokerPub
+	}
+	jobs := make([]sig.VerifyJob, 0, 2+3*len(lc.Layers))
+	jobs = append(jobs,
+		sig.VerifyJob{Pub: brokerPub, Msg: lc.Base.Message(), Sig: lc.Base.Sig},
+		sig.VerifyJob{Pub: bindingSigner, Msg: lc.Binding.Message(), Sig: lc.Binding.Sig},
+	)
 	holder := sig.PublicKey(lc.Binding.Holder)
 	for i, layer := range lc.Layers {
 		msg := layerMessage(lc.Base.Pub, i, layer.NextHolder)
-		if err := suite.Verify(holder, msg, layer.HolderSig); err != nil {
+		jobs = append(jobs,
+			sig.VerifyJob{Pub: holder, Msg: msg, Sig: layer.HolderSig},
+			sig.VerifyJob{Pub: groupPub, Msg: groupsig.CredentialMessage(layer.GroupSig.Cred.Serial, layer.GroupSig.Cred.Pub), Sig: layer.GroupSig.Cred.Cert},
+			sig.VerifyJob{Pub: layer.GroupSig.Cred.Pub, Msg: msg, Sig: layer.GroupSig.Sig},
+		)
+		holder = layer.NextHolder
+	}
+	errs := sig.VerifyBatch(suite.Scheme, jobs)
+	if errs[0] != nil {
+		return fmt.Errorf("%w: %v", ErrBadChain, fmt.Errorf("%w: %v", coin.ErrBadCoin, errs[0]))
+	}
+	if errs[1] != nil {
+		return fmt.Errorf("%w: %v", ErrBadChain, fmt.Errorf("%w: %v", coin.ErrBadBinding, errs[1]))
+	}
+	for i := range lc.Layers {
+		if err := errs[2+3*i]; err != nil {
 			return fmt.Errorf("%w: layer %d holder signature: %v", ErrBadChain, i, err)
 		}
-		if err := groupsig.Verify(suite, groupPub, msg, layer.GroupSig); err != nil {
-			return fmt.Errorf("%w: layer %d group signature: %v", ErrBadChain, i, err)
+		if err := errs[3+3*i]; err != nil {
+			return fmt.Errorf("%w: layer %d group signature: %v", ErrBadChain, i,
+				fmt.Errorf("%w: %v", groupsig.ErrNotMember, err))
 		}
-		holder = layer.NextHolder
+		if err := errs[4+3*i]; err != nil {
+			return fmt.Errorf("%w: layer %d group signature: %v", ErrBadChain, i,
+				fmt.Errorf("%w: %v", groupsig.ErrBadSignature, err))
+		}
 	}
 	return nil
 }

@@ -1,0 +1,88 @@
+package sig
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// VerifyJob is one signature check in a batch: did the holder of Pub sign
+// Msg with Sig?
+type VerifyJob struct {
+	Pub PublicKey
+	Msg []byte
+	Sig []byte
+}
+
+// BatchVerifier is implemented by schemes that can check many signatures
+// more cheaply than a sequential loop — by fanning out across a worker pool,
+// sharing decoded keys, or consulting a memo. VerifyBatch returns one error
+// slot per job, index-aligned: errs[i] is nil iff jobs[i] verified.
+type BatchVerifier interface {
+	VerifyBatch(jobs []VerifyJob) []error
+}
+
+// KeyDecoder is implemented by schemes whose Verify pays a per-call key
+// decoding cost that can be hoisted and cached. DecodePublic parses pub once
+// into the scheme's native form; VerifyDecoded checks a signature against
+// that parsed key, skipping the decode. The decoded form must be safe for
+// concurrent use and derived purely from the key bytes.
+type KeyDecoder interface {
+	DecodePublic(pub PublicKey) (any, error)
+	VerifyDecoded(key any, msg, sigBytes []byte) error
+}
+
+// VerifyBatch checks every job against scheme. A scheme that implements
+// BatchVerifier (such as Cached) handles the batch itself; anything else is
+// checked sequentially. The result is index-aligned with jobs.
+func VerifyBatch(scheme Scheme, jobs []VerifyJob) []error {
+	if bv, ok := scheme.(BatchVerifier); ok {
+		return bv.VerifyBatch(jobs)
+	}
+	errs := make([]error, len(jobs))
+	for i, j := range jobs {
+		errs[i] = scheme.Verify(j.Pub, j.Msg, j.Sig)
+	}
+	return errs
+}
+
+// VerifyBatch verifies every job and records one signature verification per
+// job — batching is an execution strategy, not an accounting change, so the
+// recorded micro-op counts are identical to a sequential loop of
+// Suite.Verify calls.
+func (s Suite) VerifyBatch(jobs []VerifyJob) []error {
+	if s.Rec != nil {
+		for range jobs {
+			s.Rec.RecordVerify()
+		}
+	}
+	return VerifyBatch(s.Scheme, jobs)
+}
+
+// fanOut runs verify over jobs[i] for every i using up to workers
+// goroutines (including the caller), claiming indices by atomic stride so no
+// job is checked twice and stragglers cannot stall a fixed partition.
+func fanOut(verify func(VerifyJob) error, jobs []VerifyJob, workers int, errs []error) {
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= len(jobs) {
+				return
+			}
+			errs[i] = verify(jobs[i])
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 0; w < workers-1; w++ {
+		go func() {
+			defer wg.Done()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+}

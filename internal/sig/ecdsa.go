@@ -19,7 +19,10 @@ import (
 // ASN.1 DER as produced by crypto/ecdsa.
 type ECDSA struct{}
 
-var _ Scheme = ECDSA{}
+var (
+	_ Scheme     = ECDSA{}
+	_ KeyDecoder = ECDSA{}
+)
 
 const (
 	ecdsaPrivLen = 32
@@ -63,6 +66,28 @@ func (ECDSA) Verify(pub PublicKey, msg []byte, sigBytes []byte) error {
 	}
 	digest := sha256.Sum256(msg)
 	if !ecdsa.VerifyASN1(key, digest[:], sigBytes) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// DecodePublic implements KeyDecoder: it performs the SEC1 parse and
+// on-curve check once so a cache can amortize them across verifies. The
+// returned *ecdsa.PublicKey is read-only after construction and safe to
+// share between goroutines.
+func (ECDSA) DecodePublic(pub PublicKey) (any, error) {
+	return decodeECDSAPub(pub)
+}
+
+// VerifyDecoded implements KeyDecoder, checking a signature against an
+// already-parsed key from DecodePublic.
+func (ECDSA) VerifyDecoded(key any, msg []byte, sigBytes []byte) error {
+	pk, ok := key.(*ecdsa.PublicKey)
+	if !ok {
+		return fmt.Errorf("%w: not a decoded P-256 key", ErrBadKey)
+	}
+	digest := sha256.Sum256(msg)
+	if !ecdsa.VerifyASN1(pk, digest[:], sigBytes) {
 		return ErrBadSignature
 	}
 	return nil

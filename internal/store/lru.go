@@ -1,0 +1,193 @@
+package store
+
+import "sync"
+
+// LRU is a hash-sharded, bounded, least-recently-used cache. It shares
+// Sharded's shard layer design — the same power-of-two shard routing over a
+// caller-supplied hash, one lock domain per shard — but each shard
+// additionally threads its entries on an intrusive recency list so inserts
+// beyond the capacity bound evict the coldest entry in O(1) under the same
+// lock that ordered the access. Eviction only ever happens inside the
+// victim's own shard, so the per-key lock-lifetime guarantee of Sharded
+// carries over and LRU never takes two locks at once.
+//
+// The capacity bound is enforced per shard (capacity is split evenly,
+// rounded up), which keeps the global structure lock-free: Len() never
+// exceeds Cap(), and a hot shard cannot starve a cold one of its budget.
+// Safe for concurrent use. The zero value is not usable; create caches with
+// NewLRU.
+type LRU[K comparable, V any] struct {
+	hash        func(K) uint64
+	shards      []lruShard[K, V]
+	mask        uint64
+	perShardCap int
+}
+
+// lruShard is one lock domain: a map for O(1) lookup plus an intrusive
+// doubly-linked recency list (head = most recent, tail = eviction victim).
+type lruShard[K comparable, V any] struct {
+	mu   sync.Mutex
+	m    map[K]*lruEntry[K, V]
+	head *lruEntry[K, V]
+	tail *lruEntry[K, V]
+}
+
+type lruEntry[K comparable, V any] struct {
+	k          K
+	v          V
+	prev, next *lruEntry[K, V]
+}
+
+// NewLRU creates a cache holding at most ~capacity entries, split across the
+// given shard count (rounded up to a power of two; DefaultShards when
+// non-positive). Capacity defaults to 1024 when non-positive. Because the
+// bound is per shard, the exact global bound is Cap() = ceil(capacity /
+// shards) * shards ≥ capacity.
+func NewLRU[K comparable, V any](capacity, shards int, hash func(K) uint64) *LRU[K, V] {
+	if hash == nil {
+		panic("store: nil hash function")
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	l := &LRU[K, V]{
+		hash:        hash,
+		shards:      make([]lruShard[K, V], n),
+		mask:        uint64(n - 1),
+		perShardCap: (capacity + n - 1) / n,
+	}
+	for i := range l.shards {
+		l.shards[i].m = make(map[K]*lruEntry[K, V])
+	}
+	return l
+}
+
+// shardFor routes a key to its lock domain (same fold as Sharded.shardFor).
+func (l *LRU[K, V]) shardFor(k K) *lruShard[K, V] {
+	h := l.hash(k)
+	h ^= h >> 32
+	h ^= h >> 16
+	return &l.shards[h&l.mask]
+}
+
+// Cap returns the exact global capacity bound.
+func (l *LRU[K, V]) Cap() int { return l.perShardCap * len(l.shards) }
+
+// Get returns the value under k and marks it most recently used.
+func (l *LRU[K, V]) Get(k K) (V, bool) {
+	sh := l.shardFor(k)
+	sh.mu.Lock()
+	e, ok := sh.m[k]
+	if !ok {
+		sh.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	sh.moveToFront(e)
+	v := e.v
+	sh.mu.Unlock()
+	return v, true
+}
+
+// Add stores v under k (replacing any existing value), marks it most
+// recently used, and evicts the coldest entry if the shard is over budget.
+func (l *LRU[K, V]) Add(k K, v V) {
+	sh := l.shardFor(k)
+	sh.mu.Lock()
+	if e, ok := sh.m[k]; ok {
+		e.v = v
+		sh.moveToFront(e)
+		sh.mu.Unlock()
+		return
+	}
+	e := &lruEntry[K, V]{k: k, v: v}
+	sh.m[k] = e
+	sh.pushFront(e)
+	if len(sh.m) > l.perShardCap {
+		victim := sh.tail
+		sh.unlink(victim)
+		delete(sh.m, victim.k)
+	}
+	sh.mu.Unlock()
+}
+
+// Remove drops the entry under k, reporting whether one existed.
+func (l *LRU[K, V]) Remove(k K) bool {
+	sh := l.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.m[k]
+	if !ok {
+		return false
+	}
+	sh.unlink(e)
+	delete(sh.m, k)
+	return true
+}
+
+// Purge drops every entry.
+func (l *LRU[K, V]) Purge() {
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[K]*lruEntry[K, V])
+		sh.head, sh.tail = nil, nil
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int {
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// pushFront links e as the most recently used entry. Callers hold sh.mu.
+func (sh *lruShard[K, V]) pushFront(e *lruEntry[K, V]) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// unlink removes e from the recency list. Callers hold sh.mu.
+func (sh *lruShard[K, V]) unlink(e *lruEntry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront re-links e as most recently used. Callers hold sh.mu.
+func (sh *lruShard[K, V]) moveToFront(e *lruEntry[K, V]) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}

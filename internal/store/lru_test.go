@@ -1,0 +1,125 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTestLRU(capacity, shards int) *LRU[string, int] {
+	return NewLRU[string, int](capacity, shards, StringHash[string])
+}
+
+func TestLRUBasics(t *testing.T) {
+	l := newTestLRU(8, 1)
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("empty LRU returned a value")
+	}
+	l.Add("a", 1)
+	l.Add("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	l.Add("a", 10) // replace
+	if v, _ := l.Get("a"); v != 10 {
+		t.Fatalf("replaced value = %d", v)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if !l.Remove("b") {
+		t.Fatal("Remove(b) = false")
+	}
+	if l.Remove("b") {
+		t.Fatal("second Remove(b) = true")
+	}
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("removed key still present")
+	}
+	l.Purge()
+	if l.Len() != 0 {
+		t.Fatalf("Len after Purge = %d", l.Len())
+	}
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("purged key still present")
+	}
+}
+
+// TestLRUEvictionBound: the cache never holds more entries than its
+// capacity, no matter how many keys pass through it.
+func TestLRUEvictionBound(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		l := newTestLRU(64, shards)
+		cap := l.Cap()
+		for i := 0; i < 10*cap; i++ {
+			l.Add(fmt.Sprintf("key-%d", i), i)
+			if got := l.Len(); got > cap {
+				t.Fatalf("shards=%d: Len %d exceeds Cap %d", shards, got, cap)
+			}
+		}
+		if l.Len() != cap {
+			t.Fatalf("shards=%d: Len %d after overfill, want full cache %d", shards, l.Len(), cap)
+		}
+	}
+}
+
+// TestLRUEvictsLeastRecent: within one shard, a Get protects an entry from
+// the next eviction and the coldest entry goes first.
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	l := newTestLRU(3, 1)
+	l.Add("a", 1)
+	l.Add("b", 2)
+	l.Add("c", 3)
+	l.Get("a")    // a is now most recent; b is coldest
+	l.Add("d", 4) // evicts b
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("coldest entry survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := l.Get(k); !ok {
+			t.Fatalf("entry %q evicted out of order", k)
+		}
+	}
+}
+
+func TestLRUDefaults(t *testing.T) {
+	l := NewLRU[string, int](0, 0, StringHash[string])
+	if l.Cap() <= 0 {
+		t.Fatalf("default Cap = %d", l.Cap())
+	}
+	l.Add("x", 1)
+	if v, ok := l.Get("x"); !ok || v != 1 {
+		t.Fatalf("Get(x) = %d, %v", v, ok)
+	}
+}
+
+// TestLRUConcurrent hammers one LRU from many goroutines with overlapping
+// key ranges — meaningful under -race, and the bound must hold throughout.
+func TestLRUConcurrent(t *testing.T) {
+	l := newTestLRU(128, 8)
+	cap := l.Cap()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("key-%d", (g*37+i)%300)
+				switch i % 4 {
+				case 0:
+					l.Add(k, i)
+				case 1:
+					l.Get(k)
+				case 2:
+					l.Add(k, -i)
+				default:
+					l.Remove(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.Len(); got > cap {
+		t.Fatalf("Len %d exceeds Cap %d after concurrent hammer", got, cap)
+	}
+}
