@@ -6,8 +6,11 @@ GO ?= go
 
 # Optional: make chaos CHAOS_SEED=42 replays one failing schedule.
 CHAOS_SEED ?=
+# Optional: make crash-suite CRASH_SEED=42 pins the crash sweep's sampling
+# seed (only matters once journals outgrow the exhaustive-sweep cap).
+CRASH_SEED ?=
 
-.PHONY: all vet build test race chaos bench bench-concurrent
+.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal
 
 all: vet build test
 
@@ -32,8 +35,24 @@ chaos:
 	WHOPAY_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v \
 		-run 'TestChaos' ./internal/core/
 
+# Crash-injection suite: the WAL's own unit tests, byte-level crash sweeps
+# for broker and peer (every byte boundary of the journal while it fits the
+# exhaustive cap), corrupt-tail recovery, the DHT restart/epoch-fence
+# tests, and the gob round-trip net. A failing sweep budget prints the
+# WHOPAY_CRASH_BUDGET=<n> WHOPAY_CRASH_SEED=<n> pair that replays it.
+crash-suite:
+	$(GO) test -race -count=1 ./internal/wal/...
+	WHOPAY_CRASH_SEED=$(CRASH_SEED) $(GO) test -race -count=1 \
+		-run 'Crash|CorruptTail|GobRoundTrip|WALBatch' ./internal/core/
+	$(GO) test -race -count=1 -run 'Restart|Epoch' ./internal/dht/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# WAL overhead on transfer and deposit, per fsync policy. Reference
+# numbers live in results/wal_bench.txt.
+bench-wal:
+	$(GO) test ./internal/core/ -run '^$$' -bench WAL -benchtime 2000x -count 3
 
 # Goroutine-sweep benchmarks for the sharded state store: broker purchase
 # and owner transfer throughput as client concurrency grows. Reference

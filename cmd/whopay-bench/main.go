@@ -6,6 +6,13 @@
 // measures the ECDSA P-256 stand-in (and optionally Ed25519) with the same
 // methodology — N iterations of each micro-operation, averaged.
 //
+// The -protocol mode instead measures end-to-end protocol operations
+// (transfer hops and deposit cycles) over the in-memory bus, optionally
+// with the write-ahead log enabled, to put a number on durability's cost:
+//
+//	whopay-bench -protocol -ops 2000
+//	whopay-bench -protocol -persist /tmp/whopay-wal -fsync always
+//
 // Usage:
 //
 //	whopay-bench -scheme ecdsa -iters 1000
@@ -17,11 +24,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
+	"whopay/internal/bus"
+	"whopay/internal/core"
 	"whopay/internal/costmodel"
 	"whopay/internal/sig"
+	"whopay/internal/wal"
 )
 
 func main() {
@@ -38,6 +50,10 @@ func run() error {
 		relative   = flag.Bool("relative", false, "also print Table 3 (relative cost units)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		protocol   = flag.Bool("protocol", false, "measure protocol operations (transfer, deposit) instead of crypto micro-ops")
+		ops        = flag.Int("ops", 2000, "protocol operations per measurement")
+		persistDir = flag.String("persist", "", "journal broker and payer state under this directory (protocol mode; empty: in-memory)")
+		fsyncMode  = flag.String("fsync", "never", "journal fsync policy: never, interval, always")
 	)
 	flag.Parse()
 
@@ -79,6 +95,10 @@ func run() error {
 		return fmt.Errorf("unknown scheme %q (ecdsa|ed25519|all)", *schemeName)
 	}
 
+	if *protocol || *persistDir != "" {
+		return runProtocolBench(schemes[0], *ops, *persistDir, *fsyncMode)
+	}
+
 	fmt.Printf("Table 2 analog — %d iterations per operation\n", *iters)
 	fmt.Println("(paper, DSA-1024 on a 3.06GHz Xeon: keygen 7.8ms, sign 13.9ms, verify 12.3ms)")
 	fmt.Println()
@@ -94,4 +114,156 @@ func run() error {
 		fmt.Print(costmodel.RelativeTable())
 	}
 	return nil
+}
+
+// runProtocolBench measures end-to-end transfer hops and full deposit
+// cycles over the in-memory bus, so the numbers isolate protocol +
+// journaling cost from TCP. With -persist, the broker and every
+// participating peer journal under persistDir with the given fsync policy.
+func runProtocolBench(scheme sig.Scheme, ops int, persistDir, fsyncMode string) error {
+	if ops < 1 {
+		return fmt.Errorf("ops must be >= 1")
+	}
+	walConfig := func(role string) (*wal.Config, error) {
+		if persistDir == "" {
+			return nil, nil
+		}
+		policy, err := wal.ParsePolicy(fsyncMode)
+		if err != nil {
+			return nil, err
+		}
+		sub := filepath.Join(persistDir, role)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, err
+		}
+		return &wal.Config{Dir: sub, Policy: policy}, nil
+	}
+
+	network := bus.NewMemory()
+	dir := core.NewDirectory()
+	judge, err := core.NewJudge(scheme)
+	if err != nil {
+		return err
+	}
+	brokerWAL, err := walConfig("broker")
+	if err != nil {
+		return err
+	}
+	broker, err := core.NewBroker(core.BrokerConfig{
+		Network:     network,
+		Addr:        "broker",
+		Scheme:      scheme,
+		Directory:   dir,
+		GroupPub:    judge.GroupPublicKey(),
+		Persistence: brokerWAL,
+	})
+	if err != nil {
+		return err
+	}
+	defer broker.Close()
+
+	mkPeer := func(id string) (*core.Peer, error) {
+		cfg, err := walConfig(id)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewPeer(core.PeerConfig{
+			ID:          id,
+			Network:     network,
+			Addr:        bus.Address("addr:" + id),
+			Scheme:      scheme,
+			Directory:   dir,
+			BrokerAddr:  broker.Addr(),
+			BrokerPub:   broker.PublicKey(),
+			Judge:       judge,
+			Persistence: cfg,
+		})
+	}
+	owner, err := mkPeer("owner")
+	if err != nil {
+		return err
+	}
+	defer owner.Close()
+	x, err := mkPeer("x")
+	if err != nil {
+		return err
+	}
+	defer x.Close()
+	y, err := mkPeer("y")
+	if err != nil {
+		return err
+	}
+	defer y.Close()
+
+	if persistDir == "" {
+		fmt.Printf("Protocol bench — %d ops per measurement, scheme %s, persistence off\n", ops, scheme.Name())
+	} else {
+		fmt.Printf("Protocol bench — %d ops per measurement, scheme %s, journal under %s (fsync=%s)\n",
+			ops, scheme.Name(), persistDir, fsyncMode)
+	}
+
+	// Transfer: one coin ping-pongs between x and y through its owner, so
+	// each op is a full transfer round (owner re-binding + broker watch).
+	id, err := owner.Purchase(1, false)
+	if err != nil {
+		return fmt.Errorf("purchase: %w", err)
+	}
+	if err := owner.IssueTo(x.Addr(), id); err != nil {
+		return fmt.Errorf("issue: %w", err)
+	}
+	// A coin's record grows with every re-binding, so retire the coin and
+	// mint a fresh one every 64 hops (off the clock) to measure the
+	// steady-state hop cost rather than history growth.
+	const freshEvery = 64
+	cur, nxt := x, y
+	var transferTime time.Duration
+	for i := 0; i < ops; i++ {
+		if i > 0 && i%freshEvery == 0 {
+			if err := cur.Deposit(id, "payout:bench"); err != nil {
+				return fmt.Errorf("retire %d: %w", i, err)
+			}
+			if id, err = owner.Purchase(1, false); err != nil {
+				return fmt.Errorf("re-mint %d: %w", i, err)
+			}
+			if err := owner.IssueTo(cur.Addr(), id); err != nil {
+				return fmt.Errorf("re-issue %d: %w", i, err)
+			}
+		}
+		t0 := time.Now()
+		if err := cur.TransferTo(nxt.Addr(), id); err != nil {
+			return fmt.Errorf("transfer %d: %w", i, err)
+		}
+		transferTime += time.Since(t0)
+		cur, nxt = nxt, cur
+	}
+	reportOps("transfer hop", ops, transferTime)
+
+	// Deposit: a full coin lifecycle per op — purchase, self-issue,
+	// deposit — the heaviest journaling path on the broker.
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		id, err := owner.Purchase(1, false)
+		if err != nil {
+			return fmt.Errorf("purchase %d: %w", i, err)
+		}
+		if err := owner.IssueTo(owner.Addr(), id); err != nil {
+			return fmt.Errorf("issue %d: %w", i, err)
+		}
+		if err := owner.Deposit(id, "payout:bench"); err != nil {
+			return fmt.Errorf("deposit %d: %w", i, err)
+		}
+	}
+	reportOps("deposit cycle", ops, time.Since(start))
+
+	if err := broker.PersistenceErr(); err != nil {
+		return fmt.Errorf("broker journal: %w", err)
+	}
+	return nil
+}
+
+func reportOps(name string, ops int, elapsed time.Duration) {
+	per := elapsed / time.Duration(ops)
+	fmt.Printf("  %-14s %8d ops  %12v total  %10v/op  %8.0f ops/s\n",
+		name, ops, elapsed.Round(time.Millisecond), per.Round(time.Microsecond),
+		float64(ops)/elapsed.Seconds())
 }

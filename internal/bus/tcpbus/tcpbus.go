@@ -47,8 +47,11 @@ type reply struct {
 // Network is a TCP-backed bus.Network. The zero value is not usable; use
 // New.
 type Network struct {
-	dialTimeout time.Duration
-	callTimeout time.Duration
+	dialTimeout  time.Duration
+	callTimeout  time.Duration
+	idleTimeout  time.Duration
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 }
 
 var _ bus.Network = (*Network)(nil)
@@ -61,16 +64,49 @@ func WithDialTimeout(d time.Duration) Option {
 	return func(n *Network) { n.dialTimeout = d }
 }
 
-// WithCallTimeout sets the per-call deadline (default 30s).
+// WithCallTimeout sets the caller's budget for the whole exchange — it
+// bounds the wait for the reply, which includes the remote handler's
+// execution time (default 30s).
 func WithCallTimeout(d time.Duration) Option {
 	return func(n *Network) { n.callTimeout = d }
 }
 
+// WithIdleTimeout bounds how long an accepted connection may take to
+// deliver its complete request (default 10s). A peer that connects and
+// then goes silent — or trickles bytes — is cut off at this deadline, so
+// hung or malicious clients cannot pin server goroutines and file
+// descriptors indefinitely.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(n *Network) { n.idleTimeout = d }
+}
+
+// WithReadTimeout bounds the caller-side wait for reply bytes once the
+// request is sent, when smaller than the call timeout (default: the call
+// timeout).
+func WithReadTimeout(d time.Duration) Option {
+	return func(n *Network) { n.readTimeout = d }
+}
+
+// WithWriteTimeout bounds each side's write of its message (default 10s).
+// A peer that stops draining its receive buffer stalls our write; this
+// deadline frees the goroutine instead of wedging on it.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(n *Network) { n.writeTimeout = d }
+}
+
 // New returns a TCP Network.
 func New(opts ...Option) *Network {
-	n := &Network{dialTimeout: 5 * time.Second, callTimeout: 30 * time.Second}
+	n := &Network{
+		dialTimeout:  5 * time.Second,
+		callTimeout:  30 * time.Second,
+		idleTimeout:  10 * time.Second,
+		writeTimeout: 10 * time.Second,
+	}
 	for _, o := range opts {
 		o(n)
+	}
+	if n.readTimeout == 0 || n.readTimeout > n.callTimeout {
+		n.readTimeout = n.callTimeout
 	}
 	return n
 }
@@ -92,6 +128,7 @@ func (n *Network) Listen(addr bus.Address, h bus.Handler) (bus.Endpoint, error) 
 		addr:    bus.Address(ln.Addr().String()),
 		handler: h,
 		done:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
 	}
 	ep.wg.Add(1)
 	go ep.serve()
@@ -108,6 +145,26 @@ type endpoint struct {
 	closed bool
 	done   chan struct{}
 	wg     sync.WaitGroup
+	conns  map[net.Conn]struct{}
+}
+
+// track registers an accepted connection so Close can sever it; it reports
+// false (and closes the conn) when the endpoint is already shutting down.
+func (e *endpoint) track(conn net.Conn) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		conn.Close()
+		return false
+	}
+	e.conns[conn] = struct{}{}
+	return true
+}
+
+func (e *endpoint) untrack(conn net.Conn) {
+	e.mu.Lock()
+	delete(e.conns, conn)
+	e.mu.Unlock()
 }
 
 var _ bus.Endpoint = (*endpoint)(nil)
@@ -158,10 +215,17 @@ func (e *endpoint) serve() {
 }
 
 func (e *endpoint) serveConn(conn net.Conn) {
+	if !e.track(conn) {
+		return
+	}
+	defer e.untrack(conn)
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(e.net.callTimeout))
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	// The idle deadline is absolute and covers the whole request: a client
+	// that connects and goes silent, or trickles one byte at a time, is cut
+	// off here instead of pinning this goroutine for the full call timeout.
+	_ = conn.SetReadDeadline(time.Now().Add(e.net.idleTimeout))
 	var env envelope
 	if err := dec.Decode(&env); err != nil {
 		return
@@ -171,6 +235,9 @@ func (e *endpoint) serveConn(conn net.Conn) {
 	if err != nil {
 		out = reply{Err: err.Error(), Code: bus.ErrorCode(err), IsErr: true}
 	}
+	// The write deadline starts after the handler: a client that stops
+	// draining its receive buffer cannot wedge the reply.
+	_ = conn.SetWriteDeadline(time.Now().Add(e.net.writeTimeout))
 	_ = enc.Encode(&out)
 }
 
@@ -187,12 +254,15 @@ func (e *endpoint) Call(to bus.Address, msg any) (any, error) {
 		return nil, fmt.Errorf("%w: %s: %v", bus.ErrUnreachable, to, err)
 	}
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(e.net.callTimeout))
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
+	_ = conn.SetWriteDeadline(time.Now().Add(e.net.writeTimeout))
 	if err := enc.Encode(&envelope{From: e.addr, Payload: msg}); err != nil {
 		return nil, fmt.Errorf("tcpbus: encoding request to %s: %w", to, err)
 	}
+	// The reply wait covers the remote handler's execution, so it gets the
+	// (larger) read budget rather than the write deadline.
+	_ = conn.SetReadDeadline(time.Now().Add(e.net.readTimeout))
 	var rep reply
 	if err := dec.Decode(&rep); err != nil {
 		return nil, fmt.Errorf("tcpbus: reading reply from %s: %w", to, err)
@@ -212,6 +282,11 @@ func (e *endpoint) Close() error {
 	}
 	e.closed = true
 	close(e.done)
+	// Sever in-flight connections so Close does not wait out their
+	// deadlines — a hung peer must not delay shutdown.
+	for conn := range e.conns {
+		conn.Close()
+	}
 	e.mu.Unlock()
 	err := e.ln.Close()
 	e.wg.Wait()

@@ -228,6 +228,85 @@ func TestSentinelCodeSurvivesTCPHop(t *testing.T) {
 	}
 }
 
+// TestSlowClientDoesNotWedgeServer: connections that never deliver a
+// request — silent or trickling bytes — are cut off by the idle timeout,
+// and legitimate calls keep succeeding while they hang around. This is the
+// "hung peer must not wedge the broker" guarantee.
+func TestSlowClientDoesNotWedgeServer(t *testing.T) {
+	n := New(WithIdleTimeout(100 * time.Millisecond))
+	srv, err := n.Listen("127.0.0.1:0", func(_ bus.Address, msg any) (any, error) {
+		return msg, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A silent client and a trickler that sends garbage prefix bytes then
+	// stalls mid-"request".
+	silent, err := net.Dial("tcp", string(srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	trickler, err := net.Dial("tcp", string(srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trickler.Close()
+	if _, err := trickler.Write([]byte{0x13, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A real call succeeds while the slow connections are still open.
+	cli, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Call(srv.Addr(), testMsg{Kind: "live", N: 1}); err != nil {
+		t.Fatalf("call wedged behind slow clients: %v", err)
+	}
+
+	// The server severs both slow connections within the idle timeout: our
+	// next read observes the close instead of blocking forever.
+	for name, conn := range map[string]net.Conn{"silent": silent, "trickler": trickler} {
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Errorf("%s connection still open past the idle timeout", name)
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Errorf("%s connection not severed by the server", name)
+		}
+	}
+}
+
+// TestCloseSeversHungConnections: Close must not wait out the idle
+// deadline of a peer that is sitting on an open connection.
+func TestCloseSeversHungConnections(t *testing.T) {
+	n := New(WithIdleTimeout(time.Hour)) // deadline alone would block Close
+	srv, err := n.Listen("127.0.0.1:0", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", string(srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Let the server accept the connection before closing.
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung behind an idle connection")
+	}
+}
+
 // countingListener wraps a (pre-closed) listener and counts Accept calls.
 type countingListener struct {
 	net.Listener

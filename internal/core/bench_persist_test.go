@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"whopay/internal/wal"
+)
+
+// WAL overhead benchmarks: the same protocol operation measured with no
+// journal, with a journal that never fsyncs (OS page cache absorbs the
+// write), and with fsync on every commit. The none/never gap is the cost
+// of encoding + the write syscall; the never/always gap is the disk.
+
+type walVariant struct {
+	name string
+	cfg  func(b *testing.B) *wal.Config
+}
+
+func walVariants() []walVariant {
+	return []walVariant{
+		{"none", func(b *testing.B) *wal.Config { return nil }},
+		{"fsync=never", func(b *testing.B) *wal.Config {
+			return &wal.Config{Dir: b.TempDir(), Policy: wal.FsyncNever}
+		}},
+		{"fsync=always", func(b *testing.B) *wal.Config {
+			return &wal.Config{Dir: b.TempDir(), Policy: wal.FsyncAlways}
+		}},
+	}
+}
+
+// persistedPeer adds a peer journaling to its own directory under the
+// variant's policy (or an in-memory peer for the nil variant).
+func persistedPeer(b *testing.B, f *fixture, id string, v walVariant) *Peer {
+	b.Helper()
+	cfg := f.peerConfig(id, nil)
+	cfg.Persistence = v.cfg(b)
+	return f.addPeerWith(cfg)
+}
+
+// BenchmarkTransferWAL measures one owner-mediated transfer hop: the coin
+// ping-pongs between two payees through its owner, so every iteration is a
+// full TransferRequest/Deliver/Commit round with the broker, owner, and
+// both peers journaling.
+func BenchmarkTransferWAL(b *testing.B) {
+	for _, v := range walVariants() {
+		b.Run(v.name, func(b *testing.B) {
+			f := newFixture(b, fixtureOpts{persist: v.cfg(b)})
+			owner := persistedPeer(b, f, "owner", v)
+			x := persistedPeer(b, f, "x", v)
+			y := persistedPeer(b, f, "y", v)
+
+			id, err := owner.Purchase(1, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := owner.IssueTo(x.Addr(), id); err != nil {
+				b.Fatal(err)
+			}
+			// A coin's record grows with every re-binding, so an unbounded
+			// ping-pong would measure history growth, not steady-state hop
+			// cost: retire the coin and mint a fresh one every 64 hops,
+			// off the clock.
+			const freshEvery = 64
+			cur, nxt := x, y
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i > 0 && i%freshEvery == 0 {
+					b.StopTimer()
+					if err := cur.Deposit(id, "payout:bench"); err != nil {
+						b.Fatal(err)
+					}
+					if id, err = owner.Purchase(1, false); err != nil {
+						b.Fatal(err)
+					}
+					if err := owner.IssueTo(cur.Addr(), id); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				if err := cur.TransferTo(nxt.Addr(), id); err != nil {
+					b.Fatal(err)
+				}
+				cur, nxt = nxt, cur
+			}
+		})
+	}
+}
+
+// BenchmarkDepositWAL measures a full coin lifecycle per iteration:
+// purchase, self-issue, deposit. This is the heaviest journaling path —
+// the broker commits a mint, a binding, and a payout per round.
+func BenchmarkDepositWAL(b *testing.B) {
+	for _, v := range walVariants() {
+		b.Run(v.name, func(b *testing.B) {
+			f := newFixture(b, fixtureOpts{persist: v.cfg(b)})
+			alice := persistedPeer(b, f, "alice", v)
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id, err := alice.Purchase(1, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := alice.IssueTo(alice.Addr(), id); err != nil {
+					b.Fatal(err)
+				}
+				if err := alice.Deposit(id, "payout:bench"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"whopay/internal/groupsig"
 	"whopay/internal/sig"
 	"whopay/internal/store"
+	"whopay/internal/wal"
 )
 
 // Clock supplies time to protocol entities; the simulator injects virtual
@@ -62,6 +63,13 @@ type BrokerConfig struct {
 	// fan-out. Default off (cache enabled); a Null scheme bypasses the
 	// cache on its own.
 	DisableCryptoCache bool
+	// Persistence, when non-nil, makes the broker crash-safe: every
+	// protocol-relevant mutation is journaled to a write-ahead log under
+	// Persistence.Dir before the response is sent, and NewBroker recovers
+	// any durable state it finds there (DESIGN.md §10). Nil keeps the
+	// broker purely in-memory with behavior identical to before the
+	// durability layer existed.
+	Persistence *wal.Config
 }
 
 // depositRecord remembers a redeemed coin.
@@ -112,9 +120,12 @@ type Broker struct {
 	downtime    *store.Sharded[coin.ID, *coin.Binding]
 	pendingSync *store.Sharded[string, []coin.ID]
 	relinquish  *store.Sharded[coin.ID, map[uint64]RelinquishProof] // audit trail for broker-era re-bindings
-	deposited   *store.Sharded[coin.ID, *depositRecord]
+	deposited   *store.Durable[coin.ID, *depositRecord]
 	ledger      *store.Ledger
-	frozen      *store.Sharded[string, struct{}]
+	frozen      *store.Durable[string, struct{}]
+
+	persist   *persistLog // nil when Persistence is not configured
+	recovered bool        // durable state was found and replayed
 
 	issuedValue    atomic.Int64
 	depositedValue atomic.Int64
@@ -150,10 +161,25 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		downtime:    store.NewSharded[coin.ID, *coin.Binding](brokerShards, coinKey),
 		pendingSync: store.NewSharded[string, []coin.ID](brokerShards, store.StringHash[string]),
 		relinquish:  store.NewSharded[coin.ID, map[uint64]RelinquishProof](brokerShards, coinKey),
-		deposited:   store.NewSharded[coin.ID, *depositRecord](brokerShards, coinKey),
 		ledger:      store.NewLedger(brokerShards, cfg.InitialCredit),
-		frozen:      store.NewSharded[string, struct{}](brokerShards, store.StringHash[string]),
 	}
+	// A nil *persistLog must stay an untyped-nil Journal, or Durable would
+	// see a non-nil interface and journal into nothing.
+	var journal store.Journal
+	if cfg.Persistence != nil {
+		log, err := wal.Open(*cfg.Persistence)
+		if err != nil {
+			return nil, fmt.Errorf("core: broker wal: %w", err)
+		}
+		b.persist = &persistLog{log: log}
+		journal = b.persist
+	}
+	b.deposited = store.NewDurable(
+		store.NewSharded[coin.ID, *depositRecord](brokerShards, coinKey),
+		tblDeposit, journal, store.StringCodec[coin.ID](), codecDeposit())
+	b.frozen = store.NewDurable(
+		store.NewSharded[string, struct{}](brokerShards, store.StringHash[string]),
+		tblFrozen, journal, store.StringCodec[string](), store.UnitCodec())
 	if !cfg.DisableCryptoCache {
 		b.suite, b.cache = sig.NewCachedSuite(b.suite, sig.CacheOptions{})
 	}
@@ -163,14 +189,37 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		// verifies out of the memo.
 		b.gsv.OnRevoke = b.cache.InvalidateKey
 	}
-	// The broker's signing key is setup, not operation cost.
-	keys, err := cfg.Scheme.GenerateKey()
-	if err != nil {
-		return nil, fmt.Errorf("core: broker keygen: %w", err)
+	if b.persist != nil {
+		recovered, err := b.recoverBrokerState()
+		if err != nil {
+			_ = b.persist.log.Close()
+			return nil, fmt.Errorf("core: broker recovery: %w", err)
+		}
+		b.recovered = recovered
 	}
-	b.keys = keys
+	if len(b.keys.Public) == 0 {
+		// Fresh start (or no persistence): the broker's signing key is
+		// setup, not operation cost.
+		keys, err := cfg.Scheme.GenerateKey()
+		if err != nil {
+			return nil, fmt.Errorf("core: broker keygen: %w", err)
+		}
+		b.keys = keys
+		if b.persist != nil {
+			// The key must be durable before the first coin is signed:
+			// losing it orphans every coin in circulation.
+			b.journalKeys()
+			if err := b.PersistenceErr(); err != nil {
+				_ = b.persist.log.Close()
+				return nil, fmt.Errorf("core: broker key journal: %w", err)
+			}
+		}
+	}
 	ep, err := cfg.Network.Listen(cfg.Addr, b.handle)
 	if err != nil {
+		if b.persist != nil {
+			_ = b.persist.log.Close()
+		}
 		return nil, fmt.Errorf("core: broker listen: %w", err)
 	}
 	b.ep = ep
@@ -180,11 +229,36 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		b.dhtc, err = dht.NewClient(ep, cfg.DHTNodes, cfg.DHTMode)
 		if err != nil {
 			_ = ep.Close()
+			if b.persist != nil {
+				_ = b.persist.log.Close()
+			}
 			return nil, fmt.Errorf("core: broker dht client: %w", err)
 		}
 	}
 	return b, nil
 }
+
+// RecoverBroker starts a broker from the durable state under
+// cfg.Persistence.Dir, failing when there is none (NewBroker also recovers
+// opportunistically; this entry point is for restarts that must not
+// silently mint a fresh broker with a fresh key).
+func RecoverBroker(cfg BrokerConfig) (*Broker, error) {
+	if cfg.Persistence == nil {
+		return nil, errors.New("core: RecoverBroker needs cfg.Persistence")
+	}
+	b, err := NewBroker(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !b.recovered {
+		_ = b.Close()
+		return nil, fmt.Errorf("core: no durable broker state under %s", cfg.Persistence.Dir)
+	}
+	return b, nil
+}
+
+// Recovered reports whether this broker replayed durable state at startup.
+func (b *Broker) Recovered() bool { return b.recovered }
 
 // Addr returns the broker's bus address (the actually-bound one).
 func (b *Broker) Addr() bus.Address { return b.cfg.Addr }
@@ -197,8 +271,17 @@ func (b *Broker) BoundAddr() bus.Address { return b.cfg.Addr }
 // and downtime bindings against it.
 func (b *Broker) PublicKey() sig.PublicKey { return b.keys.Public.Clone() }
 
-// Close stops the broker.
-func (b *Broker) Close() error { return b.ep.Close() }
+// Close stops the broker and (when persisted) flushes and closes its
+// journal.
+func (b *Broker) Close() error {
+	err := b.ep.Close()
+	if b.persist != nil {
+		if lerr := b.persist.log.Close(); err == nil {
+			err = lerr
+		}
+	}
+	return err
+}
 
 // Ops returns a snapshot of the broker's operation counts (lock-free).
 func (b *Broker) Ops() OpCounts { return b.ops.Snapshot() }
@@ -253,8 +336,15 @@ func (b *Broker) FraudCases() []FraudCase {
 // (tests/metrics for the eviction policy).
 func (b *Broker) ServiceLocks() int { return b.svc.Len() }
 
-// handle dispatches one protocol message.
+// handle dispatches one protocol message, then cuts a compaction snapshot
+// if the journal has crossed its growth threshold.
 func (b *Broker) handle(from bus.Address, msg any) (any, error) {
+	resp, err := b.dispatch(from, msg)
+	b.maybePersistSnapshot()
+	return resp, err
+}
+
+func (b *Broker) dispatch(_ bus.Address, msg any) (any, error) {
 	switch m := msg.(type) {
 	case PurchaseRequest:
 		return b.handlePurchase(m)
@@ -334,6 +424,7 @@ func (b *Broker) handlePurchase(m PurchaseRequest) (any, error) {
 		return nil, fmt.Errorf("%w: coin key already registered", ErrBadRequest)
 	}
 	b.purchasedBy.Set(c.ID(), m.Buyer)
+	b.journalMint([]*coin.Coin{c}, m.Buyer)
 	b.issuedValue.Add(c.Value)
 	b.ops.Inc(OpPurchase)
 	return PurchaseResponse{Coin: *c}, nil
@@ -405,6 +496,13 @@ func (b *Broker) handleBatchPurchase(m BatchPurchaseRequest) (any, error) {
 			return nil, fmt.Errorf("%w: coin key already registered", ErrBadRequest)
 		}
 		b.purchasedBy.Set(c.ID(), m.Buyer)
+	}
+	if b.persist != nil {
+		minted := make([]*coin.Coin, len(coins))
+		for i := range coins {
+			minted[i] = &coins[i]
+		}
+		b.journalMint(minted, m.Buyer)
 	}
 	b.issuedValue.Add(total)
 	b.ops.Inc(OpPurchase)
@@ -562,6 +660,13 @@ func (b *Broker) handleDowntimeTransfer(m TransferRequest) (any, error) {
 		return nil, fmt.Errorf("core: signing challenge: %w", err)
 	}
 
+	// Journal the relinquishment intent before the new binding leaves the
+	// broker: once the payee holds a broker-signed binding, the proof that
+	// justified it must survive any crash (else the audit-trail walk would
+	// read the re-binding as owner fraud — a false punishment).
+	proof := RelinquishProof{Body: m.Body, HolderSig: m.HolderSig, PrevHold: cur.Holder.Clone()}
+	b.journalIntent(c.ID(), cur.Seq, proof)
+
 	// Deliver to the payee before committing: nothing to roll back if
 	// the payee is gone.
 	_, err = b.ep.Call(bus.Address(m.Body.PayeeAddr), DeliverRequest{
@@ -573,9 +678,11 @@ func (b *Broker) handleDowntimeTransfer(m TransferRequest) (any, error) {
 		return TransferResponse{OK: false, Reason: "payee delivery failed: " + err.Error()}, nil
 	}
 
+	owner := b.ownerIdentity(c)
 	b.downtime.Set(c.ID(), next)
-	b.recordRelinquish(c.ID(), cur.Seq, RelinquishProof{Body: m.Body, HolderSig: m.HolderSig, PrevHold: cur.Holder.Clone()})
-	b.queueSync(b.ownerIdentity(c), c.ID())
+	b.recordRelinquish(c.ID(), cur.Seq, proof)
+	b.queueSync(owner, c.ID())
+	b.journalDowntimeCommit(c.ID(), owner)
 
 	b.publishBinding(next)
 	b.ops.Inc(OpDowntimeTransfer)
@@ -625,6 +732,7 @@ func (b *Broker) handleDowntimeRenew(m RenewRequest) (any, error) {
 		return nil, fmt.Errorf("core: signing renewal binding: %w", err)
 	}
 
+	owner := b.ownerIdentity(c)
 	b.downtime.Set(c.ID(), next)
 	b.recordRelinquish(c.ID(), cur.Seq, RelinquishProof{
 		Renewal:   true,
@@ -632,7 +740,8 @@ func (b *Broker) handleDowntimeRenew(m RenewRequest) (any, error) {
 		HolderSig: m.HolderSig,
 		PrevHold:  cur.Holder.Clone(),
 	})
-	b.queueSync(b.ownerIdentity(c), c.ID())
+	b.queueSync(owner, c.ID())
+	b.journalDowntimeCommit(c.ID(), owner)
 
 	b.publishBinding(next)
 	b.ops.Inc(OpDowntimeRenewal)
@@ -700,8 +809,9 @@ func (b *Broker) handleSync(m SyncRequest) (any, error) {
 	if err := b.suite.Verify(entry.Pub, syncMessage(m.Identity, m.Nonce), m.Sig); err != nil {
 		return nil, fmt.Errorf("%w: sync signature: %v", ErrBadRequest, err)
 	}
-	ids, _ := b.pendingSync.GetAndDelete(m.Identity)
+	ids, hadQueue := b.pendingSync.GetAndDelete(m.Identity)
 	var bindings []coin.Binding
+	var drained []coin.ID
 	seen := make(map[coin.ID]bool, len(ids))
 	for _, id := range ids {
 		if seen[id] {
@@ -715,7 +825,11 @@ func (b *Broker) handleSync(m SyncRequest) (any, error) {
 		// re-verify from presented evidence.
 		if binding, ok := b.downtime.GetAndDelete(id); ok {
 			bindings = append(bindings, *binding)
+			drained = append(drained, id)
 		}
+	}
+	if hadQueue {
+		b.journalSyncDrain(m.Identity, drained)
 	}
 	b.ops.Inc(OpSync)
 	return SyncResponse{Bindings: bindings}, nil
@@ -739,10 +853,11 @@ func (b *Broker) publishBinding(binding *coin.Binding) {
 
 func (b *Broker) recordCase(fc FraudCase) uint64 {
 	b.casesMu.Lock()
-	defer b.casesMu.Unlock()
 	b.caseSeq++
 	fc.ID = b.caseSeq
 	b.cases = append(b.cases, fc)
+	b.casesMu.Unlock()
+	b.journalCase(fc)
 	return fc.ID
 }
 

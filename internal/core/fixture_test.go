@@ -11,6 +11,7 @@ import (
 	"whopay/internal/dht"
 	"whopay/internal/indirect"
 	"whopay/internal/sig"
+	"whopay/internal/wal"
 )
 
 // fakeClock is a controllable Clock for protocol tests.
@@ -42,7 +43,9 @@ type fixtureOpts struct {
 	syncMode  SyncMode
 	indirect  bool
 	dhtNodes  int
-	retry     *bus.RetryPolicy // peers retry transient transport failures
+	retry      *bus.RetryPolicy // peers retry transient transport failures
+	persist    *wal.Config      // broker durability (nil: in-memory broker)
+	dhtPersist *wal.Config      // DHT node durability (nil: in-memory nodes)
 }
 
 type fixture struct {
@@ -58,6 +61,23 @@ type fixture struct {
 	broker *Broker
 	opts   fixtureOpts
 	seq    int
+
+	brokerCfg BrokerConfig // as passed to NewBroker, for restarts
+}
+
+// restartBroker kills the broker (without any shutdown grace — Close only
+// releases the bus address and journal handles) and recovers a new one from
+// its durable state at the same address. Live peers keep their existing
+// BrokerAddr and BrokerPub: recovery restores the same signing key, so
+// nothing on the peer side changes.
+func (f *fixture) restartBroker() {
+	f.t.Helper()
+	_ = f.broker.Close()
+	nb, err := RecoverBroker(f.brokerCfg)
+	if err != nil {
+		f.t.Fatalf("broker recovery: %v", err)
+	}
+	f.broker = nb
 }
 
 // network returns the bus this fixture runs on.
@@ -100,23 +120,32 @@ func newFixture(t testing.TB, opts fixtureOpts) *fixture {
 		}
 	}
 
-	broker, err := NewBroker(BrokerConfig{
-		Network:   f.net,
-		Addr:      "broker",
-		Scheme:    f.scheme,
-		Clock:     f.clock.Now,
-		Directory: f.dir,
-		GroupPub:  judge.GroupPublicKey(),
-		DHTNodes:  dhtAddrs,
-	})
+	f.brokerCfg = BrokerConfig{
+		Network:     f.net,
+		Addr:        "broker",
+		Scheme:      f.scheme,
+		Clock:       f.clock.Now,
+		Directory:   f.dir,
+		GroupPub:    judge.GroupPublicKey(),
+		DHTNodes:    dhtAddrs,
+		Persistence: opts.persist,
+	}
+	broker, err := NewBroker(f.brokerCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	f.broker = broker
-	t.Cleanup(func() { broker.Close() })
+	t.Cleanup(func() { f.broker.Close() })
 
 	if opts.detection {
-		cluster, err := dht.NewCluster(f.net, f.scheme, opts.dhtNodes, 2, broker.PublicKey())
+		cluster, err := dht.NewClusterWithConfig(dht.ClusterConfig{
+			Network:     f.net,
+			Scheme:      f.scheme,
+			Nodes:       opts.dhtNodes,
+			Replicas:    2,
+			Trusted:     []sig.PublicKey{broker.PublicKey()},
+			Persistence: opts.dhtPersist,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,6 +176,37 @@ func (f *fixture) dhtAddrs() []bus.Address {
 // addPeer creates a peer wired into the fixture world.
 func (f *fixture) addPeer(id string, rec sig.Recorder) *Peer {
 	f.t.Helper()
+	return f.addPeerWith(f.peerConfig(id, rec))
+}
+
+// addPeerWith creates a peer from an explicit config (see peerConfig).
+func (f *fixture) addPeerWith(cfg PeerConfig) *Peer {
+	f.t.Helper()
+	p, err := NewPeer(cfg)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	f.t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// restartPeer kills a peer and recovers a replacement from its durable
+// wallet, reusing the same config (and thus the same address and identity).
+func (f *fixture) restartPeer(p *Peer, cfg PeerConfig) *Peer {
+	f.t.Helper()
+	_ = p.Close()
+	np, err := RecoverPeer(cfg)
+	if err != nil {
+		f.t.Fatalf("peer recovery: %v", err)
+	}
+	f.t.Cleanup(func() { np.Close() })
+	return np
+}
+
+// peerConfig builds the config addPeer would use, so tests that restart
+// peers can hold on to it.
+func (f *fixture) peerConfig(id string, rec sig.Recorder) PeerConfig {
+	f.t.Helper()
 	f.seq++
 	network := f.network()
 	prober, _ := network.(Prober)
@@ -154,7 +214,7 @@ func (f *fixture) addPeer(id string, rec sig.Recorder) *Peer {
 	// Addresses are identity-neutral, as real IP addresses would be: the
 	// paper scopes network-level anonymity to onion routing/Tarzan and
 	// the application protocol must not leak identities itself.
-	p, err := NewPeer(PeerConfig{
+	return PeerConfig{
 		ID:                 id,
 		Network:            network,
 		Addr:               bus.Address(fmt.Sprintf("addr:%d", f.seq)),
@@ -175,12 +235,7 @@ func (f *fixture) addPeer(id string, rec sig.Recorder) *Peer {
 		Presence:           presence,
 		Rand:               mrand.New(mrand.NewSource(int64(f.seq) * 7919)),
 		Retry:              f.opts.retry,
-	})
-	if err != nil {
-		f.t.Fatal(err)
 	}
-	f.t.Cleanup(func() { p.Close() })
-	return p
 }
 
 // dirAddr resolves an identity's address via the directory.

@@ -103,7 +103,7 @@ func (b *Broker) handleLayeredDeposit(m LayeredDepositRequest) (any, error) {
 // hops. The peer gives up its held entry: from now on the chain IS the
 // coin, and whoever holds the chain head's key controls it.
 func (p *Peer) ExportLayered(id coin.ID) (*layered.Coin, sig.KeyPair, error) {
-	hc, ok := p.held.GetAndDelete(id)
+	hc, ok := p.dropHeld(id)
 	if !ok {
 		return nil, sig.KeyPair{}, ErrUnknownCoin
 	}

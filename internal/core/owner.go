@@ -78,6 +78,7 @@ func (p *Peer) IssueTo(payee bus.Address, id coin.ID) error {
 	oc.selfHeld = false
 	oc.dirty = false
 	oc.mu.Unlock()
+	p.saveOwned(id)
 
 	p.publishOwnedBinding(oc, binding)
 	p.ops.Inc(OpIssue)
@@ -158,6 +159,7 @@ func (p *Peer) handleTransferRequest(m TransferRequest) (any, error) {
 	oc.binding = next
 	p.recordProofLocked(oc, RelinquishProof{Body: m.Body, HolderSig: m.HolderSig, PrevHold: cur.Holder.Clone()})
 	oc.mu.Unlock()
+	p.saveOwned(id)
 
 	p.publishOwnedBinding(oc, next)
 	p.ops.Inc(OpTransfer)
@@ -218,6 +220,7 @@ func (p *Peer) handleRenewRequest(m RenewRequest) (any, error) {
 		PrevHold:  cur.Holder.Clone(),
 	})
 	oc.mu.Unlock()
+	p.saveOwned(id)
 
 	p.publishOwnedBinding(oc, next)
 	p.ops.Inc(OpRenewal)
@@ -263,6 +266,7 @@ func (p *Peer) ownerCatchUp(oc *ownedCoin, presented *coin.Binding) error {
 					oc.binding = observed
 					oc.selfHeld = false
 					oc.mu.Unlock()
+					p.saveOwned(c.ID())
 					p.ops.Inc(OpLazySync)
 					localSeq = observed.Seq
 				}
@@ -284,6 +288,7 @@ func (p *Peer) ownerCatchUp(oc *ownedCoin, presented *coin.Binding) error {
 		oc.binding = presented.Clone()
 		oc.selfHeld = false
 		oc.mu.Unlock()
+		p.saveOwned(c.ID())
 		p.ops.Inc(OpLazySync)
 	}
 	return nil

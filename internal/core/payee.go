@@ -126,12 +126,14 @@ func (p *Peer) handleDeliver(m DeliverRequest) (any, error) {
 		if exists {
 			order = cur.order
 		}
-		return &heldCoin{
+		next := &heldCoin{
 			c:          c.Clone(),
 			holderKeys: po.holderKeys,
 			order:      order,
 			binding:    binding.Clone(),
-		}, store.OpSet
+		}
+		p.journalHeldSetLocked(id, next)
+		return next, store.OpSet
 	})
 
 	if p.cfg.WatchHeldCoins && p.dhtc != nil {
@@ -213,10 +215,14 @@ func (p *Peer) RecoverHeldBinding(id coin.ID) error {
 	}
 	if cur, still := p.held.Get(id); still {
 		cur.mu.Lock()
-		if observed.Seq > cur.binding.Seq {
+		adopted := observed.Seq > cur.binding.Seq
+		if adopted {
 			cur.binding = observed.Clone()
 		}
 		cur.mu.Unlock()
+		if adopted {
+			p.saveHeld(id)
+		}
 	}
 	return nil
 }
@@ -243,12 +249,17 @@ func (p *Peer) handleNotify(m dht.Notify) (any, error) {
 	if observed.Holder.Equal(hc.binding.Holder) {
 		// Same holder (a renewal we made, or a broker refresh): adopt
 		// the newer binding for free.
+		adopted := false
 		if observed.Seq > hc.binding.Seq {
 			if observed.Verify(p.suite, p.cfg.BrokerPub, p.cfg.Clock()) == nil {
 				hc.binding = observed.Clone()
+				adopted = true
 			}
 		}
 		hc.mu.Unlock()
+		if adopted {
+			p.saveHeld(id)
+		}
 		return dht.Ack{}, nil
 	}
 	if observed.Seq < hc.binding.Seq {

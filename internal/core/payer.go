@@ -74,6 +74,8 @@ func (p *Peer) Purchase(value int64, anonymous bool) (coin.ID, error) {
 		handleKeys: handleKeys,
 		selfHeld:   true,
 	})
+	p.saveOwned(c.ID())
+	p.maybePersistSnapshot()
 	p.ops.Inc(OpPurchase)
 	return c.ID(), nil
 }
@@ -119,8 +121,10 @@ func (p *Peer) PurchaseBatch(n int, value int64) ([]coin.ID, error) {
 			return nil, fmt.Errorf("%w: batch coin %d mismatched", ErrBadRequest, i)
 		}
 		p.owned.Set(c.ID(), &ownedCoin{c: c.Clone(), coinKeys: keys[i], selfHeld: true})
+		p.saveOwned(c.ID())
 		ids = append(ids, c.ID())
 	}
+	p.maybePersistSnapshot()
 	p.ops.Inc(OpPurchase)
 	return ids, nil
 }
@@ -221,7 +225,8 @@ func (p *Peer) transferCommon(payee bus.Address, id coin.ID, viaBroker bool) err
 		return fmt.Errorf("%w: %s", ErrPaymentFailed, tr.Reason)
 	}
 
-	p.held.Delete(id)
+	p.dropHeld(id)
+	p.maybePersistSnapshot()
 	p.unwatch(id)
 	if viaBroker {
 		p.ops.Inc(OpDowntimeTransfer)
@@ -299,10 +304,14 @@ func (p *Peer) renewCommon(id coin.ID, viaBroker bool) error {
 	}
 	// The watch notification may already have adopted this binding (the
 	// owner publishes before responding); only move forward.
-	if binding.Seq > hc.binding.Seq {
+	adopted := binding.Seq > hc.binding.Seq
+	if adopted {
 		hc.binding = binding.Clone()
 	}
 	hc.mu.Unlock()
+	if adopted {
+		p.saveHeld(id)
+	}
 	if viaBroker {
 		p.ops.Inc(OpDowntimeRenewal)
 	}
@@ -374,7 +383,8 @@ func (p *Peer) Deposit(id coin.ID, payoutRef string) error {
 	if _, ok := raw.(DepositResponse); !ok {
 		return fmt.Errorf("%w: unexpected deposit response %T", ErrBadRequest, raw)
 	}
-	p.held.Delete(id)
+	p.dropHeld(id)
+	p.maybePersistSnapshot()
 	p.unwatch(id)
 	p.ops.Inc(OpDeposit)
 	return nil
@@ -408,13 +418,18 @@ func (p *Peer) Sync() error {
 			continue
 		}
 		oc.mu.Lock()
-		if oc.binding == nil || binding.Seq > oc.binding.Seq {
+		adopted := oc.binding == nil || binding.Seq > oc.binding.Seq
+		if adopted {
 			oc.binding = binding.Clone()
 			oc.selfHeld = false
 		}
 		oc.dirty = false
 		oc.mu.Unlock()
+		if adopted {
+			p.saveOwned(coin.ID(binding.CoinPub))
+		}
 	}
+	p.maybePersistSnapshot()
 	p.ops.Inc(OpSync)
 	return nil
 }

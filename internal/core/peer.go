@@ -18,6 +18,7 @@ import (
 	"whopay/internal/indirect"
 	"whopay/internal/sig"
 	"whopay/internal/store"
+	"whopay/internal/wal"
 )
 
 // SyncMode selects how an owner reconciles state after rejoining (paper
@@ -123,6 +124,12 @@ type PeerConfig struct {
 	// fan-out. Default off (cache enabled); a Null scheme bypasses the
 	// cache on its own.
 	DisableCryptoCache bool
+	// Persistence, when set, makes the wallet durable: identity keys and
+	// every owned/held coin mutation are journaled to a write-ahead log
+	// under Persistence.Dir before the operation is treated as done, and
+	// NewPeer replays any existing journal at startup (see RecoverPeer).
+	// Nil keeps the wallet purely in memory — the pre-existing behavior.
+	Persistence *wal.Config
 }
 
 // ownedCoin is the owner-side state for one coin. The coin, its keys and
@@ -208,6 +215,9 @@ type Peer struct {
 	offers  *store.Sharded[string, *pendingOffer]
 	heldSeq atomic.Uint64 // acquisition stamps for held coins
 
+	persist   *persistLog // nil when cfg.Persistence is nil
+	recovered bool        // wallet state was replayed at startup
+
 	// stateMu guards the peer-global scalars: presence, trigger
 	// versioning, and the alert log.
 	stateMu     sync.Mutex
@@ -256,23 +266,48 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	if !cfg.DisableCryptoCache {
 		p.suite, p.cache = sig.NewCachedSuite(p.suite, sig.CacheOptions{})
 	}
-	// Identity keys are one-time enrollment setup, not part of any
-	// operation's cost: generate them outside the recorded suite.
-	keys, err := cfg.Scheme.GenerateKey()
-	if err != nil {
-		return nil, fmt.Errorf("core: peer keygen: %w", err)
+	if cfg.Persistence != nil {
+		log, err := wal.Open(*cfg.Persistence)
+		if err != nil {
+			return nil, fmt.Errorf("core: peer wal: %w", err)
+		}
+		p.persist = &persistLog{log: log}
+		found, err := p.recoverPeerState()
+		if err != nil {
+			_ = log.Close()
+			return nil, fmt.Errorf("core: peer recovery: %w", err)
+		}
+		p.recovered = found
 	}
-	p.keys = keys
+	if len(p.keys.Public) == 0 {
+		// Identity keys are one-time enrollment setup, not part of any
+		// operation's cost: generate them outside the recorded suite.
+		keys, err := cfg.Scheme.GenerateKey()
+		if err != nil {
+			p.closePersist()
+			return nil, fmt.Errorf("core: peer keygen: %w", err)
+		}
+		p.keys = keys
+		if p.persist != nil {
+			p.journalPeerKeys()
+			if err := p.persist.Err(); err != nil {
+				p.closePersist()
+				return nil, fmt.Errorf("core: journaling peer keys: %w", err)
+			}
+		}
+	}
 
 	switch {
 	case cfg.Member != nil:
 		if len(cfg.GroupPub) == 0 {
+			p.closePersist()
 			return nil, errors.New("core: Member requires GroupPub")
 		}
 		p.member = cfg.Member
 	case cfg.Judge != nil:
 		member, err := cfg.Judge.Enroll(cfg.ID, cfg.CredPool)
 		if err != nil {
+			p.closePersist()
 			return nil, fmt.Errorf("core: enrolling %s: %w", cfg.ID, err)
 		}
 		p.member = member
@@ -281,11 +316,13 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		// Remote enrollment happens after Listen (it needs the
 		// endpoint).
 	default:
+		p.closePersist()
 		return nil, errors.New("core: peer needs a Judge, a Member key, or a JudgeAddr")
 	}
 
 	ep, err := cfg.Network.Listen(cfg.Addr, p.handle)
 	if err != nil {
+		p.closePersist()
 		return nil, fmt.Errorf("core: peer listen: %w", err)
 	}
 	p.ep = ep
@@ -301,6 +338,7 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		member, groupPub, err := p.enrollRemotely(cfg.JudgeAddr, p.cfg.CredPool)
 		if err != nil {
 			_ = ep.Close()
+			p.closePersist()
 			return nil, fmt.Errorf("core: remote enrollment of %s: %w", cfg.ID, err)
 		}
 		p.member = member
@@ -316,6 +354,7 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		p.dhtc, err = dht.NewClient(ep, cfg.DHTNodes, cfg.DHTMode)
 		if err != nil {
 			_ = ep.Close()
+			p.closePersist()
 			return nil, fmt.Errorf("core: peer dht client: %w", err)
 		}
 		if cfg.Retry != nil {
@@ -326,6 +365,7 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		p.indir, err = indirect.NewClient(ep, cfg.IndirectServers)
 		if err != nil {
 			_ = ep.Close()
+			p.closePersist()
 			return nil, fmt.Errorf("core: peer indirect client: %w", err)
 		}
 	}
@@ -363,8 +403,19 @@ func (p *Peer) InvalidateCryptoCache() {
 	}
 }
 
-// Close stops the peer.
-func (p *Peer) Close() error { return p.ep.Close() }
+// Close stops the peer and releases its journal (when persistent).
+func (p *Peer) Close() error {
+	err := p.ep.Close()
+	p.closePersist()
+	return err
+}
+
+// closePersist releases the journal handle, if any.
+func (p *Peer) closePersist() {
+	if p.persist != nil {
+		_ = p.persist.log.Close()
+	}
+}
 
 // Online reports the peer's own availability flag.
 func (p *Peer) Online() bool {
@@ -439,8 +490,15 @@ func (p *Peer) Retries() int64 {
 	return 0
 }
 
-// handle dispatches one protocol message.
+// handle dispatches one protocol message, then cuts a compaction snapshot
+// when the journal has grown past its threshold (outside all store locks).
 func (p *Peer) handle(from bus.Address, msg any) (any, error) {
+	resp, err := p.dispatch(from, msg)
+	p.maybePersistSnapshot()
+	return resp, err
+}
+
+func (p *Peer) dispatch(_ bus.Address, msg any) (any, error) {
 	switch m := msg.(type) {
 	case OfferRequest:
 		return p.handleOffer(m)

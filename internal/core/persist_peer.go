@@ -1,0 +1,382 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"whopay/internal/coin"
+	"whopay/internal/sig"
+	"whopay/internal/store"
+	"whopay/internal/wal"
+)
+
+// Peer-side durability (DESIGN.md §10). A peer's wallet journals whole-entry
+// states — one record per owned or held coin, rewritten on every mutation —
+// rather than deltas: entries are small, full states make replay trivially
+// idempotent, and the per-entry record is atomic (a torn write loses the
+// whole update, never half a binding).
+//
+// Ordering: every journal append happens under the owning store shard's
+// write lock (saveOwned/saveHeld go through Compute), so the journal order
+// matches the memory order per coin even under concurrent payments.
+// Lock order: store shard -> entry mutex -> log mutex, consistent with the
+// peer's documented hierarchy.
+//
+// Not persisted, by design:
+//   - pending offers: an open offer's holder key dies with the process; the
+//     payer's delivery fails ErrNoOffer and the payment restarts cleanly.
+//   - group member credentials: MemberKey holds judge-coupled secrets with
+//     a refill channel; a recovered peer re-enrolls instead.
+//   - fraud alerts and trigger versions: operational, reconstructible.
+
+// ownedRec is the journaled form of an ownedCoin. The audit trail is stored
+// as aligned slices in logOrder order (maps are gob-iteration-unstable).
+type ownedRec struct {
+	Coin       coin.Coin
+	CoinKeys   sig.KeyPair
+	HandleKeys *sig.KeyPair
+	Binding    []byte // canonical marshal; nil when never issued
+	SelfHeld   bool
+	LogSeqs    []uint64
+	LogProofs  []RelinquishProof
+}
+
+// encOwnedLocked encodes an owned coin; the caller holds oc.mu.
+func encOwnedLocked(oc *ownedCoin) ([]byte, error) {
+	rec := ownedRec{
+		Coin:     *oc.c,
+		CoinKeys: oc.coinKeys,
+		SelfHeld: oc.selfHeld,
+	}
+	if oc.handleKeys != nil {
+		hk := *oc.handleKeys
+		rec.HandleKeys = &hk
+	}
+	if oc.binding != nil {
+		rec.Binding = oc.binding.Marshal()
+	}
+	rec.LogSeqs = append([]uint64(nil), oc.logOrder...)
+	for _, seq := range rec.LogSeqs {
+		rec.LogProofs = append(rec.LogProofs, oc.log[seq])
+	}
+	return gobEnc(rec)
+}
+
+func decOwned(b []byte) (*ownedCoin, error) {
+	var rec ownedRec
+	if err := gobDec(b, &rec); err != nil {
+		return nil, err
+	}
+	if len(rec.LogSeqs) != len(rec.LogProofs) {
+		return nil, errors.New("core: owned record audit-trail length mismatch")
+	}
+	c := rec.Coin
+	oc := &ownedCoin{
+		c:          &c,
+		coinKeys:   rec.CoinKeys,
+		handleKeys: rec.HandleKeys,
+		selfHeld:   rec.SelfHeld,
+	}
+	if len(rec.Binding) > 0 {
+		binding, err := coin.UnmarshalBinding(rec.Binding)
+		if err != nil {
+			return nil, fmt.Errorf("core: owned record binding: %w", err)
+		}
+		oc.binding = binding
+	}
+	if len(rec.LogSeqs) > 0 {
+		oc.log = make(map[uint64]RelinquishProof, len(rec.LogSeqs))
+		oc.logOrder = rec.LogSeqs
+		for i, seq := range rec.LogSeqs {
+			oc.log[seq] = rec.LogProofs[i]
+		}
+	}
+	return oc, nil
+}
+
+// heldRec is the journaled form of a heldCoin.
+type heldRec struct {
+	Coin       coin.Coin
+	HolderKeys sig.KeyPair
+	Order      uint64
+	Binding    []byte
+}
+
+// encHeldLocked encodes a held coin; the caller holds hc.mu (or the entry
+// is not yet published).
+func encHeldLocked(hc *heldCoin) ([]byte, error) {
+	return gobEnc(heldRec{
+		Coin:       *hc.c,
+		HolderKeys: hc.holderKeys,
+		Order:      hc.order,
+		Binding:    hc.binding.Marshal(),
+	})
+}
+
+func decHeld(b []byte) (*heldCoin, error) {
+	var rec heldRec
+	if err := gobDec(b, &rec); err != nil {
+		return nil, err
+	}
+	binding, err := coin.UnmarshalBinding(rec.Binding)
+	if err != nil {
+		return nil, fmt.Errorf("core: held record binding: %w", err)
+	}
+	c := rec.Coin
+	return &heldCoin{
+		c:          &c,
+		holderKeys: rec.HolderKeys,
+		order:      rec.Order,
+		binding:    binding,
+	}, nil
+}
+
+// journalPeerKeys writes (and force-syncs) the peer's identity keys.
+func (p *Peer) journalPeerKeys() {
+	val, err := gobEnc(keyPairRec{Public: p.keys.Public, Private: p.keys.Private})
+	if err != nil {
+		p.persist.fail(err)
+		return
+	}
+	p.persist.batch(wal.Set(tblMeta, []byte(metaKeysKey), val))
+	p.persist.fail(p.persist.log.Sync())
+}
+
+// saveOwned re-journals an owned coin's full current state. Call it after
+// releasing the entry mutex at any mutation site; capture and append are
+// atomic under the shard write lock plus oc.mu, so concurrent saves land in
+// the journal in state order.
+func (p *Peer) saveOwned(id coin.ID) {
+	if p.persist == nil {
+		return
+	}
+	p.owned.ComputeIfPresent(id, func(oc *ownedCoin) (*ownedCoin, store.Op) {
+		oc.mu.Lock()
+		val, err := encOwnedLocked(oc)
+		oc.mu.Unlock()
+		if err != nil {
+			p.persist.fail(err)
+		} else {
+			p.persist.batch(wal.Set(tblOwned, []byte(id), val))
+		}
+		return oc, store.OpKeep
+	})
+}
+
+// saveHeld re-journals a held coin's full current state (same discipline as
+// saveOwned).
+func (p *Peer) saveHeld(id coin.ID) {
+	if p.persist == nil {
+		return
+	}
+	p.held.ComputeIfPresent(id, func(hc *heldCoin) (*heldCoin, store.Op) {
+		hc.mu.Lock()
+		val, err := encHeldLocked(hc)
+		hc.mu.Unlock()
+		if err != nil {
+			p.persist.fail(err)
+		} else {
+			p.persist.batch(wal.Set(tblHeld, []byte(id), val))
+		}
+		return hc, store.OpKeep
+	})
+}
+
+// journalHeldSetLocked journals a held entry from inside a store Compute
+// (the shard write lock is held; hc is fresh or entry-locked by the caller).
+func (p *Peer) journalHeldSetLocked(id coin.ID, hc *heldCoin) {
+	if p.persist == nil {
+		return
+	}
+	val, err := encHeldLocked(hc)
+	if err != nil {
+		p.persist.fail(err)
+		return
+	}
+	p.persist.batch(wal.Set(tblHeld, []byte(id), val))
+}
+
+// dropHeld removes a held coin, journaling the delete under the shard lock
+// so it cannot interleave wrongly with a concurrent save. It returns the
+// removed entry (relinquished coins must never resurrect on replay).
+func (p *Peer) dropHeld(id coin.ID) (*heldCoin, bool) {
+	var out *heldCoin
+	found := false
+	p.held.Compute(id, func(cur *heldCoin, exists bool) (*heldCoin, store.Op) {
+		if !exists {
+			return cur, store.OpKeep
+		}
+		out, found = cur, true
+		if p.persist != nil {
+			p.persist.batch(wal.Delete(tblHeld, []byte(id)))
+		}
+		return cur, store.OpDelete
+	})
+	return out, found
+}
+
+// PersistenceErr returns the first durability failure since the peer
+// started, or nil.
+func (p *Peer) PersistenceErr() error {
+	if p.persist == nil {
+		return nil
+	}
+	return p.persist.Err()
+}
+
+// Recovered reports whether this peer replayed durable state at startup.
+func (p *Peer) Recovered() bool { return p.recovered }
+
+// maybePersistSnapshot cuts a compaction snapshot when due. Never call it
+// while holding a store shard lock (the emitter ranges the stores).
+func (p *Peer) maybePersistSnapshot() {
+	if p.persist != nil && p.persist.log.SnapshotDue() {
+		p.persist.fail(p.CompactLog())
+	}
+}
+
+// CompactLog writes a full-wallet snapshot and truncates the journal to it.
+func (p *Peer) CompactLog() error {
+	if p.persist == nil {
+		return nil
+	}
+	return p.persist.log.Snapshot(func(app func([]byte) error) error {
+		emit := func(muts ...wal.Mutation) error { return app(wal.EncodeBatch(muts)) }
+		keys, err := gobEnc(keyPairRec{Public: p.keys.Public, Private: p.keys.Private})
+		if err != nil {
+			return err
+		}
+		if err := emit(wal.Set(tblMeta, []byte(metaKeysKey), keys)); err != nil {
+			return err
+		}
+		var failed error
+		p.owned.Range(func(id coin.ID, oc *ownedCoin) bool {
+			oc.mu.Lock()
+			val, err := encOwnedLocked(oc)
+			oc.mu.Unlock()
+			if err != nil {
+				failed = err
+				return false
+			}
+			failed = emit(wal.Set(tblOwned, []byte(id), val))
+			return failed == nil
+		})
+		if failed != nil {
+			return failed
+		}
+		p.held.Range(func(id coin.ID, hc *heldCoin) bool {
+			hc.mu.Lock()
+			val, err := encHeldLocked(hc)
+			hc.mu.Unlock()
+			if err != nil {
+				failed = err
+				return false
+			}
+			failed = emit(wal.Set(tblHeld, []byte(id), val))
+			return failed == nil
+		})
+		return failed
+	})
+}
+
+// recoverPeerState replays the journal into the wallet. Must run before the
+// peer starts serving. Returns whether any durable state was found.
+func (p *Peer) recoverPeerState() (bool, error) {
+	found := false
+	err := p.persist.log.Replay(func(payload []byte) error {
+		muts, err := wal.DecodeBatch(payload)
+		if err != nil {
+			return err
+		}
+		found = found || len(muts) > 0
+		for _, m := range muts {
+			if err := p.applyRecovered(m); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return found, err
+	}
+	if !found {
+		return false, nil
+	}
+	// Re-derive the scalars and mark owner state suspect: the world moved
+	// while we were dead, exactly like downtime — the lazy-sync machinery
+	// (or the next GoOnline) reconciles.
+	var maxOrder uint64
+	p.held.Range(func(_ coin.ID, hc *heldCoin) bool {
+		if hc.order > maxOrder {
+			maxOrder = hc.order
+		}
+		return true
+	})
+	p.heldSeq.Store(maxOrder)
+	p.owned.Range(func(_ coin.ID, oc *ownedCoin) bool {
+		oc.mu.Lock()
+		oc.dirty = true
+		oc.mu.Unlock()
+		return true
+	})
+	return true, nil
+}
+
+// applyRecovered applies one replayed wallet mutation.
+func (p *Peer) applyRecovered(m wal.Mutation) error {
+	id := coin.ID(m.Key)
+	switch m.Table {
+	case tblMeta:
+		if string(m.Key) != metaKeysKey || m.Op != wal.OpSet {
+			return fmt.Errorf("core: unknown peer meta record %q", m.Key)
+		}
+		var rec keyPairRec
+		if err := gobDec(m.Val, &rec); err != nil {
+			return err
+		}
+		p.keys = sig.KeyPair{Public: rec.Public, Private: rec.Private}
+	case tblOwned:
+		if m.Op == wal.OpDelete {
+			p.owned.Delete(id)
+			return nil
+		}
+		oc, err := decOwned(m.Val)
+		if err != nil {
+			return err
+		}
+		p.owned.Set(id, oc)
+	case tblHeld:
+		if m.Op == wal.OpDelete {
+			p.held.Delete(id)
+			return nil
+		}
+		hc, err := decHeld(m.Val)
+		if err != nil {
+			return err
+		}
+		p.held.Set(id, hc)
+	default:
+		return fmt.Errorf("core: peer journal has unknown table %q", m.Table)
+	}
+	return nil
+}
+
+// RecoverPeer starts a peer from the durable wallet under
+// cfg.Persistence.Dir, failing when there is none. The recovered peer
+// re-enrolls with the judge (group credentials are not persisted) and comes
+// up in the same state a rejoining owner would: call GoOnline to re-register
+// indirection triggers and synchronize owner-side bindings.
+func RecoverPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.Persistence == nil {
+		return nil, errors.New("core: RecoverPeer needs cfg.Persistence")
+	}
+	p, err := NewPeer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !p.recovered {
+		_ = p.Close()
+		return nil, fmt.Errorf("core: no durable peer state under %s", cfg.Persistence.Dir)
+	}
+	return p, nil
+}

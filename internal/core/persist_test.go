@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"whopay/internal/wal"
+)
+
+// These tests cover the broker's durability round trip at the unit level:
+// journal → kill → recover → identical observable state. The byte-exact
+// crash-point sweeps live in crash_test.go.
+
+func persistedFixture(t *testing.T, cfg *wal.Config) *fixture {
+	t.Helper()
+	if cfg == nil {
+		cfg = &wal.Config{Policy: wal.FsyncAlways}
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	return newFixture(t, fixtureOpts{persist: cfg})
+}
+
+func TestBrokerRecoversDurableState(t *testing.T) {
+	f := persistedFixture(t, nil)
+	alice := f.addPeer("alice", nil)
+	bob := f.addPeer("bob", nil)
+	carol := f.addPeer("carol", nil)
+
+	// Build up state of every journaled kind: minted coins, an issued
+	// (held) coin, a deposited coin, a downtime re-binding, a frozen
+	// identity, and a fraud case.
+	idDeposit, err := alice.Purchase(3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idHeld, err := alice.Purchase(5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idSelf, err := alice.Purchase(7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.IssueTo(bob.Addr(), idDeposit); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Deposit(idDeposit, bob.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.IssueTo(bob.Addr(), idHeld); err != nil {
+		t.Fatal(err)
+	}
+	// Downtime path: the owner goes offline, the holder re-binds to carol
+	// through the broker.
+	alice.GoOffline()
+	if err := bob.TransferViaBroker(carol.Addr(), idHeld); err != nil {
+		t.Fatal(err)
+	}
+	f.broker.Freeze("mallory")
+	if err := f.broker.PersistenceErr(); err != nil {
+		t.Fatalf("journaling failed before restart: %v", err)
+	}
+
+	wantIssued := f.broker.IssuedValue()
+	wantDeposited := f.broker.DepositedValue()
+	wantBalance := f.broker.Balance(bob.ID())
+	wantCases := len(f.broker.FraudCases())
+
+	f.restartBroker()
+
+	if !f.broker.Recovered() {
+		t.Fatal("restarted broker did not report recovered state")
+	}
+	if got := f.broker.IssuedValue(); got != wantIssued {
+		t.Errorf("IssuedValue = %d, want %d", got, wantIssued)
+	}
+	if got := f.broker.DepositedValue(); got != wantDeposited {
+		t.Errorf("DepositedValue = %d, want %d", got, wantDeposited)
+	}
+	if got := f.broker.Balance(bob.ID()); got != wantBalance {
+		t.Errorf("Balance(bob) = %d, want %d", got, wantBalance)
+	}
+	if got := len(f.broker.FraudCases()); got != wantCases {
+		t.Errorf("FraudCases = %d, want %d", got, wantCases)
+	}
+	if !f.broker.Frozen("mallory") {
+		t.Error("freeze did not survive the restart")
+	}
+	if f.broker.Frozen("alice") || f.broker.Frozen("bob") {
+		t.Error("recovery froze an honest identity")
+	}
+
+	// The already-deposited coin must stay deposited (white box: the
+	// record is the double-deposit gate), and the broker must refuse to
+	// service it again.
+	if _, ok := f.broker.deposited.Get(idDeposit); !ok {
+		t.Error("deposit record lost in restart")
+	}
+	c, ok := f.broker.coins.Get(idDeposit)
+	if !ok {
+		t.Fatal("coin registration lost in restart")
+	}
+	if _, err := f.broker.lookupActiveCoin(c.Pub); !errors.Is(err, ErrAlreadyDeposited) {
+		t.Errorf("deposited coin serviceable after restart: %v", err)
+	}
+
+	// The downtime re-binding survived: carol deposits the re-bound coin
+	// against the recovered broker's state (flavor-two bit comparison
+	// against the replayed downtime binding).
+	if err := carol.Deposit(idHeld, carol.ID()); err != nil {
+		t.Errorf("deposit of re-bound coin after restart: %v", err)
+	}
+
+	// The owner's pending sync survived: alice rejoins cleanly and can
+	// still spend her remaining self-held coin.
+	if err := alice.GoOnline(); err != nil {
+		t.Fatalf("owner rejoin after broker restart: %v", err)
+	}
+	if err := alice.IssueTo(bob.Addr(), idSelf); err != nil {
+		t.Fatalf("issue after restart: %v", err)
+	}
+	if err := bob.Deposit(idSelf, bob.ID()); err != nil {
+		t.Fatalf("deposit after restart: %v", err)
+	}
+	if got, want := f.broker.DepositedValue(), f.broker.IssuedValue(); got != want {
+		t.Errorf("after full drain: deposited %d != issued %d", got, want)
+	}
+	if err := f.broker.PersistenceErr(); err != nil {
+		t.Fatalf("journaling failed after restart: %v", err)
+	}
+}
+
+func TestRecoverBrokerRequiresState(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	cfg := f.brokerCfg
+	cfg.Addr = "broker-recover-empty"
+	cfg.Persistence = &wal.Config{Dir: t.TempDir(), Policy: wal.FsyncAlways}
+	if _, err := RecoverBroker(cfg); err == nil {
+		t.Fatal("RecoverBroker succeeded with no durable state")
+	}
+	cfg.Persistence = nil
+	if _, err := RecoverBroker(cfg); err == nil {
+		t.Fatal("RecoverBroker succeeded without Persistence")
+	}
+}
+
+// TestBrokerSnapshotCompaction drives enough traffic through a tiny
+// journal budget that segments rotate and snapshots get cut, then proves a
+// restart from the compacted log reproduces the books.
+func TestBrokerSnapshotCompaction(t *testing.T) {
+	f := persistedFixture(t, &wal.Config{
+		Dir:           t.TempDir(),
+		Policy:        wal.FsyncNever,
+		SegmentSize:   4 << 10,
+		SnapshotEvery: 16 << 10,
+	})
+	alice := f.addPeer("alice-compact", nil)
+	bob := f.addPeer("bob-compact", nil)
+	for i := 0; i < 60; i++ {
+		id, err := alice.Purchase(2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := alice.IssueTo(bob.Addr(), id); err != nil {
+				t.Fatal(err)
+			}
+			if err := bob.Deposit(id, bob.ID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := f.broker.PersistenceErr(); err != nil {
+		t.Fatalf("journaling: %v", err)
+	}
+
+	wantIssued := f.broker.IssuedValue()
+	wantDeposited := f.broker.DepositedValue()
+	wantBalance := f.broker.Balance(bob.ID())
+
+	f.restartBroker()
+
+	if got := f.broker.IssuedValue(); got != wantIssued {
+		t.Errorf("IssuedValue = %d, want %d", got, wantIssued)
+	}
+	if got := f.broker.DepositedValue(); got != wantDeposited {
+		t.Errorf("DepositedValue = %d, want %d", got, wantDeposited)
+	}
+	if got := f.broker.Balance(bob.ID()); got != wantBalance {
+		t.Errorf("Balance(bob) = %d, want %d", got, wantBalance)
+	}
+}
+
+func TestPeerRecoversWallet(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	aliceCfg := f.peerConfig("alice", nil)
+	aliceCfg.Persistence = &wal.Config{Dir: t.TempDir(), Policy: wal.FsyncAlways}
+	alice := f.addPeerWith(aliceCfg)
+	bob := f.addPeer("bob", nil)
+	carol := f.addPeer("carol", nil)
+
+	// Owned coins in every state: issued-and-transferred (audit trail),
+	// self-held, plus a held coin received from bob.
+	idA, err := alice.Purchase(3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := alice.Purchase(5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.IssueTo(bob.Addr(), idA); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.TransferTo(carol.Addr(), idA); err != nil {
+		t.Fatal(err)
+	}
+	idC, err := bob.Purchase(7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.IssueTo(alice.Addr(), idC); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.PersistenceErr(); err != nil {
+		t.Fatalf("journaling failed before restart: %v", err)
+	}
+	wantPub := alice.PublicKey()
+	wantHeld := alice.HeldValue()
+
+	alice = f.restartPeer(alice, aliceCfg)
+
+	if !alice.Recovered() {
+		t.Fatal("restarted peer did not report recovered state")
+	}
+	if !alice.PublicKey().Equal(wantPub) {
+		t.Error("identity key changed across restart")
+	}
+	if got := len(alice.OwnedCoins()); got != 2 {
+		t.Errorf("owned %d coins, want 2", got)
+	}
+	if got := alice.SelfHeldCoins(); len(got) != 1 || got[0] != idB {
+		t.Errorf("self-held = %v, want [%s]", got, idB)
+	}
+	if got := alice.HeldCoins(); len(got) != 1 || got[0] != idC {
+		t.Errorf("held = %v, want [%s]", got, idC)
+	}
+	if got := alice.HeldValue(); got != wantHeld {
+		t.Errorf("held value = %d, want %d", got, wantHeld)
+	}
+	// White box: the issued coin's binding and audit trail survived.
+	oc, ok := alice.owned.Get(idA)
+	if !ok {
+		t.Fatal("issued coin lost")
+	}
+	oc.mu.Lock()
+	seq := uint64(0)
+	if oc.binding != nil {
+		seq = oc.binding.Seq
+	}
+	trail := len(oc.logOrder)
+	oc.mu.Unlock()
+	if seq == 0 {
+		t.Error("issued coin recovered without a binding")
+	}
+	if trail != 1 {
+		t.Errorf("audit trail has %d proofs, want 1", trail)
+	}
+
+	// The recovered wallet is fully operational: the held coin's holder key
+	// still deposits, the recovered owner still services transfers and
+	// renewals with its recovered coin keys, and the self-held coin spends.
+	if err := alice.Deposit(idC, alice.ID()); err != nil {
+		t.Fatalf("deposit of recovered held coin: %v", err)
+	}
+	if _, err := carol.Renew(idA); err != nil {
+		t.Fatalf("renewal against recovered owner: %v", err)
+	}
+	if err := carol.TransferTo(bob.Addr(), idA); err != nil {
+		t.Fatalf("transfer against recovered owner: %v", err)
+	}
+	if err := alice.IssueTo(bob.Addr(), idB); err != nil {
+		t.Fatalf("issue of recovered self-held coin: %v", err)
+	}
+	if err := bob.Deposit(idA, bob.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Deposit(idB, bob.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.PersistenceErr(); err != nil {
+		t.Fatalf("journaling failed after restart: %v", err)
+	}
+}
+
+func TestRecoverPeerRequiresState(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	cfg := f.peerConfig("dave", nil)
+	cfg.Persistence = &wal.Config{Dir: t.TempDir(), Policy: wal.FsyncAlways}
+	if _, err := RecoverPeer(cfg); err == nil {
+		t.Fatal("RecoverPeer succeeded with no durable state")
+	}
+	cfg.Persistence = nil
+	if _, err := RecoverPeer(cfg); err == nil {
+		t.Fatal("RecoverPeer succeeded without Persistence")
+	}
+}
+
+func TestPeerSnapshotCompaction(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	aliceCfg := f.peerConfig("alice-compact", nil)
+	aliceCfg.Persistence = &wal.Config{
+		Dir:           t.TempDir(),
+		Policy:        wal.FsyncNever,
+		SegmentSize:   4 << 10,
+		SnapshotEvery: 8 << 10,
+	}
+	alice := f.addPeerWith(aliceCfg)
+	bob := f.addPeer("bob-compact", nil)
+	for i := 0; i < 60; i++ {
+		id, err := alice.Purchase(2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := alice.IssueTo(bob.Addr(), id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := alice.PersistenceErr(); err != nil {
+		t.Fatalf("journaling: %v", err)
+	}
+	wantOwned := len(alice.OwnedCoins())
+	wantSelf := len(alice.SelfHeldCoins())
+
+	alice = f.restartPeer(alice, aliceCfg)
+
+	if got := len(alice.OwnedCoins()); got != wantOwned {
+		t.Errorf("owned = %d, want %d", got, wantOwned)
+	}
+	if got := len(alice.SelfHeldCoins()); got != wantSelf {
+		t.Errorf("self-held = %d, want %d", got, wantSelf)
+	}
+}

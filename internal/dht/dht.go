@@ -27,10 +27,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"whopay/internal/bus"
 	"whopay/internal/sig"
 	"whopay/internal/store"
+	"whopay/internal/wal"
 )
 
 // Errors returned by nodes and clients.
@@ -81,6 +83,11 @@ type Record struct {
 	Value   []byte
 	AuthPub sig.PublicKey
 	Sig     []byte
+	// Epoch is node-local restart metadata, stamped by the accepting node
+	// (never by the writer, and not covered by Sig): the node epoch at
+	// which this record was accepted. Persistent nodes use it to fence
+	// stale pre-crash writes after a recovery (see persist.go).
+	Epoch uint64
 }
 
 // RecordMessage is the canonical byte string signed for a record.
@@ -170,13 +177,27 @@ type Node struct {
 	ring     []nodeRef
 	fingers  []nodeRef
 	replicas int
+
+	// Durability (nil/zero for in-memory nodes): the journal, the node
+	// epoch (immutable once serving), and the first journal failure.
+	walLog *wal.Log
+	epoch  uint64
+	walMu  sync.Mutex
+	walErr error
 }
 
 // Addr returns the node's bus address.
 func (n *Node) Addr() bus.Address { return n.addr }
 
-// handle dispatches one DHT message.
+// handle dispatches one DHT message, then cuts a compaction snapshot when
+// the journal is due (outside all store locks).
 func (n *Node) handle(from bus.Address, msg any) (any, error) {
+	resp, err := n.dispatch(from, msg)
+	n.maybeSnapshot()
+	return resp, err
+}
+
+func (n *Node) dispatch(_ bus.Address, msg any) (any, error) {
 	switch m := msg.(type) {
 	case PutMsg:
 		return n.handlePut(m)
@@ -194,6 +215,7 @@ func (n *Node) handle(from bus.Address, msg any) (any, error) {
 					return nil, store.OpKeep
 				}
 				delete(ws, m.Watcher)
+				n.journalSubsLocked(m.Key, ws)
 				if len(ws) == 0 {
 					return nil, store.OpDelete
 				}
@@ -203,6 +225,7 @@ func (n *Node) handle(from bus.Address, msg any) (any, error) {
 				ws = make(map[bus.Address]bool)
 			}
 			ws[m.Watcher] = true
+			n.journalSubsLocked(m.Key, ws)
 			return ws, store.OpSet
 		})
 		return Ack{}, nil
@@ -228,12 +251,23 @@ func (n *Node) handlePut(m PutMsg) (any, error) {
 	accepted := false
 	n.store.Compute(rec.Key, func(old Record, exists bool) (Record, store.Op) {
 		if exists && rec.Version <= old.Version {
-			if rec.Version != old.Version || !bytes.Equal(rec.Value, old.Value) {
+			switch {
+			case rec.Version == old.Version && bytes.Equal(rec.Value, old.Value):
+				return old, store.OpKeep // idempotent re-put
+			case rec.Version == old.Version && old.Epoch < n.epoch && n.trusted[string(rec.AuthPub)]:
+				// The stored record predates this node's latest
+				// recovery: a trusted writer (the broker) may
+				// refresh the authoritative binding at the same
+				// version. Once refreshed it carries the current
+				// epoch, closing the door on pre-crash races.
+			default:
 				staleErr = fmt.Errorf("%w: have v%d, got v%d", ErrStaleVersion, old.Version, rec.Version)
+				return old, store.OpKeep
 			}
-			return old, store.OpKeep
 		}
+		rec.Epoch = n.epoch
 		accepted = true
+		n.journalRecordLocked(rec)
 		return rec, store.OpSet
 	})
 	if staleErr != nil {
@@ -309,49 +343,59 @@ func (n *Node) StoreSize() int { return n.store.Len() }
 // Cluster is a managed set of DHT nodes — the paper's "trusted DHT
 // infrastructure ... provided as a service by a trusted entity".
 type Cluster struct {
+	cfg   ClusterConfig
+	ring  []nodeRef
 	nodes []*Node
 	addrs []bus.Address
+}
+
+// ClusterConfig configures a DHT cluster.
+type ClusterConfig struct {
+	Network  bus.Network
+	Scheme   sig.Scheme
+	Nodes    int
+	Replicas int
+	// Trusted writers may publish under any key (the broker, so downtime
+	// operations keep the public list current).
+	Trusted []sig.PublicKey
+	// Persistence, when set, makes every node durable: node i journals
+	// under Persistence.Sub("node-i"), and Restart recovers it from that
+	// journal. Nil keeps nodes purely in memory.
+	Persistence *wal.Config
 }
 
 // NewCluster creates n nodes on net with the given replication factor and
 // trusted writers, and wires their static routing tables.
 func NewCluster(net bus.Network, scheme sig.Scheme, n, replicas int, trusted ...sig.PublicKey) (*Cluster, error) {
-	if n < 1 {
+	return NewClusterWithConfig(ClusterConfig{
+		Network: net, Scheme: scheme, Nodes: n, Replicas: replicas, Trusted: trusted,
+	})
+}
+
+// NewClusterWithConfig creates a cluster, optionally persistent.
+func NewClusterWithConfig(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes < 1 {
 		return nil, errors.New("dht: need at least one node")
 	}
-	if replicas < 1 {
-		replicas = 1
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
 	}
-	if replicas > n {
-		replicas = n
+	if cfg.Replicas > cfg.Nodes {
+		cfg.Replicas = cfg.Nodes
 	}
-	trustSet := make(map[string]bool, len(trusted))
-	for _, pub := range trusted {
-		trustSet[string(pub)] = true
-	}
-	c := &Cluster{}
-	ring := make([]nodeRef, 0, n)
-	for i := 0; i < n; i++ {
-		addr := bus.Address(fmt.Sprintf("dht:%d", i))
-		node := &Node{
-			id:       keyForAddr(addr),
-			addr:     addr,
-			scheme:   scheme,
-			trusted:  trustSet,
-			store:    store.NewSharded[Key, Record](dhtShards, keyHash),
-			subs:     store.NewSharded[Key, map[bus.Address]bool](dhtShards, keyHash),
-			replicas: replicas,
-		}
-		ep, err := net.Listen(addr, node.handle)
+	c := &Cluster{cfg: cfg}
+	ring := make([]nodeRef, 0, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		node, err := c.startNode(i)
 		if err != nil {
 			c.Close()
-			return nil, fmt.Errorf("dht: starting node %d: %w", i, err)
+			return nil, err
 		}
-		node.ep = ep
 		c.nodes = append(c.nodes, node)
-		ring = append(ring, nodeRef{id: node.id, addr: addr})
+		ring = append(ring, nodeRef{id: node.id, addr: node.addr})
 	}
 	sort.Slice(ring, func(i, j int) bool { return ring[i].id.Less(ring[j].id) })
+	c.ring = ring
 	for _, node := range c.nodes {
 		node.ring = ring
 		node.fingers = fingersFor(node.id, ring)
@@ -360,6 +404,69 @@ func NewCluster(net bus.Network, scheme sig.Scheme, n, replicas int, trusted ...
 		c.addrs = append(c.addrs, node.addr)
 	}
 	return c, nil
+}
+
+// startNode creates and starts node i: open its journal (when persistent),
+// replay it, listen. Routing tables are wired by the caller.
+func (c *Cluster) startNode(i int) (*Node, error) {
+	trustSet := make(map[string]bool, len(c.cfg.Trusted))
+	for _, pub := range c.cfg.Trusted {
+		trustSet[string(pub)] = true
+	}
+	addr := bus.Address(fmt.Sprintf("dht:%d", i))
+	node := &Node{
+		id:       keyForAddr(addr),
+		addr:     addr,
+		scheme:   c.cfg.Scheme,
+		trusted:  trustSet,
+		store:    store.NewSharded[Key, Record](dhtShards, keyHash),
+		subs:     store.NewSharded[Key, map[bus.Address]bool](dhtShards, keyHash),
+		replicas: c.cfg.Replicas,
+	}
+	if sub := c.cfg.Persistence.Sub(fmt.Sprintf("node-%d", i)); sub != nil {
+		log, err := wal.Open(*sub)
+		if err != nil {
+			return nil, fmt.Errorf("dht: node %d wal: %w", i, err)
+		}
+		node.walLog = log
+		if err := node.recoverState(); err != nil {
+			_ = log.Close()
+			return nil, fmt.Errorf("dht: node %d recovery: %w", i, err)
+		}
+	}
+	ep, err := c.cfg.Network.Listen(addr, node.handle)
+	if err != nil {
+		if node.walLog != nil {
+			_ = node.walLog.Close()
+		}
+		return nil, fmt.Errorf("dht: starting node %d: %w", i, err)
+	}
+	node.ep = ep
+	return node, nil
+}
+
+// Restart crash-restarts node i: its endpoint and journal are dropped with
+// no shutdown grace, and a replacement is recovered from the journal at the
+// same address, in a fresh epoch. Requires Persistence (an in-memory node
+// has nothing to recover from).
+func (c *Cluster) Restart(i int) error {
+	if c.cfg.Persistence == nil {
+		return errors.New("dht: Restart needs Persistence")
+	}
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("dht: no node %d", i)
+	}
+	old := c.nodes[i]
+	_ = old.ep.Close()
+	_ = old.walLog.Close()
+	node, err := c.startNode(i)
+	if err != nil {
+		return err
+	}
+	node.ring = c.ring
+	node.fingers = fingersFor(node.id, c.ring)
+	c.nodes[i] = node
+	return nil
 }
 
 // fingersFor computes a Chord finger table: for each bit k, the successor
@@ -400,11 +507,14 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 // Addrs returns the node addresses for client construction.
 func (c *Cluster) Addrs() []bus.Address { return append([]bus.Address(nil), c.addrs...) }
 
-// Close shuts down every node.
+// Close shuts down every node and releases their journals.
 func (c *Cluster) Close() {
 	for _, n := range c.nodes {
 		if n.ep != nil {
 			_ = n.ep.Close()
+		}
+		if n.walLog != nil {
+			_ = n.walLog.Close()
 		}
 	}
 }

@@ -1,0 +1,224 @@
+package dht
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"whopay/internal/bus"
+	"whopay/internal/wal"
+)
+
+// Node durability (DESIGN.md §10). A persistent node journals every accepted
+// record and subscription change before acking, and replays the journal on
+// restart, so the public binding list — the substance of real-time
+// double-spending detection — survives node crashes.
+//
+// Restart semantics are guarded by a monotonic node epoch, bumped (and
+// force-synced) on every recovery. Stored records are stamped with the epoch
+// that accepted them. A record carried over from before the latest crash
+// (Epoch < current) may be refreshed at the same version by a trusted writer
+// — the broker re-asserting the authoritative binding after the outage — and
+// once refreshed it sits at the current epoch, so a delayed pre-crash racing
+// write can never clobber the post-recovery binding: equal-version conflicts
+// within one epoch are refused exactly as before.
+
+// Journal tables.
+const (
+	tblEpoch = "epoch"
+	tblRec   = "rec"
+	tblSub   = "sub"
+)
+
+var epochKey = []byte("epoch")
+
+func gobEnc(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDec(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// journal appends one record batch, remembering the first failure.
+func (n *Node) journal(muts ...wal.Mutation) {
+	if n.walLog == nil {
+		return
+	}
+	if err := n.walLog.Append(wal.EncodeBatch(muts)); err != nil {
+		n.walFail(err)
+	}
+}
+
+func (n *Node) walFail(err error) {
+	if err == nil {
+		return
+	}
+	n.walMu.Lock()
+	if n.walErr == nil {
+		n.walErr = err
+	}
+	n.walMu.Unlock()
+}
+
+// PersistenceErr returns the first durability failure since startup, or nil.
+func (n *Node) PersistenceErr() error {
+	n.walMu.Lock()
+	defer n.walMu.Unlock()
+	return n.walErr
+}
+
+// Epoch returns the node's current epoch (0 for in-memory nodes).
+func (n *Node) Epoch() uint64 { return n.epoch }
+
+// journalRecordLocked journals an accepted record; the caller holds the
+// record's shard write lock, so journal order matches acceptance order.
+func (n *Node) journalRecordLocked(rec Record) {
+	if n.walLog == nil {
+		return
+	}
+	val, err := gobEnc(rec)
+	if err != nil {
+		n.walFail(err)
+		return
+	}
+	n.journal(wal.Set(tblRec, rec.Key[:], val))
+}
+
+// journalSubsLocked journals a key's full watcher set (nil deletes); the
+// caller holds the subscription shard's write lock.
+func (n *Node) journalSubsLocked(key Key, ws map[bus.Address]bool) {
+	if n.walLog == nil {
+		return
+	}
+	if len(ws) == 0 {
+		n.journal(wal.Delete(tblSub, key[:]))
+		return
+	}
+	watchers := make([]string, 0, len(ws))
+	for w := range ws {
+		watchers = append(watchers, string(w))
+	}
+	sort.Strings(watchers)
+	val, err := gobEnc(watchers)
+	if err != nil {
+		n.walFail(err)
+		return
+	}
+	n.journal(wal.Set(tblSub, key[:], val))
+}
+
+// recoverState replays the node's journal and advances the epoch. Runs
+// before the node starts serving.
+func (n *Node) recoverState() error {
+	var lastEpoch uint64
+	err := n.walLog.Replay(func(payload []byte) error {
+		muts, err := wal.DecodeBatch(payload)
+		if err != nil {
+			return err
+		}
+		for _, m := range muts {
+			switch m.Table {
+			case tblEpoch:
+				lastEpoch = binary.BigEndian.Uint64(m.Val)
+			case tblRec:
+				var rec Record
+				if err := gobDec(m.Val, &rec); err != nil {
+					return err
+				}
+				n.store.Set(rec.Key, rec)
+			case tblSub:
+				var key Key
+				copy(key[:], m.Key)
+				if m.Op == wal.OpDelete {
+					n.subs.Delete(key)
+					continue
+				}
+				var watchers []string
+				if err := gobDec(m.Val, &watchers); err != nil {
+					return err
+				}
+				ws := make(map[bus.Address]bool, len(watchers))
+				for _, w := range watchers {
+					ws[bus.Address(w)] = true
+				}
+				n.subs.Set(key, ws)
+			default:
+				return fmt.Errorf("dht: journal has unknown table %q", m.Table)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// The epoch bump is the restart fence: force-synced so that even under
+	// FsyncNever a recovered node never serves in a stale epoch.
+	n.epoch = lastEpoch + 1
+	var val [8]byte
+	binary.BigEndian.PutUint64(val[:], n.epoch)
+	n.journal(wal.Set(tblEpoch, epochKey, val[:]))
+	if err := n.walLog.Sync(); err != nil {
+		return err
+	}
+	return n.PersistenceErr()
+}
+
+// maybeSnapshot cuts a compaction snapshot when the journal has outgrown its
+// threshold. Never called under a store shard lock.
+func (n *Node) maybeSnapshot() {
+	if n.walLog != nil && n.walLog.SnapshotDue() {
+		n.walFail(n.snapshot())
+	}
+}
+
+// snapshot writes the node's full state and truncates the journal to it.
+func (n *Node) snapshot() error {
+	return n.walLog.Snapshot(func(app func([]byte) error) error {
+		emit := func(muts ...wal.Mutation) error { return app(wal.EncodeBatch(muts)) }
+		var val [8]byte
+		binary.BigEndian.PutUint64(val[:], n.epoch)
+		if err := emit(wal.Set(tblEpoch, epochKey, val[:])); err != nil {
+			return err
+		}
+		var failed error
+		n.store.Range(func(_ Key, rec Record) bool {
+			enc, err := gobEnc(rec)
+			if err != nil {
+				failed = err
+				return false
+			}
+			failed = emit(wal.Set(tblRec, rec.Key[:], enc))
+			return failed == nil
+		})
+		if failed != nil {
+			return failed
+		}
+		for _, key := range n.subs.Keys() {
+			var watchers []string
+			n.subs.View(key, func(ws map[bus.Address]bool, _ bool) {
+				for w := range ws {
+					watchers = append(watchers, string(w))
+				}
+			})
+			if len(watchers) == 0 {
+				continue
+			}
+			sort.Strings(watchers)
+			enc, err := gobEnc(watchers)
+			if err != nil {
+				return err
+			}
+			if err := emit(wal.Set(tblSub, key[:], enc)); err != nil {
+				return err
+			}
+		}
+		return failed
+	})
+}

@@ -1,0 +1,193 @@
+// Package crashfs wraps a wal.FS with a byte budget that models a process
+// kill at an exact write boundary: once the budget is exhausted, the write
+// in flight is cut short (its allowed prefix reaches the underlying file —
+// the prefix-loss crash model) and every later operation fails with
+// ErrCrashed. Recovering with the real filesystem then sees exactly the
+// bytes a crashed process would have left behind.
+//
+// Sweeping the budget from 0 to the byte count of a full run drives the
+// crash-injection suites: every byte boundary, including mid-record, is a
+// crash point.
+package crashfs
+
+import (
+	"errors"
+	"sync"
+
+	"whopay/internal/wal"
+)
+
+// ErrCrashed is returned by every operation after the budget runs out.
+var ErrCrashed = errors.New("crashfs: simulated crash")
+
+// FS is a crash-injecting wal.FS decorator. Safe for concurrent use.
+type FS struct {
+	inner wal.FS
+
+	mu      sync.Mutex
+	budget  int64 // remaining bytes; <0 = unlimited
+	count   bool  // tally written instead of limiting
+	written int64
+	crashed bool
+}
+
+// Limit wraps inner so writes crash after budget total bytes.
+func Limit(inner wal.FS, budget int64) *FS {
+	return &FS{inner: inner, budget: budget}
+}
+
+// Count wraps inner with no limit, tallying bytes written — the probe run
+// that sizes the sweep.
+func Count(inner wal.FS) *FS {
+	return &FS{inner: inner, budget: -1, count: true}
+}
+
+// Written returns the bytes written through the wrapper so far.
+func (f *FS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Crashed reports whether the budget has run out.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// admit grants up to n bytes of write, crashing at the boundary.
+func (f *FS) admit(n int) (allowed int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	if f.budget < 0 || f.count {
+		f.written += int64(n)
+		return n, nil
+	}
+	if int64(n) <= f.budget {
+		f.budget -= int64(n)
+		f.written += int64(n)
+		return n, nil
+	}
+	allowed = int(f.budget)
+	f.budget = 0
+	f.written += int64(allowed)
+	f.crashed = true
+	return allowed, ErrCrashed
+}
+
+// alive fails fast once crashed (metadata operations stop too: the process
+// is dead).
+func (f *FS) alive() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// MkdirAll implements wal.FS.
+func (f *FS) MkdirAll(dir string) error {
+	if err := f.alive(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// ReadDir implements wal.FS.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// Create implements wal.FS.
+func (f *FS) Create(path string) (wal.File, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+// OpenAppend implements wal.FS.
+func (f *FS) OpenAppend(path string) (wal.File, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+// Open implements wal.FS.
+func (f *FS) Open(path string) (wal.ReadFile, error) {
+	if err := f.alive(); err != nil {
+		return nil, err
+	}
+	return f.inner.Open(path)
+}
+
+// Rename implements wal.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.alive(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements wal.FS.
+func (f *FS) Remove(path string) error {
+	if err := f.alive(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+type file struct {
+	fs    *FS
+	inner wal.File
+}
+
+// Write admits at most the remaining budget, so the crash cuts the record
+// mid-frame exactly at the boundary byte.
+func (w *file) Write(p []byte) (int, error) {
+	allowed, err := w.fs.admit(len(p))
+	if allowed > 0 {
+		if n, werr := w.inner.Write(p[:allowed]); werr != nil {
+			return n, werr
+		}
+	}
+	if err != nil {
+		return allowed, err
+	}
+	return allowed, nil
+}
+
+// Sync flushes when still alive.
+func (w *file) Sync() error {
+	if err := w.fs.alive(); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+// Close always closes the underlying file (a crashed process's descriptors
+// close too); the error reflects crash state.
+func (w *file) Close() error {
+	err := w.inner.Close()
+	if cerr := w.fs.alive(); cerr != nil {
+		return cerr
+	}
+	return err
+}

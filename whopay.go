@@ -39,6 +39,7 @@ import (
 	"whopay/internal/bus"
 	"whopay/internal/core"
 	"whopay/internal/sig"
+	"whopay/internal/wal"
 )
 
 // Core entities.
@@ -78,6 +79,19 @@ type (
 	Network = bus.Network
 	// Address names an endpoint on a Network.
 	Address = bus.Address
+	// WALConfig configures an entity's write-ahead log; set it as
+	// BrokerConfig/PeerConfig.Persistence (nil keeps the entity purely
+	// in-memory). See DESIGN.md §10.
+	WALConfig = wal.Config
+	// FsyncPolicy selects when journal appends reach stable storage.
+	FsyncPolicy = wal.Policy
+)
+
+// Fsync policies for WALConfig.Policy.
+const (
+	FsyncNever    = wal.FsyncNever
+	FsyncInterval = wal.FsyncInterval
+	FsyncAlways   = wal.FsyncAlways
 )
 
 // Policies and sync modes (paper Section 6.1 / 5.2).
@@ -110,6 +124,13 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) { return core.NewBroker(cfg) }
 
 // NewPeer starts a peer.
 func NewPeer(cfg PeerConfig) (*Peer, error) { return core.NewPeer(cfg) }
+
+// RecoverBroker rebuilds a broker from its write-ahead log (the config's
+// Persistence must point at the dead broker's journal directory).
+func RecoverBroker(cfg BrokerConfig) (*Broker, error) { return core.RecoverBroker(cfg) }
+
+// RecoverPeer rebuilds a peer and its wallet from its write-ahead log.
+func RecoverPeer(cfg PeerConfig) (*Peer, error) { return core.RecoverPeer(cfg) }
 
 // NewJudge creates the fairness authority.
 func NewJudge(scheme Scheme) (*Judge, error) { return core.NewJudge(scheme) }
