@@ -10,7 +10,7 @@ CHAOS_SEED ?=
 # seed (only matters once journals outgrow the exhaustive-sweep cap).
 CRASH_SEED ?=
 
-.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal
+.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal bench-obs
 
 all: vet build test
 
@@ -26,7 +26,7 @@ test: vet build
 	$(GO) test -race ./...
 
 race:
-	$(GO) test -race ./internal/bus/... ./internal/core/...
+	$(GO) test -race ./internal/bus/... ./internal/core/... ./internal/obs/
 
 # Fault-injection smoke: the chaos lifecycles, retry-enabled chaos, and the
 # seed-reproducibility check. WHOPAY_CHAOS_SEED is honored when CHAOS_SEED
@@ -53,6 +53,13 @@ bench:
 # numbers live in results/wal_bench.txt.
 bench-wal:
 	$(GO) test ./internal/core/ -run '^$$' -bench WAL -benchtime 2000x -count 3
+
+# Observability overhead on the transfer hop: registry off vs on, under
+# the production ECDSA scheme and the null-crypto skeleton. Reference
+# numbers live in results/obs_bench.txt.
+bench-obs:
+	$(GO) test ./internal/core/ -run '^$$' \
+		-bench 'BenchmarkTransfer(WhoPay|Obs)' -benchtime 1s -count 3
 
 # Goroutine-sweep benchmarks for the sharded state store: broker purchase
 # and owner transfer throughput as client concurrency grows. Reference

@@ -32,6 +32,7 @@ import (
 	"whopay/internal/bus"
 	"whopay/internal/core"
 	"whopay/internal/costmodel"
+	"whopay/internal/obs"
 	"whopay/internal/sig"
 	"whopay/internal/wal"
 )
@@ -54,6 +55,7 @@ func run() error {
 		ops        = flag.Int("ops", 2000, "protocol operations per measurement")
 		persistDir = flag.String("persist", "", "journal broker and payer state under this directory (protocol mode; empty: in-memory)")
 		fsyncMode  = flag.String("fsync", "never", "journal fsync policy: never, interval, always")
+		dump       = flag.Bool("metrics-dump", false, "instrument the protocol bench with a live obs registry and print the Prometheus exposition on exit")
 	)
 	flag.Parse()
 
@@ -96,7 +98,22 @@ func run() error {
 	}
 
 	if *protocol || *persistDir != "" {
-		return runProtocolBench(schemes[0], *ops, *persistDir, *fsyncMode)
+		var reg *obs.Registry
+		if *dump {
+			reg = obs.NewRegistry()
+		}
+		if err := runProtocolBench(schemes[0], *ops, *persistDir, *fsyncMode, reg); err != nil {
+			return err
+		}
+		if reg != nil {
+			fmt.Println()
+			fmt.Println("--- metrics dump (Prometheus exposition) ---")
+			return reg.WritePrometheus(os.Stdout)
+		}
+		return nil
+	}
+	if *dump {
+		return fmt.Errorf("-metrics-dump requires -protocol (crypto micro-ops carry no registry)")
 	}
 
 	fmt.Printf("Table 2 analog — %d iterations per operation\n", *iters)
@@ -120,7 +137,7 @@ func run() error {
 // cycles over the in-memory bus, so the numbers isolate protocol +
 // journaling cost from TCP. With -persist, the broker and every
 // participating peer journal under persistDir with the given fsync policy.
-func runProtocolBench(scheme sig.Scheme, ops int, persistDir, fsyncMode string) error {
+func runProtocolBench(scheme sig.Scheme, ops int, persistDir, fsyncMode string, reg *obs.Registry) error {
 	if ops < 1 {
 		return fmt.Errorf("ops must be >= 1")
 	}
@@ -156,6 +173,7 @@ func runProtocolBench(scheme sig.Scheme, ops int, persistDir, fsyncMode string) 
 		Directory:   dir,
 		GroupPub:    judge.GroupPublicKey(),
 		Persistence: brokerWAL,
+		Obs:         reg,
 	})
 	if err != nil {
 		return err
@@ -177,6 +195,7 @@ func runProtocolBench(scheme sig.Scheme, ops int, persistDir, fsyncMode string) 
 			BrokerPub:   broker.PublicKey(),
 			Judge:       judge,
 			Persistence: cfg,
+			Obs:         reg,
 		})
 	}
 	owner, err := mkPeer("owner")

@@ -1,7 +1,7 @@
 // Command whopayd runs a WhoPay deployment over real TCP sockets: a broker,
 // a judge, a DHT-less directory, and a configurable number of peers, then
 // drives a demonstration payment scenario end to end — purchase, issue,
-// multi-hop anonymous transfers, a renewal, a downtime transfer through the
+// multi-hop anonymous transfers, a renewal, a downtime operation through the
 // broker after an owner "disconnects", and a final deposit.
 //
 // All traffic — payments AND judge enrollment — crosses real sockets with
@@ -10,21 +10,31 @@
 // enrollment responses carry credential private keys: production transports
 // must add TLS.
 //
+// With -admin the process also serves the observability admin endpoint
+// (DESIGN.md §11): /metrics, /healthz, /traces, and /debug/pprof. All
+// entities share one registry, so a single multi-hop transfer shows up as
+// one trace with spans from payer, owner, payee, and broker; the demo
+// prints one such trace before exiting. Use -linger to keep the process
+// (and the admin endpoint) alive after the demo for scraping.
+//
 // Usage:
 //
-//	whopayd -peers 4 -hops 3
+//	whopayd -peers 4 -hops 3 -admin 127.0.0.1:9090 -linger 30s
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"sort"
 	"time"
 
 	"whopay/internal/bus"
 	"whopay/internal/bus/tcpbus"
 	"whopay/internal/coin"
 	"whopay/internal/core"
+	"whopay/internal/obs"
 	"whopay/internal/sig"
 )
 
@@ -37,20 +47,40 @@ func main() {
 
 func run() error {
 	var (
-		numPeers = flag.Int("peers", 4, "number of peers (≥ 3)")
-		hops     = flag.Int("hops", 3, "transfer hops for the demo coin")
+		numPeers = flag.Int("peers", 4, "number of peers (≥ 2)")
+		hops     = flag.Int("hops", 3, "transfer hops for the demo coin (clamped to peers-1)")
 		host     = flag.String("host", "127.0.0.1", "host/interface to bind")
+		admin    = flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /traces, pprof) on this address")
+		linger   = flag.Duration("linger", 0, "keep the process alive this long after the demo (for scraping the admin endpoint)")
 	)
 	flag.Parse()
-	if *numPeers < 3 {
-		return fmt.Errorf("need at least 3 peers")
+	if *numPeers < 2 {
+		return fmt.Errorf("need at least 2 peers")
 	}
-	if *hops < 1 || *hops > *numPeers-1 {
-		return fmt.Errorf("hops must be in [1, peers-1]")
+	if *hops > *numPeers-1 {
+		*hops = *numPeers - 1
+	}
+	if *hops < 1 {
+		return fmt.Errorf("hops must be ≥ 1")
+	}
+
+	// Observability is opt-in: without -admin, reg stays nil and every
+	// instrumentation hook below is a no-op.
+	var reg *obs.Registry
+	var adminSrv *obs.Server
+	if *admin != "" {
+		reg = obs.NewRegistry()
+		srv, err := obs.Serve(*admin, reg)
+		if err != nil {
+			return fmt.Errorf("admin endpoint: %w", err)
+		}
+		defer srv.Close()
+		adminSrv = srv
+		fmt.Printf("admin endpoint on http://%s (/metrics /healthz /traces /debug/pprof)\n", srv.Addr())
 	}
 
 	core.RegisterWireTypes()
-	network := tcpbus.New()
+	network := tcpbus.New(tcpbus.WithObs(reg))
 	scheme := sig.ECDSA{}
 	dir := core.NewDirectory()
 
@@ -72,6 +102,7 @@ func run() error {
 		Scheme:    scheme,
 		Directory: dir,
 		GroupPub:  judge.GroupPublicKey(),
+		Obs:       reg,
 	})
 	if err != nil {
 		return err
@@ -79,6 +110,18 @@ func run() error {
 	defer broker.Close()
 	brokerAddr := broker.BoundAddr()
 	fmt.Printf("broker listening on %s\n", brokerAddr)
+	if reg != nil {
+		// Bus liveness: the broker listener is the hub every payment
+		// touches, so a bare TCP dial is a faithful "is the bus up" probe.
+		reg.RegisterHealth("bus", func() (string, error) {
+			conn, err := net.DialTimeout("tcp", string(brokerAddr), time.Second)
+			if err != nil {
+				return "", fmt.Errorf("dial broker: %w", err)
+			}
+			conn.Close()
+			return fmt.Sprintf("broker listener %s reachable", brokerAddr), nil
+		})
+	}
 
 	peers := make([]*core.Peer, *numPeers)
 	for i := range peers {
@@ -93,6 +136,7 @@ func run() error {
 			BrokerPub:  broker.PublicKey(),
 			JudgeAddr:  judgeSrv.Addr(),
 			CredPool:   8,
+			Obs:        reg,
 		})
 		if err != nil {
 			return err
@@ -139,7 +183,7 @@ func run() error {
 	fmt.Printf("%s renewed the coin through the owner\n", holder.ID())
 
 	fmt.Println()
-	fmt.Println("=== downtime transfer via broker ===")
+	fmt.Println("=== downtime operation via broker ===")
 	peers[0].GoOffline()
 	// Over TCP "offline" means the listener is really gone.
 	if err := peers[0].Close(); err != nil {
@@ -150,24 +194,100 @@ func run() error {
 	if target == holder {
 		target = peers[1]
 	}
-	if err := holder.TransferViaBroker(target.BoundAddr(), id); err != nil {
-		return fmt.Errorf("downtime transfer: %w", err)
+	if target == holder {
+		// Two-peer deployment: the holder has nobody to pay, so exercise
+		// the other downtime path — a renewal through the broker.
+		if err := holder.RenewViaBroker(id); err != nil {
+			return fmt.Errorf("downtime renewal: %w", err)
+		}
+		fmt.Printf("%s renewed the coin through the broker (owner offline)\n", holder.ID())
+	} else {
+		if err := holder.TransferViaBroker(target.BoundAddr(), id); err != nil {
+			return fmt.Errorf("downtime transfer: %w", err)
+		}
+		fmt.Printf("%s paid %s through the broker\n", holder.ID(), target.ID())
+		holder = target
 	}
-	fmt.Printf("%s paid %s through the broker\n", holder.ID(), target.ID())
 
 	fmt.Println()
 	fmt.Println("=== deposit ===")
-	if err := target.Deposit(id, "demo-payout"); err != nil {
+	if err := holder.Deposit(id, "demo-payout"); err != nil {
 		return fmt.Errorf("deposit: %w", err)
 	}
 	fmt.Printf("%s deposited the coin; broker credited payout ref 'demo-payout' with %d\n",
-		target.ID(), broker.Balance("demo-payout"))
+		holder.ID(), broker.Balance("demo-payout"))
 
 	fmt.Println()
 	fmt.Printf("broker ops: %s\n", opsString(broker.Ops()))
 	fmt.Printf("owner ops:  %s\n", opsString(peers[0].Ops()))
 	fmt.Printf("done in %v over real TCP\n", time.Since(start).Round(time.Millisecond))
+
+	if reg != nil {
+		printSampleTrace(reg.Tracer())
+		fmt.Printf("\nadmin endpoint still serving on http://%s\n", adminSrv.Addr())
+	}
+	if *linger > 0 {
+		fmt.Printf("lingering for %v...\n", *linger)
+		time.Sleep(*linger)
+	}
 	return nil
+}
+
+// printSampleTrace picks the demo's most interesting trace — preferring a
+// multi-hop transfer — and prints its span tree, showing one trace ID
+// stitched across payer, owner/broker, and payee over real sockets.
+func printSampleTrace(tr *obs.Tracer) {
+	spans := tr.Spans()
+	traceID := ""
+	for _, want := range []string{"transfer", "downtime-transfer", "downtime-renewal", "deposit"} {
+		for i := len(spans) - 1; i >= 0; i-- {
+			if spans[i].Op == want {
+				traceID = spans[i].TraceID
+				break
+			}
+		}
+		if traceID != "" {
+			break
+		}
+	}
+	if traceID == "" && len(spans) > 0 {
+		traceID = spans[len(spans)-1].TraceID
+	}
+	if traceID == "" {
+		return
+	}
+	recs := tr.Trace(traceID)
+	fmt.Printf("\n=== sample trace %s (%d spans) ===\n", traceID, len(recs))
+	inTrace := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		inTrace[r.SpanID] = true
+	}
+	children := make(map[string][]obs.SpanRecord)
+	var roots []obs.SpanRecord
+	for _, r := range recs {
+		if r.ParentID != "" && inTrace[r.ParentID] {
+			children[r.ParentID] = append(children[r.ParentID], r)
+		} else {
+			roots = append(roots, r)
+		}
+	}
+	var walk func(r obs.SpanRecord, depth int)
+	walk = func(r obs.SpanRecord, depth int) {
+		for i := 0; i < depth; i++ {
+			fmt.Print("  ")
+		}
+		line := fmt.Sprintf("%s %s", r.Entity, r.Op)
+		fmt.Printf("%-40s %v\n", line, r.Duration.Round(time.Microsecond))
+		kids := children[r.SpanID]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+		for _, kid := range kids {
+			walk(kid, depth+1)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Start.Before(roots[j].Start) })
+	for _, r := range roots {
+		walk(r, 0)
+	}
 }
 
 // currentHolder finds who holds the coin now.

@@ -19,16 +19,23 @@ import (
 	"time"
 
 	"whopay/internal/bus"
+	"whopay/internal/obs"
 )
 
 // RegisterType registers a payload type for gob transport. Call it once per
 // concrete message type (typically from an init function).
 func RegisterType(v any) { gob.Register(v) }
 
-// envelope frames a request on the wire.
+// envelope frames a request on the wire. TraceID/SpanID are the optional
+// obs trace identity (PROTOCOL.md): empty when the caller is untraced, in
+// which case gob omits the zero-valued fields entirely, so the wire bytes
+// are identical to pre-obs builds; decoders that predate the fields skip
+// them, so the extension is backward compatible in both directions.
 type envelope struct {
 	From    bus.Address
 	Payload any
+	TraceID string
+	SpanID  string
 }
 
 // reply frames a response on the wire. Code carries the machine-readable
@@ -52,6 +59,13 @@ type Network struct {
 	idleTimeout  time.Duration
 	readTimeout  time.Duration
 	writeTimeout time.Duration
+	reg          *obs.Registry
+
+	// obs handles; nil (no-op) unless WithObs is given.
+	mConnsIn  *obs.Gauge
+	mCalls    *obs.Counter
+	mDialErrs *obs.Counter
+	mTimeouts *obs.Counter
 }
 
 var _ bus.Network = (*Network)(nil)
@@ -94,6 +108,15 @@ func WithWriteTimeout(d time.Duration) Option {
 	return func(n *Network) { n.writeTimeout = d }
 }
 
+// WithObs enables transport metrics on reg: open inbound connections,
+// outbound calls, dial failures, and deadline timeouts. It also activates
+// trace propagation — outgoing envelopes carry the caller's ambient trace
+// identity. Nil reg (the default) leaves the transport uninstrumented and
+// the wire format byte-identical.
+func WithObs(reg *obs.Registry) Option {
+	return func(n *Network) { n.reg = reg }
+}
+
 // New returns a TCP Network.
 func New(opts ...Option) *Network {
 	n := &Network{
@@ -108,7 +131,28 @@ func New(opts ...Option) *Network {
 	if n.readTimeout == 0 || n.readTimeout > n.callTimeout {
 		n.readTimeout = n.callTimeout
 	}
+	if n.reg != nil {
+		n.reg.Help("whopay_tcpbus_open_conns", "Accepted connections currently being served.")
+		n.reg.Help("whopay_tcpbus_calls_total", "Outbound calls attempted.")
+		n.reg.Help("whopay_tcpbus_dial_errors_total", "Outbound dials that failed.")
+		n.reg.Help("whopay_tcpbus_timeouts_total", "Calls that hit a read/write deadline.")
+		n.mConnsIn = n.reg.Gauge("whopay_tcpbus_open_conns", nil)
+		n.mCalls = n.reg.Counter("whopay_tcpbus_calls_total", nil)
+		n.mDialErrs = n.reg.Counter("whopay_tcpbus_dial_errors_total", nil)
+		n.mTimeouts = n.reg.Counter("whopay_tcpbus_timeouts_total", nil)
+	}
 	return n
+}
+
+// countTimeout bumps the timeout counter when err is a deadline expiry.
+func (n *Network) countTimeout(err error) {
+	if n.mTimeouts == nil {
+		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		n.mTimeouts.Inc()
+	}
 }
 
 // Listen implements bus.Network: it binds a TCP listener on addr and serves
@@ -220,6 +264,8 @@ func (e *endpoint) serveConn(conn net.Conn) {
 	}
 	defer e.untrack(conn)
 	defer conn.Close()
+	e.net.mConnsIn.Add(1)
+	defer e.net.mConnsIn.Add(-1)
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	// The idle deadline is absolute and covers the whole request: a client
@@ -229,6 +275,14 @@ func (e *endpoint) serveConn(conn net.Conn) {
 	var env envelope
 	if err := dec.Decode(&env); err != nil {
 		return
+	}
+	if env.TraceID != "" {
+		// The handler serves this request start-to-finish on this
+		// goroutine, so adopting the caller's trace identity here makes
+		// every span the entity opens while handling it a child of the
+		// remote caller's span.
+		release := obs.Adopt(env.TraceID, env.SpanID)
+		defer release()
 	}
 	resp, err := e.handler(env.From, env.Payload)
 	out := reply{Payload: resp}
@@ -249,15 +303,25 @@ func (e *endpoint) Call(to bus.Address, msg any) (any, error) {
 	if closed {
 		return nil, bus.ErrClosed
 	}
+	e.net.mCalls.Inc()
 	conn, err := net.DialTimeout("tcp", string(to), e.net.dialTimeout)
 	if err != nil {
+		e.net.mDialErrs.Inc()
 		return nil, fmt.Errorf("%w: %s: %v", bus.ErrUnreachable, to, err)
 	}
 	defer conn.Close()
+	env := envelope{From: e.addr, Payload: msg}
+	if e.net.reg != nil {
+		// Trace identity crosses the wire only on instrumented networks, so
+		// uninstrumented daemons keep pre-obs wire bytes even when some
+		// other subsystem in the process activated tracing.
+		env.TraceID, env.SpanID = obs.Inject()
+	}
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	_ = conn.SetWriteDeadline(time.Now().Add(e.net.writeTimeout))
-	if err := enc.Encode(&envelope{From: e.addr, Payload: msg}); err != nil {
+	if err := enc.Encode(&env); err != nil {
+		e.net.countTimeout(err)
 		return nil, fmt.Errorf("tcpbus: encoding request to %s: %w", to, err)
 	}
 	// The reply wait covers the remote handler's execution, so it gets the
@@ -265,6 +329,7 @@ func (e *endpoint) Call(to bus.Address, msg any) (any, error) {
 	_ = conn.SetReadDeadline(time.Now().Add(e.net.readTimeout))
 	var rep reply
 	if err := dec.Decode(&rep); err != nil {
+		e.net.countTimeout(err)
 		return nil, fmt.Errorf("tcpbus: reading reply from %s: %w", to, err)
 	}
 	if rep.IsErr {

@@ -11,6 +11,7 @@ import (
 	"whopay/internal/coin"
 	"whopay/internal/dht"
 	"whopay/internal/groupsig"
+	"whopay/internal/obs"
 	"whopay/internal/sig"
 	"whopay/internal/store"
 	"whopay/internal/wal"
@@ -70,6 +71,12 @@ type BrokerConfig struct {
 	// broker purely in-memory with behavior identical to before the
 	// durability layer existed.
 	Persistence *wal.Config
+	// Obs, when non-nil, instruments the broker (DESIGN.md §11): a span
+	// plus latency-histogram sample per served operation, WAL and
+	// sig-cache metrics, and a /healthz check on PersistenceErr. Nil (the
+	// default) keeps message counts, allocations, and error shapes
+	// byte-identical to an uninstrumented broker.
+	Obs *obs.Registry
 }
 
 // depositRecord remembers a redeemed coin.
@@ -113,6 +120,7 @@ type Broker struct {
 	ep    bus.Endpoint
 	dhtc  *dht.Client
 	ops   OpCounter
+	instr *instr // nil unless cfg.Obs is set
 
 	svc         *store.Sharded[coin.ID, *sync.Mutex] // per-coin service serialization
 	coins       *store.Sharded[coin.ID, *coin.Coin]
@@ -167,7 +175,14 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	// see a non-nil interface and journal into nothing.
 	var journal store.Journal
 	if cfg.Persistence != nil {
-		log, err := wal.Open(*cfg.Persistence)
+		pc := *cfg.Persistence // copy: don't mutate the caller's config
+		if cfg.Obs != nil {
+			pc.Obs = cfg.Obs
+			if pc.Entity == "" {
+				pc.Entity = "broker"
+			}
+		}
+		log, err := wal.Open(pc)
 		if err != nil {
 			return nil, fmt.Errorf("core: broker wal: %w", err)
 		}
@@ -233,6 +248,28 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 				_ = b.persist.log.Close()
 			}
 			return nil, fmt.Errorf("core: broker dht client: %w", err)
+		}
+	}
+	if cfg.Obs != nil {
+		b.instr = newInstr(cfg.Obs, "broker")
+		registerOpCounts(cfg.Obs, "broker", &b.ops)
+		cfg.Obs.Help("whopay_broker_issued_value", "Total coin value issued and in circulation.")
+		cfg.Obs.Help("whopay_broker_deposited_value", "Total coin value redeemed.")
+		cfg.Obs.GaugeFunc("whopay_broker_issued_value", nil, func() float64 { return float64(b.IssuedValue()) })
+		cfg.Obs.GaugeFunc("whopay_broker_deposited_value", nil, func() float64 { return float64(b.DepositedValue()) })
+		if b.cache != nil {
+			registerCacheMetrics(cfg.Obs, "broker", func() (int64, int64, int64, int64) {
+				s := b.cache.Stats()
+				return s.Hits, s.Misses, s.KeyHits, s.KeyMisses
+			})
+		}
+		if b.persist != nil {
+			cfg.Obs.RegisterHealth("broker-journal", func() (string, error) {
+				if err := b.PersistenceErr(); err != nil {
+					return "", err
+				}
+				return "journaling", nil
+			})
 		}
 	}
 	return b, nil
@@ -345,23 +382,50 @@ func (b *Broker) handle(from bus.Address, msg any) (any, error) {
 }
 
 func (b *Broker) dispatch(_ bus.Address, msg any) (any, error) {
+	// Each case opens a span + latency sample inline (no closure: a
+	// wrapper func would allocate even with instrumentation disabled,
+	// breaking the byte-identical contract of a nil Obs knob).
 	switch m := msg.(type) {
 	case PurchaseRequest:
-		return b.handlePurchase(m)
+		sp := b.instr.Begin("serve-purchase")
+		resp, err := b.handlePurchase(m)
+		b.instr.End(sp, err)
+		return resp, err
 	case BatchPurchaseRequest:
-		return b.handleBatchPurchase(m)
+		sp := b.instr.Begin("serve-purchase-batch")
+		resp, err := b.handleBatchPurchase(m)
+		b.instr.End(sp, err)
+		return resp, err
 	case TransferRequest:
-		return b.handleDowntimeTransfer(m)
+		sp := b.instr.Begin("serve-downtime-transfer")
+		resp, err := b.handleDowntimeTransfer(m)
+		b.instr.End(sp, err)
+		return resp, err
 	case RenewRequest:
-		return b.handleDowntimeRenew(m)
+		sp := b.instr.Begin("serve-downtime-renewal")
+		resp, err := b.handleDowntimeRenew(m)
+		b.instr.End(sp, err)
+		return resp, err
 	case DepositRequest:
-		return b.handleDeposit(m)
+		sp := b.instr.Begin("serve-deposit")
+		resp, err := b.handleDeposit(m)
+		b.instr.End(sp, err)
+		return resp, err
 	case LayeredDepositRequest:
-		return b.handleLayeredDeposit(m)
+		sp := b.instr.Begin("serve-layered-deposit")
+		resp, err := b.handleLayeredDeposit(m)
+		b.instr.End(sp, err)
+		return resp, err
 	case SyncRequest:
-		return b.handleSync(m)
+		sp := b.instr.Begin("serve-sync")
+		resp, err := b.handleSync(m)
+		b.instr.End(sp, err)
+		return resp, err
 	case FraudReport:
-		return b.handleFraudReport(m)
+		sp := b.instr.Begin("serve-fraud-report")
+		resp, err := b.handleFraudReport(m)
+		b.instr.End(sp, err)
+		return resp, err
 	default:
 		return nil, fmt.Errorf("%w: broker got %T", ErrBadRequest, msg)
 	}

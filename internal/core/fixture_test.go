@@ -10,6 +10,7 @@ import (
 	"whopay/internal/bus"
 	"whopay/internal/dht"
 	"whopay/internal/indirect"
+	"whopay/internal/obs"
 	"whopay/internal/sig"
 	"whopay/internal/wal"
 )
@@ -38,12 +39,13 @@ func (c *fakeClock) Advance(d time.Duration) {
 
 // fixtureOpts tweak the test world.
 type fixtureOpts struct {
-	scheme    sig.Scheme
-	detection bool // DHT + publishing + watching + payee checks
-	syncMode  SyncMode
-	indirect  bool
-	dhtNodes  int
+	scheme     sig.Scheme
+	detection  bool // DHT + publishing + watching + payee checks
+	syncMode   SyncMode
+	indirect   bool
+	dhtNodes   int
 	retry      *bus.RetryPolicy // peers retry transient transport failures
+	obs        *obs.Registry    // live observability registry (nil: disabled)
 	persist    *wal.Config      // broker durability (nil: in-memory broker)
 	dhtPersist *wal.Config      // DHT node durability (nil: in-memory nodes)
 }
@@ -129,6 +131,7 @@ func newFixture(t testing.TB, opts fixtureOpts) *fixture {
 		GroupPub:    judge.GroupPublicKey(),
 		DHTNodes:    dhtAddrs,
 		Persistence: opts.persist,
+		Obs:         opts.obs,
 	}
 	broker, err := NewBroker(f.brokerCfg)
 	if err != nil {
@@ -235,6 +238,7 @@ func (f *fixture) peerConfig(id string, rec sig.Recorder) PeerConfig {
 		Presence:           presence,
 		Rand:               mrand.New(mrand.NewSource(int64(f.seq) * 7919)),
 		Retry:              f.opts.retry,
+		Obs:                f.opts.obs,
 	}
 }
 

@@ -1,0 +1,43 @@
+package core
+
+import "whopay/internal/obs"
+
+// instr aliases the shared obs instrumentation handle (DESIGN.md §11); the
+// nil value is the disabled state and makes Begin/End free.
+type instr = obs.Instr
+
+// newInstr mirrors obs.NewInstr for core's call sites.
+func newInstr(reg *obs.Registry, entity string) *instr { return obs.NewInstr(reg, entity) }
+
+// registerCacheMetrics exposes a sig cache's hit/miss tallies as counter
+// funcs — reads of the cache's existing atomics, nothing added to the
+// verify hot path.
+func registerCacheMetrics(reg *obs.Registry, entity string, stats func() (hits, misses, keyHits, keyMisses int64)) {
+	if reg == nil || stats == nil {
+		return
+	}
+	reg.Help("whopay_sigcache_results_total", "Verify-memo cache lookups, by entity and outcome.")
+	reg.Help("whopay_sigcache_keys_total", "Decoded-key cache lookups, by entity and outcome.")
+	reg.CounterFunc("whopay_sigcache_results_total", obs.Labels{"entity": entity, "outcome": "hit"},
+		func() int64 { h, _, _, _ := stats(); return h })
+	reg.CounterFunc("whopay_sigcache_results_total", obs.Labels{"entity": entity, "outcome": "miss"},
+		func() int64 { _, m, _, _ := stats(); return m })
+	reg.CounterFunc("whopay_sigcache_keys_total", obs.Labels{"entity": entity, "outcome": "hit"},
+		func() int64 { _, _, kh, _ := stats(); return kh })
+	reg.CounterFunc("whopay_sigcache_keys_total", obs.Labels{"entity": entity, "outcome": "miss"},
+		func() int64 { _, _, _, km := stats(); return km })
+}
+
+// registerOpCounts exposes an entity's OpCounter (the paper's message-count
+// bookkeeping) as counter funcs, one series per operation.
+func registerOpCounts(reg *obs.Registry, entity string, ops *OpCounter) {
+	if reg == nil || ops == nil {
+		return
+	}
+	reg.Help("whopay_ops_total", "Completed WhoPay protocol operations, by entity and operation (the paper's op tallies).")
+	for op := Op(0); op < NumOps; op++ {
+		op := op
+		reg.CounterFunc("whopay_ops_total", obs.Labels{"entity": entity, "op": op.String()},
+			func() int64 { return ops.Snapshot()[op] })
+	}
+}

@@ -17,6 +17,13 @@ import (
 // Section 4.2, Issue). For owner-anonymous coins the ownership challenge is
 // answered with the coin key and a group signature accompanies the issue.
 func (p *Peer) IssueTo(payee bus.Address, id coin.ID) error {
+	sp := p.instr.Begin("issue")
+	err := p.issueTo(payee, id)
+	p.instr.End(sp, err)
+	return err
+}
+
+func (p *Peer) issueTo(payee bus.Address, id coin.ID) error {
 	oc, ok := p.owned.Get(id)
 	if !ok {
 		return ErrUnknownCoin

@@ -17,6 +17,13 @@ import (
 // set, the coin carries an indirection handle instead of the owner identity
 // (paper Section 5.2) — this requires configured indirection servers.
 func (p *Peer) Purchase(value int64, anonymous bool) (coin.ID, error) {
+	sp := p.instr.Begin("purchase")
+	id, err := p.purchase(value, anonymous)
+	p.instr.End(sp, err)
+	return id, err
+}
+
+func (p *Peer) purchase(value int64, anonymous bool) (coin.ID, error) {
 	coinKeys, err := p.suite.GenerateKey()
 	if err != nil {
 		return "", fmt.Errorf("core: coin keygen: %w", err)
@@ -85,6 +92,13 @@ func (p *Peer) Purchase(value int64, anonymous bool) (coin.ID, error) {
 // purchase). Only non-anonymous coins batch (anonymous coins each need
 // their own indirection handle registration).
 func (p *Peer) PurchaseBatch(n int, value int64) ([]coin.ID, error) {
+	sp := p.instr.Begin("purchase-batch")
+	ids, err := p.purchaseBatch(n, value)
+	p.instr.End(sp, err)
+	return ids, err
+}
+
+func (p *Peer) purchaseBatch(n int, value int64) ([]coin.ID, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("%w: batch size %d", ErrBadRequest, n)
 	}
@@ -180,6 +194,17 @@ func (p *Peer) buildTransfer(hc *heldCoin, payee bus.Address, offer OfferRespons
 // transferCommon drives a transfer through the given servicer (the coin's
 // owner or the broker).
 func (p *Peer) transferCommon(payee bus.Address, id coin.ID, viaBroker bool) error {
+	op := "transfer"
+	if viaBroker {
+		op = "downtime-transfer"
+	}
+	sp := p.instr.Begin(op)
+	err := p.transferInner(payee, id, viaBroker)
+	p.instr.End(sp, err)
+	return err
+}
+
+func (p *Peer) transferInner(payee bus.Address, id coin.ID, viaBroker bool) error {
 	hc, ok := p.held.Get(id)
 	if !ok {
 		return ErrUnknownCoin
@@ -271,6 +296,17 @@ func (p *Peer) buildRenew(hc *heldCoin) (RenewRequest, error) {
 
 // renewCommon drives a renewal through the owner or the broker.
 func (p *Peer) renewCommon(id coin.ID, viaBroker bool) error {
+	op := "renewal"
+	if viaBroker {
+		op = "downtime-renewal"
+	}
+	sp := p.instr.Begin(op)
+	err := p.renewInner(id, viaBroker)
+	p.instr.End(sp, err)
+	return err
+}
+
+func (p *Peer) renewInner(id coin.ID, viaBroker bool) error {
 	hc, ok := p.held.Get(id)
 	if !ok {
 		return ErrUnknownCoin
@@ -353,6 +389,13 @@ func (p *Peer) Renew(id coin.ID) (viaBroker bool, err error) {
 // Section 4.2, Deposit). The payout reference is opaque: the broker never
 // learns who deposited.
 func (p *Peer) Deposit(id coin.ID, payoutRef string) error {
+	sp := p.instr.Begin("deposit")
+	err := p.deposit(id, payoutRef)
+	p.instr.End(sp, err)
+	return err
+}
+
+func (p *Peer) deposit(id coin.ID, payoutRef string) error {
 	hc, ok := p.held.Get(id)
 	if !ok {
 		return ErrUnknownCoin
@@ -394,6 +437,13 @@ func (p *Peer) Deposit(id coin.ID, payoutRef string) error {
 // Sync): the broker returns the bindings it maintained for this owner's
 // coins during downtime.
 func (p *Peer) Sync() error {
+	sp := p.instr.Begin("sync")
+	err := p.syncWithBroker()
+	p.instr.End(sp, err)
+	return err
+}
+
+func (p *Peer) syncWithBroker() error {
 	nonce := p.randBytes(16)
 	sigBytes, err := p.suite.Sign(p.keys.Private, syncMessage(p.cfg.ID, nonce))
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"whopay/internal/dht"
 	"whopay/internal/groupsig"
 	"whopay/internal/indirect"
+	"whopay/internal/obs"
 	"whopay/internal/sig"
 	"whopay/internal/store"
 	"whopay/internal/wal"
@@ -130,6 +131,12 @@ type PeerConfig struct {
 	// NewPeer replays any existing journal at startup (see RecoverPeer).
 	// Nil keeps the wallet purely in memory — the pre-existing behavior.
 	Persistence *wal.Config
+	// Obs, when non-nil, instruments the peer (DESIGN.md §11): spans and
+	// latency histograms per protocol operation (client- and server-side),
+	// WAL and sig-cache metrics, retry counts, and a /healthz check on
+	// PersistenceErr. Nil (the default) keeps message counts, allocations,
+	// and error shapes byte-identical to an uninstrumented peer.
+	Obs *obs.Registry
 }
 
 // ownedCoin is the owner-side state for one coin. The coin, its keys and
@@ -206,6 +213,7 @@ type Peer struct {
 	dhtc   *dht.Client
 	indir  *indirect.Client
 	ops    OpCounter
+	instr  *instr // nil unless cfg.Obs is set
 
 	randMu sync.Mutex
 	rand   *mrand.Rand
@@ -267,7 +275,14 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		p.suite, p.cache = sig.NewCachedSuite(p.suite, sig.CacheOptions{})
 	}
 	if cfg.Persistence != nil {
-		log, err := wal.Open(*cfg.Persistence)
+		pc := *cfg.Persistence // copy: don't mutate the caller's config
+		if cfg.Obs != nil {
+			pc.Obs = cfg.Obs
+			if pc.Entity == "" {
+				pc.Entity = cfg.ID
+			}
+		}
+		log, err := wal.Open(pc)
 		if err != nil {
 			return nil, fmt.Errorf("core: peer wal: %w", err)
 		}
@@ -367,6 +382,28 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 			_ = ep.Close()
 			p.closePersist()
 			return nil, fmt.Errorf("core: peer indirect client: %w", err)
+		}
+	}
+	if cfg.Obs != nil {
+		p.instr = newInstr(cfg.Obs, cfg.ID)
+		registerOpCounts(cfg.Obs, cfg.ID, &p.ops)
+		if cfg.Retry != nil {
+			cfg.Obs.Help("whopay_retries_total", "Transient-failure retries issued by the retry layer, by entity.")
+			cfg.Obs.CounterFunc("whopay_retries_total", obs.Labels{"entity": cfg.ID}, p.Retries)
+		}
+		if p.cache != nil {
+			registerCacheMetrics(cfg.Obs, cfg.ID, func() (int64, int64, int64, int64) {
+				s := p.cache.Stats()
+				return s.Hits, s.Misses, s.KeyHits, s.KeyMisses
+			})
+		}
+		if p.persist != nil {
+			cfg.Obs.RegisterHealth(cfg.ID+"-journal", func() (string, error) {
+				if err := p.PersistenceErr(); err != nil {
+					return "", err
+				}
+				return "journaling", nil
+			})
 		}
 	}
 	return p, nil
@@ -499,19 +536,40 @@ func (p *Peer) handle(from bus.Address, msg any) (any, error) {
 }
 
 func (p *Peer) dispatch(_ bus.Address, msg any) (any, error) {
+	// Each case opens a span + latency sample inline (no closure: a
+	// wrapper func would allocate even with instrumentation disabled,
+	// breaking the byte-identical contract of a nil Obs knob).
 	switch m := msg.(type) {
 	case OfferRequest:
-		return p.handleOffer(m)
+		sp := p.instr.Begin("serve-offer")
+		resp, err := p.handleOffer(m)
+		p.instr.End(sp, err)
+		return resp, err
 	case DeliverRequest:
-		return p.handleDeliver(m)
+		sp := p.instr.Begin("serve-deliver")
+		resp, err := p.handleDeliver(m)
+		p.instr.End(sp, err)
+		return resp, err
 	case TransferRequest:
-		return p.handleTransferRequest(m)
+		sp := p.instr.Begin("serve-transfer")
+		resp, err := p.handleTransferRequest(m)
+		p.instr.End(sp, err)
+		return resp, err
 	case RenewRequest:
-		return p.handleRenewRequest(m)
+		sp := p.instr.Begin("serve-renewal")
+		resp, err := p.handleRenewRequest(m)
+		p.instr.End(sp, err)
+		return resp, err
 	case DisputeRequest:
-		return p.handleDispute(m)
+		sp := p.instr.Begin("serve-dispute")
+		resp, err := p.handleDispute(m)
+		p.instr.End(sp, err)
+		return resp, err
 	case dht.Notify:
-		return p.handleNotify(m)
+		sp := p.instr.Begin("serve-notify")
+		resp, err := p.handleNotify(m)
+		p.instr.End(sp, err)
+		return resp, err
 	default:
 		return nil, fmt.Errorf("%w: peer got %T", ErrBadRequest, msg)
 	}

@@ -28,8 +28,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"whopay/internal/bus"
+	"whopay/internal/obs"
 	"whopay/internal/sig"
 	"whopay/internal/store"
 	"whopay/internal/wal"
@@ -184,6 +186,10 @@ type Node struct {
 	epoch  uint64
 	walMu  sync.Mutex
 	walErr error
+
+	// Observability (nil/zero when the cluster has no Obs registry).
+	instr         *obs.Instr
+	lastForceSync atomic.Int64 // unix nanos of the epoch-fence force-sync at recovery
 }
 
 // Addr returns the node's bus address.
@@ -198,11 +204,18 @@ func (n *Node) handle(from bus.Address, msg any) (any, error) {
 }
 
 func (n *Node) dispatch(_ bus.Address, msg any) (any, error) {
+	// Spans are opened inline per case (no closure — a wrapper func would
+	// allocate even with instrumentation disabled).
 	switch m := msg.(type) {
 	case PutMsg:
-		return n.handlePut(m)
+		sp := n.instr.Begin("serve-put")
+		resp, err := n.handlePut(m)
+		n.instr.End(sp, err)
+		return resp, err
 	case GetMsg:
+		sp := n.instr.Begin("serve-get")
 		rec, ok := n.store.Get(m.Key)
+		n.instr.End(sp, nil)
 		return GetResp{Rec: rec, Found: ok}, nil
 	case FindMsg:
 		return n.findStep(m.Key), nil
@@ -347,6 +360,11 @@ type Cluster struct {
 	ring  []nodeRef
 	nodes []*Node
 	addrs []bus.Address
+
+	// health holds each slot's live node for /healthz checks: Restart
+	// swaps the pointer so the (once-registered) check always reports on
+	// the replacement, never the crashed instance.
+	health []atomic.Pointer[Node]
 }
 
 // ClusterConfig configures a DHT cluster.
@@ -362,6 +380,11 @@ type ClusterConfig struct {
 	// under Persistence.Sub("node-i"), and Restart recovers it from that
 	// journal. Nil keeps nodes purely in memory.
 	Persistence *wal.Config
+	// Obs, when non-nil, instruments every node (DESIGN.md §11): spans and
+	// latency histograms per served message, WAL metrics, and a /healthz
+	// check reporting each node's journal error and epoch-fence age. Nil
+	// (the default) keeps nodes byte-identical to uninstrumented ones.
+	Obs *obs.Registry
 }
 
 // NewCluster creates n nodes on net with the given replication factor and
@@ -423,7 +446,11 @@ func (c *Cluster) startNode(i int) (*Node, error) {
 		subs:     store.NewSharded[Key, map[bus.Address]bool](dhtShards, keyHash),
 		replicas: c.cfg.Replicas,
 	}
+	node.instr = obs.NewInstr(c.cfg.Obs, string(addr))
 	if sub := c.cfg.Persistence.Sub(fmt.Sprintf("node-%d", i)); sub != nil {
+		if c.cfg.Obs != nil {
+			sub.Obs = c.cfg.Obs
+		}
 		log, err := wal.Open(*sub)
 		if err != nil {
 			return nil, fmt.Errorf("dht: node %d wal: %w", i, err)
@@ -432,6 +459,19 @@ func (c *Cluster) startNode(i int) (*Node, error) {
 		if err := node.recoverState(); err != nil {
 			_ = log.Close()
 			return nil, fmt.Errorf("dht: node %d recovery: %w", i, err)
+		}
+		if c.cfg.Obs != nil {
+			if c.health == nil {
+				c.health = make([]atomic.Pointer[Node], c.cfg.Nodes)
+			}
+			first := c.health[i].Load() == nil
+			c.health[i].Store(node)
+			if first {
+				slot := &c.health[i]
+				c.cfg.Obs.RegisterHealth(string(addr)+"-journal", func() (string, error) {
+					return slot.Load().healthCheck()
+				})
+			}
 		}
 	}
 	ep, err := c.cfg.Network.Listen(addr, node.handle)

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"time"
 
 	"whopay/internal/bus"
 	"whopay/internal/wal"
@@ -167,7 +168,22 @@ func (n *Node) recoverState() error {
 	if err := n.walLog.Sync(); err != nil {
 		return err
 	}
+	n.lastForceSync.Store(time.Now().UnixNano())
 	return n.PersistenceErr()
+}
+
+// healthCheck reports the node's durability health for /healthz: the
+// retained journal error (unhealthy) or the epoch and the age of the
+// epoch-fence force-sync cut at recovery (healthy detail).
+func (n *Node) healthCheck() (string, error) {
+	if err := n.PersistenceErr(); err != nil {
+		return "", err
+	}
+	age := time.Duration(0)
+	if t := n.lastForceSync.Load(); t != 0 {
+		age = time.Since(time.Unix(0, t)).Round(time.Millisecond)
+	}
+	return fmt.Sprintf("epoch %d, force-synced %v ago", n.Epoch(), age), nil
 }
 
 // maybeSnapshot cuts a compaction snapshot when the journal has outgrown its

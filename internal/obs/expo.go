@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// canonLabels renders a label set into its canonical exposition form:
+// `k1="v1",k2="v2"` with keys sorted and values escaped, or "" for an empty
+// set. The canonical string doubles as the series map key.
+func canonLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escaping rules for
+// label values: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// mergeLabels appends extra to a canonical label string (used for the
+// histogram `le` label, which must come after the series labels).
+func mergeLabels(canon, extra string) string {
+	if canon == "" {
+		return extra
+	}
+	if extra == "" {
+		return canon
+	}
+	return canon + "," + extra
+}
+
+// formatFloat renders a metric value the way Prometheus expects: shortest
+// representation that round-trips, with +Inf/-Inf spelled out.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, each preceded
+// by optional # HELP and mandatory # TYPE lines, histogram series expanded
+// into cumulative _bucket{le=...} lines plus _sum and _count. Safe to call
+// concurrently with metric writers; values within one scrape may be
+// mutually skewed by in-flight updates, which the format permits.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		r.mu.Lock()
+		help := f.help
+		kind := f.kind
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		sers := make([]*series, 0, len(keys))
+		for _, k := range keys {
+			sers = append(sers, f.series[k])
+		}
+		r.mu.Unlock()
+		if len(sers) == 0 {
+			continue
+		}
+		if help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strings.ReplaceAll(strings.ReplaceAll(help, "\\", `\\`), "\n", `\n`))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(kind.promType())
+		bw.WriteByte('\n')
+		for _, s := range sers {
+			switch kind {
+			case kindCounter:
+				writeSample(bw, f.name, "", s.labels, formatFloat(float64(s.c.Value())))
+			case kindGauge:
+				writeSample(bw, f.name, "", s.labels, formatFloat(float64(s.g.Value())))
+			case kindCounterFunc, kindGaugeFunc:
+				if s.fn != nil {
+					writeSample(bw, f.name, "", s.labels, formatFloat(sanitizeFloat(s.fn())))
+				}
+			case kindHistogram:
+				cum, count, sum := s.h.snapshot()
+				for i, bound := range s.h.bounds {
+					le := `le="` + formatFloat(bound) + `"`
+					writeSample(bw, f.name, "_bucket", mergeLabels(s.labels, le), strconv.FormatInt(cum[i], 10))
+				}
+				writeSample(bw, f.name, "_bucket", mergeLabels(s.labels, `le="+Inf"`), strconv.FormatInt(cum[len(cum)-1], 10))
+				writeSample(bw, f.name, "_sum", s.labels, formatFloat(sum))
+				writeSample(bw, f.name, "_count", s.labels, strconv.FormatInt(count, 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSample(bw *bufio.Writer, name, suffix, labels, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labels != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}

@@ -1,0 +1,12 @@
+#include "textflag.h"
+
+// func gkey() uintptr
+//
+// Returns the current goroutine's g pointer from thread-local storage —
+// a stable identity for the goroutine's whole lifetime, two instructions
+// instead of the multi-microsecond runtime.Stack traceback the portable
+// fallback needs.
+TEXT ·gkey(SB), NOSPLIT, $0-8
+	MOVQ (TLS), AX
+	MOVQ AX, ret+0(FP)
+	RET

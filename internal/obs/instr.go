@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Instr is an entity's handle into the obs subsystem: it opens a span plus
+// a latency-histogram observation around each logical operation, and counts
+// errored operations. A nil *Instr — the state when an entity's Obs knob is
+// unset — makes Begin/End pure no-ops that read no clock and allocate
+// nothing, so uninstrumented runs stay byte-identical.
+type Instr struct {
+	reg    *Registry
+	entity string
+	tracer *Tracer
+
+	mu    sync.RWMutex
+	hists map[string]*Histogram // op → latency histogram, built on demand
+}
+
+// NewInstr returns an instrumentation handle for the named entity, or nil
+// when reg is nil, so the disabled state costs one pointer comparison per
+// operation.
+func NewInstr(reg *Registry, entity string) *Instr {
+	if reg == nil {
+		return nil
+	}
+	reg.Help("whopay_op_seconds", "Latency of WhoPay protocol operations, by entity and operation.")
+	reg.Help("whopay_op_errors_total", "Protocol operations that returned an error, by entity and operation.")
+	return &Instr{
+		reg:    reg,
+		entity: entity,
+		tracer: reg.Tracer(),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// OpSpan carries one in-flight operation's trace span and latency timer
+// between Begin and End. The zero value (from a nil Instr) is inert.
+type OpSpan struct {
+	span *Span
+	hist *Histogram
+	t0   time.Time
+	op   string
+}
+
+// Begin opens a span for op and starts its latency timer.
+func (in *Instr) Begin(op string) OpSpan {
+	if in == nil {
+		return OpSpan{}
+	}
+	h := in.hist(op)
+	return OpSpan{span: in.tracer.StartSpan(in.entity, op), hist: h, t0: time.Now(), op: op}
+}
+
+// End closes the operation: records the latency, counts the error if any,
+// and finishes the span. Must run on the goroutine that called Begin.
+func (in *Instr) End(s OpSpan, err error) {
+	if in == nil || s.span == nil {
+		return
+	}
+	s.hist.ObserveSince(s.t0)
+	if err != nil {
+		in.reg.Counter("whopay_op_errors_total", Labels{"entity": in.entity, "op": s.op}).Inc()
+	}
+	s.span.End(err)
+}
+
+// hist returns the latency histogram for op, caching the handle so the hot
+// path avoids the registry's mutex after first use.
+func (in *Instr) hist(op string) *Histogram {
+	in.mu.RLock()
+	h, ok := in.hists[op]
+	in.mu.RUnlock()
+	if ok {
+		return h
+	}
+	h = in.reg.Histogram("whopay_op_seconds", Labels{"entity": in.entity, "op": op}, nil)
+	in.mu.Lock()
+	in.hists[op] = h
+	in.mu.Unlock()
+	return h
+}

@@ -1,0 +1,13 @@
+//go:build amd64 || arm64
+
+package obs
+
+// gkey returns a stable identity for the current goroutine: its g pointer,
+// read straight from the runtime's TLS slot (g_amd64.s / g_arm64.s). The g
+// struct never moves while the goroutine lives (stacks move; g does not),
+// so the value is a valid map key for goroutine-local storage at a few
+// nanoseconds per call. A g may be recycled after its goroutine exits, but
+// the gls protocol removes a goroutine's entry whenever its context
+// empties, so reuse only matters for a goroutine that dies with a span
+// still open — already a bug at the call site.
+func gkey() uintptr

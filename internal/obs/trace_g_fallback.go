@@ -1,0 +1,31 @@
+//go:build !amd64 && !arm64
+
+package obs
+
+import (
+	"bytes"
+	"runtime"
+)
+
+// gkey returns a stable identity for the current goroutine. Portable
+// fallback: the goroutine ID parsed from the first line of runtime.Stack
+// ("goroutine 123 [running]:"). runtime.Stack symbolizes the whole stack
+// even for a tiny buffer, so this costs microseconds at protocol stack
+// depths — the amd64/arm64 builds read the g pointer from TLS instead.
+func gkey() uintptr {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	b := buf[:n]
+	b = bytes.TrimPrefix(b, []byte("goroutine "))
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		b = b[:i]
+	}
+	var id uintptr
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uintptr(c-'0')
+	}
+	return id
+}

@@ -43,6 +43,29 @@ type Cached struct {
 	results *store.LRU[string, struct{}]   // result digest → known-valid
 	epoch   atomic.Uint64                  // bumped by Invalidate
 	gens    *store.Sharded[string, uint64] // pub → generation (revocations only)
+
+	// hit/miss tallies (obs exposition); not counted on the bypass path,
+	// where the cache does nothing worth measuring.
+	hits      atomic.Int64
+	misses    atomic.Int64
+	keyHits   atomic.Int64
+	keyMisses atomic.Int64
+}
+
+// CacheStats is a point-in-time read of the cache's hit/miss tallies.
+type CacheStats struct {
+	Hits, Misses       int64 // memoized-result cache
+	KeyHits, KeyMisses int64 // decoded-key cache
+}
+
+// Stats returns the current hit/miss tallies. Safe for concurrent use.
+func (c *Cached) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		KeyHits:   c.keyHits.Load(),
+		KeyMisses: c.keyMisses.Load(),
+	}
 }
 
 var (
@@ -125,8 +148,10 @@ func (c *Cached) Verify(pub PublicKey, msg []byte, sigBytes []byte) error {
 	}
 	rk := c.resultKey(pub, msg, sigBytes)
 	if _, ok := c.results.Get(rk); ok {
+		c.hits.Add(1)
 		return nil
 	}
+	c.misses.Add(1)
 	if err := c.verifyMiss(pub, msg, sigBytes); err != nil {
 		return err
 	}
@@ -142,8 +167,10 @@ func (c *Cached) verifyMiss(pub PublicKey, msg []byte, sigBytes []byte) error {
 	}
 	ck := string(pub)
 	if dk, ok := c.keys.Get(ck); ok {
+		c.keyHits.Add(1)
 		return c.dec.VerifyDecoded(dk, msg, sigBytes)
 	}
+	c.keyMisses.Add(1)
 	dk, err := c.dec.DecodePublic(pub)
 	if err != nil {
 		// Malformed keys are not cached: the decode error IS the

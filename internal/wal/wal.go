@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"whopay/internal/obs"
 )
 
 // Policy selects when appended records are fsynced to stable storage.
@@ -107,6 +109,12 @@ type Config struct {
 	SnapshotEvery int64
 	// FS overrides the filesystem (crash injection); default the OS.
 	FS FS
+	// Obs, when set, records WAL metrics (fsync latency, segment
+	// rotations, snapshots, I/O errors) into the registry. Nil (the
+	// default) keeps the log byte-identical to an uninstrumented one.
+	Obs *obs.Registry
+	// Entity labels this log's metrics (default: the base name of Dir).
+	Entity string
 }
 
 // withDefaults fills zero fields.
@@ -160,6 +168,12 @@ type Log struct {
 	replaySegs []uint64 // segments newer than the snapshot, in order
 
 	snapBusy atomic.Bool
+
+	// obs handles (nil-safe no-ops when Config.Obs is unset)
+	mFsync     *obs.Histogram
+	mRotations *obs.Counter
+	mSnapshots *obs.Counter
+	mErrors    *obs.Counter
 }
 
 // Open opens (or creates) the log in cfg.Dir, scanning the newest segment
@@ -207,6 +221,21 @@ func Open(cfg Config) (*Log, error) {
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 
 	l := &Log{cfg: cfg, fs: fs, lastSync: time.Now()}
+	if cfg.Obs != nil {
+		entity := cfg.Entity
+		if entity == "" {
+			entity = filepath.Base(cfg.Dir)
+		}
+		lbl := obs.Labels{"entity": entity}
+		cfg.Obs.Help("whopay_wal_fsync_seconds", "Latency of WAL fsync calls.")
+		cfg.Obs.Help("whopay_wal_segment_rotations_total", "WAL segments opened (including the initial one).")
+		cfg.Obs.Help("whopay_wal_snapshots_total", "WAL snapshots successfully installed.")
+		cfg.Obs.Help("whopay_wal_errors_total", "WAL write/sync failures.")
+		l.mFsync = cfg.Obs.Histogram("whopay_wal_fsync_seconds", lbl, nil)
+		l.mRotations = cfg.Obs.Counter("whopay_wal_segment_rotations_total", lbl)
+		l.mSnapshots = cfg.Obs.Counter("whopay_wal_snapshots_total", lbl)
+		l.mErrors = cfg.Obs.Counter("whopay_wal_errors_total", lbl)
+	}
 	if snapSeq > 0 {
 		l.snapFile = filepath.Join(cfg.Dir, fileName("snap-", snapSeq))
 	}
@@ -296,6 +325,7 @@ func (l *Log) Append(payload []byte) error {
 	}
 	l.appended = true
 	if _, err := l.cur.Write(buf); err != nil {
+		l.mErrors.Inc()
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.curSize += int64(len(buf))
@@ -430,6 +460,7 @@ func (l *Log) Snapshot(emit func(app func(payload []byte) error) error) error {
 	if oldSnap != "" && oldSnap != final {
 		_ = l.fs.Remove(oldSnap)
 	}
+	l.mSnapshots.Inc()
 	return nil
 }
 
@@ -462,9 +493,12 @@ func (l *Log) syncLocked(force bool) error {
 	default:
 		return nil
 	}
+	t0 := l.mFsync.Start()
 	if err := l.cur.Sync(); err != nil {
+		l.mErrors.Inc()
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.mFsync.ObserveSince(t0)
 	l.lastSync = time.Now()
 	return nil
 }
@@ -491,10 +525,12 @@ func (l *Log) sealLocked() error {
 func (l *Log) rotateLocked(seq uint64) error {
 	f, err := l.fs.Create(filepath.Join(l.cfg.Dir, fileName("seg-", seq)))
 	if err != nil {
+		l.mErrors.Inc()
 		return fmt.Errorf("wal: new segment: %w", err)
 	}
 	l.cur, l.curSeq, l.curSize = f, seq, 0
 	l.replaySegs = append(l.replaySegs, seq)
+	l.mRotations.Inc()
 	return nil
 }
 
