@@ -10,7 +10,7 @@ CHAOS_SEED ?=
 # seed (only matters once journals outgrow the exhaustive-sweep cap).
 CRASH_SEED ?=
 
-.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal bench-obs
+.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal bench-obs load-smoke
 
 all: vet build test
 
@@ -45,6 +45,15 @@ crash-suite:
 	WHOPAY_CRASH_SEED=$(CRASH_SEED) $(GO) test -race -count=1 \
 		-run 'Crash|CorruptTail|GobRoundTrip|WALBatch' ./internal/core/
 	$(GO) test -race -count=1 -run 'Restart|Epoch' ./internal/dht/
+
+# Open-loop load smoke: a small steady-profile run against a live tcpbus
+# broker (wal-off), strict-gated — any protocol error outside the
+# scenario's expected set, any unclassified error, or any post-run ledger
+# audit violation (conservation, no-double-spend) fails the target. The
+# BENCH_load_steady.json artifact lands under bench-out/.
+load-smoke:
+	$(GO) run ./cmd/whopay-bench -load -scenario steady \
+		-actors 40 -rate 120/s -load-duration 20s -strict -out bench-out
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -13,6 +13,16 @@
 //	whopay-bench -protocol -ops 2000
 //	whopay-bench -protocol -persist /tmp/whopay-wal -fsync always
 //
+// The -load mode runs the open-loop load harness (internal/load): many
+// lightweight peer actors against a live broker (and optional DHT) over
+// real TCP, issuing operations at a configured arrival rate. Latency is
+// measured from each operation's intended start, so a stalled broker shows
+// up in the tail instead of thinning the arrival stream. Each run writes a
+// BENCH_load_<scenario>.json artifact and ends with a ledger audit:
+//
+//	whopay-bench -load -scenario steady -actors 500 -rate 200/s
+//	whopay-bench -load -scenario all -wal -fsync interval -strict -out bench
+//
 // Usage:
 //
 //	whopay-bench -scheme ecdsa -iters 1000
@@ -56,6 +66,17 @@ func run() error {
 		persistDir = flag.String("persist", "", "journal broker and payer state under this directory (protocol mode; empty: in-memory)")
 		fsyncMode  = flag.String("fsync", "never", "journal fsync policy: never, interval, always")
 		dump       = flag.Bool("metrics-dump", false, "instrument the protocol bench with a live obs registry and print the Prometheus exposition on exit")
+
+		loadMode = flag.Bool("load", false, "run the open-loop load harness against a live tcpbus world (see -scenario)")
+		scenario = flag.String("scenario", "steady", "load scenario to run, or 'all' for the whole matrix")
+		actors   = flag.Int("actors", 200, "load mode: number of peer actors")
+		rateStr  = flag.String("rate", "200/s", "load mode: open-loop arrival rate, e.g. 200/s")
+		loadOps  = flag.Int("load-ops", 0, "load mode: bound the schedule by operation count (0: by -load-duration)")
+		loadDur  = flag.Duration("load-duration", 30*time.Second, "load mode: bound the schedule by time")
+		loadSeed = flag.Int64("load-seed", 1, "load mode: seed for the op mix and fault schedules")
+		walOn    = flag.Bool("wal", false, "load mode: journal the broker (under -persist, or a temp dir)")
+		outDir   = flag.String("out", ".", "load mode: directory for BENCH_load_<scenario>.json artifacts")
+		strict   = flag.Bool("strict", false, "load mode: exit nonzero on unexpected protocol errors or audit violations")
 	)
 	flag.Parse()
 
@@ -97,6 +118,24 @@ func run() error {
 		return fmt.Errorf("unknown scheme %q (ecdsa|ed25519|all)", *schemeName)
 	}
 
+	if *loadMode {
+		return runLoadBench(loadOpts{
+			scenario: *scenario,
+			actors:   *actors,
+			rate:     *rateStr,
+			ops:      *loadOps,
+			duration: *loadDur,
+			seed:     *loadSeed,
+			scheme:   schemes[0],
+			wal:      *walOn,
+			walDir:   *persistDir,
+			fsync:    *fsyncMode,
+			out:      *outDir,
+			strict:   *strict,
+			dump:     *dump,
+		})
+	}
+
 	if *protocol || *persistDir != "" {
 		var reg *obs.Registry
 		if *dump {
@@ -113,7 +152,7 @@ func run() error {
 		return nil
 	}
 	if *dump {
-		return fmt.Errorf("-metrics-dump requires -protocol (crypto micro-ops carry no registry)")
+		return fmt.Errorf("-metrics-dump requires -protocol or -load (crypto micro-ops carry no registry)")
 	}
 
 	fmt.Printf("Table 2 analog — %d iterations per operation\n", *iters)

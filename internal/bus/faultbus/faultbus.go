@@ -165,6 +165,20 @@ func (n *Network) Partition(a, b []bus.Address) {
 	}
 }
 
+// Unpartition lifts a Partition: every link between the two groups is
+// unblocked again, both directions. Only blocks are cleared — latency and
+// drop schedules configured on the links survive.
+func (n *Network) Unpartition(a, b []bus.Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, x := range a {
+		for _, y := range b {
+			delete(n.blocked, link{x, y})
+			delete(n.blocked, link{y, x})
+		}
+	}
+}
+
 // SetFlap makes addr a flapping endpoint: every call destined to it first
 // toggles the endpoint's up/down state with probability toggle; calls
 // finding it down fail with ErrUnreachable. A toggle of 0 removes the flap

@@ -1,0 +1,104 @@
+package bus_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whopay/internal/bus"
+	"whopay/internal/bus/faultbus"
+	"whopay/internal/obs"
+)
+
+// TestRetryCallerObsMetricsParity drives a RetryCaller through a faultbus
+// drop+latency schedule and asserts the obs CounterFunc bridge reports
+// exactly the attempt and retry counts that actually happened — the same
+// registration shape core.NewPeer uses for whopay_retries_total. Retries
+// were behavior-tested before; this pins the metrics down too: the fault
+// injector's own link counters, the server's handler invocations, the
+// RetryCaller's atomics, and the registry exposition must all agree.
+func TestRetryCallerObsMetricsParity(t *testing.T) {
+	const (
+		calls       = 300
+		maxAttempts = 6
+		seed        = 7
+	)
+	fb := faultbus.New(bus.NewMemory(), seed)
+
+	var handled atomic.Int64
+	_, err := fb.Listen("svc", func(from bus.Address, msg any) (any, error) {
+		handled.Add(1)
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatalf("listen svc: %v", err)
+	}
+	cli, err := fb.Listen("cli", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatalf("listen cli: %v", err)
+	}
+
+	fb.SetLink("cli", "svc", faultbus.Faults{
+		DropRequest: 0.25,
+		DropReply:   0.10,
+		LatencyMin:  time.Microsecond,
+		LatencyMax:  50 * time.Microsecond,
+	})
+
+	var sleeps atomic.Int64
+	rc := bus.NewRetryCaller(cli, bus.RetryPolicy{
+		MaxAttempts: maxAttempts,
+		BaseDelay:   time.Millisecond,
+		Rand:        rand.New(rand.NewSource(seed)),
+		Sleep:       func(time.Duration) { sleeps.Add(1) },
+	})
+
+	// The bridge under test: the registry reads the caller's live atomics
+	// at exposition time, exactly as core.NewPeer registers them.
+	reg := obs.NewRegistry()
+	lbl := obs.Labels{"entity": "cli"}
+	reg.CounterFunc("whopay_retries_total", lbl, rc.Retries)
+	reg.CounterFunc("whopay_retry_attempts_total", lbl, rc.Attempts)
+
+	var ok, failed int64
+	for i := 0; i < calls; i++ {
+		if _, err := rc.Call("svc", i); err == nil {
+			ok++
+		} else {
+			failed++
+		}
+	}
+
+	st := fb.Stats("cli", "svc")
+	if st.DroppedRequests == 0 || st.DroppedReplies == 0 {
+		t.Fatalf("schedule injected nothing (stats %+v) — the test is not exercising retries", st)
+	}
+	if rc.Retries() == 0 || ok == 0 {
+		t.Fatalf("degenerate run: retries=%d ok=%d failed=%d", rc.Retries(), ok, failed)
+	}
+
+	// Every attempt the caller issued traversed the injected link exactly
+	// once, and the handler ran for every attempt whose request survived.
+	if st.Calls != rc.Attempts() {
+		t.Fatalf("faultbus saw %d calls, RetryCaller issued %d attempts", st.Calls, rc.Attempts())
+	}
+	if want := st.Calls - st.DroppedRequests; handled.Load() != want {
+		t.Fatalf("handler ran %d times, want %d (attempts minus dropped requests)", handled.Load(), want)
+	}
+	// Attempts decompose exactly: one first try per call plus the retries.
+	if rc.Attempts() != calls+rc.Retries() {
+		t.Fatalf("attempts %d != calls %d + retries %d", rc.Attempts(), calls, rc.Retries())
+	}
+	if sleeps.Load() != rc.Retries() {
+		t.Fatalf("backoff slept %d times for %d retries", sleeps.Load(), rc.Retries())
+	}
+
+	// Metrics parity: the registry must expose the same numbers.
+	if v, found := reg.Value("whopay_retries_total", lbl); !found || v != float64(rc.Retries()) {
+		t.Fatalf("whopay_retries_total = %v (found=%v), want %d", v, found, rc.Retries())
+	}
+	if v, found := reg.Value("whopay_retry_attempts_total", lbl); !found || v != float64(rc.Attempts()) {
+		t.Fatalf("whopay_retry_attempts_total = %v (found=%v), want %d", v, found, rc.Attempts())
+	}
+}

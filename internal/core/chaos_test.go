@@ -6,6 +6,7 @@ import (
 	mrand "math/rand"
 	"os"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -36,7 +37,11 @@ import (
 // Every run is reproducible from its seed: the driver is sequential, peers
 // draw protocol randomness from per-peer seeded sources (fixture), and the
 // fault schedule comes from the faultbus's seeded generator. A failing run
-// prints its seed; re-run it with WHOPAY_CHAOS_SEED=<seed>.
+// prints its seed; re-run that one scenario alone with
+// WHOPAY_CHAOS_SEED=<seed> go test -run '<Test>/env'. Setting the env seed
+// also fans the sweep's other subtests out to derived seeds (env seed
+// hashed with the subtest name), so one env value explores fresh,
+// individually reproducible schedules.
 
 // chaosFaults is the fault profile every link suffers during the chaos
 // phase. Rates are high enough that a ~70-round run injects dozens of
@@ -383,11 +388,16 @@ func runChaos(t *testing.T, seed int64, retry *bus.RetryPolicy) chaosSummary {
 
 func assertChaosInvariants(t *testing.T, seed int64, w *chaosWorld, sum chaosSummary) {
 	t.Helper()
+	// The repro recipe is subtest-exact: the printed seed, run as the
+	// "env" case of this same top-level test, replays this one scenario
+	// without the rest of the sweep (derived seeds included — they were
+	// hashed from the env seed once and are ordinary literal seeds here).
+	topTest, _, _ := strings.Cut(t.Name(), "/")
 	fail := func(format string, args ...any) {
 		t.Helper()
 		t.Errorf("[chaos seed %d] "+format+
-			" — reproduce with: WHOPAY_CHAOS_SEED=%d go test -run TestChaosLifecycles ./internal/core/",
-			append(append([]any{seed}, args...), seed)...)
+			" — reproduce alone with: WHOPAY_CHAOS_SEED=%d go test -run '%s/env' ./internal/core/",
+			append(append([]any{seed}, args...), seed, topTest)...)
 	}
 	if sum.Deposited != sum.Issued-sum.GhostMinted {
 		fail("value not conserved: minted %d, ghost-minted %d, redeemed %d",
@@ -416,26 +426,47 @@ func assertChaosInvariants(t *testing.T, seed int64, w *chaosWorld, sum chaosSum
 		seed, sum.Issued, sum.GhostMinted, sum.Deposited, sum.Faults, sum.DoubleDeposits, sum.Retries)
 }
 
-// chaosSeeds returns the default seed set plus any WHOPAY_CHAOS_SEED from
-// the environment (the reproduction knob a failing run prints).
-func chaosSeeds(t *testing.T, base []int64) []int64 {
-	if env := os.Getenv("WHOPAY_CHAOS_SEED"); env != "" {
-		seed, err := strconv.ParseInt(env, 10, 64)
-		if err != nil {
-			t.Fatalf("WHOPAY_CHAOS_SEED=%q: %v", env, err)
+// chaosCase is one subtest of a chaos sweep: a name and the seed it runs.
+type chaosCase struct {
+	name string
+	seed int64
+}
+
+// chaosCases names the sweep's subtest matrix. Without WHOPAY_CHAOS_SEED
+// the fixed base seeds run, one subtest each — the suite's green set. With
+// it, the "env" case runs the literal environment seed (the reproduction
+// path every failure label points at), and each base slot instead derives
+// its seed by hashing the env seed with the subtest's full name — one env
+// value fans out into fresh schedules, and any failing one is reproducible
+// alone: its printed seed, run as the "env" case, replays it exactly.
+func chaosCases(t *testing.T, testName string, base []int64) []chaosCase {
+	env := os.Getenv("WHOPAY_CHAOS_SEED")
+	if env == "" {
+		cases := make([]chaosCase, 0, len(base))
+		for _, s := range base {
+			cases = append(cases, chaosCase{fmt.Sprintf("seed=%d", s), s})
 		}
-		return append([]int64{seed}, base...)
+		return cases
 	}
-	return base
+	envSeed, err := strconv.ParseInt(env, 10, 64)
+	if err != nil {
+		t.Fatalf("WHOPAY_CHAOS_SEED=%q: %v", env, err)
+	}
+	cases := []chaosCase{{"env", envSeed}}
+	for i := range base {
+		name := fmt.Sprintf("derived-%d", i)
+		cases = append(cases, chaosCase{name, deriveSeed(envSeed, testName+"/"+name)})
+	}
+	return cases
 }
 
 // TestChaosLifecycles is the headline chaos run: many seeds, no retry layer
 // (every fault surfaces raw), full invariant check per seed.
 func TestChaosLifecycles(t *testing.T) {
-	for _, seed := range chaosSeeds(t, []int64{1, 2, 3, 4, 5, 6}) {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			runChaos(t, seed, nil)
+	for _, c := range chaosCases(t, "TestChaosLifecycles", []int64{1, 2, 3, 4, 5, 6}) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			runChaos(t, c.seed, nil)
 		})
 	}
 }
@@ -452,10 +483,10 @@ func TestChaosLifecyclesWithRetries(t *testing.T) {
 		Sleep:       func(time.Duration) {},
 	}
 	var retries int64
-	for _, seed := range chaosSeeds(t, []int64{101, 102, 103}) {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			retries += runChaos(t, seed, retry).Retries
+	for _, c := range chaosCases(t, "TestChaosLifecyclesWithRetries", []int64{101, 102, 103}) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			retries += runChaos(t, c.seed, retry).Retries
 		})
 	}
 	if retries == 0 {

@@ -262,7 +262,13 @@ func crashBudgets(t *testing.T, lo, hi, winLo, winHi, seed int64) []int64 {
 // byte budget gets a fresh world, a crash, a recovery from the on-disk
 // prefix, and the full invariant check.
 func TestBrokerCrashSweep(t *testing.T) {
-	seed := crashSeed(t)
+	// The sampling seed is derived per sweep — the env base hashed with
+	// the test name — so the broker and peer sweeps draw independent
+	// budget sets from one WHOPAY_CRASH_SEED, and re-running this test
+	// alone samples exactly what it sampled inside the full run. A single
+	// budget reproduces alone via WHOPAY_CRASH_BUDGET, which bypasses
+	// sampling entirely.
+	seed := deriveSeed(crashSeed(t), "TestBrokerCrashSweep")
 
 	// Probe run: count bytes, note each step's write offsets.
 	probeFS := crashfs.Count(wal.OS())
@@ -304,8 +310,8 @@ func TestBrokerCrashSweep(t *testing.T) {
 				t.Fatal("recovered broker reports no durable state")
 			}
 			w.drain()
-			label := fmt.Sprintf("crash budget %d, step %d — reproduce with WHOPAY_CRASH_BUDGET=%d WHOPAY_CRASH_SEED=%d",
-				budget, crashedAt, budget, seed)
+			label := fmt.Sprintf("crash budget %d, step %d, sampling seed %d — reproduce alone with WHOPAY_CRASH_BUDGET=%d",
+				budget, crashedAt, seed, budget)
 			w.assertCrashInvariants(label, allowed)
 		})
 	}
@@ -380,7 +386,10 @@ func TestBrokerCorruptTailRecovers(t *testing.T) {
 // recovered wallet can neither double-spend nor get punished, and at most
 // the one ambiguous operation's value evaporates.
 func TestPeerCrashSweep(t *testing.T) {
-	seed := crashSeed(t)
+	// Derived per sweep, like TestBrokerCrashSweep: one env base, an
+	// independent budget sample per test, single budgets pinned via
+	// WHOPAY_CRASH_BUDGET.
+	seed := deriveSeed(crashSeed(t), "TestPeerCrashSweep")
 
 	type peerWorld struct {
 		f          *fixture
@@ -480,8 +489,8 @@ func TestPeerCrashSweep(t *testing.T) {
 				}
 			}
 
-			label := fmt.Sprintf("peer crash budget %d, step %d — reproduce with WHOPAY_CRASH_BUDGET=%d WHOPAY_CRASH_SEED=%d",
-				budget, crashedAt, budget, seed)
+			label := fmt.Sprintf("peer crash budget %d, step %d, sampling seed %d — reproduce alone with WHOPAY_CRASH_BUDGET=%d",
+				budget, crashedAt, seed, budget)
 			issued := w.f.broker.IssuedValue()
 			deposited := w.f.broker.DepositedValue()
 			if deposited > issued {

@@ -433,6 +433,48 @@ func (p *Peer) deposit(id coin.ID, payoutRef string) error {
 	return nil
 }
 
+// DepositTwice deposits a held coin and then replays the identical wire
+// request — the double spend any holder can always attempt, since nothing
+// stops it from re-sending bytes it already signed. Like ForgeRebind and
+// ForgeDoubleIssue this is an attack helper for tests and the load
+// harness: a correct broker accepts the first deposit, rejects the replay
+// with ErrAlreadyDeposited, and credits the payout reference exactly once.
+// The first deposit's error (if any) is returned as first with no replay
+// attempted; otherwise replay carries the broker's verdict on the copy.
+func (p *Peer) DepositTwice(id coin.ID, payoutRef string) (first, replay error) {
+	hc, ok := p.held.Get(id)
+	if !ok {
+		return ErrUnknownCoin, nil
+	}
+	hc.mu.Lock()
+	binding := hc.binding.Clone()
+	hc.mu.Unlock()
+	coinPub := hc.c.Pub.Clone()
+	holderKeys := hc.holderKeys
+
+	if first = p.Deposit(id, payoutRef); first != nil {
+		return first, nil
+	}
+
+	msg := depositMessage(coinPub, payoutRef, binding.Seq)
+	holderSig, err := p.suite.Sign(holderKeys.Private, msg)
+	if err != nil {
+		return nil, fmt.Errorf("core: signing deposit replay: %w", err)
+	}
+	gs, err := p.member.Sign(p.suite, msg)
+	if err != nil {
+		return nil, fmt.Errorf("core: group-signing deposit replay: %w", err)
+	}
+	_, replay = p.call(p.cfg.BrokerAddr, DepositRequest{
+		CoinPub:          coinPub,
+		PayoutRef:        payoutRef,
+		HolderSig:        holderSig,
+		GroupSig:         gs,
+		PresentedBinding: binding,
+	})
+	return nil, replay
+}
+
 // Sync performs the proactive owner synchronization (paper Section 4.2,
 // Sync): the broker returns the bindings it maintained for this owner's
 // coins during downtime.

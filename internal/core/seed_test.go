@@ -1,0 +1,21 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+)
+
+// deriveSeed hashes a base seed with a (sub)test name, FNV-1a, so one
+// environment seed fans out into an independent, deterministic stream per
+// scenario: re-running a single subtest draws exactly the schedule it drew
+// inside the full sweep, without replaying the rest. The result is kept
+// non-negative so it reads cleanly in failure labels and env vars.
+func deriveSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	_, _ = h.Write(b[:])
+	_, _ = io.WriteString(h, name)
+	return int64(h.Sum64() & (1<<63 - 1))
+}

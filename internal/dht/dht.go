@@ -376,6 +376,13 @@ type ClusterConfig struct {
 	// Trusted writers may publish under any key (the broker, so downtime
 	// operations keep the public list current).
 	Trusted []sig.PublicKey
+	// AddrFor, when set, chooses node i's listen address — required for
+	// transports whose address space the cluster cannot invent names in
+	// (tcpbus wants "host:0" and assigns the real port at bind time). The
+	// node's ring identity is derived from the address the endpoint
+	// actually bound, so ephemeral ports work. Nil keeps the in-memory
+	// default "dht:<i>".
+	AddrFor func(i int) bus.Address
 	// Persistence, when set, makes every node durable: node i journals
 	// under Persistence.Sub("node-i"), and Restart recovers it from that
 	// journal. Nil keeps nodes purely in memory.
@@ -409,7 +416,7 @@ func NewClusterWithConfig(cfg ClusterConfig) (*Cluster, error) {
 	c := &Cluster{cfg: cfg}
 	ring := make([]nodeRef, 0, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
-		node, err := c.startNode(i)
+		node, err := c.startNode(i, "")
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -430,13 +437,29 @@ func NewClusterWithConfig(cfg ClusterConfig) (*Cluster, error) {
 }
 
 // startNode creates and starts node i: open its journal (when persistent),
-// replay it, listen. Routing tables are wired by the caller.
-func (c *Cluster) startNode(i int) (*Node, error) {
+// replay it, listen. Routing tables are wired by the caller. A non-empty
+// override pins the listen address (Restart reuses the crashed node's bound
+// address — peers hold it); otherwise AddrFor or the in-memory default
+// names the node.
+func (c *Cluster) startNode(i int, override bus.Address) (*Node, error) {
 	trustSet := make(map[string]bool, len(c.cfg.Trusted))
 	for _, pub := range c.cfg.Trusted {
 		trustSet[string(pub)] = true
 	}
-	addr := bus.Address(fmt.Sprintf("dht:%d", i))
+	addr := override
+	if addr == "" {
+		if c.cfg.AddrFor != nil {
+			addr = c.cfg.AddrFor(i)
+		} else {
+			addr = bus.Address(fmt.Sprintf("dht:%d", i))
+		}
+	}
+	// Metric/health names must be stable and unique per slot; a bind-time
+	// address ("host:0") is neither, so AddrFor clusters label by index.
+	entity := string(addr)
+	if c.cfg.AddrFor != nil {
+		entity = fmt.Sprintf("dht-%d", i)
+	}
 	node := &Node{
 		id:       keyForAddr(addr),
 		addr:     addr,
@@ -446,7 +469,7 @@ func (c *Cluster) startNode(i int) (*Node, error) {
 		subs:     store.NewSharded[Key, map[bus.Address]bool](dhtShards, keyHash),
 		replicas: c.cfg.Replicas,
 	}
-	node.instr = obs.NewInstr(c.cfg.Obs, string(addr))
+	node.instr = obs.NewInstr(c.cfg.Obs, entity)
 	if sub := c.cfg.Persistence.Sub(fmt.Sprintf("node-%d", i)); sub != nil {
 		if c.cfg.Obs != nil {
 			sub.Obs = c.cfg.Obs
@@ -468,7 +491,7 @@ func (c *Cluster) startNode(i int) (*Node, error) {
 			c.health[i].Store(node)
 			if first {
 				slot := &c.health[i]
-				c.cfg.Obs.RegisterHealth(string(addr)+"-journal", func() (string, error) {
+				c.cfg.Obs.RegisterHealth(entity+"-journal", func() (string, error) {
 					return slot.Load().healthCheck()
 				})
 			}
@@ -482,6 +505,12 @@ func (c *Cluster) startNode(i int) (*Node, error) {
 		return nil, fmt.Errorf("dht: starting node %d: %w", i, err)
 	}
 	node.ep = ep
+	// Adopt the address the transport actually bound ("host:0" requests
+	// an ephemeral port) and re-derive the ring identity from it. Safe
+	// here: routing is wired after every node is up, so no request can
+	// have observed the provisional identity.
+	node.addr = ep.Addr()
+	node.id = keyForAddr(node.addr)
 	return node, nil
 }
 
@@ -499,7 +528,7 @@ func (c *Cluster) Restart(i int) error {
 	old := c.nodes[i]
 	_ = old.ep.Close()
 	_ = old.walLog.Close()
-	node, err := c.startNode(i)
+	node, err := c.startNode(i, old.addr)
 	if err != nil {
 		return err
 	}
@@ -539,6 +568,19 @@ func addPow2(id Key, k int) Key {
 		carry = sum >> 8
 	}
 	return out
+}
+
+// Trust adds trusted writers to every node after construction — for
+// deployments where the writer's key is only known once the cluster is up
+// (a broker built against this cluster's bound addresses). The trust set is
+// lock-free read-only state on the serve path, so Trust must be called
+// before the cluster sees any traffic.
+func (c *Cluster) Trust(pubs ...sig.PublicKey) {
+	for _, node := range c.nodes {
+		for _, pub := range pubs {
+			node.trusted[string(pub)] = true
+		}
+	}
 }
 
 // Nodes exposes the cluster's nodes (tests/metrics).

@@ -1,0 +1,167 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+
+	"whopay/internal/coin"
+	"whopay/internal/core"
+)
+
+// Audit is the post-run ledger verdict: the world healed and drained back
+// to the broker, then conservation and no-double-spend checked exactly —
+// the same arbiter the chaos suite uses. Violations is empty on a clean
+// run.
+type Audit struct {
+	Skipped bool `json:"skipped,omitempty"` // run aborted; no drain ran
+
+	Issued    int64 `json:"issued"`    // value the broker minted
+	Minted    int64 `json:"minted"`    // value actors observed arriving
+	Ghost     int64 `json:"ghost"`     // purchases whose response was lost
+	Deposited int64 `json:"deposited"` // value redeemed after the drain
+	Balances  int64 `json:"balances"`  // sum of actor ledger balances
+
+	Parked             int64 `json:"parked_coins"`
+	DoubleDepositCases int64 `json:"double_deposit_cases"`
+	DSRejected         int64 `json:"replays_rejected"`
+	DSAccepted         int64 `json:"replays_accepted"`
+
+	Conserved     bool     `json:"conserved"`
+	NoDoubleSpend bool     `json:"no_double_spend"`
+	Violations    []string `json:"violations,omitempty"`
+}
+
+// DrainAndAudit heals the network, brings every actor back online, drains
+// every recoverable coin to the broker, and audits the ledger.
+//
+// The drain follows the chaos suite's quarantine discipline: snapshot who
+// holds what before depositing anything, so a self-held coin some peer
+// also holds (a ghost delivery — the owner's confirmation was lost) is
+// redeemed from the holder's copy and never re-issued, which would sign a
+// second binding and frame the owner.
+func (w *World) DrainAndAudit() Audit {
+	w.HealNetwork()
+	for _, a := range w.Actors {
+		if a.isOffline() {
+			a.setOffline(false)
+			_ = a.Peer.GoOnline() // the healed network makes sync best-effort safe
+		}
+	}
+
+	heldByAnyone := make(map[coin.ID]bool)
+	for _, a := range w.Actors {
+		for _, id := range a.Peer.HeldCoins() {
+			heldByAnyone[id] = true
+		}
+	}
+
+	_ = eachIndex(len(w.Actors), func(i int) error {
+		p := w.Actors[i].Peer
+		for _, id := range p.HeldCoins() {
+			sweepDeposit(p, id)
+		}
+		return nil
+	})
+	_ = eachIndex(len(w.Actors), func(i int) error {
+		p := w.Actors[i].Peer
+		for _, id := range p.SelfHeldCoins() {
+			if heldByAnyone[id] {
+				continue
+			}
+			if err := p.IssueTo(p.Addr(), id); err != nil {
+				continue
+			}
+			sweepDeposit(p, id)
+		}
+		return nil
+	})
+
+	return w.audit(false)
+}
+
+// AuditOnly computes the ledger verdict without draining — for aborted
+// runs, where partial numbers beat none but conservation cannot be
+// asserted (outstanding coins are not a violation, so only hard evidence
+// of double spending counts).
+func (w *World) AuditOnly() Audit {
+	a := w.audit(true)
+	return a
+}
+
+// audit gathers the numbers and applies the invariants.
+func (w *World) audit(skipped bool) Audit {
+	a := Audit{
+		Skipped:    skipped,
+		Issued:     w.Broker.IssuedValue(),
+		Minted:     w.minted.Load(),
+		Deposited:  w.Broker.DepositedValue(),
+		Parked:     w.parked.Load(),
+		DSRejected: w.dsRejected.Load(),
+		DSAccepted: w.dsAccepted.Load(),
+	}
+	a.Ghost = a.Issued - a.Minted
+	for _, actor := range w.Actors {
+		a.Balances += w.Broker.Balance(actor.Peer.ID())
+	}
+	for _, fc := range w.Broker.FraudCases() {
+		if fc.Kind == "double-deposit" {
+			a.DoubleDepositCases++
+		}
+	}
+
+	violate := func(format string, args ...any) {
+		a.Violations = append(a.Violations, fmt.Sprintf(format, args...))
+	}
+	if a.Ghost < 0 {
+		violate("ghost accounting negative: broker issued %d, actors observed %d", a.Issued, a.Minted)
+	}
+	a.Conserved = true
+	if !skipped {
+		if a.Deposited != a.Issued-a.Ghost {
+			a.Conserved = false
+			violate("value not conserved: issued %d, ghost %d, redeemed %d", a.Issued, a.Ghost, a.Deposited)
+		}
+		if a.Balances != a.Deposited {
+			a.Conserved = false
+			violate("credited balances %d != redeemed value %d", a.Balances, a.Deposited)
+		}
+	}
+	a.NoDoubleSpend = true
+	if a.Deposited > a.Issued {
+		a.NoDoubleSpend = false
+		violate("double spend accepted: redeemed %d of %d issued", a.Deposited, a.Issued)
+	}
+	if a.DSAccepted > 0 {
+		a.NoDoubleSpend = false
+		violate("broker accepted %d deposit replays", a.DSAccepted)
+	}
+	for _, fc := range w.Broker.FraudCases() {
+		if fc.Kind == "owner-fraud" || fc.Punished != "" {
+			a.NoDoubleSpend = false
+			violate("honest party punished: kind=%s punished=%q coin=%s", fc.Kind, fc.Punished, fc.CoinID)
+		}
+	}
+	for _, actor := range w.Actors {
+		if w.Broker.Frozen(actor.Peer.ID()) {
+			a.NoDoubleSpend = false
+			violate("honest actor %s frozen", actor.Peer.ID())
+		}
+	}
+	return a
+}
+
+// sweepDeposit redeems one held coin after healing, pulling a missed
+// binding from the public list when the broker reports ours stale (a
+// downtime renewal whose confirmation and notification were both lost).
+// Remaining failures mean another party holds the authoritative binding;
+// their deposit settles the coin, and conservation is the arbiter.
+func sweepDeposit(p *core.Peer, id coin.ID) {
+	err := p.Deposit(id, p.ID())
+	if err == nil || errors.Is(err, core.ErrAlreadyDeposited) {
+		return
+	}
+	if errors.Is(err, core.ErrStaleBinding) {
+		_ = p.RecoverHeldBinding(id)
+		_ = p.Deposit(id, p.ID())
+	}
+}

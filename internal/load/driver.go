@@ -1,0 +1,296 @@
+package load
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whopay/internal/bus"
+)
+
+// Clock abstracts time for the open-loop scheduler so the no-backpressure
+// contract is testable under a virtual clock. The wall clock is the
+// default.
+type Clock interface {
+	Now() time.Time
+	// Wait blocks until the clock reaches t or until cancel is closed,
+	// whichever comes first.
+	Wait(t time.Time, cancel <-chan struct{})
+}
+
+// wallClock is the production clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) Wait(t time.Time, cancel <-chan struct{}) {
+	d := time.Until(t)
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-cancel:
+	}
+}
+
+// ErrSkip marks an operation that could not run for want of world state
+// (no online payee, an empty wallet with nothing to spend). Skipped
+// operations are tallied separately — neither a success (they would
+// pollute the latency distribution with no-op timings) nor a failure.
+var ErrSkip = errors.New("load: op skipped")
+
+// Error classes the driver tallies. Protocol rejections additionally get a
+// per-code breakdown so scenarios can declare which rejections they expect
+// (a hot-coin run *wants* ErrCoinBusy).
+const (
+	ClassTimeout   = "timeout"
+	ClassTransport = "transport"
+	ClassProtocol  = "protocol"
+	ClassOther     = "other"
+)
+
+// Classify buckets an operation error into a driver class plus, for
+// protocol rejections, the sentinel's stable wire code ("core.coin_busy").
+// Protocol rejections are checked first: a handler that *answered* is never
+// a transport problem, whatever its message says.
+func Classify(err error) (class, code string) {
+	if err == nil {
+		return "", ""
+	}
+	var remote *bus.RemoteError
+	if errors.As(err, &remote) {
+		code = remote.Code
+		if code == "" {
+			code = bus.ErrorCode(remote)
+		}
+		if code == "" {
+			code = "unknown"
+		}
+		return ClassProtocol, code
+	}
+	var to interface{ Timeout() bool }
+	if errors.As(err, &to) && to.Timeout() {
+		return ClassTimeout, ""
+	}
+	if errors.Is(err, bus.ErrUnreachable) || errors.Is(err, bus.ErrClosed) {
+		return ClassTransport, ""
+	}
+	return ClassOther, ""
+}
+
+// ErrorCounts aggregates one run's failures by class.
+type ErrorCounts struct {
+	Timeouts   int64
+	Transport  int64
+	Protocol   int64
+	Other      int64
+	Rejections map[string]int64 // protocol rejections by wire code
+}
+
+// DriverConfig configures one open-loop run.
+type DriverConfig struct {
+	// Rate is the intended arrival rate in operations per second (> 0).
+	Rate float64
+	// Ops bounds the number of intents scheduled. 0 means "until
+	// Duration".
+	Ops int
+	// Duration bounds the schedule in (clock) time when Ops is 0; with
+	// both set, whichever ends first wins.
+	Duration time.Duration
+	// Do executes operation seq. It runs on its own goroutine — the
+	// scheduler never waits for it, which is the whole point.
+	Do func(seq int) error
+	// Clock defaults to the wall clock.
+	Clock Clock
+	// DrainGrace bounds how long Run waits for in-flight operations
+	// after the last intent fired (default 30s, wall time). Operations
+	// still running at the deadline are counted as Dropped.
+	DrainGrace time.Duration
+	// OnDone, when set, observes every completed operation with its
+	// intended start time and measured latency (tests, debugging).
+	OnDone func(seq int, intended time.Time, lat time.Duration, err error)
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Scheduled int   // intents dispatched
+	Completed int64 // operations that returned success
+	Failed    int64 // operations that returned an error
+	Skipped   int64 // operations that returned ErrSkip
+	Dropped   int64 // still in flight when the drain grace expired
+	Errors    ErrorCounts
+	Hist      *Hist // latency of successful operations, intended-start based
+	Elapsed   time.Duration
+	Stopped   bool // Stop was called before the schedule completed
+}
+
+// Driver runs one open-loop schedule. Intents are generated at fixed
+// arrival times start + i/Rate; each is dispatched on its own goroutine the
+// moment its time arrives, regardless of how many earlier operations are
+// still in flight. Latency is measured from the *intended* arrival time, so
+// a stalled target charges its stall to every operation queued behind it —
+// the coordinated-omission-proof measurement.
+type Driver struct {
+	cfg  DriverConfig
+	hist *Hist
+
+	done     chan struct{}
+	stopOnce sync.Once
+
+	completed atomic.Int64
+	failed    atomic.Int64
+	skipped   atomic.Int64
+
+	errMu      sync.Mutex
+	timeouts   int64
+	transport  int64
+	protocol   int64
+	other      int64
+	rejections map[string]int64
+}
+
+// NewDriver validates the config and prepares a run.
+func NewDriver(cfg DriverConfig) *Driver {
+	if cfg.Clock == nil {
+		cfg.Clock = wallClock{}
+	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 30 * time.Second
+	}
+	return &Driver{
+		cfg:        cfg,
+		hist:       NewHist(),
+		done:       make(chan struct{}),
+		rejections: make(map[string]int64),
+	}
+}
+
+// Stop aborts the schedule: no further intents are dispatched. In-flight
+// operations still get the drain grace to finish. Safe to call from any
+// goroutine, more than once.
+func (d *Driver) Stop() {
+	d.stopOnce.Do(func() { close(d.done) })
+}
+
+// Stopped reports whether Stop has been called.
+func (d *Driver) Stopped() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run executes the schedule and blocks until every dispatched operation
+// finished or the drain grace expired. It may be called once.
+func (d *Driver) Run() Result {
+	if d.cfg.Rate <= 0 || d.cfg.Do == nil || (d.cfg.Ops <= 0 && d.cfg.Duration <= 0) {
+		return Result{Hist: d.hist}
+	}
+	start := d.cfg.Clock.Now()
+	interval := float64(time.Second) / d.cfg.Rate
+
+	var wg sync.WaitGroup
+	scheduled := 0
+	for i := 0; ; i++ {
+		if d.cfg.Ops > 0 && i >= d.cfg.Ops {
+			break
+		}
+		offset := time.Duration(float64(i) * interval)
+		if d.cfg.Duration > 0 && offset >= d.cfg.Duration {
+			break
+		}
+		at := start.Add(offset)
+		d.cfg.Clock.Wait(at, d.done)
+		if d.Stopped() {
+			break
+		}
+		scheduled++
+		wg.Add(1)
+		go func(seq int, at time.Time) {
+			defer wg.Done()
+			err := d.cfg.Do(seq)
+			lat := d.cfg.Clock.Now().Sub(at)
+			switch {
+			case err == nil:
+				d.hist.Record(lat)
+				d.completed.Add(1)
+			case errors.Is(err, ErrSkip):
+				d.skipped.Add(1)
+			default:
+				d.failed.Add(1)
+				d.countError(err)
+			}
+			if d.cfg.OnDone != nil {
+				d.cfg.OnDone(seq, at, lat, err)
+			}
+		}(i, at)
+	}
+
+	dropped := waitTimeout(&wg, d.cfg.DrainGrace)
+	res := Result{
+		Scheduled: scheduled,
+		Completed: d.completed.Load(),
+		Failed:    d.failed.Load(),
+		Skipped:   d.skipped.Load(),
+		Hist:      d.hist,
+		Elapsed:   d.cfg.Clock.Now().Sub(start),
+		Stopped:   d.Stopped(),
+	}
+	if dropped {
+		res.Dropped = int64(scheduled) - res.Completed - res.Failed - res.Skipped
+	}
+	d.errMu.Lock()
+	res.Errors = ErrorCounts{
+		Timeouts:   d.timeouts,
+		Transport:  d.transport,
+		Protocol:   d.protocol,
+		Other:      d.other,
+		Rejections: make(map[string]int64, len(d.rejections)),
+	}
+	for k, v := range d.rejections {
+		res.Errors.Rejections[k] = v
+	}
+	d.errMu.Unlock()
+	return res
+}
+
+// countError tallies one failure under the error lock (failures are the
+// rare path; successes never take it).
+func (d *Driver) countError(err error) {
+	class, code := Classify(err)
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	switch class {
+	case ClassTimeout:
+		d.timeouts++
+	case ClassTransport:
+		d.transport++
+	case ClassProtocol:
+		d.protocol++
+		d.rejections[code]++
+	default:
+		d.other++
+	}
+}
+
+// waitTimeout waits for wg up to grace (wall time, deliberately — a virtual
+// clock must not be able to wedge the drain). Returns true on timeout.
+func waitTimeout(wg *sync.WaitGroup, grace time.Duration) bool {
+	ch := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	select {
+	case <-ch:
+		return false
+	case <-time.After(grace):
+		return true
+	}
+}

@@ -1,0 +1,246 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whopay/internal/bus"
+	"whopay/internal/core"
+)
+
+// virtualClock is a deterministic test clock: Wait jumps time forward to
+// the requested instant, so a schedule "runs" instantly and every timing
+// decision the driver makes is exact arithmetic.
+type virtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newVirtualClock() *virtualClock {
+	return &virtualClock{now: time.Unix(1000, 0)}
+}
+
+func (c *virtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *virtualClock) Wait(t time.Time, cancel <-chan struct{}) {
+	select {
+	case <-cancel:
+		return
+	default:
+	}
+	c.mu.Lock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// TestDriverOpenLoopNoBackpressure is the coordinated-omission proof
+// (satellite: deterministic fake-clock scheduler test). Operation 0 wedges
+// for the whole run; a closed-loop driver would stall the arrival stream
+// behind it. This driver must keep dispatching every later intent at its
+// exact intended virtual time, and when the wedged operation finally
+// finishes, its latency must be charged from its *intended* start — the
+// full stall, not the cheap tail end.
+func TestDriverOpenLoopNoBackpressure(t *testing.T) {
+	const (
+		ops      = 50
+		rate     = 100.0 // 10ms interval
+		interval = 10 * time.Millisecond
+	)
+	clock := newVirtualClock()
+	base := clock.Now()
+
+	block := make(chan struct{})
+	var mu sync.Mutex
+	intended := make(map[int]time.Time, ops)
+	lats := make(map[int]time.Duration, ops)
+	var finished atomic.Int64
+
+	d := NewDriver(DriverConfig{
+		Rate:       rate,
+		Ops:        ops,
+		Clock:      clock,
+		DrainGrace: 30 * time.Second, // wall-clock; never reached
+		Do: func(seq int) error {
+			if seq == 0 {
+				<-block // the stalled target
+			}
+			return nil
+		},
+		OnDone: func(seq int, at time.Time, lat time.Duration, err error) {
+			mu.Lock()
+			intended[seq] = at
+			lats[seq] = lat
+			mu.Unlock()
+			finished.Add(1)
+		},
+	})
+
+	resCh := make(chan Result, 1)
+	go func() { resCh <- d.Run() }()
+
+	// Every intent except the wedged one must complete while op 0 still
+	// blocks — the scheduler applied no backpressure.
+	deadline := time.Now().Add(10 * time.Second)
+	for finished.Load() != ops-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d ops finished while op 0 blocked — scheduler applied backpressure", finished.Load(), ops-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	lastIntent := base.Add(time.Duration(float64(ops-1) * float64(time.Second) / rate))
+	if got := clock.Now(); !got.Equal(lastIntent) {
+		t.Fatalf("virtual clock at %v, want schedule end %v", got, lastIntent)
+	}
+
+	close(block)
+	res := <-resCh
+
+	if res.Scheduled != ops || res.Completed != ops || res.Failed != 0 || res.Dropped != 0 {
+		t.Fatalf("scheduled/completed/failed/dropped = %d/%d/%d/%d", res.Scheduled, res.Completed, res.Failed, res.Dropped)
+	}
+	// Queued intents kept their intended start timestamps: exact virtual
+	// arithmetic, no drift from the wedged operation.
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < ops; i++ {
+		want := base.Add(time.Duration(float64(i) * float64(time.Second) / rate))
+		if got, ok := intended[i]; !ok || !got.Equal(want) {
+			t.Fatalf("op %d intended start = %v (recorded %v), want %v", i, got, ok, want)
+		}
+	}
+	// The wedged op is charged its whole stall: it started at base and the
+	// virtual clock ended at base + 49*interval.
+	if want := time.Duration(ops-1) * interval; lats[0] != want {
+		t.Fatalf("wedged op latency = %v, want full stall %v", lats[0], want)
+	}
+	if res.Hist.Max() != time.Duration(ops-1)*interval {
+		t.Fatalf("hist max = %v", res.Hist.Max())
+	}
+}
+
+// TestDriverTallies: success / skip / failure split into the right
+// counters, and protocol rejections get a per-code breakdown.
+func TestDriverTallies(t *testing.T) {
+	clock := newVirtualClock()
+	d := NewDriver(DriverConfig{
+		Rate:  1000,
+		Ops:   40,
+		Clock: clock,
+		Do: func(seq int) error {
+			switch seq % 4 {
+			case 0:
+				return nil
+			case 1:
+				return ErrSkip
+			case 2:
+				return fmt.Errorf("wrapped: %w", bus.ErrUnreachable)
+			default:
+				return &bus.RemoteError{Msg: "busy", Code: "core.coin_busy"}
+			}
+		},
+	})
+	res := d.Run()
+	if res.Completed != 10 || res.Skipped != 10 || res.Failed != 20 {
+		t.Fatalf("completed/skipped/failed = %d/%d/%d", res.Completed, res.Skipped, res.Failed)
+	}
+	if res.Errors.Transport != 10 || res.Errors.Protocol != 10 {
+		t.Fatalf("transport/protocol = %d/%d", res.Errors.Transport, res.Errors.Protocol)
+	}
+	if res.Errors.Rejections["core.coin_busy"] != 10 {
+		t.Fatalf("rejections = %v", res.Errors.Rejections)
+	}
+	if res.Hist.Count() != 10 {
+		t.Fatalf("hist only records successes, count = %d", res.Hist.Count())
+	}
+}
+
+// stopClock lets the first 10 waits through instantly, then parks every
+// later wait on the cancel channel — a deterministic window in which to
+// call Stop.
+type stopClock struct {
+	*virtualClock
+	waits atomic.Int64
+}
+
+func (c *stopClock) Wait(t time.Time, cancel <-chan struct{}) {
+	if c.waits.Add(1) > 10 {
+		<-cancel
+		return
+	}
+	c.virtualClock.Wait(t, cancel)
+}
+
+// TestDriverStop: stopping mid-schedule dispatches no further intents and
+// marks the result.
+func TestDriverStop(t *testing.T) {
+	clock := &stopClock{virtualClock: newVirtualClock()}
+	d := NewDriver(DriverConfig{
+		Rate:  100,
+		Ops:   1000,
+		Clock: clock,
+		Do:    func(int) error { return nil },
+	})
+	resCh := make(chan Result, 1)
+	go func() { resCh <- d.Run() }()
+	deadline := time.Now().Add(10 * time.Second)
+	for clock.waits.Load() < 11 {
+		if time.Now().After(deadline) {
+			t.Fatal("scheduler never reached the parked wait")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	d.Stop()
+	res := <-resCh
+	if !res.Stopped {
+		t.Fatal("result not marked stopped")
+	}
+	if res.Scheduled != 10 {
+		t.Fatalf("scheduled = %d intents, want exactly the 10 pre-Stop ones", res.Scheduled)
+	}
+}
+
+// TestClassify pins the class precedence: a handler that answered is a
+// protocol rejection even when its cause chain carries transport sentinels,
+// timeouts beat generic transport, and unknown errors fall through.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err   error
+		class string
+		code  string
+	}{
+		{nil, "", ""},
+		{&bus.RemoteError{Msg: "no", Code: "core.coin_busy"}, ClassProtocol, "core.coin_busy"},
+		{fmt.Errorf("call: %w", &bus.RemoteError{Msg: "x", Code: "core.frozen"}), ClassProtocol, "core.frozen"},
+		{timeoutErr{}, ClassTimeout, ""},
+		{fmt.Errorf("send: %w", bus.ErrUnreachable), ClassTransport, ""},
+		{bus.ErrClosed, ClassTransport, ""},
+		{errors.New("mystery"), ClassOther, ""},
+	}
+	for _, c := range cases {
+		class, code := Classify(c.err)
+		if class != c.class || code != c.code {
+			t.Fatalf("Classify(%v) = %q,%q want %q,%q", c.err, class, code, c.class, c.code)
+		}
+	}
+	// A remote rejection carrying a registered sentinel but no explicit
+	// code still yields the stable wire code.
+	rejected := core.ErrAlreadyDeposited
+	if class, code := Classify(&bus.RemoteError{Msg: rejected.Error(), Code: "core.already_deposited"}); class != ClassProtocol || code != "core.already_deposited" {
+		t.Fatalf("already-deposited classification = %q,%q", class, code)
+	}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string { return "deadline exceeded" }
+func (timeoutErr) Timeout() bool { return true }

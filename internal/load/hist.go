@@ -1,0 +1,168 @@
+// Package load is WhoPay's open-loop load harness (DESIGN.md §12): it
+// spawns many lightweight peer actors against a live broker (and optional
+// DHT) over tcpbus, issues protocol operations at a configured arrival
+// rate rather than in request-response lockstep, and records per-operation
+// latency into HDR-style log-bucketed histograms. Because every operation
+// is timed from its *intended* start — not from when a free worker got
+// around to sending it — a stalled broker inflates the tail instead of
+// silently thinning the arrival stream (no coordinated omission).
+//
+// The harness is exposed through `whopay-bench -load` with a named
+// scenario matrix (steady, flash-crowd, hot-coin, mass-downtime,
+// double-spend-flood, partition), each runnable with or without the
+// write-ahead log, and emits machine-readable BENCH_load_<scenario>.json
+// artifacts so latency trajectories stay diffable across PRs. Every run
+// ends with a ledger audit: the world is drained back to the broker and
+// value conservation plus the no-double-spend invariant are checked
+// exactly, the same arbiter the chaos suite uses.
+package load
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log-linear, HDR-style. Values are nanoseconds.
+// Each power of two is split into 1<<histSubBits linear sub-buckets, so the
+// relative quantization error is bounded by 2^-histSubBits (~3.1%) across
+// the whole range — unlike fixed-bucket histograms, the tail keeps the same
+// relative resolution as the body, which is what p999 needs.
+const (
+	histSubBits = 5
+	histSubs    = 1 << histSubBits
+	// histMaxNs caps recorded values (~18 minutes); anything longer is a
+	// wedged operation, not a latency.
+	histMaxNs = int64(1) << 40
+	// histBuckets: values below histSubs get an exact bucket each; every
+	// further power of two [2^e, 2^(e+1)) for e in [histSubBits, 40]
+	// contributes histSubs sub-buckets.
+	histBuckets = histSubs + (40-histSubBits+1)*histSubs
+)
+
+// Hist is a concurrent HDR-style latency histogram: one atomic counter per
+// log-linear bucket plus atomic count/sum/max, so thousands of actor
+// goroutines record without a lock. The zero value is not usable; call
+// NewHist.
+type Hist struct {
+	counts []atomic.Int64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist {
+	return &Hist{counts: make([]atomic.Int64, histBuckets)}
+}
+
+// bucketIdx maps a non-negative nanosecond value to its bucket.
+func bucketIdx(v int64) int {
+	if v < histSubs {
+		return int(v)
+	}
+	if v > histMaxNs {
+		v = histMaxNs
+	}
+	e := bits.Len64(uint64(v)) - 1 // 2^e <= v < 2^(e+1)
+	sub := int(v>>(uint(e)-histSubBits)) - histSubs
+	return (e-histSubBits)*histSubs + histSubs + sub
+}
+
+// bucketUpper returns the (inclusive) upper bound of bucket i in
+// nanoseconds — quantiles report this bound, so they never understate.
+func bucketUpper(i int) int64 {
+	if i < histSubs {
+		return int64(i)
+	}
+	g := (i - histSubs) / histSubs
+	sub := (i - histSubs) % histSubs
+	e := g + histSubBits
+	return int64(histSubs+sub+1)<<(uint(e)-histSubBits) - 1
+}
+
+// Record adds one observation.
+func (h *Hist) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIdx(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Max returns the largest observation.
+func (h *Hist) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Mean returns the arithmetic mean (0 for an empty histogram).
+func (h *Hist) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Quantile returns the q-quantile (0 < q <= 1), e.g. 0.5 for p50, 0.999
+// for p999. The answer is a bucket upper bound, so it overstates by at
+// most the bucket's relative width (~3%). Returns 0 for an empty
+// histogram. Reads race writers by design (a live scrape); the result is
+// a consistent-enough snapshot for reporting.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return h.Max()
+}
+
+// Quantiles is the percentile summary a load report carries.
+type Quantiles struct {
+	Count int64
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	P999  time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+}
+
+// Summary extracts the report quantiles in one pass-per-quantile.
+func (h *Hist) Summary() Quantiles {
+	return Quantiles{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+	}
+}

@@ -1,0 +1,129 @@
+package load
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBucketRoundTrip checks the log-linear bucket math: every value
+// lands in a bucket whose inclusive upper bound is >= the value, and the
+// bound overstates by at most the advertised relative error (~2^-5).
+func TestHistBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := []int64{0, 1, 31, 32, 33, 63, 64, 1023, 1024, 1 << 20, histMaxNs - 1, histMaxNs}
+	for i := 0; i < 10000; i++ {
+		values = append(values, rng.Int63n(histMaxNs))
+	}
+	for _, v := range values {
+		idx := bucketIdx(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIdx(%d) = %d out of range [0,%d)", v, idx, histBuckets)
+		}
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("bucketUpper(bucketIdx(%d)) = %d understates", v, up)
+		}
+		if v >= histSubs {
+			// Relative error bound: bucket width / value <= 2^-histSubBits.
+			if float64(up-v) > float64(v)/float64(histSubs)+1 {
+				t.Fatalf("bucket for %d too wide: upper %d (err %.4f)", v, up, float64(up-v)/float64(v))
+			}
+		}
+	}
+	// The upper bound of each bucket must map back to the same bucket —
+	// otherwise quantiles could report a value from the wrong bucket.
+	for i := 0; i < histBuckets; i++ {
+		up := bucketUpper(i)
+		if up > histMaxNs {
+			break
+		}
+		if got := bucketIdx(up); got != i {
+			t.Fatalf("bucketIdx(bucketUpper(%d)) = %d", i, got)
+		}
+	}
+}
+
+// TestHistExactSmallValues: sub-histSubs values get a bucket each, so tiny
+// latencies are reported exactly.
+func TestHistExactSmallValues(t *testing.T) {
+	h := NewHist()
+	h.Record(7 * time.Nanosecond)
+	if got := h.Quantile(0.5); got != 7*time.Nanosecond {
+		t.Fatalf("p50 of single 7ns observation = %v", got)
+	}
+	if h.Count() != 1 || h.Max() != 7*time.Nanosecond || h.Mean() != 7*time.Nanosecond {
+		t.Fatalf("count/max/mean = %d/%v/%v", h.Count(), h.Max(), h.Mean())
+	}
+}
+
+// TestHistQuantiles records a known uniform distribution and checks the
+// percentiles land within one bucket of the true order statistics.
+func TestHistQuantiles(t *testing.T) {
+	h := NewHist()
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d", h.Count())
+	}
+	check := func(q float64, want time.Duration) {
+		got := h.Quantile(q)
+		if got < want {
+			t.Fatalf("q%.3f = %v understates true %v", q, got, want)
+		}
+		if float64(got) > float64(want)*(1+2.0/histSubs) {
+			t.Fatalf("q%.3f = %v overstates true %v beyond bucket error", q, got, want)
+		}
+	}
+	check(0.50, 50*time.Millisecond)
+	check(0.90, 90*time.Millisecond)
+	check(0.99, 99*time.Millisecond)
+	check(0.999, time.Duration(99900)*time.Microsecond)
+	if h.Max() != n*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	s := h.Summary()
+	if s.P50 != h.Quantile(0.5) || s.P999 != h.Quantile(0.999) || s.Count != n {
+		t.Fatalf("summary disagrees with direct quantiles: %+v", s)
+	}
+}
+
+// TestHistEmpty: the zero-observation histogram reports zeros, not panics.
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+// TestHistConcurrentRecord hammers one histogram from many goroutines; the
+// total count and sum must come out exact (the buckets are atomic).
+func TestHistConcurrentRecord(t *testing.T) {
+	h := NewHist()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(int64(time.Second))))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", cum, workers*per)
+	}
+}

@@ -1,0 +1,170 @@
+package load
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"whopay/internal/bus"
+)
+
+// runScenario spins up a small world on the in-memory bus, runs the named
+// scenario, and returns the run plus its result.
+func runScenario(t *testing.T, name string, actors, ops int) (*World, *Run, Result) {
+	t.Helper()
+	sc, ok := FindScenario(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	base := WorldConfig{
+		Actors:  actors,
+		Seed:    42,
+		Network: bus.NewMemory(),
+	}
+	w, err := NewWorld(sc.WorldConfig(base))
+	if err != nil {
+		t.Fatalf("world: %v", err)
+	}
+	t.Cleanup(w.Close)
+	run := NewRun(w, sc, RunConfig{
+		Rate:       500,
+		Ops:        ops,
+		Seed:       42,
+		DrainGrace: 60 * time.Second,
+	})
+	return w, run, run.Run()
+}
+
+// TestLoadMatrix runs every scenario of the matrix end-to-end on the
+// in-memory bus and holds each to the acceptance bar: the run completes,
+// and the post-run ledger audit finds zero invariant violations —
+// conservation and no-double-spend hold under contention, churn, replay
+// floods, and partitions alike.
+func TestLoadMatrix(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		t.Run(name, func(t *testing.T) {
+			w, _, res := runScenario(t, name, 6, 120)
+			if res.Scheduled != 120 {
+				t.Fatalf("scheduled %d/120 intents", res.Scheduled)
+			}
+			if res.Dropped != 0 {
+				t.Fatalf("%d operations dropped at drain grace", res.Dropped)
+			}
+			if res.Completed == 0 {
+				t.Fatalf("no operation succeeded (failed=%d skipped=%d errors=%+v)",
+					res.Failed, res.Skipped, res.Errors)
+			}
+			audit := w.DrainAndAudit()
+			if len(audit.Violations) > 0 {
+				t.Fatalf("ledger audit violations: %v\naudit: %+v", audit.Violations, audit)
+			}
+			if !audit.Conserved || !audit.NoDoubleSpend {
+				t.Fatalf("audit flags: %+v", audit)
+			}
+		})
+	}
+}
+
+// TestLoadSteadyCleanErrors: the steady profile on a clean network must
+// produce zero protocol errors of any kind — it is the strict-gate
+// baseline CI leans on.
+func TestLoadSteadyCleanErrors(t *testing.T) {
+	w, run, res := runScenario(t, "steady", 6, 150)
+	if res.Errors.Protocol != 0 || res.Errors.Other != 0 || res.Errors.Timeouts != 0 || res.Errors.Transport != 0 {
+		t.Fatalf("steady run produced errors: %+v", res.Errors)
+	}
+	audit := w.DrainAndAudit()
+	rep := BuildReport(run, res, audit)
+	if rep.Errors.ProtocolUnexpected != 0 {
+		t.Fatalf("unexpected protocol errors: %+v", rep.Errors)
+	}
+}
+
+// TestLoadDoubleSpendFloodRejectsReplays: the flood scenario must actually
+// exercise the replay path, and the broker must reject every copy.
+func TestLoadDoubleSpendFloodRejectsReplays(t *testing.T) {
+	w, _, _ := runScenario(t, "double-spend-flood", 6, 150)
+	rejected, accepted := w.DoubleSpends()
+	if rejected == 0 {
+		t.Fatal("flood ran but no deposit replay was attempted — the scenario is not exercising the attack")
+	}
+	if accepted != 0 {
+		t.Fatalf("broker accepted %d deposit replays", accepted)
+	}
+	audit := w.DrainAndAudit()
+	if len(audit.Violations) > 0 {
+		t.Fatalf("audit: %v", audit.Violations)
+	}
+	if audit.DoubleDepositCases == 0 {
+		t.Fatal("broker recorded no double-deposit fraud cases")
+	}
+}
+
+// TestLoadReportArtifact: the JSON artifact round-trips with the pinned
+// schema, echoes the run config, and carries the latency summary and the
+// audit verdict.
+func TestLoadReportArtifact(t *testing.T) {
+	w, run, res := runScenario(t, "steady", 5, 100)
+	audit := w.DrainAndAudit()
+	rep := BuildReport(run, res, audit)
+
+	if rep.Schema != ReportSchema || rep.Scenario != "steady" {
+		t.Fatalf("schema/scenario = %q/%q", rep.Schema, rep.Scenario)
+	}
+	if rep.Config.Actors != 5 || rep.Config.Seed != 42 || rep.Config.Rate != 500 {
+		t.Fatalf("config echo: %+v", rep.Config)
+	}
+	if rep.Config.WAL || rep.Config.Fsync != "" {
+		t.Fatalf("wal-off run reports wal: %+v", rep.Config)
+	}
+	if rep.LatencyMs.Count != res.Completed {
+		t.Fatalf("latency count %d != completed %d", rep.LatencyMs.Count, res.Completed)
+	}
+	if rep.LatencyMs.P50 <= 0 || rep.LatencyMs.P999 < rep.LatencyMs.P50 {
+		t.Fatalf("degenerate percentiles: %+v", rep.LatencyMs)
+	}
+	if rep.AchievedRate <= 0 {
+		t.Fatalf("achieved rate %v", rep.AchievedRate)
+	}
+	if !rep.Audit.Conserved {
+		t.Fatalf("audit in report: %+v", rep.Audit)
+	}
+
+	dir := t.TempDir()
+	path, err := WriteReport(dir, rep)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if filepath.Base(path) != "BENCH_load_steady.json" {
+		t.Fatalf("artifact name: %s", path)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if decoded.Schema != ReportSchema || decoded.Scheduled != rep.Scheduled {
+		t.Fatalf("round trip lost data: %+v", decoded)
+	}
+	if ReportFileName("steady", true) != "BENCH_load_steady_wal.json" {
+		t.Fatal("wal variant file name")
+	}
+}
+
+// TestLoadPartitionEventsFire: the partition scenario's cut and heal events
+// run at their fractions of the schedule.
+func TestLoadPartitionEventsFire(t *testing.T) {
+	_, run, res := runScenario(t, "partition", 6, 150)
+	fired := run.EventsFired()
+	if len(fired) != 2 || fired[0] != "cut-region" || fired[1] != "heal" {
+		t.Fatalf("events fired: %v", fired)
+	}
+	if res.Scheduled != 150 {
+		t.Fatalf("scheduled %d", res.Scheduled)
+	}
+}

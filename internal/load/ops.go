@@ -1,0 +1,248 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"whopay/internal/coin"
+	"whopay/internal/core"
+)
+
+// Operations are the verbs a scenario mixes. Each takes the world plus a
+// per-intent deterministic rng and returns nil (success), ErrSkip (no
+// eligible state), or the protocol/transport error the driver classifies.
+//
+// Coin-safety discipline (the chaos suite's, verbatim): a coin whose
+// operation failed with a definitive protocol rejection goes back into
+// circulation — the rejection proves nothing changed hands. A coin whose
+// operation failed in transport is ambiguous (the owner or broker may have
+// committed the rebind even though we never saw the reply), so it is
+// parked: retrying it toward a different payee could sign a second binding
+// and frame an honest owner. Parked coins are redeemed by the post-run
+// drain from wallet ground truth.
+
+// OpMint purchases a fresh coin and issues it to a random online actor,
+// putting a new spendable coin into circulation.
+func (w *World) OpMint(rng *rand.Rand) error {
+	owner := w.pickOnline(rng, -1)
+	if owner == nil {
+		return ErrSkip
+	}
+	holder := w.pickOnline(rng, owner.Idx)
+	if holder == nil {
+		holder = owner
+	}
+	id, err := owner.Peer.Purchase(1, false)
+	if err != nil {
+		return err
+	}
+	w.minted.Add(1)
+	if err := owner.Peer.IssueTo(holder.Peer.Addr(), id); err != nil {
+		// The coin stays self-held at the owner; the drain redeems it.
+		w.parked.Add(1)
+		return err
+	}
+	holder.giveCoin(id)
+	return nil
+}
+
+// OpPurchase is the flash-crowd storm verb: a bare purchase, no issue. The
+// coin stays self-held; the drain settles it.
+func (w *World) OpPurchase(rng *rand.Rand) error {
+	a := w.pickOnline(rng, -1)
+	if a == nil {
+		return ErrSkip
+	}
+	if _, err := a.Peer.Purchase(1, false); err != nil {
+		return err
+	}
+	w.minted.Add(1)
+	return nil
+}
+
+// OpTransfer spends a random spendable coin to a random payee via the
+// owner, falling back to the broker's downtime path when the owner is
+// unreachable (same coin, same payee — the safe retry).
+func (w *World) OpTransfer(rng *rand.Rand) error {
+	payer, id, ok := w.takeReady(rng)
+	if !ok {
+		return w.OpMint(rng) // restock instead of idling
+	}
+	payee := w.pickOnline(rng, payer.Idx)
+	if payee == nil {
+		payer.giveCoin(id)
+		return ErrSkip
+	}
+	err := payer.Peer.TransferTo(payee.Peer.Addr(), id)
+	if class, _ := Classify(err); err != nil && class != ClassProtocol {
+		err = payer.Peer.TransferViaBroker(payee.Peer.Addr(), id)
+	}
+	return w.settleTransfer(payer, payee, id, err)
+}
+
+// OpDowntimeTransfer spends through the broker unconditionally — the
+// paper's downtime path, which mass-downtime keeps under constant load.
+func (w *World) OpDowntimeTransfer(rng *rand.Rand) error {
+	payer, id, ok := w.takeReady(rng)
+	if !ok {
+		return w.OpMint(rng)
+	}
+	payee := w.pickOnline(rng, payer.Idx)
+	if payee == nil {
+		payer.giveCoin(id)
+		return ErrSkip
+	}
+	err := payer.Peer.TransferViaBroker(payee.Peer.Addr(), id)
+	return w.settleTransfer(payer, payee, id, err)
+}
+
+// settleTransfer applies the coin-safety discipline to a transfer outcome.
+func (w *World) settleTransfer(payer, payee *Actor, id coin.ID, err error) error {
+	switch class, _ := Classify(err); {
+	case err == nil:
+		payee.giveCoin(id)
+		return nil
+	case class == ClassProtocol:
+		payer.giveCoin(id) // definitive rejection: still the payer's coin
+		return err
+	default:
+		w.parked.Add(1) // ambiguous: park for the drain
+		return err
+	}
+}
+
+// OpRenew renews a random spendable coin's binding (owner path when the
+// owner answers, broker otherwise — Peer.Renew picks).
+func (w *World) OpRenew(rng *rand.Rand) error {
+	holder, id, ok := w.takeReady(rng)
+	if !ok {
+		return ErrSkip
+	}
+	_, err := holder.Peer.Renew(id)
+	switch class, _ := Classify(err); {
+	case err == nil, class == ClassProtocol:
+		holder.giveCoin(id)
+		return err
+	default:
+		w.parked.Add(1)
+		return err
+	}
+}
+
+// OpDeposit redeems a random spendable coin at the broker.
+func (w *World) OpDeposit(rng *rand.Rand) error {
+	holder, id, ok := w.takeReady(rng)
+	if !ok {
+		return ErrSkip
+	}
+	err := holder.Peer.Deposit(id, holder.Peer.ID())
+	if err != nil {
+		// Rejected or ambiguous, the coin leaves circulation either
+		// way: a rejection here (stale binding) would only repeat.
+		w.parked.Add(1)
+	}
+	return err
+}
+
+// OpDoubleSpend deposits a coin and replays the identical request. The
+// broker must credit once and reject the copy; an accepted replay is the
+// one outcome the scenario exists to rule out.
+func (w *World) OpDoubleSpend(rng *rand.Rand) error {
+	holder, id, ok := w.takeReady(rng)
+	if !ok {
+		return w.OpMint(rng)
+	}
+	first, replay := holder.Peer.DepositTwice(id, holder.Peer.ID())
+	if first != nil {
+		w.parked.Add(1)
+		return first
+	}
+	switch class, _ := Classify(replay); {
+	case replay == nil:
+		w.dsAccepted.Add(1)
+		return fmt.Errorf("load: broker accepted a deposit replay for %s", id)
+	case errors.Is(replay, core.ErrAlreadyDeposited):
+		w.dsRejected.Add(1)
+		return nil
+	case class == ClassProtocol:
+		// Rejected, but not with the canonical verdict — suspicious
+		// enough to surface.
+		return replay
+	default:
+		// The replay never landed; the first deposit stands.
+		return nil
+	}
+}
+
+// OpHotTransfer spends a coin from the shared hot set — deliberately
+// non-exclusive, so concurrent intents race on the same coin and the
+// owner's service lock (ErrCoinBusy), holder checks (ErrNotHolder,
+// ErrUnknownCoin) and binding freshness (ErrStaleBinding) all fire. Those
+// rejections are the scenario's expected output, not failures of the
+// harness.
+func (w *World) OpHotTransfer(rng *rand.Rand) error {
+	e, from := w.pickHot(rng)
+	if e == nil {
+		return ErrSkip
+	}
+	target := w.pickOnline(rng, from.Idx)
+	if target == nil {
+		return ErrSkip
+	}
+	err := from.Peer.TransferTo(target.Peer.Addr(), e.id)
+	switch class, _ := Classify(err); {
+	case err == nil:
+		w.hotMu.Lock()
+		if e.holder == from.Idx && !e.parked {
+			e.holder = target.Idx
+		}
+		w.hotMu.Unlock()
+		return nil
+	case class == ClassProtocol:
+		return err // lost the race; the coin is where it is
+	default:
+		w.hotMu.Lock()
+		if e.holder == from.Idx {
+			e.parked = true
+		}
+		w.hotMu.Unlock()
+		w.parked.Add(1)
+		return err
+	}
+}
+
+// OpHotRenew renews a hot coin — renewal and transfer contending on the
+// same owner service lock.
+func (w *World) OpHotRenew(rng *rand.Rand) error {
+	e, from := w.pickHot(rng)
+	if e == nil {
+		return ErrSkip
+	}
+	_, err := from.Peer.Renew(e.id)
+	if class, _ := Classify(err); err != nil && class != ClassProtocol {
+		w.hotMu.Lock()
+		if e.holder == from.Idx {
+			e.parked = true
+		}
+		w.hotMu.Unlock()
+		w.parked.Add(1)
+	}
+	return err
+}
+
+// pickHot snapshots a random live hot-set entry and its believed holder.
+func (w *World) pickHot(rng *rand.Rand) (*hotCoin, *Actor) {
+	if len(w.hot) == 0 {
+		return nil, nil
+	}
+	w.hotMu.Lock()
+	defer w.hotMu.Unlock()
+	for t := 0; t < 4; t++ {
+		e := w.hot[rng.Intn(len(w.hot))]
+		if !e.parked {
+			return e, w.Actors[e.holder]
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,206 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ReportSchema versions the BENCH_load_*.json layout. Bump on breaking
+// changes so trajectory diffing across PRs can tell layouts apart.
+const ReportSchema = "whopay/bench-load/v1"
+
+// ConfigEcho is the run's configuration, echoed into the artifact so a
+// trajectory diff can tell a code regression from a knob change. No git
+// revision and no timestamps — artifacts must be byte-comparable across
+// reruns of the same tree.
+type ConfigEcho struct {
+	Actors      int     `json:"actors"`
+	WarmCoins   int     `json:"warm_coins"`
+	HotCoins    int     `json:"hot_coins,omitempty"`
+	Detection   bool    `json:"detection"`
+	DHTNodes    int     `json:"dht_nodes,omitempty"`
+	Faults      bool    `json:"faults"`
+	Seed        int64   `json:"seed"`
+	Rate        float64 `json:"rate_ops_per_sec"`
+	Ops         int     `json:"ops,omitempty"`
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	Scheme      string  `json:"scheme"`
+	WAL         bool    `json:"wal"`
+	Fsync       string  `json:"fsync,omitempty"`
+}
+
+// LatencyMs is the percentile summary in milliseconds, computed from
+// intended start times — no coordinated omission.
+type LatencyMs struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// ErrorReport splits failures by class; ProtocolUnexpected counts the
+// protocol rejections outside the scenario's expected set — the number a
+// strict gate fails on.
+type ErrorReport struct {
+	Timeouts           int64            `json:"timeouts"`
+	Transport          int64            `json:"transport"`
+	Protocol           int64            `json:"protocol"`
+	ProtocolUnexpected int64            `json:"protocol_unexpected"`
+	Other              int64            `json:"other"`
+	Rejections         map[string]int64 `json:"rejections,omitempty"`
+}
+
+// Report is one scenario run's machine-readable artifact.
+type Report struct {
+	Schema   string `json:"schema"`
+	Scenario string `json:"scenario"`
+	Summary  string `json:"summary"`
+
+	Config      ConfigEcho `json:"config"`
+	Interrupted bool       `json:"interrupted,omitempty"`
+
+	Scheduled    int     `json:"scheduled"`
+	Completed    int64   `json:"completed"`
+	Failed       int64   `json:"failed"`
+	SkippedOps   int64   `json:"skipped_ops,omitempty"`
+	Dropped      int64   `json:"dropped,omitempty"`
+	TargetRate   float64 `json:"target_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+
+	LatencyMs LatencyMs   `json:"latency_ms"`
+	Errors    ErrorReport `json:"errors"`
+
+	EventsFired []string           `json:"events_fired,omitempty"`
+	Obs         map[string]float64 `json:"obs,omitempty"`
+
+	Audit Audit `json:"audit"`
+}
+
+// obsExports is the registry slice a report carries: transport health and
+// broker WAL cost, the counters the tentpole's error accounting leans on.
+// WAL metrics are labeled by entity; the broker is the journaling one.
+var obsExports = []struct {
+	name   string
+	labels map[string]string
+}{
+	{"whopay_tcpbus_calls_total", nil},
+	{"whopay_tcpbus_dial_errors_total", nil},
+	{"whopay_tcpbus_timeouts_total", nil},
+	{"whopay_tcpbus_open_conns", nil},
+	{"whopay_wal_fsync_seconds", map[string]string{"entity": "broker"}},
+	{"whopay_wal_errors_total", map[string]string{"entity": "broker"}},
+}
+
+// BuildReport assembles the artifact for one finished (or interrupted)
+// run.
+func BuildReport(r *Run, res Result, audit Audit) Report {
+	w, sc, rc := r.W, r.Sc, r.Cfg
+	q := res.Hist.Summary()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+	rep := Report{
+		Schema:   ReportSchema,
+		Scenario: sc.Name,
+		Summary:  sc.Summary,
+		Config: ConfigEcho{
+			Actors:      w.cfg.Actors,
+			WarmCoins:   w.cfg.WarmCoins,
+			HotCoins:    w.cfg.HotCoins,
+			Detection:   w.cfg.Detection,
+			DHTNodes:    w.cfg.DHTNodes,
+			Faults:      w.cfg.Faults,
+			Seed:        rc.Seed,
+			Rate:        rc.Rate,
+			Ops:         rc.Ops,
+			DurationSec: rc.Duration.Seconds(),
+			Scheme:      w.cfg.Scheme.Name(),
+			WAL:         w.cfg.WALDir != "",
+			Fsync:       walPolicyName(w),
+		},
+		Interrupted:  res.Stopped,
+		Scheduled:    res.Scheduled,
+		Completed:    res.Completed,
+		Failed:       res.Failed,
+		SkippedOps:   res.Skipped,
+		Dropped:      res.Dropped,
+		TargetRate:   rc.Rate,
+		ElapsedSec:   res.Elapsed.Seconds(),
+		EventsFired:  r.EventsFired(),
+		Audit:        audit,
+	}
+	if res.Elapsed > 0 {
+		rep.AchievedRate = float64(res.Completed) / res.Elapsed.Seconds()
+	}
+	rep.LatencyMs = LatencyMs{
+		Count: q.Count,
+		P50:   ms(q.P50),
+		P90:   ms(q.P90),
+		P99:   ms(q.P99),
+		P999:  ms(q.P999),
+		Max:   ms(q.Max),
+		Mean:  ms(q.Mean),
+	}
+	rep.Errors = ErrorReport{
+		Timeouts:   res.Errors.Timeouts,
+		Transport:  res.Errors.Transport,
+		Protocol:   res.Errors.Protocol,
+		Other:      res.Errors.Other,
+		Rejections: res.Errors.Rejections,
+	}
+	for code, n := range res.Errors.Rejections {
+		if !sc.ExpectsRejection(code) {
+			rep.Errors.ProtocolUnexpected += n
+		}
+	}
+	rep.Obs = make(map[string]float64)
+	for _, exp := range obsExports {
+		if v, ok := w.Reg.Value(exp.name, exp.labels); ok {
+			rep.Obs[exp.name] = v
+		}
+	}
+	return rep
+}
+
+// walPolicyName renders the world's fsync policy, empty when no WAL.
+func walPolicyName(w *World) string {
+	if w.cfg.WALDir == "" {
+		return ""
+	}
+	return w.cfg.Fsync.String()
+}
+
+// ReportFileName names the artifact: BENCH_load_<scenario>.json, with a
+// _wal suffix for the journaling variant so both variants of one scenario
+// can live side by side.
+func ReportFileName(scenario string, wal bool) string {
+	if wal {
+		return "BENCH_load_" + scenario + "_wal.json"
+	}
+	return "BENCH_load_" + scenario + ".json"
+}
+
+// WriteReport writes the artifact under dir (created on demand).
+func WriteReport(dir string, rep Report) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("load: report dir: %w", err)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("load: encoding report: %w", err)
+	}
+	path := filepath.Join(dir, ReportFileName(rep.Scenario, rep.Config.WAL))
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("load: writing report: %w", err)
+	}
+	return path, nil
+}

@@ -1,0 +1,103 @@
+package load
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seqMix spreads intent sequence numbers into independent rng streams
+// (splitmix-style odd constant), so concurrent operations draw
+// deterministic, uncorrelated randomness from one seed.
+const seqMix uint64 = 0x9E3779B97F4A7C15
+
+// RunConfig shapes one scenario run on an existing world.
+type RunConfig struct {
+	// Rate is the open-loop arrival rate, operations per second.
+	Rate float64
+	// Ops and Duration bound the schedule exactly as in DriverConfig.
+	Ops      int
+	Duration time.Duration
+	// Seed derives every intent's rng; same seed, same op sequence.
+	Seed int64
+	// Clock and DrainGrace pass through to the driver.
+	Clock      Clock
+	DrainGrace time.Duration
+}
+
+// Run binds a scenario to a world and a driver. The Driver is exported so
+// a signal handler can Stop a run in flight and still collect the partial
+// Result.
+type Run struct {
+	W      *World
+	Sc     *Scenario
+	Cfg    RunConfig
+	Driver *Driver
+
+	eventsFired []string
+}
+
+// NewRun prepares a run: every intent draws its own deterministic rng from
+// the seed and its sequence number, picks a verb from the scenario mix,
+// and executes it against the world.
+func NewRun(w *World, sc *Scenario, rc RunConfig) *Run {
+	r := &Run{W: w, Sc: sc, Cfg: rc}
+	r.Driver = NewDriver(DriverConfig{
+		Rate:       rc.Rate,
+		Ops:        rc.Ops,
+		Duration:   rc.Duration,
+		Clock:      rc.Clock,
+		DrainGrace: rc.DrainGrace,
+		Do: func(seq int) error {
+			rng := rand.New(rand.NewSource(rc.Seed + int64(uint64(seq)*seqMix)))
+			return sc.pickOp(rng).Do(w, rng)
+		},
+	})
+	return r
+}
+
+// planned returns the schedule's intended span on the clock.
+func (r *Run) planned() time.Duration {
+	var opsDur time.Duration
+	if r.Cfg.Rate > 0 && r.Cfg.Ops > 0 {
+		opsDur = time.Duration(float64(r.Cfg.Ops) / r.Cfg.Rate * float64(time.Second))
+	}
+	switch {
+	case opsDur > 0 && r.Cfg.Duration > 0 && r.Cfg.Duration < opsDur:
+		return r.Cfg.Duration
+	case opsDur > 0:
+		return opsDur
+	default:
+		return r.Cfg.Duration
+	}
+}
+
+// Run executes the schedule, firing scenario events at their fractions of
+// the planned span, and blocks until the drain finishes.
+func (r *Run) Run() Result {
+	evDone := make(chan struct{})
+	go func() {
+		defer close(evDone)
+		clock := r.Driver.cfg.Clock
+		start := clock.Now()
+		span := r.planned()
+		evRng := rand.New(rand.NewSource(r.Cfg.Seed ^ 0x5bf0363db2e3d35))
+		for _, ev := range r.Sc.Events {
+			clock.Wait(start.Add(time.Duration(ev.Frac*float64(span))), r.Driver.done)
+			if r.Driver.Stopped() {
+				return
+			}
+			ev.Do(r.W, evRng)
+			r.eventsFired = append(r.eventsFired, ev.Name)
+		}
+	}()
+	res := r.Driver.Run()
+	r.Driver.Stop() // release the event goroutine's waits
+	<-evDone
+	return res
+}
+
+// EventsFired lists the scenario events that actually ran, in order. Valid
+// after Run returns.
+func (r *Run) EventsFired() []string {
+	return append([]string(nil), r.eventsFired...)
+}

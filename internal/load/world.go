@@ -1,0 +1,476 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whopay/internal/bus"
+	"whopay/internal/bus/faultbus"
+	"whopay/internal/bus/tcpbus"
+	"whopay/internal/coin"
+	"whopay/internal/core"
+	"whopay/internal/dht"
+	"whopay/internal/obs"
+	"whopay/internal/sig"
+	"whopay/internal/wal"
+)
+
+// worldWorkers bounds the parallelism of actor construction and warmup
+// (each actor enrolls over the bus — expensive group-signature setup).
+const worldWorkers = 16
+
+// WorldConfig sizes and wires one live load world.
+type WorldConfig struct {
+	// Actors is the number of peer actors (> 0).
+	Actors int
+	// Host is the TCP bind host (default 127.0.0.1). Ignored when
+	// Network overrides the transport.
+	Host string
+	// Scheme defaults to ECDSA P-256 — the paper's cost regime.
+	Scheme sig.Scheme
+	// CredPool is each actor's initial group-credential pool (default 8;
+	// the pool auto-refills over the bus when it runs dry).
+	CredPool int
+	// Seed derives all load randomness (actor choice, op mix) and the
+	// faultbus schedule.
+	Seed int64
+	// WarmCoins is how many spendable coins each actor starts with.
+	WarmCoins int
+	// HotCoins is the size of the shared contended-coin set (hot-coin
+	// scenario; 0 disables).
+	HotCoins int
+	// Detection enables the DHT public binding list: owners publish,
+	// holders watch, payees cross-check — and stale bindings become
+	// recoverable after faults.
+	Detection bool
+	// DHTNodes sizes the cluster when Detection is on (default 3).
+	DHTNodes int
+	// WALDir, when non-empty, journals the broker (the serialization hot
+	// spot durability actually taxes) under this directory.
+	WALDir string
+	// Fsync is the journal's fsync policy.
+	Fsync wal.Policy
+	// Reg collects metrics from the transport, broker, and WAL (default:
+	// a fresh registry).
+	Reg *obs.Registry
+	// Faults wraps the transport in a seeded faultbus so scenario events
+	// can cut partitions and churn owners.
+	Faults bool
+	// CallTimeout is the per-call deadline on the TCP transport (default
+	// 10s). Ignored when Network is set.
+	CallTimeout time.Duration
+	// Network overrides the transport (tests use the in-memory bus);
+	// nil builds a real tcpbus on Host.
+	Network bus.Network
+}
+
+// Actor is one lightweight peer in the load world. Its ready queue holds
+// the coins this actor may spend; take/give keep coin use exclusive, so
+// ordinary-mix operations never contend on a coin (contention is what the
+// hot-coin set is for). A coin that saw an ambiguous transport failure is
+// parked — never returned to the queue — because retrying it toward a
+// different payee could sign a second binding and frame an honest owner;
+// the post-run drain redeems parked coins from ground truth instead.
+type Actor struct {
+	Idx  int
+	Peer *core.Peer
+
+	mu      sync.Mutex
+	ready   []coin.ID
+	offline bool
+}
+
+// takeCoin pops a spendable coin, or reports none.
+func (a *Actor) takeCoin() (coin.ID, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.ready) == 0 {
+		return "", false
+	}
+	id := a.ready[len(a.ready)-1]
+	a.ready = a.ready[:len(a.ready)-1]
+	return id, true
+}
+
+// giveCoin returns (or delivers) a spendable coin.
+func (a *Actor) giveCoin(id coin.ID) {
+	a.mu.Lock()
+	a.ready = append(a.ready, id)
+	a.mu.Unlock()
+}
+
+// readyLen reports the queue depth.
+func (a *Actor) readyLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.ready)
+}
+
+// setOffline flips the churn flag (mass-downtime events).
+func (a *Actor) setOffline(v bool) {
+	a.mu.Lock()
+	a.offline = v
+	a.mu.Unlock()
+}
+
+// isOffline reports the churn flag.
+func (a *Actor) isOffline() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.offline
+}
+
+// hotCoin is one entry of the shared contended-coin set. holder tracks who
+// we believe holds it; parked entries saw an ambiguous failure and are
+// left for the drain.
+type hotCoin struct {
+	id     coin.ID
+	holder int
+	parked bool
+}
+
+// World is a live WhoPay deployment sized for load: a broker (optionally
+// journaling), a judge server, an optional DHT cluster, and Actors peers —
+// all listening on the same transport, which is a real tcpbus unless a
+// test injects the in-memory bus.
+type World struct {
+	cfg WorldConfig
+	tcp bool
+
+	Reg      *obs.Registry
+	Net      bus.Network
+	FB       *faultbus.Network // nil unless cfg.Faults
+	Dir      *core.Directory
+	JudgeSrv *core.JudgeServer
+	Broker   *core.Broker
+	Cluster  *dht.Cluster // nil unless cfg.Detection
+	Actors   []*Actor
+
+	// minted is the value actors observed entering circulation; the gap
+	// to Broker.IssuedValue() is ghost value (a purchase response lost
+	// in flight). All load coins have value 1.
+	minted atomic.Int64
+	// parked counts coins pulled from circulation after ambiguous
+	// failures, redeemed only by the drain.
+	parked atomic.Int64
+	// Double-spend-flood accounting: replays the broker rejected vs
+	// accepted (accepted must stay zero).
+	dsRejected atomic.Int64
+	dsAccepted atomic.Int64
+
+	hotMu sync.Mutex
+	hot   []*hotCoin
+}
+
+// addr names an endpoint: a real bind request over TCP (ephemeral port),
+// a logical name on the in-memory bus.
+func (w *World) addr(name string) bus.Address {
+	if w.tcp {
+		return bus.Address(w.cfg.Host + ":0")
+	}
+	return bus.Address(name)
+}
+
+// NewWorld builds and warms a load world: every entity constructed and
+// listening, every actor enrolled with WarmCoins spendable coins, the hot
+// set (if any) minted and distributed. Fault injection is idle until a
+// scenario event turns it on, so construction runs on a clean network.
+func NewWorld(cfg WorldConfig) (*World, error) {
+	if cfg.Actors <= 0 {
+		return nil, errors.New("load: world needs at least one actor")
+	}
+	if cfg.Host == "" {
+		cfg.Host = "127.0.0.1"
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = sig.ECDSA{}
+	}
+	if cfg.CredPool <= 0 {
+		cfg.CredPool = 8
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	if cfg.Reg == nil {
+		cfg.Reg = obs.NewRegistry()
+	}
+	core.RegisterWireTypes()
+
+	w := &World{cfg: cfg, Reg: cfg.Reg, tcp: cfg.Network == nil}
+	base := cfg.Network
+	if base == nil {
+		base = tcpbus.New(
+			tcpbus.WithObs(cfg.Reg),
+			tcpbus.WithCallTimeout(cfg.CallTimeout),
+			tcpbus.WithDialTimeout(5*time.Second),
+		)
+	}
+	w.Net = base
+	if cfg.Faults {
+		w.FB = faultbus.New(base, cfg.Seed)
+		w.Net = w.FB
+	}
+	w.Dir = core.NewDirectory()
+
+	judge, err := core.NewJudge(cfg.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("load: judge: %w", err)
+	}
+	w.JudgeSrv, err = core.NewJudgeServer(w.Net, w.addr("judge"), judge, cfg.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("load: judge server: %w", err)
+	}
+
+	// The cluster must exist before the broker (the broker's DHT client
+	// needs bound addresses), and the broker's key is only trusted
+	// afterwards — safe, because no binding traffic flows until ops run.
+	var dhtAddrs []bus.Address
+	if cfg.Detection {
+		n := cfg.DHTNodes
+		if n <= 0 {
+			n = 3
+		}
+		w.Cluster, err = dht.NewClusterWithConfig(dht.ClusterConfig{
+			Network:  w.Net,
+			Scheme:   cfg.Scheme,
+			Nodes:    n,
+			Replicas: 2,
+			AddrFor:  func(i int) bus.Address { return w.addr(fmt.Sprintf("dht:%d", i)) },
+		})
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("load: dht cluster: %w", err)
+		}
+		dhtAddrs = w.Cluster.Addrs()
+	}
+
+	var brokerWAL *wal.Config
+	if cfg.WALDir != "" {
+		brokerWAL = &wal.Config{
+			Dir:    filepath.Join(cfg.WALDir, "broker"),
+			Policy: cfg.Fsync,
+			Obs:    cfg.Reg,
+			Entity: "broker",
+		}
+	}
+	w.Broker, err = core.NewBroker(core.BrokerConfig{
+		Network:     w.Net,
+		Addr:        w.addr("broker"),
+		Scheme:      cfg.Scheme,
+		Directory:   w.Dir,
+		GroupPub:    judge.GroupPublicKey(),
+		DHTNodes:    dhtAddrs,
+		Persistence: brokerWAL,
+		Obs:         cfg.Reg,
+	})
+	if err != nil {
+		w.Close()
+		return nil, fmt.Errorf("load: broker: %w", err)
+	}
+	if w.Cluster != nil {
+		w.Cluster.Trust(w.Broker.PublicKey())
+	}
+
+	if err := w.spawnActors(dhtAddrs); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.warmup(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// spawnActors builds and enrolls every actor in parallel.
+func (w *World) spawnActors(dhtAddrs []bus.Address) error {
+	cfg := w.cfg
+	w.Actors = make([]*Actor, cfg.Actors)
+	return eachIndex(cfg.Actors, func(i int) error {
+		id := fmt.Sprintf("actor-%04d", i)
+		p, err := core.NewPeer(core.PeerConfig{
+			ID:                 id,
+			Network:            w.Net,
+			Addr:               w.addr("peer:" + id),
+			Scheme:             cfg.Scheme,
+			Directory:          w.Dir,
+			BrokerAddr:         w.Broker.BoundAddr(),
+			BrokerPub:          w.Broker.PublicKey(),
+			JudgeAddr:          w.JudgeSrv.Addr(),
+			CredPool:           cfg.CredPool,
+			DHTNodes:           dhtAddrs,
+			PublishBindings:    cfg.Detection,
+			WatchHeldCoins:     cfg.Detection,
+			CheckPublicBinding: cfg.Detection,
+		})
+		if err != nil {
+			return fmt.Errorf("load: actor %d: %w", i, err)
+		}
+		w.Actors[i] = &Actor{Idx: i, Peer: p}
+		return nil
+	})
+}
+
+// warmup pre-funds every actor's ready queue and mints the hot set. Warm
+// coins are issued to the next actor over, so the owner and the holder
+// differ from the first transfer on (the remote-owner path is the normal
+// one).
+func (w *World) warmup() error {
+	n := len(w.Actors)
+	if w.cfg.WarmCoins > 0 {
+		err := eachIndex(n, func(i int) error {
+			owner := w.Actors[i]
+			holder := w.Actors[(i+1)%n]
+			for j := 0; j < w.cfg.WarmCoins; j++ {
+				id, err := owner.Peer.Purchase(1, false)
+				if err != nil {
+					return fmt.Errorf("load: warm purchase (actor %d): %w", i, err)
+				}
+				w.minted.Add(1)
+				if err := owner.Peer.IssueTo(holder.Peer.Addr(), id); err != nil {
+					return fmt.Errorf("load: warm issue (actor %d): %w", i, err)
+				}
+				holder.giveCoin(id)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for k := 0; k < w.cfg.HotCoins; k++ {
+		owner := w.Actors[k%n]
+		holder := w.Actors[(k+1)%n]
+		id, err := owner.Peer.Purchase(1, false)
+		if err != nil {
+			return fmt.Errorf("load: hot purchase: %w", err)
+		}
+		w.minted.Add(1)
+		if err := owner.Peer.IssueTo(holder.Peer.Addr(), id); err != nil {
+			return fmt.Errorf("load: hot issue: %w", err)
+		}
+		w.hot = append(w.hot, &hotCoin{id: id, holder: holder.Idx})
+	}
+	return nil
+}
+
+// pickOnline returns a random online actor other than excl (-1: no
+// exclusion), or nil when none qualifies.
+func (w *World) pickOnline(rng *rand.Rand, excl int) *Actor {
+	n := len(w.Actors)
+	for t := 0; t < 8; t++ {
+		a := w.Actors[rng.Intn(n)]
+		if a.Idx != excl && !a.isOffline() {
+			return a
+		}
+	}
+	start := rng.Intn(n)
+	for off := 0; off < n; off++ {
+		a := w.Actors[(start+off)%n]
+		if a.Idx != excl && !a.isOffline() {
+			return a
+		}
+	}
+	return nil
+}
+
+// takeReady pops a spendable coin from a random online actor (a few random
+// probes, then a sweep), or reports none anywhere.
+func (w *World) takeReady(rng *rand.Rand) (*Actor, coin.ID, bool) {
+	n := len(w.Actors)
+	for t := 0; t < 8; t++ {
+		a := w.Actors[rng.Intn(n)]
+		if a.isOffline() {
+			continue
+		}
+		if id, ok := a.takeCoin(); ok {
+			return a, id, true
+		}
+	}
+	start := rng.Intn(n)
+	for off := 0; off < n; off++ {
+		a := w.Actors[(start+off)%n]
+		if a.isOffline() {
+			continue
+		}
+		if id, ok := a.takeCoin(); ok {
+			return a, id, true
+		}
+	}
+	return nil, "", false
+}
+
+// MintedValue reports the value actors observed entering circulation.
+func (w *World) MintedValue() int64 { return w.minted.Load() }
+
+// ParkedCoins reports how many coins ambiguous failures pulled from
+// circulation before the drain.
+func (w *World) ParkedCoins() int64 { return w.parked.Load() }
+
+// DoubleSpends reports the flood accounting: broker-rejected replays and
+// broker-accepted replays (the latter must be zero).
+func (w *World) DoubleSpends() (rejected, accepted int64) {
+	return w.dsRejected.Load(), w.dsAccepted.Load()
+}
+
+// Close tears the world down. Safe on a partially built world.
+func (w *World) Close() {
+	for _, a := range w.Actors {
+		if a != nil {
+			_ = a.Peer.Close()
+		}
+	}
+	if w.Cluster != nil {
+		w.Cluster.Close()
+	}
+	if w.Broker != nil {
+		_ = w.Broker.Close()
+	}
+	if w.JudgeSrv != nil {
+		_ = w.JudgeSrv.Close()
+	}
+}
+
+// eachIndex runs fn(0..n-1) across worldWorkers goroutines and returns the
+// first error.
+func eachIndex(n int, fn func(i int) error) error {
+	workers := worldWorkers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  error
+		failed atomic.Bool
+	)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -344,6 +344,42 @@ func (r *Registry) Help(name, help string) {
 	}
 }
 
+// Value reads the current value of the series name+labels without creating
+// it — the read-side counterpart of the typed accessors, safe on any kind
+// (Counter/Gauge on a func-backed family panics; Value never does).
+// Counters and gauges return their stored value, func-backed series invoke
+// their function, histograms return their observation count. The second
+// return is false when the family or series does not exist, and always on
+// a nil registry.
+func (r *Registry) Value(name string, labels Labels) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	key := canonLabels(labels)
+	r.mu.Lock()
+	var s *series
+	if f, ok := r.families[name]; ok {
+		s = f.series[key]
+	}
+	r.mu.Unlock()
+	if s == nil {
+		return 0, false
+	}
+	// fn runs outside the registry lock: functions are required to be
+	// concurrency-safe but may themselves touch the registry.
+	switch {
+	case s.fn != nil:
+		return sanitizeFloat(s.fn()), true
+	case s.c != nil:
+		return float64(s.c.Value()), true
+	case s.g != nil:
+		return float64(s.g.Value()), true
+	case s.h != nil:
+		return float64(s.h.Count()), true
+	}
+	return 0, false
+}
+
 // Tracer returns the registry's span tracer, creating it (with the default
 // ring capacity) on first use. Nil on a nil registry.
 func (r *Registry) Tracer() *Tracer {

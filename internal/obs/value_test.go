@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRegistryValue pins the read-side accessor: every metric kind is
+// readable through one API without creating series as a side effect and
+// without the kind-mismatch panics of the typed accessors — what report
+// builders (the load harness) rely on to scrape a live registry.
+func TestRegistryValue(t *testing.T) {
+	reg := NewRegistry()
+	lbl := Labels{"entity": "broker"}
+
+	reg.Counter("wp_c_total", nil).Add(3)
+	reg.Gauge("wp_g", lbl).Set(-7)
+	reg.CounterFunc("wp_cf_total", lbl, func() int64 { return 41 })
+	reg.GaugeFunc("wp_gf", nil, func() float64 { return 2.5 })
+	h := reg.Histogram("wp_h_seconds", lbl, []float64{0.1, 1})
+	h.Observe(50 * time.Millisecond)
+	h.Observe(2 * time.Second)
+
+	cases := []struct {
+		name   string
+		labels Labels
+		want   float64
+	}{
+		{"wp_c_total", nil, 3},
+		{"wp_g", lbl, -7},
+		{"wp_cf_total", lbl, 41},
+		{"wp_gf", nil, 2.5},
+		{"wp_h_seconds", lbl, 2}, // histograms report their observation count
+	}
+	for _, c := range cases {
+		got, found := reg.Value(c.name, c.labels)
+		if !found || got != c.want {
+			t.Fatalf("Value(%q,%v) = %v,%v want %v,true", c.name, c.labels, got, found, c.want)
+		}
+	}
+
+	// Misses never create series: unknown family, unknown label set, and a
+	// nil registry all report absence.
+	if _, found := reg.Value("wp_missing", nil); found {
+		t.Fatal("unknown family reported found")
+	}
+	if _, found := reg.Value("wp_c_total", lbl); found {
+		t.Fatal("unknown label set reported found")
+	}
+	if _, found := reg.Value("wp_g", nil); found {
+		t.Fatal("label-less read of a labeled family reported found")
+	}
+	var nilReg *Registry
+	if _, found := nilReg.Value("wp_c_total", nil); found {
+		t.Fatal("nil registry reported found")
+	}
+
+	// The miss lookups above must not have materialized series: the typed
+	// accessor still creates fresh ones (no kind conflicts), and Value on a
+	// labeled family with other labels still misses.
+	if got := reg.Counter("wp_c_total", nil).Value(); got != 3 {
+		t.Fatalf("counter perturbed by Value reads: %d", got)
+	}
+}
