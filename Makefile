@@ -10,7 +10,7 @@ CHAOS_SEED ?=
 # seed (only matters once journals outgrow the exhaustive-sweep cap).
 CRASH_SEED ?=
 
-.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal bench-obs load-smoke
+.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal bench-obs bench-wire fuzz-wire load-smoke
 
 all: vet build test
 
@@ -69,6 +69,23 @@ bench-wal:
 bench-obs:
 	$(GO) test ./internal/core/ -run '^$$' \
 		-bench 'BenchmarkTransfer(WhoPay|Obs)' -benchtime 1s -count 3
+
+# Wire codec vs gob, both as micro-benchmarks (one TransferRequest) and
+# end to end (one transfer hop over TCP, framed vs legacy gob wire).
+# Reference numbers live in results/wire_bench.txt.
+bench-wire:
+	$(GO) test ./internal/core/ -run '^$$' \
+		-bench 'BenchmarkWireCodecTransferRequest|BenchmarkTransferWhoPayTCP' \
+		-benchmem -benchtime 2s
+
+# Short fuzz pass over the frame decoder and the registered-codec decoder —
+# the corpus regression net plus a fixed wall-clock budget of new inputs.
+# CI runs this; longer local runs just raise FUZZ_TIME.
+FUZZ_TIME ?= 20s
+fuzz-wire:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzParseFrame -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzWireDecodeRegistered -fuzztime $(FUZZ_TIME)
 
 # Goroutine-sweep benchmarks for the sharded state store: broker purchase
 # and owner transfer throughput as client concurrency grows. Reference

@@ -26,6 +26,7 @@ type loadOpts struct {
 	seed     int64
 	scheme   sig.Scheme
 	wal      bool
+	gobWire  bool   // force the legacy gob wire (A/B baseline)
 	walDir   string // -persist when set; otherwise a temp dir per run
 	fsync    string
 	out      string
@@ -138,12 +139,13 @@ func runLoadScenario(name string, rate float64, fsync wal.Policy, opts loadOpts,
 		opts.actors, rate, opts.ops, opts.duration, opts.wal, sc.Detection, sc.Faults)
 
 	w, err := load.NewWorld(sc.WorldConfig(load.WorldConfig{
-		Actors: opts.actors,
-		Scheme: opts.scheme,
-		Seed:   opts.seed,
-		WALDir: walDir,
-		Fsync:  fsync,
-		Reg:    reg,
+		Actors:  opts.actors,
+		Scheme:  opts.scheme,
+		Seed:    opts.seed,
+		WALDir:  walDir,
+		Fsync:   fsync,
+		Reg:     reg,
+		GobWire: opts.gobWire,
 	}))
 	if err != nil {
 		return "", fmt.Errorf("scenario %s: %w", name, err)

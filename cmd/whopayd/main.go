@@ -4,8 +4,9 @@
 // multi-hop anonymous transfers, a renewal, a downtime operation through the
 // broker after an owner "disconnects", and a final deposit.
 //
-// All traffic — payments AND judge enrollment — crosses real sockets with
-// gob framing under ECDSA P-256 signatures. Only the identity directory is
+// All traffic — payments AND judge enrollment — crosses real sockets on the
+// framed binary wire (see PROTOCOL.md, "Wire format"; -gob-wire falls back
+// to the legacy gob framing) under ECDSA P-256 signatures. Only the identity directory is
 // shared in-process configuration (the PKI of the paper's model). Note the
 // enrollment responses carry credential private keys: production transports
 // must add TLS.
@@ -52,6 +53,7 @@ func run() error {
 		host     = flag.String("host", "127.0.0.1", "host/interface to bind")
 		admin    = flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /traces, pprof) on this address")
 		linger   = flag.Duration("linger", 0, "keep the process alive this long after the demo (for scraping the admin endpoint)")
+		gobWire  = flag.Bool("gob-wire", false, "force the legacy one-connection-per-call gob wire instead of the framed binary protocol")
 	)
 	flag.Parse()
 	if *numPeers < 2 {
@@ -80,7 +82,11 @@ func run() error {
 	}
 
 	core.RegisterWireTypes()
-	network := tcpbus.New(tcpbus.WithObs(reg))
+	topts := []tcpbus.Option{tcpbus.WithObs(reg)}
+	if *gobWire {
+		topts = append(topts, tcpbus.WithGobWire())
+	}
+	network := tcpbus.New(topts...)
 	scheme := sig.ECDSA{}
 	dir := core.NewDirectory()
 

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"whopay/internal/bus/tcpbus"
+	"whopay/internal/sig"
+	"whopay/internal/wire"
+)
+
+// filledTransferRequest builds a representative hot-path message: the
+// paper's per-hop transfer carries a body, a holder signature, a group
+// signature, and usually a presented binding.
+func filledTransferRequest(tb testing.TB) TransferRequest {
+	tb.Helper()
+	registerOnce.Do(RegisterWireTypes)
+	var msg TransferRequest
+	ctr := 0
+	fillGob(reflect.ValueOf(&msg).Elem(), &ctr, 0)
+	return msg
+}
+
+// BenchmarkWireCodecTransferRequest compares the hand-rolled codec against
+// gob for the message every transfer hop sends. The gob side pays encoder
+// construction per message because the transport historically opened a
+// fresh stream per call — that is exactly the cost the codec removes.
+func BenchmarkWireCodecTransferRequest(b *testing.B) {
+	msg := filledTransferRequest(b)
+	e, ok := wire.ByValue(msg)
+	if !ok {
+		b.Fatal("no codec registered for TransferRequest")
+	}
+
+	b.Run("wire-encode", func(b *testing.B) {
+		wire.PutBuf(wire.GetBuf())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf, err := e.Enc(wire.GetBuf(), msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire.PutBuf(buf)
+		}
+	})
+	b.Run("gob-encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gobEnc(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	enc, err := e.Enc(nil, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gobBytes, err := gobEnc(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("encoded size: wire=%dB gob=%dB", len(enc), len(gobBytes))
+
+	b.Run("wire-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Decode(e.Tag, enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gob-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var out TransferRequest
+			if err := gobDec(gobBytes, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTransferWhoPayTCP measures the same owner-serviced transfer as
+// BenchmarkTransferWhoPay, but over real TCP sockets — once on the framed
+// binary wire and once forced onto the legacy one-connection-per-call gob
+// wire. The delta is what the codec + multiplexed transport buy per hop.
+func BenchmarkTransferWhoPayTCP(b *testing.B) {
+	run := func(b *testing.B, opts ...tcpbus.Option) {
+		registerOnce.Do(RegisterWireTypes)
+		network := tcpbus.New(opts...)
+		scheme := sig.ECDSA{}
+		dir := NewDirectory()
+		judge, err := NewJudge(scheme)
+		if err != nil {
+			b.Fatal(err)
+		}
+		broker, err := NewBroker(BrokerConfig{
+			Network:   network,
+			Addr:      "127.0.0.1:0",
+			Scheme:    scheme,
+			Directory: dir,
+			GroupPub:  judge.GroupPublicKey(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer broker.Close()
+
+		mk := func(id string) *Peer {
+			p, err := NewPeer(PeerConfig{
+				ID:         id,
+				Network:    network,
+				Addr:       "127.0.0.1:0",
+				Scheme:     scheme,
+				Directory:  dir,
+				BrokerAddr: brokerBoundAddr(broker),
+				BrokerPub:  broker.PublicKey(),
+				Judge:      judge,
+				CredPool:   b.N + 64,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dir.Register(id, p.PublicKey(), p.ep.Addr())
+			return p
+		}
+		u, v, w := mk("u"), mk("v"), mk("w")
+		defer u.Close()
+		defer v.Close()
+		defer w.Close()
+
+		id, err := u.Purchase(1, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := u.IssueTo(v.ep.Addr(), id); err != nil {
+			b.Fatal(err)
+		}
+		from, to := v, w
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := from.TransferTo(to.ep.Addr(), id); err != nil {
+				b.Fatal(err)
+			}
+			from, to = to, from
+		}
+	}
+
+	b.Run("framed", func(b *testing.B) { run(b) })
+	b.Run("gob", func(b *testing.B) { run(b, tcpbus.WithGobWire()) })
+}

@@ -6,10 +6,13 @@ import (
 	"whopay/internal/indirect"
 )
 
-// RegisterWireTypes registers every protocol message with the gob-based TCP
-// transport. Call once before using tcpbus endpoints; the in-memory bus
-// does not need it.
+// RegisterWireTypes registers every protocol message with the TCP
+// transport: the fixed-layout binary codecs that framed connections use,
+// plus the gob registrations that remain the negotiated fallback for
+// mixed-version interop. Call once before using tcpbus endpoints; the
+// in-memory bus does not need it.
 func RegisterWireTypes() {
+	registerWireCodecs()
 	for _, v := range []any{
 		PurchaseRequest{}, PurchaseResponse{},
 		BatchPurchaseRequest{}, BatchPurchaseResponse{},

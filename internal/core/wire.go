@@ -1,0 +1,724 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"whopay/internal/coin"
+	"whopay/internal/dht"
+	"whopay/internal/groupsig"
+	"whopay/internal/indirect"
+	"whopay/internal/layered"
+	"whopay/internal/sig"
+	"whopay/internal/wire"
+)
+
+// Fixed-layout wire codecs (internal/wire) for every protocol message in
+// messages.go, judgeserver.go, and layered.go. Tags are the wire contract:
+// stable across versions, assigned here, never reused. The gob
+// registrations in gob.go remain the negotiated compatibility fallback.
+const (
+	tagPurchaseRequest       = 1
+	tagPurchaseResponse      = 2
+	tagBatchPurchaseRequest  = 3
+	tagBatchPurchaseResponse = 4
+	tagEnrollRequest         = 5
+	tagEnrollResponse        = 6
+	tagRefillRequest         = 7
+	tagRefillResponse        = 8
+	tagOfferRequest          = 9
+	tagOfferResponse         = 10
+	tagDeliverRequest        = 11
+	tagDeliverResponse       = 12
+	tagTransferRequest       = 13
+	tagTransferResponse      = 14
+	tagRenewRequest          = 15
+	tagRenewResponse         = 16
+	tagDepositRequest        = 17
+	tagDepositResponse       = 18
+	tagLayeredDepositRequest = 19
+	tagSyncRequest           = 20
+	tagSyncResponse          = 21
+	tagFraudReport           = 22
+	tagFraudResponse         = 23
+	tagDisputeRequest        = 24
+	tagDisputeResponse       = 25
+	tagRelinquishProof       = 26
+)
+
+var wireCodecsOnce sync.Once
+
+// registerWireCodecs installs the binary codecs for the core protocol
+// messages plus the DHT and indirection layers.
+func registerWireCodecs() {
+	wireCodecsOnce.Do(func() {
+		registerCoreWireCodecs()
+		dht.RegisterWireCodecs()
+		indirect.RegisterWireCodecs()
+	})
+}
+
+// decodeKey reads a length-prefixed public key.
+func decodeKey(d *wire.Decoder) (sig.PublicKey, error) {
+	raw, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	return sig.PublicKey(raw), nil
+}
+
+// appendKeys / decodeKeys handle []sig.PublicKey fields. A corrupt count
+// is rejected before allocation; zero-length decodes as nil (gob parity).
+func appendKeys(dst []byte, keys []sig.PublicKey) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = wire.AppendBytes(dst, k)
+	}
+	return dst
+}
+
+func decodeKeys(d *wire.Decoder) ([]sig.PublicKey, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(d.Len()) {
+		return nil, fmt.Errorf("%w: %d keys declared, %d bytes remain", wire.ErrMalformed, n, d.Len())
+	}
+	out := make([]sig.PublicKey, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := decodeKey(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// sliceCount reads and bounds-checks a collection count.
+func sliceCount(d *wire.Decoder, what string) (uint64, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(d.Len()) {
+		return 0, fmt.Errorf("%w: %d %s declared, %d bytes remain", wire.ErrMalformed, n, what, d.Len())
+	}
+	return n, nil
+}
+
+func registerCoreWireCodecs() {
+	wire.Register(tagPurchaseRequest, "core.PurchaseRequest", PurchaseRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(PurchaseRequest)
+			dst = wire.AppendString(dst, m.Buyer)
+			dst = wire.AppendBytes(dst, m.CoinPub)
+			dst = wire.AppendBytes(dst, m.Handle)
+			dst = wire.AppendInt(dst, m.Value)
+			dst = wire.AppendBool(dst, m.Anonymous)
+			dst = wire.AppendBytes(dst, m.Sig)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m PurchaseRequest
+			var err error
+			if m.Buyer, err = d.String(); err != nil {
+				return nil, err
+			}
+			if m.CoinPub, err = decodeKey(d); err != nil {
+				return nil, err
+			}
+			if m.Handle, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			if m.Value, err = d.Int(); err != nil {
+				return nil, err
+			}
+			if m.Anonymous, err = d.Bool(); err != nil {
+				return nil, err
+			}
+			if m.Sig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagPurchaseResponse, "core.PurchaseResponse", PurchaseResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(PurchaseResponse)
+			return m.Coin.AppendWire(dst), nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			c, err := coin.DecodeWireCoin(d)
+			if err != nil {
+				return nil, err
+			}
+			return PurchaseResponse{Coin: c}, nil
+		})
+	wire.Register(tagBatchPurchaseRequest, "core.BatchPurchaseRequest", BatchPurchaseRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(BatchPurchaseRequest)
+			dst = wire.AppendString(dst, m.Buyer)
+			dst = appendKeys(dst, m.CoinPubs)
+			dst = wire.AppendInt(dst, m.Value)
+			dst = wire.AppendBytes(dst, m.Sig)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m BatchPurchaseRequest
+			var err error
+			if m.Buyer, err = d.String(); err != nil {
+				return nil, err
+			}
+			if m.CoinPubs, err = decodeKeys(d); err != nil {
+				return nil, err
+			}
+			if m.Value, err = d.Int(); err != nil {
+				return nil, err
+			}
+			if m.Sig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagBatchPurchaseResponse, "core.BatchPurchaseResponse", BatchPurchaseResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(BatchPurchaseResponse)
+			dst = wire.AppendUvarint(dst, uint64(len(m.Coins)))
+			for i := range m.Coins {
+				dst = m.Coins[i].AppendWire(dst)
+			}
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m BatchPurchaseResponse
+			n, err := sliceCount(d, "coins")
+			if err != nil {
+				return nil, err
+			}
+			if n > 0 {
+				m.Coins = make([]coin.Coin, 0, n)
+				for i := uint64(0); i < n; i++ {
+					c, err := coin.DecodeWireCoin(d)
+					if err != nil {
+						return nil, err
+					}
+					m.Coins = append(m.Coins, c)
+				}
+			}
+			return m, nil
+		})
+	wire.Register(tagEnrollRequest, "core.EnrollRequest", EnrollRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(EnrollRequest)
+			dst = wire.AppendString(dst, m.Identity)
+			dst = wire.AppendInt(dst, int64(m.PoolSize))
+			dst = wire.AppendBytes(dst, m.Pub)
+			dst = wire.AppendBytes(dst, m.Sig)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m EnrollRequest
+			var err error
+			if m.Identity, err = d.String(); err != nil {
+				return nil, err
+			}
+			var n int64
+			if n, err = d.Int(); err != nil {
+				return nil, err
+			}
+			m.PoolSize = int(n)
+			if m.Pub, err = decodeKey(d); err != nil {
+				return nil, err
+			}
+			if m.Sig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagEnrollResponse, "core.EnrollResponse", EnrollResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(EnrollResponse)
+			dst = wire.AppendBytes(dst, m.GroupPub)
+			dst = wire.AppendUvarint(dst, uint64(len(m.Credentials)))
+			for i := range m.Credentials {
+				dst = m.Credentials[i].AppendWire(dst)
+			}
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m EnrollResponse
+			var err error
+			if m.GroupPub, err = decodeKey(d); err != nil {
+				return nil, err
+			}
+			n, err := sliceCount(d, "credentials")
+			if err != nil {
+				return nil, err
+			}
+			if n > 0 {
+				m.Credentials = make([]groupsig.IssuedCredential, 0, n)
+				for i := uint64(0); i < n; i++ {
+					ic, err := groupsig.DecodeWireIssuedCredential(d)
+					if err != nil {
+						return nil, err
+					}
+					m.Credentials = append(m.Credentials, ic)
+				}
+			}
+			return m, nil
+		})
+	wire.Register(tagRefillRequest, "core.RefillRequest", RefillRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(RefillRequest)
+			dst = wire.AppendString(dst, m.Identity)
+			dst = wire.AppendInt(dst, int64(m.N))
+			dst = wire.AppendBytes(dst, m.Nonce)
+			dst = wire.AppendBytes(dst, m.Sig)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m RefillRequest
+			var err error
+			if m.Identity, err = d.String(); err != nil {
+				return nil, err
+			}
+			var n int64
+			if n, err = d.Int(); err != nil {
+				return nil, err
+			}
+			m.N = int(n)
+			if m.Nonce, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			if m.Sig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagRefillResponse, "core.RefillResponse", RefillResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(RefillResponse)
+			dst = wire.AppendUvarint(dst, uint64(len(m.Credentials)))
+			for i := range m.Credentials {
+				dst = m.Credentials[i].AppendWire(dst)
+			}
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m RefillResponse
+			n, err := sliceCount(d, "credentials")
+			if err != nil {
+				return nil, err
+			}
+			if n > 0 {
+				m.Credentials = make([]groupsig.IssuedCredential, 0, n)
+				for i := uint64(0); i < n; i++ {
+					ic, err := groupsig.DecodeWireIssuedCredential(d)
+					if err != nil {
+						return nil, err
+					}
+					m.Credentials = append(m.Credentials, ic)
+				}
+			}
+			return m, nil
+		})
+	wire.Register(tagOfferRequest, "core.OfferRequest", OfferRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			return wire.AppendInt(dst, v.(OfferRequest).Value), nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			val, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			return OfferRequest{Value: val}, nil
+		})
+	wire.Register(tagOfferResponse, "core.OfferResponse", OfferResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(OfferResponse)
+			dst = wire.AppendBytes(dst, m.HolderPub)
+			dst = wire.AppendBytes(dst, m.Nonce)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m OfferResponse
+			var err error
+			if m.HolderPub, err = decodeKey(d); err != nil {
+				return nil, err
+			}
+			if m.Nonce, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagDeliverRequest, "core.DeliverRequest", DeliverRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(DeliverRequest)
+			dst = m.Coin.AppendWire(dst)
+			dst = m.Binding.AppendWire(dst)
+			dst = wire.AppendBytes(dst, m.ChallengeSig)
+			dst = wire.AppendBool(dst, m.Issue)
+			dst = groupsig.AppendWireSignaturePtr(dst, m.GroupSig)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m DeliverRequest
+			var err error
+			if m.Coin, err = coin.DecodeWireCoin(d); err != nil {
+				return nil, err
+			}
+			if m.Binding, err = coin.DecodeWireBinding(d); err != nil {
+				return nil, err
+			}
+			if m.ChallengeSig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			if m.Issue, err = d.Bool(); err != nil {
+				return nil, err
+			}
+			if m.GroupSig, err = groupsig.DecodeWireSignaturePtr(d); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagDeliverResponse, "core.DeliverResponse", DeliverResponse{},
+		func(dst []byte, v any) ([]byte, error) { return dst, nil },
+		func(d *wire.Decoder) (any, error) { return DeliverResponse{}, nil })
+	wire.Register(tagTransferRequest, "core.TransferRequest", TransferRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(TransferRequest)
+			dst = m.Body.AppendWire(dst)
+			dst = wire.AppendBytes(dst, m.HolderSig)
+			dst = m.GroupSig.AppendWire(dst)
+			dst = coin.AppendWireBindingPtr(dst, m.PresentedBinding)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m TransferRequest
+			var err error
+			if m.Body, err = coin.DecodeWireTransferBody(d); err != nil {
+				return nil, err
+			}
+			if m.HolderSig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			if m.GroupSig, err = groupsig.DecodeWireSignature(d); err != nil {
+				return nil, err
+			}
+			if m.PresentedBinding, err = coin.DecodeWireBindingPtr(d); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagTransferResponse, "core.TransferResponse", TransferResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(TransferResponse)
+			dst = wire.AppendBool(dst, m.OK)
+			dst = wire.AppendString(dst, m.Reason)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m TransferResponse
+			var err error
+			if m.OK, err = d.Bool(); err != nil {
+				return nil, err
+			}
+			if m.Reason, err = d.String(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagRenewRequest, "core.RenewRequest", RenewRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(RenewRequest)
+			dst = wire.AppendBytes(dst, m.CoinPub)
+			dst = wire.AppendU64(dst, m.Seq)
+			dst = wire.AppendBytes(dst, m.HolderSig)
+			dst = m.GroupSig.AppendWire(dst)
+			dst = coin.AppendWireBindingPtr(dst, m.PresentedBinding)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m RenewRequest
+			var err error
+			if m.CoinPub, err = decodeKey(d); err != nil {
+				return nil, err
+			}
+			if m.Seq, err = d.U64(); err != nil {
+				return nil, err
+			}
+			if m.HolderSig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			if m.GroupSig, err = groupsig.DecodeWireSignature(d); err != nil {
+				return nil, err
+			}
+			if m.PresentedBinding, err = coin.DecodeWireBindingPtr(d); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagRenewResponse, "core.RenewResponse", RenewResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(RenewResponse)
+			return m.Binding.AppendWire(dst), nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			b, err := coin.DecodeWireBinding(d)
+			if err != nil {
+				return nil, err
+			}
+			return RenewResponse{Binding: b}, nil
+		})
+	wire.Register(tagDepositRequest, "core.DepositRequest", DepositRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(DepositRequest)
+			dst = wire.AppendBytes(dst, m.CoinPub)
+			dst = wire.AppendString(dst, m.PayoutRef)
+			dst = wire.AppendBytes(dst, m.HolderSig)
+			dst = m.GroupSig.AppendWire(dst)
+			dst = coin.AppendWireBindingPtr(dst, m.PresentedBinding)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m DepositRequest
+			var err error
+			if m.CoinPub, err = decodeKey(d); err != nil {
+				return nil, err
+			}
+			if m.PayoutRef, err = d.String(); err != nil {
+				return nil, err
+			}
+			if m.HolderSig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			if m.GroupSig, err = groupsig.DecodeWireSignature(d); err != nil {
+				return nil, err
+			}
+			if m.PresentedBinding, err = coin.DecodeWireBindingPtr(d); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagDepositResponse, "core.DepositResponse", DepositResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			return wire.AppendInt(dst, v.(DepositResponse).Amount), nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			amt, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			return DepositResponse{Amount: amt}, nil
+		})
+	wire.Register(tagLayeredDepositRequest, "core.LayeredDepositRequest", LayeredDepositRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(LayeredDepositRequest)
+			dst = m.LC.AppendWire(dst)
+			dst = wire.AppendString(dst, m.PayoutRef)
+			dst = wire.AppendBytes(dst, m.HolderSig)
+			dst = m.GroupSig.AppendWire(dst)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m LayeredDepositRequest
+			var err error
+			if m.LC, err = layered.DecodeWireCoin(d); err != nil {
+				return nil, err
+			}
+			if m.PayoutRef, err = d.String(); err != nil {
+				return nil, err
+			}
+			if m.HolderSig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			if m.GroupSig, err = groupsig.DecodeWireSignature(d); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagSyncRequest, "core.SyncRequest", SyncRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(SyncRequest)
+			dst = wire.AppendString(dst, m.Identity)
+			dst = wire.AppendBytes(dst, m.Nonce)
+			dst = wire.AppendBytes(dst, m.Sig)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m SyncRequest
+			var err error
+			if m.Identity, err = d.String(); err != nil {
+				return nil, err
+			}
+			if m.Nonce, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			if m.Sig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagSyncResponse, "core.SyncResponse", SyncResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(SyncResponse)
+			dst = wire.AppendUvarint(dst, uint64(len(m.Bindings)))
+			for i := range m.Bindings {
+				dst = m.Bindings[i].AppendWire(dst)
+			}
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m SyncResponse
+			n, err := sliceCount(d, "bindings")
+			if err != nil {
+				return nil, err
+			}
+			if n > 0 {
+				m.Bindings = make([]coin.Binding, 0, n)
+				for i := uint64(0); i < n; i++ {
+					b, err := coin.DecodeWireBinding(d)
+					if err != nil {
+						return nil, err
+					}
+					m.Bindings = append(m.Bindings, b)
+				}
+			}
+			return m, nil
+		})
+	wire.Register(tagFraudReport, "core.FraudReport", FraudReport{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(FraudReport)
+			dst = wire.AppendBytes(dst, m.CoinPub)
+			dst = m.MyBinding.AppendWire(dst)
+			dst = m.Observed.AppendWire(dst)
+			dst = m.GroupSig.AppendWire(dst)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m FraudReport
+			var err error
+			if m.CoinPub, err = decodeKey(d); err != nil {
+				return nil, err
+			}
+			if m.MyBinding, err = coin.DecodeWireBinding(d); err != nil {
+				return nil, err
+			}
+			if m.Observed, err = coin.DecodeWireBinding(d); err != nil {
+				return nil, err
+			}
+			if m.GroupSig, err = groupsig.DecodeWireSignature(d); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagFraudResponse, "core.FraudResponse", FraudResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(FraudResponse)
+			dst = wire.AppendU64(dst, m.CaseID)
+			dst = wire.AppendString(dst, m.Verdict)
+			dst = wire.AppendString(dst, m.Punished)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m FraudResponse
+			var err error
+			if m.CaseID, err = d.U64(); err != nil {
+				return nil, err
+			}
+			if m.Verdict, err = d.String(); err != nil {
+				return nil, err
+			}
+			if m.Punished, err = d.String(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagDisputeRequest, "core.DisputeRequest", DisputeRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(DisputeRequest)
+			dst = wire.AppendBytes(dst, m.CoinPub)
+			dst = wire.AppendU64(dst, m.FromSeq)
+			dst = wire.AppendU64(dst, m.ToSeq)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m DisputeRequest
+			var err error
+			if m.CoinPub, err = decodeKey(d); err != nil {
+				return nil, err
+			}
+			if m.FromSeq, err = d.U64(); err != nil {
+				return nil, err
+			}
+			if m.ToSeq, err = d.U64(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagDisputeResponse, "core.DisputeResponse", DisputeResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(DisputeResponse)
+			dst = wire.AppendUvarint(dst, uint64(len(m.Proofs)))
+			for i := range m.Proofs {
+				dst = appendRelinquishProof(dst, &m.Proofs[i])
+			}
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m DisputeResponse
+			n, err := sliceCount(d, "proofs")
+			if err != nil {
+				return nil, err
+			}
+			if n > 0 {
+				m.Proofs = make([]RelinquishProof, 0, n)
+				for i := uint64(0); i < n; i++ {
+					p, err := decodeRelinquishProof(d)
+					if err != nil {
+						return nil, err
+					}
+					m.Proofs = append(m.Proofs, p)
+				}
+			}
+			return m, nil
+		})
+	wire.Register(tagRelinquishProof, "core.RelinquishProof", RelinquishProof{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(RelinquishProof)
+			return appendRelinquishProof(dst, &m), nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			return decodeRelinquishProof(d)
+		})
+}
+
+func appendRelinquishProof(dst []byte, p *RelinquishProof) []byte {
+	dst = wire.AppendBool(dst, p.Renewal)
+	dst = p.Body.AppendWire(dst)
+	dst = wire.AppendBytes(dst, p.HolderSig)
+	dst = wire.AppendBytes(dst, p.PrevHold)
+	return dst
+}
+
+func decodeRelinquishProof(d *wire.Decoder) (RelinquishProof, error) {
+	var p RelinquishProof
+	var err error
+	if p.Renewal, err = d.Bool(); err != nil {
+		return p, err
+	}
+	if p.Body, err = coin.DecodeWireTransferBody(d); err != nil {
+		return p, err
+	}
+	if p.HolderSig, err = d.Bytes(); err != nil {
+		return p, err
+	}
+	if p.PrevHold, err = decodeKey(d); err != nil {
+		return p, err
+	}
+	return p, nil
+}

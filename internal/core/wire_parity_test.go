@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"whopay/internal/dht"
+	"whopay/internal/indirect"
+	"whopay/internal/wire"
+)
+
+// The codec-parity suite: every message that crosses the TCP wire must
+// survive wire-encode → decode → re-encode byte-for-byte, and the decoded
+// value must match what a gob round trip of the same original produces
+// field-for-field — the two wire formats are negotiated alternatives, so a
+// semantic divergence between them (a field one format drops, a nil/empty
+// disagreement) would make a node's behavior depend on which peer built it.
+
+// wireMessages lists every protocol message (the wire subset of gobTypes).
+func wireMessages() []any {
+	return []any{
+		PurchaseRequest{}, PurchaseResponse{},
+		BatchPurchaseRequest{}, BatchPurchaseResponse{},
+		EnrollRequest{}, EnrollResponse{}, RefillRequest{}, RefillResponse{},
+		OfferRequest{}, OfferResponse{},
+		DeliverRequest{}, DeliverResponse{},
+		TransferRequest{}, TransferResponse{},
+		RenewRequest{}, RenewResponse{},
+		DepositRequest{}, DepositResponse{},
+		LayeredDepositRequest{},
+		SyncRequest{}, SyncResponse{},
+		FraudReport{}, FraudResponse{},
+		DisputeRequest{}, DisputeResponse{},
+		RelinquishProof{},
+		dht.PutMsg{}, dht.GetMsg{}, dht.GetResp{},
+		dht.FindMsg{}, dht.FindResp{},
+		dht.SubMsg{}, dht.Notify{}, dht.Ack{},
+		indirect.RegisterMsg{}, indirect.ForwardMsg{}, indirect.Ack{},
+	}
+}
+
+// TestEveryWireMessageHasCodec: the binary codec registry must cover the
+// complete message set — a message falling back to gob silently would erode
+// the transport's hot path one type at a time.
+func TestEveryWireMessageHasCodec(t *testing.T) {
+	RegisterWireTypes()
+	for _, proto := range wireMessages() {
+		if _, ok := wire.ByValue(proto); !ok {
+			t.Errorf("%T has no registered wire codec", proto)
+		}
+	}
+}
+
+// TestWireCodecParity: for each wire message, both a fully populated value
+// and the zero value must round-trip byte-stably through the binary codec
+// and decode to exactly what gob decodes.
+func TestWireCodecParity(t *testing.T) {
+	RegisterWireTypes()
+	for _, proto := range wireMessages() {
+		proto := proto
+		rt := reflect.TypeOf(proto)
+		t.Run(rt.String(), func(t *testing.T) {
+			for _, fill := range []bool{true, false} {
+				orig := reflect.New(rt)
+				if fill {
+					ctr := 0
+					fillGob(orig.Elem(), &ctr, 0)
+				}
+				v := orig.Elem().Interface()
+
+				e, ok := wire.ByValue(v)
+				if !ok {
+					t.Fatalf("no codec for %T", v)
+				}
+				first, err := e.Enc(nil, v)
+				if err != nil {
+					t.Fatalf("wire encode (fill=%v): %v", fill, err)
+				}
+				decoded, err := wire.Decode(e.Tag, first)
+				if err != nil {
+					t.Fatalf("wire decode (fill=%v): %v", fill, err)
+				}
+				second, err := e.Enc(nil, decoded)
+				if err != nil {
+					t.Fatalf("wire re-encode (fill=%v): %v", fill, err)
+				}
+				if !bytes.Equal(first, second) {
+					t.Errorf("wire encode→decode→encode not byte-identical (fill=%v): %d vs %d bytes",
+						fill, len(first), len(second))
+				}
+
+				// gob semantics: what gob hands the remote handler for the
+				// same original is the parity reference.
+				gb, err := gobEnc(orig.Interface())
+				if err != nil {
+					t.Fatalf("gob encode (fill=%v): %v", fill, err)
+				}
+				gobbed := reflect.New(rt)
+				if err := gobDec(gb, gobbed.Interface()); err != nil {
+					t.Fatalf("gob decode (fill=%v): %v", fill, err)
+				}
+				if !reflect.DeepEqual(decoded, gobbed.Elem().Interface()) {
+					t.Errorf("wire and gob decode diverge (fill=%v):\n wire %#v\n gob  %#v",
+						fill, decoded, gobbed.Elem().Interface())
+				}
+			}
+		})
+	}
+}
+
+// TestForwardMsgInnerParity pins the indirection layer's any-valued inner
+// field, which fillGob leaves nil: a registered inner type must ride its
+// own codec and still decode to the identical value.
+func TestForwardMsgInnerParity(t *testing.T) {
+	RegisterWireTypes()
+	var ctr int
+	var inner TransferRequest
+	fillGob(reflect.ValueOf(&inner).Elem(), &ctr, 0)
+	msg := indirect.ForwardMsg{Handle: []byte("h1"), Inner: inner}
+
+	e, ok := wire.ByValue(msg)
+	if !ok {
+		t.Fatal("no codec for ForwardMsg")
+	}
+	enc, err := e.Enc(nil, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := wire.Decode(e.Tag, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := decoded.(indirect.ForwardMsg)
+	if !ok {
+		t.Fatalf("decoded %T", decoded)
+	}
+	if !reflect.DeepEqual(got.Inner, inner) {
+		t.Errorf("inner message mangled:\n got  %#v\n want %#v", got.Inner, inner)
+	}
+}
+
+// FuzzWireDecodeRegistered drives arbitrary bytes through every registered
+// codec (type confusion included: the same input hits every tag). Decoders
+// must return an error or a value — never panic — and a successful decode
+// must re-encode byte-identically (no two byte strings may decode to the
+// same value without the canonical one winning).
+func FuzzWireDecodeRegistered(f *testing.F) {
+	RegisterWireTypes()
+	entries := wire.Entries()
+	// Seed with each type's canonical encoding of a filled value.
+	for _, e := range entries {
+		var ctr int
+		orig := reflect.New(e.Type)
+		fillGob(orig.Elem(), &ctr, 0)
+		if enc, err := e.Enc(nil, orig.Elem().Interface()); err == nil {
+			f.Add(enc)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, e := range entries {
+			v, err := wire.Decode(e.Tag, data)
+			if err != nil {
+				continue
+			}
+			re, err := e.Enc(nil, v)
+			if err != nil {
+				t.Fatalf("%s: decoded value failed to re-encode: %v", e.Name, err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("%s: non-canonical input decoded: %d in, %d out", e.Name, len(data), len(re))
+			}
+		}
+	})
+}

@@ -1,0 +1,84 @@
+package layered
+
+import (
+	"fmt"
+
+	"whopay/internal/coin"
+	"whopay/internal/groupsig"
+	"whopay/internal/sig"
+	"whopay/internal/wire"
+)
+
+// Fixed-layout wire codecs (internal/wire) for layered coins. The hop chain
+// is bounded on decode so a corrupt length cannot drive allocation past
+// what the input itself could justify.
+
+// AppendWire appends one layer's wire encoding to dst.
+func (l *Layer) AppendWire(dst []byte) []byte {
+	dst = wire.AppendBytes(dst, l.NextHolder)
+	dst = wire.AppendBytes(dst, l.HolderSig)
+	dst = l.GroupSig.AppendWire(dst)
+	return dst
+}
+
+// DecodeWireLayer decodes a layer written by AppendWire.
+func DecodeWireLayer(d *wire.Decoder) (Layer, error) {
+	var l Layer
+	var err error
+	var raw []byte
+	if raw, err = d.Bytes(); err != nil {
+		return l, err
+	}
+	l.NextHolder = sig.PublicKey(raw)
+	if l.HolderSig, err = d.Bytes(); err != nil {
+		return l, err
+	}
+	if l.GroupSig, err = groupsig.DecodeWireSignature(d); err != nil {
+		return l, err
+	}
+	return l, nil
+}
+
+// AppendWire appends the layered coin's wire encoding to dst.
+func (lc *Coin) AppendWire(dst []byte) []byte {
+	dst = lc.Base.AppendWire(dst)
+	dst = lc.Binding.AppendWire(dst)
+	dst = wire.AppendUvarint(dst, uint64(len(lc.Layers)))
+	for i := range lc.Layers {
+		dst = lc.Layers[i].AppendWire(dst)
+	}
+	return dst
+}
+
+// DecodeWireCoin decodes a layered coin written by AppendWire.
+func DecodeWireCoin(d *wire.Decoder) (Coin, error) {
+	var lc Coin
+	var err error
+	if lc.Base, err = coin.DecodeWireCoin(d); err != nil {
+		return lc, err
+	}
+	if lc.Binding, err = coin.DecodeWireBinding(d); err != nil {
+		return lc, err
+	}
+	n, err := d.Uvarint()
+	if err != nil {
+		return lc, err
+	}
+	// Each layer occupies several bytes at minimum; a count exceeding the
+	// remaining input is corrupt, and pre-checking it keeps the allocation
+	// proportional to real data.
+	if n > uint64(d.Len()) {
+		return lc, fmt.Errorf("%w: %d layers declared, %d bytes remain", wire.ErrMalformed, n, d.Len())
+	}
+	if n > 0 {
+		lc.Layers = make([]Layer, 0, n)
+		for i := uint64(0); i < n; i++ {
+			l, err := DecodeWireLayer(d)
+			if err != nil {
+				return lc, fmt.Errorf("layer %d: %w", i, err)
+			}
+			lc.Layers = append(lc.Layers, l)
+		}
+	}
+	return lc, nil
+}

@@ -30,6 +30,7 @@ type ConfigEcho struct {
 	Scheme      string  `json:"scheme"`
 	WAL         bool    `json:"wal"`
 	Fsync       string  `json:"fsync,omitempty"`
+	GobWire     bool    `json:"gob_wire,omitempty"`
 }
 
 // LatencyMs is the percentile summary in milliseconds, computed from
@@ -91,9 +92,16 @@ var obsExports = []struct {
 	labels map[string]string
 }{
 	{"whopay_tcpbus_calls_total", nil},
+	{"whopay_tcpbus_dials_total", nil},
 	{"whopay_tcpbus_dial_errors_total", nil},
+	{"whopay_tcpbus_reconnects_total", nil},
 	{"whopay_tcpbus_timeouts_total", nil},
 	{"whopay_tcpbus_open_conns", nil},
+	{"whopay_tcpbus_outbound_conns", nil},
+	{"whopay_tcpbus_frames_tx_total", nil},
+	{"whopay_tcpbus_frames_rx_total", nil},
+	{"whopay_tcpbus_bytes_tx_total", nil},
+	{"whopay_tcpbus_bytes_rx_total", nil},
 	{"whopay_wal_fsync_seconds", map[string]string{"entity": "broker"}},
 	{"whopay_wal_errors_total", map[string]string{"entity": "broker"}},
 }
@@ -123,6 +131,7 @@ func BuildReport(r *Run, res Result, audit Audit) Report {
 			Scheme:      w.cfg.Scheme.Name(),
 			WAL:         w.cfg.WALDir != "",
 			Fsync:       walPolicyName(w),
+			GobWire:     w.cfg.GobWire,
 		},
 		Interrupted:  res.Stopped,
 		Scheduled:    res.Scheduled,

@@ -1,0 +1,264 @@
+// Package wire implements WhoPay's hand-rolled binary wire codec: the
+// length-prefixed frame format the TCP transport speaks (see PROTOCOL.md,
+// "Wire format") and the fixed-layout encoders for the protocol's hot
+// message types.
+//
+// gob served the first six PRs well, but it pays reflection on both ends of
+// every hop and re-transmits type descriptors on every short-lived
+// connection — exactly the per-message overhead the paper's real-time
+// double-spend checks (§5) and scalability analysis (§6) require to stay
+// cheap. This package replaces it on the hot path with explicit per-type
+// encoders registered under small integer tags: varint ints, length-
+// prefixed byte strings, no reflection, and pooled encode buffers so a
+// steady-state encode allocates nothing. gob remains the negotiated
+// fallback — both for whole connections (a peer running an older build) and
+// for individual payloads whose type has no registered codec.
+//
+// Decoding is defensive by construction: every length is bounds-checked
+// against the remaining input before any allocation, so truncated, corrupt,
+// oversized, or type-confused frames error out without panicking or
+// over-allocating (fuzz_test.go holds that line).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by decoders.
+var (
+	// ErrTruncated is returned when the input ends before a declared field.
+	ErrTruncated = errors.New("wire: truncated input")
+	// ErrMalformed is returned for structurally invalid input.
+	ErrMalformed = errors.New("wire: malformed input")
+	// ErrOversized is returned for frames exceeding MaxFrameSize.
+	ErrOversized = errors.New("wire: frame exceeds size limit")
+	// ErrUnknownTag is returned when no codec is registered for a type tag.
+	ErrUnknownTag = errors.New("wire: unknown type tag")
+)
+
+// Append helpers: the encode side of the codec. All of them append to dst
+// and return the extended slice, so encoders compose without intermediate
+// allocations.
+
+// AppendUvarint appends v in unsigned varint encoding.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendInt appends v in zigzag varint encoding (small magnitudes of either
+// sign stay short).
+func AppendInt(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendU64 appends v as 8 fixed big-endian bytes (sequence numbers and
+// request IDs, where varint would leak length side-channels into framing).
+func AppendU64(dst []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, v)
+}
+
+// AppendBytes appends a uvarint length prefix followed by b.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends a uvarint length prefix followed by s.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBool appends one byte: 1 for true, 0 for false.
+func AppendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendRaw appends b with no length prefix (fixed-width fields whose
+// length both sides know, e.g. 32-byte ring keys).
+func AppendRaw(dst, b []byte) []byte { return append(dst, b...) }
+
+// Decoder consumes a fully buffered encoded value. It is a value type;
+// methods take a pointer so position advances. Every read bounds-checks
+// before touching (or allocating for) the input.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder over b. The decoder does not copy b; byte-
+// and string-valued reads copy out of it, so b may be reused once decoding
+// finishes.
+func NewDecoder(b []byte) Decoder { return Decoder{buf: b} }
+
+// Len reports how many bytes remain.
+func (d *Decoder) Len() int { return len(d.buf) - d.off }
+
+// Done verifies the input was consumed exactly: trailing bytes mean the
+// payload does not match the codec that decoded it.
+func (d *Decoder) Done() error {
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// Uvarint reads an unsigned varint. Non-minimal encodings (a value padded
+// with continuation bytes, e.g. 0x80 0x00 for zero) are rejected so every
+// value has exactly one wire form — decode→re-encode is byte-identical,
+// and an attacker cannot mint distinct byte strings for the same message.
+func (d *Decoder) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, ErrTruncated
+		}
+		return 0, fmt.Errorf("%w: uvarint overflow", ErrMalformed)
+	}
+	if n > 1 && v>>(7*(n-1)) == 0 {
+		return 0, fmt.Errorf("%w: non-minimal uvarint", ErrMalformed)
+	}
+	d.off += n
+	return v, nil
+}
+
+// Int reads a zigzag varint (minimal encoding enforced, as Uvarint).
+func (d *Decoder) Int() (int64, error) {
+	u, err := d.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+// U64 reads 8 fixed big-endian bytes.
+func (d *Decoder) U64() (uint64, error) {
+	if d.Len() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// Byte reads one byte.
+func (d *Decoder) Byte() (byte, error) {
+	if d.Len() < 1 {
+		return 0, ErrTruncated
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+// Bool reads one strict boolean byte (anything but 0/1 is malformed, so a
+// flipped bit cannot silently become "true").
+func (d *Decoder) Bool() (bool, error) {
+	b, err := d.Byte()
+	if err != nil {
+		return false, err
+	}
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: bad bool byte 0x%02x", ErrMalformed, b)
+	}
+}
+
+// Bytes reads a length-prefixed byte string into a fresh slice. A zero
+// length decodes as nil — matching gob, which omits empty slices entirely —
+// so wire and gob round trips agree field-for-field. The declared length is
+// checked against the remaining input before allocating, so a corrupt
+// prefix cannot trigger a huge allocation.
+func (d *Decoder) Bytes() ([]byte, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(d.Len()) {
+		return nil, fmt.Errorf("%w: declared %d bytes, %d remain", ErrTruncated, n, d.Len())
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += int(n)
+	return out, nil
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() (string, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.Len()) {
+		return "", fmt.Errorf("%w: declared %d bytes, %d remain", ErrTruncated, n, d.Len())
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// Fixed fills out (a fixed-width field) from the input without allocating.
+func (d *Decoder) Fixed(out []byte) error {
+	if d.Len() < len(out) {
+		return ErrTruncated
+	}
+	copy(out, d.buf[d.off:])
+	d.off += len(out)
+	return nil
+}
+
+// Encode buffer pool: Call/reply encoding runs get → append → write →
+// put, so steady-state encodes allocate nothing. Oversized buffers are
+// dropped rather than pooled, so one huge message cannot pin memory.
+
+const (
+	pooledBufCap    = 4 << 10
+	maxPooledBufCap = 1 << 20
+)
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, pooledBufCap)
+		return &b
+	},
+}
+
+// hdrPool recycles the *[]byte boxes bufPool shuttles around: without it,
+// every PutBuf would heap-allocate a fresh slice header to escape into the
+// pool, costing exactly the one allocation per encode the pool exists to
+// avoid.
+var hdrPool = sync.Pool{
+	New: func() any { return new([]byte) },
+}
+
+// GetBuf returns an empty pooled buffer.
+func GetBuf() []byte {
+	p := bufPool.Get().(*[]byte)
+	b := (*p)[:0]
+	*p = nil
+	hdrPool.Put(p)
+	return b
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBufCap {
+		return
+	}
+	p := hdrPool.Get().(*[]byte)
+	*p = b[:0]
+	bufPool.Put(p)
+}
