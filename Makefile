@@ -10,7 +10,7 @@ CHAOS_SEED ?=
 # seed (only matters once journals outgrow the exhaustive-sweep cap).
 CRASH_SEED ?=
 
-.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal bench-obs bench-wire fuzz-wire load-smoke
+.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal bench-obs bench-wire bench-deposit fuzz-wire load-smoke
 
 all: vet build test
 
@@ -46,14 +46,17 @@ crash-suite:
 		-run 'Crash|CorruptTail|GobRoundTrip|WALBatch' ./internal/core/
 	$(GO) test -race -count=1 -run 'Restart|Epoch' ./internal/dht/
 
-# Open-loop load smoke: a small steady-profile run against a live tcpbus
-# broker (wal-off), strict-gated — any protocol error outside the
-# scenario's expected set, any unclassified error, or any post-run ledger
-# audit violation (conservation, no-double-spend) fails the target. The
-# BENCH_load_steady.json artifact lands under bench-out/.
+# Open-loop load smoke: a small steady-profile run plus a micropay run
+# (channels + broker deposit batching) against a live tcpbus broker
+# (wal-off), strict-gated — any protocol error outside the scenario's
+# expected set, any unclassified error, or any post-run ledger audit
+# violation (conservation, no-double-spend) fails the target. The
+# BENCH_load_<scenario>.json artifacts land under bench-out/.
 load-smoke:
 	$(GO) run ./cmd/whopay-bench -load -scenario steady \
 		-actors 40 -rate 120/s -load-duration 20s -strict -out bench-out
+	$(GO) run ./cmd/whopay-bench -load -scenario micropay \
+		-actors 24 -rate 120/s -load-duration 15s -strict -out bench-out
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -86,6 +89,15 @@ fuzz-wire:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzParseFrame -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzReadFrame -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzWireDecodeRegistered -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/payword/ -run '^$$' -fuzz FuzzPaywordSpend -fuzztime $(FUZZ_TIME)
+
+# Deposit-batch amortization: broker deposit throughput under an
+# fsync-per-commit journal with 64 concurrent depositors, sequential
+# (batch=1) vs batched (batch=64) — one signature fan-out and one journal
+# append per group. Reference numbers live in results/deposit_bench.txt.
+bench-deposit:
+	$(GO) test ./internal/core/ -run '^$$' \
+		-bench BenchmarkDepositBatch -benchtime 1000x -count 3
 
 # Goroutine-sweep benchmarks for the sharded state store: broker purchase
 # and owner transfer throughput as client concurrency grows. Reference

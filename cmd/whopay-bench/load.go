@@ -32,6 +32,9 @@ type loadOpts struct {
 	out      string
 	strict   bool
 	dump     bool
+
+	depositBatch  int           // broker deposit-batch flush size (0: scenario default)
+	depositLinger time.Duration // deposit-batch linger (0: default)
 }
 
 // parseRate accepts "200/s" or a bare number.
@@ -134,19 +137,23 @@ func runLoadScenario(name string, rate float64, fsync wal.Policy, opts loadOpts,
 		}
 	}
 
+	wcfg := sc.WorldConfig(load.WorldConfig{
+		Actors:        opts.actors,
+		Scheme:        opts.scheme,
+		Seed:          opts.seed,
+		WALDir:        walDir,
+		Fsync:         fsync,
+		Reg:           reg,
+		GobWire:       opts.gobWire,
+		DepositBatch:  opts.depositBatch,
+		DepositLinger: opts.depositLinger,
+	})
 	fmt.Printf("==> scenario %s: %s\n", sc.Name, sc.Summary)
-	fmt.Printf("    actors=%d rate=%.0f/s ops=%d duration=%s wal=%v detection=%v faults=%v\n",
-		opts.actors, rate, opts.ops, opts.duration, opts.wal, sc.Detection, sc.Faults)
+	fmt.Printf("    actors=%d rate=%.0f/s ops=%d duration=%s wal=%v detection=%v faults=%v channels=%d deposit-batch=%d\n",
+		opts.actors, rate, opts.ops, opts.duration, opts.wal, sc.Detection, sc.Faults,
+		wcfg.Channels, wcfg.DepositBatch)
 
-	w, err := load.NewWorld(sc.WorldConfig(load.WorldConfig{
-		Actors:  opts.actors,
-		Scheme:  opts.scheme,
-		Seed:    opts.seed,
-		WALDir:  walDir,
-		Fsync:   fsync,
-		Reg:     reg,
-		GobWire: opts.gobWire,
-	}))
+	w, err := load.NewWorld(wcfg)
 	if err != nil {
 		return "", fmt.Errorf("scenario %s: %w", name, err)
 	}

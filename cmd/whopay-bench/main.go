@@ -78,6 +78,8 @@ func run() error {
 		gobWire  = flag.Bool("gob-wire", false, "load mode: force the legacy one-connection-per-call gob wire (baseline for the framed binary protocol)")
 		outDir   = flag.String("out", ".", "load mode: directory for BENCH_load_<scenario>.json artifacts")
 		strict   = flag.Bool("strict", false, "load mode: exit nonzero on unexpected protocol errors or audit violations")
+		depBatch = flag.Int("deposit-batch", 0, "load mode: broker deposit-batch flush size (0: scenario default)")
+		depLing  = flag.Duration("deposit-linger", 0, "load mode: deposit-batch linger (0: 2ms default when batching is on)")
 	)
 	flag.Parse()
 
@@ -135,6 +137,9 @@ func run() error {
 			out:      *outDir,
 			strict:   *strict,
 			dump:     *dump,
+
+			depositBatch:  *depBatch,
+			depositLinger: *depLing,
 		})
 	}
 

@@ -54,6 +54,9 @@ func run() error {
 		admin    = flag.String("admin", "", "serve the admin endpoint (/metrics, /healthz, /traces, pprof) on this address")
 		linger   = flag.Duration("linger", 0, "keep the process alive this long after the demo (for scraping the admin endpoint)")
 		gobWire  = flag.Bool("gob-wire", false, "force the legacy one-connection-per-call gob wire instead of the framed binary protocol")
+		depBatch = flag.Int("deposit-batch", 0, "enable broker deposit batching with this flush size (0: off, the sequential path)")
+		depLing  = flag.Duration("deposit-linger", 2*time.Millisecond, "how long the first deposit of a batch waits for company (with -deposit-batch)")
+		chanPays = flag.Int("channel-pays", 12, "paywords streamed in the micropayment-channel demo (0: skip the demo)")
 	)
 	flag.Parse()
 	if *numPeers < 2 {
@@ -102,13 +105,18 @@ func run() error {
 	defer judgeSrv.Close()
 	fmt.Printf("judge listening on %s\n", judgeSrv.Addr())
 
+	var depositBatch *core.DepositBatchConfig
+	if *depBatch > 0 {
+		depositBatch = &core.DepositBatchConfig{MaxBatch: *depBatch, MaxLinger: *depLing}
+	}
 	broker, err := core.NewBroker(core.BrokerConfig{
-		Network:   network,
-		Addr:      bus.Address(*host + ":0"),
-		Scheme:    scheme,
-		Directory: dir,
-		GroupPub:  judge.GroupPublicKey(),
-		Obs:       reg,
+		Network:      network,
+		Addr:         bus.Address(*host + ":0"),
+		Scheme:       scheme,
+		Directory:    dir,
+		GroupPub:     judge.GroupPublicKey(),
+		Obs:          reg,
+		DepositBatch: depositBatch,
 	})
 	if err != nil {
 		return err
@@ -222,6 +230,33 @@ func run() error {
 	}
 	fmt.Printf("%s deposited the coin; broker credited payout ref 'demo-payout' with %d\n",
 		holder.ID(), broker.Balance("demo-payout"))
+
+	if *chanPays > 0 && *numPeers >= 3 {
+		fmt.Println()
+		fmt.Println("=== micropayment channel ===")
+		payer, vendor := peers[1], peers[*numPeers-1]
+		root, err := payer.OpenChannel(vendor.BoundAddr(), core.ChannelOptions{
+			Capacity: *chanPays + 1,
+		})
+		if err != nil {
+			return fmt.Errorf("channel open: %w", err)
+		}
+		fmt.Printf("%s opened a %d-unit channel to %s (a PayWord chain under a fresh keypair)\n",
+			payer.ID(), *chanPays+1, vendor.ID())
+		for i := 0; i < *chanPays; i++ {
+			if _, err := payer.ChannelPay(root); err != nil {
+				return fmt.Errorf("channel pay %d: %w", i, err)
+			}
+		}
+		owed, _, _ := payer.ChannelBalance(root)
+		fmt.Printf("%s streamed %d paywords — hash checks only, no signatures, no broker; the vendor is owed %d\n",
+			payer.ID(), *chanPays, owed)
+		settled, err := payer.CloseChannel(root)
+		if err != nil {
+			return fmt.Errorf("channel close: %w", err)
+		}
+		fmt.Printf("channel closed: %d units settled in one WhoPay payment to %s\n", settled, vendor.ID())
+	}
 
 	fmt.Println()
 	fmt.Printf("broker ops: %s\n", opsString(broker.Ops()))

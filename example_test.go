@@ -3,6 +3,7 @@ package whopay_test
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"whopay"
 )
@@ -56,6 +57,67 @@ func Example() {
 	}
 	fmt.Println("credited:", broker.Balance("payout"))
 	// Output: credited: 1
+}
+
+// ExamplePeer_OpenChannel shows a micropayment channel (DESIGN.md §12):
+// unit payments stream as PayWord hash-chain preimages — no signatures, no
+// broker — and the accumulated window settles as a single WhoPay payment on
+// close. The broker runs with deposit batching enabled, the other half of
+// the batched-settlement pair.
+func ExamplePeer_OpenChannel() {
+	net := whopay.NewMemoryNetwork()
+	scheme := whopay.Ed25519()
+	judge, err := whopay.NewJudge(scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := whopay.NewDirectory()
+	broker, err := whopay.NewBroker(whopay.BrokerConfig{
+		Network: net, Scheme: scheme, Directory: dir, GroupPub: judge.GroupPublicKey(),
+		DepositBatch: &whopay.DepositBatchConfig{MaxBatch: 16, MaxLinger: time.Millisecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer broker.Close()
+	mk := func(id string) *whopay.Peer {
+		p, err := whopay.NewPeer(whopay.PeerConfig{
+			ID: id, Network: net, Scheme: scheme, Directory: dir,
+			BrokerAddr: broker.Addr(), BrokerPub: broker.PublicKey(), Judge: judge,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	payer := mk("payer")
+	vendor := mk("vendor")
+	defer payer.Close()
+	defer vendor.Close()
+
+	root, err := payer.OpenChannel(vendor.Addr(), whopay.ChannelOptions{Capacity: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := payer.ChannelPay(root); err != nil { // a hash check, off the hot path
+			log.Fatal(err)
+		}
+	}
+	settled, err := payer.CloseChannel(root) // one WhoPay payment for the window
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("settled:", settled)
+	for _, id := range vendor.HeldCoins() { // the settlement coin is real value
+		if err := vendor.Deposit(id, "vendor-payout"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("credited:", broker.Balance("vendor-payout"))
+	// Output:
+	// settled: 5
+	// credited: 5
 }
 
 // ExamplePeer_Pay shows policy-driven payment: the peer picks the cheapest

@@ -77,6 +77,14 @@ type BrokerConfig struct {
 	// default) keeps message counts, allocations, and error shapes
 	// byte-identical to an uninstrumented broker.
 	Obs *obs.Registry
+	// DepositBatch, when non-nil, enables the deposit-batching stage
+	// (DESIGN.md §12): incoming deposits queue briefly (bounded by
+	// MaxBatch and MaxLinger), then one signature-batch fan-out verifies
+	// the group and one atomic WAL record commits it, with per-request
+	// error demux. Nil (the default) serves every deposit individually
+	// with behavior and error shapes identical to before batching
+	// existed.
+	DepositBatch *DepositBatchConfig
 }
 
 // depositRecord remembers a redeemed coin.
@@ -132,8 +140,9 @@ type Broker struct {
 	ledger      *store.Ledger
 	frozen      *store.Durable[string, struct{}]
 
-	persist   *persistLog // nil when Persistence is not configured
-	recovered bool        // durable state was found and replayed
+	persist   *persistLog     // nil when Persistence is not configured
+	recovered bool            // durable state was found and replayed
+	batcher   *depositBatcher // nil unless cfg.DepositBatch is set
 
 	issuedValue    atomic.Int64
 	depositedValue atomic.Int64
@@ -272,6 +281,11 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 			})
 		}
 	}
+	// Start the batching stage last: its metrics registration needs the
+	// obs block above, and nothing can queue before the endpoint serves.
+	if cfg.DepositBatch != nil {
+		b.batcher = newDepositBatcher(b, *cfg.DepositBatch)
+	}
 	return b, nil
 }
 
@@ -312,6 +326,11 @@ func (b *Broker) PublicKey() sig.PublicKey { return b.keys.Public.Clone() }
 // journal.
 func (b *Broker) Close() error {
 	err := b.ep.Close()
+	// Stop the batcher after the endpoint (no new deposits arrive) and
+	// before the journal closes (queued deposits may still commit).
+	if b.batcher != nil {
+		b.batcher.stopAndWait()
+	}
 	if b.persist != nil {
 		if lerr := b.persist.log.Close(); err == nil {
 			err = lerr
@@ -408,7 +427,18 @@ func (b *Broker) dispatch(_ bus.Address, msg any) (any, error) {
 		return resp, err
 	case DepositRequest:
 		sp := b.instr.Begin("serve-deposit")
-		resp, err := b.handleDeposit(m)
+		var resp any
+		var err error
+		if b.batcher != nil {
+			resp, err = b.batcher.serve(m)
+		} else {
+			resp, err = b.handleDeposit(m)
+		}
+		b.instr.End(sp, err)
+		return resp, err
+	case BatchDepositRequest:
+		sp := b.instr.Begin("serve-deposit-batch")
+		resp, err := b.handleBatchDeposit(m)
 		b.instr.End(sp, err)
 		return resp, err
 	case LayeredDepositRequest:

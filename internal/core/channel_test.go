@@ -1,0 +1,340 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"whopay/internal/coin"
+	"whopay/internal/payword"
+)
+
+// The micropayment-channel suite (DESIGN.md §12): a payer opens a PayWord
+// chain against a vendor, streams unit payments off the WhoPay hot path, and
+// settles the accumulated window with a single purchase+issue. These tests
+// pin the window lifecycle — threshold settles, TTL expiry, chain
+// exhaustion, close idempotence — and the vendor-side safety properties:
+// exact-replay idempotence and one-coin-one-channel settlement credit.
+
+// openTestChannel builds a payer/vendor pair and opens a channel between
+// them with the given options.
+func openTestChannel(t *testing.T, opts ChannelOptions) (*fixture, *Peer, *Peer, payword.Word) {
+	t.Helper()
+	f := newFixture(t, fixtureOpts{})
+	payer := f.addPeer("chan-payer", nil)
+	vendor := f.addPeer("chan-vendor", nil)
+	root, err := payer.OpenChannel(vendor.Addr(), opts)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	return f, payer, vendor, root
+}
+
+// vendorCoinValues lists the face values of the vendor's held coins — the
+// settlement payments a channel produced.
+func vendorCoinValues(t *testing.T, vendor *Peer) []int64 {
+	t.Helper()
+	var vals []int64
+	for _, id := range vendor.HeldCoins() {
+		hc, ok := vendor.held.Get(id)
+		if !ok {
+			t.Fatalf("held coin %s vanished", id)
+		}
+		vals = append(vals, hc.c.Value)
+	}
+	return vals
+}
+
+func TestChannelPayProgression(t *testing.T) {
+	_, payer, vendor, root := openTestChannel(t, ChannelOptions{Capacity: 10})
+	for i := int64(1); i <= 3; i++ {
+		rc, err := payer.ChannelPay(root)
+		if err != nil {
+			t.Fatalf("ChannelPay %d: %v", i, err)
+		}
+		if rc.Owed != i || rc.Won {
+			t.Fatalf("receipt %d = %+v, want Owed=%d Won=false", i, rc, i)
+		}
+	}
+	owed, remaining, ok := payer.ChannelBalance(root)
+	if !ok || owed != 3 || remaining != 7 {
+		t.Fatalf("ChannelBalance = (%d, %d, %v), want (3, 7, true)", owed, remaining, ok)
+	}
+	if out, ok := vendor.VendorChannelOutstanding(root); !ok || out != 3 {
+		t.Fatalf("VendorChannelOutstanding = (%d, %v), want (3, true)", out, ok)
+	}
+	// No settlement yet: the vendor holds no WhoPay coins.
+	if n := len(vendor.HeldCoins()); n != 0 {
+		t.Fatalf("vendor holds %d coins before any settlement", n)
+	}
+	// An unknown root is not a channel.
+	if _, err := payer.ChannelPay(payword.Word{1}); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("pay on unknown root = %v, want ErrNoChannel", err)
+	}
+	if _, _, ok := payer.ChannelBalance(payword.Word{1}); ok {
+		t.Fatal("ChannelBalance reported an unknown root")
+	}
+}
+
+func TestChannelThresholdAutoSettle(t *testing.T) {
+	f, payer, vendor, root := openTestChannel(t, ChannelOptions{Capacity: 10, SettleThreshold: 3})
+	for i := 0; i < 2; i++ {
+		if _, err := payer.ChannelPay(root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc, err := payer.ChannelPay(root)
+	if err != nil {
+		t.Fatalf("threshold payment: %v", err)
+	}
+	if rc.Owed != 0 {
+		t.Fatalf("post-settle receipt owed %d, want 0", rc.Owed)
+	}
+	if out, _ := vendor.VendorChannelOutstanding(root); out != 0 {
+		t.Fatalf("vendor outstanding %d after threshold settle, want 0", out)
+	}
+	vals := vendorCoinValues(t, vendor)
+	if len(vals) != 1 || vals[0] != 3 {
+		t.Fatalf("vendor settlement coins = %v, want [3]", vals)
+	}
+	// The window stays open and keeps accruing toward the next settle.
+	if rc, err := payer.ChannelPay(root); err != nil || rc.Owed != 1 {
+		t.Fatalf("post-settle pay = (%+v, %v), want Owed=1", rc, err)
+	}
+	// The settlement coin is real WhoPay value: the vendor deposits it.
+	if err := vendor.Deposit(vendor.HeldCoins()[0], vendor.ID()); err != nil {
+		t.Fatalf("depositing settlement coin: %v", err)
+	}
+	if bal := f.broker.Balance(vendor.ID()); bal != 3 {
+		t.Fatalf("vendor balance %d after settlement deposit, want 3", bal)
+	}
+}
+
+func TestChannelSettleAndCloseIdempotent(t *testing.T) {
+	_, payer, vendor, root := openTestChannel(t, ChannelOptions{Capacity: 10})
+	for i := 0; i < 2; i++ {
+		if _, err := payer.ChannelPay(root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := payer.SettleChannel(root); err != nil || n != 2 {
+		t.Fatalf("SettleChannel = (%d, %v), want (2, nil)", n, err)
+	}
+	// A clean balance settles as a no-op, no coin purchased.
+	if n, err := payer.SettleChannel(root); err != nil || n != 0 {
+		t.Fatalf("repeat SettleChannel = (%d, %v), want (0, nil)", n, err)
+	}
+	if _, err := payer.ChannelPay(root); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := payer.CloseChannel(root); err != nil || n != 1 {
+		t.Fatalf("CloseChannel = (%d, %v), want (1, nil)", n, err)
+	}
+	// The closed channel is gone: a repeat close reports no such channel.
+	if _, err := payer.CloseChannel(root); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("repeat CloseChannel = %v, want ErrNoChannel", err)
+	}
+	if _, err := payer.ChannelPay(root); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("pay after close = %v, want ErrNoChannel", err)
+	}
+	if _, err := payer.SettleChannel(root); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("settle after close = %v, want ErrNoChannel", err)
+	}
+	vals := vendorCoinValues(t, vendor)
+	if len(vals) != 2 || vals[0]+vals[1] != 3 {
+		t.Fatalf("vendor settlement coins = %v, want two coins totaling 3", vals)
+	}
+	if out, _ := vendor.VendorChannelOutstanding(root); out != 0 {
+		t.Fatalf("vendor outstanding %d after close, want 0", out)
+	}
+}
+
+func TestChannelTTLExpiry(t *testing.T) {
+	f, payer, vendor, root := openTestChannel(t, ChannelOptions{Capacity: 10, TTL: time.Minute})
+	if _, err := payer.ChannelPay(root); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Advance(2 * time.Minute)
+	// The first payment after expiry settles the window, closes the
+	// channel, and reports the closure.
+	if _, err := payer.ChannelPay(root); !errors.Is(err, ErrChannelClosed) {
+		t.Fatalf("pay after TTL = %v, want ErrChannelClosed", err)
+	}
+	vals := vendorCoinValues(t, vendor)
+	if len(vals) != 1 || vals[0] != 1 {
+		t.Fatalf("vendor settlement coins = %v, want [1]", vals)
+	}
+	if _, err := payer.ChannelPay(root); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("pay on expired channel = %v, want ErrNoChannel", err)
+	}
+}
+
+func TestChannelCapacityExhaustion(t *testing.T) {
+	_, payer, vendor, root := openTestChannel(t, ChannelOptions{Capacity: 3})
+	for i := 0; i < 3; i++ {
+		if _, err := payer.ChannelPay(root); err != nil {
+			t.Fatalf("pay %d: %v", i, err)
+		}
+	}
+	if _, err := payer.ChannelPay(root); !errors.Is(err, ErrChannelClosed) {
+		t.Fatalf("pay past capacity = %v, want ErrChannelClosed", err)
+	}
+	vals := vendorCoinValues(t, vendor)
+	if len(vals) != 1 || vals[0] != 3 {
+		t.Fatalf("vendor settlement coins = %v, want [3]", vals)
+	}
+	// Recycle: a fresh window against the same vendor opens cleanly.
+	root2, err := payer.OpenChannel(vendor.Addr(), ChannelOptions{Capacity: 3})
+	if err != nil {
+		t.Fatalf("reopening channel: %v", err)
+	}
+	if rc, err := payer.ChannelPay(root2); err != nil || rc.Owed != 1 {
+		t.Fatalf("pay on recycled channel = (%+v, %v), want Owed=1", rc, err)
+	}
+}
+
+// TestChannelPayExactReplayIdempotent drives the vendor handler directly
+// with a byte-identical replay of the last payment — the retry a payer sends
+// after a dropped reply. The vendor must answer from its cache without
+// double-accruing.
+func TestChannelPayExactReplayIdempotent(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	vendor := f.addPeer("replay-vendor", nil)
+	keys, err := vendor.suite.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := payword.NewChain(vendor.suite, keys, string(vendor.Addr()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vendor.handleChannelOpen(ChannelOpenRequest{Commitment: chain.Commitment()}); err != nil {
+		t.Fatalf("handleChannelOpen: %v", err)
+	}
+	root := chain.Commitment().Root
+
+	pay, err := chain.Pay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := vendor.handleChannelPay(ChannelPayRequest{Payment: pay})
+	if err != nil {
+		t.Fatalf("first delivery: %v", err)
+	}
+	replay, err := vendor.handleChannelPay(ChannelPayRequest{Payment: pay})
+	if err != nil {
+		t.Fatalf("exact replay rejected: %v", err)
+	}
+	if !reflect.DeepEqual(first, replay) {
+		t.Fatalf("replay answered differently:\n first  %+v\n replay %+v", first, replay)
+	}
+	if out, _ := vendor.VendorChannelOutstanding(root); out != 1 {
+		t.Fatalf("outstanding %d after replay, want 1 (no double accrual)", out)
+	}
+	// The next genuine payment still advances normally.
+	pay2, err := chain.Pay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := vendor.handleChannelPay(ChannelPayRequest{Payment: pay2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr := resp.(ChannelPayResponse); pr.Owed != 2 {
+		t.Fatalf("owed %d after second payment, want 2", pr.Owed)
+	}
+	// A ticket on a plain payword channel is a protocol violation.
+	pay3, err := chain.Pay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := &payword.Ticket{}
+	if _, err := vendor.handleChannelPay(ChannelPayRequest{Payment: pay3, Ticket: tk}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("ticket on payword channel = %v, want ErrBadRequest", err)
+	}
+}
+
+// TestSettlementCoinPinnedToOneChannel exercises the vendor's settleRecord
+// map: a coin that settled channel A can be replayed against A (idempotent)
+// but can never credit channel B, and a never-delivered coin credits
+// nothing.
+func TestSettlementCoinPinnedToOneChannel(t *testing.T) {
+	_, payer, vendor, rootA := openTestChannel(t, ChannelOptions{Capacity: 10})
+	rootB, err := payer.OpenChannel(vendor.Addr(), ChannelOptions{Capacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := payer.ChannelPay(rootA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := payer.SettleChannel(rootA); err != nil || n != 2 {
+		t.Fatalf("SettleChannel = (%d, %v), want (2, nil)", n, err)
+	}
+	held := vendor.HeldCoins()
+	if len(held) != 1 {
+		t.Fatalf("vendor holds %d coins, want 1", len(held))
+	}
+	coinID := held[0]
+
+	// Replaying the close against the same channel is idempotent — the
+	// recorded amount, no double credit.
+	raw, err := vendor.handleChannelClose(ChannelCloseRequest{Root: rootA, CoinID: coinID})
+	if err != nil {
+		t.Fatalf("close replay: %v", err)
+	}
+	if cr := raw.(ChannelCloseResponse); cr.Settled != 2 {
+		t.Fatalf("replayed close settled %d, want 2", cr.Settled)
+	}
+	if out, _ := vendor.VendorChannelOutstanding(rootA); out != 0 {
+		t.Fatalf("outstanding %d after replayed close, want 0", out)
+	}
+
+	// The same coin presented for channel B must be rejected outright.
+	if _, err := vendor.handleChannelClose(ChannelCloseRequest{Root: rootB, CoinID: coinID}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("cross-channel coin = %v, want ErrBadRequest", err)
+	}
+	// A coin the vendor never received credits nothing.
+	if _, err := vendor.handleChannelClose(ChannelCloseRequest{Root: rootB, CoinID: coin.ID("ghost")}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("undelivered coin = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestLotteryChannelDeterministicWins(t *testing.T) {
+	// WinDivisor 1 wins every draw: each payment accrues the full prize —
+	// deterministic, so the test asserts exact balances.
+	_, payer, vendor, root := openTestChannel(t, ChannelOptions{
+		Capacity: 8, Lottery: true, WinDivisor: 1, Prize: 5,
+	})
+	for i := int64(1); i <= 3; i++ {
+		rc, err := payer.ChannelPay(root)
+		if err != nil {
+			t.Fatalf("lottery pay %d: %v", i, err)
+		}
+		if !rc.Won || rc.Owed != 5*i {
+			t.Fatalf("receipt %d = %+v, want Won=true Owed=%d", i, rc, 5*i)
+		}
+	}
+	if out, _ := vendor.VendorChannelOutstanding(root); out != 15 {
+		t.Fatalf("vendor outstanding %d, want 15", out)
+	}
+	if n, err := payer.SettleChannel(root); err != nil || n != 15 {
+		t.Fatalf("SettleChannel = (%d, %v), want (15, nil)", n, err)
+	}
+	vals := vendorCoinValues(t, vendor)
+	if len(vals) != 1 || vals[0] != 15 {
+		t.Fatalf("vendor settlement coins = %v, want [15]", vals)
+	}
+}
+
+func TestLotteryChannelNeedsTerms(t *testing.T) {
+	_, payer, vendor, _ := openTestChannel(t, ChannelOptions{Capacity: 4})
+	if _, err := payer.OpenChannel(vendor.Addr(), ChannelOptions{Lottery: true}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("lottery channel without terms = %v, want ErrBadRequest", err)
+	}
+	if _, err := payer.OpenChannel(vendor.Addr(), ChannelOptions{Lottery: true, WinDivisor: 100}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("lottery channel without prize = %v, want ErrBadRequest", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"whopay/internal/bus"
 	"whopay/internal/bus/faultbus"
 	"whopay/internal/coin"
+	"whopay/internal/payword"
 )
 
 // The chaos suite runs full coin lifecycles — purchase, issue, transfer,
@@ -96,11 +98,26 @@ type chaosWorld struct {
 	// sweep must walk coins in a seed-stable order.
 	owned       [][]coin.ID
 	ghostMinted int64
+
+	// channels tracks the micropayment channels the channel-chaos schedule
+	// opened; channelPaysOK counts payments that landed, so a vacuous
+	// schedule is detectable.
+	channels      []*chaosChannel
+	channelPaysOK int
 }
 
-func newChaosWorld(t *testing.T, seed int64, retry *bus.RetryPolicy) *chaosWorld {
+// chaosChannel is one tracked micropayment channel in the channel-chaos
+// schedule. dead marks windows the protocol closed underneath us (TTL,
+// exhaustion, or a vendor-side close we learned about through an error).
+type chaosChannel struct {
+	payer, vendor int
+	root          payword.Word
+	dead          bool
+}
+
+func newChaosWorld(t *testing.T, seed int64, retry *bus.RetryPolicy, batch *DepositBatchConfig) *chaosWorld {
 	t.Helper()
-	f := newFixture(t, fixtureOpts{detection: true, retry: retry})
+	f := newFixture(t, fixtureOpts{detection: true, retry: retry, depositBatch: batch})
 	w := &chaosWorld{
 		t:           t,
 		seed:        seed,
@@ -282,6 +299,186 @@ func (w *chaosWorld) chaosPhase() {
 	}
 }
 
+// heldAnywhere snapshots every coin currently in any peer's held wallet.
+func (w *chaosWorld) heldAnywhere() map[coin.ID]bool {
+	m := make(map[coin.ID]bool)
+	for _, p := range w.peers {
+		for _, id := range p.HeldCoins() {
+			m[id] = true
+		}
+	}
+	return m
+}
+
+// channelOp runs one payer-side channel operation under settlement-coin
+// accounting. Channel settlements purchase WhoPay coins inside the peer
+// layer, so a failed op can leave a freshly minted coin in one of three
+// places: self-held by the payer (IssueTo failed cleanly — track it so the
+// sweep redeems it), held by the vendor (the close reply was lost — the
+// vendor's own sweep redeems it), or in no wallet at all (the mint
+// confirmation was lost — a ghost, provably unredeemable).
+func (w *chaosWorld) channelOp(payer int, op func() error) {
+	before := w.f.broker.IssuedValue()
+	selfBefore := make(map[coin.ID]bool)
+	for _, id := range w.peers[payer].SelfHeldCoins() {
+		selfBefore[id] = true
+	}
+	heldBefore := w.heldAnywhere()
+	err := op()
+	delta := w.f.broker.IssuedValue() - before
+	if err == nil || delta <= 0 {
+		return
+	}
+	var newSelf []coin.ID
+	for _, id := range w.peers[payer].SelfHeldCoins() {
+		if !selfBefore[id] {
+			newSelf = append(newSelf, id)
+		}
+	}
+	if len(newSelf) > 0 {
+		// Sorted before tracking: wallet iteration order is a map's, and
+		// the sweep must walk coins in a seed-stable order.
+		sort.Slice(newSelf, func(a, b int) bool { return newSelf[a] < newSelf[b] })
+		w.owned[payer] = append(w.owned[payer], newSelf...)
+		return
+	}
+	for id := range w.heldAnywhere() {
+		if !heldBefore[id] {
+			return // delivered to the vendor; its held-coin sweep redeems it
+		}
+	}
+	w.ghostMinted += delta
+}
+
+// openChaosChannel opens a tracked channel from peer i to peer j. Opening
+// mints nothing, so a failed open is just a lost window — no accounting.
+func (w *chaosWorld) openChaosChannel(i, j int) {
+	root, err := w.peers[i].OpenChannel(w.peers[j].Addr(), ChannelOptions{
+		Capacity:        12,
+		SettleThreshold: 5,
+	})
+	if err != nil {
+		return
+	}
+	w.channels = append(w.channels, &chaosChannel{payer: i, vendor: j, root: root})
+}
+
+// channelPayOp streams one payment down a channel. A window the protocol
+// closed underneath us (TTL, exhaustion, vendor-side close) is marked dead —
+// the internal final settlement already ran, and its coin is accounted like
+// any other settlement.
+func (w *chaosWorld) channelPayOp(c *chaosChannel) {
+	w.channelOp(c.payer, func() error {
+		_, err := w.peers[c.payer].ChannelPay(c.root)
+		if err == nil {
+			w.channelPaysOK++
+			return nil
+		}
+		if errors.Is(err, ErrChannelClosed) || errors.Is(err, ErrNoChannel) {
+			c.dead = true
+			return nil
+		}
+		return err
+	})
+}
+
+// channelSettleOp settles a channel's balance mid-chaos without closing it.
+func (w *chaosWorld) channelSettleOp(c *chaosChannel) {
+	w.channelOp(c.payer, func() error {
+		_, err := w.peers[c.payer].SettleChannel(c.root)
+		if errors.Is(err, ErrChannelClosed) || errors.Is(err, ErrNoChannel) {
+			c.dead = true
+			return nil
+		}
+		return err
+	})
+}
+
+// liveChannels lists tracked channels whose payer is currently online.
+func (w *chaosWorld) liveChannels() []*chaosChannel {
+	var out []*chaosChannel
+	for _, c := range w.channels {
+		if !c.dead && !w.offline[c.payer] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// chaosChannelPhase is the channel variant of the chaos schedule: payword
+// streams and window settlements dominate, with plain coin traffic, flap
+// toggles, and downtime mixed in so channels and the base protocol stress
+// each other.
+func (w *chaosWorld) chaosChannelPhase() {
+	w.fb.SetDefaults(chaosFaults)
+	for round := 0; round < chaosRounds; round++ {
+		online := w.onlineIdx()
+		if len(online) == 0 {
+			continue
+		}
+		r := w.rng.Intn(100)
+		switch {
+		case r < 35: // channel pay
+			cs := w.liveChannels()
+			if len(cs) == 0 {
+				break
+			}
+			w.channelPayOp(cs[w.rng.Intn(len(cs))])
+		case r < 45: // mid-window settle
+			cs := w.liveChannels()
+			if len(cs) == 0 {
+				break
+			}
+			w.channelSettleOp(cs[w.rng.Intn(len(cs))])
+		case r < 55: // open a fresh window
+			if len(online) < 2 {
+				break
+			}
+			i := online[w.rng.Intn(len(online))]
+			j := online[w.rng.Intn(len(online))]
+			if i == j {
+				break
+			}
+			w.openChaosChannel(i, j)
+		case r < 65: // coin transfer alongside the channels
+			if len(online) < 2 {
+				break
+			}
+			i := online[w.rng.Intn(len(online))]
+			j := online[w.rng.Intn(len(online))]
+			if i == j {
+				break
+			}
+			w.transfer(i, j)
+		case r < 73: // purchase
+			w.purchase(online[w.rng.Intn(len(online))])
+		case r < 81: // deposit mid-chaos (through the batching stage)
+			i := online[w.rng.Intn(len(online))]
+			if id, ok := w.pickHeld(i); ok {
+				_ = w.peers[i].Deposit(id, w.peers[i].ID())
+			}
+		case r < 91: // flap toggle
+			k := w.rng.Intn(len(w.peers))
+			if w.flapped[k] {
+				w.fb.SetFlap(w.peers[k].Addr(), 0)
+				delete(w.flapped, k)
+			} else {
+				w.fb.SetFlap(w.peers[k].Addr(), 0.4)
+				w.flapped[k] = true
+			}
+		default: // downtime toggle
+			k := w.rng.Intn(len(w.peers))
+			if w.offline[k] {
+				_ = w.peers[k].GoOnline()
+				delete(w.offline, k)
+			} else if len(online) > 2 {
+				w.peers[k].GoOffline()
+				w.offline[k] = true
+			}
+		}
+	}
+}
+
 // sweepDeposit redeems one held coin after healing, pulling a missed
 // binding from the public binding list when the broker reports ours stale
 // (a downtime renewal whose confirmation and notification were both lost).
@@ -308,6 +505,21 @@ func (w *chaosWorld) recoveryPhase() {
 			_ = w.peers[i].GoOnline()
 			delete(w.offline, i)
 		}
+	}
+
+	// Close every channel before the wallet sweep: a final settlement
+	// issues its coin into the vendor's held wallet, and the held-coin
+	// snapshot below must see it. Windows the protocol already closed
+	// answer ErrNoChannel and are skipped.
+	for _, c := range w.channels {
+		c := c
+		w.channelOp(c.payer, func() error {
+			_, err := w.peers[c.payer].CloseChannel(c.root)
+			if errors.Is(err, ErrNoChannel) || errors.Is(err, ErrChannelClosed) {
+				return nil
+			}
+			return err
+		})
 	}
 
 	// Snapshot who holds what BEFORE depositing: a self-held coin that
@@ -368,7 +580,7 @@ func (w *chaosWorld) summary() chaosSummary {
 // runChaos executes one full seeded run and returns its summary.
 func runChaos(t *testing.T, seed int64, retry *bus.RetryPolicy) chaosSummary {
 	t.Helper()
-	w := newChaosWorld(t, seed, retry)
+	w := newChaosWorld(t, seed, retry, nil)
 
 	// Quiescent warm-up: seed the economy so transfers dominate early
 	// rounds. No faults are configured yet, so these cannot ghost.
@@ -491,6 +703,51 @@ func TestChaosLifecyclesWithRetries(t *testing.T) {
 	}
 	if retries == 0 {
 		t.Error("retry layer absorbed no faults across all seeds — wiring suspect")
+	}
+}
+
+// runChaosChannels executes one seeded channel-chaos run: micropayment
+// channels on the peers AND deposit batching on the broker, under the same
+// drop/duplicate/flap schedule as the base suite. The invariants are
+// identical — conservation, no accepted double spend, no honest party
+// punished — because channels must not change what the ledger can do, only
+// how often it is touched.
+func runChaosChannels(t *testing.T, seed int64) chaosSummary {
+	t.Helper()
+	w := newChaosWorld(t, seed, nil, &DepositBatchConfig{
+		MaxBatch:  8,
+		MaxLinger: time.Millisecond,
+	})
+
+	// Quiescent warm-up: seed coins and one channel per peer before any
+	// faults are configured, so the early rounds have windows to stream on.
+	for i := range w.peers {
+		w.purchase(i)
+		w.purchase(i)
+		w.openChaosChannel(i, (i+1)%chaosPeers)
+	}
+
+	w.chaosChannelPhase()
+	w.recoveryPhase()
+
+	sum := w.summary()
+	assertChaosInvariants(t, seed, w, sum)
+	if w.channelPaysOK == 0 {
+		t.Errorf("[chaos seed %d] no channel payments landed — the channel schedule was vacuous", seed)
+	}
+	t.Logf("chaos seed %d: %d channel payments landed across %d windows", seed, w.channelPaysOK, len(w.channels))
+	return sum
+}
+
+// TestChaosChannelLifecycles is the tentpole's chaos gate: channels and
+// broker-side deposit batching enabled together under message drops and
+// duplicates, full invariant check per seed.
+func TestChaosChannelLifecycles(t *testing.T) {
+	for _, c := range chaosCases(t, "TestChaosChannelLifecycles", []int64{21, 22, 23, 24}) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			runChaosChannels(t, c.seed)
+		})
 	}
 }
 

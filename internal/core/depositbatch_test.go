@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whopay/internal/coin"
+	"whopay/internal/wal"
+)
+
+// mintHeld purchases a coin and self-issues it so the peer holds it,
+// returning the id — the setup every deposit test needs.
+func mintHeld(t testing.TB, p *Peer, value int64) coin.ID {
+	t.Helper()
+	id, err := p.Purchase(value, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.IssueTo(p.Addr(), id); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestDepositBatchingOutcomes: with the batching stage on, deposits must
+// produce the sequential path's outcomes — credit once, reject the replay
+// with ErrAlreadyDeposited, and record the double-deposit fraud case.
+func TestDepositBatchingOutcomes(t *testing.T) {
+	f := newFixture(t, fixtureOpts{
+		persist:      &wal.Config{Dir: t.TempDir(), Policy: wal.FsyncAlways},
+		depositBatch: &DepositBatchConfig{MaxBatch: 8, MaxLinger: time.Millisecond},
+	})
+	alice := f.addPeer("alice", nil)
+
+	id := mintHeld(t, alice, 5)
+	first, replay := alice.DepositTwice(id, "payout:alice")
+	if first != nil {
+		t.Fatalf("first deposit through the batcher: %v", first)
+	}
+	if !errors.Is(replay, ErrAlreadyDeposited) {
+		t.Fatalf("replay error = %v, want ErrAlreadyDeposited", replay)
+	}
+	if got := f.broker.Balance("payout:alice"); got != 5 {
+		t.Fatalf("payout balance = %d, want 5", got)
+	}
+	cases := f.broker.FraudCases()
+	if len(cases) != 1 || cases[0].Kind != "double-deposit" {
+		t.Fatalf("fraud cases = %+v, want one double-deposit", cases)
+	}
+}
+
+// TestDepositBatchingConcurrentDurable: many concurrent deposits flow
+// through the batcher, every one is credited exactly once, and the batched
+// journal records survive a broker crash/recovery — replays against the
+// recovered broker still bounce.
+func TestDepositBatchingConcurrentDurable(t *testing.T) {
+	f := newFixture(t, fixtureOpts{
+		persist:      &wal.Config{Dir: t.TempDir(), Policy: wal.FsyncNever},
+		depositBatch: &DepositBatchConfig{MaxBatch: 16, MaxLinger: time.Millisecond},
+	})
+	alice := f.addPeer("alice", nil)
+
+	const n = 48
+	ids := make([]coin.ID, n)
+	for i := range ids {
+		ids[i] = mintHeld(t, alice, 1)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = alice.Deposit(ids[i], "payout:many")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("deposit %d: %v", i, err)
+		}
+	}
+	if got := f.broker.Balance("payout:many"); got != n {
+		t.Fatalf("payout balance = %d, want %d", got, n)
+	}
+
+	f.restartBroker()
+	if got := f.broker.DepositedValue(); got != n {
+		t.Fatalf("recovered deposited value = %d, want %d", got, n)
+	}
+}
+
+// TestDepositManyMixedOutcomes drives the explicit BatchDepositRequest
+// message: good deposits credit, and a within-batch duplicate of the same
+// coin is demultiplexed to its own ErrAlreadyDeposited without poisoning
+// its neighbors.
+func TestDepositManyMixedOutcomes(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	alice := f.addPeer("alice", nil)
+
+	a := mintHeld(t, alice, 2)
+	b := mintHeld(t, alice, 3)
+	outcomes, err := alice.DepositMany([]coin.ID{a, b, a}, "payout:mixed")
+	if err != nil {
+		t.Fatalf("DepositMany: %v", err)
+	}
+	if outcomes[0] != nil || outcomes[1] != nil {
+		t.Fatalf("clean entries errored: %v / %v", outcomes[0], outcomes[1])
+	}
+	if !errors.Is(outcomes[2], ErrAlreadyDeposited) {
+		t.Fatalf("duplicate entry error = %v, want ErrAlreadyDeposited", outcomes[2])
+	}
+	if got := f.broker.Balance("payout:mixed"); got != 5 {
+		t.Fatalf("payout balance = %d, want 5", got)
+	}
+	if held := alice.HeldCoins(); len(held) != 0 {
+		t.Fatalf("deposited coins still held: %v", held)
+	}
+	cases := f.broker.FraudCases()
+	if len(cases) != 1 || cases[0].Kind != "double-deposit" {
+		t.Fatalf("fraud cases = %+v, want one double-deposit", cases)
+	}
+}
+
+// TestBatchDepositEmptyRejected: an empty batch is a malformed request.
+func TestBatchDepositEmptyRejected(t *testing.T) {
+	f := newFixture(t, fixtureOpts{})
+	alice := f.addPeer("alice", nil)
+	_, err := alice.call(f.broker.Addr(), BatchDepositRequest{})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("empty batch error = %v, want ErrBadRequest", err)
+	}
+}
+
+// BenchmarkDepositBatch measures broker deposit throughput under an
+// fsync-per-commit journal with 64 concurrent depositors: batch=1 is
+// today's sequential path (nil batching config — one verify round and one
+// fsync per deposit); batch=64 flushes whole groups through one signature
+// fan-out and one journal append. The ratio is the amortization win.
+func BenchmarkDepositBatch(b *testing.B) {
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			var bc *DepositBatchConfig
+			if batch > 1 {
+				// A short linger lets a flush gather the whole worker
+				// cohort instead of whatever queued during the last fsync.
+				bc = &DepositBatchConfig{MaxBatch: batch, MaxLinger: 2 * time.Millisecond}
+			}
+			f := newFixture(b, fixtureOpts{
+				persist:      &wal.Config{Dir: b.TempDir(), Policy: wal.FsyncAlways},
+				depositBatch: bc,
+			})
+			alice := f.addPeer("alice", nil)
+			ids, err := alice.PurchaseBatch(b.N, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, id := range ids {
+				if err := alice.IssueTo(alice.Addr(), id); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			const workers = 64
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(ids) {
+							return
+						}
+						if err := alice.Deposit(ids[i], "payout:bench"); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+		})
+	}
+}

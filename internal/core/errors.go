@@ -41,6 +41,12 @@ var (
 	ErrPaymentFailed = errors.New("core: all payment methods failed")
 	// ErrDetectionOff reports a detection API used without a DHT.
 	ErrDetectionOff = errors.New("core: double-spending detection not configured")
+	// ErrNoChannel rejects channel operations naming an unknown channel
+	// root.
+	ErrNoChannel = errors.New("core: no such channel")
+	// ErrChannelClosed rejects payments on a channel already settled and
+	// torn down.
+	ErrChannelClosed = errors.New("core: channel closed")
 )
 
 // init registers wire codes for every protocol sentinel, so errors.Is keeps
@@ -65,6 +71,8 @@ func init() {
 		{"core.coin_busy", ErrCoinBusy},
 		{"core.no_coin_available", ErrNoCoinAvailable},
 		{"core.payment_failed", ErrPaymentFailed},
+		{"core.no_channel", ErrNoChannel},
+		{"core.channel_closed", ErrChannelClosed},
 	} {
 		bus.RegisterErrorCode(e.code, e.sentinel)
 	}

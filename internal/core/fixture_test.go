@@ -48,6 +48,8 @@ type fixtureOpts struct {
 	obs        *obs.Registry    // live observability registry (nil: disabled)
 	persist    *wal.Config      // broker durability (nil: in-memory broker)
 	dhtPersist *wal.Config      // DHT node durability (nil: in-memory nodes)
+
+	depositBatch *DepositBatchConfig // broker deposit batching (nil: off)
 }
 
 type fixture struct {
@@ -130,8 +132,9 @@ func newFixture(t testing.TB, opts fixtureOpts) *fixture {
 		Directory:   f.dir,
 		GroupPub:    judge.GroupPublicKey(),
 		DHTNodes:    dhtAddrs,
-		Persistence: opts.persist,
-		Obs:         opts.obs,
+		Persistence:  opts.persist,
+		Obs:          opts.obs,
+		DepositBatch: opts.depositBatch,
 	}
 	broker, err := NewBroker(f.brokerCfg)
 	if err != nil {

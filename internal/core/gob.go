@@ -22,7 +22,11 @@ func RegisterWireTypes() {
 		TransferRequest{}, TransferResponse{},
 		RenewRequest{}, RenewResponse{},
 		DepositRequest{}, DepositResponse{},
+		BatchDepositRequest{}, BatchDepositResponse{},
 		LayeredDepositRequest{},
+		ChannelOpenRequest{}, ChannelOpenResponse{},
+		ChannelPayRequest{}, ChannelPayResponse{},
+		ChannelCloseRequest{}, ChannelCloseResponse{},
 		SyncRequest{}, SyncResponse{},
 		FraudReport{}, FraudResponse{},
 		DisputeRequest{}, DisputeResponse{},

@@ -5,6 +5,7 @@ import (
 
 	"whopay/internal/coin"
 	"whopay/internal/groupsig"
+	"whopay/internal/payword"
 	"whopay/internal/sig"
 )
 
@@ -239,6 +240,80 @@ type RelinquishProof struct {
 // DisputeResponse returns the owner's audit trail for the disputed range.
 type DisputeResponse struct {
 	Proofs []RelinquishProof
+}
+
+// ChannelOpenRequest opens a micropayment channel: payer → vendor,
+// carrying a signed PayWord commitment (the paper's §7 aggregation layer).
+// The vendor then accepts per-unit payments against the hash chain with no
+// broker involvement and settles the accumulated balance into one WhoPay
+// coin when the credit window closes. Lottery switches the channel to
+// probabilistic settlement (Rivest's lottery tickets): every payment also
+// carries a ticket worth Prize units with probability 1/WinDivisor, and
+// only winning tickets accrue balance.
+type ChannelOpenRequest struct {
+	Commitment payword.Commitment
+	Lottery    bool
+	WinDivisor uint32
+	Prize      uint32
+}
+
+// ChannelOpenResponse acknowledges the channel. Nonce is the vendor's draw
+// nonce for the first lottery ticket (empty on plain channels).
+type ChannelOpenResponse struct {
+	Nonce []byte
+}
+
+// ChannelPayRequest streams one channel payment. Payment.Root identifies
+// the channel; the payword hash walk proves every unit since the last one
+// the vendor saw, so a dropped payment self-heals — the next index pays the
+// gap. Ticket rides along on lottery channels.
+type ChannelPayRequest struct {
+	Payment payword.Payment
+	Ticket  *payword.Ticket
+}
+
+// ChannelPayResponse reports the vendor's view: the balance accrued so far,
+// whether the ticket won, and the draw nonce for the next ticket.
+type ChannelPayResponse struct {
+	Owed  int64
+	Won   bool
+	Nonce []byte
+}
+
+// ChannelCloseRequest settles a channel: the payer has issued a WhoPay coin
+// (CoinID) to the vendor covering the outstanding balance and asks the
+// vendor to credit it against the channel. Final also tears the channel
+// down; otherwise the window reopens with the balance cleared.
+type ChannelCloseRequest struct {
+	Root   payword.Word
+	CoinID coin.ID
+	Final  bool
+}
+
+// ChannelCloseResponse confirms the amount settled.
+type ChannelCloseResponse struct {
+	Settled int64
+}
+
+// BatchDepositRequest redeems several coins in one request. The broker
+// verifies the whole group in one signature-batch fan-out and commits it in
+// one WAL append; each deposit still succeeds or fails alone.
+type BatchDepositRequest struct {
+	Deposits []DepositRequest
+}
+
+// BatchDepositResult is one deposit's outcome: Amount on success, or the
+// wire error code and message the same lone DepositRequest would have
+// produced.
+type BatchDepositResult struct {
+	Amount  int64
+	ErrCode string
+	ErrMsg  string
+}
+
+// BatchDepositResponse carries the per-deposit outcomes, in request order.
+type BatchDepositResponse struct {
+	Results []BatchDepositResult
 }
 
 // appendBytes appends a uvarint length prefix followed by the bytes.

@@ -433,6 +433,74 @@ func (p *Peer) deposit(id coin.ID, payoutRef string) error {
 	return nil
 }
 
+// DepositMany redeems several held coins in one broker round trip
+// (BatchDepositRequest): the broker verifies the whole group with one
+// signature-batch fan-out and commits it under one atomic journal append.
+// Outcomes come back positionally — outcomes[i] is nil when ids[i] was
+// credited, and unwraps to the broker's protocol sentinel otherwise. The
+// call-level error covers transport failure or a malformed response only.
+func (p *Peer) DepositMany(ids []coin.ID, payoutRef string) ([]error, error) {
+	sp := p.instr.Begin("deposit-batch")
+	outcomes, err := p.depositMany(ids, payoutRef)
+	p.instr.End(sp, err)
+	return outcomes, err
+}
+
+func (p *Peer) depositMany(ids []coin.ID, payoutRef string) ([]error, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	reqs := make([]DepositRequest, len(ids))
+	for i, id := range ids {
+		hc, ok := p.held.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("%w: batch entry %d", ErrUnknownCoin, i)
+		}
+		hc.mu.Lock()
+		binding := hc.binding.Clone()
+		hc.mu.Unlock()
+		msg := depositMessage(hc.c.Pub, payoutRef, binding.Seq)
+		holderSig, err := p.suite.Sign(hc.holderKeys.Private, msg)
+		if err != nil {
+			return nil, fmt.Errorf("core: signing batch deposit: %w", err)
+		}
+		gs, err := p.member.Sign(p.suite, msg)
+		if err != nil {
+			return nil, fmt.Errorf("core: group-signing batch deposit: %w", err)
+		}
+		reqs[i] = DepositRequest{
+			CoinPub:          hc.c.Pub.Clone(),
+			PayoutRef:        payoutRef,
+			HolderSig:        holderSig,
+			GroupSig:         gs,
+			PresentedBinding: binding,
+		}
+	}
+	raw, err := p.call(p.cfg.BrokerAddr, BatchDepositRequest{Deposits: reqs})
+	if err != nil {
+		return nil, fmt.Errorf("core: batch deposit: %w", err)
+	}
+	br, ok := raw.(BatchDepositResponse)
+	if !ok || len(br.Results) != len(ids) {
+		return nil, fmt.Errorf("%w: unexpected batch-deposit response %T", ErrBadRequest, raw)
+	}
+	outcomes := make([]error, len(ids))
+	for i, r := range br.Results {
+		if r.ErrCode != "" || r.ErrMsg != "" {
+			// Rebuild the remote error the way a direct call would have
+			// surfaced it, so errors.Is on protocol sentinels keeps
+			// working per entry.
+			outcomes[i] = &bus.RemoteError{Msg: r.ErrMsg, Code: r.ErrCode}
+			continue
+		}
+		p.dropHeld(ids[i])
+		p.unwatch(ids[i])
+		p.ops.Inc(OpDeposit)
+	}
+	p.maybePersistSnapshot()
+	return outcomes, nil
+}
+
 // DepositTwice deposits a held coin and then replays the identical wire
 // request — the double spend any holder can always attempt, since nothing
 // stops it from re-sending bytes it already signed. Like ForgeRebind and

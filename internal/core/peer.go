@@ -223,6 +223,13 @@ type Peer struct {
 	offers  *store.Sharded[string, *pendingOffer]
 	heldSeq atomic.Uint64 // acquisition stamps for held coins
 
+	// Micropayment channels (DESIGN.md §12), both sides keyed by chain
+	// root. settleCredits pins settlement coins to the channel they
+	// credited (close-replay idempotence, no double-credit).
+	channels      *store.Sharded[string, *payerChannel]
+	vchannels     *store.Sharded[string, *vendorChannel]
+	settleCredits *store.Sharded[coin.ID, *settleRecord]
+
 	persist   *persistLog // nil when cfg.Persistence is nil
 	recovered bool        // wallet state was replayed at startup
 
@@ -270,6 +277,10 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		owned:  store.NewSharded[coin.ID, *ownedCoin](peerShards, coinKey),
 		held:   store.NewSharded[coin.ID, *heldCoin](peerShards, coinKey),
 		offers: store.NewSharded[string, *pendingOffer](peerShards, store.StringHash[string]),
+
+		channels:      store.NewSharded[string, *payerChannel](peerShards, store.StringHash[string]),
+		vchannels:     store.NewSharded[string, *vendorChannel](peerShards, store.StringHash[string]),
+		settleCredits: store.NewSharded[coin.ID, *settleRecord](peerShards, coinKey),
 	}
 	if !cfg.DisableCryptoCache {
 		p.suite, p.cache = sig.NewCachedSuite(p.suite, sig.CacheOptions{})
@@ -387,6 +398,11 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	if cfg.Obs != nil {
 		p.instr = newInstr(cfg.Obs, cfg.ID)
 		registerOpCounts(cfg.Obs, cfg.ID, &p.ops)
+		cfg.Obs.Help("whopay_channels_open", "Open micropayment channels, by entity and side.")
+		cfg.Obs.GaugeFunc("whopay_channels_open", obs.Labels{"entity": cfg.ID, "side": "payer"},
+			func() float64 { return float64(p.openChannelCount(false)) })
+		cfg.Obs.GaugeFunc("whopay_channels_open", obs.Labels{"entity": cfg.ID, "side": "vendor"},
+			func() float64 { return float64(p.openChannelCount(true)) })
 		if cfg.Retry != nil {
 			cfg.Obs.Help("whopay_retries_total", "Transient-failure retries issued by the retry layer, by entity.")
 			cfg.Obs.CounterFunc("whopay_retries_total", obs.Labels{"entity": cfg.ID}, p.Retries)
@@ -563,6 +579,21 @@ func (p *Peer) dispatch(_ bus.Address, msg any) (any, error) {
 	case DisputeRequest:
 		sp := p.instr.Begin("serve-dispute")
 		resp, err := p.handleDispute(m)
+		p.instr.End(sp, err)
+		return resp, err
+	case ChannelOpenRequest:
+		sp := p.instr.Begin("serve-channel-open")
+		resp, err := p.handleChannelOpen(m)
+		p.instr.End(sp, err)
+		return resp, err
+	case ChannelPayRequest:
+		sp := p.instr.Begin("serve-channel-pay")
+		resp, err := p.handleChannelPay(m)
+		p.instr.End(sp, err)
+		return resp, err
+	case ChannelCloseRequest:
+		sp := p.instr.Begin("serve-channel-close")
+		resp, err := p.handleChannelClose(m)
 		p.instr.End(sp, err)
 		return resp, err
 	case dht.Notify:

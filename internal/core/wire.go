@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"whopay/internal/coin"
@@ -9,6 +10,7 @@ import (
 	"whopay/internal/groupsig"
 	"whopay/internal/indirect"
 	"whopay/internal/layered"
+	"whopay/internal/payword"
 	"whopay/internal/sig"
 	"whopay/internal/wire"
 )
@@ -44,6 +46,14 @@ const (
 	tagDisputeRequest        = 24
 	tagDisputeResponse       = 25
 	tagRelinquishProof       = 26
+	tagChannelOpenRequest    = 27
+	tagChannelOpenResponse   = 28
+	tagChannelPayRequest     = 29
+	tagChannelPayResponse    = 30
+	tagChannelCloseRequest   = 31
+	tagChannelCloseResponse  = 32
+	tagBatchDepositRequest   = 33
+	tagBatchDepositResponse  = 34
 )
 
 var wireCodecsOnce sync.Once
@@ -477,32 +487,10 @@ func registerCoreWireCodecs() {
 	wire.Register(tagDepositRequest, "core.DepositRequest", DepositRequest{},
 		func(dst []byte, v any) ([]byte, error) {
 			m := v.(DepositRequest)
-			dst = wire.AppendBytes(dst, m.CoinPub)
-			dst = wire.AppendString(dst, m.PayoutRef)
-			dst = wire.AppendBytes(dst, m.HolderSig)
-			dst = m.GroupSig.AppendWire(dst)
-			dst = coin.AppendWireBindingPtr(dst, m.PresentedBinding)
-			return dst, nil
+			return appendDepositRequest(dst, &m), nil
 		},
 		func(d *wire.Decoder) (any, error) {
-			var m DepositRequest
-			var err error
-			if m.CoinPub, err = decodeKey(d); err != nil {
-				return nil, err
-			}
-			if m.PayoutRef, err = d.String(); err != nil {
-				return nil, err
-			}
-			if m.HolderSig, err = d.Bytes(); err != nil {
-				return nil, err
-			}
-			if m.GroupSig, err = groupsig.DecodeWireSignature(d); err != nil {
-				return nil, err
-			}
-			if m.PresentedBinding, err = coin.DecodeWireBindingPtr(d); err != nil {
-				return nil, err
-			}
-			return m, nil
+			return decodeDepositRequest(d)
 		})
 	wire.Register(tagDepositResponse, "core.DepositResponse", DepositResponse{},
 		func(dst []byte, v any) ([]byte, error) {
@@ -695,6 +683,353 @@ func registerCoreWireCodecs() {
 		func(d *wire.Decoder) (any, error) {
 			return decodeRelinquishProof(d)
 		})
+	registerChannelWireCodecs()
+}
+
+// registerChannelWireCodecs installs the micropayment-channel and
+// batch-deposit codecs (tags 27–34).
+func registerChannelWireCodecs() {
+	wire.Register(tagChannelOpenRequest, "core.ChannelOpenRequest", ChannelOpenRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(ChannelOpenRequest)
+			dst = appendCommitment(dst, &m.Commitment)
+			dst = wire.AppendBool(dst, m.Lottery)
+			dst = wire.AppendUvarint(dst, uint64(m.WinDivisor))
+			dst = wire.AppendUvarint(dst, uint64(m.Prize))
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m ChannelOpenRequest
+			var err error
+			if m.Commitment, err = decodeCommitment(d); err != nil {
+				return nil, err
+			}
+			if m.Lottery, err = d.Bool(); err != nil {
+				return nil, err
+			}
+			if m.WinDivisor, err = decodeU32(d, "win divisor"); err != nil {
+				return nil, err
+			}
+			if m.Prize, err = decodeU32(d, "prize"); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagChannelOpenResponse, "core.ChannelOpenResponse", ChannelOpenResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			return wire.AppendBytes(dst, v.(ChannelOpenResponse).Nonce), nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			nonce, err := d.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			return ChannelOpenResponse{Nonce: nonce}, nil
+		})
+	wire.Register(tagChannelPayRequest, "core.ChannelPayRequest", ChannelPayRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(ChannelPayRequest)
+			dst = appendPayment(dst, &m.Payment)
+			dst = appendTicketPtr(dst, m.Ticket)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m ChannelPayRequest
+			var err error
+			if m.Payment, err = decodePayment(d); err != nil {
+				return nil, err
+			}
+			if m.Ticket, err = decodeTicketPtr(d); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagChannelPayResponse, "core.ChannelPayResponse", ChannelPayResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(ChannelPayResponse)
+			dst = wire.AppendInt(dst, m.Owed)
+			dst = wire.AppendBool(dst, m.Won)
+			dst = wire.AppendBytes(dst, m.Nonce)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m ChannelPayResponse
+			var err error
+			if m.Owed, err = d.Int(); err != nil {
+				return nil, err
+			}
+			if m.Won, err = d.Bool(); err != nil {
+				return nil, err
+			}
+			if m.Nonce, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagChannelCloseRequest, "core.ChannelCloseRequest", ChannelCloseRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(ChannelCloseRequest)
+			dst = appendWord(dst, m.Root)
+			dst = wire.AppendBytes(dst, []byte(m.CoinID))
+			dst = wire.AppendBool(dst, m.Final)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m ChannelCloseRequest
+			var err error
+			if m.Root, err = decodeWord(d); err != nil {
+				return nil, err
+			}
+			var raw []byte
+			if raw, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			m.CoinID = coin.ID(raw)
+			if m.Final, err = d.Bool(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagChannelCloseResponse, "core.ChannelCloseResponse", ChannelCloseResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			return wire.AppendInt(dst, v.(ChannelCloseResponse).Settled), nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			settled, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			return ChannelCloseResponse{Settled: settled}, nil
+		})
+	wire.Register(tagBatchDepositRequest, "core.BatchDepositRequest", BatchDepositRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(BatchDepositRequest)
+			dst = wire.AppendUvarint(dst, uint64(len(m.Deposits)))
+			for i := range m.Deposits {
+				dst = appendDepositRequest(dst, &m.Deposits[i])
+			}
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m BatchDepositRequest
+			n, err := sliceCount(d, "deposits")
+			if err != nil {
+				return nil, err
+			}
+			if n > 0 {
+				m.Deposits = make([]DepositRequest, 0, n)
+				for i := uint64(0); i < n; i++ {
+					dep, err := decodeDepositRequest(d)
+					if err != nil {
+						return nil, err
+					}
+					m.Deposits = append(m.Deposits, dep)
+				}
+			}
+			return m, nil
+		})
+	wire.Register(tagBatchDepositResponse, "core.BatchDepositResponse", BatchDepositResponse{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(BatchDepositResponse)
+			dst = wire.AppendUvarint(dst, uint64(len(m.Results)))
+			for i := range m.Results {
+				r := &m.Results[i]
+				dst = wire.AppendInt(dst, r.Amount)
+				dst = wire.AppendString(dst, r.ErrCode)
+				dst = wire.AppendString(dst, r.ErrMsg)
+			}
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m BatchDepositResponse
+			n, err := sliceCount(d, "results")
+			if err != nil {
+				return nil, err
+			}
+			if n > 0 {
+				m.Results = make([]BatchDepositResult, 0, n)
+				for i := uint64(0); i < n; i++ {
+					var r BatchDepositResult
+					if r.Amount, err = d.Int(); err != nil {
+						return nil, err
+					}
+					if r.ErrCode, err = d.String(); err != nil {
+						return nil, err
+					}
+					if r.ErrMsg, err = d.String(); err != nil {
+						return nil, err
+					}
+					m.Results = append(m.Results, r)
+				}
+			}
+			return m, nil
+		})
+}
+
+// appendWord / decodeWord handle payword's fixed 32-byte hash values.
+func appendWord(dst []byte, w payword.Word) []byte {
+	return wire.AppendBytes(dst, w[:])
+}
+
+func decodeWord(d *wire.Decoder) (payword.Word, error) {
+	var w payword.Word
+	raw, err := d.Bytes()
+	if err != nil {
+		return w, err
+	}
+	if len(raw) != len(w) {
+		return w, fmt.Errorf("%w: payword word is %d bytes, want %d", wire.ErrMalformed, len(raw), len(w))
+	}
+	copy(w[:], raw)
+	return w, nil
+}
+
+// decodeU32 reads a uvarint bounded to uint32 range.
+func decodeU32(d *wire.Decoder, what string) (uint32, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > math.MaxUint32 {
+		return 0, fmt.Errorf("%w: %s %d overflows uint32", wire.ErrMalformed, what, n)
+	}
+	return uint32(n), nil
+}
+
+func appendCommitment(dst []byte, c *payword.Commitment) []byte {
+	dst = wire.AppendString(dst, c.Vendor)
+	dst = appendWord(dst, c.Root)
+	dst = wire.AppendUvarint(dst, uint64(c.Length))
+	dst = wire.AppendBytes(dst, c.Payer)
+	dst = wire.AppendBytes(dst, c.Sig)
+	return dst
+}
+
+func decodeCommitment(d *wire.Decoder) (payword.Commitment, error) {
+	var c payword.Commitment
+	var err error
+	if c.Vendor, err = d.String(); err != nil {
+		return c, err
+	}
+	if c.Root, err = decodeWord(d); err != nil {
+		return c, err
+	}
+	if c.Length, err = decodeU32(d, "chain length"); err != nil {
+		return c, err
+	}
+	if c.Payer, err = decodeKey(d); err != nil {
+		return c, err
+	}
+	if c.Sig, err = d.Bytes(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func appendPayment(dst []byte, p *payword.Payment) []byte {
+	dst = appendWord(dst, p.Root)
+	dst = wire.AppendUvarint(dst, uint64(p.Index))
+	dst = appendWord(dst, p.W)
+	return dst
+}
+
+func decodePayment(d *wire.Decoder) (payword.Payment, error) {
+	var p payword.Payment
+	var err error
+	if p.Root, err = decodeWord(d); err != nil {
+		return p, err
+	}
+	if p.Index, err = decodeU32(d, "payment index"); err != nil {
+		return p, err
+	}
+	if p.W, err = decodeWord(d); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// appendTicketPtr / decodeTicketPtr use the same leading presence flag as
+// coin.AppendWireBindingPtr, so nil survives the round trip (gob parity).
+func appendTicketPtr(dst []byte, tk *payword.Ticket) []byte {
+	if tk == nil {
+		return wire.AppendBool(dst, false)
+	}
+	dst = wire.AppendBool(dst, true)
+	dst = wire.AppendString(dst, tk.Vendor)
+	dst = wire.AppendU64(dst, tk.Serial)
+	dst = wire.AppendUvarint(dst, uint64(tk.WinDivisor))
+	dst = wire.AppendUvarint(dst, uint64(tk.Prize))
+	dst = wire.AppendBytes(dst, tk.VendorNonce[:])
+	dst = wire.AppendBytes(dst, tk.Payer)
+	dst = wire.AppendBytes(dst, tk.Sig)
+	return dst
+}
+
+func decodeTicketPtr(d *wire.Decoder) (*payword.Ticket, error) {
+	present, err := d.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if !present {
+		return nil, nil
+	}
+	tk := &payword.Ticket{}
+	if tk.Vendor, err = d.String(); err != nil {
+		return nil, err
+	}
+	if tk.Serial, err = d.U64(); err != nil {
+		return nil, err
+	}
+	if tk.WinDivisor, err = decodeU32(d, "win divisor"); err != nil {
+		return nil, err
+	}
+	if tk.Prize, err = decodeU32(d, "prize"); err != nil {
+		return nil, err
+	}
+	var nonce payword.Word
+	if nonce, err = decodeWord(d); err != nil {
+		return nil, err
+	}
+	tk.VendorNonce = nonce
+	if tk.Payer, err = decodeKey(d); err != nil {
+		return nil, err
+	}
+	if tk.Sig, err = d.Bytes(); err != nil {
+		return nil, err
+	}
+	return tk, nil
+}
+
+// appendDepositRequest / decodeDepositRequest mirror the standalone
+// DepositRequest codec so batches nest the identical layout.
+func appendDepositRequest(dst []byte, m *DepositRequest) []byte {
+	dst = wire.AppendBytes(dst, m.CoinPub)
+	dst = wire.AppendString(dst, m.PayoutRef)
+	dst = wire.AppendBytes(dst, m.HolderSig)
+	dst = m.GroupSig.AppendWire(dst)
+	dst = coin.AppendWireBindingPtr(dst, m.PresentedBinding)
+	return dst
+}
+
+func decodeDepositRequest(d *wire.Decoder) (DepositRequest, error) {
+	var m DepositRequest
+	var err error
+	if m.CoinPub, err = decodeKey(d); err != nil {
+		return m, err
+	}
+	if m.PayoutRef, err = d.String(); err != nil {
+		return m, err
+	}
+	if m.HolderSig, err = d.Bytes(); err != nil {
+		return m, err
+	}
+	if m.GroupSig, err = groupsig.DecodeWireSignature(d); err != nil {
+		return m, err
+	}
+	if m.PresentedBinding, err = coin.DecodeWireBindingPtr(d); err != nil {
+		return m, err
+	}
+	return m, nil
 }
 
 func appendRelinquishProof(dst []byte, p *RelinquishProof) []byte {

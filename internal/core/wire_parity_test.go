@@ -28,7 +28,11 @@ func wireMessages() []any {
 		TransferRequest{}, TransferResponse{},
 		RenewRequest{}, RenewResponse{},
 		DepositRequest{}, DepositResponse{},
+		BatchDepositRequest{}, BatchDepositResponse{},
 		LayeredDepositRequest{},
+		ChannelOpenRequest{}, ChannelOpenResponse{},
+		ChannelPayRequest{}, ChannelPayResponse{},
+		ChannelCloseRequest{}, ChannelCloseResponse{},
 		SyncRequest{}, SyncResponse{},
 		FraudReport{}, FraudResponse{},
 		DisputeRequest{}, DisputeResponse{},

@@ -48,6 +48,10 @@ func (w *World) DrainAndAudit() Audit {
 		}
 	}
 
+	// Channels close first: final settlements issue their coins into
+	// vendor wallets, and the held-coin snapshot below must see them.
+	w.settleChannels()
+
 	heldByAnyone := make(map[coin.ID]bool)
 	for _, a := range w.Actors {
 		for _, id := range a.Peer.HeldCoins() {

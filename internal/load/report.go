@@ -17,20 +17,22 @@ const ReportSchema = "whopay/bench-load/v1"
 // revision and no timestamps — artifacts must be byte-comparable across
 // reruns of the same tree.
 type ConfigEcho struct {
-	Actors      int     `json:"actors"`
-	WarmCoins   int     `json:"warm_coins"`
-	HotCoins    int     `json:"hot_coins,omitempty"`
-	Detection   bool    `json:"detection"`
-	DHTNodes    int     `json:"dht_nodes,omitempty"`
-	Faults      bool    `json:"faults"`
-	Seed        int64   `json:"seed"`
-	Rate        float64 `json:"rate_ops_per_sec"`
-	Ops         int     `json:"ops,omitempty"`
-	DurationSec float64 `json:"duration_sec,omitempty"`
-	Scheme      string  `json:"scheme"`
-	WAL         bool    `json:"wal"`
-	Fsync       string  `json:"fsync,omitempty"`
-	GobWire     bool    `json:"gob_wire,omitempty"`
+	Actors       int     `json:"actors"`
+	WarmCoins    int     `json:"warm_coins"`
+	HotCoins     int     `json:"hot_coins,omitempty"`
+	Detection    bool    `json:"detection"`
+	DHTNodes     int     `json:"dht_nodes,omitempty"`
+	Faults       bool    `json:"faults"`
+	Seed         int64   `json:"seed"`
+	Rate         float64 `json:"rate_ops_per_sec"`
+	Ops          int     `json:"ops,omitempty"`
+	DurationSec  float64 `json:"duration_sec,omitempty"`
+	Scheme       string  `json:"scheme"`
+	WAL          bool    `json:"wal"`
+	Fsync        string  `json:"fsync,omitempty"`
+	GobWire      bool    `json:"gob_wire,omitempty"`
+	Channels     int     `json:"channels,omitempty"`
+	DepositBatch int     `json:"deposit_batch,omitempty"`
 }
 
 // LatencyMs is the percentile summary in milliseconds, computed from
@@ -81,7 +83,20 @@ type Report struct {
 	EventsFired []string           `json:"events_fired,omitempty"`
 	Obs         map[string]float64 `json:"obs,omitempty"`
 
+	Channels *ChannelStats `json:"channels,omitempty"`
+
 	Audit Audit `json:"audit"`
+}
+
+// ChannelStats summarizes micropay-channel activity: windows opened,
+// paywords streamed, windows recycled by chain exhaustion, and the
+// settlements that converted window balances into WhoPay coins.
+type ChannelStats struct {
+	Opened       int64 `json:"opened"`
+	Pays         int64 `json:"pays"`
+	Recycled     int64 `json:"recycled"`
+	Settlements  int64 `json:"settlements"`
+	SettledValue int64 `json:"settled_value"`
 }
 
 // obsExports is the registry slice a report carries: transport health and
@@ -104,6 +119,7 @@ var obsExports = []struct {
 	{"whopay_tcpbus_bytes_rx_total", nil},
 	{"whopay_wal_fsync_seconds", map[string]string{"entity": "broker"}},
 	{"whopay_wal_errors_total", map[string]string{"entity": "broker"}},
+	{"whopay_broker_deposit_batch_flushes", nil},
 }
 
 // BuildReport assembles the artifact for one finished (or interrupted)
@@ -118,31 +134,33 @@ func BuildReport(r *Run, res Result, audit Audit) Report {
 		Scenario: sc.Name,
 		Summary:  sc.Summary,
 		Config: ConfigEcho{
-			Actors:      w.cfg.Actors,
-			WarmCoins:   w.cfg.WarmCoins,
-			HotCoins:    w.cfg.HotCoins,
-			Detection:   w.cfg.Detection,
-			DHTNodes:    w.cfg.DHTNodes,
-			Faults:      w.cfg.Faults,
-			Seed:        rc.Seed,
-			Rate:        rc.Rate,
-			Ops:         rc.Ops,
-			DurationSec: rc.Duration.Seconds(),
-			Scheme:      w.cfg.Scheme.Name(),
-			WAL:         w.cfg.WALDir != "",
-			Fsync:       walPolicyName(w),
-			GobWire:     w.cfg.GobWire,
+			Actors:       w.cfg.Actors,
+			WarmCoins:    w.cfg.WarmCoins,
+			HotCoins:     w.cfg.HotCoins,
+			Detection:    w.cfg.Detection,
+			DHTNodes:     w.cfg.DHTNodes,
+			Faults:       w.cfg.Faults,
+			Seed:         rc.Seed,
+			Rate:         rc.Rate,
+			Ops:          rc.Ops,
+			DurationSec:  rc.Duration.Seconds(),
+			Scheme:       w.cfg.Scheme.Name(),
+			WAL:          w.cfg.WALDir != "",
+			Fsync:        walPolicyName(w),
+			GobWire:      w.cfg.GobWire,
+			Channels:     w.cfg.Channels,
+			DepositBatch: w.cfg.DepositBatch,
 		},
-		Interrupted:  res.Stopped,
-		Scheduled:    res.Scheduled,
-		Completed:    res.Completed,
-		Failed:       res.Failed,
-		SkippedOps:   res.Skipped,
-		Dropped:      res.Dropped,
-		TargetRate:   rc.Rate,
-		ElapsedSec:   res.Elapsed.Seconds(),
-		EventsFired:  r.EventsFired(),
-		Audit:        audit,
+		Interrupted: res.Stopped,
+		Scheduled:   res.Scheduled,
+		Completed:   res.Completed,
+		Failed:      res.Failed,
+		SkippedOps:  res.Skipped,
+		Dropped:     res.Dropped,
+		TargetRate:  rc.Rate,
+		ElapsedSec:  res.Elapsed.Seconds(),
+		EventsFired: r.EventsFired(),
+		Audit:       audit,
 	}
 	if res.Elapsed > 0 {
 		rep.AchievedRate = float64(res.Completed) / res.Elapsed.Seconds()
@@ -172,6 +190,23 @@ func BuildReport(r *Run, res Result, audit Audit) Report {
 	for _, exp := range obsExports {
 		if v, ok := w.Reg.Value(exp.name, exp.labels); ok {
 			rep.Obs[exp.name] = v
+		}
+	}
+	// Deposit-batch occupancy: the histogram rides the duration API with
+	// occupancy n recorded as n seconds, so Sum() is total deposits
+	// flushed and Sum/Count is the mean batch size — the amortization
+	// actually achieved under this load.
+	if h := w.Reg.Histogram("whopay_broker_deposit_batch_occupancy", nil, nil); h.Count() > 0 {
+		rep.Obs["whopay_broker_deposit_batch_deposits"] = h.Sum()
+		rep.Obs["whopay_broker_deposit_batch_occupancy_mean"] = h.Sum() / float64(h.Count())
+	}
+	if opened := w.channelsOpened.Load(); opened > 0 {
+		rep.Channels = &ChannelStats{
+			Opened:       opened,
+			Pays:         w.channelPays.Load(),
+			Recycled:     w.channelRecycled.Load(),
+			Settlements:  w.channelSettles.Load(),
+			SettledValue: w.channelSettled.Load(),
 		}
 	}
 	return rep

@@ -31,11 +31,13 @@ type Scenario struct {
 	Name    string
 	Summary string
 
-	Detection bool
-	DHTNodes  int
-	WarmCoins int
-	HotCoins  int
-	Faults    bool
+	Detection    bool
+	DHTNodes     int
+	WarmCoins    int
+	HotCoins     int
+	Channels     int
+	DepositBatch int
+	Faults       bool
 
 	Mix                []WeightedOp
 	Events             []Event
@@ -76,6 +78,10 @@ func (s *Scenario) WorldConfig(base WorldConfig) WorldConfig {
 	base.DHTNodes = s.DHTNodes
 	base.WarmCoins = s.WarmCoins
 	base.HotCoins = s.HotCoins
+	base.Channels = s.Channels
+	if base.DepositBatch == 0 {
+		base.DepositBatch = s.DepositBatch // a CLI override wins
+	}
 	base.Faults = s.Faults
 	return base
 }
@@ -160,6 +166,22 @@ func Scenarios() []*Scenario {
 				{Name: "mint", Weight: 20, Do: (*World).OpMint},
 			},
 			ExpectedRejections: contentionRejections,
+		},
+		{
+			Name: "micropay",
+			Summary: "micropayment channels — paywords on the hot path, windows settled in " +
+				"single WhoPay payments, broker deposits batched",
+			WarmCoins:    2,
+			Channels:     8,
+			DepositBatch: 16,
+			Mix: []WeightedOp{
+				{Name: "channel-pay", Weight: 70, Do: (*World).OpChannelPay},
+				{Name: "channel-settle", Weight: 8, Do: (*World).OpChannelSettle},
+				{Name: "deposit", Weight: 10, Do: (*World).OpDeposit},
+				{Name: "transfer", Weight: 7, Do: (*World).OpTransfer},
+				{Name: "mint", Weight: 5, Do: (*World).OpMint},
+			},
+			ExpectedRejections: append([]string{"core.no_channel", "core.channel_closed"}, contentionRejections...),
 		},
 		{
 			Name:      "partition",

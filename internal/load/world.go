@@ -50,6 +50,16 @@ type WorldConfig struct {
 	Detection bool
 	// DHTNodes sizes the cluster when Detection is on (default 3).
 	DHTNodes int
+	// Channels is the micropay channel-pool size: the warmup opens this
+	// many payer→vendor channels and the channel verbs keep the pool
+	// stocked as windows exhaust and recycle (0: no channels).
+	Channels int
+	// DepositBatch enables the broker's deposit-batching stage with this
+	// flush size (0: off — every deposit takes the sequential path).
+	DepositBatch int
+	// DepositLinger bounds how long the first deposit of a batch waits
+	// for company (default 2ms when DepositBatch is on).
+	DepositLinger time.Duration
 	// WALDir, when non-empty, journals the broker (the serialization hot
 	// spot durability actually taxes) under this directory.
 	WALDir string
@@ -158,7 +168,8 @@ type World struct {
 
 	// minted is the value actors observed entering circulation; the gap
 	// to Broker.IssuedValue() is ghost value (a purchase response lost
-	// in flight). All load coins have value 1.
+	// in flight). Mix coins all have value 1; channel-settlement coins
+	// carry a whole window balance and are observed at settlement.
 	minted atomic.Int64
 	// parked counts coins pulled from circulation after ambiguous
 	// failures, redeemed only by the drain.
@@ -170,6 +181,19 @@ type World struct {
 
 	hotMu sync.Mutex
 	hot   []*hotCoin
+
+	// Micropay channel pool (see channels.go): chans is the ready stack
+	// verbs check channels out of (coin-style exclusivity), allChans
+	// remembers every channel the run opened so the drain can close them.
+	chanMu   sync.Mutex
+	chans    []*loadChannel
+	allChans []*loadChannel
+
+	channelsOpened  atomic.Int64
+	channelPays     atomic.Int64
+	channelRecycled atomic.Int64
+	channelSettles  atomic.Int64
+	channelSettled  atomic.Int64 // value settled into WhoPay coins
 }
 
 // addr names an endpoint: a real bind request over TCP (ephemeral port),
@@ -267,15 +291,24 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 			Entity: "broker",
 		}
 	}
+	var depositBatch *core.DepositBatchConfig
+	if cfg.DepositBatch > 0 {
+		linger := cfg.DepositLinger
+		if linger <= 0 {
+			linger = 2 * time.Millisecond
+		}
+		depositBatch = &core.DepositBatchConfig{MaxBatch: cfg.DepositBatch, MaxLinger: linger}
+	}
 	w.Broker, err = core.NewBroker(core.BrokerConfig{
-		Network:     w.Net,
-		Addr:        w.addr("broker"),
-		Scheme:      cfg.Scheme,
-		Directory:   w.Dir,
-		GroupPub:    judge.GroupPublicKey(),
-		DHTNodes:    dhtAddrs,
-		Persistence: brokerWAL,
-		Obs:         cfg.Reg,
+		Network:      w.Net,
+		Addr:         w.addr("broker"),
+		Scheme:       cfg.Scheme,
+		Directory:    w.Dir,
+		GroupPub:     judge.GroupPublicKey(),
+		DHTNodes:     dhtAddrs,
+		Persistence:  brokerWAL,
+		Obs:          cfg.Reg,
+		DepositBatch: depositBatch,
 	})
 	if err != nil {
 		w.Close()
@@ -364,6 +397,13 @@ func (w *World) warmup() error {
 			return fmt.Errorf("load: hot issue: %w", err)
 		}
 		w.hot = append(w.hot, &hotCoin{id: id, holder: holder.Idx})
+	}
+	for k := 0; k < w.cfg.Channels; k++ {
+		payer := w.Actors[k%n]
+		vendor := w.Actors[(k+1)%n]
+		if _, err := w.openChannelBetween(payer, vendor); err != nil {
+			return fmt.Errorf("load: warm channel: %w", err)
+		}
 	}
 	return nil
 }

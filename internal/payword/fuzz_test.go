@@ -1,0 +1,111 @@
+package payword
+
+import (
+	"testing"
+)
+
+// FuzzPaywordSpend drives Vendor.Receive with attacker-shaped payments — the
+// vendor-side hot path a malicious payer controls byte for byte. The chain
+// and its commitment are fixed once; each fuzz iteration spins up a fresh
+// vendor and fires two payments whose index, word, and root the fuzzer picks
+// (with an escape hatch that substitutes the chain's true word, so the
+// accept path stays reachable). Invariants:
+//
+//   - Receive never panics, whatever the payment contains.
+//   - A payment is accepted only if it is the chain's true word at an index
+//     strictly above the vendor's high-water mark — credit is impossible to
+//     forge without the preimage.
+//   - Accepted value is exact: delta == index - lastIndex, Owed() == index.
+//   - A rejected payment leaves the vendor's state untouched.
+//   - Whatever Receive accepted, the resulting settlement claim verifies
+//     offline for exactly the owed amount.
+func FuzzPaywordSpend(f *testing.F) {
+	suite, payer := testSuite()
+	const chainLen = 8
+	ch, err := NewChain(suite, payer, "v", chainLen)
+	if err != nil {
+		f.Fatal(err)
+	}
+	c := ch.Commitment()
+	real := make([]Payment, 0, chainLen)
+	for i := 0; i < chainLen; i++ {
+		p, err := ch.Pay()
+		if err != nil {
+			f.Fatal(err)
+		}
+		real = append(real, p)
+	}
+
+	// Seeds: an honest pair, a skip, a replay, a stale index, an overflow
+	// index, a forged word, and a wrong-root payment.
+	f.Add(uint32(1), true, []byte{}, uint32(2), true, []byte{}, false)
+	f.Add(uint32(3), true, []byte{}, uint32(7), true, []byte{}, false)
+	f.Add(uint32(2), true, []byte{}, uint32(2), true, []byte{}, false)
+	f.Add(uint32(5), true, []byte{}, uint32(1), true, []byte{}, false)
+	f.Add(uint32(chainLen+1), false, []byte{1, 2, 3}, uint32(0), false, []byte{}, false)
+	f.Add(uint32(1), false, []byte{0xde, 0xad, 0xbe, 0xef}, uint32(1), true, []byte{}, false)
+	f.Add(uint32(1), true, []byte{}, uint32(2), true, []byte{}, true)
+
+	f.Fuzz(func(t *testing.T, idx1 uint32, real1 bool, w1 []byte,
+		idx2 uint32, real2 bool, w2 []byte, flipRoot bool) {
+		v, err := NewVendor(suite, "v", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		build := func(idx uint32, useReal bool, wb []byte) Payment {
+			p := Payment{Root: c.Root, Index: idx}
+			if useReal && idx >= 1 && idx <= chainLen {
+				p.W = real[idx-1].W
+			} else {
+				copy(p.W[:], wb)
+			}
+			if flipRoot {
+				p.Root[0] ^= 0x01
+			}
+			return p
+		}
+		var last uint32
+		spend := func(idx uint32, useReal bool, wb []byte) {
+			p := build(idx, useReal, wb)
+			delta, err := v.Receive(p)
+			if err != nil {
+				if delta != 0 {
+					t.Fatalf("rejected payment credited delta %d", delta)
+				}
+				if v.Owed() != int(last) {
+					t.Fatalf("rejection moved the high-water mark: owed %d, want %d", v.Owed(), last)
+				}
+				return
+			}
+			// Accepted: this must be the genuine chain, the genuine word,
+			// and a strictly advancing index.
+			if flipRoot {
+				t.Fatalf("payment with a foreign root accepted at index %d", idx)
+			}
+			if idx < 1 || idx > chainLen || idx <= last {
+				t.Fatalf("accepted index %d with high-water mark %d (chain length %d)", idx, last, chainLen)
+			}
+			if p.W != real[idx-1].W {
+				t.Fatalf("accepted a forged word at index %d", idx)
+			}
+			if delta != int(idx-last) {
+				t.Fatalf("delta = %d, want %d", delta, idx-last)
+			}
+			last = idx
+			if v.Owed() != int(last) {
+				t.Fatalf("Owed() = %d, want %d", v.Owed(), last)
+			}
+		}
+		spend(idx1, real1, w1)
+		spend(idx2, real2, w2)
+
+		// Whatever was accepted must settle offline for exactly that much.
+		owed, err := VerifyClaim(suite, v.Claim())
+		if err != nil {
+			t.Fatalf("claim after fuzzed spends failed to verify: %v", err)
+		}
+		if owed != int(last) {
+			t.Fatalf("claim settles %d units, vendor accepted %d", owed, last)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package payword
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLotteryMalformedTickets(t *testing.T) {
+	suite, payer := testSuite()
+	_, stranger := testSuite()
+	var nonce [32]byte
+	nonce[0], nonce[31] = 0x5a, 0xa5
+	issue := func() *Ticket {
+		tk, err := IssueTicket(suite, payer, "vendor-1", 3, 7, 9, nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tk
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Ticket)
+		// wantBadCommitment: the mutation breaks the signature binding and
+		// must surface as ErrBadCommitment. The zero-divisor case fails its
+		// own precheck before any signature work.
+		wantBadCommitment bool
+	}{
+		{"tampered vendor", func(tk *Ticket) { tk.Vendor = "vendor-2" }, true},
+		{"tampered serial", func(tk *Ticket) { tk.Serial++ }, true},
+		{"tampered win divisor", func(tk *Ticket) { tk.WinDivisor++ }, true},
+		{"tampered prize", func(tk *Ticket) { tk.Prize = 1 << 20 }, true},
+		{"tampered nonce", func(tk *Ticket) { tk.VendorNonce[0] ^= 0xff }, true},
+		{"flipped signature byte", func(tk *Ticket) { tk.Sig[0] ^= 0x01 }, true},
+		{"truncated signature", func(tk *Ticket) { tk.Sig = tk.Sig[:len(tk.Sig)/2] }, true},
+		{"empty signature", func(tk *Ticket) { tk.Sig = nil }, true},
+		{"foreign payer key", func(tk *Ticket) { tk.Payer = stranger.Public.Clone() }, true},
+		{"zero win divisor", func(tk *Ticket) { tk.WinDivisor = 0 }, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tk := issue()
+			tc.mutate(tk)
+			won, payout, err := CheckTicket(suite, tk)
+			if err == nil {
+				t.Fatalf("malformed ticket accepted (won=%v payout=%d)", won, payout)
+			}
+			if won || payout != 0 {
+				t.Fatalf("rejected ticket still reported won=%v payout=%d", won, payout)
+			}
+			if got := errors.Is(err, ErrBadCommitment); got != tc.wantBadCommitment {
+				t.Fatalf("errors.Is(err, ErrBadCommitment) = %v, want %v (err: %v)", got, tc.wantBadCommitment, err)
+			}
+		})
+	}
+}
+
+// TestLotteryTicketUntouchedStillValid pins the table's baseline: the ticket
+// the mutations start from verifies, so a rejection really is the mutation's
+// doing.
+func TestLotteryTicketUntouchedStillValid(t *testing.T) {
+	suite, payer := testSuite()
+	var nonce [32]byte
+	tk, err := IssueTicket(suite, payer, "vendor-1", 3, 7, 9, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CheckTicket(suite, tk); err != nil {
+		t.Fatalf("baseline ticket rejected: %v", err)
+	}
+}
+
+// TestClaimWrongChainSettlement drives the settlement evidence through the
+// cross-chain confusions a dishonest vendor could try: presenting one
+// chain's high-water word against another chain's commitment, re-pointing a
+// claim at a different vendor's commitment, or stretching the index past the
+// committed length. Every variant must fail verification.
+func TestClaimWrongChainSettlement(t *testing.T) {
+	suite, payer := testSuite()
+	newSpentVendor := func(vendor string, n, spend int) (*Chain, *Vendor) {
+		t.Helper()
+		ch, err := NewChain(suite, payer, vendor, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := NewVendor(suite, vendor, ch.Commitment())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < spend; i++ {
+			p, err := ch.Pay()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := v.Receive(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ch, v
+	}
+	chA, vA := newSpentVendor("vendor-a", 8, 5)
+	_, vB := newSpentVendor("vendor-b", 8, 3)
+
+	cases := []struct {
+		name    string
+		claim   func() SettlementClaim
+		wantErr error
+	}{
+		{
+			// Vendor A's words settled against vendor B's commitment: the
+			// hash walk cannot reach B's root.
+			"foreign chain words",
+			func() SettlementClaim {
+				c := vA.Claim()
+				c.Commitment = vB.Claim().Commitment
+				return c
+			},
+			ErrBadPayword,
+		},
+		{
+			// Commitment re-dedicated to another vendor: the signature no
+			// longer covers the message.
+			"re-pointed vendor name",
+			func() SettlementClaim {
+				c := vA.Claim()
+				c.Commitment.Vendor = "vendor-b"
+				return c
+			},
+			ErrBadCommitment,
+		},
+		{
+			"index beyond chain length",
+			func() SettlementClaim {
+				c := vA.Claim()
+				c.LastIndex = chA.Commitment().Length + 1
+				return c
+			},
+			ErrBadPayword,
+		},
+		{
+			"inflated index on real words",
+			func() SettlementClaim {
+				c := vA.Claim()
+				c.LastIndex++
+				return c
+			},
+			ErrBadPayword,
+		},
+		{
+			"deflated index on real words",
+			func() SettlementClaim {
+				c := vA.Claim()
+				c.LastIndex--
+				return c
+			},
+			ErrBadPayword,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			owed, err := VerifyClaim(suite, tc.claim())
+			if err == nil {
+				t.Fatalf("wrong-chain claim verified for %d units", owed)
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if owed != 0 {
+				t.Fatalf("rejected claim still reported %d units owed", owed)
+			}
+		})
+	}
+
+	// The untampered claims both still settle — the baseline for the table.
+	if owed, err := VerifyClaim(suite, vA.Claim()); err != nil || owed != 5 {
+		t.Fatalf("vendor A claim = (%d, %v), want (5, nil)", owed, err)
+	}
+	if owed, err := VerifyClaim(suite, vB.Claim()); err != nil || owed != 3 {
+		t.Fatalf("vendor B claim = (%d, %v), want (3, nil)", owed, err)
+	}
+}

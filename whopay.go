@@ -85,7 +85,23 @@ type (
 	WALConfig = wal.Config
 	// FsyncPolicy selects when journal appends reach stable storage.
 	FsyncPolicy = wal.Policy
+	// ChannelOptions configures a micropayment channel opened with
+	// Peer.OpenChannel: capacity (PayWord chain length), auto-settle
+	// threshold, TTL, and optional lottery terms. See DESIGN.md §12.
+	ChannelOptions = core.ChannelOptions
+	// ChannelReceipt is the payer-visible outcome of one
+	// Peer.ChannelPay: the vendor-reported unsettled balance and, on
+	// lottery channels, whether this payment's ticket won.
+	ChannelReceipt = core.ChannelReceipt
+	// DepositBatchConfig enables the broker's deposit-batching stage;
+	// set it as BrokerConfig.DepositBatch (nil keeps the exact
+	// sequential deposit path). See DESIGN.md §12.
+	DepositBatchConfig = core.DepositBatchConfig
 )
+
+// DefaultChannelCapacity is the chain length used when
+// ChannelOptions.Capacity is zero.
+const DefaultChannelCapacity = core.DefaultChannelCapacity
 
 // Fsync policies for WALConfig.Policy.
 const (
