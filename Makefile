@@ -10,7 +10,7 @@ CHAOS_SEED ?=
 # seed (only matters once journals outgrow the exhaustive-sweep cap).
 CRASH_SEED ?=
 
-.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal bench-obs bench-wire bench-deposit fuzz-wire load-smoke
+.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal bench-obs bench-wire bench-deposit fuzz-wire load-smoke load-failover
 
 all: vet build test
 
@@ -26,7 +26,7 @@ test: vet build
 	$(GO) test -race ./...
 
 race:
-	$(GO) test -race ./internal/bus/... ./internal/core/... ./internal/obs/
+	$(GO) test -race ./internal/bus/... ./internal/core/... ./internal/obs/ ./internal/federation/
 
 # Fault-injection smoke: the chaos lifecycles, retry-enabled chaos, and the
 # seed-reproducibility check. WHOPAY_CHAOS_SEED is honored when CHAOS_SEED
@@ -57,6 +57,19 @@ load-smoke:
 		-actors 40 -rate 120/s -load-duration 20s -strict -out bench-out
 	$(GO) run ./cmd/whopay-bench -load -scenario micropay \
 		-actors 24 -rate 120/s -load-duration 15s -strict -out bench-out
+
+# Federated failover under load: a 2-shard × 2-replica trust root with two
+# shard leaders crashed mid-run. The strict gate plus the post-run audit
+# prove a promoted follower lost no committed state; the artifact's
+# "failover" section records time-to-recover per kill and the client
+# redirect rate. Runs twice — wal-off and fsync-per-commit journals — so
+# both BENCH_load_broker_failover[_wal].json land under bench-out/.
+load-failover:
+	$(GO) run ./cmd/whopay-bench -load -scenario broker-failover \
+		-actors 24 -rate 120/s -load-duration 15s -strict -out bench-out
+	$(GO) run ./cmd/whopay-bench -load -scenario broker-failover \
+		-actors 24 -rate 120/s -load-duration 15s -wal -fsync always \
+		-strict -out bench-out
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -152,6 +152,10 @@ func runLoadScenario(name string, rate float64, fsync wal.Policy, opts loadOpts,
 	fmt.Printf("    actors=%d rate=%.0f/s ops=%d duration=%s wal=%v detection=%v faults=%v channels=%d deposit-batch=%d\n",
 		opts.actors, rate, opts.ops, opts.duration, opts.wal, sc.Detection, sc.Faults,
 		wcfg.Channels, wcfg.DepositBatch)
+	if wcfg.Shards > 1 || wcfg.Replicas > 1 {
+		fmt.Printf("    federation: shards=%d replicas=%d lease-ttl=%s\n",
+			wcfg.Shards, wcfg.Replicas, wcfg.LeaseTTL)
+	}
 
 	w, err := load.NewWorld(wcfg)
 	if err != nil {
@@ -219,6 +223,10 @@ func printLoadSummary(rep load.Report, path string) {
 		rep.Errors.Timeouts, rep.Errors.Transport, rep.Errors.Protocol, rep.Errors.ProtocolUnexpected, rep.Errors.Other)
 	if len(rep.EventsFired) > 0 {
 		fmt.Printf("    events fired: %s\n", strings.Join(rep.EventsFired, ", "))
+	}
+	if fo := rep.Failover; fo != nil {
+		fmt.Printf("    failover: %d leaders killed, recover max %.0fms (promote mean %.1fms), %d redirects (%.3f/op)\n",
+			fo.LeadersKilled, fo.RecoverMsMax, fo.PromoteMsMean, fo.Redirects, fo.RedirectRate)
 	}
 	switch {
 	case rep.Audit.Skipped:

@@ -26,17 +26,22 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"whopay/internal/bus"
 	"whopay/internal/bus/tcpbus"
 	"whopay/internal/coin"
 	"whopay/internal/core"
+	"whopay/internal/federation"
 	"whopay/internal/obs"
 	"whopay/internal/sig"
+	"whopay/internal/wal"
 )
 
 func main() {
@@ -57,6 +62,10 @@ func run() error {
 		depBatch = flag.Int("deposit-batch", 0, "enable broker deposit batching with this flush size (0: off, the sequential path)")
 		depLing  = flag.Duration("deposit-linger", 2*time.Millisecond, "how long the first deposit of a batch waits for company (with -deposit-batch)")
 		chanPays = flag.Int("channel-pays", 12, "paywords streamed in the micropayment-channel demo (0: skip the demo)")
+		shards   = flag.Int("shards", 1, "federate the trust root over this many broker shards (coin IDs partition by hash)")
+		replicas = flag.Int("replicas", 1, "replicas per broker shard (WAL-streamed mirrors with lease failover)")
+		leaseTTL = flag.Duration("lease-ttl", 500*time.Millisecond, "federation lease TTL — the worst-case leaderless window after a leader crash")
+		fedKill  = flag.Bool("fed-kill", false, "federated demo: crash shard 0's leader after the demo, watch /healthz flip, and pay again post-failover")
 	)
 	flag.Parse()
 	if *numPeers < 2 {
@@ -109,32 +118,121 @@ func run() error {
 	if *depBatch > 0 {
 		depositBatch = &core.DepositBatchConfig{MaxBatch: *depBatch, MaxLinger: *depLing}
 	}
-	broker, err := core.NewBroker(core.BrokerConfig{
-		Network:      network,
-		Addr:         bus.Address(*host + ":0"),
-		Scheme:       scheme,
-		Directory:    dir,
-		GroupPub:     judge.GroupPublicKey(),
-		Obs:          reg,
-		DepositBatch: depositBatch,
-	})
-	if err != nil {
-		return err
-	}
-	defer broker.Close()
-	brokerAddr := broker.BoundAddr()
-	fmt.Printf("broker listening on %s\n", brokerAddr)
-	if reg != nil {
-		// Bus liveness: the broker listener is the hub every payment
-		// touches, so a bare TCP dial is a faithful "is the bus up" probe.
-		reg.RegisterHealth("bus", func() (string, error) {
-			conn, err := net.DialTimeout("tcp", string(brokerAddr), time.Second)
-			if err != nil {
-				return "", fmt.Errorf("dial broker: %w", err)
-			}
-			conn.Close()
-			return fmt.Sprintf("broker listener %s reachable", brokerAddr), nil
+
+	// The trust root: a single broker, or a federated cluster of
+	// WAL-replicated shards when -shards/-replicas federate it.
+	var (
+		broker     *core.Broker
+		fed        *federation.Cluster
+		brokerAddr bus.Address
+		brokerPub  sig.PublicKey
+		router     core.ShardRouter
+		retry      *bus.RetryPolicy
+	)
+	if *shards > 1 || *replicas > 1 {
+		federation.RegisterWireTypes()
+		fedDir, err := os.MkdirTemp("", "whopayd-fed-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(fedDir)
+		fed, err = federation.Start(federation.Config{
+			Shards:   *shards,
+			Replicas: *replicas,
+			Network:  network,
+			Broker: core.BrokerConfig{
+				Scheme:       scheme,
+				Directory:    dir,
+				GroupPub:     judge.GroupPublicKey(),
+				DepositBatch: depositBatch,
+			},
+			Wal:      wal.Config{Dir: fedDir, Policy: wal.FsyncNever},
+			LeaseTTL: *leaseTTL,
+			Obs:      reg,
+			AddrFor:  func(int, int) bus.Address { return bus.Address(*host + ":0") },
 		})
+		if err != nil {
+			return err
+		}
+		defer fed.Close()
+		for s := 0; s < fed.Shards(); s++ {
+			for r := 0; r < fed.Replicas(); r++ {
+				role := "follower"
+				if _, rep, ok := fed.LeaderBroker(s); ok && rep == r {
+					role = "leader"
+				}
+				fmt.Printf("federation shard %d replica %d (%s) listening on %s\n",
+					s, r, role, fed.Node(s, r).Addr())
+			}
+		}
+		brokerAddr, _ = fed.Leader(0)
+		brokerPub = fed.BrokerPub(0)
+		router = fed
+		// The retry budget must outlive a leaderless window so payments
+		// issued into a failover ride redirects to the promoted follower.
+		retry = &bus.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   25 * time.Millisecond,
+			MaxDelay:    2 * *leaseTTL,
+			Factor:      2,
+		}
+		if reg != nil {
+			reg.RegisterHealth("bus", func() (string, error) {
+				addr, ok := fed.Leader(0)
+				if !ok {
+					return "", fmt.Errorf("shard 0 has no leader")
+				}
+				conn, err := net.DialTimeout("tcp", string(addr), time.Second)
+				if err != nil {
+					return "", fmt.Errorf("dial shard 0 leader: %w", err)
+				}
+				conn.Close()
+				return fmt.Sprintf("shard 0 leader %s reachable", addr), nil
+			})
+		}
+	} else {
+		broker, err = core.NewBroker(core.BrokerConfig{
+			Network:      network,
+			Addr:         bus.Address(*host + ":0"),
+			Scheme:       scheme,
+			Directory:    dir,
+			GroupPub:     judge.GroupPublicKey(),
+			Obs:          reg,
+			DepositBatch: depositBatch,
+		})
+		if err != nil {
+			return err
+		}
+		defer broker.Close()
+		brokerAddr = broker.BoundAddr()
+		brokerPub = broker.PublicKey()
+		fmt.Printf("broker listening on %s\n", brokerAddr)
+		if reg != nil {
+			// Bus liveness: the broker listener is the hub every payment
+			// touches, so a bare TCP dial is a faithful "is the bus up" probe.
+			reg.RegisterHealth("bus", func() (string, error) {
+				conn, err := net.DialTimeout("tcp", string(brokerAddr), time.Second)
+				if err != nil {
+					return "", fmt.Errorf("dial broker: %w", err)
+				}
+				conn.Close()
+				return fmt.Sprintf("broker listener %s reachable", brokerAddr), nil
+			})
+		}
+	}
+	// payoutBalance reads a payout reference's credit — on its home shard
+	// under federation, on the one broker otherwise.
+	payoutBalance := func(ref string) int64 {
+		if fed == nil {
+			return broker.Balance(ref)
+		}
+		var total int64
+		for s := 0; s < fed.Shards(); s++ {
+			if b, _, ok := fed.LeaderBroker(s); ok {
+				total += b.Balance(ref)
+			}
+		}
+		return total
 	}
 
 	peers := make([]*core.Peer, *numPeers)
@@ -147,7 +245,9 @@ func run() error {
 			Scheme:     scheme,
 			Directory:  dir,
 			BrokerAddr: brokerAddr,
-			BrokerPub:  broker.PublicKey(),
+			BrokerPub:  brokerPub,
+			Router:     router,
+			Retry:      retry,
 			JudgeAddr:  judgeSrv.Addr(),
 			CredPool:   8,
 			Obs:        reg,
@@ -229,7 +329,7 @@ func run() error {
 		return fmt.Errorf("deposit: %w", err)
 	}
 	fmt.Printf("%s deposited the coin; broker credited payout ref 'demo-payout' with %d\n",
-		holder.ID(), broker.Balance("demo-payout"))
+		holder.ID(), payoutBalance("demo-payout"))
 
 	if *chanPays > 0 && *numPeers >= 3 {
 		fmt.Println()
@@ -258,8 +358,69 @@ func run() error {
 		fmt.Printf("channel closed: %d units settled in one WhoPay payment to %s\n", settled, vendor.ID())
 	}
 
+	if fed != nil && *fedKill {
+		fmt.Println()
+		fmt.Println("=== shard leader failover ===")
+		killedRep, err := fed.KillLeader(0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("crashed shard 0 leader (replica %d); the %s lease TTL must expire before a mirror can promote\n",
+			killedRep, *leaseTTL)
+		if adminSrv != nil {
+			if !awaitHealth(adminSrv.Addr(), false, 10*time.Second) {
+				return fmt.Errorf("/healthz never flipped unhealthy after the leader kill")
+			}
+			fmt.Println("/healthz flipped unhealthy: shard 0 is leaderless")
+		}
+		rep, err := fed.WaitLeader(0, 15*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shard 0 failed over to replica %d, recovered from its mirrored journal (same signing key)\n", rep)
+		if adminSrv != nil {
+			if !awaitHealth(adminSrv.Addr(), true, 15*time.Second) {
+				return fmt.Errorf("/healthz never recovered after the failover")
+			}
+			fmt.Println("/healthz healthy again: the promoted follower is serving")
+		}
+		// A full payment against the recovered shard: purchase until a coin
+		// homes on shard 0 (IDs hash-partition), then redeem it there.
+		survivor := peers[1]
+		const ref = "post-failover-payout"
+		var onShard0 coin.ID
+		for try := 0; try < 32 && onShard0 == ""; try++ {
+			cid, err := survivor.Purchase(1, false)
+			if err != nil {
+				return fmt.Errorf("post-failover purchase: %w", err)
+			}
+			if err := survivor.IssueTo(survivor.BoundAddr(), cid); err != nil {
+				return fmt.Errorf("post-failover issue: %w", err)
+			}
+			if err := survivor.Deposit(cid, ref); err != nil {
+				return fmt.Errorf("post-failover deposit: %w", err)
+			}
+			if core.ShardOfKey(string(cid), fed.Shards()) == 0 {
+				onShard0 = cid
+			}
+		}
+		if onShard0 == "" {
+			return fmt.Errorf("no purchase homed on shard 0 in 32 tries")
+		}
+		fmt.Printf("post-failover transfer complete: coin %s redeemed on the recovered shard, payout ref credited %d\n",
+			onShard0, payoutBalance(ref))
+	}
+
 	fmt.Println()
-	fmt.Printf("broker ops: %s\n", opsString(broker.Ops()))
+	if broker != nil {
+		fmt.Printf("broker ops: %s\n", opsString(broker.Ops()))
+	} else {
+		for s := 0; s < fed.Shards(); s++ {
+			if b, rep, ok := fed.LeaderBroker(s); ok {
+				fmt.Printf("shard %d ops (leader replica %d): %s\n", s, rep, opsString(b.Ops()))
+			}
+		}
+	}
 	fmt.Printf("owner ops:  %s\n", opsString(peers[0].Ops()))
 	fmt.Printf("done in %v over real TCP\n", time.Since(start).Round(time.Millisecond))
 
@@ -329,6 +490,30 @@ func printSampleTrace(tr *obs.Tracer) {
 	for _, r := range roots {
 		walk(r, 0)
 	}
+}
+
+// awaitHealth polls the admin endpoint's /healthz until its overall verdict
+// matches wantHealthy or the timeout passes. The demo uses it to show the
+// endpoint flipping unhealthy while a shard is leaderless and back once a
+// follower promotes.
+func awaitHealth(adminAddr string, wantHealthy bool, timeout time.Duration) bool {
+	want := `"healthy":false`
+	if wantHealthy {
+		want = `"healthy":true`
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + adminAddr + "/healthz")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if strings.Contains(string(body), want) {
+				return true
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return false
 }
 
 // currentHolder finds who holds the coin now.

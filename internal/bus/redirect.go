@@ -1,0 +1,102 @@
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Redirect support: a handler that cannot serve a request — it is not the
+// shard that owns the key, or not the current leader of its replica group —
+// rejects with a registered redirect sentinel and, when it knows a better
+// destination, attaches a hint address. The RetryCaller follows hints for a
+// bounded number of hops, so clients converge on the right endpoint without
+// any routing logic of their own.
+//
+// Hints must survive transports that carry errors as strings (tcpbus), so
+// the address is embedded in the error text as a trailing
+// " [redirect=<addr>]" marker and parsed back out on the calling side.
+
+const (
+	redirectOpen  = " [redirect="
+	redirectClose = "]"
+)
+
+// redirectCodes is the set of wire error codes classified as
+// retryable-with-redirect. Like the error-code registry, registration
+// happens in package inits (core registers its not-leader and wrong-shard
+// sentinels).
+var (
+	redirectMu    sync.RWMutex
+	redirectCodes = map[string]bool{}
+)
+
+// RegisterRedirectCode marks a wire error code (previously registered with
+// RegisterErrorCode) as retryable-with-redirect: a RetryCaller that sees it
+// re-issues the call, following the embedded hint address when present.
+func RegisterRedirectCode(code string) {
+	if code == "" {
+		return
+	}
+	redirectMu.Lock()
+	defer redirectMu.Unlock()
+	redirectCodes[code] = true
+}
+
+// Redirectable reports whether err carries a registered redirect code.
+func Redirectable(err error) bool {
+	code := errCode(err)
+	if code == "" {
+		return false
+	}
+	redirectMu.RLock()
+	defer redirectMu.RUnlock()
+	return redirectCodes[code]
+}
+
+// errCode extracts the wire code from err: the RemoteError's carried code
+// when it crossed a bus, otherwise the registered code of the sentinel.
+func errCode(err error) string {
+	if err == nil {
+		return ""
+	}
+	var remote *RemoteError
+	if errors.As(err, &remote) && remote.Code != "" {
+		return remote.Code
+	}
+	return ErrorCode(err)
+}
+
+// WithRedirect annotates err with a hint address. The wrapping preserves
+// errors.Is on the sentinel chain; the hint travels inside the message so
+// string-only transports keep it.
+func WithRedirect(err error, to Address) error {
+	if err == nil || to == "" {
+		return err
+	}
+	return fmt.Errorf("%w%s%s%s", err, redirectOpen, to, redirectClose)
+}
+
+// RedirectHint extracts the hint address embedded by WithRedirect, looking
+// through RemoteError wrapping. It reports false when err carries no hint.
+func RedirectHint(err error) (Address, bool) {
+	if err == nil {
+		return "", false
+	}
+	msg := err.Error()
+	var remote *RemoteError
+	if errors.As(err, &remote) {
+		msg = remote.Msg
+	}
+	i := strings.LastIndex(msg, redirectOpen)
+	if i < 0 {
+		return "", false
+	}
+	rest := msg[i+len(redirectOpen):]
+	j := strings.Index(rest, redirectClose)
+	if j <= 0 {
+		return "", false
+	}
+	return Address(rest[:j]), true
+}

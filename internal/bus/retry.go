@@ -16,6 +16,7 @@ const (
 	DefaultRetryMax      = 2 * time.Second
 	DefaultRetryFactor   = 2.0
 	DefaultRetryJitter   = 0.5
+	DefaultMaxRedirects  = 3
 )
 
 // RetryPolicy configures a RetryCaller: capped exponential backoff with
@@ -40,6 +41,12 @@ type RetryPolicy struct {
 	// Sleep is the wait primitive, injectable for tests. Defaults to
 	// time.Sleep.
 	Sleep func(time.Duration)
+	// MaxRedirects bounds how many redirect hops one Call follows when a
+	// handler rejects with a registered redirect code (RegisterRedirectCode)
+	// carrying a hint address. Hops are immediate — no backoff — and do not
+	// consume retry attempts. Default DefaultMaxRedirects; negative disables
+	// redirect following.
+	MaxRedirects int
 }
 
 // withDefaults fills zero fields.
@@ -61,6 +68,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.Sleep == nil {
 		p.Sleep = time.Sleep
+	}
+	if p.MaxRedirects == 0 {
+		p.MaxRedirects = DefaultMaxRedirects
 	}
 	return p
 }
@@ -101,8 +111,9 @@ type RetryCaller struct {
 
 	randMu sync.Mutex
 
-	attempts atomic.Int64 // calls issued, including retries
-	retries  atomic.Int64 // retries alone
+	attempts  atomic.Int64 // calls issued, including retries
+	retries   atomic.Int64 // retries alone
+	redirects atomic.Int64 // redirect hops followed
 }
 
 // NewRetryCaller wraps inner with retry-on-transient-failure semantics.
@@ -117,29 +128,50 @@ func (r *RetryCaller) Attempts() int64 { return r.attempts.Load() }
 // Retries returns how many retries have been issued.
 func (r *RetryCaller) Retries() int64 { return r.retries.Load() }
 
+// Redirects returns how many redirect hops have been followed.
+func (r *RetryCaller) Redirects() int64 { return r.redirects.Load() }
+
 // Call implements Caller: it forwards to the inner caller, retrying
 // transient transport failures under capped exponential backoff with
-// jitter. The last error is returned when every attempt fails.
+// jitter. Rejections carrying a registered redirect code are re-issued to
+// the hinted address immediately (bounded by MaxRedirects); a redirectable
+// rejection without a hint is retried with backoff like a transient failure
+// — the cluster may be mid-failover and a moment away from electing the
+// destination. The last error is returned when every attempt fails.
 func (r *RetryCaller) Call(to Address, msg any) (any, error) {
+	target := to
 	delay := r.policy.BaseDelay
+	hops := 0
 	var lastErr error
-	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
-		if attempt > 0 {
-			r.retries.Add(1)
-			r.policy.Sleep(r.jittered(delay))
-			delay = time.Duration(float64(delay) * r.policy.Factor)
-			if delay > r.policy.MaxDelay {
-				delay = r.policy.MaxDelay
-			}
-		}
+	for attempt := 0; attempt < r.policy.MaxAttempts; {
 		r.attempts.Add(1)
-		resp, err := r.inner.Call(to, msg)
+		resp, err := r.inner.Call(target, msg)
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
-		if !Transient(err) {
+		if Redirectable(err) {
+			if hint, ok := RedirectHint(err); ok && hint != target && hops < r.policy.MaxRedirects {
+				hops++
+				r.redirects.Add(1)
+				target = hint
+				continue
+			}
+			// Hintless (or exhausted) redirect: fall through to backoff —
+			// unlike other protocol rejections this one is expected to
+			// resolve as leadership settles.
+		} else if !Transient(err) {
 			return nil, err
+		}
+		attempt++
+		if attempt >= r.policy.MaxAttempts {
+			break
+		}
+		r.retries.Add(1)
+		r.policy.Sleep(r.jittered(delay))
+		delay = time.Duration(float64(delay) * r.policy.Factor)
+		if delay > r.policy.MaxDelay {
+			delay = r.policy.MaxDelay
 		}
 	}
 	return nil, lastErr

@@ -1,0 +1,226 @@
+package bus_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whopay/internal/bus"
+	"whopay/internal/bus/faultbus"
+)
+
+// The redirect sentinels stand in for core's ErrNotLeader/ErrWrongShard:
+// the bus layer only knows codes, not the protocol, so the test registers
+// its own.
+var (
+	errTestMoved   = errors.New("redirect_test: moved")
+	errTestRefused = errors.New("redirect_test: refused")
+)
+
+func init() {
+	bus.RegisterErrorCode("redirect_test.moved", errTestMoved)
+	bus.RegisterErrorCode("redirect_test.refused", errTestRefused)
+	bus.RegisterRedirectCode("redirect_test.moved")
+}
+
+// noSleep makes retry backoff instantaneous.
+func noSleep(time.Duration) {}
+
+// TestRedirectHintRoundTrip pins the hint encoding across a bus hop: the
+// handler's wrapped sentinel must surface at the caller with errors.Is
+// intact and the hint address recoverable.
+func TestRedirectHintRoundTrip(t *testing.T) {
+	net := bus.NewMemory()
+	_, err := net.Listen("old", func(from bus.Address, msg any) (any, error) {
+		return nil, bus.WithRedirect(errTestMoved, "new")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller, err := net.Listen("caller", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, callErr := caller.Call("old", "hello")
+	if callErr == nil {
+		t.Fatal("want redirect error, got nil")
+	}
+	if !errors.Is(callErr, errTestMoved) {
+		t.Fatalf("errors.Is lost the sentinel: %v", callErr)
+	}
+	if !bus.Redirectable(callErr) {
+		t.Fatalf("Redirectable(%v) = false", callErr)
+	}
+	hint, ok := bus.RedirectHint(callErr)
+	if !ok || hint != "new" {
+		t.Fatalf("RedirectHint = %q, %v; want %q, true", hint, ok, "new")
+	}
+
+	// A string-only transport keeps only Msg+Code; rebuild such an error
+	// and check the hint still parses.
+	var remote *bus.RemoteError
+	if !errors.As(callErr, &remote) {
+		t.Fatal("no RemoteError in chain")
+	}
+	wireErr := &bus.RemoteError{Msg: remote.Msg, Code: remote.Code}
+	if !bus.Redirectable(wireErr) {
+		t.Fatal("wire-rebuilt error lost redirectability")
+	}
+	if hint, ok := bus.RedirectHint(wireErr); !ok || hint != "new" {
+		t.Fatalf("wire-rebuilt hint = %q, %v", hint, ok)
+	}
+}
+
+// TestRetryCallerFollowsRedirect drives a RetryCaller through a faultbus:
+// the old leader answers every call with a redirect to the new leader, the
+// link to the new leader drops the first request, and the call must still
+// land — redirect hop first, then a transient retry on the faulted link.
+func TestRetryCallerFollowsRedirect(t *testing.T) {
+	inner := bus.NewMemory()
+	fb := faultbus.New(inner, 1)
+
+	if _, err := fb.Listen("leader-old", func(bus.Address, any) (any, error) {
+		return nil, bus.WithRedirect(errTestMoved, "leader-new")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var served atomic.Int64
+	if _, err := fb.Listen("leader-new", func(_ bus.Address, msg any) (any, error) {
+		served.Add(1)
+		return msg, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	caller, err := fb.Listen("caller", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The request on caller→leader-new is dropped until the first backoff
+	// sleep lifts the fault: the redirect hop fails transiently, and the
+	// retry loop must re-dial the redirected target, not the original
+	// address. Sleep runs on the calling goroutine, so the clear is
+	// deterministic.
+	fb.SetLink("caller", "leader-new", faultbus.Faults{DropRequest: 1})
+	rc := bus.NewRetryCaller(caller, bus.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Nanosecond,
+		Sleep: func(time.Duration) {
+			fb.ClearLink("caller", "leader-new")
+		},
+	})
+
+	resp, err := rc.Call("leader-old", "payload")
+	if err != nil {
+		t.Fatalf("Call through redirect: %v", err)
+	}
+	if resp != "payload" {
+		t.Fatalf("resp = %v", resp)
+	}
+	if served.Load() == 0 {
+		t.Fatal("new leader never served the call")
+	}
+	if got := rc.Redirects(); got < 1 {
+		t.Fatalf("Redirects() = %d, want >= 1", got)
+	}
+	if got := rc.Retries(); got < 1 {
+		t.Fatalf("Retries() = %d, want >= 1 (dropped redirect hop must be retried)", got)
+	}
+}
+
+// TestRetryCallerBoundsRedirects pins the hop bound: two endpoints that
+// point at each other forever must not loop — the caller gives up after
+// MaxRedirects hops and surfaces the redirect error.
+func TestRetryCallerBoundsRedirects(t *testing.T) {
+	net := bus.NewMemory()
+	var callsA, callsB atomic.Int64
+	if _, err := net.Listen("a", func(bus.Address, any) (any, error) {
+		callsA.Add(1)
+		return nil, bus.WithRedirect(errTestMoved, "b")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Listen("b", func(bus.Address, any) (any, error) {
+		callsB.Add(1)
+		return nil, bus.WithRedirect(errTestMoved, "a")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	caller, err := net.Listen("caller", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := bus.NewRetryCaller(caller, bus.RetryPolicy{
+		MaxAttempts:  2,
+		MaxRedirects: 3,
+		BaseDelay:    time.Nanosecond,
+		Sleep:        noSleep,
+	})
+	_, err = rc.Call("a", "ping")
+	if err == nil {
+		t.Fatal("want error after redirect loop")
+	}
+	if !errors.Is(err, errTestMoved) {
+		t.Fatalf("want redirect sentinel, got %v", err)
+	}
+	if got := rc.Redirects(); got != 3 {
+		t.Fatalf("Redirects() = %d, want exactly MaxRedirects=3", got)
+	}
+	// Hintless-redirect backoff applies once hops are exhausted, bounded
+	// by MaxAttempts.
+	total := callsA.Load() + callsB.Load()
+	if total > int64(2+3) {
+		t.Fatalf("issued %d calls, want <= MaxAttempts+MaxRedirects", total)
+	}
+}
+
+// TestRetryCallerRedirectWithoutHint pins the failover-window behavior: a
+// redirectable rejection with no hint is retried with backoff (the cluster
+// may elect a leader any moment), unlike ordinary protocol rejections,
+// which stay final.
+func TestRetryCallerRedirectWithoutHint(t *testing.T) {
+	net := bus.NewMemory()
+	var calls atomic.Int64
+	if _, err := net.Listen("srv", func(bus.Address, any) (any, error) {
+		if calls.Add(1) < 3 {
+			return nil, errTestMoved // no hint yet: election in progress
+		}
+		return "ok", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	caller, err := net.Listen("caller", func(bus.Address, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := bus.NewRetryCaller(caller, bus.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Nanosecond,
+		Sleep:       noSleep,
+	})
+	resp, err := rc.Call("srv", "ping")
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if resp != "ok" {
+		t.Fatalf("resp = %v", resp)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("handler ran %d times, want 3", calls.Load())
+	}
+
+	// Ordinary rejections must remain final: one attempt, no retries.
+	var refused atomic.Int64
+	if _, err := net.Listen("refuser", func(bus.Address, any) (any, error) {
+		refused.Add(1)
+		return nil, errTestRefused
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Call("refuser", "ping"); !errors.Is(err, errTestRefused) {
+		t.Fatalf("want refusal, got %v", err)
+	}
+	if refused.Load() != 1 {
+		t.Fatalf("refuser ran %d times, want 1", refused.Load())
+	}
+}

@@ -269,6 +269,12 @@ type connFailedError struct{ err error }
 func (e *connFailedError) Error() string { return e.err.Error() }
 func (e *connFailedError) Unwrap() error { return e.err }
 
+// Is reports a died connection as ErrUnreachable: the pipe to the
+// destination is gone and the next attempt redials — the same transient
+// condition as a failed dial, and exactly what a caller riding a broker
+// failover needs to keep retrying toward the promoted leader.
+func (e *connFailedError) Is(target error) bool { return target == bus.ErrUnreachable }
+
 // Listen implements bus.Network: it binds a TCP listener on addr and serves
 // requests with h until the endpoint is closed. Pass ":0" style addresses
 // to pick a free port; Endpoint.Addr reports the bound address.

@@ -77,6 +77,13 @@ type BrokerConfig struct {
 	// default) keeps message counts, allocations, and error shapes
 	// byte-identical to an uninstrumented broker.
 	Obs *obs.Registry
+	// Federation, when non-nil, makes this broker one shard of a
+	// federated trust root (DESIGN.md §13): it serves only keys homing on
+	// its shard, rejects foreign keys with ErrWrongShard redirects, and
+	// settles cross-shard deposit credits through the two-phase
+	// settlement path. Requires InitialCredit zero — purchase budgets
+	// would need an account shard of their own.
+	Federation *FederationConfig
 	// DepositBatch, when non-nil, enables the deposit-batching stage
 	// (DESIGN.md §12): incoming deposits queue briefly (bounded by
 	// MaxBatch and MaxLinger), then one signature-batch fan-out verifies
@@ -139,6 +146,16 @@ type Broker struct {
 	deposited   *store.Durable[coin.ID, *depositRecord]
 	ledger      *store.Ledger
 	frozen      *store.Durable[string, struct{}]
+	settled     *store.Durable[coin.ID, *settledRec] // payout-shard settlement dedup
+
+	// Federation runtime (nil / unused on an unfederated broker).
+	fed          *FederationConfig
+	settleCaller bus.Caller
+	settleMu     sync.Mutex
+	settleState  map[coin.ID]settleRec // outbound settlements, by redeemed coin
+	settleKick   chan struct{}
+	settleStop   chan struct{}
+	settleDone   chan struct{}
 
 	persist   *persistLog     // nil when Persistence is not configured
 	recovered bool            // durable state was found and replayed
@@ -169,6 +186,16 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	if cfg.RenewalPeriod <= 0 {
 		cfg.RenewalPeriod = DefaultRenewalPeriod
 	}
+	if cfg.Federation != nil {
+		f := *cfg.Federation // copy: don't share the caller's struct
+		if f.Shards <= 0 || f.Index < 0 || f.Index >= f.Shards {
+			return nil, fmt.Errorf("core: federation shard %d of %d out of range", f.Index, f.Shards)
+		}
+		if cfg.InitialCredit > 0 {
+			return nil, errors.New("core: federation does not support InitialCredit budgets")
+		}
+		cfg.Federation = &f
+	}
 	b := &Broker{
 		cfg:         cfg,
 		suite:       sig.Suite{Scheme: cfg.Scheme, Rec: cfg.Recorder},
@@ -179,6 +206,11 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 		pendingSync: store.NewSharded[string, []coin.ID](brokerShards, store.StringHash[string]),
 		relinquish:  store.NewSharded[coin.ID, map[uint64]RelinquishProof](brokerShards, coinKey),
 		ledger:      store.NewLedger(brokerShards, cfg.InitialCredit),
+		fed:         cfg.Federation,
+		settleState: map[coin.ID]settleRec{},
+		settleKick:  make(chan struct{}, 1),
+		settleStop:  make(chan struct{}),
+		settleDone:  make(chan struct{}),
 	}
 	// A nil *persistLog must stay an untyped-nil Journal, or Durable would
 	// see a non-nil interface and journal into nothing.
@@ -204,6 +236,9 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	b.frozen = store.NewDurable(
 		store.NewSharded[string, struct{}](brokerShards, store.StringHash[string]),
 		tblFrozen, journal, store.StringCodec[string](), store.UnitCodec())
+	b.settled = store.NewDurable(
+		store.NewSharded[coin.ID, *settledRec](brokerShards, coinKey),
+		tblSettled, journal, store.StringCodec[coin.ID](), codecSettled())
 	if !cfg.DisableCryptoCache {
 		b.suite, b.cache = sig.NewCachedSuite(b.suite, sig.CacheOptions{})
 	}
@@ -286,6 +321,27 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 	if cfg.DepositBatch != nil {
 		b.batcher = newDepositBatcher(b, *cfg.DepositBatch)
 	}
+	if b.fed != nil {
+		// Settlement delivery retries transient failures and follows
+		// redirect hints on its own; the outer loop only re-resolves
+		// leadership between rounds.
+		b.settleCaller = bus.NewRetryCaller(ep, bus.RetryPolicy{
+			MaxAttempts: 2,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+		})
+		if cfg.Obs != nil {
+			cfg.Obs.Help("whopay_fed_pending_settlements", "Cross-shard settlements awaiting payout-shard acknowledgement, by shard.")
+			cfg.Obs.GaugeFunc("whopay_fed_pending_settlements",
+				obs.Labels{"shard": fmt.Sprint(b.fed.Index)},
+				func() float64 { return float64(b.PendingSettlements()) })
+		}
+		go b.settleLoop()
+		// Recovery may have re-queued unacked settlements; deliver them.
+		b.kickSettle()
+	} else {
+		close(b.settleDone)
+	}
 	return b, nil
 }
 
@@ -325,6 +381,11 @@ func (b *Broker) PublicKey() sig.PublicKey { return b.keys.Public.Clone() }
 // Close stops the broker and (when persisted) flushes and closes its
 // journal.
 func (b *Broker) Close() error {
+	// Stop the settlement loop first: it calls out through the endpoint.
+	if b.fed != nil {
+		close(b.settleStop)
+		<-b.settleDone
+	}
 	err := b.ep.Close()
 	// Stop the batcher after the endpoint (no new deposits arrive) and
 	// before the journal closes (queued deposits may still commit).
@@ -401,6 +462,13 @@ func (b *Broker) handle(from bus.Address, msg any) (any, error) {
 }
 
 func (b *Broker) dispatch(_ bus.Address, msg any) (any, error) {
+	// Federation shard gate: foreign keys bounce with a redirect hint
+	// before any crypto or store work happens.
+	if b.fed != nil {
+		if err := b.checkShard(msg); err != nil {
+			return nil, err
+		}
+	}
 	// Each case opens a span + latency sample inline (no closure: a
 	// wrapper func would allocate even with instrumentation disabled,
 	// breaking the byte-identical contract of a nil Obs knob).
@@ -454,6 +522,11 @@ func (b *Broker) dispatch(_ bus.Address, msg any) (any, error) {
 	case FraudReport:
 		sp := b.instr.Begin("serve-fraud-report")
 		resp, err := b.handleFraudReport(m)
+		b.instr.End(sp, err)
+		return resp, err
+	case SettleRequest:
+		sp := b.instr.Begin("serve-settle")
+		resp, err := b.handleSettle(m)
 		b.instr.End(sp, err)
 		return resp, err
 	default:
@@ -885,7 +958,7 @@ func (b *Broker) handleDeposit(m DepositRequest) (any, error) {
 	if !b.deposited.Insert(id, rec) {
 		return nil, ErrAlreadyDeposited
 	}
-	b.ledger.Credit(m.PayoutRef, c.Value)
+	b.creditPayout(id, m.PayoutRef, c.Value)
 	b.depositedValue.Add(c.Value)
 	b.downtime.Delete(id)
 	// A deposited coin can never be serviced again (lookupActiveCoin

@@ -348,7 +348,7 @@ func (b *Broker) flushDeposits(reqs []DepositRequest) []depositResult {
 		m := &reqs[i]
 		p := pending[i]
 		id := coin.ID(m.CoinPub)
-		b.ledger.Credit(m.PayoutRef, p.c.Value)
+		b.creditPayout(id, m.PayoutRef, p.c.Value)
 		b.depositedValue.Add(p.c.Value)
 		b.downtime.Delete(id)
 		b.evictServiceLock(id)

@@ -47,6 +47,14 @@ var (
 	// ErrChannelClosed rejects payments on a channel already settled and
 	// torn down.
 	ErrChannelClosed = errors.New("core: channel closed")
+	// ErrWrongShard rejects requests whose routing key homes on another
+	// federation shard; the rejection carries a redirect hint to the
+	// owning shard's leader when known.
+	ErrWrongShard = errors.New("core: key belongs to another shard")
+	// ErrNotLeader rejects requests served to a replica that is not its
+	// shard's current leader; the rejection carries a redirect hint to
+	// the leader when known.
+	ErrNotLeader = errors.New("core: not the shard leader")
 )
 
 // init registers wire codes for every protocol sentinel, so errors.Is keeps
@@ -73,7 +81,13 @@ func init() {
 		{"core.payment_failed", ErrPaymentFailed},
 		{"core.no_channel", ErrNoChannel},
 		{"core.channel_closed", ErrChannelClosed},
+		{"core.wrong_shard", ErrWrongShard},
+		{"core.not_leader", ErrNotLeader},
 	} {
 		bus.RegisterErrorCode(e.code, e.sentinel)
 	}
+	// Shard-routing rejections are retryable-with-redirect: the retry
+	// layer follows their hints instead of giving up.
+	bus.RegisterRedirectCode("core.wrong_shard")
+	bus.RegisterRedirectCode("core.not_leader")
 }

@@ -23,6 +23,7 @@ func RegisterWireTypes() {
 		RenewRequest{}, RenewResponse{},
 		DepositRequest{}, DepositResponse{},
 		BatchDepositRequest{}, BatchDepositResponse{},
+		SettleRequest{}, SettleResponse{},
 		LayeredDepositRequest{},
 		ChannelOpenRequest{}, ChannelOpenResponse{},
 		ChannelPayRequest{}, ChannelPayResponse{},

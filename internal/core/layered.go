@@ -91,7 +91,7 @@ func (b *Broker) handleLayeredDeposit(m LayeredDepositRequest) (any, error) {
 	if !b.deposited.Insert(c.ID(), rec) {
 		return nil, ErrAlreadyDeposited
 	}
-	b.ledger.Credit(m.PayoutRef, c.Value)
+	b.creditPayout(c.ID(), m.PayoutRef, c.Value)
 	b.depositedValue.Add(c.Value)
 	b.downtime.Delete(c.ID())
 	b.evictServiceLock(c.ID())
@@ -127,7 +127,7 @@ func (p *Peer) DepositLayered(lc *layered.Coin, headPriv sig.PrivateKey, payoutR
 	if err != nil {
 		return fmt.Errorf("core: group-signing layered deposit: %w", err)
 	}
-	raw, err := p.call(p.cfg.BrokerAddr, LayeredDepositRequest{
+	raw, err := p.callBroker(string(lc.Base.ID()), LayeredDepositRequest{
 		LC:        *lc,
 		PayoutRef: payoutRef,
 		HolderSig: holderSig,

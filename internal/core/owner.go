@@ -268,7 +268,7 @@ func (p *Peer) ownerCatchUp(oc *ownedCoin, presented *coin.Binding) error {
 			if observed, perr := coin.UnmarshalBinding(rec.Value); perr == nil {
 				// Only broker-signed records can legitimately
 				// outrun the owner's own state.
-				if observed.VerifyFor(p.suite, c, p.cfg.BrokerPub, time.Time{}) == nil && observed.ByBroker {
+				if observed.VerifyFor(p.suite, c, p.brokerPubFor(string(c.Pub)), time.Time{}) == nil && observed.ByBroker {
 					oc.mu.Lock()
 					oc.binding = observed
 					oc.selfHeld = false
@@ -288,7 +288,7 @@ func (p *Peer) ownerCatchUp(oc *ownedCoin, presented *coin.Binding) error {
 	// without a DHT): a valid broker-signed binding newer than ours
 	// proves downtime operations we missed.
 	if presented != nil && presented.ByBroker && presented.Seq > localSeq {
-		if err := presented.VerifyFor(p.suite, c, p.cfg.BrokerPub, time.Time{}); err != nil {
+		if err := presented.VerifyFor(p.suite, c, p.brokerPubFor(string(c.Pub)), time.Time{}); err != nil {
 			return fmt.Errorf("%w: presented binding: %v", ErrStaleBinding, err)
 		}
 		oc.mu.Lock()

@@ -58,14 +58,15 @@ func (p *Peer) handleDeliver(m DeliverRequest) (any, error) {
 	}
 
 	c := m.Coin
-	if err := c.Verify(p.suite, p.cfg.BrokerPub); err != nil {
+	brokerPub := p.brokerPubFor(string(c.Pub))
+	if err := c.Verify(p.suite, brokerPub); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	if c.Value != po.value {
 		return nil, fmt.Errorf("%w: offered value %d, coin is %d", ErrBadRequest, po.value, c.Value)
 	}
 	binding := m.Binding
-	if err := binding.VerifyFor(p.suite, &c, p.cfg.BrokerPub, p.cfg.Clock()); err != nil {
+	if err := binding.VerifyFor(p.suite, &c, brokerPub, p.cfg.Clock()); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 
@@ -76,7 +77,7 @@ func (p *Peer) handleDeliver(m DeliverRequest) (any, error) {
 	var challenger sig.PublicKey
 	switch {
 	case binding.ByBroker:
-		challenger = p.cfg.BrokerPub
+		challenger = brokerPub
 	case c.Anonymous():
 		challenger = c.Pub
 	default:
@@ -210,7 +211,7 @@ func (p *Peer) RecoverHeldBinding(id coin.ID) error {
 	if !observed.Holder.Equal(mine.Holder) || observed.Seq <= mine.Seq {
 		return nil
 	}
-	if err := observed.Verify(p.suite, p.cfg.BrokerPub, p.cfg.Clock()); err != nil {
+	if err := observed.Verify(p.suite, p.brokerPubFor(string(id)), p.cfg.Clock()); err != nil {
 		return fmt.Errorf("%w: published binding: %v", ErrStaleBinding, err)
 	}
 	if cur, still := p.held.Get(id); still {
@@ -251,7 +252,7 @@ func (p *Peer) handleNotify(m dht.Notify) (any, error) {
 		// the newer binding for free.
 		adopted := false
 		if observed.Seq > hc.binding.Seq {
-			if observed.Verify(p.suite, p.cfg.BrokerPub, p.cfg.Clock()) == nil {
+			if observed.Verify(p.suite, p.brokerPubFor(string(id)), p.cfg.Clock()) == nil {
 				hc.binding = observed.Clone()
 				adopted = true
 			}
@@ -287,7 +288,7 @@ func (p *Peer) reportFraud(coinPub sig.PublicKey, mine, observed *coin.Binding) 
 	if err != nil {
 		return "report unsigned: " + err.Error()
 	}
-	resp, err := p.call(p.cfg.BrokerAddr, FraudReport{
+	resp, err := p.callBroker(string(coinPub), FraudReport{
 		CoinPub:   coinPub.Clone(),
 		MyBinding: *mine,
 		Observed:  *observed,

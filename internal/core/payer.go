@@ -59,7 +59,7 @@ func (p *Peer) purchase(value int64, anonymous bool) (coin.ID, error) {
 	if req.Sig, err = p.suite.Sign(p.keys.Private, purchaseMessage(req.Buyer, req.CoinPub, req.Handle, req.Value, req.Anonymous)); err != nil {
 		return "", fmt.Errorf("core: signing purchase: %w", err)
 	}
-	resp, err := p.call(p.cfg.BrokerAddr, req)
+	resp, err := p.callBroker(string(coinKeys.Public), req)
 	if err != nil {
 		return "", fmt.Errorf("core: purchase: %w", err)
 	}
@@ -68,7 +68,7 @@ func (p *Peer) purchase(value int64, anonymous bool) (coin.ID, error) {
 		return "", fmt.Errorf("%w: unexpected purchase response %T", ErrBadRequest, resp)
 	}
 	c := pr.Coin
-	if err := c.Verify(p.suite, p.cfg.BrokerPub); err != nil {
+	if err := c.Verify(p.suite, p.brokerPubFor(string(coinKeys.Public))); err != nil {
 		return "", fmt.Errorf("core: broker returned bad coin: %w", err)
 	}
 	if !c.Pub.Equal(coinKeys.Public) || c.Value != value {
@@ -112,31 +112,46 @@ func (p *Peer) purchaseBatch(n int, value int64) ([]coin.ID, error) {
 		keys[i] = kp
 		pubs[i] = kp.Public
 	}
-	req := BatchPurchaseRequest{Buyer: p.cfg.ID, CoinPubs: pubs, Value: value}
-	var err error
-	if req.Sig, err = p.suite.Sign(p.keys.Private, batchPurchaseMessage(req.Buyer, pubs, value)); err != nil {
-		return nil, fmt.Errorf("core: signing batch purchase: %w", err)
+	// Under federation the generated coins home on different shards: group
+	// the batch by shard and issue one signed request per shard leader.
+	// Unfederated, everything lands in one group (shard 0).
+	groups := map[int][]int{}
+	for i, pub := range pubs {
+		shard := p.shardOf(string(pub))
+		groups[shard] = append(groups[shard], i)
 	}
-	resp, err := p.call(p.cfg.BrokerAddr, req)
-	if err != nil {
-		return nil, fmt.Errorf("core: batch purchase: %w", err)
-	}
-	br, ok := resp.(BatchPurchaseResponse)
-	if !ok || len(br.Coins) != n {
-		return nil, fmt.Errorf("%w: unexpected batch response", ErrBadRequest)
-	}
-	ids := make([]coin.ID, 0, n)
-	for i := range br.Coins {
-		c := br.Coins[i]
-		if err := c.Verify(p.suite, p.cfg.BrokerPub); err != nil {
-			return nil, fmt.Errorf("core: broker returned bad batch coin: %w", err)
+	ids := make([]coin.ID, n)
+	for _, idxs := range groups {
+		gp := make([]sig.PublicKey, len(idxs))
+		for j, i := range idxs {
+			gp[j] = pubs[i]
 		}
-		if !c.Pub.Equal(pubs[i]) || c.Value != value {
-			return nil, fmt.Errorf("%w: batch coin %d mismatched", ErrBadRequest, i)
+		req := BatchPurchaseRequest{Buyer: p.cfg.ID, CoinPubs: gp, Value: value}
+		var err error
+		if req.Sig, err = p.suite.Sign(p.keys.Private, batchPurchaseMessage(req.Buyer, gp, value)); err != nil {
+			return nil, fmt.Errorf("core: signing batch purchase: %w", err)
 		}
-		p.owned.Set(c.ID(), &ownedCoin{c: c.Clone(), coinKeys: keys[i], selfHeld: true})
-		p.saveOwned(c.ID())
-		ids = append(ids, c.ID())
+		resp, err := p.callBroker(string(gp[0]), req)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch purchase: %w", err)
+		}
+		br, ok := resp.(BatchPurchaseResponse)
+		if !ok || len(br.Coins) != len(idxs) {
+			return nil, fmt.Errorf("%w: unexpected batch response", ErrBadRequest)
+		}
+		for j := range br.Coins {
+			c := br.Coins[j]
+			i := idxs[j]
+			if err := c.Verify(p.suite, p.brokerPubFor(string(c.Pub))); err != nil {
+				return nil, fmt.Errorf("core: broker returned bad batch coin: %w", err)
+			}
+			if !c.Pub.Equal(pubs[i]) || c.Value != value {
+				return nil, fmt.Errorf("%w: batch coin %d mismatched", ErrBadRequest, i)
+			}
+			p.owned.Set(c.ID(), &ownedCoin{c: c.Clone(), coinKeys: keys[i], selfHeld: true})
+			p.saveOwned(c.ID())
+			ids[i] = c.ID()
+		}
 	}
 	p.maybePersistSnapshot()
 	p.ops.Inc(OpPurchase)
@@ -235,7 +250,7 @@ func (p *Peer) transferInner(payee bus.Address, id coin.ID, viaBroker bool) erro
 
 	var raw any
 	if viaBroker {
-		raw, err = p.call(p.cfg.BrokerAddr, req)
+		raw, err = p.callBroker(string(hc.c.Pub), req)
 	} else {
 		raw, err = p.callOwner(hc.c, req)
 	}
@@ -318,7 +333,7 @@ func (p *Peer) renewInner(id coin.ID, viaBroker bool) error {
 	}
 	var raw any
 	if viaBroker {
-		raw, err = p.call(p.cfg.BrokerAddr, req)
+		raw, err = p.callBroker(string(hc.c.Pub), req)
 	} else {
 		raw, err = p.callOwner(hc.c, req)
 	}
@@ -330,7 +345,7 @@ func (p *Peer) renewInner(id coin.ID, viaBroker bool) error {
 		return fmt.Errorf("%w: unexpected renew response %T", ErrBadRequest, raw)
 	}
 	binding := rr.Binding
-	if err := binding.VerifyFor(p.suite, hc.c, p.cfg.BrokerPub, p.cfg.Clock()); err != nil {
+	if err := binding.VerifyFor(p.suite, hc.c, p.brokerPubFor(string(hc.c.Pub)), p.cfg.Clock()); err != nil {
 		return fmt.Errorf("core: renewal returned bad binding: %w", err)
 	}
 	hc.mu.Lock()
@@ -413,7 +428,7 @@ func (p *Peer) deposit(id coin.ID, payoutRef string) error {
 	if err != nil {
 		return fmt.Errorf("core: group-signing deposit: %w", err)
 	}
-	raw, err := p.call(p.cfg.BrokerAddr, DepositRequest{
+	raw, err := p.callBroker(string(hc.c.Pub), DepositRequest{
 		CoinPub:          hc.c.Pub.Clone(),
 		PayoutRef:        payoutRef,
 		HolderSig:        holderSig,
@@ -476,26 +491,41 @@ func (p *Peer) depositMany(ids []coin.ID, payoutRef string) ([]error, error) {
 			PresentedBinding: binding,
 		}
 	}
-	raw, err := p.call(p.cfg.BrokerAddr, BatchDepositRequest{Deposits: reqs})
-	if err != nil {
-		return nil, fmt.Errorf("core: batch deposit: %w", err)
-	}
-	br, ok := raw.(BatchDepositResponse)
-	if !ok || len(br.Results) != len(ids) {
-		return nil, fmt.Errorf("%w: unexpected batch-deposit response %T", ErrBadRequest, raw)
+	// Under federation the coins home on different shards: group the batch
+	// by shard, one request per shard leader, and stitch the outcomes back
+	// positionally. Unfederated, everything lands in one group (shard 0).
+	groups := map[int][]int{}
+	for i := range reqs {
+		shard := p.shardOf(string(reqs[i].CoinPub))
+		groups[shard] = append(groups[shard], i)
 	}
 	outcomes := make([]error, len(ids))
-	for i, r := range br.Results {
-		if r.ErrCode != "" || r.ErrMsg != "" {
-			// Rebuild the remote error the way a direct call would have
-			// surfaced it, so errors.Is on protocol sentinels keeps
-			// working per entry.
-			outcomes[i] = &bus.RemoteError{Msg: r.ErrMsg, Code: r.ErrCode}
-			continue
+	for _, idxs := range groups {
+		greqs := make([]DepositRequest, len(idxs))
+		for j, i := range idxs {
+			greqs[j] = reqs[i]
 		}
-		p.dropHeld(ids[i])
-		p.unwatch(ids[i])
-		p.ops.Inc(OpDeposit)
+		raw, err := p.callBroker(string(greqs[0].CoinPub), BatchDepositRequest{Deposits: greqs})
+		if err != nil {
+			return nil, fmt.Errorf("core: batch deposit: %w", err)
+		}
+		br, ok := raw.(BatchDepositResponse)
+		if !ok || len(br.Results) != len(idxs) {
+			return nil, fmt.Errorf("%w: unexpected batch-deposit response %T", ErrBadRequest, raw)
+		}
+		for j, r := range br.Results {
+			i := idxs[j]
+			if r.ErrCode != "" || r.ErrMsg != "" {
+				// Rebuild the remote error the way a direct call would have
+				// surfaced it, so errors.Is on protocol sentinels keeps
+				// working per entry.
+				outcomes[i] = &bus.RemoteError{Msg: r.ErrMsg, Code: r.ErrCode}
+				continue
+			}
+			p.dropHeld(ids[i])
+			p.unwatch(ids[i])
+			p.ops.Inc(OpDeposit)
+		}
 	}
 	p.maybePersistSnapshot()
 	return outcomes, nil
@@ -533,7 +563,7 @@ func (p *Peer) DepositTwice(id coin.ID, payoutRef string) (first, replay error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: group-signing deposit replay: %w", err)
 	}
-	_, replay = p.call(p.cfg.BrokerAddr, DepositRequest{
+	_, replay = p.callBroker(string(coinPub), DepositRequest{
 		CoinPub:          coinPub,
 		PayoutRef:        payoutRef,
 		HolderSig:        holderSig,
@@ -554,27 +584,38 @@ func (p *Peer) Sync() error {
 }
 
 func (p *Peer) syncWithBroker() error {
-	nonce := p.randBytes(16)
-	sigBytes, err := p.suite.Sign(p.keys.Private, syncMessage(p.cfg.ID, nonce))
-	if err != nil {
-		return fmt.Errorf("core: signing sync: %w", err)
+	// Every shard may have maintained bindings for this owner's coins, so
+	// federated sync fans out to every shard leader and merges. Unfederated,
+	// the loop is a single call to the configured broker.
+	shards := 1
+	if p.cfg.Router != nil {
+		shards = p.cfg.Router.NumShards()
 	}
-	raw, err := p.call(p.cfg.BrokerAddr, SyncRequest{Identity: p.cfg.ID, Nonce: nonce, Sig: sigBytes})
-	if err != nil {
-		return fmt.Errorf("core: sync: %w", err)
-	}
-	sr, ok := raw.(SyncResponse)
-	if !ok {
-		return fmt.Errorf("%w: unexpected sync response %T", ErrBadRequest, raw)
+	var bindings []coin.Binding
+	for shard := 0; shard < shards; shard++ {
+		nonce := p.randBytes(16)
+		sigBytes, err := p.suite.Sign(p.keys.Private, syncMessage(p.cfg.ID, nonce))
+		if err != nil {
+			return fmt.Errorf("core: signing sync: %w", err)
+		}
+		raw, err := p.callShard(shard, SyncRequest{Identity: p.cfg.ID, Nonce: nonce, Sig: sigBytes})
+		if err != nil {
+			return fmt.Errorf("core: sync: %w", err)
+		}
+		sr, ok := raw.(SyncResponse)
+		if !ok {
+			return fmt.Errorf("%w: unexpected sync response %T", ErrBadRequest, raw)
+		}
+		bindings = append(bindings, sr.Bindings...)
 	}
 	now := p.cfg.Clock()
-	for i := range sr.Bindings {
-		binding := &sr.Bindings[i]
+	for i := range bindings {
+		binding := &bindings[i]
 		oc, owns := p.owned.Get(coin.ID(binding.CoinPub))
 		if !owns {
 			continue
 		}
-		if !binding.ByBroker || binding.VerifyFor(p.suite, oc.c, p.cfg.BrokerPub, now) != nil {
+		if !binding.ByBroker || binding.VerifyFor(p.suite, oc.c, p.brokerPubFor(string(binding.CoinPub)), now) != nil {
 			continue
 		}
 		oc.mu.Lock()

@@ -72,6 +72,12 @@ type PeerConfig struct {
 	// BrokerAddr and BrokerPub identify the broker.
 	BrokerAddr bus.Address
 	BrokerPub  sig.PublicKey
+	// Router, when set, replaces the single-broker view with a federated
+	// one: every broker-bound call is routed to the leader of the shard
+	// owning the call's coin or payout key, verification uses the owning
+	// shard's broker key, and ErrWrongShard/ErrNotLeader redirects are
+	// followed (DESIGN.md §13). Nil keeps BrokerAddr/BrokerPub authoritative.
+	Router ShardRouter
 	// Judge enrolls the peer at construction; alternatively supply a
 	// pre-enrolled Member plus GroupPub, or a JudgeAddr to enroll over
 	// the bus (multi-process deployments; see JudgeServer).
@@ -406,6 +412,8 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		if cfg.Retry != nil {
 			cfg.Obs.Help("whopay_retries_total", "Transient-failure retries issued by the retry layer, by entity.")
 			cfg.Obs.CounterFunc("whopay_retries_total", obs.Labels{"entity": cfg.ID}, p.Retries)
+			cfg.Obs.Help("whopay_redirects_total", "Redirect hints followed by the retry layer, by entity.")
+			cfg.Obs.CounterFunc("whopay_redirects_total", obs.Labels{"entity": cfg.ID}, p.Redirects)
 		}
 		if p.cache != nil {
 			registerCacheMetrics(cfg.Obs, cfg.ID, func() (int64, int64, int64, int64) {
@@ -539,6 +547,16 @@ func (p *Peer) call(to bus.Address, msg any) (any, error) {
 func (p *Peer) Retries() int64 {
 	if rc, ok := p.caller.(*bus.RetryCaller); ok {
 		return rc.Retries()
+	}
+	return 0
+}
+
+// Redirects reports how many redirect hints this peer has followed —
+// ErrWrongShard/ErrNotLeader rejections that pointed at the right endpoint
+// (zero when no retry policy is configured).
+func (p *Peer) Redirects() int64 {
+	if rc, ok := p.caller.(*bus.RetryCaller); ok {
+		return rc.Redirects()
 	}
 	return 0
 }

@@ -47,6 +47,8 @@ const (
 	tblOwned    = "owned"  // coin.ID -> ownedRec (gob), peer logs
 	tblHeld     = "held"   // coin.ID -> heldRec (gob), peer logs
 	tblEpoch    = "epoch"  // DHT node epoch (lives in internal/dht; listed for the format doc)
+	tblSettle   = "settle" // coin.ID -> settleRec (gob): outbound cross-shard settlement state
+	tblSettled  = "stld"   // coin.ID -> settledRec (gob): inbound settlement dedup (payout shard)
 
 	metaKeysKey = "keys"
 )
@@ -522,6 +524,26 @@ func (b *Broker) CompactLog() error {
 		}); err != nil {
 			return err
 		}
+		if err := b.settled.EmitAll(func(key, val []byte) error {
+			return emit(wal.Set(tblSettled, key, val))
+		}); err != nil {
+			return err
+		}
+		b.settleMu.Lock()
+		settleSnap := make(map[coin.ID]settleRec, len(b.settleState))
+		for id, rec := range b.settleState {
+			settleSnap[id] = rec
+		}
+		b.settleMu.Unlock()
+		for id, rec := range settleSnap {
+			val, err := gobEnc(rec)
+			if err != nil {
+				return err
+			}
+			if err := emit(wal.Set(tblSettle, []byte(id), val)); err != nil {
+				return err
+			}
+		}
 		for _, fc := range b.FraudCases() {
 			val, err := encCase(fc)
 			if err != nil {
@@ -545,6 +567,7 @@ func (b *Broker) CompactLog() error {
 func (b *Broker) recoverBrokerState() (bool, error) {
 	found := false
 	intents := map[coin.ID]intentRec{}
+	settles := map[coin.ID]settleRec{}
 	err := b.persist.log.Replay(func(payload []byte) error {
 		muts, err := wal.DecodeBatch(payload)
 		if err != nil {
@@ -552,7 +575,7 @@ func (b *Broker) recoverBrokerState() (bool, error) {
 		}
 		found = found || len(muts) > 0
 		for _, m := range muts {
-			if err := b.applyRecovered(m, intents); err != nil {
+			if err := b.applyRecovered(m, intents, settles); err != nil {
 				return err
 			}
 		}
@@ -583,7 +606,12 @@ func (b *Broker) recoverBrokerState() (bool, error) {
 	// Re-derive: a deposited coin is out of downtime service, the ledger
 	// is a pure function of mints and deposits, and the counters are sums.
 	// Deriving instead of journaling these makes every torn multi-step
-	// operation self-healing.
+	// operation self-healing. Under federation the ledger only sees
+	// locally-homed payout references; remote ones went (or still must
+	// go) through the settlement path, whose state re-derives here too:
+	// a remote-ref deposit without an acked settlement record — torn
+	// before the intent was journaled, or mid-resend — re-queues, and the
+	// payout shard's dedup table absorbs any replay.
 	var issued, depositedTotal int64
 	b.coins.Range(func(id coin.ID, c *coin.Coin) bool {
 		issued += c.Value
@@ -597,9 +625,24 @@ func (b *Broker) recoverBrokerState() (bool, error) {
 	b.deposited.Sharded.Range(func(id coin.ID, rec *depositRecord) bool {
 		if c, ok := b.coins.Get(id); ok {
 			depositedTotal += c.Value
-			b.ledger.Credit(rec.payoutRef, c.Value)
+			if b.localKey(rec.payoutRef) {
+				b.ledger.Credit(rec.payoutRef, c.Value)
+			} else if s, journaled := settles[id]; !journaled || !s.Done {
+				settles[id] = settleRec{Ref: rec.payoutRef, Amount: c.Value}
+			}
 		}
 		b.downtime.Delete(id)
+		return true
+	})
+	b.settleMu.Lock()
+	for id, rec := range settles {
+		b.settleState[id] = rec
+	}
+	b.settleMu.Unlock()
+	// Inbound settlements already applied replay their credits (the
+	// durable dedup insert was the commit point).
+	b.settled.Sharded.Range(func(_ coin.ID, rec *settledRec) bool {
+		b.ledger.Credit(rec.Ref, rec.Amount)
 		return true
 	})
 	b.issuedValue.Store(issued)
@@ -618,7 +661,7 @@ func (b *Broker) recoverBrokerState() (bool, error) {
 
 // applyRecovered applies one replayed mutation (journaling suppressed:
 // replay goes straight to the embedded stores).
-func (b *Broker) applyRecovered(m wal.Mutation, intents map[coin.ID]intentRec) error {
+func (b *Broker) applyRecovered(m wal.Mutation, intents map[coin.ID]intentRec, settles map[coin.ID]settleRec) error {
 	id := coin.ID(m.Key)
 	switch m.Table {
 	case tblMeta:
@@ -680,6 +723,17 @@ func (b *Broker) applyRecovered(m wal.Mutation, intents map[coin.ID]intentRec) e
 			return b.frozen.ApplyDelete(m.Key)
 		}
 		return b.frozen.ApplySet(m.Key, m.Val)
+	case tblSettle:
+		var rec settleRec
+		if err := gobDec(m.Val, &rec); err != nil {
+			return err
+		}
+		settles[id] = rec
+	case tblSettled:
+		if m.Op == wal.OpDelete {
+			return errors.New("core: settlement dedup records are never deleted")
+		}
+		return b.settled.ApplySet(m.Key, m.Val)
 	case tblCase:
 		fc, err := decCase(m.Val)
 		if err != nil {

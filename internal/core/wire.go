@@ -54,6 +54,8 @@ const (
 	tagChannelCloseResponse  = 32
 	tagBatchDepositRequest   = 33
 	tagBatchDepositResponse  = 34
+	tagSettleRequest         = 35
+	tagSettleResponse        = 36
 )
 
 var wireCodecsOnce sync.Once
@@ -864,6 +866,41 @@ func registerChannelWireCodecs() {
 			}
 			return m, nil
 		})
+	wire.Register(tagSettleRequest, "core.SettleRequest", SettleRequest{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(SettleRequest)
+			dst = wire.AppendBytes(dst, m.CoinID)
+			dst = wire.AppendString(dst, m.PayoutRef)
+			dst = wire.AppendInt(dst, m.Amount)
+			dst = wire.AppendInt(dst, int64(m.FromShard))
+			dst = wire.AppendBytes(dst, m.Sig)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m SettleRequest
+			var err error
+			if m.CoinID, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			if m.PayoutRef, err = d.String(); err != nil {
+				return nil, err
+			}
+			if m.Amount, err = d.Int(); err != nil {
+				return nil, err
+			}
+			from, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			m.FromShard = int(from)
+			if m.Sig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagSettleResponse, "core.SettleResponse", SettleResponse{},
+		func(dst []byte, v any) ([]byte, error) { return dst, nil },
+		func(d *wire.Decoder) (any, error) { return SettleResponse{}, nil })
 }
 
 // appendWord / decodeWord handle payword's fixed 32-byte hash values.

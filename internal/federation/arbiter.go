@@ -1,0 +1,81 @@
+package federation
+
+import (
+	"sync"
+	"time"
+)
+
+// Arbiter is a shard's lease authority: at most one node holds the lease at
+// a time, each grant carries a monotonically increasing epoch, and a holder
+// that stops renewing loses the lease after TTL — the failure detector that
+// turns a dead leader into a promotable vacancy. This implementation is the
+// in-process one (the cluster embeds one per shard); the epoch discipline is
+// what a consensus-backed arbiter would export too.
+type Arbiter struct {
+	ttl   time.Duration
+	clock func() time.Time
+
+	mu     sync.Mutex
+	holder string
+	epoch  uint64
+	expiry time.Time
+}
+
+// NewArbiter creates a lease arbiter with the given TTL. clock nil means
+// time.Now.
+func NewArbiter(ttl time.Duration, clock func() time.Time) *Arbiter {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Arbiter{ttl: ttl, clock: clock}
+}
+
+// Acquire grants (or renews) the lease to who when it is free, expired, or
+// already theirs. A change of holder bumps the epoch — the fencing token
+// followers use to reject a deposed leader's stream.
+func (a *Arbiter) Acquire(who string) (epoch uint64, ok bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.clock()
+	if a.holder != "" && a.holder != who && now.Before(a.expiry) {
+		return 0, false
+	}
+	if a.holder != who {
+		a.epoch++
+		a.holder = who
+	}
+	a.expiry = now.Add(a.ttl)
+	return a.epoch, true
+}
+
+// Renew extends the lease iff who still holds it at the given epoch.
+func (a *Arbiter) Renew(who string, epoch uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.holder != who || a.epoch != epoch || a.clock().After(a.expiry) {
+		return false
+	}
+	a.expiry = a.clock().Add(a.ttl)
+	return true
+}
+
+// Release frees the lease iff who holds it (clean shutdown; a crash just
+// stops renewing and the TTL does the rest).
+func (a *Arbiter) Release(who string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.holder == who {
+		a.holder = ""
+		a.expiry = time.Time{}
+	}
+}
+
+// Holder reports the current live holder, if any.
+func (a *Arbiter) Holder() (who string, epoch uint64, held bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.holder == "" || a.clock().After(a.expiry) {
+		return "", 0, false
+	}
+	return a.holder, a.epoch, true
+}

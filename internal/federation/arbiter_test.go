@@ -1,0 +1,73 @@
+package federation
+
+import (
+	"testing"
+	"time"
+)
+
+// tickClock is a manually advanced clock for lease tests.
+type tickClock struct{ t time.Time }
+
+func (c *tickClock) now() time.Time          { return c.t }
+func (c *tickClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTickClock() *tickClock               { return &tickClock{t: time.Unix(1_700_000_000, 0)} }
+
+func TestArbiterGrantAndFence(t *testing.T) {
+	clk := newTickClock()
+	a := NewArbiter(time.Second, clk.now)
+
+	e1, ok := a.Acquire("a")
+	if !ok || e1 != 1 {
+		t.Fatalf("first acquire: epoch %d ok %v, want 1 true", e1, ok)
+	}
+	// A live lease excludes everyone else.
+	if _, ok := a.Acquire("b"); ok {
+		t.Fatal("second holder acquired a live lease")
+	}
+	// The holder re-acquiring keeps its epoch.
+	if e, ok := a.Acquire("a"); !ok || e != e1 {
+		t.Fatalf("holder re-acquire: epoch %d ok %v, want %d true", e, ok, e1)
+	}
+	if !a.Renew("a", e1) {
+		t.Fatal("holder could not renew a live lease")
+	}
+	// Renewal with a stale epoch must fail — the fencing property.
+	if a.Renew("a", e1+1) {
+		t.Fatal("renewal with wrong epoch succeeded")
+	}
+
+	// Expiry: the holder stops renewing; after TTL the lease is free and
+	// the next holder gets a higher epoch.
+	clk.advance(1100 * time.Millisecond)
+	if _, _, held := a.Holder(); held {
+		t.Fatal("expired lease still reported held")
+	}
+	if a.Renew("a", e1) {
+		t.Fatal("renewal of an expired lease succeeded")
+	}
+	e2, ok := a.Acquire("b")
+	if !ok || e2 != e1+1 {
+		t.Fatalf("takeover: epoch %d ok %v, want %d true", e2, ok, e1+1)
+	}
+}
+
+func TestArbiterRelease(t *testing.T) {
+	clk := newTickClock()
+	a := NewArbiter(time.Second, clk.now)
+	if _, ok := a.Acquire("a"); !ok {
+		t.Fatal("acquire failed")
+	}
+	// Releasing someone else's lease is a no-op.
+	a.Release("b")
+	if who, _, held := a.Holder(); !held || who != "a" {
+		t.Fatalf("foreign release disturbed the lease: %q %v", who, held)
+	}
+	a.Release("a")
+	if _, _, held := a.Holder(); held {
+		t.Fatal("lease held after release")
+	}
+	// Immediate takeover, no TTL wait.
+	if e, ok := a.Acquire("b"); !ok || e != 2 {
+		t.Fatalf("post-release acquire: epoch %d ok %v, want 2 true", e, ok)
+	}
+}

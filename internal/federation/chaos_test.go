@@ -1,0 +1,147 @@
+package federation
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"whopay/internal/core"
+)
+
+// TestChaosLeaderKillsMidTransferStorm: concurrent purchase → pay → deposit
+// traffic across every shard while both shard leaders are crash-killed in
+// turn. The chaos suite's invariants must hold at the end exactly as they do
+// for a single broker (PR 1): value conservation (everything minted is
+// redeemed exactly once), no accepted double spend, no honest party
+// punished, and no coin stuck.
+func TestChaosLeaderKillsMidTransferStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos storm is not -short")
+	}
+	w := newWorld(t, 2, 2, 100*time.Millisecond)
+
+	const pairs = 3
+	const rounds = 12
+	type pair struct {
+		payer, payee *core.Peer
+		payeeID      string
+		ref          string
+	}
+	ps := make([]pair, pairs)
+	for i := range ps {
+		payerID := fmt.Sprintf("payer-%d", i)
+		payeeID := fmt.Sprintf("payee-%d", i)
+		ps[i] = pair{
+			payer:   w.addPeer(payerID),
+			payee:   w.addPeer(payeeID),
+			payeeID: payeeID,
+			ref:     fmt.Sprintf("till-%d", i),
+		}
+	}
+
+	// The storm: every pair loops the full coin lifecycle while the killer
+	// goroutine takes down each shard's leader mid-flight. The client
+	// retry + redirect machinery must absorb both failovers, so every
+	// operation is expected to succeed.
+	var wg sync.WaitGroup
+	for i := range ps {
+		wg.Add(1)
+		go func(p pair, i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := p.payer.Purchase(1, false); err != nil {
+					t.Errorf("pair %d round %d purchase: %v", i, r, err)
+					return
+				}
+				if _, err := p.payer.Pay(w.peerAddr(p.payeeID), 1, core.PolicyI); err != nil {
+					t.Errorf("pair %d round %d pay: %v", i, r, err)
+					return
+				}
+				held := p.payee.HeldCoins()
+				if len(held) == 0 {
+					t.Errorf("pair %d round %d: payee holds nothing after pay", i, r)
+					return
+				}
+				if err := p.payee.Deposit(held[0], p.ref); err != nil {
+					t.Errorf("pair %d round %d deposit: %v", i, r, err)
+					return
+				}
+			}
+		}(ps[i], i)
+	}
+
+	killerDone := make(chan struct{})
+	go func() {
+		defer close(killerDone)
+		for shard := 0; shard < w.cluster.Shards(); shard++ {
+			time.Sleep(60 * time.Millisecond)
+			if _, err := w.cluster.KillLeader(shard); err != nil {
+				t.Errorf("kill shard %d leader: %v", shard, err)
+				return
+			}
+			if _, err := w.cluster.WaitLeader(shard, 5*time.Second); err != nil {
+				t.Errorf("shard %d never re-elected: %v", shard, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-killerDone
+	if t.Failed() {
+		return
+	}
+	w.drainSettlements(5 * time.Second)
+
+	// Invariant 1 — conservation: everything minted was redeemed exactly
+	// once, across all shards.
+	const minted = pairs * rounds
+	var issued, deposited int64
+	for s := 0; s < w.cluster.Shards(); s++ {
+		b, _, ok := w.cluster.LeaderBroker(s)
+		if !ok {
+			t.Fatalf("shard %d leaderless after the storm", s)
+		}
+		issued += b.IssuedValue()
+		deposited += b.DepositedValue()
+	}
+	if issued != minted {
+		t.Errorf("issued %d, want %d: mint count diverged from client view", issued, minted)
+	}
+	if deposited != minted {
+		t.Errorf("deposited %d, want %d: committed deposits lost or duplicated", deposited, minted)
+	}
+
+	// Invariant 2 — every till holds exactly its pair's takings, on its
+	// home shard only.
+	for i := range ps {
+		bals := w.balances(ps[i].ref)
+		var total int64
+		for _, b := range bals {
+			total += b
+		}
+		if total != rounds {
+			t.Errorf("till %d total %d, want %d (per shard: %v)", i, total, rounds, bals)
+		}
+		home := core.ShardOfKey(ps[i].ref, w.cluster.Shards())
+		if bals[home] != rounds {
+			t.Errorf("till %d: %d credits off the home shard", i, rounds-int(bals[home]))
+		}
+	}
+
+	// Invariant 3 — no false punishment: honest traffic through two
+	// failovers must not synthesize fraud cases.
+	for s := 0; s < w.cluster.Shards(); s++ {
+		b, _, _ := w.cluster.LeaderBroker(s)
+		if cases := b.FraudCases(); len(cases) != 0 {
+			t.Errorf("shard %d recorded %d fraud cases during an honest storm: %+v", s, len(cases), cases[0])
+		}
+	}
+
+	// Invariant 4 — no stuck coins: nothing is left held or owned.
+	for i := range ps {
+		if v := ps[i].payee.HeldValue(); v != 0 {
+			t.Errorf("payee %d stuck holding value %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,520 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whopay/internal/bus"
+	"whopay/internal/core"
+	"whopay/internal/wal"
+)
+
+// Node is one replica of one broker shard. Every node listens on its own
+// address from birth; what changes over its life is the role behind that
+// address. A leader runs a full core.Broker whose WAL streams to the shard's
+// other replicas; a follower mirrors the leader's log byte-for-byte and
+// rejects protocol traffic with ErrNotLeader redirects. Promotion recovers a
+// broker from the mirror — core.RecoverBroker replays the same journal the
+// leader wrote, so the promoted broker has the same signing key and the same
+// committed state.
+type Node struct {
+	shard   int
+	replica int
+	name    string
+	dir     string
+	addr    bus.Address
+	cluster *Cluster
+	fs      wal.FS
+
+	ep bus.Endpoint
+
+	// epoch is the lease epoch while leading; read lock-free by onAppend.
+	epoch atomic.Uint64
+
+	// inner holds the leader broker's handler, installed through nodeNet.
+	inner atomic.Value // bus.Handler
+
+	// alive flips false at shutdown so leaders stop streaming to us.
+	alive atomic.Bool
+
+	// looping is set once the lease loop goroutine exists (shutdown only
+	// waits for a loop that was actually started).
+	looping atomic.Bool
+
+	mu        sync.Mutex
+	broker    *core.Broker
+	seenEpoch uint64           // follower fencing: highest leader epoch seen
+	sizes     map[string]int64 // mirror file sizes (follower)
+	curName   string           // cached append handle for the hot segment
+	curFile   wal.File
+	lastErr   error
+	closed    bool
+
+	lagMu sync.Mutex
+	lag   map[bus.Address]int64 // leader: bytes sent but unacknowledged
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// newNode creates a follower node listening on its address.
+func newNode(c *Cluster, shard, replica int) (*Node, error) {
+	n := &Node{
+		shard:   shard,
+		replica: replica,
+		name:    fmt.Sprintf("s%dr%d", shard, replica),
+		dir:     filepath.Join(c.cfg.Wal.Dir, fmt.Sprintf("shard%d", shard), fmt.Sprintf("replica%d", replica)),
+		cluster: c,
+		fs:      c.cfg.Wal.FS,
+		sizes:   map[string]int64{},
+		lag:     map[bus.Address]int64{},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if n.fs == nil {
+		n.fs = wal.OS()
+	}
+	if err := n.fs.MkdirAll(n.dir); err != nil {
+		return nil, fmt.Errorf("federation: node dir: %w", err)
+	}
+	addr := bus.Address(fmt.Sprintf("%s-%s", c.cfg.AddrPrefix, n.name))
+	if c.cfg.AddrFor != nil {
+		addr = c.cfg.AddrFor(shard, replica)
+	}
+	ep, err := c.cfg.Network.Listen(addr, n.handle)
+	if err != nil {
+		return nil, fmt.Errorf("federation: node listen: %w", err)
+	}
+	n.ep = ep
+	n.addr = ep.Addr() // TCP ":0" binds pick a port
+	n.alive.Store(true)
+	return n, nil
+}
+
+// Addr returns the node's bus address.
+func (n *Node) Addr() bus.Address { return n.addr }
+
+// Broker returns the node's broker when it is currently a leader.
+func (n *Node) Broker() *core.Broker {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.broker
+}
+
+// Err returns the node's last promotion or replication failure.
+func (n *Node) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastErr
+}
+
+// LagBytes reports the largest unacknowledged byte count across this node's
+// followers (zero for followers and fully-caught-up leaders).
+func (n *Node) LagBytes() int64 {
+	n.lagMu.Lock()
+	defer n.lagMu.Unlock()
+	var max int64
+	for _, v := range n.lag {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// --- request dispatch -----------------------------------------------------
+
+// handle serves the node's address: replication messages always, protocol
+// traffic only while this node leads its shard (with a live lease — a
+// deposed leader that has not noticed yet still refuses, the fencing that
+// keeps two brokers from serving one shard).
+func (n *Node) handle(from bus.Address, msg any) (any, error) {
+	switch m := msg.(type) {
+	case FrameMsg:
+		return n.applyFrame(m)
+	case StateMsg:
+		return n.applyState(m)
+	}
+	h, _ := n.inner.Load().(bus.Handler)
+	if h == nil || !n.leads() {
+		return nil, n.notLeaderErr()
+	}
+	return h(from, msg)
+}
+
+// leads reports whether this node holds its shard's lease right now.
+func (n *Node) leads() bool {
+	who, _, held := n.cluster.arbiter(n.shard).Holder()
+	return held && who == n.name
+}
+
+// notLeaderErr builds the ErrNotLeader rejection, with a redirect hint to
+// the current leader when the cluster knows one.
+func (n *Node) notLeaderErr() error {
+	err := fmt.Errorf("%w: shard %d replica %d", core.ErrNotLeader, n.shard, n.replica)
+	if addr, ok := n.cluster.Leader(n.shard); ok && addr != n.addr {
+		err = bus.WithRedirect(err, addr)
+	}
+	return err
+}
+
+// --- follower: mirror the leader's log ------------------------------------
+
+// applyFrame appends one streamed WAL frame to the mirror. The expected
+// offset check is the integrity guarantee: a frame landing anywhere but the
+// end of the mirror means the mirror diverged, and the follower asks for a
+// full resync rather than guessing.
+func (n *Node) applyFrame(m FrameMsg) (any, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errors.New("federation: node closed")
+	}
+	if n.broker != nil {
+		return nil, fmt.Errorf("federation: shard %d replica %d is a leader, not a mirror", n.shard, n.replica)
+	}
+	if m.Epoch < n.seenEpoch {
+		return nil, fmt.Errorf("federation: frame from deposed leader epoch %d (seen %d)", m.Epoch, n.seenEpoch)
+	}
+	n.seenEpoch = m.Epoch
+	name := wal.SegmentName(m.Seg)
+	size := n.sizes[name]
+	switch {
+	case m.Off == size:
+		// The expected append point.
+	case m.Off+int64(len(m.Frame)) <= size:
+		return FrameAck{}, nil // duplicate after a resync overlap
+	default:
+		n.dropCurLocked()
+		return FrameAck{Resync: true}, nil
+	}
+	if err := n.appendMirrorLocked(name, m.Frame, m.Off == 0); err != nil {
+		n.lastErr = err
+		n.dropCurLocked()
+		return FrameAck{Resync: true}, nil
+	}
+	n.sizes[name] = size + int64(len(m.Frame))
+	return FrameAck{}, nil
+}
+
+// appendMirrorLocked writes frame bytes at the end of the named mirror file,
+// caching the hot segment's handle. fresh means the leader just created the
+// segment, so the mirror truncates too.
+func (n *Node) appendMirrorLocked(name string, frame []byte, fresh bool) error {
+	if n.curName != name {
+		n.dropCurLocked()
+		path := filepath.Join(n.dir, name)
+		var f wal.File
+		var err error
+		if fresh {
+			f, err = n.fs.Create(path)
+		} else {
+			f, err = n.fs.OpenAppend(path)
+		}
+		if err != nil {
+			return err
+		}
+		n.curName, n.curFile = name, f
+	}
+	if _, err := n.curFile.Write(frame); err != nil {
+		return err
+	}
+	if n.cluster.cfg.Wal.Policy == wal.FsyncAlways {
+		return n.curFile.Sync()
+	}
+	return nil
+}
+
+// dropCurLocked closes the cached append handle (syncing what the OS holds).
+func (n *Node) dropCurLocked() {
+	if n.curFile != nil {
+		_ = n.curFile.Sync()
+		_ = n.curFile.Close()
+	}
+	n.curName, n.curFile = "", nil
+}
+
+// applyState replaces the whole mirror with the leader's file set — the
+// catch-up path for fresh replicas and diverged mirrors.
+func (n *Node) applyState(m StateMsg) (any, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errors.New("federation: node closed")
+	}
+	if n.broker != nil {
+		return nil, fmt.Errorf("federation: shard %d replica %d is a leader, not a mirror", n.shard, n.replica)
+	}
+	if m.Epoch < n.seenEpoch {
+		return nil, fmt.Errorf("federation: state from deposed leader epoch %d (seen %d)", m.Epoch, n.seenEpoch)
+	}
+	n.seenEpoch = m.Epoch
+	n.dropCurLocked()
+	names, err := n.fs.ReadDir(n.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if wal.IsLogFile(name) {
+			if err := n.fs.Remove(filepath.Join(n.dir, name)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	n.sizes = make(map[string]int64, len(m.Files))
+	for _, sf := range m.Files {
+		if sf.Name != filepath.Base(sf.Name) || !wal.IsLogFile(sf.Name) {
+			return nil, fmt.Errorf("federation: bad state file name %q", sf.Name)
+		}
+		f, err := n.fs.Create(filepath.Join(n.dir, sf.Name))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Write(sf.Data); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		n.sizes[sf.Name] = int64(len(sf.Data))
+	}
+	return StateAck{}, nil
+}
+
+// --- leader: stream the log -----------------------------------------------
+
+// onAppend is the leader's wal.Config.OnAppend hook: push the committed
+// frame to every follower before the append (and therefore the protocol
+// response) completes. Runs inside the log's write lock, so followers see
+// frames in total order; it must not take n.mu (the broker's request path
+// owns it through handle) and must not call back into the log.
+func (n *Node) onAppend(seg uint64, off int64, frame []byte) {
+	msg := FrameMsg{Shard: n.shard, Epoch: n.epoch.Load(), Seg: seg, Off: off, Frame: frame}
+	for _, to := range n.cluster.followerAddrs(n.shard, n.replica) {
+		n.pushFrame(to, msg)
+	}
+}
+
+// pushFrame delivers one frame to one follower, falling back to a full-state
+// resync when the follower reports divergence. Failures only accrue lag —
+// the follower will resync on the next frame.
+func (n *Node) pushFrame(to bus.Address, msg FrameMsg) {
+	resp, err := n.ep.Call(to, msg)
+	if err != nil {
+		n.addLag(to, int64(len(msg.Frame)))
+		return
+	}
+	ack, ok := resp.(FrameAck)
+	if !ok {
+		n.addLag(to, int64(len(msg.Frame)))
+		return
+	}
+	if ack.Resync {
+		n.resyncFollower(to, msg.Epoch)
+		return
+	}
+	n.clearLag(to)
+}
+
+// resyncFollower ships the full live file set to one follower.
+func (n *Node) resyncFollower(to bus.Address, epoch uint64) {
+	files, err := wal.ListFiles(n.fs, n.dir)
+	if err != nil {
+		n.setErr(err)
+		return
+	}
+	st := StateMsg{Shard: n.shard, Epoch: epoch}
+	var total int64
+	for _, fi := range files {
+		data, err := wal.ReadFileBytes(n.fs, n.dir, fi.Name)
+		if err != nil {
+			n.setErr(err)
+			return
+		}
+		st.Files = append(st.Files, StateFile{Name: fi.Name, Data: data})
+		total += int64(len(data))
+	}
+	if _, err := n.ep.Call(to, st); err != nil {
+		n.addLag(to, total)
+		return
+	}
+	n.clearLag(to)
+}
+
+func (n *Node) addLag(to bus.Address, bytes int64) {
+	n.lagMu.Lock()
+	n.lag[to] += bytes
+	n.lagMu.Unlock()
+}
+
+func (n *Node) clearLag(to bus.Address) {
+	n.lagMu.Lock()
+	n.lag[to] = 0
+	n.lagMu.Unlock()
+}
+
+func (n *Node) setErr(err error) {
+	n.mu.Lock()
+	if n.lastErr == nil {
+		n.lastErr = err
+	}
+	n.mu.Unlock()
+}
+
+// --- leases and promotion -------------------------------------------------
+
+// run is the node's lease loop: leaders renew, followers watch for a vacancy
+// and promote when they win it.
+func (n *Node) run(heartbeat time.Duration) {
+	defer close(n.done)
+	t := time.NewTicker(heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		n.tick()
+	}
+}
+
+func (n *Node) tick() {
+	arb := n.cluster.arbiter(n.shard)
+	n.mu.Lock()
+	leading := n.broker != nil
+	n.mu.Unlock()
+	if leading {
+		if !arb.Renew(n.name, n.epoch.Load()) {
+			n.stepDown()
+		}
+		return
+	}
+	if epoch, ok := arb.Acquire(n.name); ok {
+		if err := n.promote(epoch, true); err != nil {
+			arb.Release(n.name)
+			n.setErr(err)
+		}
+	}
+}
+
+// tryLead is the deterministic boot path: acquire the (fresh) lease and
+// promote without counting a failover.
+func (n *Node) tryLead() error {
+	epoch, ok := n.cluster.arbiter(n.shard).Acquire(n.name)
+	if !ok {
+		return fmt.Errorf("federation: shard %d lease already held", n.shard)
+	}
+	return n.promote(epoch, false)
+}
+
+// promote turns this node into its shard's leader: recover a full broker
+// from the local (mirrored) journal — or mint a fresh one on first boot —
+// and publish leadership. Holding n.mu for the duration blocks stray frames
+// from racing the recovery replay.
+func (n *Node) promote(epoch uint64, failover bool) error {
+	start := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed || n.broker != nil {
+		return nil
+	}
+	n.dropCurLocked()
+	n.epoch.Store(epoch)
+	cfg := n.cluster.brokerConfig(n)
+	files, err := wal.ListFiles(n.fs, n.dir)
+	if err != nil {
+		return err
+	}
+	var b *core.Broker
+	if len(files) == 0 {
+		b, err = core.NewBroker(cfg)
+	} else {
+		b, err = core.RecoverBroker(cfg)
+	}
+	if err != nil {
+		return fmt.Errorf("federation: promoting shard %d replica %d: %w", n.shard, n.replica, err)
+	}
+	n.broker = b
+	n.cluster.setLeader(n.shard, n.replica, n.addr, b.PublicKey())
+	if failover {
+		n.cluster.noteFailover(n.shard, time.Since(start))
+	}
+	return nil
+}
+
+// stepDown closes the broker after a lost lease; the node reverts to
+// follower and will resync its mirror from whoever leads next.
+func (n *Node) stepDown() {
+	n.mu.Lock()
+	b := n.broker
+	n.broker = nil
+	n.sizes = map[string]int64{}
+	n.mu.Unlock()
+	if b != nil {
+		_ = b.Close()
+	}
+	n.cluster.clearLeader(n.shard, n.addr)
+}
+
+// shutdown stops the node. release distinguishes a clean stop (lease freed,
+// followers take over immediately) from a kill (the lease expires on its
+// own — the failure the TTL exists for).
+func (n *Node) shutdown(release bool) {
+	n.alive.Store(false)
+	n.stopOnce.Do(func() { close(n.stop) })
+	if n.looping.Load() {
+		<-n.done
+	}
+	_ = n.ep.Close()
+	n.mu.Lock()
+	n.closed = true
+	n.dropCurLocked()
+	b := n.broker
+	n.broker = nil
+	n.mu.Unlock()
+	if b != nil {
+		_ = b.Close()
+	}
+	n.cluster.clearLeader(n.shard, n.addr)
+	if release {
+		n.cluster.arbiter(n.shard).Release(n.name)
+	}
+}
+
+// --- the broker's view of the network --------------------------------------
+
+// nodeNet is the bus.Network handed to the node's broker: Listen does not
+// bind anything — the node already listens — it installs the broker's
+// handler behind the node's gate and returns an endpoint that calls out
+// through the node's real one.
+type nodeNet struct{ n *Node }
+
+// Listen implements bus.Network.
+func (nn nodeNet) Listen(_ bus.Address, h bus.Handler) (bus.Endpoint, error) {
+	nn.n.inner.Store(h)
+	return nodeEndpoint{n: nn.n}, nil
+}
+
+type nodeEndpoint struct{ n *Node }
+
+func (e nodeEndpoint) Addr() bus.Address { return e.n.addr }
+
+func (e nodeEndpoint) Call(to bus.Address, msg any) (any, error) {
+	return e.n.ep.Call(to, msg)
+}
+
+func (e nodeEndpoint) Close() error {
+	e.n.inner.Store(bus.Handler(nil))
+	return nil
+}

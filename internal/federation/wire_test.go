@@ -1,0 +1,70 @@
+package federation
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"whopay/internal/wire"
+)
+
+// TestReplicationWireRoundTrip: each replication message must survive
+// encode → decode → re-encode byte-for-byte, populated and zero.
+func TestReplicationWireRoundTrip(t *testing.T) {
+	RegisterWireTypes()
+	msgs := []any{
+		FrameMsg{Shard: 3, Epoch: 7, Seg: 12, Off: 4096, Frame: []byte("frame-bytes")},
+		FrameMsg{},
+		FrameAck{Resync: true},
+		FrameAck{},
+		StateMsg{Shard: 1, Epoch: 2, Files: []StateFile{
+			{Name: "seg-00000001.wal", Data: []byte("abc")},
+			{Name: "seg-00000002.wal", Data: nil},
+		}},
+		StateMsg{},
+		StateAck{},
+	}
+	for _, m := range msgs {
+		e, ok := wire.ByValue(m)
+		if !ok {
+			t.Fatalf("no codec for %T", m)
+		}
+		first, err := e.Enc(nil, m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		decoded, err := wire.Decode(e.Tag, first)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		second, err := e.Enc(nil, decoded)
+		if err != nil {
+			t.Fatalf("re-encode %T: %v", m, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%T: encode→decode→encode not byte-identical", m)
+		}
+		if reflect.TypeOf(decoded) != reflect.TypeOf(m) {
+			t.Errorf("%T decoded to %T", m, decoded)
+		}
+	}
+}
+
+// TestStateMsgMalformedCount: a count field larger than the remaining
+// payload must be rejected, not allocated.
+func TestStateMsgMalformedCount(t *testing.T) {
+	RegisterWireTypes()
+	e, ok := wire.ByValue(StateMsg{})
+	if !ok {
+		t.Fatal("no codec for StateMsg")
+	}
+	raw, err := e.Enc(nil, StateMsg{Shard: 0, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the trailing file count into an absurd value.
+	raw[len(raw)-1] = 0xff
+	if _, err := wire.Decode(e.Tag, append(raw, 0xff, 0xff, 0x7f)); err == nil {
+		t.Error("decoder accepted a file count exceeding the payload")
+	}
+}

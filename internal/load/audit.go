@@ -3,6 +3,7 @@ package load
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"whopay/internal/coin"
 	"whopay/internal/core"
@@ -25,6 +26,10 @@ type Audit struct {
 	DoubleDepositCases int64 `json:"double_deposit_cases"`
 	DSRejected         int64 `json:"replays_rejected"`
 	DSAccepted         int64 `json:"replays_accepted"`
+
+	// SettlementsPending is the cross-shard settlements still unacked when
+	// the audit ran — non-zero only if the post-drain wait timed out.
+	SettlementsPending int `json:"settlements_pending,omitempty"`
 
 	Conserved     bool     `json:"conserved"`
 	NoDoubleSpend bool     `json:"no_double_spend"`
@@ -80,7 +85,25 @@ func (w *World) DrainAndAudit() Audit {
 		return nil
 	})
 
+	// Under federation, a foreign-shard deposit is committed before its
+	// settlement lands on the payout's home shard; conservation compares
+	// per-shard ledgers, so every settlement must be acked first.
+	w.drainSettlements(30 * time.Second)
+
 	return w.audit(false)
+}
+
+// drainSettlements waits until no live leader has unacked cross-shard
+// settlements. A timeout is not fatal here — the audit reports the residue
+// and the conservation check surfaces what it cost.
+func (w *World) drainSettlements(timeout time.Duration) {
+	if w.Fed == nil {
+		return
+	}
+	deadline := time.Now().Add(timeout)
+	for w.Fed.PendingSettlements() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // AuditOnly computes the ledger verdict without draining — for aborted
@@ -92,24 +115,37 @@ func (w *World) AuditOnly() Audit {
 	return a
 }
 
-// audit gathers the numbers and applies the invariants.
+// audit gathers the numbers and applies the invariants. Under federation
+// the ledger is the sum over shard leaders: issuance and redemption happen
+// on a coin's home shard, payout credit on the reference's home shard, so
+// per-shard sums compose into the same global invariants.
 func (w *World) audit(skipped bool) Audit {
+	brokers := w.brokers()
 	a := Audit{
 		Skipped:    skipped,
-		Issued:     w.Broker.IssuedValue(),
 		Minted:     w.minted.Load(),
-		Deposited:  w.Broker.DepositedValue(),
 		Parked:     w.parked.Load(),
 		DSRejected: w.dsRejected.Load(),
 		DSAccepted: w.dsAccepted.Load(),
 	}
+	if w.Fed != nil {
+		a.SettlementsPending = w.Fed.PendingSettlements()
+	}
+	for _, b := range brokers {
+		a.Issued += b.IssuedValue()
+		a.Deposited += b.DepositedValue()
+	}
 	a.Ghost = a.Issued - a.Minted
 	for _, actor := range w.Actors {
-		a.Balances += w.Broker.Balance(actor.Peer.ID())
+		for _, b := range brokers {
+			a.Balances += b.Balance(actor.Peer.ID())
+		}
 	}
-	for _, fc := range w.Broker.FraudCases() {
-		if fc.Kind == "double-deposit" {
-			a.DoubleDepositCases++
+	for _, b := range brokers {
+		for _, fc := range b.FraudCases() {
+			if fc.Kind == "double-deposit" {
+				a.DoubleDepositCases++
+			}
 		}
 	}
 
@@ -121,6 +157,10 @@ func (w *World) audit(skipped bool) Audit {
 	}
 	a.Conserved = true
 	if !skipped {
+		if a.SettlementsPending > 0 {
+			a.Conserved = false
+			violate("%d cross-shard settlements never acked", a.SettlementsPending)
+		}
 		if a.Deposited != a.Issued-a.Ghost {
 			a.Conserved = false
 			violate("value not conserved: issued %d, ghost %d, redeemed %d", a.Issued, a.Ghost, a.Deposited)
@@ -139,16 +179,20 @@ func (w *World) audit(skipped bool) Audit {
 		a.NoDoubleSpend = false
 		violate("broker accepted %d deposit replays", a.DSAccepted)
 	}
-	for _, fc := range w.Broker.FraudCases() {
-		if fc.Kind == "owner-fraud" || fc.Punished != "" {
-			a.NoDoubleSpend = false
-			violate("honest party punished: kind=%s punished=%q coin=%s", fc.Kind, fc.Punished, fc.CoinID)
+	for _, b := range brokers {
+		for _, fc := range b.FraudCases() {
+			if fc.Kind == "owner-fraud" || fc.Punished != "" {
+				a.NoDoubleSpend = false
+				violate("honest party punished: kind=%s punished=%q coin=%s", fc.Kind, fc.Punished, fc.CoinID)
+			}
 		}
 	}
 	for _, actor := range w.Actors {
-		if w.Broker.Frozen(actor.Peer.ID()) {
-			a.NoDoubleSpend = false
-			violate("honest actor %s frozen", actor.Peer.ID())
+		for _, b := range brokers {
+			if b.Frozen(actor.Peer.ID()) {
+				a.NoDoubleSpend = false
+				violate("honest actor %s frozen", actor.Peer.ID())
+			}
 		}
 	}
 	return a

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 )
 
@@ -33,6 +34,9 @@ type ConfigEcho struct {
 	GobWire      bool    `json:"gob_wire,omitempty"`
 	Channels     int     `json:"channels,omitempty"`
 	DepositBatch int     `json:"deposit_batch,omitempty"`
+	Shards       int     `json:"shards,omitempty"`
+	Replicas     int     `json:"replicas,omitempty"`
+	LeaseTTLMs   float64 `json:"lease_ttl_ms,omitempty"`
 }
 
 // LatencyMs is the percentile summary in milliseconds, computed from
@@ -83,9 +87,23 @@ type Report struct {
 	EventsFired []string           `json:"events_fired,omitempty"`
 	Obs         map[string]float64 `json:"obs,omitempty"`
 
-	Channels *ChannelStats `json:"channels,omitempty"`
+	Channels *ChannelStats  `json:"channels,omitempty"`
+	Failover *FailoverStats `json:"failover,omitempty"`
 
 	Audit Audit `json:"audit"`
+}
+
+// FailoverStats is the broker-failover scenario's extract: how many
+// leaders were killed, how long each shard took to serve again (wall time
+// from crash to a promoted follower answering — the lease TTL is the
+// floor), and how much client traffic was rerouted by redirect hints.
+type FailoverStats struct {
+	LeadersKilled int       `json:"leaders_killed"`
+	RecoverMs     []float64 `json:"recover_ms"`
+	RecoverMsMax  float64   `json:"recover_ms_max"`
+	PromoteMsMean float64   `json:"promote_ms_mean,omitempty"`
+	Redirects     int64     `json:"redirects"`
+	RedirectRate  float64   `json:"redirect_rate"` // redirects per completed op
 }
 
 // ChannelStats summarizes micropay-channel activity: windows opened,
@@ -150,6 +168,9 @@ func BuildReport(r *Run, res Result, audit Audit) Report {
 			GobWire:      w.cfg.GobWire,
 			Channels:     w.cfg.Channels,
 			DepositBatch: w.cfg.DepositBatch,
+			Shards:       w.cfg.Shards,
+			Replicas:     w.cfg.Replicas,
+			LeaseTTLMs:   ms(w.cfg.LeaseTTL),
 		},
 		Interrupted: res.Stopped,
 		Scheduled:   res.Scheduled,
@@ -209,6 +230,40 @@ func BuildReport(r *Run, res Result, audit Audit) Report {
 			SettledValue: w.channelSettled.Load(),
 		}
 	}
+	if w.Fed != nil {
+		fo := &FailoverStats{Redirects: w.Redirects()}
+		for _, d := range w.FailoverRecoveries() {
+			v := ms(d)
+			fo.RecoverMs = append(fo.RecoverMs, v)
+			if v > fo.RecoverMsMax {
+				fo.RecoverMsMax = v
+			}
+		}
+		fo.LeadersKilled = len(fo.RecoverMs)
+		if res.Completed > 0 {
+			fo.RedirectRate = float64(fo.Redirects) / float64(res.Completed)
+		}
+		// Promotion latency (lease win → serving broker) from the cluster
+		// histogram, summed across shards.
+		var sum float64
+		var count int64
+		for s := 0; s < w.Fed.Shards(); s++ {
+			lbl := map[string]string{"shard": fmt.Sprintf("%d", s)}
+			h := w.Reg.Histogram("whopay_fed_failover_seconds", lbl, nil)
+			sum += h.Sum()
+			count += h.Count()
+		}
+		if count > 0 {
+			fo.PromoteMsMean = sum / float64(count) * 1000
+		}
+		for s := 0; s < w.Fed.Shards(); s++ {
+			lbl := map[string]string{"shard": fmt.Sprintf("%d", s)}
+			if v, ok := w.Reg.Value("whopay_fed_failovers_total", lbl); ok {
+				rep.Obs["whopay_fed_failovers_total"] += v
+			}
+		}
+		rep.Failover = fo
+	}
 	return rep
 }
 
@@ -222,8 +277,10 @@ func walPolicyName(w *World) string {
 
 // ReportFileName names the artifact: BENCH_load_<scenario>.json, with a
 // _wal suffix for the journaling variant so both variants of one scenario
-// can live side by side.
+// can live side by side. Scenario-name hyphens become underscores so the
+// artifact basename splits cleanly on "_".
 func ReportFileName(scenario string, wal bool) string {
+	scenario = strings.ReplaceAll(scenario, "-", "_")
 	if wal {
 		return "BENCH_load_" + scenario + "_wal.json"
 	}

@@ -3,6 +3,7 @@ package load
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"whopay/internal/bus"
 )
@@ -38,6 +39,9 @@ type Scenario struct {
 	Channels     int
 	DepositBatch int
 	Faults       bool
+	Shards       int
+	Replicas     int
+	LeaseTTL     time.Duration
 
 	Mix                []WeightedOp
 	Events             []Event
@@ -83,6 +87,9 @@ func (s *Scenario) WorldConfig(base WorldConfig) WorldConfig {
 		base.DepositBatch = s.DepositBatch // a CLI override wins
 	}
 	base.Faults = s.Faults
+	base.Shards = s.Shards
+	base.Replicas = s.Replicas
+	base.LeaseTTL = s.LeaseTTL
 	return base
 }
 
@@ -182,6 +189,33 @@ func Scenarios() []*Scenario {
 				{Name: "mint", Weight: 5, Do: (*World).OpMint},
 			},
 			ExpectedRejections: append([]string{"core.no_channel", "core.channel_closed"}, contentionRejections...),
+		},
+		{
+			Name: "broker-failover",
+			Summary: "federated trust root under crash-failover — shard leaders killed mid-run, " +
+				"followers promote from mirrored logs, clients ride retries and redirects",
+			WarmCoins: 4,
+			Shards:    2,
+			Replicas:  2,
+			LeaseTTL:  250 * time.Millisecond,
+			Mix: []WeightedOp{
+				{Name: "transfer", Weight: 40, Do: (*World).OpTransfer},
+				{Name: "mint", Weight: 20, Do: (*World).OpMint},
+				{Name: "renew", Weight: 10, Do: (*World).OpRenew},
+				{Name: "deposit", Weight: 30, Do: (*World).OpDeposit},
+			},
+			Events: []Event{
+				{Frac: 0.35, Name: "kill-leader", Do: (*World).KillNextLeader},
+				{Frac: 0.70, Name: "kill-leader-2", Do: (*World).KillNextLeader},
+			},
+			// A kill window legitimately surfaces the federation verdicts
+			// (redirects that ran out of retry budget) and retried deposits
+			// that had already committed.
+			ExpectedRejections: append([]string{
+				"core.not_leader",
+				"core.wrong_shard",
+				"core.already_deposited",
+			}, contentionRejections...),
 		},
 		{
 			Name:      "partition",
@@ -295,9 +329,9 @@ func (w *World) HealNetwork() {
 	}
 }
 
-// infraAddrs lists the non-actor endpoints: broker, judge, DHT nodes.
+// infraAddrs lists the non-actor endpoints: broker(s), judge, DHT nodes.
 func (w *World) infraAddrs() []bus.Address {
-	addrs := []bus.Address{w.Broker.BoundAddr(), w.JudgeSrv.Addr()}
+	addrs := append(w.brokerAddrs(), w.JudgeSrv.Addr())
 	if w.Cluster != nil {
 		addrs = append(addrs, w.Cluster.Addrs()...)
 	}

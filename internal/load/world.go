@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"whopay/internal/coin"
 	"whopay/internal/core"
 	"whopay/internal/dht"
+	"whopay/internal/federation"
 	"whopay/internal/obs"
 	"whopay/internal/sig"
 	"whopay/internal/wal"
@@ -60,6 +62,15 @@ type WorldConfig struct {
 	// DepositLinger bounds how long the first deposit of a batch waits
 	// for company (default 2ms when DepositBatch is on).
 	DepositLinger time.Duration
+	// Shards and Replicas, when either exceeds 1, replace the single
+	// broker with a federated cluster: Shards trust-root partitions, each
+	// Replicas-wide with WAL-streamed mirrors and lease failover. Actors
+	// route by coin ID through the cluster and follow redirects.
+	Shards   int
+	Replicas int
+	// LeaseTTL is the federation lease TTL — the worst-case leaderless
+	// window after a crash (0: the federation default).
+	LeaseTTL time.Duration
 	// WALDir, when non-empty, journals the broker (the serialization hot
 	// spot durability actually taxes) under this directory.
 	WALDir string
@@ -162,9 +173,19 @@ type World struct {
 	FB       *faultbus.Network // nil unless cfg.Faults
 	Dir      *core.Directory
 	JudgeSrv *core.JudgeServer
-	Broker   *core.Broker
-	Cluster  *dht.Cluster // nil unless cfg.Detection
+	Broker   *core.Broker        // nil under federation — use brokers()
+	Fed      *federation.Cluster // nil unless Shards/Replicas federate
+	Cluster  *dht.Cluster        // nil unless cfg.Detection
 	Actors   []*Actor
+
+	// fedWalTmp is the federation journal root when the run supplied no
+	// WALDir (federated brokers always journal — the mirror IS the log).
+	fedWalTmp string
+
+	// Failover bookkeeping: kill→serving-again wall time per leader kill.
+	foKills   atomic.Int64
+	foMu      sync.Mutex
+	foRecover []time.Duration
 
 	// minted is the value actors observed entering circulation; the gap
 	// to Broker.IssuedValue() is ghost value (a purchase response lost
@@ -282,15 +303,6 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		dhtAddrs = w.Cluster.Addrs()
 	}
 
-	var brokerWAL *wal.Config
-	if cfg.WALDir != "" {
-		brokerWAL = &wal.Config{
-			Dir:    filepath.Join(cfg.WALDir, "broker"),
-			Policy: cfg.Fsync,
-			Obs:    cfg.Reg,
-			Entity: "broker",
-		}
-	}
 	var depositBatch *core.DepositBatchConfig
 	if cfg.DepositBatch > 0 {
 		linger := cfg.DepositLinger
@@ -299,23 +311,77 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		}
 		depositBatch = &core.DepositBatchConfig{MaxBatch: cfg.DepositBatch, MaxLinger: linger}
 	}
-	w.Broker, err = core.NewBroker(core.BrokerConfig{
-		Network:      w.Net,
-		Addr:         w.addr("broker"),
-		Scheme:       cfg.Scheme,
-		Directory:    w.Dir,
-		GroupPub:     judge.GroupPublicKey(),
-		DHTNodes:     dhtAddrs,
-		Persistence:  brokerWAL,
-		Obs:          cfg.Reg,
-		DepositBatch: depositBatch,
-	})
-	if err != nil {
-		w.Close()
-		return nil, fmt.Errorf("load: broker: %w", err)
-	}
-	if w.Cluster != nil {
-		w.Cluster.Trust(w.Broker.PublicKey())
+	if cfg.Shards > 1 || cfg.Replicas > 1 {
+		// Federated trust root. Mirror replication is the log, so the
+		// cluster always journals: under WALDir when the run persists,
+		// under a temp root otherwise.
+		federation.RegisterWireTypes() // replication frames cross the real wire
+		fedRoot := ""
+		if cfg.WALDir != "" {
+			fedRoot = filepath.Join(cfg.WALDir, "federation")
+		} else {
+			fedRoot, err = os.MkdirTemp("", "whopay-load-fed-")
+			if err != nil {
+				w.Close()
+				return nil, fmt.Errorf("load: federation wal root: %w", err)
+			}
+			w.fedWalTmp = fedRoot
+		}
+		w.Fed, err = federation.Start(federation.Config{
+			Shards:   cfg.Shards,
+			Replicas: cfg.Replicas,
+			Network:  w.Net,
+			Broker: core.BrokerConfig{
+				Scheme:       cfg.Scheme,
+				Directory:    w.Dir,
+				GroupPub:     judge.GroupPublicKey(),
+				DHTNodes:     dhtAddrs,
+				DepositBatch: depositBatch,
+			},
+			Wal:      wal.Config{Dir: fedRoot, Policy: cfg.Fsync},
+			LeaseTTL: cfg.LeaseTTL,
+			Obs:      cfg.Reg,
+			AddrFor: func(s, r int) bus.Address {
+				return w.addr(fmt.Sprintf("fed-s%dr%d", s, r))
+			},
+		})
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("load: federation: %w", err)
+		}
+		if w.Cluster != nil {
+			for s := 0; s < w.Fed.Shards(); s++ {
+				w.Cluster.Trust(w.Fed.BrokerPub(s))
+			}
+		}
+	} else {
+		var brokerWAL *wal.Config
+		if cfg.WALDir != "" {
+			brokerWAL = &wal.Config{
+				Dir:    filepath.Join(cfg.WALDir, "broker"),
+				Policy: cfg.Fsync,
+				Obs:    cfg.Reg,
+				Entity: "broker",
+			}
+		}
+		w.Broker, err = core.NewBroker(core.BrokerConfig{
+			Network:      w.Net,
+			Addr:         w.addr("broker"),
+			Scheme:       cfg.Scheme,
+			Directory:    w.Dir,
+			GroupPub:     judge.GroupPublicKey(),
+			DHTNodes:     dhtAddrs,
+			Persistence:  brokerWAL,
+			Obs:          cfg.Reg,
+			DepositBatch: depositBatch,
+		})
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("load: broker: %w", err)
+		}
+		if w.Cluster != nil {
+			w.Cluster.Trust(w.Broker.PublicKey())
+		}
 	}
 
 	if err := w.spawnActors(dhtAddrs); err != nil {
@@ -332,6 +398,21 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 // spawnActors builds and enrolls every actor in parallel.
 func (w *World) spawnActors(dhtAddrs []bus.Address) error {
 	cfg := w.cfg
+	brokerAddr, brokerPub := w.brokerIdentity()
+	var router core.ShardRouter
+	var retry *bus.RetryPolicy
+	if w.Fed != nil {
+		router = w.Fed
+		// The retry budget must outlive a leaderless window: backoff sums
+		// past the lease TTL, so an op issued into a failover rides
+		// retries and redirects to the promoted follower.
+		retry = &bus.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   25 * time.Millisecond,
+			MaxDelay:    300 * time.Millisecond,
+			Factor:      2,
+		}
+	}
 	w.Actors = make([]*Actor, cfg.Actors)
 	return eachIndex(cfg.Actors, func(i int) error {
 		id := fmt.Sprintf("actor-%04d", i)
@@ -341,8 +422,10 @@ func (w *World) spawnActors(dhtAddrs []bus.Address) error {
 			Addr:               w.addr("peer:" + id),
 			Scheme:             cfg.Scheme,
 			Directory:          w.Dir,
-			BrokerAddr:         w.Broker.BoundAddr(),
-			BrokerPub:          w.Broker.PublicKey(),
+			BrokerAddr:         brokerAddr,
+			BrokerPub:          brokerPub,
+			Router:             router,
+			Retry:              retry,
 			JudgeAddr:          w.JudgeSrv.Addr(),
 			CredPool:           cfg.CredPool,
 			DHTNodes:           dhtAddrs,
@@ -356,6 +439,86 @@ func (w *World) spawnActors(dhtAddrs []bus.Address) error {
 		w.Actors[i] = &Actor{Idx: i, Peer: p}
 		return nil
 	})
+}
+
+// brokerIdentity returns the fallback broker address and key actors are
+// configured with: the single broker, or shard 0's founding leader under
+// federation (the Router keeps both current from there).
+func (w *World) brokerIdentity() (bus.Address, sig.PublicKey) {
+	if w.Fed == nil {
+		return w.Broker.BoundAddr(), w.Broker.PublicKey()
+	}
+	addr, _ := w.Fed.Leader(0)
+	return addr, w.Fed.BrokerPub(0)
+}
+
+// brokers lists the live trust roots: the single broker, or every shard's
+// current leader. Ledger reads (audit, balances) sum over this.
+func (w *World) brokers() []*core.Broker {
+	if w.Fed == nil {
+		return []*core.Broker{w.Broker}
+	}
+	out := make([]*core.Broker, 0, w.Fed.Shards())
+	for s := 0; s < w.Fed.Shards(); s++ {
+		if b, _, ok := w.Fed.LeaderBroker(s); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// brokerAddrs lists every broker endpoint: the single broker's, or all
+// federation nodes' (leaders and followers — partitions cut them all).
+func (w *World) brokerAddrs() []bus.Address {
+	if w.Fed == nil {
+		return []bus.Address{w.Broker.BoundAddr()}
+	}
+	var out []bus.Address
+	for s := 0; s < w.Fed.Shards(); s++ {
+		for r := 0; r < w.Fed.Replicas(); r++ {
+			out = append(out, w.Fed.Node(s, r).Addr())
+		}
+	}
+	return out
+}
+
+// Redirects sums the redirect hints actors' retry layers followed — the
+// failover scenario's client-visible rerouting count.
+func (w *World) Redirects() int64 {
+	var total int64
+	for _, a := range w.Actors {
+		total += a.Peer.Redirects()
+	}
+	return total
+}
+
+// FailoverRecoveries returns each leader kill's wall-clock time from crash
+// to a follower serving the shard again (lease expiry included).
+func (w *World) FailoverRecoveries() []time.Duration {
+	w.foMu.Lock()
+	defer w.foMu.Unlock()
+	return append([]time.Duration(nil), w.foRecover...)
+}
+
+// KillNextLeader is the broker-failover scenario event: crash-stop the
+// next shard's leader (round-robin across kills) and record the time until
+// a promoted follower serves the shard again. The lease is not released —
+// the shard stays leaderless for a full TTL, exactly like a real crash.
+func (w *World) KillNextLeader(_ *rand.Rand) {
+	if w.Fed == nil {
+		return
+	}
+	shard := int(w.foKills.Add(1)-1) % w.Fed.Shards()
+	start := time.Now()
+	if _, err := w.Fed.KillLeader(shard); err != nil {
+		return
+	}
+	if _, err := w.Fed.WaitLeader(shard, 30*time.Second); err != nil {
+		return
+	}
+	w.foMu.Lock()
+	w.foRecover = append(w.foRecover, time.Since(start))
+	w.foMu.Unlock()
 }
 
 // warmup pre-funds every actor's ready queue and mints the hot set. Warm
@@ -477,11 +640,17 @@ func (w *World) Close() {
 	if w.Cluster != nil {
 		w.Cluster.Close()
 	}
+	if w.Fed != nil {
+		_ = w.Fed.Close()
+	}
 	if w.Broker != nil {
 		_ = w.Broker.Close()
 	}
 	if w.JudgeSrv != nil {
 		_ = w.JudgeSrv.Close()
+	}
+	if w.fedWalTmp != "" {
+		_ = os.RemoveAll(w.fedWalTmp)
 	}
 }
 

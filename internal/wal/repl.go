@@ -1,0 +1,88 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Replication helpers: a federation leader streams its log to followers
+// frame-by-frame via Config.OnAppend; these functions cover the catch-up
+// path — listing the live files with their sizes and shipping whole files
+// to a follower whose mirror diverged (fresh replica, missed stream, torn
+// local tail).
+
+// SegmentName renders the on-disk name of segment seq — the name OnAppend's
+// seg argument refers to.
+func SegmentName(seq uint64) string { return fileName("seg-", seq) }
+
+// FileInfo describes one live log file for replication catch-up.
+type FileInfo struct {
+	// Name is the file's base name (seg-XXXXXXXX.wal or snap-XXXXXXXX.wal).
+	Name string
+	// Size is the file's byte length.
+	Size int64
+}
+
+// ListFiles lists a log directory's live files in replay order (snapshot
+// first, then segments ascending), with sizes. fs nil means the OS.
+func ListFiles(fs FS, dir string) ([]FileInfo, error) {
+	if fs == nil {
+		fs = OS()
+	}
+	names, err := Files(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]FileInfo, 0, len(names))
+	for _, path := range names {
+		// Files returns dir-joined paths; replication wants base names.
+		size, err := fileSize(fs, path)
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, FileInfo{Name: filepath.Base(path), Size: size})
+	}
+	return infos, nil
+}
+
+// ReadFileBytes returns the full contents of one log file. name must be a
+// bare log file name (no path separators). fs nil means the OS.
+func ReadFileBytes(fs FS, dir, name string) ([]byte, error) {
+	if fs == nil {
+		fs = OS()
+	}
+	if name != filepath.Base(name) || strings.ContainsAny(name, `/\`) {
+		return nil, fmt.Errorf("wal: bad log file name %q", name)
+	}
+	f, err := fs.Open(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// IsLogFile reports whether name is a log segment or snapshot file name.
+func IsLogFile(name string) bool {
+	if _, ok := parseName(name, "seg-"); ok {
+		return true
+	}
+	_, ok := parseName(name, "snap-")
+	return ok
+}
+
+// fileSize measures a file through the FS abstraction (which has no stat).
+func fileSize(fs FS, path string) (int64, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n, err := io.Copy(io.Discard, f)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}

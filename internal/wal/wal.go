@@ -115,6 +115,15 @@ type Config struct {
 	Obs *obs.Registry
 	// Entity labels this log's metrics (default: the base name of Dir).
 	Entity string
+	// OnAppend, when set, observes every committed record: the segment
+	// sequence number, the byte offset of the frame within that segment,
+	// and the raw frame bytes (header + payload) exactly as written. It is
+	// invoked synchronously inside the log's write lock after the local
+	// write (and fsync, per policy) succeeded, so callbacks see appends in
+	// total order — the hook federation's leader uses to stream its log to
+	// followers byte-for-byte. The callback must not call back into the
+	// log.
+	OnAppend func(seg uint64, off int64, frame []byte)
 }
 
 // withDefaults fills zero fields.
@@ -324,6 +333,7 @@ func (l *Log) Append(payload []byte) error {
 		return ErrClosed
 	}
 	l.appended = true
+	seg, off := l.curSeq, l.curSize
 	if _, err := l.cur.Write(buf); err != nil {
 		l.mErrors.Inc()
 		return fmt.Errorf("wal: append: %w", err)
@@ -331,6 +341,9 @@ func (l *Log) Append(payload []byte) error {
 	l.curSize += int64(len(buf))
 	if err := l.syncLocked(false); err != nil {
 		return err
+	}
+	if l.cfg.OnAppend != nil {
+		l.cfg.OnAppend(seg, off, buf)
 	}
 	if l.curSize >= l.cfg.SegmentSize {
 		if err := l.sealLocked(); err != nil {
