@@ -10,7 +10,7 @@ CHAOS_SEED ?=
 # seed (only matters once journals outgrow the exhaustive-sweep cap).
 CRASH_SEED ?=
 
-.PHONY: all vet build test race chaos crash-suite bench bench-concurrent bench-wal bench-obs bench-wire bench-deposit fuzz-wire load-smoke load-failover
+.PHONY: all vet build test race chaos crash-suite dht-suite bench bench-concurrent bench-wal bench-obs bench-wire bench-deposit bench-dht fuzz-wire load-smoke load-failover load-dht
 
 all: vet build test
 
@@ -46,6 +46,17 @@ crash-suite:
 		-run 'Crash|CorruptTail|GobRoundTrip|WALBatch' ./internal/core/
 	$(GO) test -race -count=1 -run 'Restart|Epoch' ./internal/dht/
 
+# Replication suite for the double-spend DHT (DESIGN.md §14): the replica
+# package units (quorum math, digests, the lease cache), the quorum
+# write/read, read-repair, anti-entropy, and sub-failover tests, the
+# seeded node-kill property test, and the core-level chaos extension that
+# crash-stops a replica mid-transfer-storm. WHOPAY_CHAOS_SEED is honored
+# when CHAOS_SEED is set.
+dht-suite:
+	$(GO) test -race -count=1 ./internal/dht/...
+	WHOPAY_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v \
+		-run 'TestChaosDHTNodeKill' ./internal/core/
+
 # Open-loop load smoke: a small steady-profile run plus a micropay run
 # (channels + broker deposit batching) against a live tcpbus broker
 # (wal-off), strict-gated — any protocol error outside the scenario's
@@ -70,6 +81,15 @@ load-failover:
 	$(GO) run ./cmd/whopay-bench -load -scenario broker-failover \
 		-actors 24 -rate 120/s -load-duration 15s -wal -fsync always \
 		-strict -out bench-out
+
+# DHT replica crash under open-loop load: a 3/2/2-replicated journaled
+# ring with one node crash-stopped mid-run and recovered by anti-entropy.
+# The strict gate plus the audit require zero double-spends, zero stale
+# quorum reads, and digest parity across the replica set before the run
+# ends; BENCH_load_dht_node_kill.json lands under bench-out/.
+load-dht:
+	$(GO) run ./cmd/whopay-bench -load -scenario dht-node-kill \
+		-actors 24 -rate 120/s -load-duration 15s -strict -out bench-out
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -111,6 +131,14 @@ fuzz-wire:
 bench-deposit:
 	$(GO) test ./internal/core/ -run '^$$' \
 		-bench BenchmarkDepositBatch -benchtime 1000x -count 3
+
+# Hot-coin read path, three ways: lease-cached quorum reads, uncached
+# quorum reads, and the legacy single-copy read — plus quorum vs legacy
+# put. Reference numbers live in results/dht_replica_bench.txt.
+bench-dht:
+	$(GO) test ./internal/dht/ -run '^$$' \
+		-bench 'BenchmarkGetHot|BenchmarkQuorumPut|BenchmarkLegacyPut' \
+		-benchtime 1s -count 3
 
 # Goroutine-sweep benchmarks for the sharded state store: broker purchase
 # and owner transfer throughput as client concurrency grows. Reference

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,6 +39,8 @@ import (
 	"whopay/internal/bus/tcpbus"
 	"whopay/internal/coin"
 	"whopay/internal/core"
+	"whopay/internal/dht"
+	"whopay/internal/dht/replica"
 	"whopay/internal/federation"
 	"whopay/internal/obs"
 	"whopay/internal/sig"
@@ -66,6 +69,9 @@ func run() error {
 		replicas = flag.Int("replicas", 1, "replicas per broker shard (WAL-streamed mirrors with lease failover)")
 		leaseTTL = flag.Duration("lease-ttl", 500*time.Millisecond, "federation lease TTL — the worst-case leaderless window after a leader crash")
 		fedKill  = flag.Bool("fed-kill", false, "federated demo: crash shard 0's leader after the demo, watch /healthz flip, and pay again post-failover")
+		dhtNodes = flag.Int("dht-nodes", 0, "run the real-time double-spend DHT with this many replicated nodes; peers publish and watch bindings (0: the DHT-less demo)")
+		dhtNWR   = flag.String("dht-nwr", "3/2/2", "DHT replication quorums as N/W/R — writes ack after W of N replicas, reads consult R (with -dht-nodes; see DESIGN.md §14)")
+		dhtLease = flag.Duration("dht-lease", 150*time.Millisecond, "hot-coin lease TTL for the client-side read cache (with -dht-nodes)")
 	)
 	flag.Parse()
 	if *numPeers < 2 {
@@ -114,6 +120,42 @@ func run() error {
 	defer judgeSrv.Close()
 	fmt.Printf("judge listening on %s\n", judgeSrv.Addr())
 
+	// The replicated double-spend DHT (DESIGN.md §14). The cluster starts
+	// before the trust root because brokers and peers need the node
+	// addresses; the broker's key is trusted into the ring right after.
+	var (
+		dhtCl    *dht.Cluster
+		dhtAddrs []bus.Address
+		dhtRep   *replica.Config
+	)
+	if *dhtNodes > 0 {
+		cfg, err := parseNWR(*dhtNWR)
+		if err != nil {
+			return fmt.Errorf("-dht-nwr: %w", err)
+		}
+		cfg.LeaseTTL = *dhtLease
+		dhtRep = &cfg
+		dhtCl, err = dht.NewClusterWithConfig(dht.ClusterConfig{
+			Network:     network,
+			Scheme:      scheme,
+			Nodes:       *dhtNodes,
+			AddrFor:     func(int) bus.Address { return bus.Address(*host + ":0") },
+			Obs:         reg,
+			Replication: dhtRep,
+		})
+		if err != nil {
+			return err
+		}
+		defer dhtCl.Close()
+		dhtAddrs = dhtCl.Addrs()
+		norm := cfg.WithDefaults(*dhtNodes)
+		fmt.Printf("dht: %d nodes, quorums %d/%d/%d, lease TTL %v\n",
+			*dhtNodes, norm.N, norm.W, norm.R, *dhtLease)
+		for i, a := range dhtAddrs {
+			fmt.Printf("dht node %d listening on %s\n", i, a)
+		}
+	}
+
 	var depositBatch *core.DepositBatchConfig
 	if *depBatch > 0 {
 		depositBatch = &core.DepositBatchConfig{MaxBatch: *depBatch, MaxLinger: *depLing}
@@ -141,10 +183,12 @@ func run() error {
 			Replicas: *replicas,
 			Network:  network,
 			Broker: core.BrokerConfig{
-				Scheme:       scheme,
-				Directory:    dir,
-				GroupPub:     judge.GroupPublicKey(),
-				DepositBatch: depositBatch,
+				Scheme:         scheme,
+				Directory:      dir,
+				GroupPub:       judge.GroupPublicKey(),
+				DepositBatch:   depositBatch,
+				DHTNodes:       dhtAddrs,
+				DHTReplication: dhtRep,
 			},
 			Wal:      wal.Config{Dir: fedDir, Policy: wal.FsyncNever},
 			LeaseTTL: *leaseTTL,
@@ -192,13 +236,15 @@ func run() error {
 		}
 	} else {
 		broker, err = core.NewBroker(core.BrokerConfig{
-			Network:      network,
-			Addr:         bus.Address(*host + ":0"),
-			Scheme:       scheme,
-			Directory:    dir,
-			GroupPub:     judge.GroupPublicKey(),
-			Obs:          reg,
-			DepositBatch: depositBatch,
+			Network:        network,
+			Addr:           bus.Address(*host + ":0"),
+			Scheme:         scheme,
+			Directory:      dir,
+			GroupPub:       judge.GroupPublicKey(),
+			Obs:            reg,
+			DepositBatch:   depositBatch,
+			DHTNodes:       dhtAddrs,
+			DHTReplication: dhtRep,
 		})
 		if err != nil {
 			return err
@@ -220,6 +266,18 @@ func run() error {
 			})
 		}
 	}
+	// The ring accepts trusted-writer publishes (downtime operations) only
+	// from the trust root's keys, which exist only now.
+	if dhtCl != nil {
+		if fed != nil {
+			for s := 0; s < fed.Shards(); s++ {
+				dhtCl.Trust(fed.BrokerPub(s))
+			}
+		} else {
+			dhtCl.Trust(broker.PublicKey())
+		}
+	}
+
 	// payoutBalance reads a payout reference's credit — on its home shard
 	// under federation, on the one broker otherwise.
 	payoutBalance := func(ref string) int64 {
@@ -251,6 +309,12 @@ func run() error {
 			JudgeAddr:  judgeSrv.Addr(),
 			CredPool:   8,
 			Obs:        reg,
+
+			DHTNodes:           dhtAddrs,
+			DHTReplication:     dhtRep,
+			PublishBindings:    dhtCl != nil,
+			WatchHeldCoins:     dhtCl != nil,
+			CheckPublicBinding: dhtCl != nil,
 		})
 		if err != nil {
 			return err
@@ -422,6 +486,15 @@ func run() error {
 		}
 	}
 	fmt.Printf("owner ops:  %s\n", opsString(peers[0].Ops()))
+	if dhtCl != nil {
+		var hits, misses, stale, repaired uint64
+		for _, p := range peers {
+			h, m, s, r := p.DHTLeaseStats()
+			hits, misses, stale, repaired = hits+h, misses+m, stale+s, repaired+r
+		}
+		fmt.Printf("dht: lease hits=%d misses=%d stale-reads=%d read-repairs=%d, replica divergence=%d\n",
+			hits, misses, stale, repaired, dhtCl.Divergence())
+	}
 	fmt.Printf("done in %v over real TCP\n", time.Since(start).Round(time.Millisecond))
 
 	if reg != nil {
@@ -514,6 +587,24 @@ func awaitHealth(adminAddr string, wantHealthy bool, timeout time.Duration) bool
 		time.Sleep(25 * time.Millisecond)
 	}
 	return false
+}
+
+// parseNWR parses a "N/W/R" quorum triple ("3/2/2"). Values are validated
+// and clamped against the actual node count by replica.WithDefaults.
+func parseNWR(s string) (replica.Config, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return replica.Config{}, fmt.Errorf("want N/W/R, got %q", s)
+	}
+	var vals [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return replica.Config{}, fmt.Errorf("bad quorum %q in %q", p, s)
+		}
+		vals[i] = v
+	}
+	return replica.Config{N: vals[0], W: vals[1], R: vals[2]}, nil
 }
 
 // currentHolder finds who holds the coin now.

@@ -10,6 +10,7 @@ import (
 	"whopay/internal/bus"
 	"whopay/internal/coin"
 	"whopay/internal/dht"
+	"whopay/internal/dht/replica"
 	"whopay/internal/groupsig"
 	"whopay/internal/obs"
 	"whopay/internal/sig"
@@ -53,6 +54,9 @@ type BrokerConfig struct {
 	DHTNodes []bus.Address
 	// DHTMode selects client routing (default OneHop).
 	DHTMode dht.Mode
+	// DHTReplication turns on quorum reads/writes on the broker's DHT
+	// client (DESIGN.md §14). Nil keeps the legacy single-copy paths.
+	DHTReplication *replica.Config
 	// InitialCredit, when positive, funds every identity's account with
 	// this amount and makes purchases debit it. Deposits credit the
 	// payout reference's account, so depositing refills budgets — the
@@ -292,6 +296,9 @@ func NewBroker(cfg BrokerConfig) (*Broker, error) {
 				_ = b.persist.log.Close()
 			}
 			return nil, fmt.Errorf("core: broker dht client: %w", err)
+		}
+		if cfg.DHTReplication != nil {
+			b.dhtc.WithReplication(*cfg.DHTReplication)
 		}
 	}
 	if cfg.Obs != nil {

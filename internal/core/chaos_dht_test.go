@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"testing"
+	"time"
+
+	"whopay/internal/bus/faultbus"
+	"whopay/internal/coin"
+	"whopay/internal/dht/replica"
+	"whopay/internal/wal"
+)
+
+// newChaosDHTWorld is newChaosWorld with the replicated, persistent DHT:
+// quorum 3/2/2 over three journaled nodes, so a node can be crash-stopped
+// mid-storm and recovered from its journal. Sweeps run in the background
+// at the replica package default interval.
+func newChaosDHTWorld(t *testing.T, seed int64) *chaosWorld {
+	t.Helper()
+	f := newFixture(t, fixtureOpts{
+		detection:      true,
+		dhtNodes:       3,
+		dhtReplication: &replica.Config{N: 3, W: 2, R: 2},
+		dhtPersist:     &wal.Config{Dir: t.TempDir(), Policy: wal.FsyncAlways},
+	})
+	w := &chaosWorld{
+		t:           t,
+		seed:        seed,
+		f:           f,
+		fb:          faultbus.New(f.net, seed),
+		rng:         mrand.New(mrand.NewSource(seed)),
+		offline:     make(map[int]bool),
+		flapped:     make(map[int]bool),
+		quarantined: make(map[coin.ID]bool),
+		owned:       make([][]coin.ID, chaosPeers),
+	}
+	f.netAny = w.fb
+	for i := 0; i < chaosPeers; i++ {
+		w.peers = append(w.peers, f.addPeer(fmt.Sprintf("chaos-dht-%d-%d", seed, i), nil))
+	}
+	return w
+}
+
+// TestChaosDHTNodeKill is the ROADMAP chaos extension for the replication
+// subsystem: a DHT replica is crash-stopped in the middle of the transfer
+// storm and recovered from its journal mid-storm, under the same fault
+// schedule as the headline chaos run. The usual ledger invariants must
+// hold (no double spend, no stuck coin), and on top of them the replica
+// set must reach digest parity and no peer may ever observe a quorum read
+// going backwards in time.
+func TestChaosDHTNodeKill(t *testing.T) {
+	for _, c := range chaosCases(t, "TestChaosDHTNodeKill", []int64{21, 22}) {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			runChaosDHTNodeKill(t, c.seed)
+		})
+	}
+}
+
+func runChaosDHTNodeKill(t *testing.T, seed int64) {
+	t.Helper()
+	w := newChaosDHTWorld(t, seed)
+
+	for i := range w.peers {
+		w.purchase(i)
+		w.purchase(i)
+		w.issue(i, (i+1)%chaosPeers)
+	}
+
+	// Storm, crash a replica, storm on the surviving majority, recover it
+	// from the journal, storm again. The kill point is mid-schedule and
+	// the victim is seed-chosen, so the whole run replays from the seed.
+	victim := w.rng.Intn(3)
+	w.chaosPhase()
+	if err := w.f.dhtCl.Kill(victim); err != nil {
+		t.Fatalf("kill dht node %d: %v", victim, err)
+	}
+	w.chaosPhase()
+	if err := w.f.dhtCl.Restart(victim); err != nil {
+		t.Fatalf("restart dht node %d: %v", victim, err)
+	}
+	w.chaosPhase()
+	w.recoveryPhase()
+
+	sum := w.summary()
+	assertChaosInvariants(t, seed, w, sum)
+
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Errorf("[chaos seed %d] "+format+
+			" — reproduce alone with: WHOPAY_CHAOS_SEED=%d go test -run 'TestChaosDHTNodeKill/env' ./internal/core/",
+			append(append([]any{seed}, args...), seed)...)
+	}
+	if !w.f.dhtCl.WaitConverged(10 * time.Second) {
+		fail("anti-entropy never converged the restarted replica: %d slots diverged", w.f.dhtCl.Divergence())
+	}
+	var stale uint64
+	for _, p := range w.peers {
+		_, _, s, _ := p.DHTLeaseStats()
+		stale += s
+	}
+	if stale > 0 {
+		fail("%d stale quorum reads observed (a read went backwards past a committed write)", stale)
+	}
+}

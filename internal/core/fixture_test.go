@@ -9,6 +9,7 @@ import (
 
 	"whopay/internal/bus"
 	"whopay/internal/dht"
+	"whopay/internal/dht/replica"
 	"whopay/internal/indirect"
 	"whopay/internal/obs"
 	"whopay/internal/sig"
@@ -48,6 +49,11 @@ type fixtureOpts struct {
 	obs        *obs.Registry    // live observability registry (nil: disabled)
 	persist    *wal.Config      // broker durability (nil: in-memory broker)
 	dhtPersist *wal.Config      // DHT node durability (nil: in-memory nodes)
+
+	// dhtReplication turns on quorum reads/writes, anti-entropy, and the
+	// client lease cache for the cluster, the broker, and every peer
+	// (DESIGN.md §14). Nil keeps the legacy single-copy DHT.
+	dhtReplication *replica.Config
 
 	depositBatch *DepositBatchConfig // broker deposit batching (nil: off)
 }
@@ -125,16 +131,18 @@ func newFixture(t testing.TB, opts fixtureOpts) *fixture {
 	}
 
 	f.brokerCfg = BrokerConfig{
-		Network:     f.net,
-		Addr:        "broker",
-		Scheme:      f.scheme,
-		Clock:       f.clock.Now,
-		Directory:   f.dir,
-		GroupPub:    judge.GroupPublicKey(),
-		DHTNodes:    dhtAddrs,
+		Network:      f.net,
+		Addr:         "broker",
+		Scheme:       f.scheme,
+		Clock:        f.clock.Now,
+		Directory:    f.dir,
+		GroupPub:     judge.GroupPublicKey(),
+		DHTNodes:     dhtAddrs,
 		Persistence:  opts.persist,
 		Obs:          opts.obs,
 		DepositBatch: opts.depositBatch,
+
+		DHTReplication: opts.dhtReplication,
 	}
 	broker, err := NewBroker(f.brokerCfg)
 	if err != nil {
@@ -151,6 +159,7 @@ func newFixture(t testing.TB, opts fixtureOpts) *fixture {
 			Replicas:    2,
 			Trusted:     []sig.PublicKey{broker.PublicKey()},
 			Persistence: opts.dhtPersist,
+			Replication: opts.dhtReplication,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -242,6 +251,7 @@ func (f *fixture) peerConfig(id string, rec sig.Recorder) PeerConfig {
 		Rand:               mrand.New(mrand.NewSource(int64(f.seq) * 7919)),
 		Retry:              f.opts.retry,
 		Obs:                f.opts.obs,
+		DHTReplication:     f.opts.dhtReplication,
 	}
 }
 

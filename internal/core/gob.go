@@ -35,6 +35,11 @@ func RegisterWireTypes() {
 		dht.PutMsg{}, dht.GetMsg{}, dht.GetResp{},
 		dht.FindMsg{}, dht.FindResp{},
 		dht.SubMsg{}, dht.Notify{}, dht.Ack{},
+		dht.QuorumPutMsg{}, dht.QuorumAck{},
+		dht.DigestMsg{}, dht.DigestResp{},
+		dht.SweepMsg{}, dht.SweepResp{},
+		dht.SweepKeysMsg{}, dht.SweepKeysResp{},
+		dht.LeaseGetMsg{}, dht.LeaseResp{},
 		indirect.RegisterMsg{}, indirect.ForwardMsg{}, indirect.Ack{},
 	} {
 		tcpbus.RegisterType(v)

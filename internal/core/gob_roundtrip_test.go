@@ -96,6 +96,11 @@ func gobTypes() []any {
 		dht.PutMsg{}, dht.GetMsg{}, dht.GetResp{},
 		dht.FindMsg{}, dht.FindResp{},
 		dht.SubMsg{}, dht.Notify{}, dht.Ack{},
+		dht.QuorumPutMsg{}, dht.QuorumAck{},
+		dht.DigestMsg{}, dht.DigestResp{},
+		dht.SweepMsg{}, dht.SweepResp{},
+		dht.SweepKeysMsg{}, dht.SweepKeysResp{},
+		dht.LeaseGetMsg{}, dht.LeaseResp{},
 		indirect.RegisterMsg{}, indirect.ForwardMsg{}, indirect.Ack{},
 		// Journaled record forms (DESIGN.md §10): broker, peer, DHT.
 		keyPairRec{}, depositRec{}, claimsRec{}, intentRec{}, caseRec{},

@@ -232,6 +232,11 @@ func (p *Peer) RecoverHeldBinding(id coin.ID) error {
 // list. An update that re-binds a coin we hold — and did not just transfer
 // ourselves — is a double spend in progress: record an alert and report it.
 func (p *Peer) handleNotify(m dht.Notify) (any, error) {
+	if p.dhtc != nil {
+		// Freshest possible view of the binding — refresh the lease cache
+		// before any TTL would have expired the stale entry.
+		p.dhtc.ObserveNotify(m.Rec)
+	}
 	observed, err := coin.UnmarshalBinding(m.Rec.Value)
 	if err != nil {
 		return dht.Ack{}, nil // garbage record; ACL should prevent this

@@ -14,6 +14,7 @@ import (
 	"whopay/internal/bus"
 	"whopay/internal/coin"
 	"whopay/internal/dht"
+	"whopay/internal/dht/replica"
 	"whopay/internal/groupsig"
 	"whopay/internal/indirect"
 	"whopay/internal/obs"
@@ -90,6 +91,10 @@ type PeerConfig struct {
 	// DHTNodes enables the public binding list; empty disables.
 	DHTNodes []bus.Address
 	DHTMode  dht.Mode
+	// DHTReplication turns on quorum reads/writes and the hot-coin lease
+	// cache on the peer's DHT client (DESIGN.md §14). Nil keeps the legacy
+	// single-copy paths.
+	DHTReplication *replica.Config
 	// PublishBindings controls whether this peer, as an owner, publishes
 	// binding updates to the DHT.
 	PublishBindings bool
@@ -392,6 +397,9 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		if cfg.Retry != nil {
 			p.dhtc.WithRetry(*cfg.Retry)
 		}
+		if cfg.DHTReplication != nil {
+			p.dhtc.WithReplication(*cfg.DHTReplication)
+		}
 	}
 	if len(cfg.IndirectServers) > 0 {
 		p.indir, err = indirect.NewClient(ep, cfg.IndirectServers)
@@ -421,6 +429,20 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 				return s.Hits, s.Misses, s.KeyHits, s.KeyMisses
 			})
 		}
+		if p.dhtc != nil && cfg.DHTReplication != nil {
+			cfg.Obs.Help("whopay_dht_lease_hits_total", "DHT lease cache hits, by entity.")
+			cfg.Obs.CounterFunc("whopay_dht_lease_hits_total", obs.Labels{"entity": cfg.ID},
+				func() int64 { h, _, _, _ := p.dhtc.LeaseStats(); return int64(h) })
+			cfg.Obs.Help("whopay_dht_lease_misses_total", "DHT lease cache misses, by entity.")
+			cfg.Obs.CounterFunc("whopay_dht_lease_misses_total", obs.Labels{"entity": cfg.ID},
+				func() int64 { _, m, _, _ := p.dhtc.LeaseStats(); return int64(m) })
+			cfg.Obs.Help("whopay_dht_stale_reads_total", "Backwards-in-time DHT reads observed by the lease watermark (stale quorum reads), by entity.")
+			cfg.Obs.CounterFunc("whopay_dht_stale_reads_total", obs.Labels{"entity": cfg.ID},
+				func() int64 { _, _, s, _ := p.dhtc.LeaseStats(); return int64(s) })
+			cfg.Obs.Help("whopay_dht_reads_repaired_total", "Stale DHT replicas back-filled by client read-repair, by entity.")
+			cfg.Obs.CounterFunc("whopay_dht_reads_repaired_total", obs.Labels{"entity": cfg.ID},
+				func() int64 { _, _, _, r := p.dhtc.LeaseStats(); return int64(r) })
+		}
 		if p.persist != nil {
 			cfg.Obs.RegisterHealth(cfg.ID+"-journal", func() (string, error) {
 				if err := p.PersistenceErr(); err != nil {
@@ -438,6 +460,16 @@ func (p *Peer) ID() string { return p.cfg.ID }
 
 // Addr returns the peer's bus address (the actually-bound one).
 func (p *Peer) Addr() bus.Address { return p.cfg.Addr }
+
+// DHTLeaseStats reports the DHT client's lease cache counters (hits,
+// misses, stale reads observed, replicas repaired). Zeros when the peer has
+// no DHT client or replication is off.
+func (p *Peer) DHTLeaseStats() (hits, misses, stale, repaired uint64) {
+	if p.dhtc == nil {
+		return 0, 0, 0, 0
+	}
+	return p.dhtc.LeaseStats()
+}
 
 // BoundAddr is an alias of Addr, named for transports where the configured
 // and bound addresses differ (TCP ":0").

@@ -40,6 +40,11 @@ func wireMessages() []any {
 		dht.PutMsg{}, dht.GetMsg{}, dht.GetResp{},
 		dht.FindMsg{}, dht.FindResp{},
 		dht.SubMsg{}, dht.Notify{}, dht.Ack{},
+		dht.QuorumPutMsg{}, dht.QuorumAck{},
+		dht.DigestMsg{}, dht.DigestResp{},
+		dht.SweepMsg{}, dht.SweepResp{},
+		dht.SweepKeysMsg{}, dht.SweepKeysResp{},
+		dht.LeaseGetMsg{}, dht.LeaseResp{},
 		indirect.RegisterMsg{}, indirect.ForwardMsg{}, indirect.Ack{},
 	}
 }

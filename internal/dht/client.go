@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"whopay/internal/bus"
+	"whopay/internal/dht/replica"
 )
 
 // Mode selects the client's routing strategy.
@@ -33,6 +35,12 @@ type Client struct {
 	caller bus.Caller // ep, or a RetryCaller around it (WithRetry)
 	ring   []nodeRef
 	mode   Mode
+
+	// Replication (DESIGN.md §14): nil rep keeps the legacy single-read
+	// single-write paths and error shapes exact.
+	rep      *replica.Config
+	leases   *replica.LeaseCache
+	repaired atomic.Uint64 // stale replicas back-filled by read-repair
 }
 
 // NewClient builds a client over the given node membership. Node IDs are
@@ -135,23 +143,43 @@ func (c *Client) callWithFallback(key Key, msg any) (any, error) {
 	return nil, fmt.Errorf("%w: all replicas failed: %v", ErrLookupFailed, lastErr)
 }
 
-// Put writes a signed record.
+// Put writes a signed record. With replication configured, the write goes
+// through the quorum path: the coordinator acks only after W replicas
+// committed, and this client's lease cache adopts the written record.
 func (c *Client) Put(rec Record) error {
-	_, err := c.callWithFallback(rec.Key, PutMsg{Rec: rec})
-	return err
+	if c.rep == nil {
+		_, err := c.callWithFallback(rec.Key, PutMsg{Rec: rec})
+		return err
+	}
+	_, err := c.callWithFallback(rec.Key, QuorumPutMsg{Rec: rec})
+	if err != nil {
+		c.leases.Invalidate([32]byte(rec.Key))
+		return err
+	}
+	c.leases.Put([32]byte(rec.Key), rec, rec.Version, 0)
+	return nil
 }
 
-// Get reads the record at key.
+// Get reads the record at key. With replication configured this is a
+// quorum read — R replicas consulted in parallel, highest version wins,
+// stale replicas back-filled asynchronously — fronted by the TTL lease
+// cache that serves repeated reads of a hot binding locally.
 func (c *Client) Get(key Key) (Record, bool, error) {
-	resp, err := c.callWithFallback(key, GetMsg{Key: key})
-	if err != nil {
-		return Record{}, false, err
+	if c.rep == nil {
+		resp, err := c.callWithFallback(key, GetMsg{Key: key})
+		if err != nil {
+			return Record{}, false, err
+		}
+		gr, ok := resp.(GetResp)
+		if !ok {
+			return Record{}, false, fmt.Errorf("dht: unexpected response %T", resp)
+		}
+		return gr.Rec, gr.Found, nil
 	}
-	gr, ok := resp.(GetResp)
-	if !ok {
-		return Record{}, false, fmt.Errorf("dht: unexpected response %T", resp)
+	if v, ok := c.leases.Get([32]byte(key)); ok {
+		return v.(Record), true, nil
 	}
-	return gr.Rec, gr.Found, nil
+	return c.quorumGet(key)
 }
 
 // Subscribe registers watcher for notifications on writes to key.

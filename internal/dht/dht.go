@@ -29,8 +29,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"whopay/internal/bus"
+	"whopay/internal/dht/replica"
 	"whopay/internal/obs"
 	"whopay/internal/sig"
 	"whopay/internal/store"
@@ -135,10 +137,15 @@ type (
 		Addr  bus.Address
 	}
 	// SubMsg subscribes (or unsubscribes) Watcher to writes at Key.
+	// NoReplicate marks replica fan-out of a registration: watcher sets
+	// are replicated across the replica set like records, so a
+	// registration accepted by a fallback replica still notifies after
+	// the primary recovers.
 	SubMsg struct {
-		Key     Key
-		Watcher bus.Address
-		Unsub   bool
+		Key         Key
+		Watcher     bus.Address
+		Unsub       bool
+		NoReplicate bool
 	}
 	// Notify is delivered to watchers on every accepted write.
 	Notify struct{ Rec Record }
@@ -170,6 +177,13 @@ type Node struct {
 	scheme  sig.Scheme
 	trusted map[string]bool
 
+	// started closes once the cluster has wired this node's routing
+	// tables. The endpoint is live from Listen on, and on a restart the
+	// address is already known to peers and sweepers — requests arriving
+	// in the wiring window park here instead of observing a half-built
+	// node.
+	started chan struct{}
+
 	store *store.Sharded[Key, Record]
 	subs  *store.Sharded[Key, map[bus.Address]bool]
 
@@ -190,6 +204,20 @@ type Node struct {
 	// Observability (nil/zero when the cluster has no Obs registry).
 	instr         *obs.Instr
 	lastForceSync atomic.Int64 // unix nanos of the epoch-fence force-sync at recovery
+
+	// Replication (DESIGN.md §14). rep is nil on legacy single-copy nodes,
+	// which keeps every behavior and error shape exactly as before.
+	rep       *replica.Config
+	stopSweep chan struct{}
+	sweepWG   sync.WaitGroup
+
+	// Replication counters, exported as function metrics by the cluster.
+	sweepRounds   atomic.Int64
+	sweepRepairs  atomic.Int64
+	repairBacklog atomic.Int64
+	backlogGrowth atomic.Int64
+	quorumWrites  atomic.Int64
+	quorumFails   atomic.Int64
 }
 
 // Addr returns the node's bus address.
@@ -198,6 +226,7 @@ func (n *Node) Addr() bus.Address { return n.addr }
 // handle dispatches one DHT message, then cuts a compaction snapshot when
 // the journal is due (outside all store locks).
 func (n *Node) handle(from bus.Address, msg any) (any, error) {
+	<-n.started
 	resp, err := n.dispatch(from, msg)
 	n.maybeSnapshot()
 	return resp, err
@@ -212,11 +241,31 @@ func (n *Node) dispatch(_ bus.Address, msg any) (any, error) {
 		resp, err := n.handlePut(m)
 		n.instr.End(sp, err)
 		return resp, err
+	case QuorumPutMsg:
+		sp := n.instr.Begin("serve-quorum-put")
+		resp, err := n.handleQuorumPut(m)
+		n.instr.End(sp, err)
+		return resp, err
 	case GetMsg:
 		sp := n.instr.Begin("serve-get")
 		rec, ok := n.store.Get(m.Key)
 		n.instr.End(sp, nil)
 		return GetResp{Rec: rec, Found: ok}, nil
+	case LeaseGetMsg:
+		sp := n.instr.Begin("serve-lease-get")
+		rec, ok := n.store.Get(m.Key)
+		n.instr.End(sp, nil)
+		return LeaseResp{Rec: rec, Found: ok, GrantMs: n.leaseGrantMs()}, nil
+	case DigestMsg:
+		rec, ok := n.store.Get(m.Key)
+		return DigestResp{Found: ok, Version: rec.Version}, nil
+	case SweepMsg:
+		return n.handleSweep(m)
+	case SweepKeysMsg:
+		sp := n.instr.Begin("serve-sweep-keys")
+		resp, err := n.handleSweepKeys(m)
+		n.instr.End(sp, err)
+		return resp, err
 	case FindMsg:
 		return n.findStep(m.Key), nil
 	case SubMsg:
@@ -241,6 +290,17 @@ func (n *Node) dispatch(_ bus.Address, msg any) (any, error) {
 			n.journalSubsLocked(m.Key, ws)
 			return ws, store.OpSet
 		})
+		// Replicate the registration across the replica set, best-effort,
+		// so a watcher registered at a fallback replica is still notified
+		// by the primary once it recovers. Anti-entropy closes the gap
+		// for replicas that were down right now.
+		if !m.NoReplicate {
+			if others := n.otherReplicas(m.Key); len(others) > 0 {
+				fwd := m
+				fwd.NoReplicate = true
+				n.fanOut(others, fwd)
+			}
+		}
 		return Ack{}, nil
 	default:
 		return nil, fmt.Errorf("dht: unknown message %T", msg)
@@ -248,18 +308,36 @@ func (n *Node) dispatch(_ bus.Address, msg any) (any, error) {
 }
 
 func (n *Node) handlePut(m PutMsg) (any, error) {
-	rec := m.Rec
+	accepted, rec, err := n.acceptRecord(m.Rec)
+	if err != nil {
+		return nil, err
+	}
+	if !accepted {
+		return Ack{}, nil // idempotent re-put
+	}
+	if !m.NoReplicate {
+		// Best-effort: a momentarily unreachable replica will be
+		// repaired by the next write (or by anti-entropy).
+		n.fanOut(n.otherReplicas(rec.Key), PutMsg{Rec: rec, NoReplicate: true})
+		n.notifyWatchers(rec)
+	}
+	return Ack{}, nil
+}
+
+// acceptRecord validates and applies one record locally: ACL, signature,
+// then the version check and the write as one atomic step under the key's
+// shard lock, so concurrent writers cannot interleave a stale record over
+// a newer one. Returns the record as stored (stamped with this node's
+// epoch) when accepted.
+func (n *Node) acceptRecord(rec Record) (bool, Record, error) {
 	// ACL: the signing key must hash to the record key (coin-owner
 	// write) or be a trusted writer (broker downtime write).
 	if KeyFor(rec.AuthPub) != rec.Key && !n.trusted[string(rec.AuthPub)] {
-		return nil, ErrAccessDenied
+		return false, rec, ErrAccessDenied
 	}
 	if err := n.scheme.Verify(rec.AuthPub, RecordMessage(rec.Key, rec.Version, rec.Value), rec.Sig); err != nil {
-		return nil, fmt.Errorf("%w: bad record signature: %v", ErrAccessDenied, err)
+		return false, rec, fmt.Errorf("%w: bad record signature: %v", ErrAccessDenied, err)
 	}
-	// The version check and the write are one atomic step under the
-	// key's shard lock, so concurrent writers cannot interleave a stale
-	// record over a newer one.
 	var staleErr error
 	accepted := false
 	n.store.Compute(rec.Key, func(old Record, exists bool) (Record, store.Op) {
@@ -283,35 +361,57 @@ func (n *Node) handlePut(m PutMsg) (any, error) {
 		n.journalRecordLocked(rec)
 		return rec, store.OpSet
 	})
-	if staleErr != nil {
-		return nil, staleErr
-	}
-	if !accepted {
-		return Ack{}, nil // idempotent re-put
-	}
+	return accepted, rec, staleErr
+}
+
+// notifyWatchers tells every watcher of rec.Key about an accepted write,
+// concurrently and best-effort — an offline watcher simply misses it.
+func (n *Node) notifyWatchers(rec Record) {
 	var watchers []bus.Address
 	n.subs.View(rec.Key, func(ws map[bus.Address]bool, _ bool) {
 		for w := range ws {
 			watchers = append(watchers, w)
 		}
 	})
+	n.fanOut(watchers, Notify{Rec: rec})
+}
 
-	if !m.NoReplicate {
-		for _, replica := range n.replicaSet(rec.Key) {
-			if replica.addr == n.addr {
-				continue
-			}
-			// Best-effort: a momentarily unreachable replica will
-			// be repaired by the next write.
-			_, _ = n.ep.Call(replica.addr, PutMsg{Rec: rec, NoReplicate: true})
+// fanWidth bounds concurrent downstream calls on the serve path.
+const fanWidth = 8
+
+// fanOut delivers msg to every address over at most fanWidth concurrent
+// goroutines, waits for completion, and reports how many calls succeeded —
+// so serve-put latency is the slowest downstream call, not the sum of all
+// of them. Failures are the caller's policy: quorum writes count them,
+// replica pushes and watcher notifies shrug.
+func (n *Node) fanOut(addrs []bus.Address, msg any) int {
+	switch len(addrs) {
+	case 0:
+		return 0
+	case 1: // common case: no goroutine
+		if _, err := n.ep.Call(addrs[0], msg); err != nil {
+			return 0
 		}
-		// Register/notify: tell every watcher about the accepted
-		// write. Best-effort — an offline watcher simply misses it.
-		for _, w := range watchers {
-			_, _ = n.ep.Call(w, Notify{Rec: rec})
-		}
+		return 1
 	}
-	return Ack{}, nil
+	var (
+		ok  atomic.Int64
+		wg  sync.WaitGroup
+		sem = make(chan struct{}, fanWidth)
+	)
+	for _, a := range addrs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(a bus.Address) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := n.ep.Call(a, msg); err == nil {
+				ok.Add(1)
+			}
+		}(a)
+	}
+	wg.Wait()
+	return int(ok.Load())
 }
 
 // findStep performs one Chord routing step.
@@ -392,6 +492,13 @@ type ClusterConfig struct {
 	// check reporting each node's journal error and epoch-fence age. Nil
 	// (the default) keeps nodes byte-identical to uninstrumented ones.
 	Obs *obs.Registry
+	// Replication, when non-nil, turns on the quorum/anti-entropy
+	// subsystem (DESIGN.md §14): quorum writes commit on W of N replicas,
+	// every node runs a background digest sweep against its successor
+	// neighbors, and lease reads carry a grant. Overrides Replicas with
+	// its (defaulted) N. Nil keeps the legacy single-copy behavior and
+	// error shapes exact.
+	Replication *replica.Config
 }
 
 // NewCluster creates n nodes on net with the given replication factor and
@@ -413,6 +520,11 @@ func NewClusterWithConfig(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Replicas > cfg.Nodes {
 		cfg.Replicas = cfg.Nodes
 	}
+	if cfg.Replication != nil {
+		norm := cfg.Replication.WithDefaults(cfg.Nodes)
+		cfg.Replication = &norm
+		cfg.Replicas = norm.N
+	}
 	c := &Cluster{cfg: cfg}
 	ring := make([]nodeRef, 0, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -429,9 +541,15 @@ func NewClusterWithConfig(cfg ClusterConfig) (*Cluster, error) {
 	for _, node := range c.nodes {
 		node.ring = ring
 		node.fingers = fingersFor(node.id, ring)
+		close(node.started)
 	}
 	for _, node := range c.nodes {
 		c.addrs = append(c.addrs, node.addr)
+	}
+	// Sweepers start only after every node's routing is wired: a sweep
+	// computes replica sets from the ring.
+	for _, node := range c.nodes {
+		node.startSweeper()
 	}
 	return c, nil
 }
@@ -463,11 +581,13 @@ func (c *Cluster) startNode(i int, override bus.Address) (*Node, error) {
 	node := &Node{
 		id:       keyForAddr(addr),
 		addr:     addr,
+		started:  make(chan struct{}),
 		scheme:   c.cfg.Scheme,
 		trusted:  trustSet,
 		store:    store.NewSharded[Key, Record](dhtShards, keyHash),
 		subs:     store.NewSharded[Key, map[bus.Address]bool](dhtShards, keyHash),
 		replicas: c.cfg.Replicas,
+		rep:      c.cfg.Replication,
 	}
 	node.instr = obs.NewInstr(c.cfg.Obs, entity)
 	if sub := c.cfg.Persistence.Sub(fmt.Sprintf("node-%d", i)); sub != nil {
@@ -483,17 +603,28 @@ func (c *Cluster) startNode(i int, override bus.Address) (*Node, error) {
 			_ = log.Close()
 			return nil, fmt.Errorf("dht: node %d recovery: %w", i, err)
 		}
-		if c.cfg.Obs != nil {
-			if c.health == nil {
-				c.health = make([]atomic.Pointer[Node], c.cfg.Nodes)
-			}
-			first := c.health[i].Load() == nil
-			c.health[i].Store(node)
-			if first {
-				slot := &c.health[i]
+	}
+	// Health checks and function metrics read through the slot pointer so
+	// a restarted node's replacement is what they report on; both are
+	// registered once per slot.
+	if c.cfg.Obs != nil && (node.walLog != nil || node.rep != nil) {
+		if c.health == nil {
+			c.health = make([]atomic.Pointer[Node], c.cfg.Nodes)
+		}
+		first := c.health[i].Load() == nil
+		c.health[i].Store(node)
+		if first {
+			slot := &c.health[i]
+			if node.walLog != nil {
 				c.cfg.Obs.RegisterHealth(entity+"-journal", func() (string, error) {
 					return slot.Load().healthCheck()
 				})
+			}
+			if node.rep != nil {
+				c.cfg.Obs.RegisterHealth(entity+"-replication", func() (string, error) {
+					return slot.Load().replicationHealth()
+				})
+				c.registerReplicaMetrics(entity, slot)
 			}
 		}
 	}
@@ -514,6 +645,24 @@ func (c *Cluster) startNode(i int, override bus.Address) (*Node, error) {
 	return node, nil
 }
 
+// registerReplicaMetrics exports one node slot's replication counters
+// (DESIGN.md §14): sweep rounds, repairs, the current repair backlog, and
+// the quorum-write tallies.
+func (c *Cluster) registerReplicaMetrics(entity string, slot *atomic.Pointer[Node]) {
+	reg := c.cfg.Obs
+	labels := obs.Labels{"entity": entity}
+	reg.Help("whopay_dht_sweep_rounds_total", "Anti-entropy sweep rounds completed by this DHT node.")
+	reg.CounterFunc("whopay_dht_sweep_rounds_total", labels, func() int64 { return slot.Load().sweepRounds.Load() })
+	reg.Help("whopay_dht_sweep_repairs_total", "Records repaired (pulled or pushed) by anti-entropy sweeps.")
+	reg.CounterFunc("whopay_dht_sweep_repairs_total", labels, func() int64 { return slot.Load().sweepRepairs.Load() })
+	reg.Help("whopay_dht_repair_backlog", "Divergent entries found in this node's last anti-entropy sweep.")
+	reg.GaugeFunc("whopay_dht_repair_backlog", labels, func() float64 { return float64(slot.Load().repairBacklog.Load()) })
+	reg.Help("whopay_dht_quorum_writes_total", "Quorum writes this node coordinated to a successful commit.")
+	reg.CounterFunc("whopay_dht_quorum_writes_total", labels, func() int64 { return slot.Load().quorumWrites.Load() })
+	reg.Help("whopay_dht_quorum_write_failures_total", "Quorum writes that could not gather W replica commits.")
+	reg.CounterFunc("whopay_dht_quorum_write_failures_total", labels, func() int64 { return slot.Load().quorumFails.Load() })
+}
+
 // Restart crash-restarts node i: its endpoint and journal are dropped with
 // no shutdown grace, and a replacement is recovered from the journal at the
 // same address, in a fresh epoch. Requires Persistence (an in-memory node
@@ -526,6 +675,7 @@ func (c *Cluster) Restart(i int) error {
 		return fmt.Errorf("dht: no node %d", i)
 	}
 	old := c.nodes[i]
+	old.stopSweeper()
 	_ = old.ep.Close()
 	_ = old.walLog.Close()
 	node, err := c.startNode(i, old.addr)
@@ -535,6 +685,25 @@ func (c *Cluster) Restart(i int) error {
 	node.ring = c.ring
 	node.fingers = fingersFor(node.id, c.ring)
 	c.nodes[i] = node
+	close(node.started)
+	node.startSweeper()
+	return nil
+}
+
+// Kill crash-stops node i with no shutdown grace and no replacement: its
+// endpoint closes mid-conversation and its journal handle drops. A later
+// Restart(i) recovers it from the journal. The load harness's node-kill
+// scenario is the caller.
+func (c *Cluster) Kill(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("dht: no node %d", i)
+	}
+	node := c.nodes[i]
+	node.stopSweeper()
+	_ = node.ep.Close()
+	if node.walLog != nil {
+		_ = node.walLog.Close()
+	}
 	return nil
 }
 
@@ -592,11 +761,87 @@ func (c *Cluster) Addrs() []bus.Address { return append([]bus.Address(nil), c.ad
 // Close shuts down every node and releases their journals.
 func (c *Cluster) Close() {
 	for _, n := range c.nodes {
+		n.stopSweeper()
 		if n.ep != nil {
 			_ = n.ep.Close()
 		}
 		if n.walLog != nil {
 			_ = n.walLog.Close()
 		}
+	}
+}
+
+// SweepAll runs one synchronous anti-entropy round on every node and
+// returns the total divergence found — the deterministic lever tests and
+// convergence waits use instead of the background tickers.
+func (c *Cluster) SweepAll() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.SweepOnce()
+	}
+	return total
+}
+
+// Divergence counts, across every key any node stores, the replica-set
+// members whose copy is missing or version-mismatched — 0 means digest
+// parity across every replica set. Reads racing live writes can inflate
+// the count; call it on a quiesced cluster (the post-run audit does).
+func (c *Cluster) Divergence() int {
+	type holding struct {
+		version uint64
+		ok      bool
+	}
+	byAddr := make(map[bus.Address]*Node, len(c.nodes))
+	for _, n := range c.nodes {
+		byAddr[n.addr] = n
+	}
+	keys := make(map[Key]bool)
+	for _, n := range c.nodes {
+		n.store.Range(func(k Key, _ Record) bool {
+			keys[k] = true
+			return true
+		})
+	}
+	divergent := 0
+	for k := range keys {
+		// Replica sets are ring-static, so any node's view serves.
+		set := c.nodes[0].replicaSet(k)
+		var want holding
+		views := make([]holding, 0, len(set))
+		for _, ref := range set {
+			node := byAddr[ref.addr]
+			if node == nil {
+				continue
+			}
+			rec, ok := node.store.Get(k)
+			h := holding{version: rec.Version, ok: ok}
+			views = append(views, h)
+			if ok && (!want.ok || rec.Version > want.version) {
+				want = h
+			}
+		}
+		for _, h := range views {
+			if !h.ok || h.version != want.version {
+				divergent++
+			}
+		}
+	}
+	return divergent
+}
+
+// WaitConverged polls until Divergence reaches zero or the timeout lapses,
+// sweeping synchronously between polls so convergence does not depend on
+// background ticker phase. Returns whether parity was reached.
+func (c *Cluster) WaitConverged(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.Divergence() == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		c.SweepAll()
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -19,7 +19,7 @@ type fixture struct {
 	broker  sig.KeyPair
 }
 
-func newFixture(t *testing.T, nodes, replicas int, mode Mode) (*fixture, *Client) {
+func newFixture(t testing.TB, nodes, replicas int, mode Mode) (*fixture, *Client) {
 	t.Helper()
 	net := bus.NewMemory()
 	scheme := sig.NewNull(400)
@@ -44,7 +44,7 @@ func newFixture(t *testing.T, nodes, replicas int, mode Mode) (*fixture, *Client
 	return &fixture{net: net, cluster: cluster, suite: suite, broker: broker}, client
 }
 
-func (f *fixture) ownedRecord(t *testing.T, version uint64, value string) (sig.KeyPair, Record) {
+func (f *fixture) ownedRecord(t testing.TB, version uint64, value string) (sig.KeyPair, Record) {
 	t.Helper()
 	kp, err := f.suite.GenerateKey()
 	if err != nil {

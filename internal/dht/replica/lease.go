@@ -1,0 +1,130 @@
+package replica
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LeaseCache is the client-side hot-read shed: a bounded TTL cache of the
+// last record seen per key. A hit serves a repeated read of a hot binding
+// locally; the TTL (capped by the node's lease grant) bounds how stale that
+// read can be, and Subscribe/Notify traffic refreshes or invalidates
+// entries ahead of expiry. Entries also remember the highest version ever
+// observed per key after the value lapses, which is how the client detects
+// (and counts) a quorum read that would travel backwards in time.
+type LeaseCache struct {
+	ttl time.Duration
+	cap int
+
+	mu sync.Mutex
+	m  map[[32]byte]*leaseEntry
+
+	hits, misses  atomic.Uint64
+	staleObserved atomic.Uint64
+}
+
+type leaseEntry struct {
+	val     any
+	version uint64
+	exp     time.Time
+	live    bool // false: version watermark only, val already lapsed
+}
+
+// NewLeaseCache builds a cache holding entries for up to ttl, bounded to
+// cap entries.
+func NewLeaseCache(ttl time.Duration, capacity int) *LeaseCache {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	if capacity <= 0 {
+		capacity = DefaultLeaseCap
+	}
+	return &LeaseCache{ttl: ttl, cap: capacity, m: make(map[[32]byte]*leaseEntry)}
+}
+
+// Get returns the cached value when the lease is still live.
+func (c *LeaseCache) Get(key [32]byte) (any, bool) {
+	now := time.Now()
+	c.mu.Lock()
+	e := c.m[key]
+	if e != nil && e.live && now.Before(e.exp) {
+		v := e.val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, true
+	}
+	if e != nil && e.live {
+		// Lapsed: drop the value, keep the version watermark.
+		e.live = false
+		e.val = nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put caches val at key for min(grant, ttl); grant ≤ 0 means the full ttl.
+// A value older than the key's version watermark is refused and counted —
+// that is a read that traveled backwards in time (a stale quorum read, or
+// a notify raced by a newer one).
+func (c *LeaseCache) Put(key [32]byte, val any, version uint64, grant time.Duration) bool {
+	ttl := c.ttl
+	if grant > 0 && grant < ttl {
+		ttl = grant
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.m[key]; e != nil {
+		if version < e.version {
+			c.staleObserved.Add(1)
+			return false
+		}
+		e.val, e.version, e.exp, e.live = val, version, now.Add(ttl), true
+		return true
+	}
+	if len(c.m) >= c.cap {
+		c.evictLocked(now)
+	}
+	c.m[key] = &leaseEntry{val: val, version: version, exp: now.Add(ttl), live: true}
+	return true
+}
+
+// Invalidate drops key's cached value (the watermark survives).
+func (c *LeaseCache) Invalidate(key [32]byte) {
+	c.mu.Lock()
+	if e := c.m[key]; e != nil {
+		e.live = false
+		e.val = nil
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked frees one slot: an expired entry if any, else an arbitrary
+// one (map order — effectively random, fine for a shed cache).
+func (c *LeaseCache) evictLocked(now time.Time) {
+	for k, e := range c.m {
+		if !e.live || now.After(e.exp) {
+			delete(c.m, k)
+			return
+		}
+	}
+	for k := range c.m {
+		delete(c.m, k)
+		return
+	}
+}
+
+// Len reports the entry count (tests).
+func (c *LeaseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns cumulative hits, misses, and backwards-in-time values
+// observed.
+func (c *LeaseCache) Stats() (hits, misses, stale uint64) {
+	return c.hits.Load(), c.misses.Load(), c.staleObserved.Load()
+}

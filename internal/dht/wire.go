@@ -21,6 +21,18 @@ const (
 	tagSubMsg   = 45
 	tagNotify   = 46
 	tagAck      = 47
+
+	// Replication subsystem (DESIGN.md §14).
+	tagQuorumPutMsg  = 48
+	tagQuorumAck     = 49
+	tagDigestMsg     = 50
+	tagDigestResp    = 51
+	tagSweepMsg      = 52
+	tagSweepResp     = 53
+	tagSweepKeysMsg  = 54
+	tagSweepKeysResp = 55
+	tagLeaseGetMsg   = 56
+	tagLeaseResp     = 57
 )
 
 // AppendWire appends the record's wire encoding to dst. Epoch crosses only
@@ -153,6 +165,7 @@ func RegisterWireCodecs() {
 			dst = wire.AppendRaw(dst, m.Key[:])
 			dst = wire.AppendString(dst, string(m.Watcher))
 			dst = wire.AppendBool(dst, m.Unsub)
+			dst = wire.AppendBool(dst, m.NoReplicate)
 			return dst, nil
 		},
 		func(d *wire.Decoder) (any, error) {
@@ -166,6 +179,9 @@ func RegisterWireCodecs() {
 			}
 			m.Watcher = bus.Address(s)
 			if m.Unsub, err = d.Bool(); err != nil {
+				return nil, err
+			}
+			if m.NoReplicate, err = d.Bool(); err != nil {
 				return nil, err
 			}
 			return m, nil
@@ -185,4 +201,5 @@ func RegisterWireCodecs() {
 	wire.Register(tagAck, "dht.Ack", Ack{},
 		func(dst []byte, v any) ([]byte, error) { return dst, nil },
 		func(d *wire.Decoder) (any, error) { return Ack{}, nil })
+	registerReplicaWireCodecs()
 }

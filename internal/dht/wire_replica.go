@@ -1,0 +1,277 @@
+package dht
+
+import (
+	"whopay/internal/bus"
+	"whopay/internal/wire"
+)
+
+// Fixed-layout wire codecs for the replication subsystem's messages
+// (tags 48–57, DESIGN.md §14). Same canonical-encoding contract as the
+// rest of the registry: decode→re-encode is byte-identical.
+
+func appendWireKeyVers(dst []byte, kvs []KeyVer) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(kvs)))
+	for _, kv := range kvs {
+		dst = wire.AppendRaw(dst, kv.Key[:])
+		dst = wire.AppendU64(dst, kv.Version)
+	}
+	return dst
+}
+
+func decodeWireKeyVers(d *wire.Decoder) ([]KeyVer, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	var kvs []KeyVer
+	for i := uint64(0); i < n; i++ {
+		var kv KeyVer
+		if err := d.Fixed(kv.Key[:]); err != nil {
+			return nil, err
+		}
+		if kv.Version, err = d.U64(); err != nil {
+			return nil, err
+		}
+		kvs = append(kvs, kv)
+	}
+	return kvs, nil
+}
+
+func appendWireSubStates(dst []byte, subs []SubState) []byte {
+	dst = wire.AppendUvarint(dst, uint64(len(subs)))
+	for _, s := range subs {
+		dst = wire.AppendRaw(dst, s.Key[:])
+		dst = wire.AppendUvarint(dst, uint64(len(s.Watchers)))
+		for _, w := range s.Watchers {
+			dst = wire.AppendString(dst, string(w))
+		}
+	}
+	return dst
+}
+
+func decodeWireSubStates(d *wire.Decoder) ([]SubState, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	var subs []SubState
+	for i := uint64(0); i < n; i++ {
+		var s SubState
+		if err := d.Fixed(s.Key[:]); err != nil {
+			return nil, err
+		}
+		wn, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < wn; j++ {
+			ws, err := d.String()
+			if err != nil {
+				return nil, err
+			}
+			s.Watchers = append(s.Watchers, bus.Address(ws))
+		}
+		subs = append(subs, s)
+	}
+	return subs, nil
+}
+
+func registerReplicaWireCodecs() {
+	wire.Register(tagQuorumPutMsg, "dht.QuorumPutMsg", QuorumPutMsg{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(QuorumPutMsg)
+			return m.Rec.AppendWire(dst), nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			rec, err := DecodeWireRecord(d)
+			if err != nil {
+				return nil, err
+			}
+			return QuorumPutMsg{Rec: rec}, nil
+		})
+	wire.Register(tagQuorumAck, "dht.QuorumAck", QuorumAck{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(QuorumAck)
+			dst = wire.AppendUvarint(dst, uint64(m.Committed))
+			dst = wire.AppendUvarint(dst, uint64(m.Required))
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m QuorumAck
+			c, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			r, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			m.Committed, m.Required = uint32(c), uint32(r)
+			return m, nil
+		})
+	wire.Register(tagDigestMsg, "dht.DigestMsg", DigestMsg{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(DigestMsg)
+			return wire.AppendRaw(dst, m.Key[:]), nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m DigestMsg
+			if err := d.Fixed(m.Key[:]); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagDigestResp, "dht.DigestResp", DigestResp{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(DigestResp)
+			dst = wire.AppendBool(dst, m.Found)
+			dst = wire.AppendU64(dst, m.Version)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m DigestResp
+			var err error
+			if m.Found, err = d.Bool(); err != nil {
+				return nil, err
+			}
+			if m.Version, err = d.U64(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagSweepMsg, "dht.SweepMsg", SweepMsg{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(SweepMsg)
+			dst = wire.AppendString(dst, string(m.From))
+			dst = wire.AppendRaw(dst, m.Sum[:])
+			dst = wire.AppendU64(dst, m.Count)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m SweepMsg
+			s, err := d.String()
+			if err != nil {
+				return nil, err
+			}
+			m.From = bus.Address(s)
+			if err := d.Fixed(m.Sum[:]); err != nil {
+				return nil, err
+			}
+			if m.Count, err = d.U64(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagSweepResp, "dht.SweepResp", SweepResp{},
+		func(dst []byte, v any) ([]byte, error) {
+			return wire.AppendBool(dst, v.(SweepResp).Match), nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			match, err := d.Bool()
+			if err != nil {
+				return nil, err
+			}
+			return SweepResp{Match: match}, nil
+		})
+	wire.Register(tagSweepKeysMsg, "dht.SweepKeysMsg", SweepKeysMsg{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(SweepKeysMsg)
+			dst = wire.AppendString(dst, string(m.From))
+			dst = appendWireKeyVers(dst, m.Recs)
+			dst = appendWireSubStates(dst, m.Subs)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m SweepKeysMsg
+			s, err := d.String()
+			if err != nil {
+				return nil, err
+			}
+			m.From = bus.Address(s)
+			if m.Recs, err = decodeWireKeyVers(d); err != nil {
+				return nil, err
+			}
+			if m.Subs, err = decodeWireSubStates(d); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagSweepKeysResp, "dht.SweepKeysResp", SweepKeysResp{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(SweepKeysResp)
+			dst = wire.AppendUvarint(dst, uint64(len(m.Newer)))
+			for _, rec := range m.Newer {
+				dst = rec.AppendWire(dst)
+			}
+			dst = wire.AppendUvarint(dst, uint64(len(m.Want)))
+			for _, k := range m.Want {
+				dst = wire.AppendRaw(dst, k[:])
+			}
+			dst = appendWireSubStates(dst, m.Subs)
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m SweepKeysResp
+			n, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			for i := uint64(0); i < n; i++ {
+				rec, err := DecodeWireRecord(d)
+				if err != nil {
+					return nil, err
+				}
+				m.Newer = append(m.Newer, rec)
+			}
+			if n, err = d.Uvarint(); err != nil {
+				return nil, err
+			}
+			for i := uint64(0); i < n; i++ {
+				var k Key
+				if err := d.Fixed(k[:]); err != nil {
+					return nil, err
+				}
+				m.Want = append(m.Want, k)
+			}
+			if m.Subs, err = decodeWireSubStates(d); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagLeaseGetMsg, "dht.LeaseGetMsg", LeaseGetMsg{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(LeaseGetMsg)
+			return wire.AppendRaw(dst, m.Key[:]), nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m LeaseGetMsg
+			if err := d.Fixed(m.Key[:]); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+	wire.Register(tagLeaseResp, "dht.LeaseResp", LeaseResp{},
+		func(dst []byte, v any) ([]byte, error) {
+			m := v.(LeaseResp)
+			dst = m.Rec.AppendWire(dst)
+			dst = wire.AppendBool(dst, m.Found)
+			dst = wire.AppendUvarint(dst, uint64(m.GrantMs))
+			return dst, nil
+		},
+		func(d *wire.Decoder) (any, error) {
+			var m LeaseResp
+			var err error
+			if m.Rec, err = DecodeWireRecord(d); err != nil {
+				return nil, err
+			}
+			if m.Found, err = d.Bool(); err != nil {
+				return nil, err
+			}
+			g, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			m.GrantMs = uint32(g)
+			return m, nil
+		})
+}

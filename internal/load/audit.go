@@ -31,6 +31,18 @@ type Audit struct {
 	// the audit ran — non-zero only if the post-drain wait timed out.
 	SettlementsPending int `json:"settlements_pending,omitempty"`
 
+	// DHT replication verdicts (DESIGN.md §14); meaningful only when the
+	// run replicated the binding list. DHTStaleReads counts
+	// backwards-in-time reads the lease watermark observed — a non-zero
+	// value means a quorum read returned older state than one before it.
+	// DHTDivergence is the replica-set digest disagreement remaining after
+	// the drain's convergence wait (anti-entropy parity gate).
+	DHTStaleReads uint64 `json:"dht_stale_reads,omitempty"`
+	DHTRepaired   uint64 `json:"dht_reads_repaired,omitempty"`
+	DHTDivergence int    `json:"dht_divergence,omitempty"`
+	DHTConverged  bool   `json:"dht_converged,omitempty"`
+	DHTReplicated bool   `json:"dht_replicated,omitempty"`
+
 	Conserved     bool     `json:"conserved"`
 	NoDoubleSpend bool     `json:"no_double_spend"`
 	Violations    []string `json:"violations,omitempty"`
@@ -46,6 +58,7 @@ type Audit struct {
 // second binding and frame the owner.
 func (w *World) DrainAndAudit() Audit {
 	w.HealNetwork()
+	w.RestartDownDHTNodes() // digest parity needs the full replica set live
 	for _, a := range w.Actors {
 		if a.isOffline() {
 			a.setOffline(false)
@@ -131,6 +144,14 @@ func (w *World) audit(skipped bool) Audit {
 	if w.Fed != nil {
 		a.SettlementsPending = w.Fed.PendingSettlements()
 	}
+	if w.cfg.DHTReplication != nil && w.Cluster != nil {
+		a.DHTReplicated = true
+		_, _, a.DHTStaleReads, a.DHTRepaired = w.DHTLeaseStats()
+		if !skipped {
+			a.DHTConverged = w.Cluster.WaitConverged(10 * time.Second)
+			a.DHTDivergence = w.Cluster.Divergence()
+		}
+	}
 	for _, b := range brokers {
 		a.Issued += b.IssuedValue()
 		a.Deposited += b.DepositedValue()
@@ -169,6 +190,9 @@ func (w *World) audit(skipped bool) Audit {
 			a.Conserved = false
 			violate("credited balances %d != redeemed value %d", a.Balances, a.Deposited)
 		}
+		if a.DHTReplicated && !a.DHTConverged {
+			violate("dht replicas diverged after drain: %d replica slots behind", a.DHTDivergence)
+		}
 	}
 	a.NoDoubleSpend = true
 	if a.Deposited > a.Issued {
@@ -178,6 +202,10 @@ func (w *World) audit(skipped bool) Audit {
 	if a.DSAccepted > 0 {
 		a.NoDoubleSpend = false
 		violate("broker accepted %d deposit replays", a.DSAccepted)
+	}
+	if a.DHTStaleReads > 0 {
+		a.NoDoubleSpend = false
+		violate("dht: %d stale quorum reads observed (lease watermark went backwards)", a.DHTStaleReads)
 	}
 	for _, b := range brokers {
 		for _, fc := range b.FraudCases() {

@@ -79,6 +79,12 @@ func Classify(err error) (class, code string) {
 	if errors.Is(err, bus.ErrUnreachable) || errors.Is(err, bus.ErrClosed) {
 		return ClassTransport, ""
 	}
+	// A client-side protocol sentinel (a quorum read that could not gather
+	// R answers fails locally, without a RemoteError wrapper) still has a
+	// registered wire code — classify it like its remote twin.
+	if code := bus.ErrorCode(err); code != "" {
+		return ClassProtocol, code
+	}
 	return ClassOther, ""
 }
 

@@ -231,6 +231,24 @@ func (w *World) OpHotRenew(rng *rand.Rand) error {
 	return err
 }
 
+// OpHotVerify re-checks a hot coin's public binding against the DHT — the
+// paper's real-time double-spend watch read. The same few bindings are
+// read over and over by their holders, which is exactly the read storm
+// the client lease cache sheds (DESIGN.md §14). Losing a transfer race
+// surfaces as unknown-coin or a stale check; that is the scenario's
+// contention, not a harness failure.
+func (w *World) OpHotVerify(rng *rand.Rand) error {
+	e, from := w.pickHot(rng)
+	if e == nil {
+		return ErrSkip
+	}
+	err := from.Peer.VerifyHeldCoin(e.id)
+	if errors.Is(err, core.ErrDetectionOff) {
+		return ErrSkip
+	}
+	return err
+}
+
 // pickHot snapshots a random live hot-set entry and its believed holder.
 func (w *World) pickHot(rng *rand.Rand) (*hotCoin, *Actor) {
 	if len(w.hot) == 0 {

@@ -37,6 +37,10 @@ type ConfigEcho struct {
 	Shards       int     `json:"shards,omitempty"`
 	Replicas     int     `json:"replicas,omitempty"`
 	LeaseTTLMs   float64 `json:"lease_ttl_ms,omitempty"`
+	// DHTNWR echoes the DHT replication quorum as "N/W/R"; empty when the
+	// run used the legacy single-copy cluster.
+	DHTNWR     string `json:"dht_nwr,omitempty"`
+	DHTPersist bool   `json:"dht_persist,omitempty"`
 }
 
 // LatencyMs is the percentile summary in milliseconds, computed from
@@ -89,6 +93,7 @@ type Report struct {
 
 	Channels *ChannelStats  `json:"channels,omitempty"`
 	Failover *FailoverStats `json:"failover,omitempty"`
+	DHT      *DHTStats      `json:"dht,omitempty"`
 
 	Audit Audit `json:"audit"`
 }
@@ -104,6 +109,25 @@ type FailoverStats struct {
 	PromoteMsMean float64   `json:"promote_ms_mean,omitempty"`
 	Redirects     int64     `json:"redirects"`
 	RedirectRate  float64   `json:"redirect_rate"` // redirects per completed op
+}
+
+// DHTStats is the replicated-DHT extract (DESIGN.md §14): node kills and
+// recovery times, quorum-write tallies and anti-entropy work summed over
+// the cluster, and the client-side lease cache's hit rate — the number the
+// hot-coin read path is bought with. StaleReads must stay zero.
+type DHTStats struct {
+	NodesKilled   int64     `json:"nodes_killed"`
+	RecoverMs     []float64 `json:"recover_ms,omitempty"`
+	RecoverMsMax  float64   `json:"recover_ms_max,omitempty"`
+	QuorumWrites  float64   `json:"quorum_writes"`
+	QuorumFails   float64   `json:"quorum_write_failures"`
+	SweepRounds   float64   `json:"sweep_rounds"`
+	SweepRepairs  float64   `json:"sweep_repairs"`
+	LeaseHits     uint64    `json:"lease_hits"`
+	LeaseMisses   uint64    `json:"lease_misses"`
+	LeaseHitRate  float64   `json:"lease_hit_rate"`
+	StaleReads    uint64    `json:"stale_reads"`
+	ReadsRepaired uint64    `json:"reads_repaired"`
 }
 
 // ChannelStats summarizes micropay-channel activity: windows opened,
@@ -171,6 +195,8 @@ func BuildReport(r *Run, res Result, audit Audit) Report {
 			Shards:       w.cfg.Shards,
 			Replicas:     w.cfg.Replicas,
 			LeaseTTLMs:   ms(w.cfg.LeaseTTL),
+			DHTNWR:       dhtNWR(w),
+			DHTPersist:   w.cfg.DHTPersist,
 		},
 		Interrupted: res.Stopped,
 		Scheduled:   res.Scheduled,
@@ -264,7 +290,51 @@ func BuildReport(r *Run, res Result, audit Audit) Report {
 		}
 		rep.Failover = fo
 	}
+	if w.cfg.DHTReplication != nil && w.Cluster != nil {
+		kills, recoveries := w.DHTKillStats()
+		ds := &DHTStats{NodesKilled: kills}
+		for _, d := range recoveries {
+			v := ms(d)
+			ds.RecoverMs = append(ds.RecoverMs, v)
+			if v > ds.RecoverMsMax {
+				ds.RecoverMsMax = v
+			}
+		}
+		// Per-node counters are labeled by slot entity; sum the cluster.
+		for i := range w.Cluster.Nodes() {
+			lbl := map[string]string{"entity": fmt.Sprintf("dht-%d", i)}
+			for name, dst := range map[string]*float64{
+				"whopay_dht_quorum_writes_total":         &ds.QuorumWrites,
+				"whopay_dht_quorum_write_failures_total": &ds.QuorumFails,
+				"whopay_dht_sweep_rounds_total":          &ds.SweepRounds,
+				"whopay_dht_sweep_repairs_total":         &ds.SweepRepairs,
+			} {
+				if v, ok := w.Reg.Value(name, lbl); ok {
+					*dst += v
+				}
+			}
+		}
+		ds.LeaseHits, ds.LeaseMisses, ds.StaleReads, ds.ReadsRepaired = w.DHTLeaseStats()
+		if total := ds.LeaseHits + ds.LeaseMisses; total > 0 {
+			ds.LeaseHitRate = float64(ds.LeaseHits) / float64(total)
+		}
+		rep.DHT = ds
+	}
 	return rep
+}
+
+// dhtNWR renders the replication quorum ("3/2/2"), empty when off.
+func dhtNWR(w *World) string {
+	r := w.cfg.DHTReplication
+	if r == nil {
+		return ""
+	}
+	nodes := w.cfg.DHTNodes
+	if nodes <= 0 {
+		nodes = 3 // the world's default cluster size
+	}
+	n := r.WithDefaults(nodes)
+	return fmt.Sprintf("%d/%d/%d", n.N, n.W, n.R)
 }
 
 // walPolicyName renders the world's fsync policy, empty when no WAL.

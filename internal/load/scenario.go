@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"whopay/internal/bus"
+	"whopay/internal/dht/replica"
 )
 
 // WeightedOp is one verb in a scenario's traffic mix.
@@ -42,6 +43,12 @@ type Scenario struct {
 	Shards       int
 	Replicas     int
 	LeaseTTL     time.Duration
+
+	// DHTReplication turns on the DHT quorum/anti-entropy subsystem and
+	// DHTPersist journals the nodes (node-kill events need restartable
+	// nodes). See WorldConfig.
+	DHTReplication *replica.Config
+	DHTPersist     bool
 
 	Mix                []WeightedOp
 	Events             []Event
@@ -90,6 +97,8 @@ func (s *Scenario) WorldConfig(base WorldConfig) WorldConfig {
 	base.Shards = s.Shards
 	base.Replicas = s.Replicas
 	base.LeaseTTL = s.LeaseTTL
+	base.DHTReplication = s.DHTReplication
+	base.DHTPersist = s.DHTPersist
 	return base
 }
 
@@ -135,10 +144,15 @@ func Scenarios() []*Scenario {
 			Summary:   "contention on a few shared coins — service locks and the DHT witness path under fire",
 			Detection: true,
 			DHTNodes:  3,
-			WarmCoins: 2,
-			HotCoins:  8,
+			// Quorum replication with the hot-coin lease cache: the same
+			// few bindings are read over and over, so leases carry the
+			// read load (DESIGN.md §14).
+			DHTReplication: &replica.Config{N: 3, W: 2, R: 2},
+			WarmCoins:      2,
+			HotCoins:       8,
 			Mix: []WeightedOp{
-				{Name: "hot-transfer", Weight: 70, Do: (*World).OpHotTransfer},
+				{Name: "hot-transfer", Weight: 45, Do: (*World).OpHotTransfer},
+				{Name: "hot-verify", Weight: 25, Do: (*World).OpHotVerify},
 				{Name: "hot-renew", Weight: 15, Do: (*World).OpHotRenew},
 				{Name: "transfer", Weight: 15, Do: (*World).OpTransfer},
 			},
@@ -216,6 +230,32 @@ func Scenarios() []*Scenario {
 				"core.wrong_shard",
 				"core.already_deposited",
 			}, contentionRejections...),
+		},
+		{
+			Name: "dht-node-kill",
+			Summary: "DHT replica killed mid-transfer-storm — quorum writes ride the surviving " +
+				"majority, the restarted node catches up by anti-entropy, leases absorb hot reads",
+			Detection:      true,
+			DHTNodes:       3,
+			DHTReplication: &replica.Config{N: 3, W: 2, R: 2},
+			DHTPersist:     true,
+			WarmCoins:      3,
+			HotCoins:       6,
+			Mix: []WeightedOp{
+				{Name: "hot-transfer", Weight: 35, Do: (*World).OpHotTransfer},
+				{Name: "transfer", Weight: 25, Do: (*World).OpTransfer},
+				{Name: "hot-verify", Weight: 15, Do: (*World).OpHotVerify},
+				{Name: "hot-renew", Weight: 10, Do: (*World).OpHotRenew},
+				{Name: "mint", Weight: 15, Do: (*World).OpMint},
+			},
+			Events: []Event{
+				{Frac: 0.35, Name: "kill-dht-node", Do: (*World).KillDHTNode},
+				{Frac: 0.65, Name: "restart-dht-node", Do: (*World).RestartDHTNode},
+			},
+			// A kill window legitimately surfaces quorum failures (a write
+			// caught with the coordinator down mid-fan-out) on top of the
+			// usual contention codes.
+			ExpectedRejections: append([]string{"dht.quorum_failed"}, contentionRejections...),
 		},
 		{
 			Name:      "partition",

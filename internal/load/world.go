@@ -16,6 +16,7 @@ import (
 	"whopay/internal/coin"
 	"whopay/internal/core"
 	"whopay/internal/dht"
+	"whopay/internal/dht/replica"
 	"whopay/internal/federation"
 	"whopay/internal/obs"
 	"whopay/internal/sig"
@@ -52,6 +53,14 @@ type WorldConfig struct {
 	Detection bool
 	// DHTNodes sizes the cluster when Detection is on (default 3).
 	DHTNodes int
+	// DHTReplication turns on the DHT quorum/anti-entropy subsystem
+	// (DESIGN.md §14) on the cluster and every client: quorum writes,
+	// quorum reads with read-repair, background digest sweeps, and the
+	// hot-coin lease cache. Nil keeps the legacy single-copy cluster.
+	DHTReplication *replica.Config
+	// DHTPersist journals every DHT node (under a temp root unless WALDir
+	// is set), so node-kill events can restart nodes from their journals.
+	DHTPersist bool
 	// Channels is the micropay channel-pool size: the warmup opens this
 	// many payer→vendor channels and the channel verbs keep the pool
 	// stocked as windows exhaust and recycle (0: no channels).
@@ -181,6 +190,15 @@ type World struct {
 	// fedWalTmp is the federation journal root when the run supplied no
 	// WALDir (federated brokers always journal — the mirror IS the log).
 	fedWalTmp string
+	// dhtWalTmp is the DHT journal root when DHTPersist is on without a
+	// WALDir.
+	dhtWalTmp string
+
+	// DHT node-kill bookkeeping: kill→restarted wall time per node kill.
+	dhtKills   atomic.Int64
+	dhtMu      sync.Mutex
+	dhtDown    []int // node indexes currently killed, restart order
+	dhtRecover []time.Duration
 
 	// Failover bookkeeping: kill→serving-again wall time per leader kill.
 	foKills   atomic.Int64
@@ -289,12 +307,29 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 		if n <= 0 {
 			n = 3
 		}
+		var dhtWAL *wal.Config
+		if cfg.DHTPersist {
+			dhtRoot := ""
+			if cfg.WALDir != "" {
+				dhtRoot = filepath.Join(cfg.WALDir, "dht")
+			} else {
+				dhtRoot, err = os.MkdirTemp("", "whopay-load-dht-")
+				if err != nil {
+					return nil, fmt.Errorf("load: dht wal root: %w", err)
+				}
+				w.dhtWalTmp = dhtRoot
+			}
+			dhtWAL = &wal.Config{Dir: dhtRoot, Policy: cfg.Fsync, Obs: cfg.Reg}
+		}
 		w.Cluster, err = dht.NewClusterWithConfig(dht.ClusterConfig{
-			Network:  w.Net,
-			Scheme:   cfg.Scheme,
-			Nodes:    n,
-			Replicas: 2,
-			AddrFor:  func(i int) bus.Address { return w.addr(fmt.Sprintf("dht:%d", i)) },
+			Network:     w.Net,
+			Scheme:      cfg.Scheme,
+			Nodes:       n,
+			Replicas:    2,
+			AddrFor:     func(i int) bus.Address { return w.addr(fmt.Sprintf("dht:%d", i)) },
+			Persistence: dhtWAL,
+			Obs:         cfg.Reg,
+			Replication: cfg.DHTReplication,
 		})
 		if err != nil {
 			w.Close()
@@ -332,11 +367,12 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 			Replicas: cfg.Replicas,
 			Network:  w.Net,
 			Broker: core.BrokerConfig{
-				Scheme:       cfg.Scheme,
-				Directory:    w.Dir,
-				GroupPub:     judge.GroupPublicKey(),
-				DHTNodes:     dhtAddrs,
-				DepositBatch: depositBatch,
+				Scheme:         cfg.Scheme,
+				Directory:      w.Dir,
+				GroupPub:       judge.GroupPublicKey(),
+				DHTNodes:       dhtAddrs,
+				DHTReplication: cfg.DHTReplication,
+				DepositBatch:   depositBatch,
 			},
 			Wal:      wal.Config{Dir: fedRoot, Policy: cfg.Fsync},
 			LeaseTTL: cfg.LeaseTTL,
@@ -365,15 +401,16 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 			}
 		}
 		w.Broker, err = core.NewBroker(core.BrokerConfig{
-			Network:      w.Net,
-			Addr:         w.addr("broker"),
-			Scheme:       cfg.Scheme,
-			Directory:    w.Dir,
-			GroupPub:     judge.GroupPublicKey(),
-			DHTNodes:     dhtAddrs,
-			Persistence:  brokerWAL,
-			Obs:          cfg.Reg,
-			DepositBatch: depositBatch,
+			Network:        w.Net,
+			Addr:           w.addr("broker"),
+			Scheme:         cfg.Scheme,
+			Directory:      w.Dir,
+			GroupPub:       judge.GroupPublicKey(),
+			DHTNodes:       dhtAddrs,
+			DHTReplication: cfg.DHTReplication,
+			Persistence:    brokerWAL,
+			Obs:            cfg.Reg,
+			DepositBatch:   depositBatch,
 		})
 		if err != nil {
 			w.Close()
@@ -429,6 +466,7 @@ func (w *World) spawnActors(dhtAddrs []bus.Address) error {
 			JudgeAddr:          w.JudgeSrv.Addr(),
 			CredPool:           cfg.CredPool,
 			DHTNodes:           dhtAddrs,
+			DHTReplication:     cfg.DHTReplication,
 			PublishBindings:    cfg.Detection,
 			WatchHeldCoins:     cfg.Detection,
 			CheckPublicBinding: cfg.Detection,
@@ -519,6 +557,92 @@ func (w *World) KillNextLeader(_ *rand.Rand) {
 	w.foMu.Lock()
 	w.foRecover = append(w.foRecover, time.Since(start))
 	w.foMu.Unlock()
+}
+
+// KillDHTNode is the dht-node-kill scenario event: crash-stop one DHT node
+// (round-robin, never the last one standing) mid-storm. The node's endpoint
+// unregisters, so quorum writes ride on the surviving W-of-N majority and
+// client reads fall back to the remaining replicas.
+func (w *World) KillDHTNode(_ *rand.Rand) {
+	if w.Cluster == nil {
+		return
+	}
+	n := len(w.Cluster.Nodes())
+	w.dhtMu.Lock()
+	if len(w.dhtDown) >= n-2 { // keep a read quorum alive (N=3 → at most 1 down)
+		w.dhtMu.Unlock()
+		return
+	}
+	idx := int(w.dhtKills.Add(1)-1) % n
+	for contains(w.dhtDown, idx) {
+		idx = (idx + 1) % n
+	}
+	w.dhtDown = append(w.dhtDown, idx)
+	w.dhtMu.Unlock()
+	_ = w.Cluster.Kill(idx)
+}
+
+// RestartDHTNode recovers the oldest killed DHT node from its journal and
+// records the kill→serving-again wall time. Anti-entropy sweeps then close
+// whatever the node missed while down.
+func (w *World) RestartDHTNode(_ *rand.Rand) {
+	if w.Cluster == nil {
+		return
+	}
+	w.dhtMu.Lock()
+	if len(w.dhtDown) == 0 {
+		w.dhtMu.Unlock()
+		return
+	}
+	idx := w.dhtDown[0]
+	w.dhtDown = w.dhtDown[1:]
+	w.dhtMu.Unlock()
+	start := time.Now()
+	if err := w.Cluster.Restart(idx); err != nil {
+		return
+	}
+	w.dhtMu.Lock()
+	w.dhtRecover = append(w.dhtRecover, time.Since(start))
+	w.dhtMu.Unlock()
+}
+
+// RestartDownDHTNodes brings every still-killed DHT node back (drain phase:
+// the audit needs the full replica set live for digest parity).
+func (w *World) RestartDownDHTNodes() {
+	for {
+		w.dhtMu.Lock()
+		empty := len(w.dhtDown) == 0
+		w.dhtMu.Unlock()
+		if empty {
+			return
+		}
+		w.RestartDHTNode(nil)
+	}
+}
+
+// DHTKillStats reports the node-kill count and per-restart recovery times.
+func (w *World) DHTKillStats() (kills int64, recoveries []time.Duration) {
+	w.dhtMu.Lock()
+	defer w.dhtMu.Unlock()
+	return w.dhtKills.Load(), append([]time.Duration(nil), w.dhtRecover...)
+}
+
+// DHTLeaseStats sums every actor's client-side lease cache counters.
+func (w *World) DHTLeaseStats() (hits, misses, stale, repaired uint64) {
+	for _, a := range w.Actors {
+		h, m, s, r := a.Peer.DHTLeaseStats()
+		hits, misses, stale, repaired = hits+h, misses+m, stale+s, repaired+r
+	}
+	return hits, misses, stale, repaired
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // warmup pre-funds every actor's ready queue and mints the hot set. Warm
@@ -651,6 +775,9 @@ func (w *World) Close() {
 	}
 	if w.fedWalTmp != "" {
 		_ = os.RemoveAll(w.fedWalTmp)
+	}
+	if w.dhtWalTmp != "" {
+		_ = os.RemoveAll(w.dhtWalTmp)
 	}
 }
 
